@@ -1,0 +1,480 @@
+(* kpt — command-line driver for the knowledge-predicate-transformer
+   library.
+
+     kpt experiments            reproduce every paper artifact (E1-E9)
+     kpt solve figure1|figure2  run the KBP solvers on the paper's examples
+     kpt check <protocol>       model-check a protocol against the §6 spec
+     kpt simulate <protocol>    run a concrete fair execution
+     kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
+     kpt parse FILE             parse and elaborate a .unity source file
+     kpt verify FILE …          check user-supplied properties of a file *)
+
+open Cmdliner
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+open Kpt_protocols
+
+let fmt = Format.std_formatter
+
+let () =
+  (* diagnostic logging: set KPT_DEBUG=1 to see solver/checker tracing *)
+  if Sys.getenv_opt "KPT_DEBUG" <> None then begin
+    Logs.set_reporter (Logs.format_reporter ());
+    Logs.set_level (Some Logs.Debug)
+  end
+
+(* ---- shared arguments --------------------------------------------------- *)
+
+let n_arg =
+  Arg.(value & opt int 2 & info [ "n"; "horizon" ] ~doc:"Sequence horizon (≥ 2).")
+
+let a_arg =
+  Arg.(value & opt int 2 & info [ "a"; "alphabet" ] ~doc:"Alphabet size (≥ 2).")
+
+let lossy_arg =
+  Arg.(value & flag & info [ "lossy" ] ~doc:"Include message loss / corruption.")
+
+let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
+
+let steps_arg =
+  Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Number of scheduler steps.")
+
+(* ---- experiments --------------------------------------------------------- *)
+
+let experiments_cmd =
+  let run () =
+    let verdicts = Kpt_experiments.Experiments.run_all fmt in
+    Format.printf "@.Summary:@.";
+    List.iter
+      (fun (name, ok) ->
+        Format.printf "  %-18s %s@." name (if ok then "REPRODUCED" else "MISMATCH"))
+      verdicts;
+    if List.for_all snd verdicts then 0 else 1
+  in
+  Cmd.v (Cmd.info "experiments" ~doc:"Reproduce every paper artifact (E1-E9).")
+    Term.(const run $ const ())
+
+(* ---- solve --------------------------------------------------------------- *)
+
+let build_figure1 () =
+  let sp = Space.create () in
+  let shared = Space.bool_var sp "shared" in
+  let x = Space.bool_var sp "x" in
+  let p0 = Process.make "P0" [ shared ] in
+  let p1 = Process.make "P1" [ shared; x ] in
+  Kbp.make sp ~name:"figure1"
+    ~init:Expr.(not_ (var shared) &&& not_ (var x))
+    ~processes:[ p0; p1 ]
+    [
+      Kbp.kstmt ~name:"s0"
+        ~guard:(Kform.k "P0" (Kform.knot (Kform.base (Expr.var x))))
+        [ (shared, Expr.tru) ];
+      Kbp.kstmt ~name:"s1" ~guard:(Kform.base (Expr.var shared))
+        [ (x, Expr.tru); (shared, Expr.fls) ];
+    ]
+
+let build_figure2 ~strong =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let y = Space.bool_var sp "y" in
+  let z = Space.bool_var sp "z" in
+  let p0 = Process.make "P0" [ y ] in
+  let p1 = Process.make "P1" [ z ] in
+  let init = if strong then Expr.(not_ (var y) &&& var x) else Expr.(not_ (var y)) in
+  Kbp.make sp ~name:"figure2" ~init ~processes:[ p0; p1 ]
+    [
+      Kbp.kstmt ~name:"s0" ~guard:(Kform.k "P0" (Kform.base (Expr.var x))) [ (y, Expr.tru) ];
+      Kbp.kstmt ~name:"s1"
+        ~guard:(Kform.k "P1" (Kform.knot (Kform.base (Expr.var y))))
+        [ (z, Expr.tru) ];
+    ]
+
+let solve_cmd =
+  let model =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("figure1", `Fig1); ("figure2", `Fig2); ("figure2-strong", `Fig2s) ])) None
+      & info [] ~docv:"MODEL" ~doc:"figure1, figure2 or figure2-strong.")
+  in
+  let run model =
+    let kbp =
+      match model with
+      | `Fig1 -> build_figure1 ()
+      | `Fig2 -> build_figure2 ~strong:false
+      | `Fig2s -> build_figure2 ~strong:true
+    in
+    Format.printf "%a@.@." Kbp.pp kbp;
+    let sp = Kbp.space kbp in
+    (match Kbp.solutions kbp with
+    | [] -> Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
+    | sols ->
+        Format.printf "%d solution(s):@." (List.length sols);
+        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
+    (match Kbp.iterate kbp with
+    | Kbp.Converged (si, steps) ->
+        Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
+          (Space.pp_pred sp) si
+    | Kbp.Cycle orbit ->
+        Format.printf "Chaotic iteration cycles with period %d:@." (List.length orbit);
+        List.iter (fun s -> Format.printf "  → %a@." (Space.pp_pred sp) s) orbit);
+    0
+  in
+  Cmd.v
+    (Cmd.info "solve" ~doc:"Solve a knowledge-based protocol (Figures 1-2).")
+    Term.(const run $ model)
+
+(* ---- check ---------------------------------------------------------------- *)
+
+type proto = Standard | Kbp_proto | Abp | Stenning | Auy | Window
+
+let proto_arg =
+  Arg.(
+    required
+    & pos 0
+        (some
+           (enum
+              [
+                ("standard", Standard); ("kbp", Kbp_proto); ("abp", Abp);
+                ("stenning", Stenning); ("auy", Auy); ("window", Window);
+              ]))
+        None
+    & info [] ~docv:"PROTOCOL" ~doc:"standard, kbp, abp, stenning, auy or window.")
+
+let check_cmd =
+  let run proto n a lossy =
+    let params = { Seqtrans.n; a } in
+    let name, prog, safety, live =
+      match proto with
+      | Standard ->
+          let st = Seqtrans.standard ~lossy params in
+          ( "standard",
+            st.Seqtrans.sprog,
+            Seqtrans.spec_safety st,
+            fun k -> Seqtrans.spec_liveness_holds st ~k )
+      | Kbp_proto ->
+          let ab = Seqtrans.abstract_kbp params in
+          ( "knowledge-based",
+            ab.Seqtrans.aprog,
+            Seqtrans.a_spec_safety ab,
+            fun k -> Seqtrans.a_spec_liveness_holds ab ~k )
+      | Abp ->
+          let t = Abp.make ~lossy params in
+          ("alternating-bit", t.Abp.prog, Abp.safety t, fun k -> Abp.liveness_holds t ~k)
+      | Stenning ->
+          let t = Stenning.make ~lossy params in
+          ("stenning", t.Stenning.prog, Stenning.safety t, fun k -> Stenning.liveness_holds t ~k)
+      | Auy ->
+          let t = Auy.make params in
+          ("auy", t.Auy.prog, Auy.safety t, fun k -> Auy.liveness_holds t ~k)
+      | Window ->
+          let t = Window.make ~lossy ~window:2 params in
+          ( "sliding-window(2)",
+            t.Window.prog,
+            Window.safety t,
+            fun k -> Window.liveness_holds t ~k )
+    in
+    Format.printf "checking %s (n=%d, |A|=%d%s)@." name n a (if lossy then ", lossy" else "");
+    let sp = Program.space prog in
+    Format.printf "  reachable states : %d@."
+      (Space.count_states_of sp (Program.si prog));
+    Format.printf "  safety (34)      : %b@." (Program.invariant prog safety);
+    let ok = ref true in
+    for k = 0 to n - 1 do
+      let l = live k in
+      if not l then ok := false;
+      Format.printf "  liveness (35)@%d  : %b@." k l
+    done;
+    if Program.invariant prog safety && !ok then 0 else 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Model-check a protocol against the §6 specification.")
+    Term.(const run $ proto_arg $ n_arg $ a_arg $ lossy_arg)
+
+(* ---- simulate -------------------------------------------------------------- *)
+
+let simulate_cmd =
+  let run n a lossy seed steps =
+    let params = { Seqtrans.n; a } in
+    let st = Seqtrans.standard ~lossy params in
+    let prog = st.Seqtrans.sprog in
+    let sp = st.Seqtrans.sspace in
+    let rng = Stdlib.Random.State.make [| seed |] in
+    let init = Kpt_runs.Exec.random_init prog rng in
+    let trace = Kpt_runs.Exec.run prog ~scheduler:(Kpt_runs.Exec.Random_fair seed) ~steps ~init in
+    Format.printf "simulated %d steps of the standard protocol (n=%d, |A|=%d%s, seed %d)@."
+      steps n a (if lossy then ", lossy" else "") seed;
+    (match
+       Kpt_runs.Monitor.first_violation sp (Seqtrans.spec_safety st) trace
+     with
+    | None -> Format.printf "  safety (34) held along the whole trace@."
+    | Some i -> Format.printf "  SAFETY VIOLATED at step %d!@." i);
+    let done_p = Expr.compile_bool sp Expr.(var st.Seqtrans.j === nat n) in
+    (match Kpt_runs.Monitor.eventually sp done_p trace with
+    | Some i -> Format.printf "  transmission complete after %d steps@." i
+    | None ->
+        let final = Kpt_runs.Exec.final trace in
+        Format.printf "  incomplete: delivered %d/%d elements@."
+          final.(Space.idx st.Seqtrans.j) n);
+    Format.printf "  statement counts: %s@."
+      (String.concat ", "
+         (List.map
+            (fun (s, c) -> Printf.sprintf "%s×%d" s c)
+            (Kpt_runs.Exec.statement_counts trace)));
+    0
+  in
+  Cmd.v
+    (Cmd.info "simulate" ~doc:"Run a concrete fair execution of the standard protocol.")
+    Term.(const run $ n_arg $ a_arg $ lossy_arg $ seed_arg $ steps_arg)
+
+(* ---- proof ------------------------------------------------------------------ *)
+
+let proof_cmd =
+  let which =
+    Arg.(
+      required
+      & pos 0 (some (enum [ ("kbp", `Kbp); ("standard", `Std) ])) None
+      & info [] ~docv:"WHICH" ~doc:"kbp (Figure 3) or standard (Figure 4).")
+  in
+  let tree =
+    Arg.(value & flag & info [ "tree" ] ~doc:"Print the full derivation tree of each liveness theorem.")
+  in
+  let run which n a lossy tree =
+    let params = { Seqtrans.n; a } in
+    let thms =
+      match which with
+      | `Kbp -> Seqtrans_proofs.replay_abstract (Seqtrans.abstract_kbp params)
+      | `Std ->
+          Seqtrans_proofs.replay_standard ~assume_channel:lossy
+            (Seqtrans.standard ~lossy params)
+    in
+    Format.printf "replayed %d theorems:@." (List.length thms);
+    List.iter
+      (fun (name, t) ->
+        let assumps = Kpt_logic.Proof.assumptions t in
+        Format.printf "  %-22s %s  (%d rule applications)@." name
+          (if assumps = [] then "⊢ (from the program text)"
+           else "⊢ assuming " ^ String.concat ", " assumps)
+          (Kpt_logic.Proof.derivation_size t);
+        if tree && String.length name >= 8 && String.sub name 0 8 = "liveness" then begin
+          Format.printf "@.derivation of %s:@." name;
+          Kpt_logic.Proof.pp_derivation Format.std_formatter t;
+          Format.printf "@."
+        end)
+      thms;
+    0
+  in
+  Cmd.v
+    (Cmd.info "proof" ~doc:"Replay the §6 correctness proofs in the LCF kernel.")
+    Term.(const run $ which $ n_arg $ a_arg $ lossy_arg $ tree)
+
+(* ---- parse / verify: the concrete syntax front end -------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let load path =
+  let src = read_file path in
+  let ast = Kpt_syntax.Parser.program_of_string src in
+  Kpt_syntax.Elaborate.program ast
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .unity source file.")
+
+let parse_cmd =
+  let run path =
+    match load path with
+    | sp, kbp ->
+        Format.printf "%a@.@." Kbp.pp kbp;
+        Format.printf "state space : %d states over %d variables@."
+          (Space.state_count sp)
+          (List.length (Space.vars sp));
+        if Kbp.is_standard kbp then begin
+          let prog = Kbp.to_standard_program kbp in
+          Format.printf "standard program; reachable states: %d@."
+            (Space.count_states_of sp (Program.si prog))
+        end
+        else Format.printf "knowledge-based protocol (use 'kpt solve %s')@." path;
+        0
+    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
+                | Kpt_syntax.Elaborate.Elab_error msg) ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  Cmd.v (Cmd.info "parse" ~doc:"Parse and elaborate a .unity source file.")
+    Term.(const run $ file_arg)
+
+let solve_file_cmd =
+  let run path =
+    match load path with
+    | sp, kbp -> (
+        Format.printf "%a@.@." Kbp.pp kbp;
+        (match Kbp.solutions kbp with
+        | [] ->
+            Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
+        | sols ->
+            Format.printf "%d solution(s):@." (List.length sols);
+            List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
+        match Kbp.iterate kbp with
+        | Kbp.Converged (si, steps) ->
+            Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
+              (Space.pp_pred sp) si;
+            0
+        | Kbp.Cycle orbit ->
+            Format.printf "Chaotic iteration cycles with period %d.@." (List.length orbit);
+            0)
+    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
+                | Kpt_syntax.Elaborate.Elab_error msg) ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
+    Term.(const run $ file_arg)
+
+let verify_cmd =
+  let invariants =
+    Arg.(value & opt_all string [] & info [ "invariant" ] ~docv:"EXPR" ~doc:"Check invariant EXPR.")
+  in
+  let stables =
+    Arg.(value & opt_all string [] & info [ "stable" ] ~docv:"EXPR" ~doc:"Check stable EXPR.")
+  in
+  let leadstos =
+    Arg.(
+      value & opt_all string []
+      & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
+  in
+  let run path invs stbls ltos =
+    match load path with
+    | sp, kbp ->
+        let prog =
+          if Kbp.is_standard kbp then Kbp.to_standard_program kbp
+          else begin
+            Format.printf "note: knowledge guards resolved at the strongest solution@.";
+            match Kbp.strongest_solution kbp with
+            | Some si -> Kbp.instantiate kbp ~si
+            | None -> failwith "the KBP has no (unique strongest) solution"
+          end
+        in
+        let compile s =
+          try
+            Kpt_unity.Expr.compile_bool sp
+              (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string s))
+          with
+          | Kpt_syntax.Elaborate.Elab_error msg
+          | Kpt_syntax.Parser.Parse_error msg
+          | Kpt_syntax.Token.Lex_error msg ->
+              failwith (Printf.sprintf "in %S: %s" s msg)
+        in
+        let failed = ref 0 in
+        let report label ok = 
+          if not ok then incr failed;
+          Format.printf "  %-40s %b@." label ok
+        in
+        List.iter (fun s -> report ("invariant " ^ s) (Program.invariant prog (compile s))) invs;
+        List.iter (fun s -> report ("stable " ^ s) (Kpt_logic.Props.stable prog (compile s))) stbls;
+        List.iter
+          (fun s ->
+            match String.index_opt s ';' with
+            | None -> failwith "leadsto takes a semicolon-separated pair"
+            | Some i ->
+                let p = String.sub s 0 i in
+                let q = String.sub s (i + 1) (String.length s - i - 1) in
+                report
+                  (Printf.sprintf "%s ↦ %s" (String.trim p) (String.trim q))
+                  (Kpt_logic.Props.leads_to prog (compile p) (compile q)))
+          ltos;
+        if !failed = 0 then 0 else 1
+    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
+                | Kpt_syntax.Elaborate.Elab_error msg) ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | exception Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Check user-supplied UNITY properties of a .unity file.")
+    Term.(const run $ file_arg $ invariants $ stables $ leadstos)
+
+(* ---- knowledge queries on .unity files -------------------------------------- *)
+
+let knowledge_cmd =
+  let process_arg =
+    Arg.(required & opt (some string) None & info [ "process" ] ~docv:"P" ~doc:"Process name.")
+  in
+  let fact_arg =
+    Arg.(required & opt (some string) None & info [ "fact" ] ~docv:"EXPR" ~doc:"The fact φ.")
+  in
+  let common_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "common" ] ~docv:"P1,P2" ~doc:"Also compute common knowledge for this group.")
+  in
+  let run path pname fact common =
+    match load path with
+    | sp, kbp ->
+        let prog =
+          if Kbp.is_standard kbp then Kbp.to_standard_program kbp
+          else
+            match Kbp.strongest_solution kbp with
+            | Some si -> Kbp.instantiate kbp ~si
+            | None -> failwith "the KBP has no (unique strongest) solution"
+        in
+        let p =
+          Kpt_unity.Expr.compile_bool sp
+            (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string fact))
+        in
+        let m = Space.manager sp in
+        let si = Program.si prog in
+        let k = Knowledge.knows_in prog pname p in
+        let show label pred =
+          let inside = Bdd.and_ m si pred in
+          let count = Space.count_states_of sp inside in
+          let total = Space.count_states_of sp si in
+          Format.printf "  %-28s %d of %d reachable states@." label count total;
+          if count > 0 && count <= 8 then
+            Format.printf "    %a@." (Space.pp_pred sp) inside
+        in
+        Format.printf "program %s, fact: %s@." (Program.name prog) fact;
+        show "fact holds at" p;
+        show (Printf.sprintf "K_%s(fact) holds at" pname) k;
+        (match common with
+        | None -> ()
+        | Some group ->
+            let names = String.split_on_char ',' group |> List.map String.trim in
+            let procs = List.map (Program.find_process prog) names in
+            let c = Knowledge.common_knowledge sp ~si procs p in
+            let e = Knowledge.everyone_knows sp ~si procs p in
+            show (Printf.sprintf "E_{%s}(fact) holds at" group) e;
+            show (Printf.sprintf "C_{%s}(fact) holds at" group) c);
+        0
+    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
+                | Kpt_syntax.Elaborate.Elab_error msg) ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | exception Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+    | exception Not_found ->
+        Format.eprintf "error: unknown process@.";
+        1
+  in
+  Cmd.v
+    (Cmd.info "knowledge" ~doc:"Query the knowledge predicate K_P(φ) on a .unity program.")
+    Term.(const run $ file_arg $ process_arg $ fact_arg $ common_arg)
+
+let () =
+  let doc = "knowledge predicate transformers and knowledge-based protocols" in
+  let info = Cmd.info "kpt" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval'
+       (Cmd.group info
+          [
+            experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
+            solve_file_cmd; verify_cmd; knowledge_cmd;
+          ]))

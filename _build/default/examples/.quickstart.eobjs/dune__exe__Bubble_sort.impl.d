@@ -1,0 +1,1 @@
+examples/bubble_sort.ml: Array Bdd Expr Format Kpt_logic Kpt_predicate Kpt_unity List Pred Printf Program Space Stmt

@@ -1,0 +1,1 @@
+examples/bubble_sort.mli:

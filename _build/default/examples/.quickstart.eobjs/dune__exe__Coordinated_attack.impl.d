@@ -1,0 +1,1 @@
+examples/coordinated_attack.ml: Array Bdd Expr Format Kbp Kform Knowledge Kpt_core Kpt_predicate Kpt_unity List Pred Printf Process Program Space Stmt

@@ -1,0 +1,1 @@
+examples/coordinated_attack.mli:

@@ -1,0 +1,1 @@
+examples/knowledge_case_studies.ml: Commit Format Gossip Kpt_predicate Kpt_protocols Space

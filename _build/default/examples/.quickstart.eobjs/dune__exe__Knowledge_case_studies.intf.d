@@ -1,0 +1,1 @@
+examples/knowledge_case_studies.mli:

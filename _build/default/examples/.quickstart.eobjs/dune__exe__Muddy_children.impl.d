@@ -1,0 +1,1 @@
+examples/muddy_children.ml: Bdd Expr Format Knowledge Kpt_core Kpt_logic Kpt_predicate Kpt_unity Process Program Space Stmt

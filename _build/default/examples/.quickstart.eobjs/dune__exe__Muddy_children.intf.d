@@ -1,0 +1,1 @@
+examples/muddy_children.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Bdd Expr Format Knowledge Kpt_core Kpt_logic Kpt_predicate Kpt_unity Pred Process Program Space Stmt

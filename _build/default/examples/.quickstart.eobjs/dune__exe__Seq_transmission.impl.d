@@ -1,0 +1,1 @@
+examples/seq_transmission.ml: Array Bdd Exec Expr Format Kpt_logic Kpt_predicate Kpt_protocols Kpt_runs Kpt_unity List Monitor Printf Program Random Seqtrans Seqtrans_proofs Space String

@@ -1,0 +1,1 @@
+examples/seq_transmission.mli:

@@ -1,0 +1,1 @@
+examples/token_ring.ml: Array Bdd Expr Format Fun Knowledge Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Space Stmt

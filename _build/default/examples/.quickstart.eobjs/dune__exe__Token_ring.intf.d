@@ -1,0 +1,1 @@
+examples/token_ring.mli:

@@ -1,0 +1,115 @@
+(* The muddy children (a.k.a. cheating husbands [MDH86]) — the classic
+   knowledge-puzzle the literature the paper builds on keeps returning to.
+   Run with:  dune exec examples/muddy_children.exe
+
+   Two children; each sees the other's forehead but not its own; their
+   father announces "at least one of you is muddy" (encoded in init).
+   In synchronous rounds each child declares itself muddy as soon as it
+   KNOWS it is.  Classic answer: with both muddy, nobody can declare in
+   round 1, and that very silence lets both declare in round 2.
+
+   We model the *rounds* explicitly (phase/round counters) and the
+   *epistemic rule* with the genuine knowledge transformer: the program
+   below is the standard instantiation, and we verify mechanically that
+   (a) children only declare what they truly know — "declared" implies
+   K_child(muddy), (b) silence is informative: after a silent first
+   round each muddy child knows its state, and (c) everyone muddy
+   eventually declares. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+let () =
+  let sp = Space.create () in
+  let ma = Space.bool_var sp "muddy_a" in
+  let mb = Space.bool_var sp "muddy_b" in
+  let da = Space.bool_var sp "declared_a" in
+  let db = Space.bool_var sp "declared_b" in
+  (* Declarations within a round are simultaneous in the classic puzzle:
+     each child reacts to the declarations as of the END of the previous
+     round, which we latch in da0/db0 when a round closes. *)
+  let da0 = Space.bool_var sp "prev_a" in
+  let db0 = Space.bool_var sp "prev_b" in
+  (* phase 0: a moves; 1: b moves; 2: round ends *)
+  let phase = Space.nat_var sp "phase" ~max:2 in
+  let round = Space.nat_var sp "round" ~max:2 in
+  let alice = Process.make "A" [ mb; da; db; da0; db0; phase; round ] in
+  let bob = Process.make "B" [ ma; da; db; da0; db0; phase; round ] in
+  let open Expr in
+  (* The standard solution: declare if you see a clean forehead (round 1)
+     or after a silent round (round 2). *)
+  let silent = (var round >== nat 1) &&& not_ (var da0) &&& not_ (var db0) in
+  let a_rule = not_ (var mb) ||| silent in
+  let b_rule = not_ (var ma) ||| silent in
+  let step_a =
+    Stmt.make ~name:"a_moves"
+      ~guard:(var phase === nat 0)
+      [ (da, var da ||| a_rule); (phase, nat 1) ]
+  in
+  let step_b =
+    Stmt.make ~name:"b_moves"
+      ~guard:(var phase === nat 1)
+      [ (db, var db ||| b_rule); (phase, nat 2) ]
+  in
+  let next_round =
+    Stmt.make ~name:"round_ends"
+      ~guard:((var phase === nat 2) &&& (var round <<< nat 2))
+      [ (round, var round +! nat 1); (phase, nat 0); (da0, var da); (db0, var db) ]
+  in
+  (* father's announcement: at least one child is muddy *)
+  let prog =
+    Program.make sp ~name:"muddy_children"
+      ~init:
+        ((var ma ||| var mb) &&& not_ (var da) &&& not_ (var db)
+        &&& not_ (var da0) &&& not_ (var db0)
+        &&& (var phase === nat 0) &&& (var round === nat 0))
+      ~processes:[ alice; bob ]
+      [ step_a; step_b; next_round ]
+  in
+  Format.printf "%a@.@." Program.pp prog;
+
+  let m = Space.manager sp in
+  let bp e = Expr.compile_bool sp e in
+  let k_a p = Knowledge.knows_in prog "A" p in
+  let k_b p = Knowledge.knows_in prog "B" p in
+
+  (* (a) epistemic soundness: declarations are knowledge *)
+  let sound_a = Program.invariant prog (Bdd.imp m (bp (var da)) (k_a (bp (var ma)))) in
+  let sound_b = Program.invariant prog (Bdd.imp m (bp (var db)) (k_b (bp (var mb)))) in
+  Format.printf "declared_a ⇒ K_A(muddy_a) : %b@." sound_a;
+  Format.printf "declared_b ⇒ K_B(muddy_b) : %b@.@." sound_b;
+
+  (* (b) silence is informative: both muddy, round 1 reached, nobody has
+     declared — now Alice KNOWS she is muddy, although she still cannot
+     see her own forehead. *)
+  let silent_round1 =
+    bp (var ma &&& var mb &&& (var round >== nat 1) &&& not_ (var da) &&& not_ (var db))
+  in
+  let knows_after_silence =
+    Bdd.implies m
+      (Bdd.and_ m (Kpt_unity.Program.si prog) silent_round1)
+      (k_a (bp (var ma)))
+  in
+  Format.printf "after a silent round, K_A(muddy_a) holds : %b@.@." knows_after_silence;
+
+  (* …but in round 0 with both muddy, she does not know yet. *)
+  let early = bp (var ma &&& var mb &&& (var round === nat 0) &&& (var phase === nat 0)) in
+  let too_early =
+    Bdd.is_false
+      (Bdd.conj m [ Kpt_unity.Program.si prog; early; k_a (bp (var ma)) ])
+  in
+  Format.printf "in round 0 (both muddy) K_A(muddy_a) is false : %b@.@." too_early;
+
+  (* (c) liveness: every muddy child eventually declares *)
+  let live_a = Kpt_logic.Props.leads_to prog (bp (var ma)) (bp (var da)) in
+  let live_b = Kpt_logic.Props.leads_to prog (bp (var mb)) (bp (var db)) in
+  Format.printf "muddy_a ↦ declared_a : %b@." live_a;
+  Format.printf "muddy_b ↦ declared_b : %b@." live_b;
+
+  (* epistemic completeness: only truly muddy children declare *)
+  let honest =
+    Program.invariant prog
+      (Bdd.and_ m (Bdd.imp m (bp (var da)) (bp (var ma))) (Bdd.imp m (bp (var db)) (bp (var mb))))
+  in
+  Format.printf "declarations are truthful : %b@." honest

@@ -1,0 +1,117 @@
+(* A token ring through the knowledge lens.
+   Run with:  dune exec examples/token_ring.exe
+
+   Three processes pass a token; only the holder may enter its critical
+   section.  Each process sees ONLY its own token flag and critical flag —
+   so "holding the token" is exactly the knowledge that nobody else is
+   critical: the token is a knowledge-carrying artifact.
+
+   The example also shows a sharp edge of UNITY's statement-level
+   fairness: with a naive "pass whenever idle" rule the scheduler can
+   always offer the pass statement at the wrong moments, so the token
+   need not circulate; a served-flag handshake repairs it.  Both facts
+   are checked, not asserted. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+let n = 3
+
+let build ~with_handshake =
+  let sp = Space.create () in
+  let has = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "has%d" i)) in
+  let crit = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "crit%d" i)) in
+  let served = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "served%d" i)) in
+  let open Expr in
+  let stmts =
+    List.concat
+      (List.init n (fun i ->
+           let next = (i + 1) mod n in
+           [
+             Stmt.make
+               ~name:(Printf.sprintf "enter%d" i)
+               ~guard:
+                 (var has.(i) &&& not_ (var crit.(i))
+                 &&& if with_handshake then not_ (var served.(i)) else tru)
+               [ (crit.(i), tru) ];
+             Stmt.make
+               ~name:(Printf.sprintf "leave%d" i)
+               ~guard:(var crit.(i))
+               [ (crit.(i), fls); (served.(i), tru) ];
+             Stmt.make
+               ~name:(Printf.sprintf "pass%d" i)
+               ~guard:
+                 (var has.(i) &&& not_ (var crit.(i))
+                 &&& if with_handshake then var served.(i) else tru)
+               [ (has.(i), fls); (has.(next), tru); (served.(i), fls) ];
+           ]))
+  in
+  let init =
+    conj
+      (var has.(0)
+      :: List.init (n - 1) (fun i -> not_ (var has.(i + 1)))
+      @ List.init n (fun i -> not_ (var crit.(i)))
+      @ List.init n (fun i -> not_ (var served.(i))))
+  in
+  let processes =
+    List.init n (fun i ->
+        Process.make (Printf.sprintf "P%d" i) [ has.(i); crit.(i); served.(i) ])
+  in
+  let prog =
+    Program.make sp
+      ~name:(if with_handshake then "token_ring" else "token_ring_naive")
+      ~init ~processes stmts
+  in
+  (sp, has, crit, prog)
+
+let () =
+  let sp, has, crit, prog = build ~with_handshake:true in
+  Format.printf "%a@.@." Program.pp prog;
+  let m = Space.manager sp in
+  let bp e = Expr.compile_bool sp e in
+  let open Expr in
+  (* safety: mutual exclusion, and exactly one token *)
+  let mutex =
+    conj
+      (List.concat
+         (List.init n (fun i ->
+              List.init n (fun j ->
+                  if i < j then not_ (var crit.(i) &&& var crit.(j)) else tru))))
+  in
+  Format.printf "mutual exclusion invariant          : %b@." (Program.invariant prog (bp mutex));
+  let one_token =
+    disj
+      (List.init n (fun i ->
+           conj
+             (List.init n (fun j ->
+                  if i = j then var has.(j) else not_ (var has.(j))))))
+  in
+  Format.printf "exactly one token invariant         : %b@.@."
+    (Program.invariant prog (bp one_token));
+
+  (* the knowledge reading: holding the token IS knowing you are alone *)
+  let nobody_else i =
+    conj (List.init n (fun j -> if j = i then tru else not_ (var crit.(j))))
+  in
+  let k0_alone = Knowledge.knows_in prog "P0" (bp (nobody_else 0)) in
+  Format.printf "has₀ ⇒ K₀(no other is critical)     : %b@."
+    (Program.invariant prog (Bdd.imp m (bp (var has.(0))) k0_alone));
+  Format.printf "¬has₀ ∧ ¬K₀(...) somewhere reachable: %b   (without the token, no such knowledge)@.@."
+    (not
+       (Bdd.is_false
+          (Bdd.conj m [ Program.si prog; Bdd.not_ m (bp (var has.(0))); Bdd.not_ m k0_alone ])));
+
+  (* liveness: with the handshake the token circulates and everyone gets in *)
+  List.iter
+    (fun i ->
+      Format.printf "true ↦ crit%d (handshake ring)       : %b@." i
+        (Kpt_logic.Props.leads_to prog (Bdd.tru m) (bp (var crit.(i)))))
+    (List.init n Fun.id);
+
+  (* ... but the naive ring is NOT live under statement-level fairness *)
+  let sp', has', _, naive = build ~with_handshake:false in
+  let bp' e = Expr.compile_bool sp' e in
+  Format.printf "@.naive ring: true ↦ has₁             : %b   (fair scheduler can starve the pass)@."
+    (Kpt_logic.Props.leads_to naive (Bdd.tru (Space.manager sp')) (bp' (Expr.var has'.(1))));
+  ignore has

@@ -1,0 +1,1 @@
+lib/core/junctivity.ml: Array Bdd Kpt_predicate List Pred Space

@@ -1,0 +1,1 @@
+lib/core/junctivity.mli: Bdd Kpt_predicate Random Space

@@ -1,0 +1,1 @@
+lib/core/kbp.ml: Array Bdd Expr Format Hashtbl Kform Kpt_predicate Kpt_unity List Logs Pred Printf Process Program Queue Space Stmt

@@ -1,0 +1,1 @@
+lib/core/kbp.mli: Bdd Expr Format Kform Kpt_predicate Kpt_unity Process Program Space

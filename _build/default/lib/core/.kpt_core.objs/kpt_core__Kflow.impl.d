@@ -1,0 +1,1 @@
+lib/core/kflow.ml: Bdd Knowledge Kpt_predicate Kpt_unity List Program Space Stmt

@@ -1,0 +1,1 @@
+lib/core/kflow.mli: Bdd Kpt_predicate Kpt_unity Program Stmt

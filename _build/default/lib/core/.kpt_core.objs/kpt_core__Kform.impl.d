@@ -1,0 +1,1 @@
+lib/core/kform.ml: Bdd Expr Format Knowledge Kpt_predicate Kpt_unity List Space String

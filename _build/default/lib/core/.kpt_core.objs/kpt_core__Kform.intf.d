@@ -1,0 +1,1 @@
+lib/core/kform.mli: Bdd Expr Format Kpt_predicate Kpt_unity Process Space

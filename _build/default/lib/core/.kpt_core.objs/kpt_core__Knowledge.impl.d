@@ -1,0 +1,1 @@
+lib/core/knowledge.ml: Bdd Kpt_predicate Kpt_unity List Pred Process Program Space Wcyl

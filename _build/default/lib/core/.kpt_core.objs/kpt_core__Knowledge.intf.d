@@ -1,0 +1,1 @@
+lib/core/knowledge.mli: Bdd Kpt_predicate Kpt_unity Process Program Space

@@ -1,0 +1,1 @@
+lib/core/wcyl.ml: Kpt_predicate Pred

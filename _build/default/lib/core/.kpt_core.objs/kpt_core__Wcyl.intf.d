@@ -1,0 +1,1 @@
+lib/core/wcyl.mli: Bdd Kpt_predicate Space

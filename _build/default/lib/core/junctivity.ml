@@ -1,0 +1,111 @@
+open Kpt_predicate
+
+type failure = { inputs : Bdd.t list; note : string }
+
+(* A pool of predicates to probe with: random ones, their pairwise meets
+   and joins (so ⇒-related pairs are guaranteed to occur), plus the
+   constants. *)
+let pool sp rng samples =
+  let m = Space.manager sp in
+  let randoms = List.init samples (fun _ -> Pred.random rng sp) in
+  let derived =
+    List.concat_map
+      (fun p -> List.concat_map (fun q -> [ Bdd.and_ m p q; Bdd.or_ m p q ]) randoms)
+      randoms
+  in
+  Bdd.tru m :: Bdd.fls m :: (randoms @ derived)
+
+let monotonic sp f ?(samples = 6) rng =
+  let ps = pool sp rng samples in
+  let rec search = function
+    | [] -> None
+    | p :: rest ->
+        let bad =
+          List.find_opt
+            (fun q -> Pred.holds_implies sp p q && not (Pred.holds_implies sp (f p) (f q)))
+            ps
+        in
+        (match bad with
+        | Some q -> Some { inputs = [ p; q ]; note = "p ⇒ q but ¬(f.p ⇒ f.q)" }
+        | None -> search rest)
+  in
+  search ps
+
+let universally_conjunctive sp f ?(samples = 6) rng =
+  let m = Space.manager sp in
+  let ps = Array.of_list (pool sp rng samples) in
+  let n = Array.length ps in
+  let check family =
+    let lhs = Bdd.conj m (List.map f family) in
+    let rhs = f (Bdd.conj m family) in
+    if Pred.equivalent sp lhs rhs then None
+    else Some { inputs = family; note = "⋀ f.vᵢ ≠ f.(⋀ vᵢ)" }
+  in
+  (* empty family: ⋀ over ∅ is true on both sides *)
+  match check [] with
+  | Some w -> Some w
+  | None ->
+      let found = ref None in
+      (try
+         for i = 0 to n - 1 do
+           for j = i to n - 1 do
+             match check [ ps.(i); ps.(j) ] with
+             | Some w ->
+                 found := Some w;
+                 raise Exit
+             | None -> ()
+           done
+         done;
+         for i = 0 to min 4 (n - 1) do
+           for j = 0 to min 4 (n - 1) do
+             for l = 0 to min 4 (n - 1) do
+               match check [ ps.(i); ps.(j); ps.(l) ] with
+               | Some w ->
+                   found := Some w;
+                   raise Exit
+               | None -> ()
+             done
+           done
+         done
+       with Exit -> ());
+      !found
+
+let finitely_disjunctive sp f ?(samples = 6) rng =
+  let m = Space.manager sp in
+  let ps = Array.of_list (pool sp rng samples) in
+  let n = Array.length ps in
+  let found = ref None in
+  (try
+     for i = 0 to n - 1 do
+       for j = i to n - 1 do
+         let p = ps.(i) and q = ps.(j) in
+         let lhs = Bdd.or_ m (f p) (f q) in
+         let rhs = f (Bdd.or_ m p q) in
+         if not (Pred.equivalent sp lhs rhs) then begin
+           found := Some { inputs = [ p; q ]; note = "f.p ∨ f.q ≠ f.(p ∨ q)" };
+           raise Exit
+         end
+       done
+     done
+   with Exit -> ());
+  !found
+
+let and_over_chain_continuous sp f ?(samples = 6) rng =
+  let m = Space.manager sp in
+  let found = ref None in
+  (try
+     for _ = 1 to samples do
+       (* build a random ⇒-chain v₀ ⇒ v₁ ⇒ v₂ by successive joins *)
+       let v0 = Pred.random rng sp in
+       let v1 = Bdd.or_ m v0 (Pred.random rng sp) in
+       let v2 = Bdd.or_ m v1 (Pred.random rng sp) in
+       let chain = [ v0; v1; v2 ] in
+       let lhs = Bdd.disj m (List.map f chain) in
+       let rhs = f (Bdd.disj m chain) in
+       if not (Pred.equivalent sp lhs rhs) then begin
+         found := Some { inputs = chain; note = "(∃i :: f.vᵢ) ≠ f.(∃i :: vᵢ)" };
+         raise Exit
+       end
+     done
+   with Exit -> ());
+  !found

@@ -1,0 +1,36 @@
+(** Junctivity testers (§2): decide, for a predicate transformer on a
+    {e small} space, the properties the paper's theory turns on —
+    monotonicity, universal conjunctivity, finite disjunctivity,
+    or-continuity — and produce counterexample witnesses.
+
+    On a finite space, or-continuity of a monotonic transformer reduces
+    to finite disjunctivity over chains; we test junctivity over random
+    and exhaustive predicate families.  These testers are what turns the
+    paper's central negative results (non-monotonicity of [ŜP], eq. 12's
+    failure of disjunctivity for [wcyl]/[K_i]) into executable checks. *)
+
+open Kpt_predicate
+
+type failure = { inputs : Bdd.t list; note : string }
+(** A witness family on which the property fails. *)
+
+val monotonic :
+  Space.t -> (Bdd.t -> Bdd.t) -> ?samples:int -> Random.State.t -> failure option
+(** Search for [p ⇒ q] with [¬(f.p ⇒ f.q)].  [None] = no counterexample
+    found (exhaustive over pairs drawn from [samples] random predicates
+    plus their meets/joins). *)
+
+val universally_conjunctive :
+  Space.t -> (Bdd.t -> Bdd.t) -> ?samples:int -> Random.State.t -> failure option
+(** Search for a finite family with [⋀ f.vᵢ ≠ f.(⋀ vᵢ)] (families of
+    size 0, 2 and 3 are tried; universal conjunctivity over a finite
+    space follows from these plus monotonicity). *)
+
+val finitely_disjunctive :
+  Space.t -> (Bdd.t -> Bdd.t) -> ?samples:int -> Random.State.t -> failure option
+(** Search for [f.p ∨ f.q ≠ f.(p ∨ q)]. *)
+
+val and_over_chain_continuous :
+  Space.t -> (Bdd.t -> Bdd.t) -> ?samples:int -> Random.State.t -> failure option
+(** Or-continuity witness search: a ⇒-chain [v₀ ⇒ v₁ ⇒ …] with
+    [(∃i :: f.vᵢ) ≠ f.(∃i :: vᵢ)]. *)

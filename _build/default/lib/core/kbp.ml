@@ -1,0 +1,196 @@
+open Kpt_predicate
+open Kpt_unity
+
+type kstmt = {
+  kname : string;
+  kguard : Kform.t;
+  kassigns : (Space.var * Expr.t) list;
+}
+
+type t = {
+  space : Space.t;
+  name : string;
+  init : Bdd.t;
+  processes : Process.t list;
+  kstmts : kstmt list;
+}
+
+exception Ill_formed of string
+
+let log_src = Logs.Src.create "kpt.kbp" ~doc:"knowledge-based protocol solvers"
+
+module Log = (val Logs.src_log log_src)
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let kstmt ~name ~guard assigns = { kname = name; kguard = guard; kassigns = assigns }
+
+let make space ~name ~init ~processes kstmts =
+  if kstmts = [] then ill_formed "kbp %s: empty statement list" name;
+  let known = List.map Process.name processes in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun pname ->
+          if not (List.mem pname known) then
+            ill_formed "kbp %s: statement %s mentions unknown process %s" name s.kname pname)
+        (Kform.processes_of s.kguard);
+      (* reuse the standard statement validation for targets and sorts *)
+      try ignore (Stmt.make ~name:s.kname s.kassigns)
+      with Stmt.Ill_formed msg -> ill_formed "kbp %s: %s" name msg)
+    kstmts;
+  let init_pred = Pred.normalize space (Expr.compile_bool space init) in
+  if Bdd.is_false init_pred then ill_formed "kbp %s: unsatisfiable initial condition" name;
+  { space; name; init = init_pred; processes; kstmts }
+
+let space k = k.space
+let name k = k.name
+let init k = k.init
+let processes k = k.processes
+let kstmts k = k.kstmts
+let is_standard k = List.for_all (fun s -> Kform.is_standard s.kguard) k.kstmts
+
+let lookup_process k pname =
+  try List.find (fun p -> Process.name p = pname) k.processes
+  with Not_found -> ill_formed "kbp %s: unknown process %s" k.name pname
+
+let to_standard_program k =
+  if not (List.for_all (fun s -> Kform.is_standard s.kguard) k.kstmts) then
+    ill_formed "kbp %s: knowledge guards present; use instantiate" k.name;
+  let stmts =
+    List.map
+      (fun s ->
+        let g = Kform.compile k.space ~lookup:(lookup_process k) ~si:(Bdd.tru (Space.manager k.space)) s.kguard in
+        Stmt.with_guard_pred (Stmt.make ~name:s.kname s.kassigns) g)
+      k.kstmts
+  in
+  Program.make_with_init_pred k.space ~name:k.name ~init:k.init ~processes:k.processes stmts
+
+let instantiate k ~si =
+  let stmts =
+    List.map
+      (fun s ->
+        let g = Kform.compile k.space ~lookup:(lookup_process k) ~si s.kguard in
+        Stmt.with_guard_pred (Stmt.make ~name:s.kname s.kassigns) g)
+      k.kstmts
+  in
+  Program.make_with_init_pred k.space ~name:k.name ~init:k.init ~processes:k.processes stmts
+
+let g_operator k x = Pred.normalize k.space (Program.si (instantiate k ~si:x))
+
+(* Over-approximation of every state any solution can contain: closure of
+   the initial states under unconditional statement bodies.  States whose
+   unconditional execution is ill-formed contribute no transition (the
+   genuine guard would have to be false there in any legal instantiation). *)
+let universe k =
+  let sp = k.space in
+  let stmts = List.map (fun s -> Stmt.make ~name:s.kname s.kassigns) k.kstmts in
+  let vars = Array.of_list (Space.vars sp) in
+  let code st =
+    let c = ref 0 in
+    Array.iteri (fun i v -> c := (!c * Space.card v) + st.(i)) vars;
+    !c
+  in
+  let seen = Hashtbl.create 64 in
+  let queue = Queue.create () in
+  let push st =
+    if not (Hashtbl.mem seen (code st)) then begin
+      Hashtbl.add seen (code st) (Array.copy st);
+      Queue.add (Array.copy st) queue
+    end
+  in
+  List.iter push (Space.states_of sp k.init);
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter
+      (fun s -> match Stmt.exec sp s st with st' -> push st' | exception Stmt.Ill_formed _ -> ())
+      stmts
+  done;
+  Hashtbl.fold (fun _ st acc -> st :: acc) seen []
+
+let solutions ?(max_states = 22) k =
+  let sp = k.space in
+  let m = Space.manager sp in
+  let init_states = Space.states_of sp k.init in
+  let init_codes =
+    List.map (fun st -> Array.to_list st) init_states
+  in
+  let free =
+    List.filter (fun st -> not (List.mem (Array.to_list st) init_codes)) (universe k)
+  in
+  let nfree = List.length free in
+  Log.debug (fun f ->
+      f "solutions: %d initial states, %d free candidate states (2^%d candidates)"
+        (List.length init_states) nfree nfree);
+  if nfree > max_states then
+    invalid_arg
+      (Printf.sprintf "Kbp.solutions: %d free candidate states exceed the 2^%d budget" nfree
+         max_states);
+  let free = Array.of_list free in
+  let base = Bdd.disj m (List.map (Space.pred_of_state sp) init_states) in
+  let found = ref [] in
+  for mask = 0 to (1 lsl nfree) - 1 do
+    let x = ref base in
+    for b = 0 to nfree - 1 do
+      if (mask lsr b) land 1 = 1 then x := Bdd.or_ m !x (Space.pred_of_state sp free.(b))
+    done;
+    let candidate = Pred.normalize sp !x in
+    match g_operator k candidate with
+    | gx -> if Bdd.equal gx candidate then found := candidate :: !found
+    | exception Program.Ill_formed _ -> ()
+  done;
+  List.sort
+    (fun a b -> compare (Space.count_states_of sp a) (Space.count_states_of sp b))
+    !found
+
+let strongest_solution ?max_states k =
+  let sols = solutions ?max_states k in
+  let sp = k.space in
+  List.find_opt (fun x -> List.for_all (fun y -> Pred.holds_implies sp x y) sols) sols
+
+type iteration_outcome = Converged of Bdd.t * int | Cycle of Bdd.t list
+
+let iterate ?(max_steps = 10_000) k =
+  let sp = k.space in
+  let seen = Hashtbl.create 64 in
+  let rec go x steps trail =
+    if steps > max_steps then invalid_arg "Kbp.iterate: step budget exhausted";
+    let x' = g_operator k x in
+    Log.debug (fun f ->
+        f "iterate step %d: candidate has %d states" steps (Space.count_states_of sp x'));
+    if Bdd.equal x' x then Converged (x, steps)
+    else if Hashtbl.mem seen (Bdd.uid x') then begin
+      (* [trail] is newest-first; the orbit runs from the previous
+         occurrence of x' through the newest element (and back to x'). *)
+      let rec upto acc = function
+        | [] -> acc
+        | y :: rest -> if Bdd.equal y x' then y :: acc else upto (y :: acc) rest
+      in
+      Cycle (upto [] trail)
+    end
+    else begin
+      Hashtbl.add seen (Bdd.uid x') ();
+      go x' (steps + 1) (x' :: trail)
+    end
+  in
+  let x0 = Pred.normalize sp k.init in
+  Hashtbl.add seen (Bdd.uid x0) ();
+  go x0 0 [ x0 ]
+
+let pp fmt k =
+  Format.fprintf fmt "@[<v 2>knowledge-based protocol %s@," k.name;
+  Format.fprintf fmt "processes ";
+  Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ") Process.pp fmt
+    k.processes;
+  Format.fprintf fmt "@,assign@,";
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,⫿ ")
+    (fun fmt s ->
+      let pp_assign fmt (v, rhs) =
+        Format.fprintf fmt "%s := %a" (Space.name v) Expr.pp rhs
+      in
+      Format.fprintf fmt "@[<hov 2>%s:@ %a@ if %a@]" s.kname
+        (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ∥@ ") pp_assign)
+        s.kassigns Kform.pp s.kguard)
+    fmt k.kstmts;
+  Format.fprintf fmt "@]"

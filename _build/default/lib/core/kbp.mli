@@ -1,0 +1,92 @@
+(** Knowledge-based protocols (§4): UNITY programs whose guards are
+    knowledge formulas.
+
+    A KBP does not directly denote a set of runs: its [SP] depends on the
+    strongest invariant [SI], which depends on [SP] (eq. 25).  Following
+    the paper we take a {e solution} of the KBP to be a predicate [X] such
+    that instantiating every knowledge guard at [SI := X] yields a
+    standard program whose strongest invariant is [X] itself — a fixpoint
+    of the operator [Ĝ(X) = sst_{P[X]}.init].
+
+    Because [ŜP] is not monotonic (§4), a KBP may have {e no} solution
+    (Figure 1), several, and its solutions are not monotonic in the
+    initial condition (Figure 2).  {!solutions} decides all of this
+    exactly on small spaces by exhaustive enumeration over candidate
+    invariants; {!iterate} is the cheap heuristic that finds the fixpoint
+    when chaotic iteration happens to converge, and exhibits the cycle
+    that witnesses non-existence when it does not. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type kstmt = {
+  kname : string;
+  kguard : Kform.t;
+  kassigns : (Space.var * Expr.t) list;
+}
+
+type t
+
+exception Ill_formed of string
+
+val kstmt : name:string -> guard:Kform.t -> (Space.var * Expr.t) list -> kstmt
+
+val make :
+  Space.t ->
+  name:string ->
+  init:Expr.t ->
+  processes:Process.t list ->
+  kstmt list ->
+  t
+(** Build a KBP.  Every process named in a guard's [K] must appear in
+    [processes]; sorts are checked as for standard statements.
+    @raise Ill_formed otherwise. *)
+
+val space : t -> Space.t
+val name : t -> string
+val init : t -> Bdd.t
+val processes : t -> Process.t list
+val kstmts : t -> kstmt list
+
+val is_standard : t -> bool
+(** True iff no guard mentions knowledge: the KBP is an ordinary program. *)
+
+val to_standard_program : t -> Program.t
+(** For a KBP with no knowledge guards: the ordinary UNITY program it
+    denotes.  @raise Ill_formed if some guard mentions knowledge. *)
+
+val instantiate : t -> si:Bdd.t -> Program.t
+(** The standard program obtained by replacing every knowledge guard by
+    its value at the candidate invariant (§4).
+    @raise Program.Ill_formed on a totality violation — an instantiation
+    can be illegal for some candidates. *)
+
+val g_operator : t -> Bdd.t -> Bdd.t
+(** [Ĝ(X) = sst_{P[X]}.init] — the operator whose fixpoints are the
+    solutions of eq. 25. *)
+
+val solutions : ?max_states:int -> t -> Bdd.t list
+(** All solutions, by exhaustive enumeration of candidate invariants over
+    an over-approximation of the universe of ever-reachable states.
+    Results are normalised predicates, strongest first (by state count).
+    @raise Invalid_argument if the candidate space exceeds [2^max_states]
+    (default [max_states = 22]). *)
+
+val strongest_solution : ?max_states:int -> t -> Bdd.t option
+(** The solution implied by every other solution, if one exists — the
+    paper's [SI] when the KBP is well-posed with a unique strongest
+    fixpoint. *)
+
+type iteration_outcome =
+  | Converged of Bdd.t * int  (** fixpoint and number of steps *)
+  | Cycle of Bdd.t list       (** the orbit of a non-trivial cycle *)
+
+val iterate : ?max_steps:int -> t -> iteration_outcome
+(** Chaotic iteration [X₀ = init-closure-candidate, X_{k+1} = Ĝ(X_k)]
+    with cycle detection.  A [Converged] result is a genuine solution; a
+    [Cycle] certifies that {e this iteration scheme} finds none (the
+    paper's Figure 1 behaviour).  @raise Invalid_argument if [max_steps]
+    is exhausted without repetition (cannot happen on finite spaces with
+    the default). *)
+
+val pp : Format.formatter -> t -> unit

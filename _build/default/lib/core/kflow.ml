@@ -1,0 +1,26 @@
+open Kpt_predicate
+open Kpt_unity
+
+let knows prog pname p = Knowledge.knows_in prog pname p
+
+let transition prog pname p s ~before ~after =
+  let space = Program.space prog in
+  let m = Space.manager space in
+  let k = knows prog pname p in
+  let pre = if before then k else Bdd.not_ m k in
+  let post = Stmt.wp space s (if after then k else Bdd.not_ m k) in
+  Bdd.conj m [ Program.si prog; pre; post ]
+
+let learns prog pname p s = transition prog pname p s ~before:false ~after:true
+let forgets prog pname p s = transition prog pname p s ~before:true ~after:false
+
+let knowledge_stable prog pname p =
+  List.for_all (fun s -> Bdd.is_false (forgets prog pname p s)) (Program.statements prog)
+
+let statements_where prog f =
+  List.filter_map
+    (fun s -> if Bdd.is_false (f s) then None else Some (Stmt.name s))
+    (Program.statements prog)
+
+let learning_statements prog pname p = statements_where prog (learns prog pname p)
+let forgetting_statements prog pname p = statements_where prog (forgets prog pname p)

@@ -1,0 +1,39 @@
+(** Knowledge dynamics: how processes {e learn} — and {e forget}.
+
+    §3 fixes the view to the projection of the {e current} state: "any
+    function of the process's history may be included in the state by
+    explicitly including appropriate history variables.  Thus it is
+    possible, in the same framework, to reason about programs where
+    processes must remember part or all of their history … and where
+    they do not."
+
+    The flip side is that without history variables knowledge is {e not}
+    monotone along runs: overwriting the register that carried the
+    evidence destroys the knowledge.  This module computes, per
+    statement, where knowledge is gained and where it is lost — the
+    state-based analogue of the [CM86] "how processes learn" analysis —
+    and the test-suite experiment shows a concrete case in the Figure-4
+    protocol: the sender {e forgets} [K_S(j ≥ k)] when a dropped ack
+    overwrites [z], while the receiver never forgets [K_R(x_k = α)]
+    because the delivered prefix [w] is precisely a history variable. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+val learns : Program.t -> string -> Bdd.t -> Stmt.t -> Bdd.t
+(** Reachable states where the process does not know [p] but will after
+    this statement executes. *)
+
+val forgets : Program.t -> string -> Bdd.t -> Stmt.t -> Bdd.t
+(** Reachable states where the process knows [p] and will not after this
+    statement executes.  Non-empty ⇔ no perfect recall for this fact. *)
+
+val knowledge_stable : Program.t -> string -> Bdd.t -> bool
+(** No statement ever destroys [K_i p] — the semantic version of the
+    paper's Kbp-3/Kbp-4 stability assumptions. *)
+
+val learning_statements : Program.t -> string -> Bdd.t -> string list
+(** Names of statements that can establish [K_i p] somewhere reachable. *)
+
+val forgetting_statements : Program.t -> string -> Bdd.t -> string list
+(** Names of statements that can destroy [K_i p] somewhere reachable. *)

@@ -1,0 +1,73 @@
+open Kpt_predicate
+open Kpt_unity
+
+type t =
+  | Base of Expr.t
+  | Knot of t
+  | Kand of t * t
+  | Kor of t * t
+  | Kimp of t * t
+  | K of string * t
+  | Ek of string list * t
+  | Ck of string list * t
+  | Dk of string list * t
+
+let base e = Base e
+let k name f = K (name, f)
+let ek group f = Ek (group, f)
+let ck group f = Ck (group, f)
+let dk group f = Dk (group, f)
+let knot f = Knot f
+let ( &&. ) a b = Kand (a, b)
+let ( ||. ) a b = Kor (a, b)
+let ( ==>. ) a b = Kimp (a, b)
+
+let rec is_standard = function
+  | Base _ -> true
+  | Knot f -> is_standard f
+  | Kand (a, b) | Kor (a, b) | Kimp (a, b) -> is_standard a && is_standard b
+  | K _ | Ek _ | Ck _ | Dk _ -> false
+
+let processes_of f =
+  let rec go acc = function
+    | Base _ -> acc
+    | Knot f -> go acc f
+    | Kand (a, b) | Kor (a, b) | Kimp (a, b) -> go (go acc a) b
+    | K (name, f) -> go (name :: acc) f
+    | Ek (group, f) | Ck (group, f) | Dk (group, f) -> go (group @ acc) f
+  in
+  List.sort_uniq compare (go [] f)
+
+let rec compile sp ~lookup ~si = function
+  | Base e -> Expr.compile_bool sp e
+  | Knot f -> Bdd.not_ (Space.manager sp) (compile sp ~lookup ~si f)
+  | Kand (a, b) ->
+      Bdd.and_ (Space.manager sp) (compile sp ~lookup ~si a) (compile sp ~lookup ~si b)
+  | Kor (a, b) ->
+      Bdd.or_ (Space.manager sp) (compile sp ~lookup ~si a) (compile sp ~lookup ~si b)
+  | Kimp (a, b) ->
+      Bdd.imp (Space.manager sp) (compile sp ~lookup ~si a) (compile sp ~lookup ~si b)
+  | K (name, f) -> Knowledge.knows sp ~si (lookup name) (compile sp ~lookup ~si f)
+  | Ek (group, f) ->
+      Knowledge.everyone_knows sp ~si (List.map lookup group) (compile sp ~lookup ~si f)
+  | Ck (group, f) ->
+      Knowledge.common_knowledge sp ~si (List.map lookup group) (compile sp ~lookup ~si f)
+  | Dk (group, f) ->
+      Knowledge.distributed_knowledge sp ~si (List.map lookup group) (compile sp ~lookup ~si f)
+
+let rec pp fmt = function
+  | Base e -> Expr.pp fmt e
+  | Knot f -> Format.fprintf fmt "¬%a" pp_atom f
+  | Kand (a, b) -> Format.fprintf fmt "%a ∧ %a" pp_atom a pp_atom b
+  | Kor (a, b) -> Format.fprintf fmt "%a ∨ %a" pp_atom a pp_atom b
+  | Kimp (a, b) -> Format.fprintf fmt "%a ⇒ %a" pp_atom a pp_atom b
+  | K (name, f) -> Format.fprintf fmt "K_%s%a" name pp_atom f
+  | Ek (group, f) -> Format.fprintf fmt "E_{%s}%a" (String.concat "," group) pp_atom f
+  | Ck (group, f) -> Format.fprintf fmt "C_{%s}%a" (String.concat "," group) pp_atom f
+  | Dk (group, f) -> Format.fprintf fmt "D_{%s}%a" (String.concat "," group) pp_atom f
+
+and pp_atom fmt f =
+  match f with
+  | Base (Expr.Cbool _ | Expr.Cint _ | Expr.Var _) | Knot _ | K _ | Ek _ | Ck _ | Dk _ ->
+      Format.fprintf fmt "%a" pp f
+  | _ -> Format.fprintf fmt "(%a)" pp f

@@ -1,0 +1,47 @@
+(** Knowledge formulas: the guard language of knowledge-based protocols
+    (§4).  A knowledge formula is a Boolean combination of ordinary
+    expressions and knowledge operators [K_i φ] (which may nest, as in the
+    sequence-transmission protocol's [K_S K_R x_k]).
+
+    A knowledge formula only denotes a predicate {e relative to a
+    strongest invariant}; [compile] performs that denotation.  This is
+    exactly the circularity of §4: the program's [SP] depends on [SI]
+    which depends on [SP]. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t =
+  | Base of Expr.t  (** an ordinary Boolean expression *)
+  | Knot of t
+  | Kand of t * t
+  | Kor of t * t
+  | Kimp of t * t
+  | K of string * t  (** [K process φ] *)
+  | Ek of string list * t  (** everyone in the group knows φ *)
+  | Ck of string list * t  (** common knowledge in the group (§3's extension) *)
+  | Dk of string list * t  (** distributed knowledge in the group *)
+
+val base : Expr.t -> t
+val k : string -> t -> t
+val ek : string list -> t -> t
+val ck : string list -> t -> t
+val dk : string list -> t -> t
+val knot : t -> t
+val ( &&. ) : t -> t -> t
+val ( ||. ) : t -> t -> t
+val ( ==>. ) : t -> t -> t
+
+val is_standard : t -> bool
+(** No [K] operator occurs: the formula is an ordinary guard. *)
+
+val processes_of : t -> string list
+(** Names of processes mentioned by [K] operators (sorted, unique). *)
+
+val compile :
+  Space.t -> lookup:(string -> Process.t) -> si:Bdd.t -> t -> Bdd.t
+(** Denote the formula as a predicate, evaluating every [K_i] with
+    {!Knowledge.knows} at the given candidate [SI].  Nested operators are
+    evaluated inside-out. *)
+
+val pp : Format.formatter -> t -> unit

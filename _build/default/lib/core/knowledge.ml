@@ -1,0 +1,31 @@
+open Kpt_predicate
+open Kpt_unity
+
+let knows sp ~si proc p =
+  let m = Space.manager sp in
+  let cyl = Wcyl.wcyl sp (Process.vars proc) (Bdd.imp m si p) in
+  Bdd.and_ m p (Bdd.or_ m cyl (Bdd.not_ m si))
+
+let knows_in prog pname p =
+  let proc = Program.find_process prog pname in
+  knows (Program.space prog) ~si:(Program.si prog) proc p
+
+let everyone_knows sp ~si group p =
+  let m = Space.manager sp in
+  Bdd.conj m (List.map (fun proc -> knows sp ~si proc p) group)
+
+let common_knowledge sp ~si group p =
+  let m = Space.manager sp in
+  let rec go x =
+    let x' = everyone_knows sp ~si group (Bdd.and_ m p x) in
+    if Bdd.equal (Pred.normalize sp x) (Pred.normalize sp x') then x' else go x'
+  in
+  go (Bdd.tru m)
+
+let distributed_knowledge sp ~si group p =
+  let pooled =
+    List.sort_uniq
+      (fun a b -> compare (Space.idx a) (Space.idx b))
+      (List.concat_map Process.vars group)
+  in
+  knows sp ~si (Process.make "⟨group⟩" pooled) p

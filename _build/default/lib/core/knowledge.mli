@@ -1,0 +1,37 @@
+(** The knowledge predicate transformer (§3).
+
+    [K_i p ≝ p ∧ (wcyl.vars_i.(SI ⇒ p) ∨ ¬SI)]    (eq. 13)
+
+    Process [i] knows [p] at a state iff [p] holds in every reachable
+    state (state of [SI]) that [i] cannot distinguish from it — i.e. that
+    agrees with it on [i]'s variables; on unreachable states [K_i p] is
+    defined to coincide with [p] (the paper's technical convenience).
+
+    The S5 laws (eqs. 14–18), the junctivity properties (19–22) and the
+    invariant correspondences (23–24) all hold of this definition and are
+    exercised in the test suite.
+
+    Extensions mentioned at the end of §3: everyone-knows [E_G],
+    common knowledge [C_G] (greatest fixpoint) and distributed knowledge
+    [D_G] (the group pools its variables). *)
+
+open Kpt_predicate
+open Kpt_unity
+
+val knows : Space.t -> si:Bdd.t -> Process.t -> Bdd.t -> Bdd.t
+(** [K_i p] with an explicit strongest invariant. *)
+
+val knows_in : Program.t -> string -> Bdd.t -> Bdd.t
+(** [K_i p] in a program, by process name, with [SI] computed from the
+    program.  @raise Not_found for an unknown process. *)
+
+val everyone_knows : Space.t -> si:Bdd.t -> Process.t list -> Bdd.t -> Bdd.t
+(** [E_G p = (∀i ∈ G :: K_i p)]. *)
+
+val common_knowledge : Space.t -> si:Bdd.t -> Process.t list -> Bdd.t -> Bdd.t
+(** [C_G p]: greatest fixpoint of [X ↦ E_G (p ∧ X)] — what everyone
+    knows, everyone knows everyone knows, … *)
+
+val distributed_knowledge : Space.t -> si:Bdd.t -> Process.t list -> Bdd.t -> Bdd.t
+(** [D_G p]: knowledge of the "virtual" process that can access the union
+    of the group's variables. *)

@@ -1,0 +1,4 @@
+open Kpt_predicate
+
+let wcyl sp v p = Pred.forall_vars sp (Pred.complement_vars sp v) p
+let is_cylinder sp v p = Pred.depends_only_on sp p v

@@ -1,0 +1,19 @@
+(** The weakest cylinder (§3, eq. 6):
+
+    [wcyl.V.p ≝ (∀ V̄ :: p)]
+
+    — the weakest predicate at most as strong as [p] which depends only on
+    the variables in [V] ([V̄] is the complement of [V] in the program
+    variables).  Properties 7–12 of the paper hold of this function and
+    are exercised in the test suite; notably [wcyl] is universally
+    conjunctive (11) but {e not} disjunctive (12). *)
+
+open Kpt_predicate
+
+val wcyl : Space.t -> Space.var list -> Bdd.t -> Bdd.t
+(** [wcyl sp v p]: quantify [p] universally over every variable outside
+    [v] (over type-correct values). *)
+
+val is_cylinder : Space.t -> Space.var list -> Bdd.t -> bool
+(** Does [p] depend only on the variables in [v]?  (Property 9's
+    precondition.) *)

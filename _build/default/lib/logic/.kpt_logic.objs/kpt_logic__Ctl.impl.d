@@ -1,0 +1,1 @@
+lib/logic/ctl.ml: Bdd Kpt_predicate Kpt_unity List Pred Program Props Space Stmt

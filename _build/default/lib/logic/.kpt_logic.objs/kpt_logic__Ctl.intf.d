@@ -1,0 +1,1 @@
+lib/logic/ctl.mli: Bdd Kpt_predicate Kpt_unity Program

@@ -1,0 +1,1 @@
+lib/logic/proof.ml: Bdd Format Kpt_predicate Kpt_unity List Pred Program Props Set Space Stmt String

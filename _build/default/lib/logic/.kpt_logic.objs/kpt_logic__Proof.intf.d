@@ -1,0 +1,1 @@
+lib/logic/proof.mli: Bdd Format Kpt_predicate Kpt_unity Program

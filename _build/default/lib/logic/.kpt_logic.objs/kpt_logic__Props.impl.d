@@ -1,0 +1,1 @@
+lib/logic/props.ml: Array Bdd Format Hashtbl Kpt_predicate Kpt_unity List Logs Pred Program Queue Space Stmt

@@ -1,0 +1,1 @@
+lib/logic/props.mli: Bdd Format Kpt_predicate Kpt_unity Program Space

@@ -1,0 +1,1 @@
+lib/logic/refine.ml: Array Bdd Hashtbl Kpt_predicate Kpt_unity List Program Queue Space Stmt

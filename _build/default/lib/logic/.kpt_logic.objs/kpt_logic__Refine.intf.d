@@ -1,0 +1,1 @@
+lib/logic/refine.mli: Bdd Kpt_predicate Kpt_unity Program Space

@@ -1,0 +1,196 @@
+(** LCF-style proof kernel for the UNITY logic.
+
+    A {!thm} can only be produced by the constructors below, each of
+    which is one of the paper's proof rules: the basic rules (eqs. 27–33),
+    checked by actual [wp] calculation on the program text, and the
+    metatheorems of appendix 8 (substitution, consequence weakening,
+    conjunction, cancellation, generalized disjunction, PSP) plus the
+    standard transitivity/disjunction/induction rules for [↦] used in §6.
+
+    {b Mixed specifications} (§5, [San90]): {!assume} introduces a named
+    property as a hypothesis.  Every theorem carries the set of assumption
+    names it (transitively) depends on, so a derivation over a
+    knowledge-based protocol — whose channel and stability properties
+    (Kbp-1..4) cannot be proved from the text — yields a theorem whose
+    assumption list is exactly the paper's "properties" section.  A
+    theorem with no assumptions is unconditionally valid for its program.
+
+    Soundness: each rule checks its side conditions semantically (on the
+    program's state space) and raises {!Rule_violation} if they fail, so
+    no invalid theorem can be built; validity of assumption-free theorems
+    is additionally cross-checked in the test suite against the
+    {!Props} model checker. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type judgment =
+  | Invariant of Bdd.t
+  | Unless of Bdd.t * Bdd.t
+  | Ensures of Bdd.t * Bdd.t
+  | Leadsto of Bdd.t * Bdd.t
+
+type thm
+
+exception Rule_violation of string
+
+val program : thm -> Program.t
+val judgment : thm -> judgment
+val assumptions : thm -> string list
+(** Names of hypotheses the theorem depends on, sorted, without
+    duplicates. *)
+
+val stable_judgment : Bdd.manager -> Bdd.t -> judgment
+(** [stable p] as sugar for [p unless false] (eq. 33). *)
+
+val pp : Format.formatter -> thm -> unit
+
+(** {1 Hypotheses (mixed specifications)} *)
+
+val assume : Program.t -> name:string -> judgment -> thm
+
+(** {1 Basic rules, checked against the program text} *)
+
+val unless_text : Program.t -> Bdd.t -> Bdd.t -> thm
+(** Eq. 27, discharged by [wp] calculation.
+    @raise Rule_violation if some statement falsifies it. *)
+
+val ensures_text : Program.t -> Bdd.t -> Bdd.t -> thm
+(** Eq. 28. *)
+
+val ensures_intro : thm -> thm
+(** Eq. 28 split as the paper uses it in §6 ("we used a metatheorem …
+    instead of proving the unless property directly from the text"): from
+    a previously derived [p unless q] — possibly resting on assumptions —
+    plus the {e existence} condition [(∃s :: [SI ⇒ ((p ∧ ¬q) ⇒ wp.s.q)])]
+    checked on the text, conclude [p ensures q]. *)
+
+val stable_text : Program.t -> Bdd.t -> thm
+(** Eq. 33. *)
+
+val invariant_text : ?using:thm -> Program.t -> Bdd.t -> thm
+(** Rule 32: from [invariant I] (default [true]) conclude [invariant p]
+    when [[init ⇒ p]] and [(∀s :: [(p ∧ I) ⇒ wp.s.p])]. *)
+
+val invariant_from_stable : thm -> thm
+(** From [stable p] (i.e. [p unless false]) and [[init ⇒ p]] conclude
+    [invariant p] — how the paper closes the unless-chains of §6.2
+    ("…unless false", then "initially …"). *)
+
+(** {1 Leads-to introduction and composition} *)
+
+val ensures_leadsto : thm -> thm
+(** Rule 29. *)
+
+val leadsto_trans : thm -> thm -> thm
+(** Rule 30. *)
+
+val leadsto_disj : thm list -> thm
+(** Rule 31 (finite form): from [p.m ↦ q] for every [m] conclude
+    [(∃m :: p.m) ↦ q].  All premises must share [q]. *)
+
+val leadsto_implication : ?using:thm -> Program.t -> Bdd.t -> Bdd.t -> thm
+(** The "leads-to implication" step used throughout §6: if
+    [invariant I] and [[I ⇒ (p ⇒ q)]] then [p ↦ q]
+    (an [ensures] whose [p ∧ ¬q] is unreachable). *)
+
+val leadsto_induction : (int -> thm) -> metric:(int -> Bdd.t) -> bound:int -> q:Bdd.t -> thm
+(** Well-founded induction over a bounded natural metric: from
+    [∀k ≤ bound : (p.k = metric k) ↦ (∃k' < k : metric k') ∨ q]
+    conclude [(∃k ≤ bound : metric k) ↦ q].  The [k]-th premise must have
+    the shape [metric k ↦ (metric 0 ∨ … ∨ metric (k-1) ∨ q)] up to
+    semantic equivalence. *)
+
+val conj_invariant : thm list -> thm
+(** From [invariant Iₖ] for each premise conclude [invariant (⋀ Iₖ)]
+    (invariants are closed under conjunction). *)
+
+val weaken_invariant : thm -> Bdd.t -> thm
+(** From [invariant I] and [[I ⇒ p]] conclude [invariant p]. *)
+
+val leadsto_model_checked : Program.t -> Bdd.t -> Bdd.t -> thm
+(** Reflection rule: invoke the sound-and-complete finite-state fair
+    leads-to decision procedure ({!Props.leads_to}) and admit [p ↦ q] if
+    it holds.  By the relative completeness of the UNITY proof system
+    over finite spaces this derives nothing the inference rules cannot,
+    but it spares boilerplate [ensures] chains for environment
+    properties (the St-3/St-4 channel obligations of §6.3).
+    @raise Rule_violation if the property fails. *)
+
+(** {1 Metatheorems (appendix 8)} *)
+
+val substitution : thm -> thm -> judgment -> thm
+(** Appendix 8.1: rewrite a judgment under a proven invariant.  From
+    [invariant I] (first argument) and a theorem [J], conclude any
+    judgment [J'] of the same kind whose predicates agree with [J]'s
+    wherever [I] holds. *)
+
+val weaken_unless : thm -> Bdd.t -> thm
+(** Appendix 8.2 for [unless]: from [p unless q] and [[q ⇒ r]] conclude
+    [p unless r]. *)
+
+val weaken_leadsto : thm -> Bdd.t -> thm
+(** Appendix 8.2 for [↦]: from [p ↦ q] and [[q ⇒ r]] conclude [p ↦ r]. *)
+
+val strengthen_leadsto : Bdd.t -> thm -> thm
+(** Antecedent strengthening: from [[p' ⇒ p]] and [p ↦ q] conclude
+    [p' ↦ q] (derived: implication + transitivity). *)
+
+val conj_unless_simple : thm -> thm -> thm
+(** Appendix 8.3 first form: from [p unless q] and [p' unless q']
+    conclude [(p ∧ p') unless (q ∨ q')]. *)
+
+val conj_unless : thm -> thm -> thm
+(** Appendix 8.3 second form: from [p unless q] and [p' unless q']
+    conclude [(p ∧ p') unless ((p ∧ q') ∨ (p' ∧ q) ∨ (q ∧ q'))]. *)
+
+val cancellation : thm -> thm -> thm
+(** Appendix 8.4: from [p unless q] and [q unless r] conclude
+    [(p ∨ q) unless r]. *)
+
+val general_disjunction : thm list -> thm
+(** Appendix 8.5 (finite form): from [p.i unless q.i] conclude
+    [(∃i :: p.i) unless (∀i :: ¬p.i ∨ q.i) ∧ (∃i :: q.i)]. *)
+
+val psp : thm -> thm -> thm
+(** Appendix 8.6: from [p ↦ q] and [r unless b] conclude
+    [(p ∧ r) ↦ ((q ∧ r) ∨ b)]. *)
+
+val psp_stable : thm -> thm -> thm
+(** The PSP corollary for stable contexts: from [p ↦ q] and [stable r]
+    conclude [(p ∧ r) ↦ (q ∧ r)] — the form used repeatedly in §6.2. *)
+
+val completion : (thm * thm) list -> thm
+(** The Chandy–Misra completion theorem (finite form): from pairs
+    [(p.i ↦ q.i ∨ b,  q.i unless b)] conclude
+    [(⋀i p.i) ↦ (⋀i q.i) ∨ b].  All premises must share [b]. *)
+
+(** {1 Derivations}
+
+    Every theorem records the rule that built it and its premise theorems,
+    so a finished proof can be rendered as the paper's calculational
+    derivations and audited. *)
+
+val rule : thm -> string
+(** Name of the rule that concluded this theorem (e.g. ["PSP (8.6)"]). *)
+
+val premises : thm -> thm list
+
+val pp_derivation : Format.formatter -> thm -> unit
+(** Indented derivation tree; predicates abbreviated by their state
+    counts. *)
+
+val derivation_size : thm -> int
+(** Total number of rule applications in the tree. *)
+
+val rules_used : thm -> string list
+(** Sorted, de-duplicated rule names appearing in the derivation. *)
+
+(** {1 Semantic escape hatch for tests} *)
+
+val check : thm -> bool
+(** Re-check the conclusion with the {!Props} model checker {e assuming
+    nothing}: true iff the judgment holds semantically of the program.
+    For theorems with assumptions this may legitimately return false on
+    programs where the assumptions fail; it must return true whenever
+    [assumptions t = []]. *)

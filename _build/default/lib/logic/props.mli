@@ -1,0 +1,70 @@
+(** Semantic checkers for the UNITY specification language (§5).
+
+    These decide, exactly, whether a finite-state program satisfies
+    [unless] / [ensures] / [stable] / [invariant] (eqs. 27–33) and the
+    fair [↦] (leads-to).  [unless] and [ensures] are literal
+    transcriptions of the proof rules (which are sound and complete for
+    them); leads-to is decided against the run semantics — every
+    unconditionally-fair execution from a reachable [p]-state reaches
+    [q] — by the "fair rounds" greatest fixpoint, which coincides with
+    derivability in the UNITY proof system on finite spaces. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t =
+  | Invariant of Bdd.t
+  | Stable of Bdd.t
+  | Unless of Bdd.t * Bdd.t
+  | Ensures of Bdd.t * Bdd.t
+  | Leadsto of Bdd.t * Bdd.t
+
+val unless : Program.t -> Bdd.t -> Bdd.t -> bool
+(** Eq. 27: [(∀s :: [SI ⇒ ((p ∧ ¬q) ⇒ wp.s.(p ∨ q))])]. *)
+
+val ensures : Program.t -> Bdd.t -> Bdd.t -> bool
+(** Eq. 28: [unless] plus one statement that establishes [q]. *)
+
+val stable : Program.t -> Bdd.t -> bool
+(** Eq. 33: [p unless false]. *)
+
+val invariant : Program.t -> Bdd.t -> bool
+(** Eq. 5: [[SI ⇒ p]]. *)
+
+val fair_avoid : Program.t -> Bdd.t -> Bdd.t
+(** States of [SI ∧ ¬q] from which some {e fair} infinite execution stays
+    in [¬q] forever.  Greatest fixpoint of the round operator: a state
+    survives iff it can schedule every statement at least once while
+    remaining among survivors.  (Enumerates states: small spaces.) *)
+
+val leads_to : Program.t -> Bdd.t -> Bdd.t -> bool
+(** Fair leads-to: [p ↦ q] iff no reachable [p ∧ ¬q] state can fairly
+    avoid [q] forever. *)
+
+val wlt : Program.t -> Bdd.t -> Bdd.t
+(** The {e weakest leads-to} predicate transformer: the weakest [W] such
+    that [W ↦ q].  Characterises progress the way [wp] characterises one
+    step: [p ↦ q ⟺ [SI ∧ p ⇒ wlt q]] — the progress analogue of the
+    strongest-invariant characterisation (eq. 5).  Computed as
+    [q ∨ ¬fair_avoid q]. *)
+
+val holds : Program.t -> t -> bool
+
+(** {1 Counterexample extraction}
+
+    The checkers above answer yes/no; these return a witness state when
+    the answer is no — reachable states the user can inspect. *)
+
+val invariant_counterexample : Program.t -> Bdd.t -> Space.state option
+(** A reachable state violating the predicate, if any. *)
+
+val unless_counterexample :
+  Program.t -> Bdd.t -> Bdd.t -> (Space.state * string * Space.state) option
+(** A reachable [p ∧ ¬q] state, the offending statement's name, and the
+    successor violating [p ∨ q]. *)
+
+val leads_to_counterexample : Program.t -> Bdd.t -> Bdd.t -> Space.state option
+(** A reachable [p ∧ ¬q] state from which a fair execution can avoid [q]
+    forever. *)
+
+val pp : Space.t -> Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+open Kpt_predicate
+open Kpt_unity
+
+type mapping = Space.state -> Space.state
+
+type failure = {
+  at : Space.state;
+  statement : string;
+  image_from : Space.state;
+  image_to : Space.state;
+}
+
+type result = Simulates | Init_escapes of Space.state | Step_escapes of failure
+
+(* Explicit reachable states of a program (local copy to avoid a dependency
+   cycle with kpt_runs). *)
+let reachable prog =
+  let space = Program.space prog in
+  let vars = Array.of_list (Space.vars space) in
+  let code st =
+    let c = ref 0 in
+    Array.iteri (fun k v -> c := (!c * Space.card v) + st.(k)) vars;
+    !c
+  in
+  let seen = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let push st =
+    if not (Hashtbl.mem seen (code st)) then begin
+      Hashtbl.add seen (code st) (Array.copy st);
+      Queue.add (Array.copy st) queue
+    end
+  in
+  List.iter push (Space.states_of space (Program.init prog));
+  while not (Queue.is_empty queue) do
+    let st = Queue.pop queue in
+    List.iter (fun s -> push (Stmt.exec space s st)) (Program.statements prog)
+  done;
+  (seen, code)
+
+let check ~abstract ~concrete ~map =
+  let csp = Program.space concrete in
+  let asp = Program.space abstract in
+  let creach, _ = reachable concrete in
+  let cinit = Space.states_of csp (Program.init concrete) in
+  let init_escape =
+    List.find_opt (fun st -> not (Space.holds_at asp (Program.init abstract) (map st))) cinit
+  in
+  match init_escape with
+  | Some st -> Init_escapes st
+  | None ->
+      let astmts = Program.statements abstract in
+      let exception Found of failure in
+      (try
+         Hashtbl.iter
+           (fun _ st ->
+             let img = map st in
+             List.iter
+               (fun cs ->
+                 let st' = Stmt.exec csp cs st in
+                 let img' = map st' in
+                 if img' <> img then
+                   let matched =
+                     List.exists (fun as_ -> Stmt.exec asp as_ img = img') astmts
+                   in
+                   if not (matched) then
+                     raise
+                       (Found
+                          {
+                            at = Array.copy st;
+                            statement = Stmt.name cs;
+                            image_from = img;
+                            image_to = img';
+                          }))
+               (Program.statements concrete))
+           creach;
+         Simulates
+       with Found f -> Step_escapes f)
+
+let simulates ~abstract ~concrete ~map =
+  match check ~abstract ~concrete ~map with Simulates -> true | _ -> false
+
+let pull_back ~abstract ~concrete ~map p =
+  let csp = Program.space concrete in
+  let asp = Program.space abstract in
+  let m = Space.manager csp in
+  let creach, _ = reachable concrete in
+  let acc = ref (Bdd.fls m) in
+  Hashtbl.iter
+    (fun _ st ->
+      if Space.holds_at asp p (map st) then
+        acc := Bdd.or_ m !acc (Space.pred_of_state csp st))
+    creach;
+  !acc
+
+let transfers_invariant ~abstract ~concrete ~map p =
+  simulates ~abstract ~concrete ~map
+  && Program.invariant abstract p
+  && Program.invariant concrete (pull_back ~abstract ~concrete ~map p)
+
+let project csp asp renames st =
+  let avars = Space.vars asp in
+  let out = Array.make (List.length avars) 0 in
+  List.iter
+    (fun av ->
+      let name = Space.name av in
+      let value =
+        match List.assoc_opt name renames with
+        | Some f -> f st.(Space.idx (Space.find csp name))
+        | None -> st.(Space.idx (Space.find csp name))
+      in
+      out.(Space.idx av) <- value)
+    avars;
+  out

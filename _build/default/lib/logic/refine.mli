@@ -1,0 +1,59 @@
+(** Refinement between UNITY programs, in the stuttering-simulation sense
+    used for the paper's protocol refinements (§6.3's "refined to obtain
+    several known protocols"; the method of [San90]).
+
+    A {e concrete} program refines an {e abstract} one under an
+    abstraction function [h] from concrete to abstract states when
+
+    - every concrete initial state maps into an abstract initial state,
+      and
+    - every transition of the concrete program, from every reachable
+      concrete state, maps to either a {e stutter} ([h] unchanged) or a
+      transition of some abstract statement.
+
+    Refinement transfers every invariant downwards: if [invariant p]
+    holds of the abstract program then [invariant h⁻¹(p)] holds of the
+    concrete one ({!pull_back}, {!transfers_invariant}).  (Liveness does
+    {e not} transfer without further fairness conditions — exactly the
+    subtlety the paper's mixed specifications are for.)
+
+    The checker is explicit-state and complete on the bounded instances
+    used throughout this reproduction. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type mapping = Space.state -> Space.state
+(** Abstraction function; must produce type-correct states of the
+    abstract program's space. *)
+
+type failure = {
+  at : Space.state;         (** reachable concrete state *)
+  statement : string;       (** concrete statement applied *)
+  image_from : Space.state; (** h(at) *)
+  image_to : Space.state;   (** h(successor) — not abstractly reachable in one step *)
+}
+
+type result = Simulates | Init_escapes of Space.state | Step_escapes of failure
+
+val check : abstract:Program.t -> concrete:Program.t -> map:mapping -> result
+(** Decide stuttering simulation by explicit traversal of the concrete
+    reachable states. *)
+
+val simulates : abstract:Program.t -> concrete:Program.t -> map:mapping -> bool
+
+val pull_back : abstract:Program.t -> concrete:Program.t -> map:mapping -> Bdd.t -> Bdd.t
+(** [h⁻¹(p)] as a predicate over the concrete space, computed over the
+    concrete reachable states (elsewhere it is false). *)
+
+val transfers_invariant :
+  abstract:Program.t -> concrete:Program.t -> map:mapping -> Bdd.t -> bool
+(** Soundness witness for a particular [p]: given that [check] says
+    [Simulates] and [invariant p] holds abstractly, verify that
+    [invariant h⁻¹(p)] indeed holds concretely. *)
+
+val project : Space.t -> Space.t -> (string * (int -> int)) list -> mapping
+(** Convenience mapping builder: the abstract value of variable [name] is
+    [f (concrete value of the same-named variable)]; abstract variables
+    not listed must share name and value with a concrete variable.
+    @raise Not_found if an abstract variable cannot be resolved. *)

@@ -1,0 +1,1 @@
+lib/predicate/bdd.ml: Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/predicate/bdd.mli: Format

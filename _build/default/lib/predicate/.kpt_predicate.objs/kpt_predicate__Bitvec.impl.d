@@ -1,0 +1,1 @@
+lib/predicate/bitvec.ml: Array Bdd

@@ -1,0 +1,1 @@
+lib/predicate/pred.ml: Bdd Bitvec List Space Stdlib

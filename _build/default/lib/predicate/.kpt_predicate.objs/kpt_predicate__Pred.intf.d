@@ -1,0 +1,1 @@
+lib/predicate/pred.mli: Bdd Space Stdlib

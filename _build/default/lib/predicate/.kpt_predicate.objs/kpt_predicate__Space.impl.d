@@ -1,0 +1,1 @@
+lib/predicate/space.ml: Array Bdd Bitvec Format Hashtbl List Printf

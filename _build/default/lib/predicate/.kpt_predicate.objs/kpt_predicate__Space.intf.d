@@ -1,0 +1,1 @@
+lib/predicate/space.mli: Bdd Bitvec Format

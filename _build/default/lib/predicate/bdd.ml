@@ -1,0 +1,384 @@
+(* Hash-consed ROBDDs.  Levels: variable index, [leaf_level] for leaves.
+   Canonicity invariant: no node has [low == high], and every (level, low,
+   high) triple is hash-consed, so semantic equality is physical equality. *)
+
+let leaf_level = max_int
+
+type t = { uid : int; level : int; low : t; high : t }
+
+type manager = {
+  mutable next_uid : int;
+  unique : (int * int * int, t) Hashtbl.t;
+  bin_cache : (int * int * int, t) Hashtbl.t;
+  not_cache : (int, t) Hashtbl.t;
+  ite_cache : (int * int * int, t) Hashtbl.t;
+  t_true : t;
+  t_false : t;
+}
+
+let make_leaf uid =
+  let rec n = { uid; level = leaf_level; low = n; high = n } in
+  n
+
+let create ?(unique_size = 1 lsl 14) ?(cache_size = 1 lsl 14) () =
+  {
+    next_uid = 2;
+    unique = Hashtbl.create unique_size;
+    bin_cache = Hashtbl.create cache_size;
+    not_cache = Hashtbl.create cache_size;
+    ite_cache = Hashtbl.create cache_size;
+    t_true = make_leaf 1;
+    t_false = make_leaf 0;
+  }
+
+let clear_caches m =
+  Hashtbl.reset m.bin_cache;
+  Hashtbl.reset m.not_cache;
+  Hashtbl.reset m.ite_cache
+
+let tru m = m.t_true
+let fls m = m.t_false
+let uid n = n.uid
+let equal a b = a == b
+let is_leaf n = n.level = leaf_level
+let is_true n = n.level = leaf_level && n.uid = 1
+let is_false n = n.level = leaf_level && n.uid = 0
+
+let mk m level low high =
+  if low == high then low
+  else
+    let key = (level, low.uid, high.uid) in
+    match Hashtbl.find_opt m.unique key with
+    | Some n -> n
+    | None ->
+        let n = { uid = m.next_uid; level; low; high } in
+        m.next_uid <- m.next_uid + 1;
+        Hashtbl.add m.unique key n;
+        n
+
+let var m i =
+  assert (0 <= i && i < leaf_level);
+  mk m i m.t_false m.t_true
+
+let nvar m i =
+  assert (0 <= i && i < leaf_level);
+  mk m i m.t_true m.t_false
+
+(* Binary apply.  [op] tags the cache entry; [terminal] decides leaves and
+   short-circuits.  Commutative operators normalise the cache key. *)
+let bin m ~op ~commutative ~terminal =
+  let rec go a b =
+    match terminal a b with
+    | Some r -> r
+    | None ->
+        let key =
+          if commutative && a.uid > b.uid then (op, b.uid, a.uid)
+          else (op, a.uid, b.uid)
+        in
+        (match Hashtbl.find_opt m.bin_cache key with
+        | Some r -> r
+        | None ->
+            let lvl = min a.level b.level in
+            let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
+            let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
+            let r = mk m lvl (go a0 b0) (go a1 b1) in
+            Hashtbl.add m.bin_cache key r;
+            r)
+  in
+  go
+
+let op_and = 0
+let op_or = 1
+let op_xor = 2
+let op_imp = 3
+let op_iff = 4
+let op_relprod = 5
+
+let and_ m a b =
+  let terminal a b =
+    if is_false a || is_false b then Some m.t_false
+    else if is_true a then Some b
+    else if is_true b then Some a
+    else if a == b then Some a
+    else None
+  in
+  bin m ~op:op_and ~commutative:true ~terminal a b
+
+let or_ m a b =
+  let terminal a b =
+    if is_true a || is_true b then Some m.t_true
+    else if is_false a then Some b
+    else if is_false b then Some a
+    else if a == b then Some a
+    else None
+  in
+  bin m ~op:op_or ~commutative:true ~terminal a b
+
+let rec not_ m a =
+  if is_true a then m.t_false
+  else if is_false a then m.t_true
+  else
+    match Hashtbl.find_opt m.not_cache a.uid with
+    | Some r -> r
+    | None ->
+        let r = mk m a.level (not_ m a.low) (not_ m a.high) in
+        Hashtbl.add m.not_cache a.uid r;
+        Hashtbl.add m.not_cache r.uid a;
+        r
+
+let xor m a b =
+  let terminal a b =
+    if a == b then Some m.t_false
+    else if is_false a then Some b
+    else if is_false b then Some a
+    else if is_true a then Some (not_ m b)
+    else if is_true b then Some (not_ m a)
+    else None
+  in
+  bin m ~op:op_xor ~commutative:true ~terminal a b
+
+let imp m a b =
+  let terminal a b =
+    if is_false a || is_true b then Some m.t_true
+    else if is_true a then Some b
+    else if a == b then Some m.t_true
+    else if is_false b then Some (not_ m a)
+    else None
+  in
+  bin m ~op:op_imp ~commutative:false ~terminal a b
+
+let iff m a b =
+  let terminal a b =
+    if a == b then Some m.t_true
+    else if is_true a then Some b
+    else if is_true b then Some a
+    else if is_false a then Some (not_ m b)
+    else if is_false b then Some (not_ m a)
+    else None
+  in
+  bin m ~op:op_iff ~commutative:true ~terminal a b
+
+let rec ite m c a b =
+  if is_true c then a
+  else if is_false c then b
+  else if a == b then a
+  else if is_true a && is_false b then c
+  else
+    let key = (c.uid, a.uid, b.uid) in
+    match Hashtbl.find_opt m.ite_cache key with
+    | Some r -> r
+    | None ->
+        let lvl = min c.level (min a.level b.level) in
+        let cof n = if n.level = lvl then (n.low, n.high) else (n, n) in
+        let c0, c1 = cof c and a0, a1 = cof a and b0, b1 = cof b in
+        let r = mk m lvl (ite m c0 a0 b0) (ite m c1 a1 b1) in
+        Hashtbl.add m.ite_cache key r;
+        r
+
+let conj m ps = List.fold_left (and_ m) (tru m) ps
+let disj m ps = List.fold_left (or_ m) (fls m) ps
+let implies m a b = is_true (imp m a b)
+
+let restrict m root i polarity =
+  let memo = Hashtbl.create 64 in
+  let rec go n =
+    if n.level > i then n
+    else if n.level = i then if polarity then n.high else n.low
+    else
+      match Hashtbl.find_opt memo n.uid with
+      | Some r -> r
+      | None ->
+          let r = mk m n.level (go n.low) (go n.high) in
+          Hashtbl.add memo n.uid r;
+          r
+  in
+  go root
+
+let rec drop_below level = function
+  | v :: rest when v < level -> drop_below level rest
+  | vs -> vs
+
+(* Quantification.  The memo is keyed on the node uid only: after dropping
+   variables below the node's level, the remaining variable list is a
+   function of the node's level alone (the input list is sorted). *)
+let quant m ~ex vars root =
+  let combine = if ex then or_ m else and_ m in
+  let memo = Hashtbl.create 256 in
+  let rec go vs n =
+    if is_leaf n then n
+    else
+      let vs = drop_below n.level vs in
+      match vs with
+      | [] -> n
+      | v :: rest -> (
+          match Hashtbl.find_opt memo n.uid with
+          | Some r -> r
+          | None ->
+              let r =
+                if v = n.level then combine (go rest n.low) (go rest n.high)
+                else mk m n.level (go vs n.low) (go vs n.high)
+              in
+              Hashtbl.add memo n.uid r;
+              r)
+  in
+  go (List.sort_uniq compare vars) root
+
+let exists m vars root = quant m ~ex:true vars root
+let forall m vars root = quant m ~ex:false vars root
+
+let and_exists m vars a b =
+  let sorted = List.sort_uniq compare vars in
+  let memo = Hashtbl.create 256 in
+  let rec go vs a b =
+    if is_false a || is_false b then m.t_false
+    else if is_true a then quant m ~ex:true vs b
+    else if is_true b then quant m ~ex:true vs a
+    else
+      let lvl = min a.level b.level in
+      let vs = drop_below lvl vs in
+      match vs with
+      | [] -> and_ m a b
+      | v :: rest -> (
+          let key =
+            if a.uid > b.uid then (op_relprod, b.uid, a.uid)
+            else (op_relprod, a.uid, b.uid)
+          in
+          match Hashtbl.find_opt memo key with
+          | Some r -> r
+          | None ->
+              let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
+              let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
+              let r =
+                if v = lvl then or_ m (go rest a0 b0) (go rest a1 b1)
+                else mk m lvl (go vs a0 b0) (go vs a1 b1)
+              in
+              Hashtbl.add memo key r;
+              r)
+  in
+  go sorted a b
+
+let rename m f root =
+  let memo = Hashtbl.create 256 in
+  let rec go n =
+    if is_leaf n then n
+    else
+      match Hashtbl.find_opt memo n.uid with
+      | Some r -> r
+      | None ->
+          let r = mk m (f n.level) (go n.low) (go n.high) in
+          Hashtbl.add memo n.uid r;
+          r
+  in
+  go root
+
+let support _m root =
+  let seen = Hashtbl.create 256 in
+  let levels = Hashtbl.create 64 in
+  let rec go n =
+    if (not (is_leaf n)) && not (Hashtbl.mem seen n.uid) then begin
+      Hashtbl.add seen n.uid ();
+      Hashtbl.replace levels n.level ();
+      go n.low;
+      go n.high
+    end
+  in
+  go root;
+  Hashtbl.fold (fun l () acc -> l :: acc) levels [] |> List.sort compare
+
+let depends_on m root i = List.mem i (support m root)
+
+let size _m root =
+  let seen = Hashtbl.create 256 in
+  let rec go n =
+    if (not (is_leaf n)) && not (Hashtbl.mem seen n.uid) then begin
+      Hashtbl.add seen n.uid ();
+      go n.low;
+      go n.high
+    end
+  in
+  go root;
+  Hashtbl.length seen
+
+let node_count m = m.next_uid
+
+let sat_count _m ~nvars root =
+  let memo = Hashtbl.create 256 in
+  let lvl n = if is_leaf n then nvars else n.level in
+  let rec go n =
+    if is_false n then 0.0
+    else if is_true n then 1.0
+    else
+      match Hashtbl.find_opt memo n.uid with
+      | Some c -> c
+      | None ->
+          let weight child =
+            go child *. (2.0 ** float_of_int (lvl child - n.level - 1))
+          in
+          let c = weight n.low +. weight n.high in
+          Hashtbl.add memo n.uid c;
+          c
+  in
+  go root *. (2.0 ** float_of_int (lvl root))
+
+let any_sat _m root =
+  if is_false root then raise Not_found;
+  let rec go acc n =
+    if is_leaf n then List.rev acc
+    else if is_false n.low then go ((n.level, true) :: acc) n.high
+    else go ((n.level, false) :: acc) n.low
+  in
+  go [] root
+
+let iter_sat _m ~vars root f =
+  let vars = List.sort_uniq compare vars in
+  let asg = Hashtbl.create 16 in
+  let lookup i = Hashtbl.find asg i in
+  let rec go vs n =
+    if is_false n then ()
+    else
+      match vs with
+      | [] ->
+          assert (is_true n);
+          f lookup
+      | v :: rest ->
+          assert (n.level >= v);
+          let branch b =
+            Hashtbl.replace asg v b;
+            let n' = if n.level = v then if b then n.high else n.low else n in
+            go rest n'
+          in
+          branch false;
+          branch true;
+          Hashtbl.remove asg v
+  in
+  go vars root
+
+let live_count m = Hashtbl.length m.unique + 2
+
+let gc m ~roots =
+  clear_caches m;
+  let keep = Hashtbl.create (Hashtbl.length m.unique) in
+  let rec mark n =
+    if (not (is_leaf n)) && not (Hashtbl.mem keep n.uid) then begin
+      Hashtbl.add keep n.uid n;
+      mark n.low;
+      mark n.high
+    end
+  in
+  List.iter mark roots;
+  Hashtbl.reset m.unique;
+  Hashtbl.iter (fun _ n -> Hashtbl.add m.unique (n.level, n.low.uid, n.high.uid) n) keep
+
+let rec eval n valuation =
+  if is_true n then true
+  else if is_false n then false
+  else if valuation n.level then eval n.high valuation
+  else eval n.low valuation
+
+let pp _m fmt root =
+  let rec go fmt n =
+    if is_true n then Format.fprintf fmt "T"
+    else if is_false n then Format.fprintf fmt "F"
+    else Format.fprintf fmt "(v%d ? %a : %a)" n.level go n.high go n.low
+  in
+  go fmt root

@@ -1,0 +1,131 @@
+(** Reduced ordered binary decision diagrams (ROBDDs), hash-consed.
+
+    This module is the semantic bedrock of the whole library: the paper
+    treats predicates as {e semantic objects} — Boolean-valued total
+    functions on the state space — and ROBDDs give each such function a
+    canonical representative, so predicate equality ([[p ≡ q]] in the
+    paper's notation) is decided by physical equality, and all the
+    fixpoints ([sst], [SI], fair leads-to) terminate by node comparison.
+
+    All nodes live inside a {!manager}; mixing nodes from different
+    managers is a programming error (detected by [assert] in debug
+    builds).  Variables are non-negative integers; smaller indices are
+    nearer the root. *)
+
+type manager
+(** Mutable node store: unique table plus operation caches. *)
+
+type t
+(** A BDD node.  Canonical: two nodes of the same manager denote the same
+    Boolean function iff they are physically equal. *)
+
+val create : ?unique_size:int -> ?cache_size:int -> unit -> manager
+(** Fresh manager.  [unique_size] and [cache_size] are initial hash-table
+    capacities (they grow as needed). *)
+
+val clear_caches : manager -> unit
+(** Drop all operation caches (the unique table is kept, so existing nodes
+    stay valid).  Useful between unrelated fixpoint computations. *)
+
+val tru : manager -> t
+(** The constant-true predicate. *)
+
+val fls : manager -> t
+(** The constant-false predicate. *)
+
+val var : manager -> int -> t
+(** [var m i] is the predicate "variable [i] is true". *)
+
+val nvar : manager -> int -> t
+(** [nvar m i] is the predicate "variable [i] is false". *)
+
+val uid : t -> int
+(** Stable unique identifier within the manager. *)
+
+val equal : t -> t -> bool
+(** Physical (hence semantic) equality. *)
+
+val is_true : t -> bool
+val is_false : t -> bool
+
+val not_ : manager -> t -> t
+val and_ : manager -> t -> t -> t
+val or_ : manager -> t -> t -> t
+val xor : manager -> t -> t -> t
+val imp : manager -> t -> t -> t
+val iff : manager -> t -> t -> t
+
+val ite : manager -> t -> t -> t -> t
+(** [ite m c a b] is the pointwise "if [c] then [a] else [b]". *)
+
+val conj : manager -> t list -> t
+(** n-ary conjunction ([tru] on the empty list). *)
+
+val disj : manager -> t list -> t
+(** n-ary disjunction ([fls] on the empty list). *)
+
+val implies : manager -> t -> t -> bool
+(** The everywhere operator applied to an implication: [[p ⇒ q]]. *)
+
+val restrict : manager -> t -> int -> bool -> t
+(** Cofactor: fix variable [i] to the given polarity. *)
+
+val exists : manager -> int list -> t -> t
+(** Existential quantification over a set of variables. *)
+
+val forall : manager -> int list -> t -> t
+(** Universal quantification over a set of variables.  [forall m vs p] is
+    the paper's [(∀ vs :: p)] used to build weakest cylinders (eq. 6). *)
+
+val and_exists : manager -> int list -> t -> t -> t
+(** Relational product [∃vs. a ∧ b], computed without building [a ∧ b]
+    in full.  Workhorse of image computation ([sp]). *)
+
+val rename : manager -> (int -> int) -> t -> t
+(** Variable renaming.  The function must be strictly monotone on the
+    support of the argument (this preserves the variable order); the
+    library only ever renames between interleaved current/next columns,
+    which satisfies this. *)
+
+val support : manager -> t -> int list
+(** Variables the predicate depends on, ascending. *)
+
+val depends_on : manager -> t -> int -> bool
+(** [depends_on m p i] iff the function [p] is not independent of
+    variable [i] (the paper's notion of (in)dependence, §3). *)
+
+val size : manager -> t -> int
+(** Number of distinct internal nodes reachable from the root. *)
+
+val node_count : manager -> int
+(** Total nodes ever hash-consed in the manager. *)
+
+val live_count : manager -> int
+(** Nodes currently in the unique table (plus the two leaves). *)
+
+val gc : manager -> roots:t list -> unit
+(** Garbage-collect the unique table: every node not reachable from the
+    roots is dropped (operation caches are cleared too).  Root handles —
+    and any node reachable from them — remain valid and canonical; any
+    {e other} retained handle becomes stale: it still evaluates correctly
+    but is no longer hash-consed, so [equal] with newly built nodes may
+    return false.  Collect only at points where the set of live
+    predicates is known (e.g. between fixpoint computations). *)
+
+val sat_count : manager -> nvars:int -> t -> float
+(** Number of satisfying assignments over variables [0..nvars-1]. *)
+
+val any_sat : manager -> t -> (int * bool) list
+(** One satisfying partial assignment (variables not listed are
+    don't-care).  @raise Not_found on the false predicate. *)
+
+val iter_sat : manager -> vars:int list -> t -> ((int -> bool) -> unit) -> unit
+(** [iter_sat m ~vars p f] calls [f] once per total assignment to [vars]
+    satisfying [p]; the callback receives a lookup function.  [vars] must
+    be sorted ascending and contain the support of [p]. *)
+
+val eval : t -> (int -> bool) -> bool
+(** Evaluate the predicate at a point given as a variable valuation. *)
+
+val pp : manager -> Format.formatter -> t -> unit
+(** Structural printer (if-then-else normal form), for debugging. *)

@@ -1,0 +1,85 @@
+type t = Bdd.t array
+
+let const m ~width v =
+  if v < 0 || (width < 63 && v lsr width <> 0) then
+    invalid_arg "Bitvec.const: value out of range";
+  Array.init width (fun k -> if (v lsr k) land 1 = 1 then Bdd.tru m else Bdd.fls m)
+
+let of_bits bits = bits
+let width v = Array.length v
+
+let zero_extend m ~width v =
+  if Array.length v >= width then v
+  else
+    Array.init width (fun k -> if k < Array.length v then v.(k) else Bdd.fls m)
+
+let bit m v k = if k < Array.length v then v.(k) else Bdd.fls m
+
+(* Ripple-carry adder over predicates. *)
+let add_width m out_width a b =
+  let result = Array.make out_width (Bdd.fls m) in
+  let carry = ref (Bdd.fls m) in
+  for k = 0 to out_width - 1 do
+    let x = bit m a k and y = bit m b k in
+    let xy = Bdd.xor m x y in
+    result.(k) <- Bdd.xor m xy !carry;
+    carry := Bdd.or_ m (Bdd.and_ m x y) (Bdd.and_ m xy !carry)
+  done;
+  result
+
+let add m a b = add_width m (1 + max (Array.length a) (Array.length b)) a b
+let add_mod m ~width a b = add_width m width a b
+let succ m a = add m a (const m ~width:1 1)
+
+(* Borrow chain: borrow_{k+1} = (¬x ∧ y) ∨ (borrow_k ∧ (x ≡ y)).  The
+   saturating result forces zero when the final borrow is set. *)
+let sub_sat m a b =
+  let w = max (Array.length a) (Array.length b) in
+  let raw = Array.make w (Bdd.fls m) in
+  let borrow = ref (Bdd.fls m) in
+  for k = 0 to w - 1 do
+    let x = bit m a k and y = bit m b k in
+    let xy = Bdd.xor m x y in
+    raw.(k) <- Bdd.xor m xy !borrow;
+    borrow :=
+      Bdd.or_ m (Bdd.and_ m (Bdd.not_ m x) y) (Bdd.and_ m !borrow (Bdd.not_ m xy))
+  done;
+  let underflow = !borrow in
+  Array.map (fun bitk -> Bdd.and_ m bitk (Bdd.not_ m underflow)) raw
+
+let eq m a b =
+  let w = max (Array.length a) (Array.length b) in
+  let acc = ref (Bdd.tru m) in
+  for k = 0 to w - 1 do
+    acc := Bdd.and_ m !acc (Bdd.iff m (bit m a k) (bit m b k))
+  done;
+  !acc
+
+let eq_const m a v =
+  let w = Array.length a in
+  if v < 0 || (w < 63 && v lsr w <> 0) then Bdd.fls m
+  else eq m a (const m ~width:w v)
+
+let lt m a b =
+  let w = max (Array.length a) (Array.length b) in
+  (* Scan from the most significant bit down: a < b iff at the highest
+     differing bit, a has 0 and b has 1. *)
+  let acc = ref (Bdd.fls m) in
+  for k = 0 to w - 1 do
+    let x = bit m a k and y = bit m b k in
+    acc := Bdd.ite m (Bdd.xor m x y) (Bdd.and_ m (Bdd.not_ m x) y) !acc
+  done;
+  !acc
+
+let le m a b = Bdd.not_ m (lt m b a)
+let gt m a b = lt m b a
+let ge m a b = le m b a
+
+let ite m c a b =
+  let w = max (Array.length a) (Array.length b) in
+  Array.init w (fun k -> Bdd.ite m c (bit m a k) (bit m b k))
+
+let value v point =
+  let acc = ref 0 in
+  Array.iteri (fun k b -> if Bdd.eval b point then acc := !acc lor (1 lsl k)) v;
+  !acc

@@ -1,0 +1,54 @@
+(** Symbolic unsigned bit-vectors: arrays of BDDs, least significant bit
+    first.  These compile the bounded-nat arithmetic of UNITY expressions
+    (counters [i], [j], [z], sequence lengths…) into predicates, so that
+    guards such as [z = i + 1] become single BDDs.
+
+    All operations are width-polymorphic: operands of different widths are
+    implicitly zero-extended to the wider width.  Arithmetic is modular in
+    the width of the result; the UNITY layer chooses widths large enough
+    that no wrap-around is reachable. *)
+
+type t = Bdd.t array
+(** [t.(k)] is the predicate "bit [k] of the value is set". *)
+
+val const : Bdd.manager -> width:int -> int -> t
+(** Constant bit-vector.  @raise Invalid_argument if the value does not
+    fit in [width] bits. *)
+
+val of_bits : Bdd.t array -> t
+(** View an array of predicates as a vector (no copy). *)
+
+val width : t -> int
+
+val zero_extend : Bdd.manager -> width:int -> t -> t
+(** Pad with false bits up to [width] (identity if already wider). *)
+
+val add : Bdd.manager -> t -> t -> t
+(** Sum, one bit wider than the wider operand (never wraps). *)
+
+val add_mod : Bdd.manager -> width:int -> t -> t -> t
+(** Sum truncated to [width] bits (modular). *)
+
+val sub_sat : Bdd.manager -> t -> t -> t
+(** Saturating (natural) subtraction: [max 0 (a - b)] pointwise. *)
+
+val succ : Bdd.manager -> t -> t
+(** [add] with the constant one. *)
+
+val eq : Bdd.manager -> t -> t -> Bdd.t
+(** Pointwise equality predicate. *)
+
+val eq_const : Bdd.manager -> t -> int -> Bdd.t
+
+val lt : Bdd.manager -> t -> t -> Bdd.t
+(** Unsigned strict less-than predicate. *)
+
+val le : Bdd.manager -> t -> t -> Bdd.t
+val gt : Bdd.manager -> t -> t -> Bdd.t
+val ge : Bdd.manager -> t -> t -> Bdd.t
+
+val ite : Bdd.manager -> Bdd.t -> t -> t -> t
+(** Pointwise conditional. *)
+
+val value : t -> (int -> bool) -> int
+(** Evaluate to an integer at a point. *)

@@ -1,0 +1,44 @@
+let man = Space.manager
+
+let valid sp p = Bdd.implies (man sp) (Space.domain sp) p
+let holds_implies sp p q = Bdd.implies (man sp) (Bdd.and_ (man sp) (Space.domain sp) p) q
+let equivalent sp p q = Bdd.is_true (Bdd.imp (man sp) (Space.domain sp) (Bdd.iff (man sp) p q))
+let normalize sp p = Bdd.and_ (man sp) p (Space.domain sp)
+
+let complement_vars sp vs =
+  List.filter (fun v -> not (List.exists (fun u -> Space.idx u = Space.idx v) vs)) (Space.vars sp)
+
+(* Range constraints of just the quantified variables: quantification must
+   range over type-correct values only. *)
+let local_domain sp vs =
+  let m = man sp in
+  List.fold_left
+    (fun acc v ->
+      if Space.card v = 1 lsl Space.width v then acc
+      else
+        Bdd.and_ m acc
+          (Bitvec.le m (Space.cur_vec sp v)
+             (Bitvec.const m ~width:(Space.width v) (Space.card v - 1))))
+    (Bdd.tru m) vs
+
+let forall_vars sp vs p =
+  let m = man sp in
+  let bits = List.concat_map Space.current_bits vs in
+  Bdd.forall m bits (Bdd.imp m (local_domain sp vs) p)
+
+let exists_vars sp vs p =
+  let m = man sp in
+  let bits = List.concat_map Space.current_bits vs in
+  Bdd.exists m bits (Bdd.and_ m (local_domain sp vs) p)
+
+let depends_only_on sp p vs =
+  let outside = complement_vars sp vs in
+  equivalent sp p (exists_vars sp outside p)
+
+let random rng ?(density = 0.5) sp =
+  let m = man sp in
+  let acc = ref (Bdd.fls m) in
+  Space.iter_states sp (fun st ->
+      if Stdlib.Random.State.float rng 1.0 < density then
+        acc := Bdd.or_ m !acc (Space.pred_of_state sp st));
+  !acc

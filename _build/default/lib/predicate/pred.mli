@@ -1,0 +1,41 @@
+(** Predicate calculus relativised to a state space.
+
+    BDDs over the current bits of a {!Space.t} represent predicates, but
+    variables with non-power-of-two domains leave "junk" valuations outside
+    the state space.  This module provides the paper's §2 operators — the
+    everywhere operator, the order [[p ⇒ q]], and typed quantification over
+    sets of {e program} variables — all relativised to type-correct states,
+    so they agree exactly with the semantic definitions. *)
+
+val valid : Space.t -> Bdd.t -> bool
+(** The everywhere operator [[p]]: [p] holds at every state of the space. *)
+
+val holds_implies : Space.t -> Bdd.t -> Bdd.t -> bool
+(** [[p ⇒ q]]: [q] is weaker than [p] over the space. *)
+
+val equivalent : Space.t -> Bdd.t -> Bdd.t -> bool
+(** [[p ≡ q]] over the space. *)
+
+val normalize : Space.t -> Bdd.t -> Bdd.t
+(** Canonical representative of [p]'s restriction to the space
+    ([p ∧ domain]); two predicates agree on the space iff their
+    normalisations are {!Bdd.equal}. *)
+
+val complement_vars : Space.t -> Space.var list -> Space.var list
+(** The paper's [V̄]: all space variables not in the given list. *)
+
+val forall_vars : Space.t -> Space.var list -> Bdd.t -> Bdd.t
+(** [(∀ vs :: p)] with [vs] ranging over type-correct values: the
+    building block of the weakest cylinder (eq. 6). *)
+
+val exists_vars : Space.t -> Space.var list -> Bdd.t -> Bdd.t
+(** [(∃ vs :: p)] over type-correct values. *)
+
+val depends_only_on : Space.t -> Bdd.t -> Space.var list -> bool
+(** [p] is independent of every variable outside the list (same value at
+    any two states differing only there — §3's notion). *)
+
+val random : Stdlib.Random.State.t -> ?density:float -> Space.t -> Bdd.t
+(** A uniformly random predicate: each state is included independently
+    with probability [density] (default 0.5).  Enumerates the space, so
+    small spaces only; used by the junctivity testers and qcheck suites. *)

@@ -1,0 +1,152 @@
+type typ = Tbool | Tnat of int | Tenum of string array
+
+type var = {
+  vname : string;
+  vidx : int;
+  vtyp : typ;
+  voffset : int; (* first bit slot *)
+  vwidth : int;
+}
+
+type state = int array
+
+type t = {
+  man : Bdd.manager;
+  mutable decls : var list; (* reversed *)
+  mutable nslots : int;
+  byname : (string, var) Hashtbl.t;
+}
+
+let create () = { man = Bdd.create (); decls = []; nslots = 0; byname = Hashtbl.create 16 }
+let manager sp = sp.man
+
+let bits_for card =
+  let rec go w = if 1 lsl w >= card then w else go (w + 1) in
+  if card <= 1 then 1 else go 1
+
+let declare sp name typ =
+  if Hashtbl.mem sp.byname name then
+    invalid_arg (Printf.sprintf "Space: duplicate variable %S" name);
+  let card = match typ with Tbool -> 2 | Tnat m -> m + 1 | Tenum vs -> Array.length vs in
+  if card < 1 then invalid_arg "Space: empty domain";
+  let v =
+    {
+      vname = name;
+      vidx = List.length sp.decls;
+      vtyp = typ;
+      voffset = sp.nslots;
+      vwidth = bits_for card;
+    }
+  in
+  sp.nslots <- sp.nslots + v.vwidth;
+  sp.decls <- v :: sp.decls;
+  Hashtbl.add sp.byname name v;
+  v
+
+let bool_var sp name = declare sp name Tbool
+
+let nat_var sp name ~max =
+  if max < 0 then invalid_arg "Space.nat_var: negative max";
+  declare sp name (Tnat max)
+
+let enum_var sp name ~values = declare sp name (Tenum values)
+let vars sp = List.rev sp.decls
+let find sp name = Hashtbl.find sp.byname name
+let name v = v.vname
+let idx v = v.vidx
+let card v = match v.vtyp with Tbool -> 2 | Tnat m -> m + 1 | Tenum vs -> Array.length vs
+let width v = v.vwidth
+
+let value_name v k =
+  match v.vtyp with
+  | Tbool -> if k = 0 then "false" else "true"
+  | Tnat _ -> string_of_int k
+  | Tenum vs -> vs.(k)
+
+let current_bits v = List.init v.vwidth (fun k -> 2 * (v.voffset + k))
+let next_bits v = List.init v.vwidth (fun k -> (2 * (v.voffset + k)) + 1)
+let all_current_bits sp = List.concat_map current_bits (vars sp)
+let all_next_bits sp = List.concat_map next_bits (vars sp)
+
+let cur_vec sp v =
+  Bitvec.of_bits (Array.init v.vwidth (fun k -> Bdd.var sp.man (2 * (v.voffset + k))))
+
+let next_vec sp v =
+  Bitvec.of_bits
+    (Array.init v.vwidth (fun k -> Bdd.var sp.man ((2 * (v.voffset + k)) + 1)))
+
+let to_next sp p = Bdd.rename sp.man (fun b -> b + 1) p
+let to_current sp p = Bdd.rename sp.man (fun b -> b - 1) p
+
+let range_constraint sp vec v = Bitvec.le sp.man vec (Bitvec.const sp.man ~width:v.vwidth (card v - 1))
+
+let domain sp =
+  List.fold_left
+    (fun acc v ->
+      if card v = 1 lsl v.vwidth then acc
+      else Bdd.and_ sp.man acc (range_constraint sp (cur_vec sp v) v))
+    (Bdd.tru sp.man) (vars sp)
+
+let domain_next sp =
+  List.fold_left
+    (fun acc v ->
+      if card v = 1 lsl v.vwidth then acc
+      else Bdd.and_ sp.man acc (range_constraint sp (next_vec sp v) v))
+    (Bdd.tru sp.man) (vars sp)
+
+let state_count sp = List.fold_left (fun acc v -> acc * card v) 1 (vars sp)
+
+let iter_states sp f =
+  let vs = Array.of_list (vars sp) in
+  let n = Array.length vs in
+  let st = Array.make (max n 1) 0 in
+  let rec go i = if i = n then f st else
+    for value = 0 to card vs.(i) - 1 do
+      st.(i) <- value;
+      go (i + 1)
+    done
+  in
+  go 0
+
+(* Valuation of current bits induced by a state. *)
+let valuation sp st bit =
+  assert (bit land 1 = 0);
+  let slot = bit / 2 in
+  let v = List.find (fun v -> v.voffset <= slot && slot < v.voffset + v.vwidth) (vars sp) in
+  (st.(v.vidx) lsr (slot - v.voffset)) land 1 = 1
+
+let holds_at sp p st = Bdd.eval p (valuation sp st)
+
+let pred_of_state sp st =
+  List.fold_left
+    (fun acc v -> Bdd.and_ sp.man acc (Bitvec.eq_const sp.man (cur_vec sp v) st.(v.vidx)))
+    (Bdd.tru sp.man) (vars sp)
+
+let states_of sp p =
+  let acc = ref [] in
+  iter_states sp (fun st -> if holds_at sp p st then acc := Array.copy st :: !acc);
+  List.rev !acc
+
+let count_states_of sp p =
+  let n = ref 0 in
+  iter_states sp (fun st -> if holds_at sp p st then incr n);
+  !n
+
+let pp_state sp fmt st =
+  Format.fprintf fmt "@[<h>⟨";
+  List.iteri
+    (fun i v ->
+      if i > 0 then Format.fprintf fmt " ";
+      Format.fprintf fmt "%s=%s" v.vname (value_name v st.(v.vidx)))
+    (vars sp);
+  Format.fprintf fmt "⟩"
+
+let pp_pred sp fmt p =
+  let sts = states_of sp p in
+  Format.fprintf fmt "@[<hov 2>{";
+  List.iteri
+    (fun i st ->
+      if i > 0 then Format.fprintf fmt ",@ ";
+      pp_state sp fmt st)
+    sts;
+  Format.fprintf fmt "}@]"

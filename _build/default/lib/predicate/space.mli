@@ -1,0 +1,102 @@
+(** Finite-domain state spaces.
+
+    A space owns a {!Bdd.manager} and a set of typed program variables
+    (Booleans, bounded naturals, enumerations).  Each variable is encoded
+    on a block of BDD bits; every bit slot [s] carries a {e current} copy
+    (BDD variable [2s]) and a {e next} copy (BDD variable [2s+1]), so the
+    current/next renaming used by transition relations is order-preserving
+    and cheap.
+
+    The paper's "state space" is exactly the set of type-correct
+    valuations of these variables; a {e predicate} is a BDD over current
+    bits, a {e transition relation} a BDD over current and next bits. *)
+
+type t
+(** A state space (mutable: variables may be declared at any time). *)
+
+type var
+(** A program variable of the space. *)
+
+type state = int array
+(** A concrete point of the state space: [state.(idx v)] is the value of
+    [v] as an integer (Booleans: 0/1; enums: value index). *)
+
+val create : unit -> t
+
+val manager : t -> Bdd.manager
+(** The BDD manager all predicates of this space live in. *)
+
+val bool_var : t -> string -> var
+(** Declare a Boolean variable.  @raise Invalid_argument on a duplicate
+    name. *)
+
+val nat_var : t -> string -> max:int -> var
+(** Declare a bounded natural with values [0..max]. *)
+
+val enum_var : t -> string -> values:string array -> var
+(** Declare an enumeration; values are indices into [values]. *)
+
+val vars : t -> var list
+(** All variables, in declaration order. *)
+
+val find : t -> string -> var
+(** Look a variable up by name.  @raise Not_found. *)
+
+val name : var -> string
+val idx : var -> int
+
+val card : var -> int
+(** Number of values of the variable's type. *)
+
+val width : var -> int
+(** Bits used to encode the variable. *)
+
+val value_name : var -> int -> string
+(** Human-readable value ("true", "3", enum label). *)
+
+val current_bits : var -> int list
+val next_bits : var -> int list
+val all_current_bits : t -> int list
+val all_next_bits : t -> int list
+
+val cur_vec : t -> var -> Bitvec.t
+(** The variable's value as a symbolic bit-vector over current bits. *)
+
+val next_vec : t -> var -> Bitvec.t
+
+val to_next : t -> Bdd.t -> Bdd.t
+(** Rename a current-bit predicate onto next bits. *)
+
+val to_current : t -> Bdd.t -> Bdd.t
+
+val domain : t -> Bdd.t
+(** Current-bit predicate: every variable is within its range (only
+    non-power-of-two cardinalities contribute). *)
+
+val domain_next : t -> Bdd.t
+
+val state_count : t -> int
+(** Cardinality of the state space (product of variable cardinalities). *)
+
+val iter_states : t -> (state -> unit) -> unit
+(** Enumerate every type-correct state.  The callback's array is reused;
+    copy it if you keep it. *)
+
+val pred_of_state : t -> state -> Bdd.t
+(** The singleton predicate holding exactly at the given state. *)
+
+val holds_at : t -> Bdd.t -> state -> bool
+(** Evaluate a current-bit predicate at a state. *)
+
+val states_of : t -> Bdd.t -> state list
+(** All states satisfying a predicate (by enumeration; intended for small
+    spaces and for tests). *)
+
+val count_states_of : t -> Bdd.t -> int
+(** [List.length (states_of sp p)], computed without materialising. *)
+
+val pp_state : t -> Format.formatter -> state -> unit
+(** ["⟨x=1 y=true …⟩"]. *)
+
+val pp_pred : t -> Format.formatter -> Bdd.t -> unit
+(** Print a predicate as the set of its states (small spaces only). *)

@@ -1,0 +1,1 @@
+lib/protocols/apriori.ml: Array Bdd Channel Expr Format Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Program Random Seqtrans Space Stdlib Stmt

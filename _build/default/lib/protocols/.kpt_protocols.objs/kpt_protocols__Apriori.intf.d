@@ -1,0 +1,1 @@
+lib/protocols/apriori.mli: Bdd Format Kpt_predicate Kpt_unity Seqtrans

@@ -1,0 +1,1 @@
+lib/protocols/auy.ml: Array Expr Fun Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Seqtrans Space Stmt

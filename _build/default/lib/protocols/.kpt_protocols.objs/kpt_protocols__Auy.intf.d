@@ -1,0 +1,1 @@
+lib/protocols/auy.mli: Bdd Kpt_predicate Kpt_unity Program Seqtrans Space

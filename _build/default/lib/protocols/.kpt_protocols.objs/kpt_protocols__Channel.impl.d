@@ -1,0 +1,1 @@
+lib/protocols/channel.ml: Expr Kpt_predicate Kpt_unity List Space Stmt

@@ -1,0 +1,1 @@
+lib/protocols/channel.mli: Expr Kpt_predicate Kpt_unity Space Stmt

@@ -1,0 +1,1 @@
+lib/protocols/commit.mli: Bdd Kpt_predicate Kpt_unity Program Space

@@ -1,0 +1,1 @@
+lib/protocols/gossip.ml: Array Bdd Expr Fun Kflow Knowledge Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Space Stmt

@@ -1,0 +1,1 @@
+lib/protocols/gossip.mli: Kpt_predicate Kpt_unity Program Space

@@ -1,0 +1,1 @@
+lib/protocols/muddy.ml: Array Bdd Expr Fun Knowledge Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Space Stmt

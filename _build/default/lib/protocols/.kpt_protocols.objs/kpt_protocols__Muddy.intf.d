@@ -1,0 +1,1 @@
+lib/protocols/muddy.mli: Kpt_predicate Kpt_unity Program Space

@@ -1,0 +1,1 @@
+lib/protocols/seqtrans.ml: Array Bdd Channel Expr Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Space Stmt

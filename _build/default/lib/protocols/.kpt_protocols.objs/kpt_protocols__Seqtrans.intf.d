@@ -1,0 +1,1 @@
+lib/protocols/seqtrans.mli: Bdd Channel Kpt_predicate Kpt_unity Program Space

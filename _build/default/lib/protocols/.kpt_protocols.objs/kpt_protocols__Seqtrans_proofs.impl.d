@@ -1,0 +1,1 @@
+lib/protocols/seqtrans_proofs.ml: Array Bdd Channel Expr Kpt_logic Kpt_predicate Kpt_unity List Pred Printf Program Proof Seqtrans Space

@@ -1,0 +1,1 @@
+lib/protocols/seqtrans_proofs.mli: Kpt_logic Proof Seqtrans

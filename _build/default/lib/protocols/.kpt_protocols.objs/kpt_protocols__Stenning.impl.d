@@ -1,0 +1,1 @@
+lib/protocols/stenning.ml: Array Channel Expr Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Seqtrans Space Stmt

@@ -1,0 +1,1 @@
+lib/protocols/window.ml: Array Channel Expr Kpt_logic Kpt_predicate Kpt_unity List Printf Process Program Seqtrans Space Stdlib Stmt

@@ -1,0 +1,1 @@
+lib/protocols/window.mli: Bdd Channel Kpt_predicate Kpt_unity Program Seqtrans Space

@@ -1,0 +1,41 @@
+(** The alternating bit protocol [BSW69] — the classic finite-state
+    refinement of the sequence transmission problem that the paper's §6
+    cites as a member of the protocol family obtained from the
+    knowledge-based protocol.
+
+    Sequence numbers shrink to a single bit: the sender stamps every data
+    message with its bit [sb] and retransmits until an ack carrying [sb]
+    arrives, then flips [sb] and advances; the receiver delivers a
+    message exactly when its stamp matches the expected bit [rb], flips
+    [rb], and (re)acknowledges the last accepted stamp.  Correct over
+    channels that lose and duplicate but do not reorder — which is
+    precisely what the capacity-1 {!Channel} model provides. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  params : Seqtrans.params;
+  xs : Space.var array;
+  ws : Space.var array;
+  y : Space.var;
+  i : Space.var;
+  j : Space.var;
+  sb : Space.var;  (** sender's alternating bit *)
+  rb : Space.var;  (** receiver's expected bit *)
+  z : Space.var;   (** sender's ack register *)
+  zp : Space.var;  (** receiver's data register *)
+  data : Channel.t;
+  ack : Channel.t;
+}
+
+val make : ?lossy:bool -> Seqtrans.params -> t
+
+val safety : t -> Bdd.t
+(** Eq. 34 for the ABP instance. *)
+
+val liveness_holds : t -> k:int -> bool
+(** Eq. 35 instance under fair leads-to (holds without loss; fails with
+    loss, as for the standard protocol). *)

@@ -1,0 +1,66 @@
+open Kpt_predicate
+open Kpt_unity
+
+type codec = {
+  card : int;
+  bot : int;
+  weights : int list;
+  enc : int list -> int;
+  dec : int -> int list;
+}
+
+let nat_codec ~max =
+  {
+    card = max + 2;
+    bot = max + 1;
+    weights = [ 1 ];
+    enc = (function [ k ] -> k | _ -> invalid_arg "nat_codec.enc");
+    dec = (fun v -> [ v ]);
+  }
+
+let pair_codec ~n ~a =
+  {
+    card = (n * a) + 1;
+    bot = n * a;
+    weights = [ a; 1 ];
+    enc =
+      (function
+      | [ k; alpha ] ->
+          if k < 0 || k >= n || alpha < 0 || alpha >= a then
+            invalid_arg "pair_codec.enc: out of range"
+          else (k * a) + alpha
+      | _ -> invalid_arg "pair_codec.enc");
+    dec = (fun v -> [ v / a; v mod a ]);
+  }
+
+type t = { codec : codec; slot : Space.var; avail : Space.var }
+
+let declare sp ~name codec =
+  let slot = Space.nat_var sp (name ^ "_slot") ~max:(codec.card - 1) in
+  let avail = Space.nat_var sp (name ^ "_avail") ~max:(codec.card - 1) in
+  { codec; slot; avail }
+
+let register sp ~name codec = Space.nat_var sp name ~max:(codec.card - 1)
+
+(* c · e by repeated addition (no multiplication in the expression
+   language; channel component weights are small). *)
+let mul_const c e =
+  if c = 0 then Expr.nat 0
+  else
+    let rec go k acc = if k = 1 then acc else go (k - 1) Expr.(acc +! e) in
+    go c e
+
+let transmit ch components =
+  let ws = ch.codec.weights in
+  if List.length ws <> List.length components then
+    invalid_arg "Channel.transmit: arity mismatch";
+  let terms = List.map2 mul_const ws components in
+  let expr = match terms with [] -> Expr.nat 0 | t :: ts -> List.fold_left Expr.( +! ) t ts in
+  (ch.slot, expr)
+
+let receive ch reg = (reg, Expr.var ch.avail)
+let deliver_stmt ch ~name = Stmt.make ~name [ (ch.avail, Expr.var ch.slot) ]
+let drop_stmt ch ~name = Stmt.make ~name [ (ch.avail, Expr.nat ch.codec.bot) ]
+
+let init_expr ch =
+  Expr.((var ch.slot === nat ch.codec.bot) &&& (var ch.avail === nat ch.codec.bot))

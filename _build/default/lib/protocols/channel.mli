@@ -1,0 +1,76 @@
+(** Faulty communication channels as UNITY environment statements (§5:
+    "Message communication can be modeled by sequence variables…"; §6.3:
+    the channel "allows loss, duplication, and detectable corruption of
+    messages").
+
+    A channel direction consists of:
+    - a {e slot}: the message most recently transmitted (what is in
+      flight), written by the protocol's [transmit];
+    - an {e avail} register: what a [receive] would return right now,
+      written by the {e environment}'s two statements —
+      {e deliver} ([avail := slot]; repeatable, hence {b duplication})
+      and {e drop} ([avail := ⊥]; {b loss}, or {b corruption} received
+      detectably as ⊥, per §6.2's [receive]).
+
+    The protocol's own register ([z] / [z'] in Figure 4) is declared by
+    the protocol and updated by embedding {!receive} ([reg := avail])
+    inside its statements — exactly the paper's
+    [… ∥ receive(z')] composition.  This placement is load-bearing: the
+    stability properties (eqs. 55–56) hold only because a process
+    overwrites its register exclusively in its own guarded statements.
+
+    Values are bounded naturals with a distinguished top value for ⊥;
+    {!codec} centralises the encoding.  The capacity-1 slot gives the
+    paper's history properties St-1/St-2 (anything received was sent)
+    by construction. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type codec = {
+  card : int;  (** total encoded values, including ⊥ *)
+  bot : int;  (** the encoding of ⊥ (= card - 1) *)
+  weights : int list;  (** positional weight of each message component *)
+  enc : int list -> int;  (** encode message components *)
+  dec : int -> int list;  (** decode (undefined on ⊥) *)
+}
+
+val nat_codec : max:int -> codec
+(** Messages are naturals [0..max] plus ⊥ (the paper's ack channel). *)
+
+val pair_codec : n:int -> a:int -> codec
+(** Messages are pairs [(k, α)] with [k < n], [α < a], plus ⊥ (the data
+    channel carrying [(index, value)]). *)
+
+type t = {
+  codec : codec;
+  slot : Space.var;  (** message in flight *)
+  avail : Space.var;  (** what receive would return now *)
+}
+
+val declare : Space.t -> name:string -> codec -> t
+(** Declare [name_slot] and [name_avail]. *)
+
+val register : Space.t -> name:string -> codec -> Space.var
+(** Declare a protocol-owned receive register of the right range. *)
+
+val transmit : t -> Expr.t list -> Space.var * Expr.t
+(** Assignment performing [transmit(msg)]: overwrite the slot.  The
+    encoding is linear in the codec's weights. *)
+
+val receive : t -> Space.var -> Space.var * Expr.t
+(** Assignment performing [receive(reg)]: [reg := avail].  Embed in the
+    protocol statement alongside its other assignments. *)
+
+val deliver_stmt : t -> name:string -> Stmt.t
+(** Environment: [avail := slot]. *)
+
+val drop_stmt : t -> name:string -> Stmt.t
+(** Environment: [avail := ⊥]. *)
+
+val init_expr : t -> Expr.t
+(** [slot = ⊥ ∧ avail = ⊥]. *)
+
+val mul_const : int -> Expr.t -> Expr.t
+(** [c · e] by repeated addition — for building message predicates that
+    must agree with a codec's linear encoding. *)

@@ -1,0 +1,75 @@
+(** Two-phase commit through the knowledge lens — a second protocol case
+    study in the spirit of §6: guards of a sensible standard protocol turn
+    out to be {e exactly} knowledge predicates.
+
+    A coordinator asks [n] participants to vote on a transaction; each
+    responds yes/no according to its (fixed, private) vote; the
+    coordinator commits iff every response is yes, aborts on any no;
+    participants then adopt the decision.
+
+    Knowledge content, all machine-checked:
+    - the commit guard ("all responses are yes") is {e equal} to
+      [K_C(⋀ votes)] on reachable states — the coordinator commits exactly
+      when it knows unanimity (a Prop-4.5-style "iff");
+    - before any message flows, the {e group} already possesses the
+      outcome distributively ([D_G(⋀votes)] ≡ [⋀votes]) while no
+      individual knows it — communication converts distributed knowledge
+      into individual knowledge;
+    - a participant that adopted a commit {e knows the other
+      participants' votes} although it never saw them: the decision
+      register carries that knowledge. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  n : int;
+  votes : Space.var array;      (** participant votes, fixed by init *)
+  responses : Space.var array;  (** 0 = none, 1 = yes, 2 = no *)
+  req : Space.var;              (** the coordinator's request broadcast *)
+  decision : Space.var;         (** 0 = none, 1 = commit, 2 = abort *)
+  adopted : Space.var array;    (** participant copies of the decision *)
+}
+
+val make : ?crashes:bool -> participants:int -> unit -> t
+(** With [crashes] (default false), every participant gets an environment
+    crash statement that permanently silences it — the [DM90] crash-failure
+    setting.  @raise Invalid_argument unless [2 ≤ participants ≤ 3]. *)
+
+val coordinator : string
+val participant : int -> string
+
+val unanimity : t -> Bdd.t
+(** [⋀ votes]. *)
+
+val commit_guard : t -> Bdd.t
+(** "every response is yes" — the standard protocol's guard. *)
+
+val safety_holds : t -> bool
+(** commit ⇒ unanimity, abort ⇒ some no, adopted decisions match. *)
+
+val decision_live : t -> bool
+(** [true ↦ decision ≠ none]. *)
+
+val guard_is_knowledge : t -> bool
+(** [commit_guard ≡ K_C(unanimity)] on reachable states. *)
+
+val distributed_but_not_individual : t -> bool
+(** At initial states: [D_G(unanimity) ≡ unanimity] while no process
+    (coordinator or participant alone, seeing only its own vote)
+    individually knows it when [n ≥ 2]. *)
+
+val adoption_teaches : t -> i:int -> bool
+(** invariant: participant [i] having adopted a commit knows every other
+    participant's vote. *)
+
+val crashed : t -> int -> Space.var
+(** The crash flag of participant [i] (only on a [~crashes:true] build).
+    @raise Not_found otherwise. *)
+
+val blocking_witness : t -> Space.state option
+(** The classical 2PC blocking scenario, as a state from which some fair
+    execution stays undecided forever (a crashed participant that never
+    voted).  [None] on crash-free builds — there liveness holds. *)

@@ -1,0 +1,117 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  n : int;
+  secrets : Space.var array;
+  registers : Space.var array array;
+}
+
+let agent i = Printf.sprintf "A%d" i
+
+let make ~agents =
+  if agents < 2 || agents > 3 then invalid_arg "Gossip.make: 2 ≤ agents ≤ 3";
+  let n = agents in
+  let sp = Space.create () in
+  let secrets = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "s%d" i)) in
+  let registers =
+    Array.init n (fun i ->
+        Array.init n (fun k ->
+            Space.enum_var sp
+              (Printf.sprintf "v%d_%d" i k)
+              ~values:[| "unknown"; "no"; "yes" |]))
+  in
+  let open Expr in
+  (* a call merges both rows: an unresolved register adopts the peer's *)
+  let call i j =
+    let merge a b = (* a := if a = unknown then b else a *)
+      (a, Ite (var a === nat 0, var b, var a))
+    in
+    Stmt.make
+      ~name:(Printf.sprintf "call%d%d" i j)
+      (List.concat
+         (List.init n (fun k ->
+              [ merge registers.(i).(k) registers.(j).(k);
+                merge registers.(j).(k) registers.(i).(k) ])))
+  in
+  let calls =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j -> if j > i then Some (call i j) else None)
+             (List.init n Fun.id)))
+  in
+  let init =
+    conj
+      (List.concat
+         (List.init n (fun i ->
+              List.init n (fun k ->
+                  if i = k then var registers.(i).(k) === Ite (var secrets.(k), nat 2, nat 1)
+                  else var registers.(i).(k) === nat 0))))
+  in
+  let processes =
+    List.init n (fun i -> Process.make (agent i) (Array.to_list registers.(i)))
+  in
+  let prog = Program.make sp ~name:(Printf.sprintf "gossip%d" n) ~init ~processes calls in
+  { prog; space = sp; n; secrets; registers }
+
+let bp t e = Expr.compile_bool t.space e
+
+let registers_correct t =
+  let open Expr in
+  Program.invariant t.prog
+    (bp t
+       (conj
+          (List.concat
+             (List.init t.n (fun i ->
+                  List.init t.n (fun k ->
+                      ((var t.registers.(i).(k) === nat 2) ==> var t.secrets.(k))
+                      &&& ((var t.registers.(i).(k) === nat 1) ==> not_ (var t.secrets.(k)))))))))
+
+let register_is_knowledge t ~i ~k =
+  let m = Space.manager t.space in
+  let si = Program.si t.prog in
+  let sk = bp t (Expr.var t.secrets.(k)) in
+  let k_yes = Knowledge.knows_in t.prog (agent i) sk in
+  let k_no = Knowledge.knows_in t.prog (agent i) (Bdd.not_ m sk) in
+  let reg v = bp t Expr.(var t.registers.(i).(k) === nat v) in
+  Bdd.is_true (Bdd.imp m si (Bdd.iff m (reg 2) k_yes))
+  && Bdd.is_true (Bdd.imp m si (Bdd.iff m (reg 1) k_no))
+
+let learning_monotone t =
+  List.for_all
+    (fun i ->
+      List.for_all
+        (fun k ->
+          Kflow.knowledge_stable t.prog (agent i) (bp t (Expr.var t.secrets.(k))))
+        (List.init t.n Fun.id))
+    (List.init t.n Fun.id)
+
+let all_resolved t =
+  bp t
+    (Expr.conj
+       (List.concat
+          (List.init t.n (fun i ->
+               List.init t.n (fun k -> Expr.(var t.registers.(i).(k) <<> nat 0))))))
+
+let everybody_learns t =
+  Kpt_logic.Props.leads_to t.prog (Bdd.tru (Space.manager t.space)) (all_resolved t)
+
+let no_common_knowledge t =
+  let m = Space.manager t.space in
+  let si = Program.si t.prog in
+  let group = List.init t.n (fun i -> Program.find_process t.prog (agent i)) in
+  let s0 = bp t (Expr.var t.secrets.(0)) in
+  let resolved = Bdd.and_ m si (all_resolved t) in
+  let e1 = Knowledge.everyone_knows t.space ~si group s0 in
+  let e2 = Knowledge.everyone_knows t.space ~si group e1 in
+  let c = Knowledge.common_knowledge t.space ~si group s0 in
+  (* at fully-resolved states where s0 is true: everyone knows it… *)
+  let s0_states = Bdd.and_ m resolved s0 in
+  Bdd.implies m s0_states e1
+  (* …but E² already fails everywhere there, hence C too *)
+  && Bdd.is_false (Bdd.and_ m s0_states e2)
+  && Bdd.is_false (Bdd.and_ m s0_states c)

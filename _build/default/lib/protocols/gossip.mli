@@ -1,0 +1,51 @@
+(** The gossip problem — knowledge propagation by pairwise calls, the
+    setting of [CM86] ("How processes learn", cited in §7).
+
+    Each of [n] agents starts knowing only its own secret bit; a call
+    between two agents merges everything both have learnt.  Learning is
+    represented operationally (per-agent value registers, [unknown] /
+    [false] / [true]); the epistemic content is then {e derived}, not
+    assumed:
+
+    - a register is exactly knowledge: [v_{i,k} = t ⟺ K_i(s_k)] on
+      reachable states (a third Prop-4.5-style "iff" in this library);
+    - learning is monotone — no statement destroys [K_i(s_k)] (registers
+      are history variables in §3's sense);
+    - under fairness, everybody eventually learns everything
+      ([true ↦ all registers resolved]);
+    - yet even total mutual learning never yields {e common} knowledge:
+      an agent's view says nothing about the other rows, so
+      [E_G] holds while [E_G²] — a fortiori [C_G] — fails. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  n : int;
+  secrets : Space.var array;
+  registers : Space.var array array;  (** [registers.(i).(k)]: agent i's copy of secret k — 0 unknown, 1 false, 2 true *)
+}
+
+val make : agents:int -> t
+(** @raise Invalid_argument unless [2 ≤ agents ≤ 3]. *)
+
+val agent : int -> string
+
+val registers_correct : t -> bool
+(** invariant: a resolved register holds the actual secret value. *)
+
+val register_is_knowledge : t -> i:int -> k:int -> bool
+(** [v_{i,k} = t ⟺ K_i(s_k)] and [v_{i,k} = f ⟺ K_i(¬s_k)] on
+    reachable states. *)
+
+val learning_monotone : t -> bool
+(** No statement ever destroys [K_i(s_k)], for any [i], [k]. *)
+
+val everybody_learns : t -> bool
+(** [true ↦ (∀ i k : v_{i,k} ≠ unknown)] under fairness. *)
+
+val no_common_knowledge : t -> bool
+(** Even at fully-resolved states, [C_G(s_0 value)] fails — and already
+    [E_G E_G] does. *)

@@ -1,0 +1,132 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  children : int;
+  muddy : Space.var array;
+  declared : Space.var array;
+  latched : Space.var array;
+  phase : Space.var;
+  round : Space.var;
+}
+
+let make ~children =
+  if children < 2 || children > 4 then
+    invalid_arg "Muddy.make: 2 ≤ children ≤ 4";
+  let n = children in
+  let sp = Space.create () in
+  let muddy = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "muddy%d" i)) in
+  let declared = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "declared%d" i)) in
+  let latched = Array.init n (fun i -> Space.bool_var sp (Printf.sprintf "latched%d" i)) in
+  let phase = Space.nat_var sp "phase" ~max:n in
+  let round = Space.nat_var sp "round" ~max:n in
+  let open Expr in
+  (* the number of muddy foreheads child i can see *)
+  let seen i =
+    let others = List.filter (fun j -> j <> i) (List.init n Fun.id) in
+    List.fold_left
+      (fun acc j -> acc +! Ite (var muddy.(j), nat 1, nat 0))
+      (nat 0) others
+  in
+  let nobody_declared_before = conj (List.init n (fun j -> not_ (var latched.(j)))) in
+  (* the standard rule: declare in round r iff you can see exactly r muddy
+     children and the earlier rounds were silent *)
+  let rule i = (seen i === var round) &&& nobody_declared_before in
+  let step i =
+    Stmt.make
+      ~name:(Printf.sprintf "child%d" i)
+      ~guard:(var phase === nat i)
+      [ (declared.(i), var declared.(i) ||| rule i); (phase, nat (i + 1)) ]
+  in
+  let next_round =
+    Stmt.make ~name:"round_ends"
+      ~guard:((var phase === nat n) &&& (var round <<< nat n))
+      ([ (round, var round +! nat 1); (phase, nat 0) ]
+      @ List.init n (fun j -> (latched.(j), var declared.(j))))
+  in
+  let init =
+    conj
+      (disj (List.init n (fun i -> var muddy.(i)))  (* father's announcement *)
+      :: (var phase === nat 0)
+      :: (var round === nat 0)
+      :: List.init n (fun i -> not_ (var declared.(i)))
+      @ List.init n (fun i -> not_ (var latched.(i))))
+  in
+  let everyone_elses i =
+    List.filteri (fun j _ -> j <> i) (Array.to_list muddy)
+  in
+  let processes =
+    List.init n (fun i ->
+        Process.make
+          (Printf.sprintf "C%d" i)
+          (everyone_elses i @ Array.to_list declared @ Array.to_list latched
+          @ [ phase; round ]))
+  in
+  let prog =
+    Program.make sp ~name:(Printf.sprintf "muddy%d" n) ~init ~processes
+      (List.init n step @ [ next_round ])
+  in
+  { prog; space = sp; children = n; muddy; declared; latched; phase; round }
+
+let bp t e = Expr.compile_bool t.space e
+let k t i p = Knowledge.knows_in t.prog (Printf.sprintf "C%d" i) p
+
+let epistemically_sound t =
+  let m = Space.manager t.space in
+  List.for_all
+    (fun i ->
+      Program.invariant t.prog
+        (Bdd.imp m (bp t (Expr.var t.declared.(i))) (k t i (bp t (Expr.var t.muddy.(i))))))
+    (List.init t.children Fun.id)
+
+let truthful t =
+  let m = Space.manager t.space in
+  List.for_all
+    (fun i ->
+      Program.invariant t.prog
+        (Bdd.imp m (bp t (Expr.var t.declared.(i))) (bp t (Expr.var t.muddy.(i)))))
+    (List.init t.children Fun.id)
+
+let all_muddy_eventually_declare t =
+  List.for_all
+    (fun i ->
+      Kpt_logic.Props.leads_to t.prog
+        (bp t (Expr.var t.muddy.(i)))
+        (bp t (Expr.var t.declared.(i))))
+    (List.init t.children Fun.id)
+
+let clean_never_declare t =
+  let m = Space.manager t.space in
+  List.for_all
+    (fun i ->
+      Program.invariant t.prog
+        (Bdd.imp m
+           (Bdd.not_ m (bp t (Expr.var t.muddy.(i))))
+           (Bdd.not_ m (bp t (Expr.var t.declared.(i))))))
+    (List.init t.children Fun.id)
+
+let silence_teaches t ~child =
+  let m = Space.manager t.space in
+  let open Expr in
+  let all_muddy = conj (List.init t.children (fun i -> var t.muddy.(i))) in
+  let silent_late =
+    all_muddy
+    &&& (var t.round >== nat (t.children - 1))
+    &&& conj (List.init t.children (fun i -> not_ (var t.declared.(i))))
+  in
+  Bdd.implies m
+    (Bdd.and_ m (Program.si t.prog) (bp t silent_late))
+    (k t child (bp t (var t.muddy.(child))))
+
+let ignorance_before t ~child =
+  let m = Space.manager t.space in
+  let open Expr in
+  let early =
+    conj (List.init t.children (fun i -> var t.muddy.(i)))
+    &&& (var t.round === nat 0) &&& (var t.phase === nat 0)
+  in
+  Bdd.is_false
+    (Bdd.conj m [ Program.si t.prog; bp t early; k t child (bp t (var t.muddy.(child))) ])

@@ -1,0 +1,57 @@
+(** The muddy children / cheating husbands case study ([MDH86], cited in
+    §7 as a driver of the knowledge-based analysis the paper formalises),
+    generalised to [n] children.
+
+    Each child sees every forehead but its own; the father announces that
+    at least one is muddy (encoded in [init]); in synchronous rounds every
+    child that {e knows} it is muddy steps forward.  Classic theorem: with
+    [m] muddy children nobody can move for [m-1] rounds, and that very
+    silence lets exactly the muddy ones declare in round [m] — knowledge
+    gained purely from the {e absence} of action.
+
+    The program below is the standard instantiation (child [i] declares in
+    round [r] iff it sees exactly [r] muddy children and nobody declared
+    in an earlier round); the checks verify, with the genuine knowledge
+    transformer, that this rule is {e epistemically sound} (children only
+    declare what they know), truthful, complete, and correctly timed. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  children : int;
+  muddy : Space.var array;     (** constant; init requires at least one *)
+  declared : Space.var array;
+  latched : Space.var array;   (** end-of-previous-round snapshot *)
+  phase : Space.var;           (** whose turn within the round; [n] = round end *)
+  round : Space.var;           (** 0-based round counter, capped at [n] *)
+}
+
+val make : children:int -> t
+(** @raise Invalid_argument unless [2 ≤ children ≤ 4] (state space grows
+    as [2^{3n}]). *)
+
+val epistemically_sound : t -> bool
+(** invariant: [declared_i ⇒ K_i(muddy_i)] for every child — declaring is
+    knowing. *)
+
+val truthful : t -> bool
+(** invariant: [declared_i ⇒ muddy_i]. *)
+
+val all_muddy_eventually_declare : t -> bool
+(** [muddy_i ↦ declared_i] for every child (fair leads-to). *)
+
+val clean_never_declare : t -> bool
+(** invariant: [¬muddy_i ⇒ ¬declared_i]. *)
+
+val silence_teaches : t -> child:int -> bool
+(** The knowledge-from-silence effect: in every reachable state where all
+    children are muddy, the first [children - 1] rounds have passed and
+    nobody has declared, child [child] knows its own muddiness — although
+    it still cannot see its own forehead. *)
+
+val ignorance_before : t -> child:int -> bool
+(** Conversely, with everyone muddy and the round counter still at zero,
+    the child does {e not} know. *)

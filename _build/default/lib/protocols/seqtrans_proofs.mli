@@ -1,0 +1,54 @@
+(** Mechanised replay of the paper's §6 correctness proofs in the LCF
+    kernel ({!Kpt_logic.Proof}).
+
+    The liveness derivation (eqs. 39–49) is implemented once as a
+    {e parametric chain} over an abstract context: predicate families for
+    [K_R(x_k = α)], [K_S K_R x_k] and [K_S(j ≥ k)] plus the premise
+    theorems Kbp-1..4 and the invariants (37), (38), (46), (48).  The
+    chain is then instantiated twice, exactly as the paper intends:
+
+    - on the {e knowledge-based protocol} (Figure 3, weaker
+      interpretation), where the premises are proved from the program
+      text — every rule application of §6.2 is replayed: conjunction
+      with the stability assumptions instead of a direct [wp] (the
+      paper's own remark under (40)), PSP with Kbp-1/Kbp-2, the
+      invariant correspondences (46)/(48), the induction of (47), and
+      the final disjunctions; and
+
+    - on the {e standard protocol} (Figure 4), where the candidate
+      predicates (50)–(52) replace the knowledge variables, stability
+      (55)–(56) is proved from the text, and the channel obligations
+      St-3/St-4 are either {e assumed} (lossy channel — the theorem then
+      carries those assumptions, reproducing the paper's conditional
+      correctness) or discharged by the finite-state decision procedure
+      (duplicating-only channel).
+
+    Safety (eq. 34) and the knowledge-discharge invariants (54), (61),
+    (62) are derived by rule 32 with explicitly constructed inductive
+    strengthenings (the paper's history-variable arguments, re-expressed
+    over the capacity-1 channel state). *)
+
+open Kpt_logic
+
+val replay_abstract : Seqtrans.abstract -> (string * Proof.thm) list
+(** All named theorems of the Figure-3 derivation, assumption-free:
+    ["inv-y"], ["inv-37"], ["inv-38"], ["kr-sound(14)"],
+    ["kskr-sound"], ["ksj-sound"], ["safety(34)"], ["Kbp-1"], ["Kbp-2"],
+    ["Kbp-3"], ["Kbp-4"], ["(40)"], …, ["liveness(35)@k"] for each
+    [k < n].  @raise Proof.Rule_violation if any step fails (it must
+    not). *)
+
+val replay_standard : assume_channel:bool -> Seqtrans.standard -> (string * Proof.thm) list
+(** The Figure-4 derivation.  With [assume_channel:true] the St-3/St-4
+    obligations are introduced with {!Proof.assume} and every liveness
+    theorem lists them; with [false] they are discharged by
+    {!Proof.leadsto_model_checked} (sound only when the instance really
+    satisfies them, e.g. the duplicating-only channel). *)
+
+val inv37_paper_style : Seqtrans.abstract -> Proof.thm
+(** The paper's own proof of invariant (37), step for step: "j = k unless
+    j = k+1 {from text}; K_Rx_k unless false {Kbp-3}; conjunction; j = k
+    unless j = k ∧ K_Rx_k {from text}; cancellation; stable P.k {conj with
+    Kbp-3}; conjunction; generalized disjunction" — closed with
+    {!Proof.invariant_from_stable}.  Exercises exactly the metatheorems
+    the paper's margin notes name. *)

@@ -1,0 +1,35 @@
+(** Stenning's data transfer protocol [Ste82] (window size 1) — the other
+    classical refinement the paper's §6 cites.
+
+    Unlike the Figure-4 standard protocol (whose ack carries the
+    receiver's {e next needed} index [j]), Stenning's receiver
+    acknowledges the {e highest index delivered so far} ([j - 1]), and
+    the sender advances when that equals its current index [i].
+    Functionally equivalent over our channels; structurally a distinct
+    member of the family, useful as a second instantiation target. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type t = {
+  prog : Program.t;
+  space : Space.t;
+  params : Seqtrans.params;
+  xs : Space.var array;
+  ws : Space.var array;
+  y : Space.var;
+  i : Space.var;
+  j : Space.var;
+  z : Space.var;   (** sender's ack register: last index the receiver delivered *)
+  zp : Space.var;  (** receiver's data register *)
+  data : Channel.t;
+  ack : Channel.t;
+}
+
+val make : ?lossy:bool -> Seqtrans.params -> t
+
+val safety : t -> Bdd.t
+(** Eq. 34 for the Stenning instance. *)
+
+val liveness_holds : t -> k:int -> bool
+(** Eq. 35 instance under fair leads-to. *)

@@ -1,0 +1,1 @@
+lib/runs/exec.ml: Array Format Hashtbl Kpt_predicate Kpt_unity List Program Space Stdlib Stmt

@@ -1,0 +1,1 @@
+lib/runs/exec.mli: Format Kpt_predicate Kpt_unity Program Space Stdlib

@@ -1,0 +1,1 @@
+lib/runs/interpreted.ml: Array Buffer Hashtbl Kpt_core Kpt_predicate Kpt_unity List Process Program Space Stmt

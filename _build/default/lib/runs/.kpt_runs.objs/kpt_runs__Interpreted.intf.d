@@ -1,0 +1,1 @@
+lib/runs/interpreted.mli: Bdd Kpt_predicate Kpt_unity Process Program Space

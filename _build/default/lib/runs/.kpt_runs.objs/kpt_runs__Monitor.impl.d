@@ -1,0 +1,1 @@
+lib/runs/monitor.ml: Array Exec Kpt_predicate List Space

@@ -1,0 +1,1 @@
+lib/runs/monitor.mli: Bdd Exec Kpt_predicate Space

@@ -1,0 +1,1 @@
+lib/runs/reachability.ml: Array Hashtbl Kpt_core Kpt_predicate Kpt_unity List Process Program Queue Space Stmt

@@ -1,0 +1,88 @@
+open Kpt_predicate
+open Kpt_unity
+
+type scheduler =
+  | Round_robin
+  | Random_fair of int
+  | Weighted of (string * int) list * int
+
+type step = { index : int; statement : string; state : Space.state }
+type trace = { initial : Space.state; steps : step list }
+
+let random_init prog rng =
+  let space = Program.space prog in
+  let candidates = Space.states_of space (Program.init prog) in
+  match candidates with
+  | [] -> invalid_arg "Exec.random_init: empty initial condition"
+  | _ ->
+      let n = List.length candidates in
+      List.nth candidates (Stdlib.Random.State.int rng n)
+
+let picker prog scheduler =
+  let stmts = Array.of_list (Program.statements prog) in
+  let n = Array.length stmts in
+  match scheduler with
+  | Round_robin ->
+      let k = ref (-1) in
+      fun () ->
+        k := (!k + 1) mod n;
+        stmts.(!k)
+  | Random_fair seed ->
+      let rng = Stdlib.Random.State.make [| seed |] in
+      fun () -> stmts.(Stdlib.Random.State.int rng n)
+  | Weighted (weights, seed) ->
+      let rng = Stdlib.Random.State.make [| seed |] in
+      let weight s =
+        match List.assoc_opt (Stmt.name s) weights with Some w -> w | None -> 1
+      in
+      let ws = Array.map weight stmts in
+      let total = Array.fold_left ( + ) 0 ws in
+      if total <= 0 then invalid_arg "Exec: all statement weights are zero";
+      fun () ->
+        let r = ref (Stdlib.Random.State.int rng total) in
+        let chosen = ref stmts.(0) in
+        (try
+           for i = 0 to n - 1 do
+             r := !r - ws.(i);
+             if !r < 0 then begin
+               chosen := stmts.(i);
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !chosen
+
+let run prog ~scheduler ~steps ~init =
+  let space = Program.space prog in
+  if not (Space.holds_at space (Program.init prog) init) then
+    invalid_arg "Exec.run: state does not satisfy the initial condition";
+  let next = picker prog scheduler in
+  let rec go k state acc =
+    if k > steps then List.rev acc
+    else
+      let s = next () in
+      let state' = Stmt.exec space s state in
+      go (k + 1) state' ({ index = k; statement = Stmt.name s; state = state' } :: acc)
+  in
+  { initial = Array.copy init; steps = go 1 init [] }
+
+let states t = t.initial :: List.map (fun s -> s.state) t.steps
+
+let final t =
+  match List.rev t.steps with [] -> t.initial | last :: _ -> last.state
+
+let statement_counts t =
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      let c = match Hashtbl.find_opt tbl s.statement with Some c -> c | None -> 0 in
+      Hashtbl.replace tbl s.statement (c + 1))
+    t.steps;
+  Hashtbl.fold (fun name c acc -> (name, c) :: acc) tbl [] |> List.sort compare
+
+let pp space fmt t =
+  Format.fprintf fmt "@[<v>%a" (Space.pp_state space) t.initial;
+  List.iter
+    (fun s -> Format.fprintf fmt "@,--%s--> %a" s.statement (Space.pp_state space) s.state)
+    t.steps;
+  Format.fprintf fmt "@]"

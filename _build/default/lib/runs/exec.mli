@@ -1,0 +1,53 @@
+(** Concrete execution of UNITY programs: the paper's run semantics.
+
+    "An execution of a program begins in a state satisfying init, then
+    repeatedly executes, atomically, statements of the program.  The
+    choice of the statement to execute at each step is non-deterministic
+    with a fairness constraint that each statement must be attempted
+    infinitely often." (§5)
+
+    This module produces finite prefixes of such executions under several
+    schedulers.  Unlike the symbolic layer it never builds BDDs, so it
+    scales to the large instances used by the benchmarks. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type scheduler =
+  | Round_robin
+      (** Statements in cyclic order — the canonical fair scheduler. *)
+  | Random_fair of int
+      (** Uniform random choice (seeded); fair with probability one, and
+          every finite prefix requirement is met on long runs. *)
+  | Weighted of (string * int) list * int
+      (** Biased random choice by statement name (seeded); any statement
+          absent from the list gets weight 1.  Fair iff all weights are
+          positive — weight 0 models a {e broken} (unfair) scheduler for
+          failure-injection tests. *)
+
+type step = { index : int; statement : string; state : Space.state }
+
+type trace = { initial : Space.state; steps : step list }
+(** [steps] in execution order; [state] is the state {e after} the
+    statement ran. *)
+
+val random_init : Program.t -> Stdlib.Random.State.t -> Space.state
+(** A uniformly random state satisfying the program's initial condition
+    (by enumeration of init states — symbolic spaces only).
+    @raise Invalid_argument if the initial predicate has no states. *)
+
+val run :
+  Program.t -> scheduler:scheduler -> steps:int -> init:Space.state -> trace
+(** Execute [steps] statements from [init].
+    @raise Invalid_argument if [init] fails the initial condition. *)
+
+val states : trace -> Space.state list
+(** All states visited, in order, starting with the initial one. *)
+
+val final : trace -> Space.state
+
+val statement_counts : trace -> (string * int) list
+(** How often each statement ran (sorted by name) — used to check
+    fairness of schedulers. *)
+
+val pp : Space.t -> Format.formatter -> trace -> unit

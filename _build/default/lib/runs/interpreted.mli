@@ -1,0 +1,70 @@
+(** The [HM90] interpreted-systems semantics, bounded: runs, points and
+    {e view-based} knowledge for views other than the paper's.
+
+    §3 situates the paper's definition inside Halpern–Moses's spectrum:
+    "The notion of a view function is quite general, ranging from allowing
+    processes to use their entire local histories to distinguish between
+    points, to not being able to distinguish between points at all" — and
+    the paper deliberately fixes the view to the projection of the
+    {e current} state.
+
+    This module makes the comparison executable.  It enumerates every run
+    prefix of a program up to a depth bound (a {e point} is a prefix), and
+    computes knowledge for three views:
+
+    - {e state view}: the projection of the last state — this must agree
+      with the paper's [K_i] wherever the bound has saturated reachability
+      (tested);
+    - {e perfect recall}: the full local history (sequence of projections,
+      stuttering collapsed, as in [HM90]'s message-based histories) — at
+      least as strong as the state view;
+    - {e oblivious}: the constant view — knowledge collapses to validity
+      over all points.
+
+    Run prefixes are generated under the UNITY scheduler (any statement at
+    each step), so points at depth [d] cover every length-≤d behaviour. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+type point
+(** A run prefix together with its time (= its length). *)
+
+type system
+(** All points of a program up to the depth bound. *)
+
+val build : ?depth:int -> Program.t -> system
+(** Enumerate all points up to [depth] (default 6) scheduler steps.
+    Exponential in [depth] × statements; intended for small programs.
+    States are deduplicated per prefix, so the point count is bounded by
+    the number of distinct local-history equivalence classes. *)
+
+val points : system -> point list
+val current_state : point -> Space.state
+val time : point -> int
+
+type view = State_view | Perfect_recall | Oblivious
+
+val knows_at :
+  system -> view:view -> Process.t -> (Space.state -> bool) -> point -> bool
+(** [HM90] knowledge: the fact holds at every point of the system the
+    process cannot distinguish from this one under the given view. *)
+
+val knowledge_pred : system -> view:view -> Process.t -> Bdd.t -> point -> bool
+(** Same, with the fact given as a predicate. *)
+
+val state_view_matches_k :
+  system -> Program.t -> string -> Bdd.t -> bool
+(** Does state-view run knowledge coincide with the paper's [K_i] at
+    every point whose current state it classifies?  True whenever the
+    depth bound saturates reachability (tested in the suite). *)
+
+val recall_refines_state : system -> Process.t -> Bdd.t -> Program.t -> bool
+(** Perfect recall knows at least as much as the state view, at every
+    point. *)
+
+val recall_strictly_finer_somewhere :
+  system -> Process.t -> Bdd.t -> Program.t -> point option
+(** A point where perfect recall knows the fact and the state view does
+    not — the separation §3 alludes to.  [None] if the views agree on
+    this fact. *)

@@ -1,0 +1,25 @@
+(** Runtime property monitors: check UNITY properties {e along a concrete
+    trace}.  A trace can only refute safety and measure liveness — these
+    monitors complement the exact symbolic checkers on instances too large
+    to model-check, and power the benchmark harness's latency metrics. *)
+
+open Kpt_predicate
+
+val first_violation : Space.t -> Bdd.t -> Exec.trace -> int option
+(** Index (0 = initial state) of the first state violating a putative
+    invariant, or [None]. *)
+
+val check_unless : Space.t -> p:Bdd.t -> q:Bdd.t -> Exec.trace -> int option
+(** First index where [p ∧ ¬q] held and the next state satisfied
+    [¬p ∧ ¬q] — a witnessed [unless] violation. *)
+
+val eventually : Space.t -> Bdd.t -> Exec.trace -> int option
+(** Index of the first state satisfying the predicate. *)
+
+val response_times : Space.t -> p:Bdd.t -> q:Bdd.t -> Exec.trace -> int list
+(** For each state satisfying [p ∧ ¬q], the number of steps until the
+    next state satisfying [q] (pending obligations at the end of the
+    trace are dropped) — the trace-level view of [p ↦ q]. *)
+
+val count_where : Space.t -> Bdd.t -> Exec.trace -> int
+(** Number of trace states satisfying the predicate. *)

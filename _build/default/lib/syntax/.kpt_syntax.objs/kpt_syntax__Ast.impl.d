@@ -1,0 +1,1 @@
+lib/syntax/ast.ml: Format List String

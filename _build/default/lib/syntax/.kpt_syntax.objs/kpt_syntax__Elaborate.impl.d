@@ -1,0 +1,1 @@
+lib/syntax/elaborate.ml: Array Ast Expr Format Hashtbl Kbp Kform Kpt_core Kpt_predicate Kpt_unity List Printf Process Space Stmt String

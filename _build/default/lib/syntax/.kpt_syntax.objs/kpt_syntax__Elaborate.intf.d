@@ -1,0 +1,1 @@
+lib/syntax/elaborate.mli: Ast Kbp Kpt_core Kpt_predicate Kpt_unity Space

@@ -1,0 +1,1 @@
+lib/syntax/parser.ml: Ast Format List Printf Token

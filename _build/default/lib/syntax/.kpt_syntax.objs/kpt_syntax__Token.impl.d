@@ -1,0 +1,1 @@
+lib/syntax/token.ml: Format List Printf String

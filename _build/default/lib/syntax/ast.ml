@@ -1,0 +1,128 @@
+type ty = Tbool | Tnat of int | Tenum of string list | Tarray of ty * int
+
+type expr =
+  | Etrue
+  | Efalse
+  | Enum of int
+  | Eident of string
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Eimp of expr * expr
+  | Eiff of expr * expr
+  | Eeq of expr * expr
+  | Ene of expr * expr
+  | Elt of expr * expr
+  | Ele of expr * expr
+  | Egt of expr * expr
+  | Ege of expr * expr
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Eindex of string * expr
+  | Eknow of string * expr
+  | Egroup of gkind * string list * expr
+
+and gkind = Geveryone | Gcommon | Gdistributed
+
+type target = Tvar of string | Tindex of string * expr
+
+type stmt = {
+  s_name : string option;
+  s_targets : target list;
+  s_exprs : expr list;
+  s_guard : expr option;
+}
+
+type program = {
+  p_name : string;
+  p_vars : (string list * ty) list;
+  p_processes : (string * string list) list;
+  p_init : expr;
+  p_stmts : stmt list;
+}
+
+(* Precedence levels for printing with minimal parentheses:
+   1 iff, 2 imp, 3 or, 4 and, 5 not, 6 comparison, 7 additive, 8 atom. *)
+let rec level = function
+  | Eiff _ -> 1
+  | Eimp _ -> 2
+  | Eor _ -> 3
+  | Eand _ -> 4
+  | Enot _ -> 5
+  | Eeq _ | Ene _ | Elt _ | Ele _ | Egt _ | Ege _ -> 6
+  | Eadd _ | Esub _ -> 7
+  | Etrue | Efalse | Enum _ | Eident _ | Eindex _ | Eknow _ | Egroup _ -> 8
+
+and pp_expr fmt e = pp_at 0 fmt e
+
+and pp_at min fmt e =
+  let l = level e in
+  let wrap = l < min in
+  if wrap then Format.fprintf fmt "(";
+  (match e with
+  | Etrue -> Format.fprintf fmt "true"
+  | Efalse -> Format.fprintf fmt "false"
+  | Enum n -> Format.fprintf fmt "%d" n
+  | Eident s -> Format.fprintf fmt "%s" s
+  | Eindex (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+  | Enot a -> Format.fprintf fmt "~%a" (pp_at 5) a
+  | Eand (a, b) -> Format.fprintf fmt "%a /\\ %a" (pp_at 4) a (pp_at 5) b
+  | Eor (a, b) -> Format.fprintf fmt "%a \\/ %a" (pp_at 3) a (pp_at 4) b
+  | Eimp (a, b) -> Format.fprintf fmt "%a => %a" (pp_at 3) a (pp_at 2) b
+  | Eiff (a, b) -> Format.fprintf fmt "%a <=> %a" (pp_at 2) a (pp_at 1) b
+  | Eeq (a, b) -> Format.fprintf fmt "%a = %a" (pp_at 7) a (pp_at 7) b
+  | Ene (a, b) -> Format.fprintf fmt "%a != %a" (pp_at 7) a (pp_at 7) b
+  | Elt (a, b) -> Format.fprintf fmt "%a < %a" (pp_at 7) a (pp_at 7) b
+  | Ele (a, b) -> Format.fprintf fmt "%a <= %a" (pp_at 7) a (pp_at 7) b
+  | Egt (a, b) -> Format.fprintf fmt "%a > %a" (pp_at 7) a (pp_at 7) b
+  | Ege (a, b) -> Format.fprintf fmt "%a >= %a" (pp_at 7) a (pp_at 7) b
+  | Eadd (a, b) -> Format.fprintf fmt "%a + %a" (pp_at 7) a (pp_at 8) b
+  | Esub (a, b) -> Format.fprintf fmt "%a - %a" (pp_at 7) a (pp_at 8) b
+  | Eknow (p, a) -> Format.fprintf fmt "K[%s](%a)" p pp_expr a
+  | Egroup (kind, ps, a) ->
+      let letter =
+        match kind with Geveryone -> "E" | Gcommon -> "C" | Gdistributed -> "D"
+      in
+      Format.fprintf fmt "%s[%s](%a)" letter (String.concat ", " ps) pp_expr a);
+  if wrap then Format.fprintf fmt ")"
+
+let rec pp_ty fmt = function
+  | Tbool -> Format.fprintf fmt "bool"
+  | Tnat k -> Format.fprintf fmt "nat(%d)" k
+  | Tenum vs -> Format.fprintf fmt "enum(%s)" (String.concat ", " vs)
+  | Tarray (ty, n) -> Format.fprintf fmt "%a[%d]" pp_ty ty n
+
+let pp_target fmt = function
+  | Tvar s -> Format.fprintf fmt "%s" s
+  | Tindex (a, e) -> Format.fprintf fmt "%s[%a]" a pp_expr e
+
+let pp_stmt fmt s =
+  (match s.s_name with Some n -> Format.fprintf fmt "%s: " n | None -> ());
+  Format.fprintf fmt "%s := %s"
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_target) s.s_targets))
+    (String.concat ", " (List.map (Format.asprintf "%a" pp_expr) s.s_exprs));
+  match s.s_guard with
+  | Some g -> Format.fprintf fmt " if %a" pp_expr g
+  | None -> ()
+
+let pp_program fmt p =
+  Format.fprintf fmt "@[<v>program %s@," p.p_name;
+  List.iter
+    (fun (names, ty) ->
+      Format.fprintf fmt "var %s : %a@," (String.concat ", " names) pp_ty ty)
+    p.p_vars;
+  if p.p_processes <> [] then begin
+    Format.fprintf fmt "processes@,";
+    List.iter
+      (fun (name, vars) ->
+        Format.fprintf fmt "  %s = { %s }@," name (String.concat ", " vars))
+      p.p_processes
+  end;
+  Format.fprintf fmt "init %a@," pp_expr p.p_init;
+  Format.fprintf fmt "assign@,";
+  List.iteri
+    (fun i s ->
+      if i = 0 then Format.fprintf fmt "  %a@," pp_stmt s
+      else Format.fprintf fmt "| %a@," pp_stmt s)
+    p.p_stmts;
+  Format.fprintf fmt "@]"

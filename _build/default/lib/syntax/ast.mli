@@ -1,0 +1,54 @@
+(** Surface abstract syntax for the concrete UNITY / KBP notation, plus a
+    pretty-printer that round-trips through the parser. *)
+
+type ty =
+  | Tbool
+  | Tnat of int  (** [nat(k)] = values 0..k *)
+  | Tenum of string list
+  | Tarray of ty * int  (** [ty[n]]: an array of [n] scalar elements *)
+
+type expr =
+  | Etrue
+  | Efalse
+  | Enum of int
+  | Eident of string  (** variable or enum literal — resolved at elaboration *)
+  | Enot of expr
+  | Eand of expr * expr
+  | Eor of expr * expr
+  | Eimp of expr * expr
+  | Eiff of expr * expr
+  | Eeq of expr * expr
+  | Ene of expr * expr
+  | Elt of expr * expr
+  | Ele of expr * expr
+  | Egt of expr * expr
+  | Ege of expr * expr
+  | Eadd of expr * expr
+  | Esub of expr * expr
+  | Eindex of string * expr  (** [a[e]]: dynamic array indexing *)
+  | Eknow of string * expr  (** [K[p](e)] *)
+  | Egroup of gkind * string list * expr  (** [E[..](e)], [C[..](e)], [D[..](e)] *)
+
+and gkind = Geveryone | Gcommon | Gdistributed
+
+type target = Tvar of string | Tindex of string * expr  (** [a[e] := …] *)
+
+type stmt = {
+  s_name : string option;
+  s_targets : target list;
+  s_exprs : expr list;
+  s_guard : expr option;
+}
+
+type program = {
+  p_name : string;
+  p_vars : (string list * ty) list;      (** in declaration order *)
+  p_processes : (string * string list) list;
+  p_init : expr;
+  p_stmts : stmt list;
+}
+
+val pp_expr : Format.formatter -> expr -> unit
+val pp_program : Format.formatter -> program -> unit
+(** Prints valid surface syntax (parse ∘ print = id up to statement
+    names). *)

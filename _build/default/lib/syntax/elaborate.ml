@@ -1,0 +1,207 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+exception Elab_error of string
+
+let err fmt = Format.kasprintf (fun s -> raise (Elab_error s)) fmt
+
+(* Enum literals visible in a space: value name → index.  Requires global
+   uniqueness, checked at declaration time for parsed programs and lazily
+   here for externally built spaces. *)
+let literal_table sp =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun v ->
+      (* enum variables are those whose value names are not bool/numeric *)
+      for k = 0 to Space.card v - 1 do
+        let name = Space.value_name v k in
+        if
+          name <> "true" && name <> "false"
+          && not (String.length name > 0 && name.[0] >= '0' && name.[0] <= '9')
+        then
+          match Hashtbl.find_opt tbl name with
+          | Some k' when k' <> k -> err "enum literal %s is ambiguous" name
+          | _ -> Hashtbl.replace tbl name k
+      done)
+    (Space.vars sp);
+  tbl
+
+type half = E of Expr.t | F of Kform.t
+
+(* arrays in scope: surface name → element variables *)
+type ctx = { sp : Space.t; literals : (string, int) Hashtbl.t; arrays : (string, Space.var array) Hashtbl.t }
+
+let as_expr = function
+  | E e -> e
+  | F _ -> err "knowledge operators may only appear in guards, not in arithmetic or init"
+
+let as_kform = function E e -> Kform.base e | F f -> f
+
+let rec elab ctx = function
+  | Ast.Etrue -> E Expr.tru
+  | Ast.Efalse -> E Expr.fls
+  | Ast.Enum n -> E (Expr.nat n)
+  | Ast.Eident name -> (
+      if Hashtbl.mem ctx.arrays name then err "array %s used without an index" name;
+      match Space.find ctx.sp name with
+      | v -> E (Expr.var v)
+      | exception Not_found -> (
+          match Hashtbl.find_opt ctx.literals name with
+          | Some k -> E (Expr.nat k)
+          | None -> err "unknown identifier %s" name))
+  | Ast.Eindex (name, idx) -> (
+      match Hashtbl.find_opt ctx.arrays name with
+      | Some arr -> E (Expr.select arr (as_expr (elab ctx idx)))
+      | None -> err "%s is not an array" name)
+  | Ast.Enot a -> (
+      match elab ctx a with
+      | E e -> E (Expr.not_ e)
+      | F f -> F (Kform.knot f))
+  | Ast.Eand (a, b) -> bool_op ctx a b (fun x y -> Expr.(x &&& y)) (fun x y -> Kform.(x &&. y))
+  | Ast.Eor (a, b) -> bool_op ctx a b (fun x y -> Expr.(x ||| y)) (fun x y -> Kform.(x ||. y))
+  | Ast.Eimp (a, b) -> bool_op ctx a b (fun x y -> Expr.(x ==> y)) (fun x y -> Kform.(x ==>. y))
+  | Ast.Eiff (a, b) ->
+      bool_op ctx a b
+        (fun x y -> Expr.Iff (x, y))
+        (fun x y -> Kform.((x ==>. y) &&. (y ==>. x)))
+  | Ast.Eeq (a, b) -> E Expr.(as_expr (elab ctx a) === as_expr (elab ctx b))
+  | Ast.Ene (a, b) -> E Expr.(as_expr (elab ctx a) <<> as_expr (elab ctx b))
+  | Ast.Elt (a, b) -> E Expr.(as_expr (elab ctx a) <<< as_expr (elab ctx b))
+  | Ast.Ele (a, b) -> E Expr.(as_expr (elab ctx a) <== as_expr (elab ctx b))
+  | Ast.Egt (a, b) -> E Expr.(as_expr (elab ctx a) >>> as_expr (elab ctx b))
+  | Ast.Ege (a, b) -> E Expr.(as_expr (elab ctx a) >== as_expr (elab ctx b))
+  | Ast.Eadd (a, b) -> E Expr.(as_expr (elab ctx a) +! as_expr (elab ctx b))
+  | Ast.Esub (a, b) -> E Expr.(as_expr (elab ctx a) -! as_expr (elab ctx b))
+  | Ast.Eknow (p, a) -> F (Kform.k p (as_kform (elab ctx a)))
+  | Ast.Egroup (kind, ps, a) ->
+      let f = as_kform (elab ctx a) in
+      F
+        (match kind with
+        | Ast.Geveryone -> Kform.ek ps f
+        | Ast.Gcommon -> Kform.ck ps f
+        | Ast.Gdistributed -> Kform.dk ps f)
+
+and bool_op ctx a b on_expr on_kform =
+  match (elab ctx a, elab ctx b) with
+  | E x, E y -> E (on_expr x y)
+  | x, y -> F (on_kform (as_kform x) (as_kform y))
+
+(* Recover array structure from a space's element naming convention
+   ("name[k]"), so standalone predicates can index arrays of an already
+   elaborated program. *)
+let arrays_of_space sp =
+  let groups : (string, (int * Space.var) list) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun v ->
+      let name = Space.name v in
+      match String.index_opt name '[' with
+      | Some i when String.length name > i + 1 && name.[String.length name - 1] = ']' ->
+          let base = String.sub name 0 i in
+          let idx_s = String.sub name (i + 1) (String.length name - i - 2) in
+          (match int_of_string_opt idx_s with
+          | Some k ->
+              let cur = match Hashtbl.find_opt groups base with Some l -> l | None -> [] in
+              Hashtbl.replace groups base ((k, v) :: cur)
+          | None -> ())
+      | _ -> ())
+    (Space.vars sp);
+  let arrays = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun base elems ->
+      let sorted = List.sort compare elems in
+      arrays |> fun t -> Hashtbl.replace t base (Array.of_list (List.map snd sorted)))
+    groups;
+  arrays
+
+let expr sp ast =
+  let ctx = { sp; literals = literal_table sp; arrays = arrays_of_space sp } in
+  as_expr (elab ctx ast)
+
+let declare_scalar sp name = function
+  | Ast.Tbool -> ignore (Space.bool_var sp name)
+  | Ast.Tnat k ->
+      if k < 0 then err "nat(%d): negative bound" k;
+      ignore (Space.nat_var sp name ~max:k)
+  | Ast.Tenum vs ->
+      if vs = [] then err "enum with no values";
+      ignore (Space.enum_var sp name ~values:(Array.of_list vs))
+  | Ast.Tarray _ -> err "nested arrays are not supported"
+
+let program (p : Ast.program) =
+  let sp = Space.create () in
+  let arrays = Hashtbl.create 8 in
+  (* declare variables *)
+  List.iter
+    (fun (names, ty) ->
+      List.iter
+        (fun name ->
+          match ty with
+          | Ast.Tarray (elem, len) ->
+              if len <= 0 then err "array %s has non-positive length" name;
+              let elems =
+                Array.init len (fun k ->
+                    let ename = Printf.sprintf "%s[%d]" name k in
+                    declare_scalar sp ename elem;
+                    Space.find sp ename)
+              in
+              Hashtbl.replace arrays name elems
+          | _ -> declare_scalar sp name ty)
+        names)
+    p.Ast.p_vars;
+  let ctx = { sp; literals = literal_table sp; arrays } in
+  let resolve_var name =
+    match Space.find sp name with
+    | v -> v
+    | exception Not_found -> err "unknown variable %s" name
+  in
+  (* a process naming an array gets all its elements *)
+  let resolve_proc_var name =
+    match Hashtbl.find_opt arrays name with
+    | Some arr -> Array.to_list arr
+    | None -> [ resolve_var name ]
+  in
+  let processes =
+    List.map
+      (fun (name, vars) -> Process.make name (List.concat_map resolve_proc_var vars))
+      p.Ast.p_processes
+  in
+  let init = as_expr (elab ctx p.Ast.p_init) in
+  let stmts =
+    List.mapi
+      (fun i (s : Ast.stmt) ->
+        let name = match s.Ast.s_name with Some n -> n | None -> Printf.sprintf "s%d" i in
+        if List.length s.Ast.s_targets <> List.length s.Ast.s_exprs then
+          err "statement %s: %d targets but %d expressions" name
+            (List.length s.Ast.s_targets) (List.length s.Ast.s_exprs);
+        let assigns =
+          List.concat
+            (List.map2
+               (fun target rhs ->
+                 let rhs_e = as_expr (elab ctx rhs) in
+                 match target with
+                 | Ast.Tvar tname ->
+                     if Hashtbl.mem arrays tname then
+                       err "statement %s: array %s assigned without an index" name tname;
+                     [ (resolve_var tname, rhs_e) ]
+                 | Ast.Tindex (tname, idx) -> (
+                     match Hashtbl.find_opt arrays tname with
+                     | Some arr ->
+                         Stmt.array_write arr ~index:(as_expr (elab ctx idx)) rhs_e
+                     | None -> err "statement %s: %s is not an array" name tname))
+               s.Ast.s_targets s.Ast.s_exprs)
+        in
+        let guard =
+          match s.Ast.s_guard with
+          | None -> Kform.base Expr.tru
+          | Some g -> as_kform (elab ctx g)
+        in
+        Kbp.kstmt ~name ~guard assigns)
+      p.Ast.p_stmts
+  in
+  let kbp =
+    try Kbp.make sp ~name:p.Ast.p_name ~init ~processes stmts with
+    | Kbp.Ill_formed msg -> err "%s" msg
+    | Expr.Type_error msg -> err "type error: %s" msg
+  in
+  (sp, kbp)

@@ -1,0 +1,296 @@
+open Token
+
+exception Parse_error of string
+
+type state = { mutable toks : located list }
+
+let error (lt : located) fmt =
+  Format.kasprintf
+    (fun s -> raise (Parse_error (Printf.sprintf "line %d, col %d: %s" lt.line lt.col s)))
+    fmt
+
+let peek st = match st.toks with [] -> assert false | t :: _ -> t
+let next st =
+  match st.toks with
+  | [] -> assert false
+  | t :: rest ->
+      if t.tok <> EOF then st.toks <- rest;
+      t
+
+let expect st tok =
+  let t = next st in
+  if t.tok <> tok then error t "expected %s but found %s" (describe tok) (describe t.tok)
+
+let ident st =
+  let t = next st in
+  match t.tok with
+  | IDENT s -> s
+  | _ -> error t "expected an identifier, found %s" (describe t.tok)
+
+let number st =
+  let t = next st in
+  match t.tok with
+  | NUM n -> n
+  | _ -> error t "expected a number, found %s" (describe t.tok)
+
+let ident_list st =
+  let rec go acc =
+    let name = ident st in
+    if (peek st).tok = COMMA then begin
+      ignore (next st);
+      go (name :: acc)
+    end
+    else List.rev (name :: acc)
+  in
+  go []
+
+(* ---- expressions --------------------------------------------------------- *)
+
+(* precedence climbing: iff < imp < or < and < not < cmp < additive < atom *)
+let rec parse_iff st =
+  let lhs = parse_imp st in
+  if (peek st).tok = IFF then begin
+    ignore (next st);
+    Ast.Eiff (lhs, parse_iff st)
+  end
+  else lhs
+
+and parse_imp st =
+  let lhs = parse_or st in
+  if (peek st).tok = IMP then begin
+    ignore (next st);
+    Ast.Eimp (lhs, parse_imp st)
+  end
+  else lhs
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while (peek st).tok = OR do
+    ignore (next st);
+    lhs := Ast.Eor (!lhs, parse_and st)
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while (peek st).tok = AND do
+    ignore (next st);
+    lhs := Ast.Eand (!lhs, parse_not st)
+  done;
+  !lhs
+
+and parse_not st =
+  if (peek st).tok = NOT then begin
+    ignore (next st);
+    Ast.Enot (parse_not st)
+  end
+  else parse_cmp st
+
+and parse_cmp st =
+  let lhs = parse_add st in
+  let t = peek st in
+  let binop mk =
+    ignore (next st);
+    mk lhs (parse_add st)
+  in
+  match t.tok with
+  | EQDEF -> binop (fun a b -> Ast.Eeq (a, b))
+  | NE -> binop (fun a b -> Ast.Ene (a, b))
+  | LT -> binop (fun a b -> Ast.Elt (a, b))
+  | LE -> binop (fun a b -> Ast.Ele (a, b))
+  | GT -> binop (fun a b -> Ast.Egt (a, b))
+  | GE -> binop (fun a b -> Ast.Ege (a, b))
+  | _ -> lhs
+
+and parse_add st =
+  let lhs = ref (parse_atom st) in
+  let rec go () =
+    match (peek st).tok with
+    | PLUS ->
+        ignore (next st);
+        lhs := Ast.Eadd (!lhs, parse_atom st);
+        go ()
+    | MINUS ->
+        ignore (next st);
+        lhs := Ast.Esub (!lhs, parse_atom st);
+        go ()
+    | _ -> ()
+  in
+  go ();
+  !lhs
+
+and parse_atom st =
+  let t = next st in
+  match t.tok with
+  | KTRUE -> Ast.Etrue
+  | KFALSE -> Ast.Efalse
+  | NUM n -> Ast.Enum n
+  | IDENT s ->
+      if (peek st).tok = LBRACK then begin
+        ignore (next st);
+        let e = parse_iff st in
+        expect st RBRACK;
+        Ast.Eindex (s, e)
+      end
+      else Ast.Eident s
+  | LPAR ->
+      let e = parse_iff st in
+      expect st RPAR;
+      e
+  | KKNOW ->
+      expect st LBRACK;
+      let p = ident st in
+      expect st RBRACK;
+      expect st LPAR;
+      let e = parse_iff st in
+      expect st RPAR;
+      Ast.Eknow (p, e)
+  | KEVERY | KCOMMON | KDISTR ->
+      let kind =
+        match t.tok with
+        | KEVERY -> Ast.Geveryone
+        | KCOMMON -> Ast.Gcommon
+        | _ -> Ast.Gdistributed
+      in
+      expect st LBRACK;
+      let ps = ident_list st in
+      expect st RBRACK;
+      expect st LPAR;
+      let e = parse_iff st in
+      expect st RPAR;
+      Ast.Egroup (kind, ps, e)
+  | _ -> error t "expected an expression, found %s" (describe t.tok)
+
+(* ---- declarations --------------------------------------------------------- *)
+
+let parse_ty st =
+  let t = next st in
+  let base =
+    match t.tok with
+    | KBOOL -> Ast.Tbool
+    | KNAT ->
+        expect st LPAR;
+        let k = number st in
+        expect st RPAR;
+        Ast.Tnat k
+    | KENUM ->
+        expect st LPAR;
+        let vs = ident_list st in
+        expect st RPAR;
+        Ast.Tenum vs
+    | _ -> error t "expected a type (bool, nat(k) or enum(..)), found %s" (describe t.tok)
+  in
+  (* optional array suffixes: ty[n][m]… *)
+  let rec suffix ty =
+    if (peek st).tok = LBRACK then begin
+      ignore (next st);
+      let n = number st in
+      expect st RBRACK;
+      suffix (Ast.Tarray (ty, n))
+    end
+    else ty
+  in
+  suffix base
+
+let parse_stmt st =
+  (* optional label: IDENT ':' — requires lookahead of two tokens *)
+  let name =
+    match st.toks with
+    | { tok = IDENT s; _ } :: { tok = COLON; _ } :: rest ->
+        st.toks <- rest;
+        Some s
+    | _ -> None
+  in
+  let parse_target () =
+    let name = ident st in
+    if (peek st).tok = LBRACK then begin
+      ignore (next st);
+      let e = parse_iff st in
+      expect st RBRACK;
+      Ast.Tindex (name, e)
+    end
+    else Ast.Tvar name
+  in
+  let rec targets acc =
+    let tgt = parse_target () in
+    if (peek st).tok = COMMA then begin
+      ignore (next st);
+      targets (tgt :: acc)
+    end
+    else List.rev (tgt :: acc)
+  in
+  let targets = targets [] in
+  expect st BECOMES;
+  let rec exprs acc =
+    let e = parse_iff st in
+    if (peek st).tok = COMMA then begin
+      ignore (next st);
+      exprs (e :: acc)
+    end
+    else List.rev (e :: acc)
+  in
+  let es = exprs [] in
+  let guard =
+    if (peek st).tok = KIF then begin
+      ignore (next st);
+      Some (parse_iff st)
+    end
+    else None
+  in
+  { Ast.s_name = name; s_targets = targets; s_exprs = es; s_guard = guard }
+
+let parse_program st =
+  expect st KPROGRAM;
+  let name = ident st in
+  let vars = ref [] in
+  while (peek st).tok = KVAR do
+    ignore (next st);
+    let names = ident_list st in
+    expect st COLON;
+    let ty = parse_ty st in
+    vars := (names, ty) :: !vars
+  done;
+  let processes = ref [] in
+  if (peek st).tok = KPROCESSES then begin
+    ignore (next st);
+    let rec go () =
+      match st.toks with
+      | { tok = IDENT p; _ } :: { tok = EQDEF; _ } :: rest ->
+          st.toks <- rest;
+          expect st LBRACE;
+          let vs = ident_list st in
+          expect st RBRACE;
+          processes := (p, vs) :: !processes;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  end;
+  expect st KINIT;
+  let init = parse_iff st in
+  expect st KASSIGN;
+  let stmts = ref [ parse_stmt st ] in
+  while (peek st).tok = BAR do
+    ignore (next st);
+    stmts := parse_stmt st :: !stmts
+  done;
+  let t = peek st in
+  if t.tok <> EOF then error t "unexpected %s after the assign section" (describe t.tok);
+  {
+    Ast.p_name = name;
+    p_vars = List.rev !vars;
+    p_processes = List.rev !processes;
+    p_init = init;
+    p_stmts = List.rev !stmts;
+  }
+
+let program_of_string src =
+  let st = { toks = tokenize src } in
+  parse_program st
+
+let expr_of_string src =
+  let st = { toks = tokenize src } in
+  let e = parse_iff st in
+  let t = peek st in
+  if t.tok <> EOF then error t "unexpected %s after the expression" (describe t.tok);
+  e

@@ -1,0 +1,11 @@
+(** Recursive-descent parser for the surface syntax (see {!Token} for the
+    grammar sketch). *)
+
+exception Parse_error of string
+(** Message includes line/column. *)
+
+val program_of_string : string -> Ast.program
+(** Parse a whole program.  @raise Parse_error / @raise Token.Lex_error. *)
+
+val expr_of_string : string -> Ast.expr
+(** Parse a standalone expression (useful for CLI predicates and tests). *)

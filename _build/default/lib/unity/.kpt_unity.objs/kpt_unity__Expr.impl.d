@@ -1,0 +1,1 @@
+lib/unity/expr.ml: Array Bdd Bitvec Format Hashtbl Kpt_predicate List Space

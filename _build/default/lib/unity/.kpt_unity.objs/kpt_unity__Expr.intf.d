@@ -1,0 +1,1 @@
+lib/unity/expr.mli: Bdd Bitvec Format Kpt_predicate Space

@@ -1,0 +1,1 @@
+lib/unity/process.ml: Format Kpt_predicate List Space String

@@ -1,0 +1,1 @@
+lib/unity/process.mli: Format Kpt_predicate Space

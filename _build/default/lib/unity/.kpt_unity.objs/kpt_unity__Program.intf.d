@@ -1,0 +1,1 @@
+lib/unity/program.mli: Bdd Expr Format Kpt_predicate Process Space Stmt

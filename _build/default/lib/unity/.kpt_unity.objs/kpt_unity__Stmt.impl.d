@@ -1,0 +1,1 @@
+lib/unity/stmt.ml: Array Bdd Bitvec Expr Format Hashtbl Kpt_predicate List Space

@@ -1,0 +1,1 @@
+lib/unity/stmt.mli: Bdd Expr Format Kpt_predicate Space

@@ -1,0 +1,198 @@
+open Kpt_predicate
+
+type t =
+  | Cbool of bool
+  | Cint of int
+  | Var of Space.var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Add of t * t
+  | Subsat of t * t
+  | Ite of t * t * t
+
+type ty = Tbool | Tnat
+
+exception Type_error of string
+
+let type_error fmt = Format.kasprintf (fun s -> raise (Type_error s)) fmt
+
+(* Variables of width 1 whose domain came from [bool_var] have card 2 and are
+   printed true/false; we type every card-2 "bool" variable as Boolean iff it
+   was declared Boolean.  Space does not expose the distinction, so we adopt
+   the convention: value_name 0 = "false" exactly for Booleans. *)
+let var_ty v = if Space.card v = 2 && Space.value_name v 0 = "false" then Tbool else Tnat
+
+let rec typeof = function
+  | Cbool _ -> Tbool
+  | Cint n ->
+      if n < 0 then type_error "negative natural constant %d" n;
+      Tnat
+  | Var v -> var_ty v
+  | Not e -> expect Tbool e "¬"
+  | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b) ->
+      ignore (expect Tbool a "boolean operator");
+      expect Tbool b "boolean operator"
+  | Eq (a, b) ->
+      let ta = typeof a and tb = typeof b in
+      if ta <> tb then type_error "equality between different sorts";
+      Tbool
+  | Lt (a, b) | Le (a, b) ->
+      ignore (expect Tnat a "comparison");
+      ignore (expect Tnat b "comparison");
+      Tbool
+  | Add (a, b) | Subsat (a, b) ->
+      ignore (expect Tnat a "arithmetic");
+      expect Tnat b "arithmetic"
+  | Ite (c, a, b) ->
+      ignore (expect Tbool c "ite condition");
+      let ta = typeof a and tb = typeof b in
+      if ta <> tb then type_error "ite branches of different sorts";
+      ta
+
+and expect ty e what =
+  let t = typeof e in
+  if t <> ty then type_error "ill-typed operand of %s" what;
+  t
+
+let tru = Cbool true
+let fls = Cbool false
+let nat n = Cint n
+let var v = Var v
+
+let enum v label =
+  let rec find k =
+    if k >= Space.card v then raise Not_found
+    else if Space.value_name v k = label then Cint k
+    else find (k + 1)
+  in
+  find 0
+
+let ( &&& ) a b = And (a, b)
+let ( ||| ) a b = Or (a, b)
+let ( ==> ) a b = Imp (a, b)
+let ( === ) a b = Eq (a, b)
+let not_ a = Not a
+let ( <<> ) a b = Not (Eq (a, b))
+let ( <<< ) a b = Lt (a, b)
+let ( <== ) a b = Le (a, b)
+let ( >>> ) a b = Lt (b, a)
+let ( >== ) a b = Le (b, a)
+let ( +! ) a b = Add (a, b)
+let ( -! ) a b = Subsat (a, b)
+let conj = function [] -> tru | e :: es -> List.fold_left ( &&& ) e es
+let disj = function [] -> fls | e :: es -> List.fold_left ( ||| ) e es
+
+let select arr i =
+  let n = Array.length arr in
+  if n = 0 then invalid_arg "Expr.select: empty array";
+  let rec chain k =
+    if k = n - 1 then Var arr.(k) else Ite (Eq (i, Cint k), Var arr.(k), chain (k + 1))
+  in
+  chain 0
+
+let rec eval e env =
+  match e with
+  | Cbool b -> if b then 1 else 0
+  | Cint n -> n
+  | Var v -> env v
+  | Not a -> 1 - eval a env
+  | And (a, b) -> if eval a env = 1 && eval b env = 1 then 1 else 0
+  | Or (a, b) -> if eval a env = 1 || eval b env = 1 then 1 else 0
+  | Imp (a, b) -> if eval a env = 0 || eval b env = 1 then 1 else 0
+  | Iff (a, b) -> if eval a env = eval b env then 1 else 0
+  | Eq (a, b) -> if eval a env = eval b env then 1 else 0
+  | Lt (a, b) -> if eval a env < eval b env then 1 else 0
+  | Le (a, b) -> if eval a env <= eval b env then 1 else 0
+  | Add (a, b) -> eval a env + eval b env
+  | Subsat (a, b) -> max 0 (eval a env - eval b env)
+  | Ite (c, a, b) -> if eval c env = 1 then eval a env else eval b env
+
+let eval_bool e env = eval e env = 1
+
+type sym = Sbool of Bdd.t | Sint of Bitvec.t
+
+let as_bool = function Sbool b -> b | Sint _ -> type_error "expected a boolean"
+let as_int = function Sint v -> v | Sbool _ -> type_error "expected a natural"
+
+let rec compile sp e =
+  let m = Space.manager sp in
+  let b x = Sbool x and i x = Sint x in
+  let cb x = as_bool (compile sp x) and ci x = as_int (compile sp x) in
+  match e with
+  | Cbool v -> b (if v then Bdd.tru m else Bdd.fls m)
+  | Cint n ->
+      let rec w k = if 1 lsl k > n then k else w (k + 1) in
+      i (Bitvec.const m ~width:(max 1 (w 1)) n)
+  | Var v -> if var_ty v = Tbool then b (Bitvec.eq_const m (Space.cur_vec sp v) 1) else i (Space.cur_vec sp v)
+  | Not a -> b (Bdd.not_ m (cb a))
+  | And (a, b') -> b (Bdd.and_ m (cb a) (cb b'))
+  | Or (a, b') -> b (Bdd.or_ m (cb a) (cb b'))
+  | Imp (a, b') -> b (Bdd.imp m (cb a) (cb b'))
+  | Iff (a, b') -> b (Bdd.iff m (cb a) (cb b'))
+  | Eq (a, b') -> (
+      match (compile sp a, compile sp b') with
+      | Sbool x, Sbool y -> b (Bdd.iff m x y)
+      | Sint x, Sint y -> b (Bitvec.eq m x y)
+      | _ -> type_error "equality between different sorts")
+  | Lt (a, b') -> b (Bitvec.lt m (ci a) (ci b'))
+  | Le (a, b') -> b (Bitvec.le m (ci a) (ci b'))
+  | Add (a, b') -> i (Bitvec.add m (ci a) (ci b'))
+  | Subsat (a, b') -> i (Bitvec.sub_sat m (ci a) (ci b'))
+  | Ite (c, a, b') -> (
+      match (compile sp a, compile sp b') with
+      | Sbool x, Sbool y -> b (Bdd.ite m (cb c) x y)
+      | Sint x, Sint y -> i (Bitvec.ite m (cb c) x y)
+      | _ -> type_error "ite branches of different sorts")
+
+let compile_bool sp e = as_bool (compile sp e)
+let compile_int sp e = as_int (compile sp e)
+
+let vars_of e =
+  let seen = Hashtbl.create 8 in
+  let acc = ref [] in
+  let rec go = function
+    | Cbool _ | Cint _ -> ()
+    | Var v ->
+        if not (Hashtbl.mem seen (Space.idx v)) then begin
+          Hashtbl.add seen (Space.idx v) ();
+          acc := v :: !acc
+        end
+    | Not a -> go a
+    | And (a, b) | Or (a, b) | Imp (a, b) | Iff (a, b)
+    | Eq (a, b) | Lt (a, b) | Le (a, b) | Add (a, b) | Subsat (a, b) ->
+        go a;
+        go b
+    | Ite (c, a, b) ->
+        go c;
+        go a;
+        go b
+  in
+  go e;
+  List.rev !acc
+
+let rec pp fmt = function
+  | Cbool b -> Format.pp_print_bool fmt b
+  | Cint n -> Format.pp_print_int fmt n
+  | Var v -> Format.pp_print_string fmt (Space.name v)
+  | Not a -> Format.fprintf fmt "¬%a" pp_atom a
+  | And (a, b) -> Format.fprintf fmt "%a ∧ %a" pp_atom a pp_atom b
+  | Or (a, b) -> Format.fprintf fmt "%a ∨ %a" pp_atom a pp_atom b
+  | Imp (a, b) -> Format.fprintf fmt "%a ⇒ %a" pp_atom a pp_atom b
+  | Iff (a, b) -> Format.fprintf fmt "%a ≡ %a" pp_atom a pp_atom b
+  | Eq (a, b) -> Format.fprintf fmt "%a = %a" pp_atom a pp_atom b
+  | Lt (a, b) -> Format.fprintf fmt "%a < %a" pp_atom a pp_atom b
+  | Le (a, b) -> Format.fprintf fmt "%a ≤ %a" pp_atom a pp_atom b
+  | Add (a, b) -> Format.fprintf fmt "%a + %a" pp_atom a pp_atom b
+  | Subsat (a, b) -> Format.fprintf fmt "%a ∸ %a" pp_atom a pp_atom b
+  | Ite (c, a, b) -> Format.fprintf fmt "if %a then %a else %a" pp_atom c pp_atom a pp_atom b
+
+and pp_atom fmt e =
+  match e with
+  | Cbool _ | Cint _ | Var _ | Not _ -> pp fmt e
+  | _ -> Format.fprintf fmt "(%a)" pp e

@@ -1,0 +1,91 @@
+(** Typed expressions of the UNITY programming notation (§5).
+
+    Two sorts: Booleans and naturals (bounded-nat and enum variables share
+    the natural sort; an enum value is its index).  Every expression can be
+    evaluated {e concretely} (against an integer valuation of the program
+    variables — used by the unbounded simulator) and compiled
+    {e symbolically} (to a BDD or symbolic bit-vector over a state space —
+    used by [wp]/[sp] and all the fixpoints).  Arithmetic is natural:
+    subtraction saturates at zero, addition never overflows symbolically
+    (widths grow). *)
+
+open Kpt_predicate
+
+type t =
+  | Cbool of bool
+  | Cint of int
+  | Var of Space.var
+  | Not of t
+  | And of t * t
+  | Or of t * t
+  | Imp of t * t
+  | Iff of t * t
+  | Eq of t * t
+  | Lt of t * t
+  | Le of t * t
+  | Add of t * t
+  | Subsat of t * t (* saturating natural subtraction *)
+  | Ite of t * t * t
+
+type ty = Tbool | Tnat
+
+exception Type_error of string
+
+val typeof : t -> ty
+(** Sort of a well-typed expression.  @raise Type_error otherwise. *)
+
+(** {1 Smart constructors} *)
+
+val tru : t
+val fls : t
+val nat : int -> t
+val var : Space.var -> t
+
+val enum : Space.var -> string -> t
+(** The constant for an enum variable's named value.
+    @raise Not_found if the label is not a value of the variable. *)
+
+val ( &&& ) : t -> t -> t
+val ( ||| ) : t -> t -> t
+val ( ==> ) : t -> t -> t
+(** [===] is equality at either sort; [<<>] is disequality. *)
+
+val ( === ) : t -> t -> t
+val ( <<> ) : t -> t -> t
+val ( <<< ) : t -> t -> t
+val ( <== ) : t -> t -> t
+val ( >>> ) : t -> t -> t
+val ( >== ) : t -> t -> t
+val ( +! ) : t -> t -> t
+val ( -! ) : t -> t -> t
+val not_ : t -> t
+val conj : t list -> t
+val disj : t list -> t
+
+val select : Space.var array -> t -> t
+(** [select arr i]: dynamic indexing of a sequence modelled as a family of
+    element variables; compiles to a conditional chain.  Out-of-range
+    indices yield element 0 (callers guard the range). *)
+
+(** {1 Evaluation} *)
+
+val eval : t -> (Space.var -> int) -> int
+(** Concrete evaluation; Booleans are 0/1. *)
+
+val eval_bool : t -> (Space.var -> int) -> bool
+
+type sym = Sbool of Bdd.t | Sint of Bitvec.t
+
+val compile : Space.t -> t -> sym
+(** Symbolic compilation over the space's {e current} bits. *)
+
+val compile_bool : Space.t -> t -> Bdd.t
+(** @raise Type_error if the expression is not Boolean. *)
+
+val compile_int : Space.t -> t -> Bitvec.t
+(** @raise Type_error if the expression is not a natural. *)
+
+val vars_of : t -> Space.var list
+(** Variables occurring in the expression (no duplicates). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+open Kpt_predicate
+
+type t = { pname : string; pvars : Space.var list }
+
+let make pname pvars = { pname; pvars }
+let name p = p.pname
+let vars p = p.pvars
+let can_access p v = List.exists (fun u -> Space.idx u = Space.idx v) p.pvars
+
+let pp fmt p =
+  Format.fprintf fmt "@[<h>%s = {%s}@]" p.pname
+    (String.concat ", " (List.map Space.name p.pvars))

@@ -1,0 +1,15 @@
+(** Processes (§5): "since there is no flow of control, a process is
+    determined by its address space.  Thus a process in our framework is
+    simply a subset of program variables." *)
+
+open Kpt_predicate
+
+type t
+
+val make : string -> Space.var list -> t
+(** A named process that can access exactly the given variables. *)
+
+val name : t -> string
+val vars : t -> Space.var list
+val can_access : t -> Space.var -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,100 @@
+open Kpt_predicate
+
+type t = {
+  space : Space.t;
+  name : string;
+  init : Bdd.t;
+  statements : Stmt.t list;
+  processes : Process.t list;
+  mutable cached_si : Bdd.t option;
+}
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let validate space name init statements =
+  if statements = [] then ill_formed "program %s: empty statement list" name;
+  List.iter
+    (fun s ->
+      let bad = Stmt.totality_violation space s in
+      if not (Bdd.is_false bad) then
+        match Space.states_of space bad with
+        | st :: _ ->
+            ill_formed "program %s: statement %s is not total at %a" name (Stmt.name s)
+              (Space.pp_state space) st
+        | [] -> ())
+    statements;
+  if Bdd.is_false (Pred.normalize space init) then
+    ill_formed "program %s: unsatisfiable initial condition" name
+
+let make_with_init_pred space ~name ~init ?(processes = []) statements =
+  let init = Pred.normalize space init in
+  validate space name init statements;
+  { space; name; init; statements; processes; cached_si = None }
+
+let make space ~name ~init ?processes statements =
+  make_with_init_pred space ~name ~init:(Expr.compile_bool space init) ?processes statements
+
+let space p = p.space
+let name p = p.name
+let init p = p.init
+let statements p = p.statements
+let processes p = p.processes
+let find_process p pname = List.find (fun pr -> Process.name pr = pname) p.processes
+
+let sp_pred p pred =
+  let m = Space.manager p.space in
+  List.fold_left (fun acc s -> Bdd.or_ m acc (Stmt.sp p.space s pred)) (Bdd.fls m) p.statements
+
+let stable p pred = Pred.holds_implies p.space (sp_pred p pred) pred
+
+let sst p pred =
+  let m = Space.manager p.space in
+  let pred = Pred.normalize p.space pred in
+  let rec go x =
+    let x' = Bdd.or_ m pred (Bdd.or_ m x (sp_pred p x)) in
+    if Bdd.equal x x' then x else go x'
+  in
+  go (Bdd.fls m)
+
+let si p =
+  match p.cached_si with
+  | Some x -> x
+  | None ->
+      let x = sst p p.init in
+      p.cached_si <- Some x;
+      x
+
+let invariant p pred = Pred.holds_implies p.space (si p) pred
+
+let fixed_points p =
+  let m = Space.manager p.space in
+  List.fold_left
+    (fun acc s -> Bdd.and_ m acc (Stmt.unchanged p.space s))
+    (Space.domain p.space) p.statements
+
+let union ?name:(uname = "") f g =
+  if not (f.space == g.space) then
+    ill_formed "union: %s and %s live in different spaces" f.name g.name;
+  let m = Space.manager f.space in
+  let name = if uname = "" then f.name ^ "∥" ^ g.name else uname in
+  make_with_init_pred f.space ~name
+    ~init:(Bdd.and_ m f.init g.init)
+    ~processes:(f.processes @ g.processes)
+    (f.statements @ g.statements)
+
+let pp fmt p =
+  Format.fprintf fmt "@[<v 2>program %s@," p.name;
+  if p.processes <> [] then begin
+    Format.fprintf fmt "processes ";
+    Format.pp_print_list
+      ~pp_sep:(fun fmt () -> Format.fprintf fmt ", ")
+      Process.pp fmt p.processes;
+    Format.fprintf fmt "@,"
+  end;
+  Format.fprintf fmt "assign@,";
+  Format.pp_print_list
+    ~pp_sep:(fun fmt () -> Format.fprintf fmt "@,⫿ ")
+    Stmt.pp fmt p.statements;
+  Format.fprintf fmt "@]"

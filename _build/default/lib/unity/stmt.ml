@@ -1,0 +1,140 @@
+open Kpt_predicate
+
+type guard = Gexpr of Expr.t | Gpred of Bdd.t
+
+type t = { sname : string; guard : guard; assigns : (Space.var * Expr.t) list }
+
+exception Ill_formed of string
+
+let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
+
+let target_ty v = if Space.card v = 2 && Space.value_name v 0 = "false" then Expr.Tbool else Expr.Tnat
+
+let make ~name ?(guard = Expr.tru) assigns =
+  (match Expr.typeof guard with
+  | Expr.Tbool -> ()
+  | Expr.Tnat -> ill_formed "statement %s: guard is not boolean" name);
+  let seen = Hashtbl.create 8 in
+  List.iter
+    (fun (v, rhs) ->
+      if Hashtbl.mem seen (Space.idx v) then
+        ill_formed "statement %s: duplicate target %s" name (Space.name v);
+      Hashtbl.add seen (Space.idx v) ();
+      if Expr.typeof rhs <> target_ty v then
+        ill_formed "statement %s: sort mismatch assigning to %s" name (Space.name v))
+    assigns;
+  { sname = name; guard = Gexpr guard; assigns }
+
+let with_guard_pred s p = { s with guard = Gpred p }
+
+let array_write arr ~index rhs =
+  Array.to_list
+    (Array.mapi
+       (fun k elem -> (elem, Expr.Ite (Expr.Eq (index, Expr.Cint k), rhs, Expr.Var elem)))
+       arr)
+
+let name s = s.sname
+
+let guard_pred sp s =
+  match s.guard with Gexpr e -> Expr.compile_bool sp e | Gpred p -> p
+
+let assigned_vars s = List.map fst s.assigns
+
+(* Right-hand side of v as a symbolic bit-vector (booleans become 1-bit). *)
+let rhs_vec sp rhs =
+  match Expr.compile sp rhs with
+  | Expr.Sint vec -> vec
+  | Expr.Sbool b -> Bitvec.of_bits [| b |]
+
+let totality_violation sp s =
+  let m = Space.manager sp in
+  let g = guard_pred sp s in
+  let bad =
+    List.fold_left
+      (fun acc (v, rhs) ->
+        let vec = rhs_vec sp rhs in
+        let bound =
+          Bitvec.const m
+            ~width:(max (Bitvec.width vec) (Space.width v))
+            (Space.card v - 1)
+        in
+        let over = Bdd.not_ m (Bitvec.le m vec bound) in
+        Bdd.or_ m acc over)
+      (Bdd.fls m) s.assigns
+  in
+  Bdd.conj m [ Space.domain sp; g; bad ]
+
+let identity sp =
+  let m = Space.manager sp in
+  List.fold_left
+    (fun acc v -> Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
+    (Bdd.tru m) (Space.vars sp)
+
+let trans sp s =
+  let m = Space.manager sp in
+  let g = guard_pred sp s in
+  let assigned = assigned_vars s in
+  let is_assigned v = List.exists (fun u -> Space.idx u = Space.idx v) assigned in
+  let update =
+    List.fold_left
+      (fun acc (v, rhs) ->
+        Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (rhs_vec sp rhs)))
+      (Bdd.tru m) s.assigns
+  in
+  let frame =
+    List.fold_left
+      (fun acc v ->
+        if is_assigned v then acc
+        else Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
+      (Bdd.tru m) (Space.vars sp)
+  in
+  Bdd.or_ m
+    (Bdd.conj m [ g; update; frame ])
+    (Bdd.and_ m (Bdd.not_ m g) (identity sp))
+
+let sp_post space s p =
+  let m = Space.manager space in
+  let cur = Space.all_current_bits space in
+  let image = Bdd.and_exists m cur (Bdd.and_ m p (Space.domain space)) (trans space s) in
+  Space.to_current space image
+
+let sp = sp_post
+
+let wp space s p =
+  let m = Space.manager space in
+  let nxt = Space.all_next_bits space in
+  Bdd.forall m nxt (Bdd.imp m (trans space s) (Space.to_next space p))
+
+let unchanged space s =
+  let m = Space.manager space in
+  let diag = Bdd.and_ m (trans space s) (identity space) in
+  Bdd.exists m (Space.all_next_bits space) diag
+
+let exec space s st =
+  let env v = st.(Space.idx v) in
+  let enabled =
+    match s.guard with
+    | Gexpr e -> Expr.eval_bool e env
+    | Gpred p -> Space.holds_at space p st
+  in
+  let st' = Array.copy st in
+  if enabled then
+    List.iter
+      (fun (v, rhs) ->
+        let value = Expr.eval rhs env in
+        if value < 0 || value >= Space.card v then
+          ill_formed "statement %s drives %s out of range (%d)" s.sname (Space.name v) value;
+        st'.(Space.idx v) <- value)
+      s.assigns;
+  st'
+
+let pp fmt s =
+  let pp_assign fmt (v, rhs) = Format.fprintf fmt "%s := %a" (Space.name v) Expr.pp rhs in
+  Format.fprintf fmt "@[<hov 2>%s:@ %a" s.sname
+    (Format.pp_print_list ~pp_sep:(fun fmt () -> Format.fprintf fmt " ∥@ ") pp_assign)
+    s.assigns;
+  (match s.guard with
+  | Gexpr (Expr.Cbool true) -> ()
+  | Gexpr e -> Format.fprintf fmt "@ if %a" Expr.pp e
+  | Gpred _ -> Format.fprintf fmt "@ if ⟨predicate⟩");
+  Format.fprintf fmt "@]"

@@ -1,0 +1,70 @@
+(** Guarded, multiple, deterministic, terminating assignment statements
+    (§5): [x, y := f(x,y), g(x,y,z) if b].
+
+    Execution semantics (paper §4): the guard is evaluated; if it holds,
+    all right-hand sides are evaluated in the {e old} state and assigned
+    simultaneously; otherwise the statement has no effect (skip).  Hence
+    every statement is total and deterministic, and [wp = wlp].
+
+    Guards are either expressions or pre-compiled predicates; the latter
+    is how knowledge-based protocols are instantiated with a candidate
+    strongest invariant (§4: "replacing all the knowledge predicates with
+    the corresponding standard predicate"). *)
+
+open Kpt_predicate
+
+type guard = Gexpr of Expr.t | Gpred of Bdd.t
+
+type t = private {
+  sname : string;
+  guard : guard;
+  assigns : (Space.var * Expr.t) list;
+}
+
+exception Ill_formed of string
+
+val make : name:string -> ?guard:Expr.t -> (Space.var * Expr.t) list -> t
+(** A statement with an optional guard (default [true]).
+    @raise Ill_formed on duplicate assignment targets or sort mismatches
+    between a target and its right-hand side. *)
+
+val with_guard_pred : t -> Bdd.t -> t
+(** Replace the guard by a pre-compiled predicate over current bits. *)
+
+val array_write : Space.var array -> index:Expr.t -> Expr.t -> (Space.var * Expr.t) list
+(** Simultaneous assignments implementing [arr[index] := rhs]: every
+    element [k] is assigned [if index = k then rhs else arr[k]]. *)
+
+val name : t -> string
+val guard_pred : Space.t -> t -> Bdd.t
+(** The guard as a predicate over current bits. *)
+
+val assigned_vars : t -> Space.var list
+
+val totality_violation : Space.t -> t -> Bdd.t
+(** States (within the domain) where the guard holds but some right-hand
+    side falls outside its target's range.  Must be [false] for the
+    statement to be a legal UNITY statement on this space; {!Program.make}
+    enforces this. *)
+
+val trans : Space.t -> t -> Bdd.t
+(** Transition relation over current × next bits:
+    [(g ∧ ⋀ v' = E_v ∧ frame) ∨ (¬g ∧ identity)].  Deterministic and total
+    on the domain (given no totality violation). *)
+
+val sp : Space.t -> t -> Bdd.t -> Bdd.t
+(** Strongest postcondition of one statement ([sp.s.p], eq. 26's
+    ingredient): the exact image of [p]. *)
+
+val wp : Space.t -> t -> Bdd.t -> Bdd.t
+(** Weakest precondition ([= wlp], §5): states whose unique successor
+    satisfies the postcondition. *)
+
+val unchanged : Space.t -> t -> Bdd.t
+(** States the statement maps to themselves (used for fixed points). *)
+
+val exec : Space.t -> t -> Space.state -> Space.state
+(** Concrete execution (fresh state array).  Out-of-range results raise
+    {!Ill_formed} — they indicate a totality violation. *)
+
+val pp : Format.formatter -> t -> unit

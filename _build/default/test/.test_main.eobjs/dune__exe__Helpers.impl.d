@@ -1,0 +1,1 @@
+test/helpers.ml: Kpt_predicate List QCheck_alcotest Random

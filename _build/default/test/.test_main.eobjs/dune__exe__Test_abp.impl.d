@@ -1,0 +1,1 @@
+test/test_abp.ml: Abp Alcotest Expr Kpt_protocols Kpt_unity Lazy List Program Seqtrans

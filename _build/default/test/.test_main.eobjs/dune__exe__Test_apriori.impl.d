@@ -1,0 +1,1 @@
+test/test_apriori.ml: Alcotest Apriori Kpt_predicate Kpt_protocols Seqtrans Space

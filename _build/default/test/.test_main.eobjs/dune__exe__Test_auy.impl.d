@@ -1,0 +1,1 @@
+test/test_auy.ml: Alcotest Auy Expr Kpt_protocols Kpt_unity Lazy Program Seqtrans

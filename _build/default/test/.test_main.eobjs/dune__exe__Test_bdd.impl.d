@@ -1,0 +1,1 @@
+test/test_bdd.ml: Alcotest Bdd Helpers Kpt_predicate List Random

@@ -1,0 +1,1 @@
+test/test_bitvec.ml: Alcotest Array Bdd Bitvec Kpt_predicate

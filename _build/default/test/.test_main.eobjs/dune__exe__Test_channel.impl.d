@@ -1,0 +1,1 @@
+test/test_channel.ml: Alcotest Array Channel Expr Kpt_predicate Kpt_protocols Kpt_unity List Program Space Stmt

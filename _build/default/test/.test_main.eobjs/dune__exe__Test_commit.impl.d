@@ -1,0 +1,1 @@
+test/test_commit.ml: Alcotest Array Bdd Commit Expr Kpt_core Kpt_logic Kpt_predicate Kpt_protocols Kpt_unity Lazy Printf Program Space

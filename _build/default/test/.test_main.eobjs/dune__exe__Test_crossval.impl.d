@@ -1,0 +1,1 @@
+test/test_crossval.ml: Abp Alcotest Array Exec Expr Helpers Kpt_predicate Kpt_protocols Kpt_runs Kpt_unity List Monitor Printf Program Reachability Seqtrans Space

@@ -1,0 +1,1 @@
+test/test_ctl.ml: Alcotest Array Bdd Ctl Expr Helpers Kpt_logic Kpt_predicate Kpt_unity Pred Program Props Space Stmt

@@ -1,0 +1,1 @@
+test/test_expr.ml: Alcotest Array Bitvec Expr Format Kpt_predicate Kpt_unity List Pred Printf Space

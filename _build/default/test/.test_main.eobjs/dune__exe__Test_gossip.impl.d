@@ -1,0 +1,1 @@
+test/test_gossip.ml: Alcotest Array Expr Gossip Helpers Kpt_predicate Kpt_protocols Kpt_runs Kpt_unity Lazy List Printf Program Space Stmt

@@ -1,0 +1,1 @@
+test/test_interpreted.ml: Alcotest Array Expr Helpers Interpreted Kpt_predicate Kpt_runs Kpt_unity List Pred Process Program Space Stmt

@@ -1,0 +1,1 @@
+test/test_junctivity.ml: Alcotest Bdd Expr Helpers Junctivity Kbp Kform Kpt_core Kpt_predicate Kpt_unity List Pred Program Space Stmt Wcyl

@@ -1,0 +1,1 @@
+test/test_kflow.ml: Alcotest Array Expr Kflow Kpt_core Kpt_predicate Kpt_protocols Kpt_unity List Printf Process Program Seqtrans Space Stmt

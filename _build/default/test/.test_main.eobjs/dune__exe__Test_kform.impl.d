@@ -1,0 +1,1 @@
+test/test_kform.ml: Alcotest Bdd Expr Format Helpers Kform Knowledge Kpt_core Kpt_predicate Kpt_unity Pred Process Space

@@ -1,0 +1,1 @@
+test/test_knowledge.ml: Alcotest Bdd Expr Helpers Junctivity Knowledge Kpt_core Kpt_predicate Kpt_unity List Pred Process Program Space Stmt Wcyl

@@ -1,0 +1,1 @@
+test/test_matrix.ml: Abp Alcotest Bdd Format Kpt_experiments Kpt_logic Kpt_predicate Kpt_protocols Kpt_runs Kpt_unity List Muddy Printf Program Seqtrans Seqtrans_proofs Space Window

@@ -1,0 +1,1 @@
+test/test_muddy.ml: Alcotest Array Expr Fun Kpt_predicate Kpt_protocols Kpt_unity Lazy List Muddy Program Space

@@ -1,0 +1,1 @@
+test/test_pred.ml: Alcotest Bdd Bitvec Helpers Kpt_predicate List Pred Space

@@ -1,0 +1,1 @@
+test/test_program.ml: Alcotest Array Bdd Expr Format Helpers Kpt_logic Kpt_predicate Kpt_unity List Pred Printf Process Program Space Stmt String

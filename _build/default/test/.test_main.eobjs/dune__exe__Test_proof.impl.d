@@ -1,0 +1,1 @@
+test/test_proof.ml: Alcotest Bdd Expr Format Kpt_logic Kpt_predicate Kpt_unity List Pred Program Proof Space Stmt String

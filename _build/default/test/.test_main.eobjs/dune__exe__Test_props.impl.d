@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Array Bdd Expr Helpers Kpt_logic Kpt_predicate Kpt_unity Pred Program Props Space Stmt

@@ -1,0 +1,1 @@
+test/test_qcheck.ml: Array Bdd Bitvec Expr Format Hashtbl Helpers Kbp Kform Kpt_core Kpt_logic Kpt_predicate Kpt_syntax Kpt_unity List Pred Printf Process Program QCheck Space Stmt String

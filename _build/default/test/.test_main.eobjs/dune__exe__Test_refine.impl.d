@@ -1,0 +1,1 @@
+test/test_refine.ml: Alcotest Array Expr Kpt_logic Kpt_predicate Kpt_protocols Kpt_unity List Printf Program Refine Seqtrans Space Stmt

@@ -1,0 +1,1 @@
+test/test_runs.ml: Alcotest Array Exec Expr Helpers Kpt_predicate Kpt_runs Kpt_unity List Monitor Pred Process Program Reachability Space Stmt

@@ -1,0 +1,1 @@
+test/test_seqtrans.ml: Alcotest Array Bdd Expr Kpt_logic Kpt_predicate Kpt_protocols Kpt_unity Lazy List Program Proof Seqtrans Seqtrans_proofs Space String

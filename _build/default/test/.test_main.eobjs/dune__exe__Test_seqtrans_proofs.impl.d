@@ -1,0 +1,1 @@
+test/test_seqtrans_proofs.ml: Alcotest Kpt_logic Kpt_predicate Kpt_protocols Lazy List Proof Seqtrans Seqtrans_proofs

@@ -1,0 +1,1 @@
+test/test_space.ml: Alcotest Array Bdd Bitvec Format Kpt_predicate List Space

@@ -1,0 +1,1 @@
+test/test_stenning.ml: Alcotest Expr Kpt_protocols Kpt_unity Lazy List Program Seqtrans Stenning

@@ -1,0 +1,1 @@
+test/test_stmt.ml: Alcotest Array Bdd Expr Format Helpers Kpt_predicate Kpt_unity List Pred Printf Space Stmt

@@ -1,0 +1,1 @@
+test/test_syntax.ml: Alcotest Ast Bdd Elaborate Expr Format Kbp Kpt_core Kpt_logic Kpt_predicate Kpt_syntax Kpt_unity List Parser Pred Program Space String Token

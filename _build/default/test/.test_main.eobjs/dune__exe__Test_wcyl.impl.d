@@ -1,0 +1,1 @@
+test/test_wcyl.ml: Alcotest Bdd Expr Helpers Junctivity Kpt_core Kpt_predicate Kpt_unity Pred Space Wcyl

@@ -1,0 +1,1 @@
+test/test_window.ml: Alcotest Expr Kpt_protocols Kpt_runs Kpt_unity Lazy List Printf Program Seqtrans Window

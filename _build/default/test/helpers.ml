@@ -1,0 +1,35 @@
+(* Shared test utilities: deterministic RNG, qcheck registration, and small
+   reference implementations that BDD results are checked against. *)
+
+let rng () = Random.State.make [| 0xC0FFEE; 42 |]
+
+let qtests cases = List.map QCheck_alcotest.to_alcotest cases
+
+(* Brute-force truth table of a BDD over variables [0..nvars-1], as the
+   list of satisfying assignments encoded as integers (bit k of the code =
+   value of variable k). *)
+let truth_table bdd ~nvars =
+  let sats = ref [] in
+  for code = (1 lsl nvars) - 1 downto 0 do
+    if Kpt_predicate.Bdd.eval bdd (fun i -> (code lsr i) land 1 = 1) then
+      sats := code :: !sats
+  done;
+  !sats
+
+(* A random BDD built from random formulas, for property tests. *)
+let rec random_formula st m ~nvars ~depth =
+  let module B = Kpt_predicate.Bdd in
+  if depth = 0 then
+    match Random.State.int st 4 with
+    | 0 -> B.tru m
+    | 1 -> B.fls m
+    | _ -> B.var m (Random.State.int st nvars)
+  else
+    let sub () = random_formula st m ~nvars ~depth:(depth - 1) in
+    match Random.State.int st 6 with
+    | 0 -> B.and_ m (sub ()) (sub ())
+    | 1 -> B.or_ m (sub ()) (sub ())
+    | 2 -> B.xor m (sub ()) (sub ())
+    | 3 -> B.imp m (sub ()) (sub ())
+    | 4 -> B.iff m (sub ()) (sub ())
+    | _ -> B.not_ m (sub ())

@@ -1,0 +1,71 @@
+open Kpt_unity
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+let abp_ok = lazy (Abp.make ~lossy:false params)
+let abp_lossy = lazy (Abp.make ~lossy:true params)
+
+let test_safety () =
+  let t = Lazy.force abp_ok in
+  Alcotest.(check bool) "ABP safety (34)" true (Program.invariant t.Abp.prog (Abp.safety t));
+  let tl = Lazy.force abp_lossy in
+  Alcotest.(check bool) "ABP safety under loss+duplication" true
+    (Program.invariant tl.Abp.prog (Abp.safety tl))
+
+let test_liveness () =
+  let t = Lazy.force abp_ok in
+  Alcotest.(check bool) "live @0" true (Abp.liveness_holds t ~k:0);
+  Alcotest.(check bool) "live @1" true (Abp.liveness_holds t ~k:1)
+
+let test_lossy_liveness_fails () =
+  let tl = Lazy.force abp_lossy in
+  Alcotest.(check bool) "liveness fails on lossy channel" false (Abp.liveness_holds tl ~k:0)
+
+let test_bit_window () =
+  (* The alternating bit stays in lockstep with the indices:
+     sb = i mod 2 iff rb = j mod 2-style parity invariants. *)
+  let t = Lazy.force abp_lossy in
+  let sp = t.Abp.space in
+  let parity v k = Expr.(var v === nat (k mod 2)) in
+  let claim =
+    Expr.compile_bool sp
+      (Expr.conj
+         (List.init 2 (fun k ->
+              Expr.((var t.Abp.i === nat k) ==> parity t.Abp.sb k)))) in
+  Alcotest.(check bool) "sender bit = i mod 2" true (Program.invariant t.Abp.prog claim);
+  let claim_r =
+    Expr.compile_bool sp
+      (Expr.conj
+         (List.init 3 (fun k ->
+              Expr.((var t.Abp.j === nat k) ==> parity t.Abp.rb k)))) in
+  Alcotest.(check bool) "receiver bit = j mod 2" true (Program.invariant t.Abp.prog claim_r)
+
+let test_window_invariant () =
+  let t = Lazy.force abp_lossy in
+  let sp = t.Abp.space in
+  let w =
+    Expr.compile_bool sp
+      Expr.((var t.Abp.i <== var t.Abp.j) &&& (var t.Abp.j <== var t.Abp.i +! nat 1))
+  in
+  Alcotest.(check bool) "i ≤ j ≤ i+1" true (Program.invariant t.Abp.prog w)
+
+let test_knowledge_reading () =
+  (* The ABP ack carrying the sender's current bit is knowledge that the
+     receiver advanced: z = sb ⇒ K_S (j > i-ish).  Concretely: when the
+     sender is acknowledged, the receiver has delivered element i. *)
+  let t = Lazy.force abp_lossy in
+  let sp = t.Abp.space in
+  let claim =
+    Expr.compile_bool sp Expr.((var t.Abp.z === var t.Abp.sb) ==> (var t.Abp.j >>> var t.Abp.i))
+  in
+  Alcotest.(check bool) "acked ⇒ delivered" true (Program.invariant t.Abp.prog claim)
+
+let suite =
+  [
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "lossy liveness fails" `Slow test_lossy_liveness_fails;
+    Alcotest.test_case "bit/index lockstep" `Quick test_bit_window;
+    Alcotest.test_case "window invariant" `Quick test_window_invariant;
+    Alcotest.test_case "ack is knowledge" `Quick test_knowledge_reading;
+  ]

@@ -1,0 +1,65 @@
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+
+let test_instantiation_breaks () =
+  let v = Apriori.instantiation_breaks params ~known_value:1 in
+  (* §6.4 / footnote 3: with a priori information the proposed predicate
+     (50) stays sound but is no longer the weakest — the standard protocol
+     no longer instantiates the KBP — yet it still meets the spec. *)
+  Alcotest.(check bool) "(50) still sound" true v.Apriori.cand_implies_k;
+  Alcotest.(check bool) "(50) no longer weakest" false v.Apriori.k_implies_cand;
+  Alcotest.(check bool) "still safe" true v.Apriori.still_safe;
+  Alcotest.(check bool) "still live" true v.Apriori.still_live
+
+let test_both_values () =
+  let v0 = Apriori.instantiation_breaks params ~known_value:0 in
+  Alcotest.(check bool) "breaks for value 0 too" false v0.Apriori.k_implies_cand
+
+let test_message_savings () =
+  (* The knowledge-optimal protocol sends strictly fewer data messages:
+     element 0 is never transmitted. *)
+  let p = { Seqtrans.n = 4; a = 2 } in
+  let wins = ref 0 in
+  for seed = 1 to 10 do
+    let std = Apriori.run_standard ~seed p in
+    let opt = Apriori.run_optimal ~seed p in
+    Alcotest.(check bool) "both complete" true
+      (std.Apriori.steps_to_done < 1_000_000 && opt.Apriori.steps_to_done < 1_000_000);
+    if opt.Apriori.data_transmissions < std.Apriori.data_transmissions then incr wins
+  done;
+  Alcotest.(check bool) "optimal sends fewer data messages (≥ 8/10 seeds)" true (!wins >= 8)
+
+let test_average_counts () =
+  let p = { Seqtrans.n = 3; a = 2 } in
+  let steps_std, data_std, _ = Apriori.average_counts (fun seed -> Apriori.run_standard ~seed p) ~seeds:5 in
+  let steps_opt, data_opt, _ = Apriori.average_counts (fun seed -> Apriori.run_optimal ~seed p) ~seeds:5 in
+  Alcotest.(check bool) "averages positive" true (steps_std > 0. && steps_opt > 0.);
+  Alcotest.(check bool) "optimal average data below standard" true (data_opt < data_std)
+
+let test_seed_determinism () =
+  let p = { Seqtrans.n = 3; a = 2 } in
+  let a = Apriori.run_standard ~seed:3 p in
+  let b = Apriori.run_standard ~seed:3 p in
+  Alcotest.(check int) "same steps" a.Apriori.steps_to_done b.Apriori.steps_to_done;
+  Alcotest.(check int) "same data tx" a.Apriori.data_transmissions b.Apriori.data_transmissions
+
+let test_pinned_program_valid () =
+  let st = Seqtrans.standard ~lossy:false params in
+  let prog = Apriori.pin_x0 st 1 in
+  (* Stronger init: reachable set shrinks. *)
+  let open Kpt_predicate in
+  let sp = st.Seqtrans.sspace in
+  let full = Space.count_states_of sp (Apriori.si_of st.Seqtrans.sprog) in
+  let pinned = Space.count_states_of sp (Apriori.si_of prog) in
+  Alcotest.(check bool) "pinned SI smaller" true (pinned < full)
+
+let suite =
+  [
+    Alcotest.test_case "E6: instantiation breaks" `Slow test_instantiation_breaks;
+    Alcotest.test_case "E6: both pinned values" `Slow test_both_values;
+    Alcotest.test_case "E6: message savings" `Quick test_message_savings;
+    Alcotest.test_case "average counts" `Quick test_average_counts;
+    Alcotest.test_case "seed determinism" `Quick test_seed_determinism;
+    Alcotest.test_case "pinned program SI" `Quick test_pinned_program_valid;
+  ]

@@ -1,0 +1,52 @@
+open Kpt_unity
+open Kpt_protocols
+
+let auy2 = lazy (Auy.make { Seqtrans.n = 2; a = 2 })
+let auy4 = lazy (Auy.make { Seqtrans.n = 2; a = 4 })
+
+let test_validation () =
+  Alcotest.check_raises "non power of two"
+    (Invalid_argument "Auy.make: alphabet size must be a power of two ≥ 2") (fun () ->
+      ignore (Auy.make { Seqtrans.n = 2; a = 3 }))
+
+let test_safety () =
+  let t = Lazy.force auy2 in
+  Alcotest.(check bool) "AUY safety, 1-bit alphabet" true
+    (Program.invariant t.Auy.prog (Auy.safety t));
+  let t4 = Lazy.force auy4 in
+  Alcotest.(check bool) "AUY safety, 2-bit alphabet" true
+    (Program.invariant t4.Auy.prog (Auy.safety t4))
+
+let test_liveness () =
+  let t = Lazy.force auy2 in
+  Alcotest.(check bool) "live @0" true (Auy.liveness_holds t ~k:0);
+  Alcotest.(check bool) "live @1" true (Auy.liveness_holds t ~k:1);
+  let t4 = Lazy.force auy4 in
+  Alcotest.(check bool) "2-bit live @0" true (Auy.liveness_holds t4 ~k:0)
+
+let test_economy () =
+  (* The AUY measure: messages per element is exactly log2 |A| — no
+     sequence numbers, no acks, because the channel is synchronous. *)
+  Alcotest.(check int) "1 bit per element for |A|=2" 1
+    (Auy.messages_per_element (Lazy.force auy2));
+  Alcotest.(check int) "2 bits per element for |A|=4" 2
+    (Auy.messages_per_element (Lazy.force auy4))
+
+let test_lockstep () =
+  (* Synchrony: the sender is never more than one element ahead. *)
+  let t = Lazy.force auy2 in
+  let sp = t.Auy.space in
+  let w =
+    Expr.compile_bool sp
+      Expr.((var t.Auy.j <== var t.Auy.i +! nat 1) &&& (var t.Auy.i <== var t.Auy.j +! nat 1))
+  in
+  Alcotest.(check bool) "|i - j| ≤ 1" true (Program.invariant t.Auy.prog w)
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "message economy" `Quick test_economy;
+    Alcotest.test_case "lockstep" `Quick test_lockstep;
+  ]

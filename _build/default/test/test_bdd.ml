@@ -1,0 +1,257 @@
+open Kpt_predicate
+
+let m () = Bdd.create ()
+
+let check_tt msg expected bdd ~nvars =
+  Alcotest.(check (list int)) msg expected (Helpers.truth_table bdd ~nvars)
+
+let test_constants () =
+  let m = m () in
+  Alcotest.(check bool) "true is true" true (Bdd.is_true (Bdd.tru m));
+  Alcotest.(check bool) "false is false" true (Bdd.is_false (Bdd.fls m));
+  Alcotest.(check bool) "true <> false" false (Bdd.equal (Bdd.tru m) (Bdd.fls m))
+
+let test_var () =
+  let m = m () in
+  check_tt "var 0 over 2 vars" [ 1; 3 ] (Bdd.var m 0) ~nvars:2;
+  check_tt "nvar 0 over 2 vars" [ 0; 2 ] (Bdd.nvar m 0) ~nvars:2;
+  Alcotest.(check bool) "var canonical" true (Bdd.equal (Bdd.var m 3) (Bdd.var m 3))
+
+let test_and_or () =
+  let m = m () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  check_tt "a and b" [ 3 ] (Bdd.and_ m a b) ~nvars:2;
+  check_tt "a or b" [ 1; 2; 3 ] (Bdd.or_ m a b) ~nvars:2;
+  check_tt "a xor b" [ 1; 2 ] (Bdd.xor m a b) ~nvars:2;
+  check_tt "a imp b" [ 0; 2; 3 ] (Bdd.imp m a b) ~nvars:2;
+  check_tt "a iff b" [ 0; 3 ] (Bdd.iff m a b) ~nvars:2
+
+let test_not_involution () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 50 do
+    let p = Helpers.random_formula st m ~nvars:6 ~depth:5 in
+    Alcotest.(check bool) "not not p = p" true (Bdd.equal p (Bdd.not_ m (Bdd.not_ m p)))
+  done
+
+let test_canonicity () =
+  let m = m () in
+  let st = Helpers.rng () in
+  (* Same truth table => same node. *)
+  for _ = 1 to 100 do
+    let p = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let q = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let same_tt = Helpers.truth_table p ~nvars:5 = Helpers.truth_table q ~nvars:5 in
+    Alcotest.(check bool) "canonicity" same_tt (Bdd.equal p q)
+  done
+
+let test_ite () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 50 do
+    let c = Helpers.random_formula st m ~nvars:4 ~depth:3 in
+    let a = Helpers.random_formula st m ~nvars:4 ~depth:3 in
+    let b = Helpers.random_formula st m ~nvars:4 ~depth:3 in
+    let direct = Bdd.ite m c a b in
+    let expanded = Bdd.or_ m (Bdd.and_ m c a) (Bdd.and_ m (Bdd.not_ m c) b) in
+    Alcotest.(check bool) "ite = (c∧a)∨(¬c∧b)" true (Bdd.equal direct expanded)
+  done
+
+let test_restrict () =
+  let m = m () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  let p = Bdd.xor m a b in
+  check_tt "restrict x0:=true" [ 0; 1 ] (Bdd.restrict m p 0 true) ~nvars:2;
+  check_tt "restrict x0:=false" [ 2; 3 ] (Bdd.restrict m p 0 false) ~nvars:2
+
+let test_quantifiers () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 40 do
+    let p = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let v = Random.State.int st 5 in
+    let ex = Bdd.or_ m (Bdd.restrict m p v false) (Bdd.restrict m p v true) in
+    let fa = Bdd.and_ m (Bdd.restrict m p v false) (Bdd.restrict m p v true) in
+    Alcotest.(check bool) "exists = or of cofactors" true
+      (Bdd.equal (Bdd.exists m [ v ] p) ex);
+    Alcotest.(check bool) "forall = and of cofactors" true
+      (Bdd.equal (Bdd.forall m [ v ] p) fa)
+  done
+
+let test_quantifier_multi () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Helpers.random_formula st m ~nvars:6 ~depth:5 in
+    let vs = [ 1; 3; 4 ] in
+    let seq = List.fold_left (fun acc v -> Bdd.exists m [ v ] acc) p vs in
+    Alcotest.(check bool) "multi-var exists = sequential" true
+      (Bdd.equal (Bdd.exists m vs p) seq);
+    let seqf = List.fold_left (fun acc v -> Bdd.forall m [ v ] acc) p vs in
+    Alcotest.(check bool) "multi-var forall = sequential" true
+      (Bdd.equal (Bdd.forall m vs p) seqf)
+  done
+
+let test_and_exists () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 40 do
+    let a = Helpers.random_formula st m ~nvars:6 ~depth:4 in
+    let b = Helpers.random_formula st m ~nvars:6 ~depth:4 in
+    let vs = [ 0; 2; 5 ] in
+    Alcotest.(check bool) "and_exists = exists of and" true
+      (Bdd.equal (Bdd.and_exists m vs a b) (Bdd.exists m vs (Bdd.and_ m a b)))
+  done
+
+let test_rename () =
+  let m = m () in
+  let a = Bdd.var m 0 and b = Bdd.var m 2 in
+  let p = Bdd.and_ m a (Bdd.not_ m b) in
+  let q = Bdd.rename m (fun v -> v + 1) p in
+  check_tt "renamed" (Helpers.truth_table (Bdd.and_ m (Bdd.var m 1) (Bdd.not_ m (Bdd.var m 3))) ~nvars:4)
+    q ~nvars:4
+
+let test_rename_roundtrip () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    (* Shift onto odd positions and back: the interleaving renaming used by
+       Space.to_next/to_current. *)
+    let q = Bdd.rename m (fun v -> (2 * v) + 1) p in
+    let r = Bdd.rename m (fun v -> (v - 1) / 2) q in
+    Alcotest.(check bool) "rename roundtrip" true (Bdd.equal p r)
+  done
+
+let test_support () =
+  let m = m () in
+  let p = Bdd.and_ m (Bdd.var m 1) (Bdd.or_ m (Bdd.var m 4) (Bdd.nvar m 2)) in
+  Alcotest.(check (list int)) "support" [ 1; 2; 4 ] (Bdd.support m p);
+  Alcotest.(check bool) "depends_on 4" true (Bdd.depends_on m p 4);
+  Alcotest.(check bool) "not depends_on 3" false (Bdd.depends_on m p 3);
+  (* x ∨ ¬x does not depend on x *)
+  let q = Bdd.or_ m (Bdd.var m 0) (Bdd.nvar m 0) in
+  Alcotest.(check bool) "tautology support empty" false (Bdd.depends_on m q 0)
+
+let test_sat_count () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 40 do
+    let p = Helpers.random_formula st m ~nvars:6 ~depth:4 in
+    let expected = List.length (Helpers.truth_table p ~nvars:6) in
+    Alcotest.(check int) "sat_count" expected
+      (int_of_float (Bdd.sat_count m ~nvars:6 p))
+  done
+
+let test_any_sat () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 40 do
+    let p = Helpers.random_formula st m ~nvars:6 ~depth:4 in
+    if Bdd.is_false p then
+      Alcotest.check_raises "any_sat on false" Not_found (fun () ->
+          ignore (Bdd.any_sat m p))
+    else begin
+      let partial = Bdd.any_sat m p in
+      let lookup i = match List.assoc_opt i partial with Some b -> b | None -> false in
+      Alcotest.(check bool) "any_sat satisfies" true (Bdd.eval p lookup)
+    end
+  done
+
+let test_iter_sat () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 20 do
+    let p = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let got = ref [] in
+    Bdd.iter_sat m ~vars:[ 0; 1; 2; 3; 4 ] p (fun lookup ->
+        let code = ref 0 in
+        for i = 0 to 4 do
+          if lookup i then code := !code lor (1 lsl i)
+        done;
+        got := !code :: !got);
+    Alcotest.(check (list int)) "iter_sat enumerates truth table"
+      (Helpers.truth_table p ~nvars:5)
+      (List.sort compare !got)
+  done
+
+let test_implies () =
+  let m = m () in
+  let a = Bdd.var m 0 and b = Bdd.var m 1 in
+  Alcotest.(check bool) "a∧b ⇒ a" true (Bdd.implies m (Bdd.and_ m a b) a);
+  Alcotest.(check bool) "a ⇏ a∧b" false (Bdd.implies m a (Bdd.and_ m a b))
+
+let test_conj_disj () =
+  let m = m () in
+  Alcotest.(check bool) "empty conj" true (Bdd.is_true (Bdd.conj m []));
+  Alcotest.(check bool) "empty disj" true (Bdd.is_false (Bdd.disj m []));
+  let vs = [ Bdd.var m 0; Bdd.var m 1; Bdd.var m 2 ] in
+  check_tt "conj" [ 7 ] (Bdd.conj m vs) ~nvars:3;
+  check_tt "disj" [ 1; 2; 3; 4; 5; 6; 7 ] (Bdd.disj m vs) ~nvars:3
+
+let test_size_caches () =
+  let m = m () in
+  let p = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check int) "size of conjunction" 2 (Bdd.size m p);
+  Bdd.clear_caches m;
+  (* Nodes survive a cache clear. *)
+  let q = Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1) in
+  Alcotest.(check bool) "hash-consing survives clear_caches" true (Bdd.equal p q)
+
+let test_gc () =
+  let m = m () in
+  let st = Helpers.rng () in
+  (* create garbage and two roots *)
+  let root1 = Helpers.random_formula st m ~nvars:6 ~depth:5 in
+  let root2 = Helpers.random_formula st m ~nvars:6 ~depth:5 in
+  for _ = 1 to 50 do
+    ignore (Helpers.random_formula st m ~nvars:6 ~depth:5)
+  done;
+  let before = Bdd.live_count m in
+  let tt1 = Helpers.truth_table root1 ~nvars:6 in
+  Bdd.gc m ~roots:[ root1; root2 ];
+  let after = Bdd.live_count m in
+  Alcotest.(check bool) "gc frees nodes" true (after <= before);
+  (* roots survive semantically *)
+  Alcotest.(check (list int)) "root semantics preserved" tt1
+    (Helpers.truth_table root1 ~nvars:6);
+  (* and stay canonical: rebuilding an identical function finds the root *)
+  let rebuilt = Bdd.and_ m root1 root1 in
+  Alcotest.(check bool) "root still hash-consed" true (Bdd.equal rebuilt root1);
+  (* fresh structure is buildable and correct after gc *)
+  let fresh = Bdd.xor m (Bdd.var m 0) (Bdd.var m 5) in
+  Alcotest.(check int) "fresh node count" 3 (Bdd.size m fresh)
+
+let test_gc_empty_roots () =
+  let m = m () in
+  ignore (Bdd.and_ m (Bdd.var m 0) (Bdd.var m 1));
+  Bdd.gc m ~roots:[];
+  Alcotest.(check int) "only leaves remain" 2 (Bdd.live_count m);
+  (* the manager is still usable *)
+  let p = Bdd.or_ m (Bdd.var m 2) (Bdd.nvar m 3) in
+  Alcotest.(check bool) "rebuild works" false (Bdd.is_false p)
+
+let suite =
+  [
+    Alcotest.test_case "constants" `Quick test_constants;
+    Alcotest.test_case "variables" `Quick test_var;
+    Alcotest.test_case "binary operators" `Quick test_and_or;
+    Alcotest.test_case "negation involution" `Quick test_not_involution;
+    Alcotest.test_case "canonicity" `Quick test_canonicity;
+    Alcotest.test_case "ite" `Quick test_ite;
+    Alcotest.test_case "restrict" `Quick test_restrict;
+    Alcotest.test_case "single-var quantifiers" `Quick test_quantifiers;
+    Alcotest.test_case "multi-var quantifiers" `Quick test_quantifier_multi;
+    Alcotest.test_case "relational product" `Quick test_and_exists;
+    Alcotest.test_case "rename" `Quick test_rename;
+    Alcotest.test_case "rename roundtrip" `Quick test_rename_roundtrip;
+    Alcotest.test_case "support" `Quick test_support;
+    Alcotest.test_case "sat_count" `Quick test_sat_count;
+    Alcotest.test_case "any_sat" `Quick test_any_sat;
+    Alcotest.test_case "iter_sat" `Quick test_iter_sat;
+    Alcotest.test_case "implies" `Quick test_implies;
+    Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+    Alcotest.test_case "size and caches" `Quick test_size_caches;
+    Alcotest.test_case "garbage collection" `Quick test_gc;
+    Alcotest.test_case "gc with no roots" `Quick test_gc_empty_roots;
+  ]

@@ -1,0 +1,98 @@
+open Kpt_predicate
+
+(* Exhaustively check symbolic arithmetic against native ints: allocate two
+   symbolic operands over BDD variables and compare on every valuation. *)
+
+let with_operands ~wa ~wb f =
+  let m = Bdd.create () in
+  let a = Bitvec.of_bits (Array.init wa (fun k -> Bdd.var m k)) in
+  let b = Bitvec.of_bits (Array.init wb (fun k -> Bdd.var m (wa + k))) in
+  let total = wa + wb in
+  for code = 0 to (1 lsl total) - 1 do
+    let point i = (code lsr i) land 1 = 1 in
+    let va = code land ((1 lsl wa) - 1) in
+    let vb = code lsr wa in
+    f m a b va vb point
+  done
+
+let test_const_value () =
+  let m = Bdd.create () in
+  for v = 0 to 15 do
+    let bv = Bitvec.const m ~width:4 v in
+    Alcotest.(check int) "const roundtrip" v (Bitvec.value bv (fun _ -> false))
+  done;
+  Alcotest.check_raises "const overflow" (Invalid_argument "Bitvec.const: value out of range")
+    (fun () -> ignore (Bitvec.const m ~width:3 8))
+
+let test_add () =
+  with_operands ~wa:3 ~wb:3 (fun m a b va vb point ->
+      let sum = Bitvec.add m a b in
+      Alcotest.(check int) "add" (va + vb) (Bitvec.value sum point))
+
+let test_add_uneven_widths () =
+  with_operands ~wa:4 ~wb:2 (fun m a b va vb point ->
+      let sum = Bitvec.add m a b in
+      Alcotest.(check int) "add uneven" (va + vb) (Bitvec.value sum point))
+
+let test_add_mod () =
+  with_operands ~wa:3 ~wb:3 (fun m a b va vb point ->
+      let sum = Bitvec.add_mod m ~width:3 a b in
+      Alcotest.(check int) "add_mod" ((va + vb) mod 8) (Bitvec.value sum point))
+
+let test_succ () =
+  with_operands ~wa:3 ~wb:1 (fun m a _b va _vb point ->
+      Alcotest.(check int) "succ" (va + 1) (Bitvec.value (Bitvec.succ m a) point))
+
+let test_sub_sat () =
+  with_operands ~wa:3 ~wb:3 (fun m a b va vb point ->
+      let d = Bitvec.sub_sat m a b in
+      Alcotest.(check int) "sub_sat" (max 0 (va - vb)) (Bitvec.value d point))
+
+let test_comparisons () =
+  with_operands ~wa:3 ~wb:3 (fun m a b va vb point ->
+      let chk name op rel =
+        Alcotest.(check bool) name (rel va vb) (Bdd.eval (op m a b) point)
+      in
+      chk "eq" Bitvec.eq ( = );
+      chk "lt" Bitvec.lt ( < );
+      chk "le" Bitvec.le ( <= );
+      chk "gt" Bitvec.gt ( > );
+      chk "ge" Bitvec.ge ( >= ))
+
+let test_comparisons_uneven () =
+  with_operands ~wa:2 ~wb:4 (fun m a b va vb point ->
+      Alcotest.(check bool) "lt uneven" (va < vb) (Bdd.eval (Bitvec.lt m a b) point);
+      Alcotest.(check bool) "eq uneven" (va = vb) (Bdd.eval (Bitvec.eq m a b) point))
+
+let test_eq_const () =
+  with_operands ~wa:3 ~wb:1 (fun m a _b va _vb point ->
+      for c = 0 to 9 do
+        Alcotest.(check bool) "eq_const" (va = c) (Bdd.eval (Bitvec.eq_const m a c) point)
+      done)
+
+let test_ite () =
+  with_operands ~wa:3 ~wb:3 (fun m a b va vb point ->
+      let c = Bitvec.lt m a b in
+      let r = Bitvec.ite m c a b in
+      Alcotest.(check int) "ite picks min" (min va vb) (Bitvec.value r point))
+
+let test_zero_extend () =
+  with_operands ~wa:3 ~wb:1 (fun m a _b va _vb point ->
+      let w = Bitvec.zero_extend m ~width:6 a in
+      Alcotest.(check int) "zero_extend value" va (Bitvec.value w point);
+      Alcotest.(check int) "zero_extend width" 6 (Bitvec.width w))
+
+let suite =
+  [
+    Alcotest.test_case "const/value" `Quick test_const_value;
+    Alcotest.test_case "add" `Quick test_add;
+    Alcotest.test_case "add uneven widths" `Quick test_add_uneven_widths;
+    Alcotest.test_case "add_mod" `Quick test_add_mod;
+    Alcotest.test_case "succ" `Quick test_succ;
+    Alcotest.test_case "sub_sat" `Quick test_sub_sat;
+    Alcotest.test_case "comparisons" `Quick test_comparisons;
+    Alcotest.test_case "comparisons uneven" `Quick test_comparisons_uneven;
+    Alcotest.test_case "eq_const" `Quick test_eq_const;
+    Alcotest.test_case "ite" `Quick test_ite;
+    Alcotest.test_case "zero_extend" `Quick test_zero_extend;
+  ]

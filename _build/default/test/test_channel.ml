@@ -1,0 +1,121 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_protocols
+
+let test_nat_codec () =
+  let c = Channel.nat_codec ~max:4 in
+  Alcotest.(check int) "card" 6 c.Channel.card;
+  Alcotest.(check int) "bot" 5 c.Channel.bot;
+  for v = 0 to 4 do
+    Alcotest.(check int) "enc/dec" v (List.hd (c.Channel.dec (c.Channel.enc [ v ])))
+  done
+
+let test_pair_codec () =
+  let c = Channel.pair_codec ~n:3 ~a:2 in
+  Alcotest.(check int) "card" 7 c.Channel.card;
+  Alcotest.(check int) "bot" 6 c.Channel.bot;
+  for k = 0 to 2 do
+    for alpha = 0 to 1 do
+      let v = c.Channel.enc [ k; alpha ] in
+      Alcotest.(check (list int)) "roundtrip" [ k; alpha ] (c.Channel.dec v)
+    done
+  done;
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "pair_codec.enc: out of range") (fun () ->
+      ignore (c.Channel.enc [ 3; 0 ]))
+
+let setup () =
+  let sp = Space.create () in
+  let codec = Channel.pair_codec ~n:2 ~a:2 in
+  let ch = Channel.declare sp ~name:"c" codec in
+  let reg = Channel.register sp ~name:"reg" codec in
+  let k = Space.nat_var sp "k" ~max:1 in
+  let v = Space.nat_var sp "v" ~max:1 in
+  (sp, codec, ch, reg, k, v)
+
+let test_transmit_receive_concrete () =
+  let sp, codec, ch, reg, k, v = setup () in
+  let tx = Stmt.make ~name:"tx" [ Channel.transmit ch [ Expr.var k; Expr.var v ] ] in
+  let dlv = Channel.deliver_stmt ch ~name:"dlv" in
+  let rx = Stmt.make ~name:"rx" [ Channel.receive ch reg ] in
+  let drop = Channel.drop_stmt ch ~name:"drop" in
+  (* start with everything ⊥, k=1, v=1 *)
+  let st0 = Array.make (List.length (Space.vars sp)) 0 in
+  st0.(Space.idx ch.Channel.slot) <- codec.Channel.bot;
+  st0.(Space.idx ch.Channel.avail) <- codec.Channel.bot;
+  st0.(Space.idx reg) <- codec.Channel.bot;
+  st0.(Space.idx k) <- 1;
+  st0.(Space.idx v) <- 1;
+  let st1 = Stmt.exec sp tx st0 in
+  Alcotest.(check int) "transmit encodes (1,1)" (codec.Channel.enc [ 1; 1 ])
+    st1.(Space.idx ch.Channel.slot);
+  Alcotest.(check int) "avail untouched by transmit" codec.Channel.bot
+    st1.(Space.idx ch.Channel.avail);
+  let st2 = Stmt.exec sp dlv st1 in
+  Alcotest.(check int) "deliver copies slot" st1.(Space.idx ch.Channel.slot)
+    st2.(Space.idx ch.Channel.avail);
+  let st3 = Stmt.exec sp rx st2 in
+  Alcotest.(check int) "receive copies avail" st2.(Space.idx ch.Channel.avail)
+    st3.(Space.idx reg);
+  (* duplication: receive again without redelivery gets the same message *)
+  let st4 = Stmt.exec sp rx st3 in
+  Alcotest.(check int) "duplicate receive" st3.(Space.idx reg) st4.(Space.idx reg);
+  (* loss: drop then receive yields ⊥ *)
+  let st5 = Stmt.exec sp rx (Stmt.exec sp drop st4) in
+  Alcotest.(check int) "dropped message reads ⊥" codec.Channel.bot st5.(Space.idx reg)
+
+let test_capacity_one_is_st2 () =
+  (* St-2 by construction: whatever the register holds (≠ ⊥) was
+     transmitted at some point.  Explore all reachable states of a tiny
+     closed system and check the register only ever holds the messages
+     the sender could send. *)
+  let sp, codec, ch, reg, k, v = setup () in
+  let tx = Stmt.make ~name:"tx" [ Channel.transmit ch [ Expr.var k; Expr.var v ] ] in
+  let dlv = Channel.deliver_stmt ch ~name:"dlv" in
+  let rx = Stmt.make ~name:"rx" [ Channel.receive ch reg ] in
+  let drop = Channel.drop_stmt ch ~name:"drop" in
+  let init =
+    Expr.(
+      conj
+        [
+          var ch.Channel.slot === nat codec.Channel.bot;
+          var ch.Channel.avail === nat codec.Channel.bot;
+          var reg === nat codec.Channel.bot;
+          var k === nat 0;
+          var v === nat 1;
+        ])
+  in
+  let prog = Program.make sp ~name:"st2" ~init [ tx; dlv; rx; drop ] in
+  (* the only transmittable message is (0,1); the register is (0,1) or ⊥ *)
+  let ok =
+    Expr.compile_bool sp
+      Expr.(
+        (var reg === nat (codec.Channel.enc [ 0; 1 ]))
+        ||| (var reg === nat codec.Channel.bot))
+  in
+  Alcotest.(check bool) "St-2 by construction" true (Program.invariant prog ok)
+
+let test_mul_const () =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:3 in
+  for c = 0 to 4 do
+    let e = Channel.mul_const c (Expr.var x) in
+    for vx = 0 to 3 do
+      Alcotest.(check int) "mul_const" (c * vx) (Expr.eval e (fun _ -> vx))
+    done
+  done
+
+let test_transmit_arity () =
+  let _, _, ch, _, k, _ = setup () in
+  Alcotest.check_raises "arity mismatch" (Invalid_argument "Channel.transmit: arity mismatch")
+    (fun () -> ignore (Channel.transmit ch [ Expr.var k ]))
+
+let suite =
+  [
+    Alcotest.test_case "nat codec" `Quick test_nat_codec;
+    Alcotest.test_case "pair codec" `Quick test_pair_codec;
+    Alcotest.test_case "transmit/deliver/receive/drop" `Quick test_transmit_receive_concrete;
+    Alcotest.test_case "St-2 by construction" `Quick test_capacity_one_is_st2;
+    Alcotest.test_case "mul_const" `Quick test_mul_const;
+    Alcotest.test_case "transmit arity" `Quick test_transmit_arity;
+  ]

@@ -1,0 +1,106 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_protocols
+
+let c2 = lazy (Commit.make ~participants:2 ())
+let c3 = lazy (Commit.make ~participants:3 ())
+
+let test_validation () =
+  Alcotest.check_raises "bounds" (Invalid_argument "Commit.make: 2 ≤ participants ≤ 3")
+    (fun () -> ignore (Commit.make ~participants:1 ()))
+
+let test_safety () =
+  Alcotest.(check bool) "2PC safety, n=2" true (Commit.safety_holds (Lazy.force c2));
+  Alcotest.(check bool) "2PC safety, n=3" true (Commit.safety_holds (Lazy.force c3))
+
+let test_liveness () =
+  Alcotest.(check bool) "a decision is always reached" true
+    (Commit.decision_live (Lazy.force c2))
+
+let test_guard_is_knowledge () =
+  Alcotest.(check bool) "commit guard ≡ K_C(unanimity), n=2" true
+    (Commit.guard_is_knowledge (Lazy.force c2));
+  Alcotest.(check bool) "commit guard ≡ K_C(unanimity), n=3" true
+    (Commit.guard_is_knowledge (Lazy.force c3))
+
+let test_distributed_knowledge_gap () =
+  Alcotest.(check bool) "D_G holds initially, nobody knows individually" true
+    (Commit.distributed_but_not_individual (Lazy.force c2))
+
+let test_adoption_teaches () =
+  let t = Lazy.force c2 in
+  for i = 0 to 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "adopted commit teaches P%d the other votes" i)
+      true
+      (Commit.adoption_teaches t ~i)
+  done
+
+let test_abort_knowledge_is_weaker () =
+  (* adopting an ABORT does not teach the other's vote: either voter may
+     have been the 'no'. *)
+  let t = Lazy.force c2 in
+  let sp = t.Commit.space in
+  let m = Space.manager sp in
+  let adopted_abort = Expr.compile_bool sp Expr.(var t.Commit.adopted.(0) === nat 2) in
+  let other_vote = Expr.compile_bool sp (Expr.var t.Commit.votes.(1)) in
+  let k = Kpt_core.Knowledge.knows_in t.Commit.prog (Commit.participant 0) other_vote in
+  let k_not =
+    Kpt_core.Knowledge.knows_in t.Commit.prog (Commit.participant 0) (Bdd.not_ m other_vote)
+  in
+  (* there is a reachable abort-adopted state where P0 knows neither vote
+     value of P1 *)
+  let ignorant =
+    Bdd.conj m
+      [ Program.si t.Commit.prog; adopted_abort; Bdd.not_ m k; Bdd.not_ m k_not ]
+  in
+  Alcotest.(check bool) "abort leaves P0 ignorant somewhere" false (Bdd.is_false ignorant)
+
+let test_responses_monotone () =
+  (* once a response is in, it never changes — 2PC's no-retraction rule *)
+  let t = Lazy.force c2 in
+  for i = 0 to 1 do
+    let sp = t.Commit.space in
+    let yes = Expr.compile_bool sp Expr.(var t.Commit.responses.(i) === nat 1) in
+    Alcotest.(check bool) "yes stable" true (Kpt_logic.Props.stable t.Commit.prog yes)
+  done
+
+(* the [DM90] crash-failure axis: 2PC blocks *)
+let crash2 = lazy (Commit.make ~crashes:true ~participants:2 ())
+
+let test_crash_safety_preserved () =
+  Alcotest.(check bool) "crashes cannot break safety" true
+    (Commit.safety_holds (Lazy.force crash2))
+
+let test_crash_blocks () =
+  let t = Lazy.force crash2 in
+  Alcotest.(check bool) "liveness fails under crashes" false (Commit.decision_live t);
+  match Commit.blocking_witness t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected the classical blocking scenario"
+
+let test_no_blocking_without_crashes () =
+  Alcotest.(check bool) "crash-free 2PC never blocks" true
+    (Commit.blocking_witness (Lazy.force c2) = None)
+
+let test_crash_keeps_guard_knowledge () =
+  (* the epistemic reading survives crashes: commit guard is still exactly
+     the coordinator's knowledge of unanimity *)
+  Alcotest.(check bool) "guard ≡ K under crashes" true
+    (Commit.guard_is_knowledge (Lazy.force crash2))
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "guard = knowledge (Prop 4.5 style)" `Quick test_guard_is_knowledge;
+    Alcotest.test_case "distributed-knowledge gap" `Quick test_distributed_knowledge_gap;
+    Alcotest.test_case "adoption teaches votes" `Quick test_adoption_teaches;
+    Alcotest.test_case "abort teaches less" `Quick test_abort_knowledge_is_weaker;
+    Alcotest.test_case "responses are stable" `Quick test_responses_monotone;
+    Alcotest.test_case "crashes: safety preserved" `Quick test_crash_safety_preserved;
+    Alcotest.test_case "crashes: 2PC blocks" `Slow test_crash_blocks;
+    Alcotest.test_case "crash-free never blocks" `Slow test_no_blocking_without_crashes;
+    Alcotest.test_case "crashes: guard still = K" `Quick test_crash_keeps_guard_knowledge;
+  ]

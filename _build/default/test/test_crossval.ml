@@ -1,0 +1,101 @@
+(* E8: cross-validation of the symbolic stack against the operational one
+   on the actual protocol programs — the strongest end-to-end consistency
+   check in the suite.  The explicit-state reachable set must equal the
+   BDD strongest invariant, simulated traces must stay inside SI and
+   respect checked invariants, and run-based view knowledge must coincide
+   with the predicate transformer K. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_runs
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+
+let test_si_agreement_protocols () =
+  let st = Seqtrans.standard ~lossy:true params in
+  Alcotest.(check bool) "standard lossy: explicit = symbolic SI" true
+    (Reachability.si_agrees st.Seqtrans.sprog);
+  let ab = Seqtrans.abstract_kbp params in
+  Alcotest.(check bool) "abstract KBP: explicit = symbolic SI" true
+    (Reachability.si_agrees ab.Seqtrans.aprog);
+  let abp = Abp.make ~lossy:true params in
+  Alcotest.(check bool) "ABP: explicit = symbolic SI" true
+    (Reachability.si_agrees abp.Abp.prog)
+
+let test_view_knowledge_on_standard () =
+  let st = Seqtrans.standard ~lossy:true params in
+  let sp = st.Seqtrans.sspace in
+  (* the ground facts of §6: x_k = α *)
+  for k = 0 to 1 do
+    for alpha = 0 to 1 do
+      let fact = Expr.compile_bool sp Expr.(var st.Seqtrans.xs.(k) === nat alpha) in
+      Alcotest.(check bool)
+        (Printf.sprintf "K_R(x_%d = %d) = view knowledge" k alpha)
+        true
+        (Reachability.knowledge_agrees st.Seqtrans.sprog "Receiver" fact)
+    done
+  done
+
+let test_view_knowledge_sender () =
+  let st = Seqtrans.standard ~lossy:true params in
+  let sp = st.Seqtrans.sspace in
+  let fact = Expr.compile_bool sp Expr.(var st.Seqtrans.j >>> nat 0) in
+  Alcotest.(check bool) "K_S(j > 0) = view knowledge" true
+    (Reachability.knowledge_agrees st.Seqtrans.sprog "Sender" fact)
+
+let test_traces_stay_in_si () =
+  let st = Seqtrans.standard ~lossy:true params in
+  let prog = st.Seqtrans.sprog in
+  let sp = st.Seqtrans.sspace in
+  let si = Program.si prog in
+  let rng = Helpers.rng () in
+  for seed = 1 to 3 do
+    let init = Exec.random_init prog rng in
+    let t = Exec.run prog ~scheduler:(Exec.Random_fair seed) ~steps:300 ~init in
+    Alcotest.(check (option int)) "trace within SI" None (Monitor.first_violation sp si t);
+    Alcotest.(check (option int)) "trace satisfies (34)" None
+      (Monitor.first_violation sp (Seqtrans.spec_safety st) t)
+  done
+
+let test_trace_progress_matches_liveness () =
+  (* On the duplicating-only channel liveness holds, so long fair traces
+     complete the transmission. *)
+  let st = Seqtrans.standard ~lossy:false params in
+  let prog = st.Seqtrans.sprog in
+  let sp = st.Seqtrans.sspace in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:(Exec.Random_fair 11) ~steps:600 ~init in
+  let done_p = Expr.compile_bool sp Expr.(var st.Seqtrans.j === nat 2) in
+  (match Monitor.eventually sp done_p t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "fair trace should complete the transmission")
+
+let test_candidate_tracks_real_knowledge_on_trace () =
+  (* Along concrete traces, the candidate (50) and the genuine K_R(x_k=α)
+     flip at exactly the same states. *)
+  let st = Seqtrans.standard ~lossy:true params in
+  let prog = st.Seqtrans.sprog in
+  let sp = st.Seqtrans.sspace in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:(Exec.Random_fair 5) ~steps:200 ~init in
+  let cand = Seqtrans.cand_kr st ~k:0 ~alpha:1 in
+  let real = Seqtrans.real_kr st ~k:0 ~alpha:1 in
+  List.iter
+    (fun state ->
+      Alcotest.(check bool) "candidate = K along trace"
+        (Space.holds_at sp cand state) (Space.holds_at sp real state))
+    (Exec.states t)
+
+let suite =
+  [
+    Alcotest.test_case "SI: explicit = symbolic (protocols)" `Slow test_si_agreement_protocols;
+    Alcotest.test_case "view knowledge: receiver facts" `Slow test_view_knowledge_on_standard;
+    Alcotest.test_case "view knowledge: sender fact" `Slow test_view_knowledge_sender;
+    Alcotest.test_case "traces within SI and safe" `Quick test_traces_stay_in_si;
+    Alcotest.test_case "fair trace completes" `Quick test_trace_progress_matches_liveness;
+    Alcotest.test_case "candidate = K along traces" `Quick
+      test_candidate_tracks_real_knowledge_on_trace;
+  ]

@@ -1,0 +1,130 @@
+open Kpt_predicate
+open Kpt_unity
+
+let space () =
+  let sp = Space.create () in
+  let b = Space.bool_var sp "b" in
+  let x = Space.nat_var sp "x" ~max:5 in
+  let y = Space.nat_var sp "y" ~max:3 in
+  let c = Space.enum_var sp "c" ~values:[| "lo"; "hi" |] in
+  (sp, b, x, y, c)
+
+let test_typing () =
+  let _, b, x, _, c = space () in
+  let open Expr in
+  Alcotest.(check bool) "bool var" true (typeof (var b) = Tbool);
+  Alcotest.(check bool) "nat var" true (typeof (var x) = Tnat);
+  Alcotest.(check bool) "enum var is nat" true (typeof (var c) = Tnat);
+  Alcotest.(check bool) "comparison" true (typeof (var x <<< nat 3) = Tbool);
+  Alcotest.(check bool) "arith" true (typeof (var x +! nat 1) = Tnat);
+  let is_type_error f = try ignore (typeof (f ())) ; false with Type_error _ -> true in
+  Alcotest.(check bool) "bool+nat eq rejected" true (is_type_error (fun () -> var b === var x));
+  Alcotest.(check bool) "not of nat rejected" true (is_type_error (fun () -> not_ (var x)));
+  Alcotest.(check bool) "and of nat rejected" true (is_type_error (fun () -> var x &&& var b));
+  Alcotest.(check bool) "negative nat rejected" true (is_type_error (fun () -> nat (-1)));
+  Alcotest.(check bool) "ite mixed branches rejected" true
+    (is_type_error (fun () -> Ite (var b, var x, var b)))
+
+let test_enum_constant () =
+  let _, _, _, _, c = space () in
+  Alcotest.(check bool) "enum hi = 1" true (Expr.enum c "hi" = Expr.Cint 1);
+  Alcotest.check_raises "unknown label" Not_found (fun () -> ignore (Expr.enum c "mid"))
+
+(* Concrete eval and symbolic compile must agree on every state. *)
+let test_eval_compile_agree () =
+  let sp, b, x, y, c = space () in
+  let open Expr in
+  let exprs =
+    [
+      var b;
+      not_ (var b);
+      var b &&& (var x <<< var y);
+      var b ||| (var x === nat 2);
+      (var b ==> (var y <== var x));
+      Iff (var b, var c === nat 1);
+      var x +! var y === nat 4;
+      (var x -! var y) <<< nat 2;
+      Ite (var b, var x, var y) === var y;
+      (var x >>> nat 0) &&& (var x <== nat 5);
+      var y >== nat 2;
+      var c <<> nat 0;
+    ]
+  in
+  List.iter
+    (fun e ->
+      let symbolic = Expr.compile_bool sp e in
+      Space.iter_states sp (fun st ->
+          let concrete = Expr.eval_bool e (fun v -> st.(Space.idx v)) in
+          Alcotest.(check bool)
+            (Format.asprintf "agree on %a at %a" Expr.pp e (Space.pp_state sp) st)
+            concrete
+            (Space.holds_at sp symbolic st)))
+    exprs
+
+let test_int_compile_agree () =
+  let sp, _, x, y, _ = space () in
+  let open Expr in
+  let exprs = [ var x; var x +! var y; var x -! var y; var x +! nat 7; Ite (var x <<< var y, var y, var x) ] in
+  List.iter
+    (fun e ->
+      let vec = Expr.compile_int sp e in
+      Space.iter_states sp (fun st ->
+          let concrete = Expr.eval e (fun v -> st.(Space.idx v)) in
+          (* Build the valuation of current bits from the state. *)
+          let p = Space.pred_of_state sp st in
+          let m = Space.manager sp in
+          Alcotest.(check bool)
+            (Format.asprintf "int agree on %a" Expr.pp e)
+            true
+            (Pred.holds_implies sp p (Bitvec.eq_const m vec concrete))))
+    exprs
+
+let test_select () =
+  let sp = Space.create () in
+  let arr = Array.init 3 (fun k -> Space.nat_var sp (Printf.sprintf "a%d" k) ~max:7) in
+  let i = Space.nat_var sp "i" ~max:2 in
+  let e = Expr.select arr (Expr.var i) in
+  Space.iter_states sp (fun st ->
+      let env v = st.(Space.idx v) in
+      let expected = st.(Space.idx arr.(st.(Space.idx i))) in
+      Alcotest.(check int) "select concrete" expected (Expr.eval e env));
+  (* symbolic agreement *)
+  let vec = Expr.compile_int sp e in
+  let m = Space.manager sp in
+  Space.iter_states sp (fun st ->
+      let expected = st.(Space.idx arr.(st.(Space.idx i))) in
+      Alcotest.(check bool) "select symbolic" true
+        (Pred.holds_implies sp (Space.pred_of_state sp st) (Bitvec.eq_const m vec expected)))
+
+let test_vars_of () =
+  let _, b, x, y, _ = space () in
+  let open Expr in
+  let e = (var b &&& (var x <<< var y)) ||| (var x === nat 0) in
+  Alcotest.(check (list string)) "vars_of" [ "b"; "x"; "y" ]
+    (List.map Space.name (vars_of e) |> List.sort compare);
+  Alcotest.(check (list string)) "vars_of const" [] (List.map Space.name (vars_of tru))
+
+let test_conj_disj () =
+  let _, b, _, _, _ = space () in
+  let open Expr in
+  Alcotest.(check bool) "empty conj is true" true (conj [] = tru);
+  Alcotest.(check bool) "empty disj is false" true (disj [] = fls);
+  Alcotest.(check bool) "singleton" true (conj [ var b ] = var b)
+
+let test_pp () =
+  let _, b, x, _, _ = space () in
+  let open Expr in
+  let s = Format.asprintf "%a" Expr.pp (var b ==> (var x <== nat 3)) in
+  Alcotest.(check string) "pp" "b ⇒ (x ≤ 3)" s
+
+let suite =
+  [
+    Alcotest.test_case "typing" `Quick test_typing;
+    Alcotest.test_case "enum constants" `Quick test_enum_constant;
+    Alcotest.test_case "eval/compile agree (bool)" `Quick test_eval_compile_agree;
+    Alcotest.test_case "eval/compile agree (nat)" `Quick test_int_compile_agree;
+    Alcotest.test_case "select" `Quick test_select;
+    Alcotest.test_case "vars_of" `Quick test_vars_of;
+    Alcotest.test_case "conj/disj" `Quick test_conj_disj;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,84 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_protocols
+
+let g2 = lazy (Gossip.make ~agents:2)
+let g3 = lazy (Gossip.make ~agents:3)
+
+let test_validation () =
+  Alcotest.check_raises "bounds" (Invalid_argument "Gossip.make: 2 ≤ agents ≤ 3") (fun () ->
+      ignore (Gossip.make ~agents:4))
+
+let test_registers_correct () =
+  Alcotest.(check bool) "n=2" true (Gossip.registers_correct (Lazy.force g2));
+  Alcotest.(check bool) "n=3" true (Gossip.registers_correct (Lazy.force g3))
+
+let test_register_is_knowledge () =
+  let g = Lazy.force g3 in
+  for i = 0 to 2 do
+    for k = 0 to 2 do
+      Alcotest.(check bool)
+        (Printf.sprintf "v_%d,%d ≡ K_%d(s_%d)" i k i k)
+        true
+        (Gossip.register_is_knowledge g ~i ~k)
+    done
+  done
+
+let test_learning_monotone () =
+  Alcotest.(check bool) "no forgetting" true (Gossip.learning_monotone (Lazy.force g3))
+
+let test_everybody_learns () =
+  Alcotest.(check bool) "n=2 saturates" true (Gossip.everybody_learns (Lazy.force g2));
+  Alcotest.(check bool) "n=3 saturates" true (Gossip.everybody_learns (Lazy.force g3))
+
+let test_no_common_knowledge () =
+  Alcotest.(check bool) "E holds, E² and C fail at saturation" true
+    (Gossip.no_common_knowledge (Lazy.force g3))
+
+let test_call_semantics () =
+  (* concrete check: one call between 0 and 1 merges their rows *)
+  let g = Lazy.force g2 in
+  let sp = g.Gossip.space in
+  let prog = g.Gossip.prog in
+  let rng = Helpers.rng () in
+  let init = Kpt_runs.Exec.random_init prog rng in
+  let call = List.hd (Program.statements prog) in
+  let st' = Stmt.exec sp call init in
+  for i = 0 to 1 do
+    for k = 0 to 1 do
+      Alcotest.(check bool) "resolved after the call" true
+        (st'.(Space.idx g.Gossip.registers.(i).(k)) <> 0)
+    done
+  done
+
+let test_rounds_to_saturation () =
+  (* with 3 agents and fair random calls, saturation occurs and every
+     trace stays register-correct *)
+  let g = Lazy.force g3 in
+  let prog = g.Gossip.prog in
+  let sp = g.Gossip.space in
+  let rng = Helpers.rng () in
+  let init = Kpt_runs.Exec.random_init prog rng in
+  let trace = Kpt_runs.Exec.run prog ~scheduler:(Kpt_runs.Exec.Random_fair 9) ~steps:30 ~init in
+  let resolved =
+    Expr.compile_bool sp
+      (Expr.conj
+         (List.concat
+            (List.init 3 (fun i ->
+                 List.init 3 (fun k -> Expr.(var g.Gossip.registers.(i).(k) <<> nat 0))))))
+  in
+  (match Kpt_runs.Monitor.eventually sp resolved trace with
+  | Some idx -> Alcotest.(check bool) "saturated quickly" true (idx <= 30)
+  | None -> Alcotest.fail "should saturate in 30 fair steps")
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "registers correct" `Quick test_registers_correct;
+    Alcotest.test_case "register ≡ knowledge" `Quick test_register_is_knowledge;
+    Alcotest.test_case "learning monotone" `Quick test_learning_monotone;
+    Alcotest.test_case "everybody learns" `Slow test_everybody_learns;
+    Alcotest.test_case "no common knowledge" `Quick test_no_common_knowledge;
+    Alcotest.test_case "call semantics" `Quick test_call_semantics;
+    Alcotest.test_case "simulation saturates" `Quick test_rounds_to_saturation;
+  ]

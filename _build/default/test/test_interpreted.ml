@@ -1,0 +1,113 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_runs
+
+(* the evidence-overwriting observer from test_kflow *)
+let observer () =
+  let sp = Space.create () in
+  let secret = Space.bool_var sp "secret" in
+  let r = Space.nat_var sp "r" ~max:2 in
+  let o = Process.make "O" [ r ] in
+  let s = Process.make "S" [ secret ] in
+  let observe = Stmt.make ~name:"observe" [ (r, Expr.(Ite (var secret, nat 2, nat 1))) ] in
+  let clear = Stmt.make ~name:"clear" [ (r, Expr.nat 0) ] in
+  let prog =
+    Program.make sp ~name:"observer" ~init:Expr.(var r === nat 0) ~processes:[ o; s ]
+      [ observe; clear ]
+  in
+  (sp, secret, r, prog)
+
+let bit_prog () =
+  let sp = Space.create () in
+  let b = Space.bool_var sp "b" in
+  let c = Space.bool_var sp "c" in
+  let r = Space.bool_var sp "r" in
+  let sender = Process.make "S" [ b; c ] in
+  let receiver = Process.make "R" [ c; r ] in
+  let write = Stmt.make ~name:"write" ~guard:(Expr.var b) [ (c, Expr.var b) ] in
+  let copy = Stmt.make ~name:"copy" [ (r, Expr.var c) ] in
+  let prog =
+    Program.make sp ~name:"bit"
+      ~init:Expr.(not_ (var c) &&& not_ (var r))
+      ~processes:[ sender; receiver ] [ write; copy ]
+  in
+  (sp, b, prog)
+
+let test_build_shape () =
+  let _, _, _, prog = observer () in
+  let sys = Interpreted.build ~depth:4 prog in
+  let pts = Interpreted.points sys in
+  Alcotest.(check bool) "has points" true (List.length pts > 10);
+  List.iter
+    (fun pt -> Alcotest.(check bool) "time within bound" true (Interpreted.time pt <= 4))
+    pts;
+  (* initial points are the two init states *)
+  let init_pts = List.filter (fun pt -> Interpreted.time pt = 0) pts in
+  Alcotest.(check int) "two initial points" 2 (List.length init_pts)
+
+let test_state_view_matches_paper_k () =
+  (* at saturation depth, run-based state-view knowledge = the paper's K *)
+  let sp, _, prog = bit_prog () in
+  let sys = Interpreted.build ~depth:5 prog in
+  let rng = Helpers.rng () in
+  for _ = 1 to 8 do
+    let p = Pred.random rng sp in
+    Alcotest.(check bool) "K_R agrees" true (Interpreted.state_view_matches_k sys prog "R" p);
+    Alcotest.(check bool) "K_S agrees" true (Interpreted.state_view_matches_k sys prog "S" p)
+  done
+
+let test_recall_refines_state () =
+  let sp, secret, _, prog = observer () in
+  let sys = Interpreted.build ~depth:5 prog in
+  let o = Program.find_process prog "O" in
+  let fact = Expr.compile_bool sp (Expr.var secret) in
+  Alcotest.(check bool) "recall ⊇ state view (observer)" true
+    (Interpreted.recall_refines_state sys o fact prog);
+  let sp2, b2, prog2 = bit_prog () in
+  let sys2 = Interpreted.build ~depth:5 prog2 in
+  let r2 = Program.find_process prog2 "R" in
+  Alcotest.(check bool) "recall ⊇ state view (bit)" true
+    (Interpreted.recall_refines_state sys2 r2 (Expr.compile_bool sp2 (Expr.var b2)) prog2)
+
+let test_recall_strictly_finer () =
+  (* after observe; clear the state view has forgotten but perfect recall
+     has not: the §3 separation, witnessed. *)
+  let sp, secret, r, prog = observer () in
+  let sys = Interpreted.build ~depth:4 prog in
+  let o = Program.find_process prog "O" in
+  let fact = Expr.compile_bool sp (Expr.var secret) in
+  match Interpreted.recall_strictly_finer_somewhere sys o fact prog with
+  | Some pt ->
+      let st = Interpreted.current_state pt in
+      Alcotest.(check int) "witness: register cleared or stale" 0 st.(Space.idx r);
+      Alcotest.(check int) "witness: secret is in fact true" 1 st.(Space.idx secret)
+  | None -> Alcotest.fail "perfect recall should be strictly finer here"
+
+let test_oblivious_view () =
+  (* the oblivious view knows only what holds at every point *)
+  let sp, secret, _, prog = observer () in
+  let sys = Interpreted.build ~depth:3 prog in
+  let o = Program.find_process prog "O" in
+  let fact st = Space.holds_at sp (Expr.compile_bool sp (Expr.var secret)) st in
+  let pts = Interpreted.points sys in
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "oblivious knows nothing contingent" false
+        (Interpreted.knows_at sys ~view:Interpreted.Oblivious o fact pt))
+    pts;
+  (* but it does know tautologies *)
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "oblivious knows tautologies" true
+        (Interpreted.knows_at sys ~view:Interpreted.Oblivious o (fun _ -> true) pt))
+    (match pts with [] -> [] | p :: _ -> [ p ])
+
+let suite =
+  [
+    Alcotest.test_case "system construction" `Quick test_build_shape;
+    Alcotest.test_case "state view = paper's K at saturation" `Quick
+      test_state_view_matches_paper_k;
+    Alcotest.test_case "perfect recall refines the state view" `Quick test_recall_refines_state;
+    Alcotest.test_case "strict separation (§3)" `Quick test_recall_strictly_finer;
+    Alcotest.test_case "oblivious view" `Quick test_oblivious_view;
+  ]

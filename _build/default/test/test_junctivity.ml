@@ -1,0 +1,115 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+let space () =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let y = Space.bool_var sp "y" in
+  (sp, x, y)
+
+let test_monotonic_accepts () =
+  let sp, x, _ = space () in
+  let rng = Helpers.rng () in
+  (* wcyl is monotonic (8) *)
+  Alcotest.(check bool) "wcyl monotonic" true (Junctivity.monotonic sp (Wcyl.wcyl sp [ x ]) rng = None);
+  (* identity is monotonic *)
+  Alcotest.(check bool) "identity monotonic" true (Junctivity.monotonic sp (fun p -> p) rng = None)
+
+let test_monotonic_rejects () =
+  let sp, _, _ = space () in
+  let m = Space.manager sp in
+  let rng = Helpers.rng () in
+  match Junctivity.monotonic sp (Bdd.not_ m) rng with
+  | Some w ->
+      Alcotest.(check int) "witness is a pair" 2 (List.length w.inputs);
+      let p, q = match w.inputs with [ p; q ] -> (p, q) | _ -> assert false in
+      Alcotest.(check bool) "witness valid: p ⇒ q" true (Pred.holds_implies sp p q);
+      Alcotest.(check bool) "witness valid: ¬(f.p ⇒ f.q)" false
+        (Pred.holds_implies sp (Bdd.not_ m p) (Bdd.not_ m q))
+  | None -> Alcotest.fail "negation must be caught as non-monotonic"
+
+let test_conjunctive () =
+  let sp, x, _ = space () in
+  let m = Space.manager sp in
+  let rng = Helpers.rng () in
+  Alcotest.(check bool) "wcyl universally conjunctive (11)" true
+    (Junctivity.universally_conjunctive sp (Wcyl.wcyl sp [ x ]) rng = None);
+  (* Existential quantification is not conjunctive: ∃x.(p ∧ q) is in
+     general stronger than ∃x.p ∧ ∃x.q. *)
+  ignore m;
+  let f p = Pred.exists_vars sp [ x ] p in
+  (match Junctivity.universally_conjunctive sp f rng with
+  | Some _ -> ()
+  | None -> Alcotest.fail "∃x should fail universal conjunctivity")
+
+let test_disjunctive () =
+  let sp, x, _ = space () in
+  let m = Space.manager sp in
+  let rng = Helpers.rng () in
+  (* p ∧ c is finitely disjunctive *)
+  let c = Bdd.var m (List.hd (Space.current_bits x)) in
+  Alcotest.(check bool) "p ∧ c disjunctive" true
+    (Junctivity.finitely_disjunctive sp (fun p -> Bdd.and_ m p c) rng = None);
+  (* wcyl is not (12) *)
+  (match Junctivity.finitely_disjunctive sp (Wcyl.wcyl sp [ x ]) rng with
+  | Some w ->
+      Alcotest.(check int) "witness pair" 2 (List.length w.inputs)
+  | None -> Alcotest.fail "wcyl disjunctivity failure must be found")
+
+let test_chain_continuity () =
+  let sp, x, _ = space () in
+  let m = Space.manager sp in
+  let rng = Helpers.rng () in
+  (* Disjunctive functions are or-continuous over chains. *)
+  let c = Bdd.var m (List.hd (Space.current_bits x)) in
+  Alcotest.(check bool) "p ∧ c chain-continuous" true
+    (Junctivity.and_over_chain_continuous sp (fun p -> Bdd.and_ m p c) rng = None)
+
+(* E7: the Ĝ operator of Figure 1's KBP is NOT monotonic — the root cause
+   of KBP ill-posedness per §4. *)
+let test_g_operator_not_monotonic () =
+  let sp = Space.create () in
+  let shared = Space.bool_var sp "shared" in
+  let x = Space.bool_var sp "x" in
+  let p0 = Kpt_unity.Process.make "P0" [ shared ] in
+  let p1 = Kpt_unity.Process.make "P1" [ shared; x ] in
+  let s0 =
+    Kbp.kstmt ~name:"s0"
+      ~guard:(Kform.k "P0" (Kform.knot (Kform.base (Expr.var x))))
+      [ (shared, Expr.tru) ]
+  in
+  let s1 =
+    Kbp.kstmt ~name:"s1" ~guard:(Kform.base (Expr.var shared))
+      [ (x, Expr.tru); (shared, Expr.fls) ]
+  in
+  let kbp =
+    Kbp.make sp ~name:"fig1"
+      ~init:Expr.(not_ (var shared) &&& not_ (var x))
+      ~processes:[ p0; p1 ] [ s0; s1 ]
+  in
+  let rng = Helpers.rng () in
+  match Junctivity.monotonic sp (Kbp.g_operator kbp) ~samples:8 rng with
+  | Some _ -> ()
+  | None -> Alcotest.fail "Ĝ of Figure 1 must be non-monotonic"
+
+(* Control: the SP-based sst of a STANDARD program is monotonic (eq. 4). *)
+let test_sst_monotonic_standard () =
+  let sp, x, y = space () in
+  let s1 = Stmt.make ~name:"s1" ~guard:(Expr.var x) [ (y, Expr.tru) ] in
+  let s2 = Stmt.make ~name:"s2" [ (x, Expr.(var x ||| var y)) ] in
+  let prog = Program.make sp ~name:"std" ~init:Expr.tru [ s1; s2 ] in
+  let rng = Helpers.rng () in
+  Alcotest.(check bool) "sst monotonic for standard programs" true
+    (Junctivity.monotonic sp (Program.sst prog) ~samples:8 rng = None)
+
+let suite =
+  [
+    Alcotest.test_case "monotonic accepts" `Quick test_monotonic_accepts;
+    Alcotest.test_case "monotonic rejects" `Quick test_monotonic_rejects;
+    Alcotest.test_case "universal conjunctivity" `Quick test_conjunctive;
+    Alcotest.test_case "finite disjunctivity" `Quick test_disjunctive;
+    Alcotest.test_case "chain continuity" `Quick test_chain_continuity;
+    Alcotest.test_case "E7: Ĝ non-monotonic (Figure 1)" `Quick test_g_operator_not_monotonic;
+    Alcotest.test_case "E7 control: sst monotonic" `Quick test_sst_monotonic_standard;
+  ]

@@ -1,0 +1,221 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_logic
+open Kpt_core
+
+(* ---- Figure 1: a knowledge-based protocol with NO solution ------------- *)
+
+let figure1 () =
+  let sp = Space.create () in
+  let shared = Space.bool_var sp "shared" in
+  let x = Space.bool_var sp "x" in
+  let p0 = Process.make "P0" [ shared ] in
+  let p1 = Process.make "P1" [ shared; x ] in
+  let s0 =
+    Kbp.kstmt ~name:"s0"
+      ~guard:(Kform.k "P0" (Kform.knot (Kform.base (Expr.var x))))
+      [ (shared, Expr.tru) ]
+  in
+  let s1 =
+    Kbp.kstmt ~name:"s1"
+      ~guard:(Kform.base (Expr.var shared))
+      [ (x, Expr.tru); (shared, Expr.fls) ]
+  in
+  let kbp =
+    Kbp.make sp ~name:"figure1"
+      ~init:Expr.(not_ (var shared) &&& not_ (var x))
+      ~processes:[ p0; p1 ] [ s0; s1 ]
+  in
+  (sp, kbp)
+
+(* ---- Figure 2: SI not monotonic in the initial condition --------------- *)
+
+let figure2 mk_init =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let y = Space.bool_var sp "y" in
+  let z = Space.bool_var sp "z" in
+  let init = mk_init ~x ~y in
+  let p0 = Process.make "P0" [ y ] in
+  let p1 = Process.make "P1" [ z ] in
+  let s0 =
+    Kbp.kstmt ~name:"s0" ~guard:(Kform.k "P0" (Kform.base (Expr.var x))) [ (y, Expr.tru) ]
+  in
+  let s1 =
+    Kbp.kstmt ~name:"s1"
+      ~guard:(Kform.k "P1" (Kform.knot (Kform.base (Expr.var y))))
+      [ (z, Expr.tru) ]
+  in
+  let kbp = Kbp.make sp ~name:"figure2" ~init ~processes:[ p0; p1 ] [ s0; s1 ] in
+  (sp, x, y, z, kbp)
+
+let bp sp e = Expr.compile_bool sp e
+
+let test_make_validation () =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let p0 = Process.make "P0" [ x ] in
+  let good = Kbp.kstmt ~name:"s" ~guard:(Kform.base Expr.tru) [ (x, Expr.tru) ] in
+  Alcotest.check_raises "empty statements" (Kbp.Ill_formed "kbp e: empty statement list")
+    (fun () -> ignore (Kbp.make sp ~name:"e" ~init:Expr.tru ~processes:[ p0 ] []));
+  let badp = Kbp.kstmt ~name:"s" ~guard:(Kform.k "NOPE" (Kform.base Expr.tru)) [ (x, Expr.tru) ] in
+  Alcotest.check_raises "unknown process"
+    (Kbp.Ill_formed "kbp u: statement s mentions unknown process NOPE") (fun () ->
+      ignore (Kbp.make sp ~name:"u" ~init:Expr.tru ~processes:[ p0 ] [ badp ]));
+  ignore good
+
+let test_is_standard () =
+  let _, kbp1 = figure1 () in
+  Alcotest.(check bool) "figure1 uses knowledge" false (Kbp.is_standard kbp1)
+
+let test_figure1_no_solution () =
+  let _, kbp = figure1 () in
+  let sols = Kbp.solutions kbp in
+  Alcotest.(check int) "Figure 1 has NO solution" 0 (List.length sols);
+  Alcotest.(check bool) "strongest_solution is None" true
+    (Kbp.strongest_solution kbp = None)
+
+let test_figure1_iteration_cycles () =
+  let sp, kbp = figure1 () in
+  match Kbp.iterate kbp with
+  | Kbp.Converged _ -> Alcotest.fail "Figure 1 iteration should not converge"
+  | Kbp.Cycle orbit ->
+      Alcotest.(check int) "orbit of period 2" 2 (List.length orbit);
+      (* The orbit oscillates between {00} and {00,10,01}. *)
+      let sizes = List.map (Space.count_states_of sp) orbit |> List.sort compare in
+      Alcotest.(check (list int)) "orbit sizes" [ 1; 3 ] sizes
+
+let test_figure1_g_operator_hand_values () =
+  let sp, kbp = figure1 () in
+  let shared = Space.find sp "shared" in
+  let state s v = Space.pred_of_state sp (if Space.idx shared = 0 then [| s; v |] else [| v; s |]) in
+  let m = Space.manager sp in
+  let s00 = state 0 0 and s10 = state 1 0 and s01 = state 0 1 in
+  (* Ĝ({00}) = {00,10,01} — everything becomes reachable. *)
+  let g0 = Kbp.g_operator kbp s00 in
+  Alcotest.(check bool) "Ĝ({00}) = {00,10,01}" true
+    (Pred.equivalent sp g0 (Bdd.disj m [ s00; s10; s01 ]));
+  (* Ĝ({00,10,01}) = {00} — with that SI, P0 no longer knows ¬x at 00. *)
+  let g1 = Kbp.g_operator kbp (Bdd.disj m [ s00; s10; s01 ]) in
+  Alcotest.(check bool) "Ĝ({00,10,01}) = {00}" true (Pred.equivalent sp g1 s00)
+
+let test_figure2_solution_weak_init () =
+  let sp, _, y, z, kbp = figure2 (fun ~x:_ ~y -> Expr.(not_ (var y))) in
+  let sols = Kbp.solutions kbp in
+  Alcotest.(check int) "exactly one solution" 1 (List.length sols);
+  let si = List.hd sols in
+  Alcotest.(check bool) "SI = ¬y (paper's claim)" true
+    (Pred.equivalent sp si (bp sp Expr.(not_ (var y))));
+  (* The instantiated protocol satisfies true ↦ z. *)
+  let prog = Kbp.instantiate kbp ~si in
+  Alcotest.(check bool) "true ↦ z holds under init = ¬y" true
+    (Props.leads_to prog (Bdd.tru (Space.manager sp)) (bp sp (Expr.var z)));
+  ignore y
+
+let test_figure2_solution_strong_init () =
+  let sp, _, _, z, kbp = figure2 (fun ~x ~y -> Expr.(not_ (var y) &&& var x)) in
+  let sols = Kbp.solutions kbp in
+  Alcotest.(check int) "exactly one solution" 1 (List.length sols);
+  let si = List.hd sols in
+  Alcotest.(check bool) "SI = x (paper's claim)" true
+    (Pred.equivalent sp si (bp sp (Expr.var (Space.find sp "x"))));
+  (* The liveness property true ↦ z now FAILS. *)
+  let prog = Kbp.instantiate kbp ~si in
+  Alcotest.(check bool) "true ↦ z fails under init = ¬y ∧ x" false
+    (Props.leads_to prog (Bdd.tru (Space.manager sp)) (bp sp (Expr.var z)))
+
+let test_figure2_nonmonotonicity () =
+  (* init₂ ⇒ init₁ but SI₂ ⇏ SI₁: strengthening initial conditions does
+     not strengthen the strongest invariant (§4, Figure 2). *)
+  let sp1, _, _, _, kbp1 = figure2 (fun ~x:_ ~y -> Expr.(not_ (var y))) in
+  let sp2, _, _, _, kbp2 = figure2 (fun ~x ~y -> Expr.(not_ (var y) &&& var x)) in
+  let si1 = List.hd (Kbp.solutions kbp1) in
+  let si2 = List.hd (Kbp.solutions kbp2) in
+  (* Interpret both predicates over their own (isomorphic) spaces via
+     state sets. *)
+  let states sp si = List.map Array.to_list (Space.states_of sp si) in
+  let set1 = states sp1 si1 and set2 = states sp2 si2 in
+  (* init₂'s states are a subset of init₁'s *)
+  let init1 = states sp1 (Kbp.init kbp1) and init2 = states sp2 (Kbp.init kbp2) in
+  Alcotest.(check bool) "init₂ ⇒ init₁" true
+    (List.for_all (fun st -> List.mem st init1) init2);
+  (* ... and yet SI₂ ⊄ SI₁ *)
+  Alcotest.(check bool) "SI₂ ⇏ SI₁ (non-monotonic!)" false
+    (List.for_all (fun st -> List.mem st set1) set2)
+
+let test_figure2_iteration_converges () =
+  let _, _, _, _, kbp = figure2 (fun ~x:_ ~y -> Expr.(not_ (var y))) in
+  match Kbp.iterate kbp with
+  | Kbp.Converged (si, _) ->
+      let sols = Kbp.solutions kbp in
+      Alcotest.(check bool) "iterate finds the unique solution" true
+        (Pred.equivalent (Kbp.space kbp) si (List.hd sols))
+  | Kbp.Cycle _ -> Alcotest.fail "figure 2 iteration should converge"
+
+let test_standard_kbp_agrees_with_program () =
+  (* A KBP with no knowledge guards has exactly one solution: the SI of
+     the corresponding standard program. *)
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:2 in
+  let p0 = Process.make "P0" [ x ] in
+  let s =
+    Kbp.kstmt ~name:"inc"
+      ~guard:(Kform.base Expr.(var x <<< nat 2))
+      [ (x, Expr.(var x +! nat 1)) ]
+  in
+  let kbp = Kbp.make sp ~name:"std" ~init:Expr.(var x === nat 0) ~processes:[ p0 ] [ s ] in
+  Alcotest.(check bool) "is_standard" true (Kbp.is_standard kbp);
+  let sols = Kbp.solutions kbp in
+  Alcotest.(check int) "unique solution" 1 (List.length sols);
+  let direct =
+    Program.make sp ~name:"direct" ~init:Expr.(var x === nat 0)
+      [ Stmt.make ~name:"inc" ~guard:Expr.(var x <<< nat 2) [ (x, Expr.(var x +! nat 1)) ] ]
+  in
+  Alcotest.(check bool) "solution = standard SI" true
+    (Pred.equivalent sp (List.hd sols) (Program.si direct));
+  match Kbp.iterate kbp with
+  | Kbp.Converged (si, _) ->
+      Alcotest.(check bool) "iterate agrees" true (Pred.equivalent sp si (Program.si direct))
+  | Kbp.Cycle _ -> Alcotest.fail "standard KBP must converge"
+
+let test_instantiate_guards () =
+  (* Instantiating figure 1 at SI = {00} must enable s0 at the initial
+     state (P0 knows ¬x when all possible worlds satisfy ¬x). *)
+  let sp, kbp = figure1 () in
+  let s00 = Space.pred_of_state sp [| 0; 0 |] in
+  let prog = Kbp.instantiate kbp ~si:s00 in
+  let s0 = List.find (fun s -> Stmt.name s = "s0") (Program.statements prog) in
+  Alcotest.(check bool) "s0 enabled at 00 under SI={00}" true
+    (Space.holds_at sp (Stmt.guard_pred sp s0) [| 0; 0 |]);
+  (* ... and disabled there under SI = {00,10,01}. *)
+  let m = Space.manager sp in
+  let si3 =
+    Bdd.disj m
+      [ s00; Space.pred_of_state sp [| 1; 0 |]; Space.pred_of_state sp [| 0; 1 |] ]
+  in
+  let prog3 = Kbp.instantiate kbp ~si:si3 in
+  let s0' = List.find (fun s -> Stmt.name s = "s0") (Program.statements prog3) in
+  Alcotest.(check bool) "s0 disabled at 00 under larger SI" false
+    (Space.holds_at sp (Stmt.guard_pred sp s0') [| 0; 0 |])
+
+let test_pp_smoke () =
+  let _, kbp = figure1 () in
+  let s = Format.asprintf "%a" Kbp.pp kbp in
+  Alcotest.(check bool) "pp nonempty" true (String.length s > 40)
+
+let suite =
+  [
+    Alcotest.test_case "make validation" `Quick test_make_validation;
+    Alcotest.test_case "is_standard" `Quick test_is_standard;
+    Alcotest.test_case "FIGURE 1: no solution exists" `Quick test_figure1_no_solution;
+    Alcotest.test_case "FIGURE 1: iteration cycles" `Quick test_figure1_iteration_cycles;
+    Alcotest.test_case "FIGURE 1: Ĝ hand values" `Quick test_figure1_g_operator_hand_values;
+    Alcotest.test_case "FIGURE 2: SI under weak init" `Quick test_figure2_solution_weak_init;
+    Alcotest.test_case "FIGURE 2: SI under strong init" `Quick test_figure2_solution_strong_init;
+    Alcotest.test_case "FIGURE 2: non-monotonicity" `Quick test_figure2_nonmonotonicity;
+    Alcotest.test_case "FIGURE 2: iteration converges" `Quick test_figure2_iteration_converges;
+    Alcotest.test_case "standard KBP = standard program" `Quick
+      test_standard_kbp_agrees_with_program;
+    Alcotest.test_case "instantiation of guards" `Quick test_instantiate_guards;
+    Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
+  ]

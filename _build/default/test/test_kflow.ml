@@ -1,0 +1,131 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+open Kpt_protocols
+
+(* A process that overwrites its only evidence: o observes s's secret into
+   its register r, then may clear r.  K_O(secret) is learnt by observe and
+   forgotten by clear — the textbook no-perfect-recall situation. *)
+let observer () =
+  let sp = Space.create () in
+  let secret = Space.bool_var sp "secret" in
+  let r = Space.nat_var sp "r" ~max:2 in
+  (* r: 0 = no obs, 1 = saw false, 2 = saw true *)
+  let o = Process.make "O" [ r ] in
+  let s = Process.make "S" [ secret ] in
+  let observe =
+    Stmt.make ~name:"observe" [ (r, Expr.(Ite (var secret, nat 2, nat 1))) ]
+  in
+  let clear = Stmt.make ~name:"clear" [ (r, Expr.nat 0) ] in
+  let prog =
+    Program.make sp ~name:"observer" ~init:Expr.(var r === nat 0)
+      ~processes:[ o; s ] [ observe; clear ]
+  in
+  (sp, secret, r, prog)
+
+let test_learning_and_forgetting () =
+  let sp, secret, _, prog = observer () in
+  let fact = Expr.compile_bool sp (Expr.var secret) in
+  Alcotest.(check (list string)) "observe teaches" [ "observe" ]
+    (Kflow.learning_statements prog "O" fact);
+  Alcotest.(check (list string)) "clear makes forget" [ "clear" ]
+    (Kflow.forgetting_statements prog "O" fact);
+  Alcotest.(check bool) "knowledge not stable" false (Kflow.knowledge_stable prog "O" fact);
+  (* the learning states are exactly: secret true, not yet observed-true *)
+  let l = Kflow.learns prog "O" fact (List.hd (Program.statements prog)) in
+  Space.iter_states sp (fun st ->
+      if Space.holds_at sp (Program.si prog) st then
+        let expected = st.(0) = 1 && st.(1) <> 2 in
+        Alcotest.(check bool) "learning set pointwise" expected (Space.holds_at sp l st))
+
+let test_owner_never_forgets_itself () =
+  (* The secret's owner always knows its own variable; nothing can change
+     that (its view contains the fact itself). *)
+  let sp, secret, _, prog = observer () in
+  let fact = Expr.compile_bool sp (Expr.var secret) in
+  Alcotest.(check bool) "S never forgets its own secret" true
+    (Kflow.knowledge_stable prog "S" fact);
+  Alcotest.(check (list string)) "and never needs to learn it" []
+    (Kflow.learning_statements prog "S" fact)
+
+(* The Figure-4 experiment.  Two findings, both mechanical:
+
+   (a) Although z is overwritten by every receive, the sender NEVER forgets
+       K_S(j ≥ k): the guards only let a receive happen when the pending
+       ack is spent (z = i+1 disables snd_tx; once it advances, i ≥ k
+       carries the knowledge).  This is the deeper reason stability (55)
+       can hold at all — the protocol text encodes its own recall.
+
+   (b) Knowledge about the OTHER side's counter is forgotten by one's own
+       progress: at j = 0 the receiver knows i = 0 (the window invariant
+       pins it), and destroys that knowledge by delivering — its new view
+       admits both i = 0 and i = 1. *)
+let test_standard_protocol_recall () =
+  let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
+  let sp = st.Seqtrans.sspace in
+  let prog = st.Seqtrans.sprog in
+  (* (a) sender recall, despite the lossy channel *)
+  for k = 1 to 2 do
+    let j_ge_k = Expr.compile_bool sp Expr.(var st.Seqtrans.j >== nat k) in
+    Alcotest.(check bool)
+      (Printf.sprintf "K_S(j ≥ %d) is never forgotten" k)
+      true
+      (Kflow.knowledge_stable prog "Sender" j_ge_k)
+  done;
+  (* the receiver's knowledge of data values is permanent (w is history) *)
+  for k = 0 to 1 do
+    for alpha = 0 to 1 do
+      let fact = Expr.compile_bool sp Expr.(var st.Seqtrans.xs.(k) === nat alpha) in
+      Alcotest.(check bool)
+        (Printf.sprintf "K_R(x_%d = %d) never forgotten" k alpha)
+        true
+        (Kflow.knowledge_stable prog "Receiver" fact)
+    done
+  done;
+  (* (b) but the receiver forgets K_R(i = 0) by moving on *)
+  let i0 = Expr.compile_bool sp Expr.(var st.Seqtrans.i === nat 0) in
+  Alcotest.(check bool) "K_R(i = 0) is forgettable" false
+    (Kflow.knowledge_stable prog "Receiver" i0);
+  let forgetters = Kflow.forgetting_statements prog "Receiver" i0 in
+  Alcotest.(check bool) "forgotten by the receiver's own delivery" true
+    (forgetters <> []
+    && List.for_all
+         (fun s -> s = "rcv_write0" || s = "rcv_write1" || s = "rcv_ack")
+         forgetters)
+
+let test_history_variable_restores_recall () =
+  (* Add a history latch to the observer: once set it is never cleared, so
+     knowledge through it is permanent — §3's recipe. *)
+  let sp = Space.create () in
+  let secret = Space.bool_var sp "secret" in
+  let r = Space.nat_var sp "r" ~max:2 in
+  let hist = Space.nat_var sp "hist" ~max:2 in
+  let o = Process.make "O" [ r; hist ] in
+  let observe =
+    Stmt.make ~name:"observe"
+      [
+        (r, Expr.(Ite (var secret, nat 2, nat 1)));
+        (hist, Expr.(Ite (var hist === nat 0, Ite (var secret, nat 2, nat 1), var hist)));
+      ]
+  in
+  let clear = Stmt.make ~name:"clear" [ (r, Expr.nat 0) ] in
+  let prog =
+    Program.make sp ~name:"observer_hist"
+      ~init:Expr.((var r === nat 0) &&& (var hist === nat 0))
+      ~processes:[ o; Process.make "S" [ secret ] ]
+      [ observe; clear ]
+  in
+  let fact = Expr.compile_bool sp (Expr.var secret) in
+  Alcotest.(check bool) "with a history variable, recall is perfect" true
+    (Kflow.knowledge_stable prog "O" fact);
+  Alcotest.(check (list string)) "still learnt by observing" [ "observe" ]
+    (Kflow.learning_statements prog "O" fact)
+
+let suite =
+  [
+    Alcotest.test_case "learning and forgetting" `Quick test_learning_and_forgetting;
+    Alcotest.test_case "owners never forget" `Quick test_owner_never_forgets_itself;
+    Alcotest.test_case "Figure 4: recall analysis" `Quick test_standard_protocol_recall;
+    Alcotest.test_case "history variables restore recall" `Quick
+      test_history_variable_restores_recall;
+  ]

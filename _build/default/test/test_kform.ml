@@ -1,0 +1,103 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+let setup () =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let y = Space.bool_var sp "y" in
+  let p0 = Process.make "P0" [ x ] in
+  let p1 = Process.make "P1" [ x; y ] in
+  let lookup = function
+    | "P0" -> p0
+    | "P1" -> p1
+    | s -> Alcotest.failf "unknown process %s" s
+  in
+  (sp, x, y, p0, p1, lookup)
+
+let test_is_standard () =
+  let _, x, _, _, _, _ = setup () in
+  let open Kform in
+  Alcotest.(check bool) "base standard" true (is_standard (base (Expr.var x)));
+  Alcotest.(check bool) "boolean combo standard" true
+    (is_standard (base (Expr.var x) &&. knot (base Expr.tru)));
+  Alcotest.(check bool) "K not standard" false (is_standard (k "P0" (base (Expr.var x))));
+  Alcotest.(check bool) "nested K not standard" false
+    (is_standard (base Expr.tru ||. k "P1" (k "P0" (base (Expr.var x)))))
+
+let test_processes_of () =
+  let _, x, _, _, _, _ = setup () in
+  let open Kform in
+  let f = k "P1" (k "P0" (base (Expr.var x))) &&. k "P0" (base Expr.tru) in
+  Alcotest.(check (list string)) "processes_of" [ "P0"; "P1" ] (processes_of f);
+  Alcotest.(check (list string)) "standard has none" [] (processes_of (base Expr.tru))
+
+let test_compile_base_and_connectives () =
+  let sp, x, y, _, _, lookup = setup () in
+  let m = Space.manager sp in
+  let si = Bdd.tru m in
+  let cb f = Kform.compile sp ~lookup ~si f in
+  let open Kform in
+  Alcotest.(check bool) "base" true
+    (Pred.equivalent sp (cb (base (Expr.var x))) (Expr.compile_bool sp (Expr.var x)));
+  Alcotest.(check bool) "not" true
+    (Pred.equivalent sp (cb (knot (base (Expr.var x))))
+       (Bdd.not_ m (Expr.compile_bool sp (Expr.var x))));
+  Alcotest.(check bool) "and/or/imp" true
+    (Pred.equivalent sp
+       (cb ((base (Expr.var x) &&. base (Expr.var y)) ||. (base (Expr.var x) ==>. base (Expr.var y))))
+       (let px = Expr.compile_bool sp (Expr.var x) and py = Expr.compile_bool sp (Expr.var y) in
+        Bdd.or_ m (Bdd.and_ m px py) (Bdd.imp m px py)))
+
+let test_compile_k_matches_knowledge () =
+  let sp, x, y, p0, p1, lookup = setup () in
+  let st = Helpers.rng () in
+  for _ = 1 to 15 do
+    let si = Pred.random st sp in
+    let f = Kform.k "P0" (Kform.base Expr.(var x ||| var y)) in
+    let direct =
+      Knowledge.knows sp ~si p0 (Expr.compile_bool sp Expr.(var x ||| var y))
+    in
+    Alcotest.(check bool) "K compiles via Knowledge.knows" true
+      (Pred.equivalent sp (Kform.compile sp ~lookup ~si f) direct);
+    (* nested: K_{P1} K_{P0} φ *)
+    let nested = Kform.k "P1" (Kform.k "P0" (Kform.base (Expr.var y))) in
+    let expected =
+      Knowledge.knows sp ~si p1 (Knowledge.knows sp ~si p0 (Expr.compile_bool sp (Expr.var y)))
+    in
+    Alcotest.(check bool) "nested K" true
+      (Pred.equivalent sp (Kform.compile sp ~lookup ~si nested) expected)
+  done
+
+let test_si_dependence () =
+  (* The same formula denotes different predicates at different SIs —
+     the essence of §4's circularity. *)
+  let sp, x, y, _, _, lookup = setup () in
+  let m = Space.manager sp in
+  let f = Kform.k "P0" (Kform.base (Expr.var y)) in
+  (* SI = everything: P0 (seeing only x) never knows y *)
+  let k_all = Kform.compile sp ~lookup ~si:(Bdd.tru m) f in
+  Alcotest.(check bool) "under full SI, P0 never knows y" true
+    (Bdd.is_false (Pred.normalize sp k_all));
+  (* SI = y: all possible worlds satisfy y, so P0 knows y everywhere in SI *)
+  let si_y = Expr.compile_bool sp (Expr.var y) in
+  let k_y = Kform.compile sp ~lookup ~si:si_y f in
+  Alcotest.(check bool) "under SI=y, P0 knows y on SI" true
+    (Bdd.implies m si_y k_y);
+  ignore x
+
+let test_pp () =
+  let _, x, _, _, _, _ = setup () in
+  let f = Kform.(k "P0" (knot (base (Expr.var x)))) in
+  let s = Format.asprintf "%a" Kform.pp f in
+  Alcotest.(check string) "pp" "K_P0¬x" s
+
+let suite =
+  [
+    Alcotest.test_case "is_standard" `Quick test_is_standard;
+    Alcotest.test_case "processes_of" `Quick test_processes_of;
+    Alcotest.test_case "compile connectives" `Quick test_compile_base_and_connectives;
+    Alcotest.test_case "compile K" `Quick test_compile_k_matches_knowledge;
+    Alcotest.test_case "SI dependence" `Quick test_si_dependence;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,207 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+(* Bit-transmission program: the Sender owns bit [b] and writes it to the
+   shared wire [c]; the Receiver copies [c] into [r].  Only b = true is
+   ever written (the wire starts low), so "c is high" carries knowledge. *)
+let bit_prog () =
+  let sp = Space.create () in
+  let b = Space.bool_var sp "b" in
+  let c = Space.bool_var sp "c" in
+  let r = Space.bool_var sp "r" in
+  let sender = Process.make "S" [ b; c ] in
+  let receiver = Process.make "R" [ c; r ] in
+  let write = Stmt.make ~name:"write" ~guard:(Expr.var b) [ (c, Expr.var b) ] in
+  let copy = Stmt.make ~name:"copy" [ (r, Expr.var c) ] in
+  let prog =
+    Program.make sp ~name:"bit"
+      ~init:Expr.(not_ (var c) &&& not_ (var r))
+      ~processes:[ sender; receiver ] [ write; copy ]
+  in
+  (sp, b, c, r, prog)
+
+let bp sp e = Expr.compile_bool sp e
+
+let test_knowledge_value () =
+  let sp, b, c, _, prog = bit_prog () in
+  (* Within SI, the receiver knows b once the wire is high. *)
+  let kb = Knowledge.knows_in prog "R" (bp sp (Expr.var b)) in
+  let si = Program.si prog in
+  let m = Space.manager sp in
+  Alcotest.(check bool) "K_R b = c on reachable states" true
+    (Bdd.implies m si (Bdd.iff m kb (bp sp (Expr.var c))));
+  (* The sender always knows its own bit's value. *)
+  let ks_b = Knowledge.knows_in prog "S" (bp sp (Expr.var b)) in
+  let ks_nb = Knowledge.knows_in prog "S" (bp sp Expr.(not_ (var b))) in
+  Alcotest.(check bool) "K_S b ∨ K_S ¬b everywhere reachable" true
+    (Bdd.implies m si (Bdd.or_ m ks_b ks_nb));
+  ignore c
+
+let s5_program_pairs () =
+  let sp, b, _, _, prog = bit_prog () in
+  let st = Helpers.rng () in
+  let preds = Bdd.tru (Space.manager sp) :: List.init 8 (fun _ -> Pred.random st sp) in
+  (sp, b, prog, preds)
+
+(* S5 axioms (14)–(18). *)
+let test_s5 () =
+  let sp, _, prog, preds = s5_program_pairs () in
+  let m = Space.manager sp in
+  let k = Knowledge.knows_in prog "R" in
+  List.iter
+    (fun p ->
+      (* (14) veridicality *)
+      Alcotest.(check bool) "(14) K p ⇒ p" true (Pred.holds_implies sp (k p) p);
+      (* (16) positive introspection, as equality *)
+      Alcotest.(check bool) "(16) K p ≡ K K p" true (Pred.equivalent sp (k p) (k (k p)));
+      (* (17) negative introspection *)
+      Alcotest.(check bool) "(17) ¬K p ≡ K ¬K p" true
+        (Pred.equivalent sp (Bdd.not_ m (k p)) (k (Bdd.not_ m (k p))));
+      (* (18) necessitation *)
+      if Pred.valid sp p then
+        Alcotest.(check bool) "(18) [p] ⇒ [K p]" true (Pred.valid sp (k p)))
+    preds;
+  (* (15) distribution over implication *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          let lhs = Bdd.and_ m (k p) (k (Bdd.imp m p q)) in
+          Alcotest.(check bool) "(15) K p ∧ K(p⇒q) ⇒ K q" true
+            (Pred.holds_implies sp lhs (k q)))
+        preds)
+    preds
+
+(* Junctivity (19)–(22). *)
+let test_junctivity_19_22 () =
+  let sp, _, prog, preds = s5_program_pairs () in
+  let m = Space.manager sp in
+  let k = Knowledge.knows_in prog "R" in
+  (* (19) monotone in p *)
+  List.iter
+    (fun p ->
+      List.iter
+        (fun q ->
+          if Pred.holds_implies sp p q then
+            Alcotest.(check bool) "(19) monotone" true (Pred.holds_implies sp (k p) (k q)))
+        preds)
+    preds;
+  (* (21) universally conjunctive — binary + empty family via tester *)
+  let rng = Helpers.rng () in
+  (match Junctivity.universally_conjunctive sp k rng with
+  | None -> ()
+  | Some w -> Alcotest.failf "(21) K should be universally conjunctive: %s" w.note);
+  (* (22) not disjunctive: K_R applied to b-vs-¬b splits.  The receiver,
+     at wire-low states, knows b ∨ ¬b but neither disjunct. *)
+  let b = Space.find sp "b" in
+  let pb = bp sp (Expr.var b) and nb = bp sp Expr.(not_ (var b)) in
+  let lhs = Bdd.or_ m (k pb) (k nb) in
+  let rhs = k (Bdd.or_ m pb nb) in
+  Alcotest.(check bool) "(22) K not disjunctive (witness)" false (Pred.equivalent sp lhs rhs)
+
+(* (20) anti-monotone in SI: strengthening SI weakens nothing — a smaller
+   set of possible worlds can only increase knowledge. *)
+let test_anti_monotone_in_si () =
+  let sp, _, _, _, prog = bit_prog () in
+  let m = Space.manager sp in
+  let st = Helpers.rng () in
+  let proc = Program.find_process prog "R" in
+  for _ = 1 to 15 do
+    let si1 = Bdd.or_ m (Program.si prog) (Pred.random st sp) in
+    let si2 = Bdd.and_ m si1 (Pred.random st sp) in
+    (* si2 ⇒ si1 *)
+    let p = Pred.random st sp in
+    (* On states where both definitions apply (within si2), knowledge under
+       the stronger invariant is weaker-or-equal pointwise: K^{si1} p ⇒
+       K^{si2} p restricted to si2. *)
+    let k1 = Knowledge.knows sp ~si:si1 proc p in
+    let k2 = Knowledge.knows sp ~si:si2 proc p in
+    Alcotest.(check bool) "(20) anti-monotone on common worlds" true
+      (Pred.holds_implies sp (Bdd.and_ m si2 k1) k2)
+  done
+
+(* (23): invariant p ≡ invariant K_i p. *)
+let test_invariant_correspondence_23 () =
+  let _, _, prog, preds = s5_program_pairs () in
+  let k = Knowledge.knows_in prog "R" in
+  List.iter
+    (fun p ->
+      Alcotest.(check bool) "(23) invariant p ≡ invariant K p"
+        (Program.invariant prog p)
+        (Program.invariant prog (k p)))
+    preds
+
+(* (24): for q depending only on i's variables,
+   invariant (q ⇒ p) ≡ invariant (q ⇒ K_i p). *)
+let test_invariant_correspondence_24 () =
+  let sp, _, prog, preds = s5_program_pairs () in
+  let m = Space.manager sp in
+  let k = Knowledge.knows_in prog "R" in
+  let rvars = Process.vars (Program.find_process prog "R") in
+  let st = Helpers.rng () in
+  List.iter
+    (fun p ->
+      let q = Wcyl.wcyl sp rvars (Pred.random st sp) in
+      Alcotest.(check bool) "(24)"
+        (Program.invariant prog (Bdd.imp m q p))
+        (Program.invariant prog (Bdd.imp m q (k p))))
+    preds
+
+let test_everyone_common_distributed () =
+  let sp, b, c, r, prog = bit_prog () in
+  let m = Space.manager sp in
+  let si = Program.si prog in
+  let group = [ Program.find_process prog "S"; Program.find_process prog "R" ] in
+  let st = Helpers.rng () in
+  for _ = 1 to 10 do
+    let p = Pred.random st sp in
+    let e = Knowledge.everyone_knows sp ~si group p in
+    let ck = Knowledge.common_knowledge sp ~si group p in
+    let d = Knowledge.distributed_knowledge sp ~si group p in
+    (* C ⇒ E ⇒ K_i ⇒ p, and K_i ⇒ D *)
+    Alcotest.(check bool) "C ⇒ E" true (Pred.holds_implies sp ck e);
+    Alcotest.(check bool) "E ⇒ K_R" true
+      (Pred.holds_implies sp e (Knowledge.knows_in prog "R" p));
+    Alcotest.(check bool) "E ⇒ p" true (Pred.holds_implies sp e p);
+    Alcotest.(check bool) "K_S ⇒ D" true
+      (Pred.holds_implies sp (Knowledge.knows_in prog "S" p) d);
+    (* C is a fixpoint: C p ≡ E(p ∧ C p) *)
+    Alcotest.(check bool) "C fixpoint" true
+      (Pred.equivalent sp ck (Knowledge.everyone_knows sp ~si group (Bdd.and_ m p ck)))
+  done;
+  (* Distributed knowledge really pools variables: S and R jointly see
+     everything, so D_G is p itself on reachable states. *)
+  let p = bp sp Expr.(var b &&& not_ (var r)) in
+  let d = Knowledge.distributed_knowledge sp ~si group p in
+  Alcotest.(check bool) "full-view D = p inside SI" true
+    (Bdd.implies m si (Bdd.iff m d p));
+  ignore c
+
+let test_unreachable_convention () =
+  (* Eq. 13's refinement: on unreachable states K_i p has the value p. *)
+  let sp, _, _, _, prog = bit_prog () in
+  let m = Space.manager sp in
+  let si = Program.si prog in
+  let st = Helpers.rng () in
+  for _ = 1 to 15 do
+    let p = Pred.random st sp in
+    let k = Knowledge.knows_in prog "R" p in
+    Alcotest.(check bool) "K p ≡ p outside SI" true
+      (Bdd.implies m
+         (Bdd.and_ m (Space.domain sp) (Bdd.not_ m si))
+         (Bdd.iff m k p))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "knowledge gained by communication" `Quick test_knowledge_value;
+    Alcotest.test_case "(14)-(18) S5 axioms" `Quick test_s5;
+    Alcotest.test_case "(19),(21),(22) junctivity" `Quick test_junctivity_19_22;
+    Alcotest.test_case "(20) anti-monotone in SI" `Quick test_anti_monotone_in_si;
+    Alcotest.test_case "(23) invariant correspondence" `Quick test_invariant_correspondence_23;
+    Alcotest.test_case "(24) cylinder invariant correspondence" `Quick
+      test_invariant_correspondence_24;
+    Alcotest.test_case "E/C/D extensions" `Quick test_everyone_common_distributed;
+    Alcotest.test_case "unreachable-state convention" `Quick test_unreachable_convention;
+  ]

@@ -1,0 +1,38 @@
+let () =
+  Alcotest.run "kpt"
+    [
+      ("bdd", Test_bdd.suite);
+      ("bitvec", Test_bitvec.suite);
+      ("space", Test_space.suite);
+      ("pred", Test_pred.suite);
+      ("expr", Test_expr.suite);
+      ("stmt", Test_stmt.suite);
+      ("program", Test_program.suite);
+      ("props", Test_props.suite);
+      ("proof", Test_proof.suite);
+      ("wcyl", Test_wcyl.suite);
+      ("knowledge", Test_knowledge.suite);
+      ("kform", Test_kform.suite);
+      ("kbp", Test_kbp.suite);
+      ("junctivity", Test_junctivity.suite);
+      ("runs", Test_runs.suite);
+      ("channel", Test_channel.suite);
+      ("seqtrans", Test_seqtrans.suite);
+      ("abp", Test_abp.suite);
+      ("stenning", Test_stenning.suite);
+      ("auy", Test_auy.suite);
+      ("apriori", Test_apriori.suite);
+      ("crossval", Test_crossval.suite);
+      ("qcheck", Test_qcheck.suite);
+      ("syntax", Test_syntax.suite);
+      ("window", Test_window.suite);
+      ("seqtrans-proofs", Test_seqtrans_proofs.suite);
+      ("refine", Test_refine.suite);
+      ("kflow", Test_kflow.suite);
+      ("muddy", Test_muddy.suite);
+      ("interpreted", Test_interpreted.suite);
+      ("matrix", Test_matrix.suite);
+      ("ctl", Test_ctl.suite);
+      ("commit", Test_commit.suite);
+      ("gossip", Test_gossip.suite);
+    ]

@@ -1,0 +1,80 @@
+(* Larger-instance parameter matrix (all `Slow): the bounded results are
+   not artifacts of n = |A| = 2, and the full experiment harness is kept
+   green as a single gate. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_protocols
+
+let test_standard_wider_alphabet () =
+  let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 3 } in
+  let prog = st.Seqtrans.sprog in
+  Alcotest.(check bool) "safety (34), |A|=3" true
+    (Program.invariant prog (Seqtrans.spec_safety st));
+  Alcotest.(check bool) "(54), |A|=3" true (Program.invariant prog (Seqtrans.inv54 st ~k:1));
+  (* the Prop-4.5 equality persists *)
+  let m = Space.manager st.Seqtrans.sspace in
+  let si = Program.si prog in
+  List.iter
+    (fun (k, alpha) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "(50) ≡ K @ (%d,%d), |A|=3" k alpha)
+        true
+        (Bdd.is_true
+           (Bdd.imp m si
+              (Bdd.iff m (Seqtrans.cand_kr st ~k ~alpha) (Seqtrans.real_kr st ~k ~alpha)))))
+    [ (0, 0); (0, 2); (1, 1) ]
+
+let test_standard_longer_horizon () =
+  let st = Seqtrans.standard ~lossy:false { Seqtrans.n = 3; a = 2 } in
+  let prog = st.Seqtrans.sprog in
+  Alcotest.(check bool) "safety (34), n=3" true
+    (Program.invariant prog (Seqtrans.spec_safety st));
+  Alcotest.(check bool) "liveness @1, n=3" true (Seqtrans.spec_liveness_holds st ~k:1)
+
+let test_replay_wider_alphabet () =
+  let ab = Seqtrans.abstract_kbp { Seqtrans.n = 2; a = 3 } in
+  let thms = Seqtrans_proofs.replay_abstract ab in
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check (list string)) (name ^ " assumption-free, |A|=3") []
+        (Kpt_logic.Proof.assumptions t))
+    thms;
+  Alcotest.(check bool) "paper-style (37), |A|=3" true
+    (Kpt_logic.Proof.check (Seqtrans_proofs.inv37_paper_style ab))
+
+let test_abp_longer () =
+  let t = Abp.make ~lossy:true { Seqtrans.n = 3; a = 2 } in
+  Alcotest.(check bool) "ABP safety, n=3" true (Program.invariant t.Abp.prog (Abp.safety t))
+
+let test_window_wider () =
+  let t = Window.make ~lossy:false ~window:3 { Seqtrans.n = 3; a = 2 } in
+  Alcotest.(check bool) "window-3 safety, n=3" true
+    (Program.invariant t.Window.prog (Window.safety t));
+  (* window invariant at the larger size *)
+  let reach = Kpt_runs.Reachability.reachable t.Window.prog in
+  Alcotest.(check bool) "in-flight bound, w=3" true
+    (List.for_all (fun st -> Window.in_flight t st <= 3) reach)
+
+let test_muddy_four () =
+  let t = Muddy.make ~children:4 in
+  Alcotest.(check bool) "n=4 sound" true (Muddy.epistemically_sound t);
+  Alcotest.(check bool) "n=4 truthful" true (Muddy.truthful t);
+  Alcotest.(check bool) "n=4 silence teaches" true (Muddy.silence_teaches t ~child:3)
+
+let test_experiments_gate () =
+  (* the whole E1-E9 harness must report REPRODUCED *)
+  let null = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ()) in
+  let verdicts = Kpt_experiments.Experiments.run_all null in
+  List.iter (fun (name, ok) -> Alcotest.(check bool) name true ok) verdicts
+
+let suite =
+  [
+    Alcotest.test_case "standard |A|=3" `Slow test_standard_wider_alphabet;
+    Alcotest.test_case "standard n=3" `Slow test_standard_longer_horizon;
+    Alcotest.test_case "replay |A|=3" `Slow test_replay_wider_alphabet;
+    Alcotest.test_case "ABP n=3" `Slow test_abp_longer;
+    Alcotest.test_case "window w=3 n=3" `Slow test_window_wider;
+    Alcotest.test_case "muddy n=4" `Slow test_muddy_four;
+    Alcotest.test_case "experiments E1-E9 gate" `Slow test_experiments_gate;
+  ]

@@ -1,0 +1,79 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_protocols
+
+let m2 = lazy (Muddy.make ~children:2)
+let m3 = lazy (Muddy.make ~children:3)
+
+let test_validation () =
+  Alcotest.check_raises "too few" (Invalid_argument "Muddy.make: 2 ≤ children ≤ 4")
+    (fun () -> ignore (Muddy.make ~children:1))
+
+let check_all name t =
+  Alcotest.(check bool) (name ^ ": epistemically sound") true (Muddy.epistemically_sound t);
+  Alcotest.(check bool) (name ^ ": truthful") true (Muddy.truthful t);
+  Alcotest.(check bool) (name ^ ": clean stay silent") true (Muddy.clean_never_declare t);
+  for c = 0 to t.Muddy.children - 1 do
+    Alcotest.(check bool) (name ^ ": silence teaches") true (Muddy.silence_teaches t ~child:c);
+    Alcotest.(check bool) (name ^ ": ignorance at round 0") true
+      (Muddy.ignorance_before t ~child:c)
+  done
+
+let test_two_children () = check_all "n=2" (Lazy.force m2)
+let test_three_children () = check_all "n=3" (Lazy.force m3)
+
+let test_liveness () =
+  Alcotest.(check bool) "n=2 muddy eventually declare" true
+    (Muddy.all_muddy_eventually_declare (Lazy.force m2));
+  Alcotest.(check bool) "n=3 muddy eventually declare" true
+    (Muddy.all_muddy_eventually_declare (Lazy.force m3))
+
+let test_declaration_timing () =
+  (* The classic timing: with m muddy children, nobody declares before
+     round m-1 (0-based), i.e. declared_i ⇒ round ≥ (number muddy) - 1. *)
+  let t = Lazy.force m3 in
+  let sp = t.Muddy.space in
+  let mgr = Space.manager sp in
+  let open Expr in
+  let count =
+    List.fold_left
+      (fun acc i -> acc +! Ite (var t.Muddy.muddy.(i), nat 1, nat 0))
+      (nat 0)
+      (List.init t.Muddy.children Fun.id)
+  in
+  let some_declared = disj (List.init t.Muddy.children (fun i -> var t.Muddy.declared.(i))) in
+  let timing = some_declared ==> (var t.Muddy.round +! nat 1 >== count) in
+  Alcotest.(check bool) "no early declarations" true
+    (Program.invariant t.Muddy.prog (Expr.compile_bool sp timing));
+  ignore mgr
+
+let test_everyone_declares_by_round_m () =
+  (* and by the end of round m every muddy child HAS declared: once
+     round > count, muddy ⇒ declared. *)
+  let t = Lazy.force m3 in
+  let sp = t.Muddy.space in
+  let open Expr in
+  let count =
+    List.fold_left
+      (fun acc i -> acc +! Ite (var t.Muddy.muddy.(i), nat 1, nat 0))
+      (nat 0)
+      (List.init t.Muddy.children Fun.id)
+  in
+  let claim =
+    conj
+      (List.init t.Muddy.children (fun i ->
+           (var t.Muddy.round >>> count) ==> (var t.Muddy.muddy.(i) ==> var t.Muddy.declared.(i))))
+  in
+  Alcotest.(check bool) "all muddy declared after round m" true
+    (Program.invariant t.Muddy.prog (Expr.compile_bool sp claim))
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "two children" `Quick test_two_children;
+    Alcotest.test_case "three children" `Quick test_three_children;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "declaration timing lower bound" `Quick test_declaration_timing;
+    Alcotest.test_case "declaration timing upper bound" `Quick
+      test_everyone_declares_by_round_m;
+  ]

@@ -1,0 +1,133 @@
+open Kpt_predicate
+
+(* A 2-variable integer-ish space echoing the paper's wcyl counterexample
+   (§3): x and y range over 0..3, read "x > 0" as x >= 1. *)
+let xy_space () =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:3 in
+  let y = Space.nat_var sp "y" ~max:3 in
+  (sp, x, y)
+
+let gt0 sp v =
+  let m = Space.manager sp in
+  Bitvec.ge m (Space.cur_vec sp v) (Bitvec.const m ~width:1 1)
+
+let test_valid () =
+  let sp, x, _ = xy_space () in
+  let m = Space.manager sp in
+  let tauto = Bdd.or_ m (gt0 sp x) (Bdd.not_ m (gt0 sp x)) in
+  Alcotest.(check bool) "tautology valid" true (Pred.valid sp tauto);
+  Alcotest.(check bool) "x>0 not valid" false (Pred.valid sp (gt0 sp x));
+  (* x <= 3 is valid on the domain but not on raw bits (x is 2 bits wide,
+     so raw bits admit no junk here; use x <= 2 instead which is falsifiable). *)
+  let le3 = Bitvec.le m (Space.cur_vec sp x) (Bitvec.const m ~width:2 3) in
+  Alcotest.(check bool) "x<=3 valid on domain" true (Pred.valid sp le3)
+
+let test_order_equiv () =
+  let sp, x, y = xy_space () in
+  let m = Space.manager sp in
+  let p = Bdd.and_ m (gt0 sp x) (gt0 sp y) in
+  Alcotest.(check bool) "p ⇒ x>0" true (Pred.holds_implies sp p (gt0 sp x));
+  Alcotest.(check bool) "x>0 ⇏ p" false (Pred.holds_implies sp (gt0 sp x) p);
+  Alcotest.(check bool) "equivalent self" true (Pred.equivalent sp p p);
+  Alcotest.(check bool) "not equivalent" false (Pred.equivalent sp p (gt0 sp x))
+
+let test_normalize () =
+  let sp, x, _ = xy_space () in
+  let p = gt0 sp x in
+  let q = Pred.normalize sp p in
+  Alcotest.(check bool) "normalize idempotent" true (Bdd.equal q (Pred.normalize sp q));
+  Alcotest.(check bool) "normalize preserves meaning" true (Pred.equivalent sp p q)
+
+let test_complement_vars () =
+  let sp, x, y = xy_space () in
+  let comp = Pred.complement_vars sp [ x ] in
+  Alcotest.(check (list string)) "complement" [ "y" ] (List.map Space.name comp);
+  Alcotest.(check (list string)) "complement of all" []
+    (List.map Space.name (Pred.complement_vars sp [ x; y ]));
+  Alcotest.(check (list string)) "complement of none" [ "x"; "y" ]
+    (List.map Space.name (Pred.complement_vars sp []))
+
+(* The paper's counterexample to disjunctivity of wcyl (§3, eq. 12):
+   over integers x and y,
+     (∀y. x>0 ∧ y>0) = false,  (∀y. x>0 ∧ y≤0) = false,
+   but (∀y. x>0) = x>0.  forall_vars is that quantifier. *)
+let test_forall_vars_counterexample () =
+  let sp, x, y = xy_space () in
+  let m = Space.manager sp in
+  let xp = gt0 sp x and yp = gt0 sp y in
+  let fa p = Pred.forall_vars sp [ y ] p in
+  Alcotest.(check bool) "∀y.(x>0∧y>0) = false" true
+    (Pred.equivalent sp (fa (Bdd.and_ m xp yp)) (Bdd.fls m));
+  Alcotest.(check bool) "∀y.(x>0∧y≤0) = false" true
+    (Pred.equivalent sp (fa (Bdd.and_ m xp (Bdd.not_ m yp))) (Bdd.fls m));
+  Alcotest.(check bool) "∀y.(x>0) = x>0" true (Pred.equivalent sp (fa xp) xp)
+
+let test_forall_exists_duality () =
+  let sp, _, y = xy_space () in
+  let m = Space.manager sp in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    let lhs = Pred.forall_vars sp [ y ] p in
+    let rhs = Bdd.not_ m (Pred.exists_vars sp [ y ] (Bdd.not_ m p)) in
+    Alcotest.(check bool) "∀ = ¬∃¬ (relativised)" true (Pred.equivalent sp lhs rhs)
+  done
+
+let test_forall_strengthens () =
+  let sp, _, y = xy_space () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    Alcotest.(check bool) "∀y.p ⇒ p" true
+      (Pred.holds_implies sp (Pred.forall_vars sp [ y ] p) p);
+    Alcotest.(check bool) "p ⇒ ∃y.p" true
+      (Pred.holds_implies sp p (Pred.exists_vars sp [ y ] p))
+  done
+
+let test_depends_only_on () =
+  let sp, x, y = xy_space () in
+  let m = Space.manager sp in
+  Alcotest.(check bool) "x>0 depends only on x" true (Pred.depends_only_on sp (gt0 sp x) [ x ]);
+  Alcotest.(check bool) "x>0 does not depend only on y" false
+    (Pred.depends_only_on sp (gt0 sp x) [ y ]);
+  let mixed = Bdd.and_ m (gt0 sp x) (gt0 sp y) in
+  Alcotest.(check bool) "x>0∧y>0 needs both" false (Pred.depends_only_on sp mixed [ x ]);
+  Alcotest.(check bool) "x>0∧y>0 ok with both" true (Pred.depends_only_on sp mixed [ x; y ]);
+  Alcotest.(check bool) "true depends on nothing" true (Pred.depends_only_on sp (Bdd.tru m) [])
+
+let test_quantify_projection_is_cylinder () =
+  (* ∀ȳ.p depends only on the kept variables. *)
+  let sp, x, y = xy_space () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    Alcotest.(check bool) "∀y.p cylinder on x" true
+      (Pred.depends_only_on sp (Pred.forall_vars sp [ y ] p) [ x ]);
+    Alcotest.(check bool) "∃x.p cylinder on y" true
+      (Pred.depends_only_on sp (Pred.exists_vars sp [ x ] p) [ y ])
+  done
+
+let test_random_density () =
+  let sp, _, _ = xy_space () in
+  let st = Helpers.rng () in
+  let all = Pred.random st ~density:1.0 sp in
+  Alcotest.(check bool) "density 1 = true" true (Pred.valid sp all);
+  let none = Pred.random st ~density:0.0 sp in
+  Alcotest.(check int) "density 0 = false" 0 (Space.count_states_of sp none)
+
+let suite =
+  [
+    Alcotest.test_case "valid" `Quick test_valid;
+    Alcotest.test_case "order and equivalence" `Quick test_order_equiv;
+    Alcotest.test_case "normalize" `Quick test_normalize;
+    Alcotest.test_case "complement_vars" `Quick test_complement_vars;
+    Alcotest.test_case "paper's disjunctivity counterexample" `Quick
+      test_forall_vars_counterexample;
+    Alcotest.test_case "forall/exists duality" `Quick test_forall_exists_duality;
+    Alcotest.test_case "forall strengthens" `Quick test_forall_strengthens;
+    Alcotest.test_case "depends_only_on" `Quick test_depends_only_on;
+    Alcotest.test_case "quantification yields cylinders" `Quick
+      test_quantify_projection_is_cylinder;
+    Alcotest.test_case "random predicate density" `Quick test_random_density;
+  ]

@@ -1,0 +1,243 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_logic
+
+let counter () =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:3 in
+  let inc = Stmt.make ~name:"inc" ~guard:Expr.(var x <<< nat 3) [ (x, Expr.(var x +! nat 1)) ] in
+  let prog = Program.make sp ~name:"counter" ~init:Expr.(var x === nat 0) [ inc ] in
+  (sp, x, prog)
+
+let bp sp e = Expr.compile_bool sp e
+let at sp x k = bp sp Expr.(var x === nat k)
+
+let test_unless_text () =
+  let sp, x, prog = counter () in
+  let t = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  Alcotest.(check (list string)) "no assumptions" [] (Proof.assumptions t);
+  Alcotest.(check bool) "kernel conclusion checks" true (Proof.check t);
+  Alcotest.check_raises "invalid unless rejected"
+    (Proof.Rule_violation "unless does not follow from the program text") (fun () ->
+      ignore (Proof.unless_text prog (at sp x 1) (at sp x 3)))
+
+let test_ensures_and_29 () =
+  let sp, x, prog = counter () in
+  let e = Proof.ensures_text prog (at sp x 1) (at sp x 2) in
+  let l = Proof.ensures_leadsto e in
+  (match Proof.judgment l with
+  | Proof.Leadsto (_, _) -> ()
+  | _ -> Alcotest.fail "rule 29 should give a leads-to");
+  Alcotest.(check bool) "leads-to checks" true (Proof.check l)
+
+let test_trans_and_disj () =
+  let sp, x, prog = counter () in
+  let step k = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x k) (at sp x (k + 1))) in
+  let t02 = Proof.leadsto_trans (step 0) (step 1) in
+  let t03 = Proof.leadsto_trans t02 (step 2) in
+  Alcotest.(check bool) "0 ↦ 3 via transitivity" true (Proof.check t03);
+  (* disjunction: x=0 ∨ x=1 ∨ x=2 ↦ x=3 *)
+  let t13 = Proof.leadsto_trans (step 1) (step 2) in
+  let t23 = step 2 in
+  let d = Proof.leadsto_disj [ t03; t13; t23 ] in
+  Alcotest.(check bool) "disjunction checks" true (Proof.check d);
+  Alcotest.check_raises "mismatched consequents rejected"
+    (Proof.Rule_violation "rule 31: premises have different consequents") (fun () ->
+      ignore (Proof.leadsto_disj [ t03; step 0 ]))
+
+let test_implication () =
+  let sp, x, prog = counter () in
+  let t = Proof.leadsto_implication prog (at sp x 2) (bp sp Expr.(var x >== nat 1)) in
+  Alcotest.(check bool) "implication checks" true (Proof.check t);
+  Alcotest.check_raises "false implication rejected"
+    (Proof.Rule_violation "leads-to implication: the implication does not hold") (fun () ->
+      ignore (Proof.leadsto_implication prog (at sp x 1) (at sp x 2)))
+
+let test_induction () =
+  let sp, x, prog = counter () in
+  (* metric k: distance to completion, x = 3 - k; premise: metric k ↦
+     metric < k ∨ x=3. *)
+  let metric k = at sp x (3 - k) in
+  let q = at sp x 3 in
+  let premise k =
+    if k = 0 then Proof.leadsto_implication prog (metric 0) q
+    else
+      Proof.weaken_leadsto
+        (Proof.ensures_leadsto (Proof.ensures_text prog (at sp x (3 - k)) (at sp x (4 - k))))
+        (Bdd.or_ (Space.manager sp) (metric (k - 1)) q)
+  in
+  let t = Proof.leadsto_induction premise ~metric ~bound:3 ~q in
+  Alcotest.(check bool) "induction conclusion checks" true (Proof.check t);
+  (match Proof.judgment t with
+  | Proof.Leadsto (p, _) ->
+      Alcotest.(check bool) "antecedent covers all x" true
+        (Pred.equivalent sp p (Bdd.tru (Space.manager sp)) || Pred.valid sp p)
+  | _ -> Alcotest.fail "expected leads-to")
+
+let test_invariant_text () =
+  let sp, x, prog = counter () in
+  let t = Proof.invariant_text prog (bp sp Expr.(var x <== nat 3)) in
+  Alcotest.(check bool) "invariant checks" true (Proof.check t);
+  (* Rule 32 with a helper invariant: x=0 is preserved only where x≤0
+     fails in general; use I to restrict. *)
+  Alcotest.check_raises "non-invariant rejected"
+    (Proof.Rule_violation "invariant rule: statement inc does not preserve the predicate")
+    (fun () -> ignore (Proof.invariant_text prog (at sp x 0)))
+
+let test_substitution () =
+  let sp, x, prog = counter () in
+  let inv = Proof.invariant_text prog (bp sp Expr.(var x <== nat 3)) in
+  let t = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  (* Under invariant x ≤ 3, "x=1" agrees with "x=1 ∧ x≤3". *)
+  let p' = bp sp Expr.(var x === nat 1 &&& (var x <== nat 3)) in
+  let t' = Proof.substitution inv t (Proof.Unless (p', at sp x 2)) in
+  Alcotest.(check bool) "substituted checks" true (Proof.check t');
+  Alcotest.check_raises "disagreeing substitution rejected"
+    (Proof.Rule_violation "substitution: predicates differ where the invariant holds")
+    (fun () -> ignore (Proof.substitution inv t (Proof.Unless (at sp x 2, at sp x 2))))
+
+let test_weakening_strengthening () =
+  let sp, x, prog = counter () in
+  let t = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  let w = Proof.weaken_unless t (bp sp Expr.(var x >== nat 2)) in
+  Alcotest.(check bool) "weakened unless checks" true (Proof.check w);
+  let l = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 1) (at sp x 2)) in
+  let wl = Proof.weaken_leadsto l (bp sp Expr.(var x >== nat 2)) in
+  Alcotest.(check bool) "weakened leads-to checks" true (Proof.check wl);
+  let sl = Proof.strengthen_leadsto (bp sp Expr.(var x === nat 1 &&& (var x <== nat 3))) wl in
+  Alcotest.(check bool) "strengthened leads-to checks" true (Proof.check sl)
+
+let test_conjunction_cancellation () =
+  let sp, x, prog = counter () in
+  let a = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  let b = Proof.unless_text prog (bp sp Expr.(var x <== nat 2)) (at sp x 3) in
+  let c = Proof.conj_unless_simple a b in
+  Alcotest.(check bool) "simple conjunction checks" true (Proof.check c);
+  let c2 = Proof.conj_unless a b in
+  Alcotest.(check bool) "full conjunction checks" true (Proof.check c2);
+  let u12 = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  let u23 = Proof.unless_text prog (at sp x 2) (at sp x 3) in
+  let canc = Proof.cancellation u12 u23 in
+  Alcotest.(check bool) "cancellation checks" true (Proof.check canc);
+  let gd = Proof.general_disjunction [ u12; u23 ] in
+  Alcotest.(check bool) "generalized disjunction checks" true (Proof.check gd)
+
+let test_psp () =
+  let sp, x, prog = counter () in
+  let l = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 1) (at sp x 2)) in
+  let u = Proof.unless_text prog (bp sp Expr.(var x <== nat 2)) (at sp x 3) in
+  let t = Proof.psp l u in
+  Alcotest.(check bool) "PSP checks" true (Proof.check t)
+
+let test_stable_rules () =
+  let sp, x, prog = counter () in
+  let t = Proof.stable_text prog (at sp x 3) in
+  Alcotest.(check bool) "stable checks" true (Proof.check t);
+  (match Proof.judgment t with
+  | Proof.Unless (_, q) -> Alcotest.(check bool) "stable is unless false" true (Bdd.is_false q)
+  | _ -> Alcotest.fail "stable should be an unless");
+  let j = Proof.stable_judgment (Space.manager sp) (at sp x 3) in
+  (match j with
+  | Proof.Unless (_, q) -> Alcotest.(check bool) "judgment sugar" true (Bdd.is_false q)
+  | _ -> Alcotest.fail "sugar should be unless")
+
+let test_assumptions_tracking () =
+  let sp, x, prog = counter () in
+  let hyp = Proof.assume prog ~name:"H1" (Proof.Leadsto (at sp x 0, at sp x 2)) in
+  let conc = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 2) (at sp x 3)) in
+  let t = Proof.leadsto_trans hyp conc in
+  Alcotest.(check (list string)) "assumption propagates" [ "H1" ] (Proof.assumptions t);
+  let hyp2 = Proof.assume prog ~name:"H2" (Proof.Unless (at sp x 0, at sp x 1)) in
+  let both = Proof.psp t hyp2 in
+  Alcotest.(check (list string)) "assumptions merge" [ "H1"; "H2" ] (Proof.assumptions both);
+  (* An assumed hypothesis need not hold semantically. *)
+  let bogus = Proof.assume prog ~name:"BOGUS" (Proof.Leadsto (at sp x 3, at sp x 0)) in
+  Alcotest.(check bool) "bogus assumption fails semantic check" false (Proof.check bogus)
+
+let test_cross_program_rejected () =
+  let sp, x, prog = counter () in
+  let _, x2, prog2 = counter () in
+  let a = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 0) (at sp x 1)) in
+  let sp2 = Program.space prog2 in
+  let b = Proof.ensures_leadsto (Proof.ensures_text prog2 (at sp2 x2 1) (at sp2 x2 2)) in
+  Alcotest.check_raises "different programs rejected"
+    (Proof.Rule_violation "premises refer to different programs") (fun () ->
+      ignore (Proof.leadsto_trans a b))
+
+let test_pp () =
+  let sp, x, prog = counter () in
+  let t = Proof.unless_text prog (at sp x 1) (at sp x 2) in
+  let s = Format.asprintf "%a" Proof.pp t in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "pp mentions unless" true (contains s "unless")
+
+let test_derivations () =
+  let sp, x, prog = counter () in
+  let step k = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x k) (at sp x (k + 1))) in
+  let t = Proof.leadsto_trans (step 0) (step 1) in
+  Alcotest.(check string) "rule name" "transitivity (30)" (Proof.rule t);
+  Alcotest.(check int) "two premises" 2 (List.length (Proof.premises t));
+  Alcotest.(check int) "derivation size" 5 (Proof.derivation_size t);
+  let rules = Proof.rules_used t in
+  Alcotest.(check bool) "mentions rule 29" true (List.mem "↦ intro (29)" rules);
+  Alcotest.(check bool) "mentions rule 28" true (List.mem "ensures (28), from text" rules);
+  Alcotest.(check bool) "no unnamed rules" true (not (List.mem "?" rules));
+  let out = Format.asprintf "%a" Proof.pp_derivation t in
+  Alcotest.(check bool) "printer emits lines" true (String.length out > 40)
+
+let test_psp_stable_and_completion () =
+  let sp, x, prog = counter () in
+  let m = Space.manager sp in
+  (* psp_stable: x=1 ↦ x=2 with stable (x ≥ 1) gives x=1 ∧ x≥1 ↦ x=2 ∧ x≥1 *)
+  let l = Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 1) (at sp x 2)) in
+  let stbl = Proof.stable_text prog (bp sp Expr.(var x >== nat 1)) in
+  let t = Proof.psp_stable l stbl in
+  Alcotest.(check bool) "psp_stable checks" true (Proof.check t);
+  (match Proof.judgment t with
+  | Proof.Leadsto (_, q) ->
+      Alcotest.(check bool) "consequent is q ∧ r" true
+        (Pred.equivalent sp q (Bdd.and_ m (at sp x 2) (bp sp Expr.(var x >== nat 1))))
+  | _ -> Alcotest.fail "expected leads-to");
+  (* completion over a single pair: p ↦ q ∨ b with q unless b *)
+  let b = at sp x 3 in
+  let l1 = Proof.weaken_leadsto
+      (Proof.ensures_leadsto (Proof.ensures_text prog (at sp x 1) (at sp x 2)))
+      (Bdd.or_ m (at sp x 2) b) in
+  let u1 = Proof.unless_text prog (at sp x 2) b in
+  let c = Proof.completion [ (l1, u1) ] in
+  Alcotest.(check bool) "completion checks" true (Proof.check c);
+  (* two pairs with q.1 = q.2 shapes *)
+  let l2 = Proof.weaken_leadsto
+      (Proof.leadsto_implication prog (bp sp Expr.(var x >== nat 1)) (bp sp Expr.(var x >== nat 1)))
+      (Bdd.or_ m (bp sp Expr.(var x >== nat 1)) b) in
+  let u2 = Proof.unless_text prog (bp sp Expr.(var x >== nat 1)) b in
+  let c2 = Proof.completion [ (l1, u1); (l2, u2) ] in
+  Alcotest.(check bool) "binary completion checks" true (Proof.check c2);
+  Alcotest.check_raises "mismatched b rejected"
+    (Proof.Rule_violation "completion: premises disagree on b") (fun () ->
+      let u_bad = Proof.unless_text prog (at sp x 2) (Bdd.tru m) in
+      ignore (Proof.completion [ (l1, u1); (l1, u_bad) ]))
+
+let suite =
+  [
+    Alcotest.test_case "unless from text" `Quick test_unless_text;
+    Alcotest.test_case "ensures and rule 29" `Quick test_ensures_and_29;
+    Alcotest.test_case "transitivity and disjunction" `Quick test_trans_and_disj;
+    Alcotest.test_case "leads-to implication" `Quick test_implication;
+    Alcotest.test_case "induction" `Quick test_induction;
+    Alcotest.test_case "invariant rule 32" `Quick test_invariant_text;
+    Alcotest.test_case "substitution" `Quick test_substitution;
+    Alcotest.test_case "weakening/strengthening" `Quick test_weakening_strengthening;
+    Alcotest.test_case "conjunction/cancellation/disjunction" `Quick test_conjunction_cancellation;
+    Alcotest.test_case "PSP" `Quick test_psp;
+    Alcotest.test_case "stable" `Quick test_stable_rules;
+    Alcotest.test_case "assumption tracking" `Quick test_assumptions_tracking;
+    Alcotest.test_case "cross-program safety" `Quick test_cross_program_rejected;
+    Alcotest.test_case "pp" `Quick test_pp;
+    Alcotest.test_case "derivation trees" `Quick test_derivations;
+    Alcotest.test_case "psp_stable and completion" `Quick test_psp_stable_and_completion;
+  ]

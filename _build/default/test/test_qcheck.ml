@@ -1,0 +1,559 @@
+(* Property-based suites (QCheck, registered through QCheck_alcotest).
+
+   Generators produce *syntax* — Boolean formula trees, well-typed UNITY
+   expressions, whole random programs — and properties check the semantic
+   laws of the paper on the compiled objects.  Everything here complements
+   the example-based suites with randomised coverage and shrinking. *)
+
+open Kpt_predicate
+open Kpt_unity
+
+(* ---- generator: Boolean formulas over n variables ----------------------- *)
+
+type formula =
+  | FVar of int
+  | FTrue
+  | FFalse
+  | FNot of formula
+  | FAnd of formula * formula
+  | FOr of formula * formula
+  | FImp of formula * formula
+  | FIff of formula * formula
+
+let rec pp_formula fmt = function
+  | FVar i -> Format.fprintf fmt "v%d" i
+  | FTrue -> Format.fprintf fmt "T"
+  | FFalse -> Format.fprintf fmt "F"
+  | FNot f -> Format.fprintf fmt "¬%a" pp_formula f
+  | FAnd (a, b) -> Format.fprintf fmt "(%a∧%a)" pp_formula a pp_formula b
+  | FOr (a, b) -> Format.fprintf fmt "(%a∨%a)" pp_formula a pp_formula b
+  | FImp (a, b) -> Format.fprintf fmt "(%a⇒%a)" pp_formula a pp_formula b
+  | FIff (a, b) -> Format.fprintf fmt "(%a≡%a)" pp_formula a pp_formula b
+
+let formula_gen ~nvars =
+  QCheck.Gen.(
+    sized (fun size ->
+        fix
+          (fun self size ->
+            if size <= 1 then
+              oneof
+                [ map (fun i -> FVar i) (int_bound (nvars - 1)); return FTrue; return FFalse ]
+            else
+              let sub = self (size / 2) in
+              oneof
+                [
+                  map (fun f -> FNot f) (self (size - 1));
+                  map2 (fun a b -> FAnd (a, b)) sub sub;
+                  map2 (fun a b -> FOr (a, b)) sub sub;
+                  map2 (fun a b -> FImp (a, b)) sub sub;
+                  map2 (fun a b -> FIff (a, b)) sub sub;
+                ])
+          (min size 24)))
+
+let rec shrink_formula f =
+  let open QCheck.Iter in
+  match f with
+  | FVar _ | FTrue | FFalse -> empty
+  | FNot a -> return a <+> (shrink_formula a >|= fun a -> FNot a)
+  | FAnd (a, b) | FOr (a, b) | FImp (a, b) | FIff (a, b) ->
+      return a <+> return b
+      <+> (shrink_formula a >|= fun a' -> rebuild f a' b)
+      <+> (shrink_formula b >|= fun b' -> rebuild f a b')
+
+and rebuild f a b =
+  match f with
+  | FAnd _ -> FAnd (a, b)
+  | FOr _ -> FOr (a, b)
+  | FImp _ -> FImp (a, b)
+  | FIff _ -> FIff (a, b)
+  | _ -> assert false
+
+let arbitrary_formula ~nvars =
+  QCheck.make
+    ~print:(Format.asprintf "%a" pp_formula)
+    ~shrink:shrink_formula (formula_gen ~nvars)
+
+let rec to_bdd ?(remap = fun i -> i) m = function
+  | FVar i -> Bdd.var m (remap i)
+  | FTrue -> Bdd.tru m
+  | FFalse -> Bdd.fls m
+  | FNot f -> Bdd.not_ m (to_bdd ~remap m f)
+  | FAnd (a, b) -> Bdd.and_ m (to_bdd ~remap m a) (to_bdd ~remap m b)
+  | FOr (a, b) -> Bdd.or_ m (to_bdd ~remap m a) (to_bdd ~remap m b)
+  | FImp (a, b) -> Bdd.imp m (to_bdd ~remap m a) (to_bdd ~remap m b)
+  | FIff (a, b) -> Bdd.iff m (to_bdd ~remap m a) (to_bdd ~remap m b)
+
+let rec eval_formula env = function
+  | FVar i -> env i
+  | FTrue -> true
+  | FFalse -> false
+  | FNot f -> not (eval_formula env f)
+  | FAnd (a, b) -> eval_formula env a && eval_formula env b
+  | FOr (a, b) -> eval_formula env a || eval_formula env b
+  | FImp (a, b) -> (not (eval_formula env a)) || eval_formula env b
+  | FIff (a, b) -> eval_formula env a = eval_formula env b
+
+let nvars = 5
+
+(* BDD compilation is exact: agree with direct evaluation on every point *)
+let prop_bdd_sound =
+  QCheck.Test.make ~count:300 ~name:"bdd: compile = evaluate" (arbitrary_formula ~nvars)
+    (fun f ->
+      let m = Bdd.create () in
+      let b = to_bdd m f in
+      let ok = ref true in
+      for code = 0 to (1 lsl nvars) - 1 do
+        let env i = (code lsr i) land 1 = 1 in
+        if Bdd.eval b env <> eval_formula env f then ok := false
+      done;
+      !ok)
+
+let prop_bdd_canonical =
+  QCheck.Test.make ~count:200 ~name:"bdd: semantic equality = physical equality"
+    (QCheck.pair (arbitrary_formula ~nvars) (arbitrary_formula ~nvars)) (fun (f, g) ->
+      let m = Bdd.create () in
+      let bf = to_bdd m f and bg = to_bdd m g in
+      let same_sem = ref true in
+      for code = 0 to (1 lsl nvars) - 1 do
+        let env i = (code lsr i) land 1 = 1 in
+        if Bdd.eval bf env <> Bdd.eval bg env then same_sem := false
+      done;
+      Bdd.equal bf bg = !same_sem)
+
+let prop_bdd_quantifier_duality =
+  QCheck.Test.make ~count:200 ~name:"bdd: ∀ = ¬∃¬" (arbitrary_formula ~nvars) (fun f ->
+      let m = Bdd.create () in
+      let b = to_bdd m f in
+      let vs = [ 0; 2; 4 ] in
+      Bdd.equal (Bdd.forall m vs b) (Bdd.not_ m (Bdd.exists m vs (Bdd.not_ m b))))
+
+let prop_bdd_sat_count =
+  QCheck.Test.make ~count:200 ~name:"bdd: sat_count = brute force" (arbitrary_formula ~nvars)
+    (fun f ->
+      let m = Bdd.create () in
+      let b = to_bdd m f in
+      let brute = ref 0 in
+      for code = 0 to (1 lsl nvars) - 1 do
+        let env i = (code lsr i) land 1 = 1 in
+        if Bdd.eval b env then incr brute
+      done;
+      int_of_float (Bdd.sat_count m ~nvars b) = !brute)
+
+let prop_bdd_relational_product =
+  QCheck.Test.make ~count:150 ~name:"bdd: and_exists = exists ∘ and"
+    (QCheck.pair (arbitrary_formula ~nvars) (arbitrary_formula ~nvars)) (fun (f, g) ->
+      let m = Bdd.create () in
+      let bf = to_bdd m f and bg = to_bdd m g in
+      let vs = [ 1; 3 ] in
+      Bdd.equal (Bdd.and_exists m vs bf bg) (Bdd.exists m vs (Bdd.and_ m bf bg)))
+
+(* ---- generator: well-typed UNITY expressions ----------------------------- *)
+
+(* A fixed test space: two bounded nats and two booleans. *)
+let expr_space () =
+  let sp = Space.create () in
+  let n1 = Space.nat_var sp "n1" ~max:6 in
+  let n2 = Space.nat_var sp "n2" ~max:6 in
+  let b1 = Space.bool_var sp "b1" in
+  let b2 = Space.bool_var sp "b2" in
+  (sp, n1, n2, b1, b2)
+
+(* Expressions are generated as closed syntax trees over variable INDICES
+   so they can be printed/shrunk without carrying the space around. *)
+type exprsyn =
+  | ENat of int
+  | ENVar of bool (* which nat var *)
+  | EBool of bool
+  | EBVar of bool (* which bool var *)
+  | EAdd of exprsyn * exprsyn
+  | ESub of exprsyn * exprsyn
+  | ENot of exprsyn
+  | EAnd of exprsyn * exprsyn
+  | EOr of exprsyn * exprsyn
+  | EEq of exprsyn * exprsyn  (* nat = nat *)
+  | ELt of exprsyn * exprsyn
+  | EIte of exprsyn * exprsyn * exprsyn (* bool ? nat : nat *)
+
+let rec pp_exprsyn fmt = function
+  | ENat k -> Format.fprintf fmt "%d" k
+  | ENVar w -> Format.fprintf fmt "n%d" (if w then 2 else 1)
+  | EBool b -> Format.pp_print_bool fmt b
+  | EBVar w -> Format.fprintf fmt "b%d" (if w then 2 else 1)
+  | EAdd (a, b) -> Format.fprintf fmt "(%a+%a)" pp_exprsyn a pp_exprsyn b
+  | ESub (a, b) -> Format.fprintf fmt "(%a∸%a)" pp_exprsyn a pp_exprsyn b
+  | ENot a -> Format.fprintf fmt "¬%a" pp_exprsyn a
+  | EAnd (a, b) -> Format.fprintf fmt "(%a∧%a)" pp_exprsyn a pp_exprsyn b
+  | EOr (a, b) -> Format.fprintf fmt "(%a∨%a)" pp_exprsyn a pp_exprsyn b
+  | EEq (a, b) -> Format.fprintf fmt "(%a=%a)" pp_exprsyn a pp_exprsyn b
+  | ELt (a, b) -> Format.fprintf fmt "(%a<%a)" pp_exprsyn a pp_exprsyn b
+  | EIte (c, a, b) -> Format.fprintf fmt "(%a?%a:%a)" pp_exprsyn c pp_exprsyn a pp_exprsyn b
+
+let nat_gen, bool_gen =
+  let open QCheck.Gen in
+  let rec nat size =
+    if size <= 1 then oneof [ map (fun k -> ENat k) (int_bound 6); map (fun w -> ENVar w) bool ]
+    else
+      let sub = nat (size / 2) in
+      oneof
+        [
+          map2 (fun a b -> EAdd (a, b)) sub sub;
+          map2 (fun a b -> ESub (a, b)) sub sub;
+          map3 (fun c a b -> EIte (c, a, b)) (boolg (size / 2)) sub sub;
+        ]
+  and boolg size =
+    if size <= 1 then oneof [ map (fun b -> EBool b) bool; map (fun w -> EBVar w) bool ]
+    else
+      let sub = boolg (size / 2) in
+      let nsub = nat (size / 2) in
+      oneof
+        [
+          map (fun a -> ENot a) (boolg (size - 1));
+          map2 (fun a b -> EAnd (a, b)) sub sub;
+          map2 (fun a b -> EOr (a, b)) sub sub;
+          map2 (fun a b -> EEq (a, b)) nsub nsub;
+          map2 (fun a b -> ELt (a, b)) nsub nsub;
+        ]
+  in
+  (sized (fun s -> nat (min s 16)), sized (fun s -> boolg (min s 16)))
+
+let rec to_expr ~n1 ~n2 ~b1 ~b2 = function
+  | ENat k -> Expr.nat k
+  | ENVar w -> Expr.var (if w then n2 else n1)
+  | EBool b -> if b then Expr.tru else Expr.fls
+  | EBVar w -> Expr.var (if w then b2 else b1)
+  | EAdd (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a +! to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | ESub (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a -! to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | ENot a -> Expr.not_ (to_expr ~n1 ~n2 ~b1 ~b2 a)
+  | EAnd (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a &&& to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | EOr (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a ||| to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | EEq (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a === to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | ELt (a, b) -> Expr.(to_expr ~n1 ~n2 ~b1 ~b2 a <<< to_expr ~n1 ~n2 ~b1 ~b2 b)
+  | EIte (c, a, b) ->
+      Expr.Ite
+        (to_expr ~n1 ~n2 ~b1 ~b2 c, to_expr ~n1 ~n2 ~b1 ~b2 a, to_expr ~n1 ~n2 ~b1 ~b2 b)
+
+let arbitrary_bool_expr = QCheck.make ~print:(Format.asprintf "%a" pp_exprsyn) bool_gen
+let arbitrary_nat_expr = QCheck.make ~print:(Format.asprintf "%a" pp_exprsyn) nat_gen
+
+let prop_expr_compile_agrees =
+  QCheck.Test.make ~count:200 ~name:"expr: symbolic compile = concrete eval (bool)"
+    arbitrary_bool_expr (fun syn ->
+      let sp, n1, n2, b1, b2 = expr_space () in
+      let e = to_expr ~n1 ~n2 ~b1 ~b2 syn in
+      let symbolic = Expr.compile_bool sp e in
+      let ok = ref true in
+      Space.iter_states sp (fun st ->
+          let c = Expr.eval_bool e (fun v -> st.(Space.idx v)) in
+          if c <> Space.holds_at sp symbolic st then ok := false);
+      !ok)
+
+let prop_expr_compile_agrees_nat =
+  QCheck.Test.make ~count:200 ~name:"expr: symbolic compile = concrete eval (nat)"
+    arbitrary_nat_expr (fun syn ->
+      let sp, n1, n2, b1, b2 = expr_space () in
+      let e = to_expr ~n1 ~n2 ~b1 ~b2 syn in
+      let vec = Expr.compile_int sp e in
+      let m = Space.manager sp in
+      let ok = ref true in
+      Space.iter_states sp (fun st ->
+          let c = Expr.eval e (fun v -> st.(Space.idx v)) in
+          if not (Pred.holds_implies sp (Space.pred_of_state sp st) (Bitvec.eq_const m vec c))
+          then ok := false);
+      !ok)
+
+let prop_expr_typing_total =
+  QCheck.Test.make ~count:300 ~name:"expr: generated expressions are well-typed"
+    arbitrary_bool_expr (fun syn ->
+      let _, n1, n2, b1, b2 = expr_space () in
+      Expr.typeof (to_expr ~n1 ~n2 ~b1 ~b2 syn) = Expr.Tbool)
+
+(* ---- generator: random UNITY programs ------------------------------------ *)
+
+(* All variables share the same range so variable-to-variable assignment is
+   always in range; other right-hand sides are clamped with ∸ so totality
+   holds by construction. *)
+let program_gen =
+  let open QCheck.Gen in
+  let stmt_syn = pair bool_gen (list_size (int_range 1 2) (pair bool nat_gen)) in
+  list_size (int_range 1 4) stmt_syn
+
+let print_program syns =
+  String.concat " | "
+    (List.map
+       (fun (g, assigns) ->
+         Format.asprintf "%a -> %s" pp_exprsyn g
+           (String.concat ","
+              (List.map
+                 (fun (w, rhs) ->
+                   Format.asprintf "n%d:=%a" (if w then 2 else 1) pp_exprsyn rhs)
+                 assigns)))
+       syns)
+
+let build_program syns =
+  let sp, n1, n2, b1, b2 = expr_space () in
+  let clamp rhs = Expr.(rhs -! (rhs -! nat 6)) in
+  let stmts =
+    List.mapi
+      (fun i (gsyn, assigns) ->
+        let guard = to_expr ~n1 ~n2 ~b1 ~b2 gsyn in
+        (* dedupe targets: last write wins *)
+        let tbl = Hashtbl.create 4 in
+        List.iter
+          (fun (w, rhssyn) ->
+            let v = if w then n2 else n1 in
+            Hashtbl.replace tbl (Space.idx v) (v, clamp (to_expr ~n1 ~n2 ~b1 ~b2 rhssyn)))
+          assigns;
+        let assigns = Hashtbl.fold (fun _ a acc -> a :: acc) tbl [] in
+        Stmt.make ~name:(Printf.sprintf "s%d" i) ~guard assigns)
+      syns
+  in
+  (sp, Program.make sp ~name:"random" ~init:Expr.tru stmts)
+
+let arbitrary_program = QCheck.make ~print:print_program program_gen
+
+let prop_sst_closure =
+  QCheck.Test.make ~count:60 ~name:"program: sst is a stable closure operator"
+    (QCheck.pair arbitrary_program (arbitrary_formula ~nvars:4)) (fun (syns, fsyn) ->
+      let sp, prog = build_program syns in
+      let m = Space.manager sp in
+      (* interpret the formula over the current bits of the space *)
+      let p = to_bdd ~remap:(fun i -> 2 * i) m fsyn in
+      let s = Program.sst prog p in
+      Pred.holds_implies sp p s && Program.stable prog s
+      && Bdd.equal (Program.sst prog s) s)
+
+let prop_sst_monotone =
+  QCheck.Test.make ~count:60 ~name:"program: sst monotone (eq. 4)"
+    (QCheck.triple arbitrary_program (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4))
+    (fun (syns, f, g) ->
+      let sp, prog = build_program syns in
+      let m = Space.manager sp in
+      let p = to_bdd ~remap:(fun i -> 2 * i) m f in
+      let q = Bdd.or_ m p (to_bdd ~remap:(fun i -> 2 * i) m g) in
+      Pred.holds_implies sp (Program.sst prog p) (Program.sst prog q))
+
+let prop_ensures_implies_leadsto =
+  QCheck.Test.make ~count:40 ~name:"logic: ensures ⊆ leads-to"
+    (QCheck.triple arbitrary_program (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4))
+    (fun (syns, f, g) ->
+      let sp, prog = build_program syns in
+      let m = Space.manager sp in
+      let p = to_bdd ~remap:(fun i -> 2 * i) m f in
+      let q = to_bdd ~remap:(fun i -> 2 * i) m g in
+      ignore sp;
+      (not (Kpt_logic.Props.ensures prog p q)) || Kpt_logic.Props.leads_to prog p q)
+
+let prop_unless_conjunction_sound =
+  QCheck.Test.make ~count:40 ~name:"logic: appendix-8 conjunction is semantically sound"
+    (QCheck.triple arbitrary_program (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4))
+    (fun (syns, f, g) ->
+      let sp, prog = build_program syns in
+      let m = Space.manager sp in
+      let p = to_bdd ~remap:(fun i -> 2 * i) m f in
+      let p' = to_bdd ~remap:(fun i -> 2 * i) m g in
+      let q = Bdd.not_ m p and q' = Bdd.not_ m p' in
+      ignore sp;
+      (not (Kpt_logic.Props.unless prog p q && Kpt_logic.Props.unless prog p' q'))
+      || Kpt_logic.Props.unless prog (Bdd.and_ m p p') (Bdd.or_ m q q'))
+
+(* ---- knowledge properties on random worlds -------------------------------- *)
+
+let prop_s5_random_si =
+  QCheck.Test.make ~count:80 ~name:"knowledge: S5 laws for arbitrary SI"
+    (QCheck.pair (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4)) (fun (fsi, fp) ->
+      let sp = Space.create () in
+      let a = Space.bool_var sp "a" in
+      let b = Space.bool_var sp "b" in
+      let _c = Space.bool_var sp "c" in
+      let _d = Space.bool_var sp "d" in
+      let proc = Process.make "P" [ a; b ] in
+      let m = Space.manager sp in
+      let cur i = 2 * i in
+      let si = to_bdd ~remap:cur m fsi and p = to_bdd ~remap:cur m fp in
+      let k x = Kpt_core.Knowledge.knows sp ~si proc x in
+      (* (14) *)
+      Pred.holds_implies sp (k p) p
+      (* (16) *)
+      && Pred.equivalent sp (k p) (k (k p))
+      (* (17) *)
+      && Pred.equivalent sp (Bdd.not_ m (k p)) (k (Bdd.not_ m (k p)))
+      (* (18) *)
+      && ((not (Pred.valid sp p)) || Pred.valid sp (k p)))
+
+let prop_k_conjunctive_random_si =
+  QCheck.Test.make ~count:80 ~name:"knowledge: (21) K(p∧q) = Kp ∧ Kq for arbitrary SI"
+    (QCheck.triple (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4)
+       (arbitrary_formula ~nvars:4)) (fun (fsi, fp, fq) ->
+      let sp = Space.create () in
+      let a = Space.bool_var sp "a" in
+      let b = Space.bool_var sp "b" in
+      let _c = Space.bool_var sp "c" in
+      let _d = Space.bool_var sp "d" in
+      let proc = Process.make "P" [ a; b ] in
+      let m = Space.manager sp in
+      let cur i = 2 * i in
+      let si = to_bdd ~remap:cur m fsi in
+      let p = to_bdd ~remap:cur m fp and q = to_bdd ~remap:cur m fq in
+      let k x = Kpt_core.Knowledge.knows sp ~si proc x in
+      Pred.equivalent sp (k (Bdd.and_ m p q)) (Bdd.and_ m (k p) (k q)))
+
+let prop_wcyl_galois =
+  QCheck.Test.make ~count:100 ~name:"wcyl: Galois with cylinder inclusion (9)+(10)"
+    (QCheck.pair (arbitrary_formula ~nvars:4) (arbitrary_formula ~nvars:4)) (fun (fp, fq) ->
+      let sp = Space.create () in
+      let a = Space.bool_var sp "a" in
+      let b = Space.bool_var sp "b" in
+      let _c = Space.bool_var sp "c" in
+      let _d = Space.bool_var sp "d" in
+      let m = Space.manager sp in
+      let cur i = 2 * i in
+      let p = to_bdd ~remap:cur m fp in
+      (* q: an arbitrary cylinder on {a,b} *)
+      let q = Kpt_core.Wcyl.wcyl sp [ a; b ] (to_bdd ~remap:cur m fq) in
+      (* (10): q ⇒ p implies q ⇒ wcyl p; and conversely by (7) *)
+      Pred.holds_implies sp q p
+      = Pred.holds_implies sp q (Kpt_core.Wcyl.wcyl sp [ a; b ] p))
+
+(* ---- random knowledge-based protocols ------------------------------------ *)
+
+(* Random 2-boolean KBPs: two processes (each sees one variable), two
+   statements with random K-guards and random boolean assignments. *)
+type kguard = GSelf | GKOther | GKNotOther | GPlain of bool
+
+let pp_kguard = function
+  | GSelf -> "self"
+  | GKOther -> "K(other)"
+  | GKNotOther -> "K(~other)"
+  | GPlain b -> Printf.sprintf "const %b" b
+
+let kbp_gen =
+  QCheck.Gen.(
+    let guard = oneofl [ GSelf; GKOther; GKNotOther; GPlain true; GPlain false ] in
+    (* each statement: guard × target-value *)
+    pair (pair guard bool) (pair guard bool))
+
+let print_kbp ((g0, v0), (g1, v1)) =
+  Printf.sprintf "s0: a := %b if %s | s1: b := %b if %s" v0 (pp_kguard g0) v1 (pp_kguard g1)
+
+let build_kbp ((g0, v0), (g1, v1)) =
+  let open Kpt_core in
+  let sp = Space.create () in
+  let a = Space.bool_var sp "a" in
+  let b = Space.bool_var sp "b" in
+  let pa = Kpt_unity.Process.make "PA" [ a ] in
+  let pb = Kpt_unity.Process.make "PB" [ b ] in
+  let guard ~own ~other = function
+    | GSelf -> Kform.base (Expr.var own)
+    | GKOther -> Kform.k (if own == a then "PA" else "PB") (Kform.base (Expr.var other))
+    | GKNotOther ->
+        Kform.k (if own == a then "PA" else "PB") (Kform.knot (Kform.base (Expr.var other)))
+    | GPlain v -> Kform.base (if v then Expr.tru else Expr.fls)
+  in
+  let s0 =
+    Kbp.kstmt ~name:"s0" ~guard:(guard ~own:a ~other:b g0)
+      [ (a, if v0 then Expr.tru else Expr.fls) ]
+  in
+  let s1 =
+    Kbp.kstmt ~name:"s1" ~guard:(guard ~own:b ~other:a g1)
+      [ (b, if v1 then Expr.tru else Expr.fls) ]
+  in
+  ( sp,
+    Kbp.make sp ~name:"random_kbp"
+      ~init:Expr.(not_ (var a) &&& not_ (var b))
+      ~processes:[ pa; pb ] [ s0; s1 ] )
+
+let arbitrary_kbp = QCheck.make ~print:print_kbp kbp_gen
+
+let prop_kbp_solutions_are_fixpoints =
+  QCheck.Test.make ~count:100 ~name:"kbp: every returned solution satisfies Ĝ(X) = X"
+    arbitrary_kbp (fun syn ->
+      let sp, kbp = build_kbp syn in
+      List.for_all
+        (fun x -> Bdd.equal (Kpt_core.Kbp.g_operator kbp x) (Pred.normalize sp x))
+        (Kpt_core.Kbp.solutions kbp))
+
+let prop_kbp_iterate_sound =
+  QCheck.Test.make ~count:100 ~name:"kbp: a converged iteration is among the solutions"
+    arbitrary_kbp (fun syn ->
+      let sp, kbp = build_kbp syn in
+      match Kpt_core.Kbp.iterate kbp with
+      | Kpt_core.Kbp.Converged (x, _) ->
+          List.exists (fun y -> Pred.equivalent sp x y) (Kpt_core.Kbp.solutions kbp)
+      | Kpt_core.Kbp.Cycle _ -> true)
+
+let prop_kbp_standard_unique =
+  QCheck.Test.make ~count:100 ~name:"kbp: knowledge-free KBPs have exactly one solution"
+    arbitrary_kbp (fun syn ->
+      let _, kbp = build_kbp syn in
+      QCheck.assume (Kpt_core.Kbp.is_standard kbp);
+      List.length (Kpt_core.Kbp.solutions kbp) = 1)
+
+(* ---- surface syntax: print ∘ parse round trip ----------------------------- *)
+
+let surface_expr_gen =
+  let open QCheck.Gen in
+  let ident = oneofl [ "alpha"; "beta"; "gamma" ] in
+  let rec go size =
+    if size <= 1 then
+      oneof
+        [
+          return Kpt_syntax.Ast.Etrue;
+          return Kpt_syntax.Ast.Efalse;
+          map (fun n -> Kpt_syntax.Ast.Enum n) (int_bound 9);
+          map (fun s -> Kpt_syntax.Ast.Eident s) ident;
+        ]
+    else
+      let sub = go (size / 2) in
+      oneof
+        [
+          map (fun a -> Kpt_syntax.Ast.Enot a) (go (size - 1));
+          map2 (fun a b -> Kpt_syntax.Ast.Eand (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Eor (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Eimp (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Eiff (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Eeq (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Elt (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Eadd (a, b)) sub sub;
+          map2 (fun a b -> Kpt_syntax.Ast.Esub (a, b)) sub sub;
+          map2 (fun i a -> Kpt_syntax.Ast.Eindex (i, a)) ident sub;
+          map2 (fun pname a -> Kpt_syntax.Ast.Eknow (pname, a)) ident sub;
+        ]
+  in
+  QCheck.Gen.sized (fun s -> go (min s 14))
+
+let prop_surface_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"syntax: parse ∘ print = id on expressions"
+    (QCheck.make
+       ~print:(Format.asprintf "%a" Kpt_syntax.Ast.pp_expr)
+       surface_expr_gen)
+    (fun e ->
+      let printed = Format.asprintf "%a" Kpt_syntax.Ast.pp_expr e in
+      let reparsed = Kpt_syntax.Parser.expr_of_string printed in
+      let printed2 = Format.asprintf "%a" Kpt_syntax.Ast.pp_expr reparsed in
+      (* compare via printing: the AST may differ in reassociation-free
+         ways only if the printer is ambiguous — it must not be *)
+      printed = printed2)
+
+let suite =
+  Helpers.qtests
+    [
+      prop_bdd_sound;
+      prop_bdd_canonical;
+      prop_bdd_quantifier_duality;
+      prop_bdd_sat_count;
+      prop_bdd_relational_product;
+      prop_expr_compile_agrees;
+      prop_expr_compile_agrees_nat;
+      prop_expr_typing_total;
+      prop_sst_closure;
+      prop_sst_monotone;
+      prop_ensures_implies_leadsto;
+      prop_unless_conjunction_sound;
+      prop_s5_random_si;
+      prop_k_conjunctive_random_si;
+      prop_wcyl_galois;
+      prop_kbp_solutions_are_fixpoints;
+      prop_kbp_iterate_sound;
+      prop_kbp_standard_unique;
+      prop_surface_roundtrip;
+    ]

@@ -1,0 +1,140 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_logic
+open Kpt_protocols
+
+(* a counter over 0..max with an inc and a noise statement *)
+let counter max =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max in
+  let b = Space.bool_var sp "noise" in
+  let inc =
+    Stmt.make ~name:"inc" ~guard:Expr.(var x <<< nat max) [ (x, Expr.(var x +! nat 1)) ]
+  in
+  let noise = Stmt.make ~name:"noise" [ (b, Expr.(not_ (var b))) ] in
+  let prog =
+    Program.make sp ~name:"counter" ~init:Expr.(var x === nat 0 &&& not_ (var b)) [ inc; noise ]
+  in
+  (sp, x, prog)
+
+let test_counter_min_abstraction () =
+  (* 0..7 refines 0..3 by clamping: inc beyond 3 becomes a stutter *)
+  let csp, _, conc = counter 7 in
+  let asp, _, abs = counter 3 in
+  let map = Refine.project csp asp [ ("x", fun v -> min v 3) ] in
+  Alcotest.(check bool) "simulates" true (Refine.simulates ~abstract:abs ~concrete:conc ~map);
+  (* transfer an abstract invariant: x ≤ 3 pulls back to reachable states
+     of the concrete program (trivially all of them) *)
+  let p = Expr.compile_bool asp Expr.(var (Space.find asp "x") <== nat 3) in
+  Alcotest.(check bool) "invariant transfers" true
+    (Refine.transfers_invariant ~abstract:abs ~concrete:conc ~map p)
+
+let test_refinement_failure_detected () =
+  (* The abstract program lacks the noise statement, so flipping noise has
+     no abstract counterpart (and is not a stutter). *)
+  let csp, _, conc = counter 3 in
+  let asp = Space.create () in
+  let ax = Space.nat_var asp "x" ~max:3 in
+  let anoise = Space.bool_var asp "noise" in
+  ignore anoise;
+  let abs =
+    Program.make asp ~name:"inc_only"
+      ~init:Expr.(var ax === nat 0)
+      [ Stmt.make ~name:"inc" ~guard:Expr.(var ax <<< nat 3) [ (ax, Expr.(var ax +! nat 1)) ] ]
+  in
+  let map = Refine.project csp asp [] in
+  (match Refine.check ~abstract:abs ~concrete:conc ~map with
+  | Refine.Step_escapes f ->
+      Alcotest.(check string) "offender is noise" "noise" f.Refine.statement
+  | Refine.Simulates -> Alcotest.fail "should not simulate"
+  | Refine.Init_escapes _ -> Alcotest.fail "init should map fine")
+
+let test_init_escape_detected () =
+  let csp, _, conc = counter 3 in
+  let asp = Space.create () in
+  let ax = Space.nat_var asp "x" ~max:3 in
+  let ab = Space.bool_var asp "noise" in
+  ignore ab;
+  let abs =
+    Program.make asp ~name:"starts_at_one"
+      ~init:Expr.(var ax === nat 1)
+      [ Stmt.make ~name:"inc" ~guard:Expr.(var ax <<< nat 3) [ (ax, Expr.(var ax +! nat 1)) ] ]
+  in
+  let map = Refine.project csp asp [] in
+  match Refine.check ~abstract:abs ~concrete:conc ~map with
+  | Refine.Init_escapes _ -> ()
+  | _ -> Alcotest.fail "expected an initial-state escape"
+
+let test_bubble_threshold_abstraction () =
+  (* Sorting concrete values 0..3 refines sorting their 1-bit threshold
+     abstraction h(v) = (v ≥ 2): a concrete swap is an abstract swap or a
+     stutter.  Data abstraction in the [San90] spirit. *)
+  let build maxv =
+    let sp = Space.create () in
+    let arr = Array.init 3 (fun k -> Space.nat_var sp (Printf.sprintf "x%d" k) ~max:maxv) in
+    let stmts =
+      List.init 2 (fun i ->
+          Stmt.make
+            ~name:(Printf.sprintf "swap%d" i)
+            ~guard:Expr.(var arr.(i) >>> var arr.(i + 1))
+            [ (arr.(i), Expr.var arr.(i + 1)); (arr.(i + 1), Expr.var arr.(i)) ])
+    in
+    (sp, Program.make sp ~name:"bsort" ~init:Expr.tru stmts)
+  in
+  let csp, conc = build 3 in
+  let asp, abs = build 1 in
+  let h v = if v >= 2 then 1 else 0 in
+  let map = Refine.project csp asp [ ("x0", h); ("x1", h); ("x2", h) ] in
+  Alcotest.(check bool) "threshold abstraction simulates" true
+    (Refine.simulates ~abstract:abs ~concrete:conc ~map)
+
+let test_nonlossy_refines_lossy () =
+  (* Removing the drop statements removes behaviours: the duplicating-only
+     channel refines the lossy one under the identity abstraction.  (The
+     converse fails.) *)
+  let lossy = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
+  let dup = Seqtrans.standard ~lossy:false { Seqtrans.n = 2; a = 2 } in
+  let map = Refine.project dup.Seqtrans.sspace lossy.Seqtrans.sspace [] in
+  Alcotest.(check bool) "dup-only ⊑ lossy" true
+    (Refine.simulates ~abstract:lossy.Seqtrans.sprog ~concrete:dup.Seqtrans.sprog ~map);
+  (* and safety (34) of the lossy program transfers down *)
+  Alcotest.(check bool) "safety transfers" true
+    (Refine.transfers_invariant ~abstract:lossy.Seqtrans.sprog ~concrete:dup.Seqtrans.sprog
+       ~map (Seqtrans.spec_safety lossy))
+
+let test_lossy_does_not_refine_nonlossy () =
+  let lossy = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
+  let dup = Seqtrans.standard ~lossy:false { Seqtrans.n = 2; a = 2 } in
+  let map = Refine.project lossy.Seqtrans.sspace dup.Seqtrans.sspace [] in
+  match Refine.check ~abstract:dup.Seqtrans.sprog ~concrete:lossy.Seqtrans.sprog ~map with
+  | Refine.Step_escapes f ->
+      (* the escaping statement must be one of the drops *)
+      Alcotest.(check bool) "offender is a drop" true
+        (f.Refine.statement = "env_drop_data" || f.Refine.statement = "env_drop_ack")
+  | _ -> Alcotest.fail "loss should not be simulable without drop statements"
+
+let test_pull_back_shape () =
+  let csp, _, conc = counter 7 in
+  let asp, _, abs = counter 3 in
+  let map = Refine.project csp asp [ ("x", fun v -> min v 3) ] in
+  (* abstract "x = 3" pulls back to concrete x ∈ {3..7} (on reachable states) *)
+  let p = Expr.compile_bool asp Expr.(var (Space.find asp "x") === nat 3) in
+  let back = Refine.pull_back ~abstract:abs ~concrete:conc ~map p in
+  Space.iter_states csp (fun st ->
+      let x = st.(Space.idx (Space.find csp "x")) in
+      let expected = x >= 3 (* all concrete states are reachable here *) in
+      if Space.holds_at csp (Kpt_unity.Program.si conc) st then
+        Alcotest.(check bool) "pull_back pointwise" expected (Space.holds_at csp back st))
+
+let suite =
+  [
+    Alcotest.test_case "counter min-abstraction" `Quick test_counter_min_abstraction;
+    Alcotest.test_case "failure detection" `Quick test_refinement_failure_detected;
+    Alcotest.test_case "init escape detection" `Quick test_init_escape_detected;
+    Alcotest.test_case "bubble-sort threshold abstraction" `Quick
+      test_bubble_threshold_abstraction;
+    Alcotest.test_case "dup-only refines lossy" `Slow test_nonlossy_refines_lossy;
+    Alcotest.test_case "lossy does not refine dup-only" `Quick
+      test_lossy_does_not_refine_nonlossy;
+    Alcotest.test_case "pull_back" `Quick test_pull_back_shape;
+  ]

@@ -1,0 +1,157 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_runs
+
+let counter () =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:7 in
+  let b = Space.bool_var sp "b" in
+  let inc = Stmt.make ~name:"inc" ~guard:Expr.(var x <<< nat 7) [ (x, Expr.(var x +! nat 1)) ] in
+  let toggle = Stmt.make ~name:"toggle" [ (b, Expr.(not_ (var b))) ] in
+  let prog = Program.make sp ~name:"counter" ~init:Expr.(var x === nat 0) [ inc; toggle ] in
+  (sp, x, b, prog)
+
+let test_random_init () =
+  let sp, x, _, prog = counter () in
+  let rng = Helpers.rng () in
+  for _ = 1 to 10 do
+    let st = Exec.random_init prog rng in
+    Alcotest.(check bool) "satisfies init" true (Space.holds_at sp (Program.init prog) st);
+    Alcotest.(check int) "x starts 0" 0 st.(Space.idx x)
+  done
+
+let test_round_robin () =
+  let sp, x, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:Exec.Round_robin ~steps:20 ~init in
+  Alcotest.(check int) "20 steps" 20 (List.length t.Exec.steps);
+  (* strict alternation: each statement ran exactly 10 times *)
+  Alcotest.(check (list (pair string int))) "fair split"
+    [ ("inc", 10); ("toggle", 10) ]
+    (Exec.statement_counts t);
+  (* x advanced by exactly the number of enabled inc executions *)
+  let final = Exec.final t in
+  Alcotest.(check int) "x = 7 (saturated by guard)" 7 final.(Space.idx x);
+  ignore sp;
+  ignore x
+
+let test_random_fair () =
+  let _, _, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:(Exec.Random_fair 42) ~steps:400 ~init in
+  let counts = Exec.statement_counts t in
+  List.iter
+    (fun (_, c) -> Alcotest.(check bool) "each statement ran often" true (c > 100))
+    counts;
+  (* determinism under the same seed *)
+  let t2 = Exec.run prog ~scheduler:(Exec.Random_fair 42) ~steps:400 ~init in
+  Alcotest.(check (list (pair string int))) "seeded determinism"
+    (Exec.statement_counts t) (Exec.statement_counts t2)
+
+let test_weighted () =
+  let _, _, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t =
+    Exec.run prog ~scheduler:(Exec.Weighted ([ ("inc", 9); ("toggle", 1) ], 7)) ~steps:500 ~init
+  in
+  let inc = List.assoc "inc" (Exec.statement_counts t) in
+  Alcotest.(check bool) "bias respected" true (inc > 350);
+  (* weight 0 = a broken scheduler that starves a statement *)
+  let t0 =
+    Exec.run prog ~scheduler:(Exec.Weighted ([ ("inc", 0) ], 7)) ~steps:100 ~init
+  in
+  Alcotest.(check bool) "starved statement never runs" true
+    (not (List.mem_assoc "inc" (Exec.statement_counts t0)))
+
+let test_trace_states () =
+  let _, _, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:Exec.Round_robin ~steps:5 ~init in
+  Alcotest.(check int) "states = steps + 1" 6 (List.length (Exec.states t))
+
+let test_monitor_invariant () =
+  let sp, x, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:Exec.Round_robin ~steps:30 ~init in
+  let le7 = Expr.compile_bool sp Expr.(var x <== nat 7) in
+  Alcotest.(check (option int)) "x ≤ 7 never violated" None (Monitor.first_violation sp le7 t);
+  let eq0 = Expr.compile_bool sp Expr.(var x === nat 0) in
+  Alcotest.(check (option int)) "x = 0 violated at step 1" (Some 1)
+    (Monitor.first_violation sp eq0 t)
+
+let test_monitor_eventually_response () =
+  let sp, x, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:Exec.Round_robin ~steps:30 ~init in
+  let at k = Expr.compile_bool sp Expr.(var x === nat k) in
+  (match Monitor.eventually sp (at 3) t with
+  | Some idx -> Alcotest.(check bool) "x=3 reached in order" true (idx >= 3)
+  | None -> Alcotest.fail "x=3 should be reached");
+  let times = Monitor.response_times sp ~p:(at 0) ~q:(at 1) t in
+  List.iter (fun d -> Alcotest.(check bool) "positive latency" true (d >= 1)) times;
+  Alcotest.(check bool) "some obligations measured" true (times <> []);
+  Alcotest.(check int) "count_where x=0" 1
+    (Monitor.count_where sp (at 0) t)
+
+let test_monitor_unless () =
+  let sp, x, _, prog = counter () in
+  let rng = Helpers.rng () in
+  let init = Exec.random_init prog rng in
+  let t = Exec.run prog ~scheduler:Exec.Round_robin ~steps:30 ~init in
+  let at k = Expr.compile_bool sp Expr.(var x === nat k) in
+  (* x=2 unless x=3 holds along any trace *)
+  Alcotest.(check (option int)) "unless holds" None (Monitor.check_unless sp ~p:(at 2) ~q:(at 3) t);
+  (* x=2 unless x=5 is violated when x goes 2 → 3 *)
+  (match Monitor.check_unless sp ~p:(at 2) ~q:(at 5) t with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected an unless violation")
+
+let test_reachable_agrees_with_si () =
+  let _, _, _, prog = counter () in
+  Alcotest.(check bool) "explicit reach = symbolic SI" true (Reachability.si_agrees prog)
+
+(* E8: run-based (view) knowledge coincides with the predicate-transformer
+   definition, on the bit-transmission program and on random predicates. *)
+let test_view_knowledge_agrees () =
+  let sp = Space.create () in
+  let b = Space.bool_var sp "b" in
+  let c = Space.bool_var sp "c" in
+  let r = Space.bool_var sp "r" in
+  let sender = Process.make "S" [ b; c ] in
+  let receiver = Process.make "R" [ c; r ] in
+  let write = Stmt.make ~name:"write" ~guard:(Expr.var b) [ (c, Expr.var b) ] in
+  let copy = Stmt.make ~name:"copy" [ (r, Expr.var c) ] in
+  let prog =
+    Program.make sp ~name:"bit"
+      ~init:Expr.(not_ (var c) &&& not_ (var r))
+      ~processes:[ sender; receiver ] [ write; copy ]
+  in
+  Alcotest.(check bool) "si agrees" true (Reachability.si_agrees prog);
+  let rng = Helpers.rng () in
+  for _ = 1 to 10 do
+    let p = Pred.random rng sp in
+    Alcotest.(check bool) "K_R agrees with view knowledge" true
+      (Reachability.knowledge_agrees prog "R" p);
+    Alcotest.(check bool) "K_S agrees with view knowledge" true
+      (Reachability.knowledge_agrees prog "S" p)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "random_init" `Quick test_random_init;
+    Alcotest.test_case "round robin" `Quick test_round_robin;
+    Alcotest.test_case "random fair" `Quick test_random_fair;
+    Alcotest.test_case "weighted / broken scheduler" `Quick test_weighted;
+    Alcotest.test_case "trace states" `Quick test_trace_states;
+    Alcotest.test_case "monitor: invariants" `Quick test_monitor_invariant;
+    Alcotest.test_case "monitor: eventually/response" `Quick test_monitor_eventually_response;
+    Alcotest.test_case "monitor: unless" `Quick test_monitor_unless;
+    Alcotest.test_case "explicit reachability = SI" `Quick test_reachable_agrees_with_si;
+    Alcotest.test_case "E8: view knowledge = K (HM90)" `Quick test_view_knowledge_agrees;
+  ]

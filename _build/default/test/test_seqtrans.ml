@@ -1,0 +1,187 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_logic
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+
+(* Build once; SI computations dominate and are cached per program. *)
+let std_ok = lazy (Seqtrans.standard ~lossy:false params)
+let std_lossy = lazy (Seqtrans.standard ~lossy:true params)
+let kbp = lazy (Seqtrans.abstract_kbp params)
+
+let test_params_validation () =
+  Alcotest.check_raises "n too small" (Invalid_argument "Seqtrans: horizon n must be ≥ 2")
+    (fun () -> ignore (Seqtrans.standard { Seqtrans.n = 1; a = 2 }));
+  Alcotest.check_raises "a too small"
+    (Invalid_argument "Seqtrans: alphabet size a must be ≥ 2 (no a priori knowledge)")
+    (fun () -> ignore (Seqtrans.standard { Seqtrans.n = 2; a = 1 }))
+
+let test_standard_safety () =
+  let st = Lazy.force std_ok in
+  Alcotest.(check bool) "safety (34), duplicating channel" true
+    (Program.invariant st.Seqtrans.sprog (Seqtrans.spec_safety st));
+  let sl = Lazy.force std_lossy in
+  Alcotest.(check bool) "safety (34), lossy channel" true
+    (Program.invariant sl.Seqtrans.sprog (Seqtrans.spec_safety sl))
+
+let test_standard_liveness () =
+  let st = Lazy.force std_ok in
+  Alcotest.(check bool) "liveness (35) @0" true (Seqtrans.spec_liveness_holds st ~k:0);
+  Alcotest.(check bool) "liveness (35) @1" true (Seqtrans.spec_liveness_holds st ~k:1)
+
+let test_lossy_liveness_fails () =
+  (* The paper's point: the maximal lossy channel does not satisfy
+     St-3/St-4, so liveness fails semantically and must be assumed. *)
+  let sl = Lazy.force std_lossy in
+  Alcotest.(check bool) "liveness fails on lossy channel" false
+    (Seqtrans.spec_liveness_holds sl ~k:0)
+
+let test_invariants_54_61_62 () =
+  let sl = Lazy.force std_lossy in
+  let prog = sl.Seqtrans.sprog in
+  for k = 0 to 1 do
+    Alcotest.(check bool) "(54)" true (Program.invariant prog (Seqtrans.inv54 sl ~k));
+    Alcotest.(check bool) "(62)" true (Program.invariant prog (Seqtrans.inv62 sl ~k));
+    for alpha = 0 to 1 do
+      Alcotest.(check bool) "(61)" true
+        (Program.invariant prog (Seqtrans.inv61 sl ~k ~alpha))
+    done
+  done
+
+let test_stability_55_56 () =
+  let sl = Lazy.force std_lossy in
+  for k = 0 to 1 do
+    Alcotest.(check bool) "(55) stable" true (Seqtrans.stable55_holds sl ~k);
+    for alpha = 0 to 1 do
+      Alcotest.(check bool) "(56) stable" true (Seqtrans.stable56_holds sl ~k ~alpha)
+    done
+  done
+
+(* E4 crown check — the [HZar] Proposition 4.5 analogue: with no a priori
+   information the proposed predicates (50)/(51) are exactly the knowledge
+   predicates on reachable states. *)
+let test_candidates_are_knowledge () =
+  let sl = Lazy.force std_lossy in
+  let m = Space.manager sl.Seqtrans.sspace in
+  let si = Program.si sl.Seqtrans.sprog in
+  for k = 0 to 1 do
+    for alpha = 0 to 1 do
+      let cand = Seqtrans.cand_kr sl ~k ~alpha in
+      let real = Seqtrans.real_kr sl ~k ~alpha in
+      Alcotest.(check bool) "(50) ⇒ K_R within SI" true
+        (Bdd.implies m (Bdd.and_ m si cand) real);
+      Alcotest.(check bool) "K_R ⇒ (50) within SI (weakest)" true
+        (Bdd.implies m (Bdd.and_ m si real) cand)
+    done;
+    let candk = Seqtrans.cand_kskr sl ~k in
+    let realk = Seqtrans.real_kskr sl ~k in
+    Alcotest.(check bool) "(51) ⇒ K_S K_R within SI" true
+      (Bdd.implies m (Bdd.and_ m si candk) realk);
+    Alcotest.(check bool) "K_S K_R ⇒ (51) within SI (weakest)" true
+      (Bdd.implies m (Bdd.and_ m si realk) candk)
+  done
+
+let test_abstract_semantics () =
+  let ab = Lazy.force kbp in
+  Alcotest.(check bool) "abstract safety" true
+    (Program.invariant ab.Seqtrans.aprog (Seqtrans.a_spec_safety ab));
+  Alcotest.(check bool) "abstract liveness @0" true (Seqtrans.a_spec_liveness_holds ab ~k:0);
+  Alcotest.(check bool) "abstract liveness @1" true (Seqtrans.a_spec_liveness_holds ab ~k:1)
+
+let test_abstract_knowledge_vars_sound () =
+  (* The knowledge variables under-approximate truth: kR_k_α ⇒ x_k = α. *)
+  let ab = Lazy.force kbp in
+  let sp = ab.Seqtrans.aspace in
+  let prog = ab.Seqtrans.aprog in
+  for k = 0 to 1 do
+    for alpha = 0 to 1 do
+      let claim =
+        Expr.compile_bool sp
+          Expr.(var ab.Seqtrans.kr.(k).(alpha) ==> (var ab.Seqtrans.axs.(k) === nat alpha))
+      in
+      Alcotest.(check bool) "kR sound" true (Program.invariant prog claim)
+    done
+  done
+
+(* ---- the mechanised §6.2 replay ---------------------------------------- *)
+
+let test_replay_abstract () =
+  let ab = Lazy.force kbp in
+  let thms = Seqtrans_proofs.replay_abstract ab in
+  Alcotest.(check bool) "replay produced theorems" true (List.length thms >= 15);
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check (list string)) (name ^ " assumption-free") [] (Proof.assumptions t))
+    thms;
+  (* every assumption-free theorem must also hold semantically *)
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check bool) (name ^ " semantically valid") true (Proof.check t))
+    thms
+
+let test_replay_standard_no_loss () =
+  let st = Lazy.force std_ok in
+  let thms = Seqtrans_proofs.replay_standard ~assume_channel:false st in
+  List.iter
+    (fun (name, t) ->
+      Alcotest.(check (list string)) (name ^ " assumption-free") [] (Proof.assumptions t))
+    thms
+
+let test_replay_standard_lossy () =
+  let sl = Lazy.force std_lossy in
+  let thms = Seqtrans_proofs.replay_standard ~assume_channel:true sl in
+  (* safety theorems are unconditional; liveness carries St-3/St-4 *)
+  List.iter
+    (fun (name, t) ->
+      let assumps = Proof.assumptions t in
+      if String.length name >= 8 && String.sub name 0 8 = "liveness" then
+        Alcotest.(check (list string)) (name ^ " assumes the channel") [ "St-3"; "St-4" ] assumps
+      else Alcotest.(check (list string)) (name ^ " unconditional") [] assumps)
+    thms
+
+let test_window_invariant () =
+  (* §6.4: "the values of i and j are synchronized in order to maintain
+     invariant i ≤ j ≤ i+1". *)
+  let sl = Lazy.force std_lossy in
+  let sp = sl.Seqtrans.sspace in
+  let w =
+    Expr.compile_bool sp
+      Expr.(
+        (var sl.Seqtrans.i <== var sl.Seqtrans.j)
+        &&& (var sl.Seqtrans.j <== var sl.Seqtrans.i +! nat 1))
+  in
+  Alcotest.(check bool) "i ≤ j ≤ i+1" true (Program.invariant sl.Seqtrans.sprog w)
+
+let test_fixed_point_done () =
+  (* Once everything is delivered and acknowledged the protocol idles:
+     some fixed point with j = n is reachable. *)
+  let st = Lazy.force std_ok in
+  let sp = st.Seqtrans.sspace in
+  let m = Space.manager sp in
+  let prog = st.Seqtrans.sprog in
+  let done_p = Expr.compile_bool sp Expr.(var st.Seqtrans.j === nat 2) in
+  Alcotest.(check bool) "a completed state is reachable" false
+    (Bdd.is_false (Bdd.and_ m (Program.si prog) done_p))
+
+let suite =
+  [
+    Alcotest.test_case "params validation" `Quick test_params_validation;
+    Alcotest.test_case "standard safety (34)" `Quick test_standard_safety;
+    Alcotest.test_case "standard liveness (35)" `Slow test_standard_liveness;
+    Alcotest.test_case "lossy liveness fails" `Slow test_lossy_liveness_fails;
+    Alcotest.test_case "invariants (54),(61),(62)" `Quick test_invariants_54_61_62;
+    Alcotest.test_case "stability (55),(56)" `Quick test_stability_55_56;
+    Alcotest.test_case "E4: (50)/(51) = knowledge (Prop 4.5)" `Quick
+      test_candidates_are_knowledge;
+    Alcotest.test_case "abstract KBP semantics" `Quick test_abstract_semantics;
+    Alcotest.test_case "abstract knowledge vars sound" `Quick
+      test_abstract_knowledge_vars_sound;
+    Alcotest.test_case "E3: replay Figure 3 proof" `Slow test_replay_abstract;
+    Alcotest.test_case "E4: replay Figure 4 proof (no loss)" `Slow
+      test_replay_standard_no_loss;
+    Alcotest.test_case "E4: replay Figure 4 proof (lossy, assumes St-3/4)" `Quick
+      test_replay_standard_lossy;
+    Alcotest.test_case "window invariant i ≤ j ≤ i+1" `Quick test_window_invariant;
+    Alcotest.test_case "completion reachable" `Quick test_fixed_point_done;
+  ]

@@ -1,0 +1,111 @@
+open Kpt_predicate
+
+let make_space () =
+  let sp = Space.create () in
+  let b = Space.bool_var sp "b" in
+  let n = Space.nat_var sp "n" ~max:4 in
+  let e = Space.enum_var sp "color" ~values:[| "red"; "green"; "blue" |] in
+  (sp, b, n, e)
+
+let test_declare () =
+  let sp, b, n, e = make_space () in
+  Alcotest.(check int) "three vars" 3 (List.length (Space.vars sp));
+  Alcotest.(check string) "name" "n" (Space.name n);
+  Alcotest.(check int) "bool card" 2 (Space.card b);
+  Alcotest.(check int) "nat card" 5 (Space.card n);
+  Alcotest.(check int) "enum card" 3 (Space.card e);
+  Alcotest.(check int) "bool width" 1 (Space.width b);
+  Alcotest.(check int) "nat width" 3 (Space.width n);
+  Alcotest.(check int) "enum width" 2 (Space.width e);
+  Alcotest.(check string) "enum value name" "green" (Space.value_name e 1);
+  Alcotest.(check bool) "find" true (Space.idx (Space.find sp "color") = Space.idx e)
+
+let test_duplicate () =
+  let sp, _, _, _ = make_space () in
+  Alcotest.check_raises "duplicate name" (Invalid_argument "Space: duplicate variable \"b\"")
+    (fun () -> ignore (Space.bool_var sp "b"))
+
+let test_bits_disjoint () =
+  let sp, b, n, e = make_space () in
+  let all = Space.all_current_bits sp @ Space.all_next_bits sp in
+  Alcotest.(check int) "no bit shared" (List.length all) (List.length (List.sort_uniq compare all));
+  List.iter
+    (fun v ->
+      List.iter (fun bit -> Alcotest.(check int) "current bits even" 0 (bit land 1)) (Space.current_bits v);
+      List.iter (fun bit -> Alcotest.(check int) "next bits odd" 1 (bit land 1)) (Space.next_bits v))
+    [ b; n; e ]
+
+let test_state_count_iter () =
+  let sp, _, _, _ = make_space () in
+  Alcotest.(check int) "state_count" 30 (Space.state_count sp);
+  let count = ref 0 in
+  Space.iter_states sp (fun _ -> incr count);
+  Alcotest.(check int) "iter_states covers all" 30 !count
+
+let test_singleton () =
+  let sp, _, _, _ = make_space () in
+  let st = [| 1; 3; 2 |] in
+  let p = Space.pred_of_state sp st in
+  Alcotest.(check int) "singleton has one state" 1 (Space.count_states_of sp p);
+  Alcotest.(check bool) "holds at itself" true (Space.holds_at sp p st);
+  Alcotest.(check bool) "not at another" false (Space.holds_at sp p [| 0; 3; 2 |])
+
+let test_domain () =
+  let sp, _, n, e = make_space () in
+  let m = Space.manager sp in
+  let d = Space.domain sp in
+  (* Junk point: n = 7 (out of 0..4) must violate the domain. *)
+  let junk = Bdd.and_ m d (Bitvec.eq_const m (Space.cur_vec sp n) 7) in
+  Alcotest.(check bool) "out-of-range nat excluded" true (Bdd.is_false junk);
+  let junk2 = Bdd.and_ m d (Bitvec.eq_const m (Space.cur_vec sp e) 3) in
+  Alcotest.(check bool) "out-of-range enum excluded" true (Bdd.is_false junk2);
+  Alcotest.(check int) "domain has state_count states"
+    (Space.state_count sp)
+    (int_of_float
+       (Bdd.sat_count m ~nvars:(2 * (1 + 3 + 2)) d /. float_of_int (1 lsl (1 + 3 + 2))))
+
+let test_to_next_roundtrip () =
+  let sp, _, n, _ = make_space () in
+  let m = Space.manager sp in
+  let p = Bitvec.eq_const m (Space.cur_vec sp n) 3 in
+  let q = Space.to_next sp p in
+  Alcotest.(check bool) "to_next changes predicate" false (Bdd.equal p q);
+  Alcotest.(check bool) "roundtrip" true (Bdd.equal p (Space.to_current sp q));
+  Alcotest.(check bool) "next_vec agrees" true
+    (Bdd.equal q (Bitvec.eq_const m (Space.next_vec sp n) 3))
+
+let test_states_of () =
+  let sp, b, n, _ = make_space () in
+  let m = Space.manager sp in
+  let p =
+    Bdd.and_ m
+      (Bitvec.eq_const m (Space.cur_vec sp b) 1)
+      (Bitvec.ge m (Space.cur_vec sp n) (Bitvec.const m ~width:3 3))
+  in
+  (* b=true, n∈{3,4}, color∈{0,1,2} → 6 states *)
+  let sts = Space.states_of sp p in
+  Alcotest.(check int) "states_of size" 6 (List.length sts);
+  List.iter
+    (fun st ->
+      Alcotest.(check int) "b true" 1 st.(Space.idx b);
+      Alcotest.(check bool) "n >= 3" true (st.(Space.idx n) >= 3))
+    sts
+
+let test_pp () =
+  let sp, _, _, _ = make_space () in
+  let st = [| 1; 2; 0 |] in
+  let s = Format.asprintf "%a" (Space.pp_state sp) st in
+  Alcotest.(check string) "pp_state" "⟨b=true n=2 color=red⟩" s
+
+let suite =
+  [
+    Alcotest.test_case "declare" `Quick test_declare;
+    Alcotest.test_case "duplicate name" `Quick test_duplicate;
+    Alcotest.test_case "bit allocation" `Quick test_bits_disjoint;
+    Alcotest.test_case "state_count/iter" `Quick test_state_count_iter;
+    Alcotest.test_case "singleton predicates" `Quick test_singleton;
+    Alcotest.test_case "domain constraint" `Quick test_domain;
+    Alcotest.test_case "to_next roundtrip" `Quick test_to_next_roundtrip;
+    Alcotest.test_case "states_of" `Quick test_states_of;
+    Alcotest.test_case "pretty printing" `Quick test_pp;
+  ]

@@ -1,0 +1,58 @@
+open Kpt_unity
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+let stn_ok = lazy (Stenning.make ~lossy:false params)
+let stn_lossy = lazy (Stenning.make ~lossy:true params)
+
+let test_safety () =
+  let t = Lazy.force stn_ok in
+  Alcotest.(check bool) "Stenning safety (34)" true
+    (Program.invariant t.Stenning.prog (Stenning.safety t));
+  let tl = Lazy.force stn_lossy in
+  Alcotest.(check bool) "Stenning safety under loss" true
+    (Program.invariant tl.Stenning.prog (Stenning.safety tl))
+
+let test_liveness () =
+  let t = Lazy.force stn_ok in
+  Alcotest.(check bool) "live @0" true (Stenning.liveness_holds t ~k:0);
+  Alcotest.(check bool) "live @1" true (Stenning.liveness_holds t ~k:1)
+
+let test_lossy_liveness_fails () =
+  let tl = Lazy.force stn_lossy in
+  Alcotest.(check bool) "liveness fails on lossy channel" false
+    (Stenning.liveness_holds tl ~k:0)
+
+let test_ack_meaning () =
+  (* Stenning's ack names a delivered index: z = k (≠ ⊥) ⇒ j > k. *)
+  let t = Lazy.force stn_lossy in
+  let sp = t.Stenning.space in
+  let { Seqtrans.n; _ } = t.Stenning.params in
+  let claim =
+    Expr.compile_bool sp
+      (Expr.conj
+         (List.init n (fun k ->
+              Expr.((var t.Stenning.z === nat k) ==> (var t.Stenning.j >>> nat k)))))
+  in
+  Alcotest.(check bool) "ack names delivered index" true
+    (Program.invariant t.Stenning.prog claim)
+
+let test_window_invariant () =
+  let t = Lazy.force stn_lossy in
+  let sp = t.Stenning.space in
+  let w =
+    Expr.compile_bool sp
+      Expr.(
+        (var t.Stenning.i <== var t.Stenning.j)
+        &&& (var t.Stenning.j <== var t.Stenning.i +! nat 1))
+  in
+  Alcotest.(check bool) "i ≤ j ≤ i+1" true (Program.invariant t.Stenning.prog w)
+
+let suite =
+  [
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "lossy liveness fails" `Slow test_lossy_liveness_fails;
+    Alcotest.test_case "ack meaning" `Quick test_ack_meaning;
+    Alcotest.test_case "window invariant" `Quick test_window_invariant;
+  ]

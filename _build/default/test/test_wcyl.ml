@@ -1,0 +1,128 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+(* Mixed space to exercise non-boolean domains too. *)
+let space () =
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:2 in
+  let y = Space.nat_var sp "y" ~max:2 in
+  let b = Space.bool_var sp "b" in
+  (sp, x, y, b)
+
+let test_prop7_strengthens () =
+  let sp, x, _, _ = space () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    Alcotest.(check bool) "[wcyl.V.p ⇒ p] (7)" true
+      (Pred.holds_implies sp (Wcyl.wcyl sp [ x ] p) p)
+  done
+
+let test_prop8_monotone () =
+  let sp, x, y, b = space () in
+  let m = Space.manager sp in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    let q = Bdd.or_ m p (Pred.random st sp) in
+    (* monotone in the predicate *)
+    Alcotest.(check bool) "monotone in p (8)" true
+      (Pred.holds_implies sp (Wcyl.wcyl sp [ x; b ] p) (Wcyl.wcyl sp [ x; b ] q));
+    (* monotone in the variable set: V ⊆ V' gives wcyl.V.p ⇒ wcyl.V'.p *)
+    Alcotest.(check bool) "monotone in V (8)" true
+      (Pred.holds_implies sp (Wcyl.wcyl sp [ x ] p) (Wcyl.wcyl sp [ x; y ] p))
+  done
+
+let test_prop9_fixpoint_on_cylinders () =
+  let sp, x, y, b = space () in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    (* Make a predicate depending only on {x, b} by cylindrifying. *)
+    let c = Wcyl.wcyl sp [ x; b ] p in
+    Alcotest.(check bool) "cylinder recognised" true (Wcyl.is_cylinder sp [ x; b ] c);
+    Alcotest.(check bool) "p ≡ wcyl.V.p on cylinders (9)" true
+      (Pred.equivalent sp c (Wcyl.wcyl sp [ x; b ] c))
+  done;
+  ignore y
+
+let test_prop10_weakest () =
+  let sp, x, y, b = space () in
+  let m = Space.manager sp in
+  let st = Helpers.rng () in
+  for _ = 1 to 30 do
+    let p = Pred.random st sp in
+    (* q: a random cylinder on V that implies p *)
+    let q = Bdd.and_ m (Wcyl.wcyl sp [ x; b ] (Pred.random st sp)) (Wcyl.wcyl sp [ x; b ] p) in
+    if Pred.holds_implies sp q p then
+      Alcotest.(check bool) "q ⇒ wcyl.V.p (10)" true
+        (Pred.holds_implies sp q (Wcyl.wcyl sp [ x; b ] p))
+  done;
+  ignore y
+
+let test_prop11_universally_conjunctive () =
+  let sp, x, _, b = space () in
+  let rng = Helpers.rng () in
+  match Junctivity.universally_conjunctive sp (Wcyl.wcyl sp [ x; b ]) rng with
+  | None -> ()
+  | Some w -> Alcotest.failf "wcyl should be universally conjunctive (11): %s" w.note
+
+let test_prop12_not_disjunctive () =
+  (* The paper's own counterexample (§3): state space of two integers,
+     wcyl.x.(x>0 ∧ y>0) = false, wcyl.x.(x>0 ∧ y≤0) = false, but
+     wcyl.x.(x>0) = x>0. *)
+  let sp = Space.create () in
+  let x = Space.nat_var sp "x" ~max:3 in
+  let y = Space.nat_var sp "y" ~max:3 in
+  let m = Space.manager sp in
+  let gt0 v = Expr.compile_bool sp Expr.(var v >>> nat 0) in
+  let f = Wcyl.wcyl sp [ x ] in
+  let p = Bdd.and_ m (gt0 x) (gt0 y) in
+  let q = Bdd.and_ m (gt0 x) (Bdd.not_ m (gt0 y)) in
+  Alcotest.(check bool) "f.p = false" true (Bdd.is_false (Pred.normalize sp (f p)));
+  Alcotest.(check bool) "f.q = false" true (Bdd.is_false (Pred.normalize sp (f q)));
+  Alcotest.(check bool) "f.(p∨q) = x>0" true (Pred.equivalent sp (f (Bdd.or_ m p q)) (gt0 x));
+  (* And the generic tester finds some witness too. *)
+  let rng = Helpers.rng () in
+  (match Junctivity.finitely_disjunctive sp f rng with
+  | Some _ -> ()
+  | None -> Alcotest.fail "tester should find a disjunctivity failure (12)")
+
+let test_full_and_empty_variable_sets () =
+  let sp, x, y, b = space () in
+  let m = Space.manager sp in
+  let st = Helpers.rng () in
+  for _ = 1 to 10 do
+    let p = Pred.random st sp in
+    (* wcyl over all variables is p itself *)
+    Alcotest.(check bool) "wcyl.allvars.p = p" true
+      (Pred.equivalent sp (Wcyl.wcyl sp [ x; y; b ] p) p);
+    (* wcyl over no variables is the universal closure: true iff [p] *)
+    let w = Wcyl.wcyl sp [] p in
+    if Pred.valid sp p then
+      Alcotest.(check bool) "wcyl.∅.tauto = true" true (Pred.equivalent sp w (Bdd.tru m))
+    else Alcotest.(check bool) "wcyl.∅.p = false" true (Bdd.is_false (Pred.normalize sp w))
+  done
+
+let test_idempotent () =
+  let sp, x, _, b = space () in
+  let st = Helpers.rng () in
+  for _ = 1 to 20 do
+    let p = Pred.random st sp in
+    let f = Wcyl.wcyl sp [ x; b ] in
+    Alcotest.(check bool) "wcyl idempotent" true (Pred.equivalent sp (f p) (f (f p)))
+  done
+
+let suite =
+  [
+    Alcotest.test_case "(7) wcyl strengthens" `Quick test_prop7_strengthens;
+    Alcotest.test_case "(8) monotone in both arguments" `Quick test_prop8_monotone;
+    Alcotest.test_case "(9) identity on cylinders" `Quick test_prop9_fixpoint_on_cylinders;
+    Alcotest.test_case "(10) weakest cylinder below p" `Quick test_prop10_weakest;
+    Alcotest.test_case "(11) universally conjunctive" `Quick test_prop11_universally_conjunctive;
+    Alcotest.test_case "(12) not disjunctive — paper counterexample" `Quick
+      test_prop12_not_disjunctive;
+    Alcotest.test_case "degenerate variable sets" `Quick test_full_and_empty_variable_sets;
+    Alcotest.test_case "idempotence" `Quick test_idempotent;
+  ]

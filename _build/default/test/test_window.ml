@@ -1,0 +1,96 @@
+open Kpt_unity
+open Kpt_protocols
+
+let params = { Seqtrans.n = 2; a = 2 }
+let w1 = lazy (Window.make ~lossy:false ~window:1 params)
+let w2 = lazy (Window.make ~lossy:false ~window:2 params)
+let w2_lossy = lazy (Window.make ~lossy:true ~window:2 params)
+
+let test_validation () =
+  Alcotest.check_raises "window ≥ 1" (Invalid_argument "Window.make: window must be ≥ 1")
+    (fun () -> ignore (Window.make ~window:0 params))
+
+let test_safety () =
+  List.iter
+    (fun t ->
+      let t = Lazy.force t in
+      Alcotest.(check bool)
+        (Printf.sprintf "safety (34), window %d" t.Window.window)
+        true
+        (Program.invariant t.Window.prog (Window.safety t)))
+    [ w1; w2; w2_lossy ]
+
+let test_liveness () =
+  List.iter
+    (fun t ->
+      let t = Lazy.force t in
+      Alcotest.(check bool) "live @0" true (Window.liveness_holds t ~k:0);
+      Alcotest.(check bool) "live @1" true (Window.liveness_holds t ~k:1))
+    [ w1; w2 ]
+
+let test_lossy_liveness_fails () =
+  let t = Lazy.force w2_lossy in
+  Alcotest.(check bool) "liveness fails on lossy channel" false (Window.liveness_holds t ~k:0)
+
+let test_window_invariant () =
+  (* At most [window] unacknowledged elements are ever in flight. *)
+  let t = Lazy.force w2_lossy in
+  let reachable = Kpt_runs.Reachability.reachable t.Window.prog in
+  Alcotest.(check bool) "in_flight ≤ window" true
+    (List.for_all (fun st -> Window.in_flight t st <= t.Window.window) reachable);
+  (* and the bound is attained: some state has two in flight *)
+  Alcotest.(check bool) "window is used" true
+    (List.exists (fun st -> Window.in_flight t st = 2) reachable)
+
+let test_cumulative_ack_knowledge () =
+  (* The cumulative ack register carries the same knowledge content as in
+     Figure 4: z = k (≠ ⊥) means the receiver delivered everything below
+     k, so z ≤ j invariantly. *)
+  let t = Lazy.force w2_lossy in
+  let sp = t.Window.space in
+  let { Seqtrans.n; _ } = t.Window.params in
+  let claim =
+    Expr.compile_bool sp
+      Expr.((var t.Window.z <== nat n) ==> (var t.Window.z <== var t.Window.j))
+  in
+  Alcotest.(check bool) "z ≤ j (eq. 54 analogue)" true (Program.invariant t.Window.prog claim);
+  (* the sender's base never passes the receiver *)
+  let base =
+    Expr.compile_bool sp Expr.(var t.Window.i <== var t.Window.j)
+  in
+  Alcotest.(check bool) "i ≤ j" true (Program.invariant t.Window.prog base)
+
+let test_pipelining () =
+  (* A wider window completes a fair random run in fewer scheduler steps
+     (averaged over seeds; this is the §6-family "efficiency" axis). *)
+  let p4 = { Seqtrans.n = 4; a = 2 } in
+  let avg w =
+    let t = Window.make ~lossy:false ~window:w p4 in
+    let total = ref 0 in
+    for seed = 1 to 8 do
+      total := !total + Window.simulate_steps ~seed t
+    done;
+    !total
+  in
+  let s1 = avg 1 and s2 = avg 2 in
+  Alcotest.(check bool)
+    (Printf.sprintf "w=2 (%d) beats w=1 (%d)" s2 s1)
+    true (s2 < s1)
+
+let test_all_runs_finish () =
+  let t = Lazy.force w2 in
+  for seed = 1 to 5 do
+    Alcotest.(check bool) "finishes" true (Window.simulate_steps ~seed t < 1_000_000)
+  done
+
+let suite =
+  [
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "safety" `Quick test_safety;
+    Alcotest.test_case "liveness" `Slow test_liveness;
+    Alcotest.test_case "lossy liveness fails" `Slow test_lossy_liveness_fails;
+    Alcotest.test_case "window invariant" `Quick test_window_invariant;
+    Alcotest.test_case "cumulative-ack knowledge" `Quick test_cumulative_ack_knowledge;
+    Alcotest.test_case "pipelining effect" `Quick test_pipelining;
+    Alcotest.test_case "runs finish" `Quick test_all_runs_finish;
+  ]
