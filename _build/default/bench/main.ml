@@ -8,7 +8,15 @@
    Part 2 runs Bechamel micro/macro benchmarks of every engine built for
    the reproduction (P1-P6): BDD operations, SI fixpoints, the knowledge
    transformer, the exhaustive KBP solver, the fair leads-to decision
-   procedure, and concrete simulation throughput. *)
+   procedure, and concrete simulation throughput.
+
+   Besides the pretty tables, the harness emits a machine-readable
+   [BENCH_RESULTS.json] (benchmark name → ns/run plus the scaling-sweep
+   timings) so the performance trajectory is tracked across PRs.
+
+   [--quick] runs one tiny instance of each P1-P6 benchmark exactly once
+   (no statistics, no experiments, no JSON) as an engine smoke test; the
+   [bench-smoke] dune alias wires it into [dune runtest]. *)
 
 open Bechamel
 open Kpt_predicate
@@ -16,27 +24,26 @@ open Kpt_unity
 open Kpt_core
 open Kpt_protocols
 
-(* ---- P1: BDD engine ----------------------------------------------------- *)
+(* ---- benchmark bodies ---------------------------------------------------- *)
+(* Each definition is a [name, setup] pair where [setup ()] performs the
+   one-off construction and returns the closure to be measured, so the same
+   bodies feed both the Bechamel suite and the --quick smoke run. *)
 
-let bench_bdd_ops =
-  Test.make ~name:"P1 bdd: n-queens-style conjunctions (12 vars)"
-    (Staged.stage (fun () ->
-         let m = Bdd.create () in
-         let acc = ref (Bdd.tru m) in
-         for i = 0 to 10 do
-           acc := Bdd.and_ m !acc (Bdd.or_ m (Bdd.var m i) (Bdd.nvar m (i + 1)))
-         done;
-         ignore (Bdd.exists m [ 0; 2; 4; 6 ] !acc)))
+let def_bdd_ops () =
+  fun () ->
+    let m = Bdd.create () in
+    let acc = ref (Bdd.tru m) in
+    for i = 0 to 10 do
+      acc := Bdd.and_ m !acc (Bdd.or_ m (Bdd.var m i) (Bdd.nvar m (i + 1)))
+    done;
+    ignore (Bdd.exists m [ 0; 2; 4; 6 ] !acc)
 
-let bench_bitvec =
-  Test.make ~name:"P1 bitvec: 8-bit symbolic adder + comparison"
-    (Staged.stage (fun () ->
-         let m = Bdd.create () in
-         let a = Bitvec.of_bits (Array.init 8 (fun k -> Bdd.var m k)) in
-         let b = Bitvec.of_bits (Array.init 8 (fun k -> Bdd.var m (8 + k))) in
-         ignore (Bitvec.lt m (Bitvec.add m a b) (Bitvec.const m ~width:9 300))))
-
-(* ---- P2: SI fixpoints vs state bits ------------------------------------- *)
+let def_bitvec () =
+  fun () ->
+    let m = Bdd.create () in
+    let a = Bitvec.of_bits (Array.init 8 (fun k -> Bdd.var m k)) in
+    let b = Bitvec.of_bits (Array.init 8 (fun k -> Bdd.var m (8 + k))) in
+    ignore (Bitvec.lt m (Bitvec.add m a b) (Bitvec.const m ~width:9 300))
 
 let bubble n maxv =
   let sp = Space.create () in
@@ -50,114 +57,133 @@ let bubble n maxv =
   in
   (sp, Program.make sp ~name:"bsort" ~init:Expr.tru stmts)
 
-let bench_si size =
-  Test.make ~name:(Printf.sprintf "P2 SI fixpoint: bubble sort n=%d" size)
-    (Staged.stage (fun () ->
-         let _, prog = bubble size 3 in
-         ignore (Program.si prog)))
+let def_si size () =
+  fun () ->
+    let _, prog = bubble size 3 in
+    ignore (Program.si prog)
 
-(* ---- P3: the knowledge transformer -------------------------------------- *)
+let def_knowledge () =
+  let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
+  let _ = Program.si st.Seqtrans.sprog in
+  fun () -> ignore (Seqtrans.real_kr st ~k:0 ~alpha:1)
 
-let bench_knowledge =
-  Test.make ~name:"P3 K_i on the standard protocol (n=2,|A|=2)"
-    (Staged.stage
-       (let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
-        let _ = Program.si st.Seqtrans.sprog in
-        fun () -> ignore (Seqtrans.real_kr st ~k:0 ~alpha:1)))
+let def_common_knowledge () =
+  let sp = Space.create () in
+  let a = Space.bool_var sp "a" in
+  let b = Space.bool_var sp "b" in
+  let c = Space.bool_var sp "c" in
+  let g =
+    [ Process.make "A" [ a; b ]; Process.make "B" [ b; c ]; Process.make "C" [ c; a ] ]
+  in
+  let m = Space.manager sp in
+  let si = Bdd.or_ m (Bdd.var m (List.hd (Space.current_bits a))) (Bdd.tru m) in
+  let p = Bdd.and_ m (Expr.compile_bool sp (Expr.var a)) (Expr.compile_bool sp (Expr.var b)) in
+  fun () -> ignore (Knowledge.common_knowledge sp ~si g p)
 
-let bench_common_knowledge =
-  Test.make ~name:"P3 common knowledge fixpoint (3 agents)"
-    (Staged.stage
-       (let sp = Space.create () in
-        let a = Space.bool_var sp "a" in
-        let b = Space.bool_var sp "b" in
-        let c = Space.bool_var sp "c" in
-        let g =
-          [ Process.make "A" [ a; b ]; Process.make "B" [ b; c ]; Process.make "C" [ c; a ] ]
-        in
-        let m = Space.manager sp in
-        let si = Bdd.or_ m (Bdd.var m (List.hd (Space.current_bits a))) (Bdd.tru m) in
-        let p = Bdd.and_ m (Expr.compile_bool sp (Expr.var a)) (Expr.compile_bool sp (Expr.var b)) in
-        fun () -> ignore (Knowledge.common_knowledge sp ~si g p)))
+let def_kbp_solver () =
+  fun () ->
+    let sp = Space.create () in
+    let x = Space.bool_var sp "x" in
+    let y = Space.bool_var sp "y" in
+    let z = Space.bool_var sp "z" in
+    let p0 = Process.make "P0" [ y ] in
+    let p1 = Process.make "P1" [ z ] in
+    let s0 =
+      Kbp.kstmt ~name:"s0" ~guard:(Kform.k "P0" (Kform.base (Expr.var x))) [ (y, Expr.tru) ]
+    in
+    let s1 =
+      Kbp.kstmt ~name:"s1"
+        ~guard:(Kform.k "P1" (Kform.knot (Kform.base (Expr.var y))))
+        [ (z, Expr.tru) ]
+    in
+    let kbp =
+      Kbp.make sp ~name:"fig2" ~init:Expr.(not_ (var y)) ~processes:[ p0; p1 ] [ s0; s1 ]
+    in
+    ignore (Kbp.solutions kbp)
 
-(* ---- P4: the exhaustive KBP solver --------------------------------------- *)
+let def_leadsto () =
+  let ab = Seqtrans.abstract_kbp { Seqtrans.n = 2; a = 2 } in
+  let _ = Program.si ab.Seqtrans.aprog in
+  fun () -> ignore (Seqtrans.a_spec_liveness_holds ab ~k:0)
 
-let bench_kbp_solver =
-  Test.make ~name:"P4 exhaustive KBP solver on Figure 2 (256 candidates)"
-    (Staged.stage (fun () ->
-         let sp = Space.create () in
-         let x = Space.bool_var sp "x" in
-         let y = Space.bool_var sp "y" in
-         let z = Space.bool_var sp "z" in
-         let p0 = Process.make "P0" [ y ] in
-         let p1 = Process.make "P1" [ z ] in
-         let s0 =
-           Kbp.kstmt ~name:"s0" ~guard:(Kform.k "P0" (Kform.base (Expr.var x))) [ (y, Expr.tru) ]
-         in
-         let s1 =
-           Kbp.kstmt ~name:"s1"
-             ~guard:(Kform.k "P1" (Kform.knot (Kform.base (Expr.var y))))
-             [ (z, Expr.tru) ]
-         in
-         let kbp =
-           Kbp.make sp ~name:"fig2" ~init:Expr.(not_ (var y)) ~processes:[ p0; p1 ] [ s0; s1 ]
-         in
-         ignore (Kbp.solutions kbp)))
+let def_simulation ~steps () =
+  let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
+  let rng = Stdlib.Random.State.make [| 3 |] in
+  let init = Kpt_runs.Exec.random_init st.Seqtrans.sprog rng in
+  fun () ->
+    ignore
+      (Kpt_runs.Exec.run st.Seqtrans.sprog ~scheduler:(Kpt_runs.Exec.Random_fair 5) ~steps
+         ~init)
 
-(* ---- P5: fair leads-to decision ------------------------------------------ *)
+let def_proof_replay () =
+  let ab = Seqtrans.abstract_kbp { Seqtrans.n = 2; a = 2 } in
+  let _ = Program.si ab.Seqtrans.aprog in
+  fun () -> ignore (Seqtrans_proofs.replay_abstract ab)
 
-let bench_leadsto =
-  Test.make ~name:"P5 fair leads-to on the abstract KBP (n=2,|A|=2)"
-    (Staged.stage
-       (let ab = Seqtrans.abstract_kbp { Seqtrans.n = 2; a = 2 } in
-        let _ = Program.si ab.Seqtrans.aprog in
-        fun () -> ignore (Seqtrans.a_spec_liveness_holds ab ~k:0)))
-
-(* ---- P6: simulation throughput ------------------------------------------- *)
-
-let bench_simulation =
-  Test.make ~name:"P6 concrete simulation: 1000 steps of the standard protocol"
-    (Staged.stage
-       (let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
-        let rng = Stdlib.Random.State.make [| 3 |] in
-        let init = Kpt_runs.Exec.random_init st.Seqtrans.sprog rng in
-        fun () ->
-          ignore
-            (Kpt_runs.Exec.run st.Seqtrans.sprog ~scheduler:(Kpt_runs.Exec.Random_fair 5)
-               ~steps:1000 ~init)))
-
-let bench_proof_replay =
-  Test.make ~name:"P6 full kernel replay of the Figure-3 proof"
-    (Staged.stage
-       (let ab = Seqtrans.abstract_kbp { Seqtrans.n = 2; a = 2 } in
-        let _ = Program.si ab.Seqtrans.aprog in
-        fun () -> ignore (Seqtrans_proofs.replay_abstract ab)))
-
-let benchmarks =
+let benchmark_defs =
   [
-    bench_bdd_ops;
-    bench_bitvec;
-    bench_si 4;
-    bench_si 5;
-    bench_knowledge;
-    bench_common_knowledge;
-    bench_kbp_solver;
-    bench_leadsto;
-    bench_simulation;
-    bench_proof_replay;
+    ("P1 bdd: n-queens-style conjunctions (12 vars)", def_bdd_ops);
+    ("P1 bitvec: 8-bit symbolic adder + comparison", def_bitvec);
+    ("P2 SI fixpoint: bubble sort n=4", def_si 4);
+    ("P2 SI fixpoint: bubble sort n=5", def_si 5);
+    ("P3 K_i on the standard protocol (n=2,|A|=2)", def_knowledge);
+    ("P3 common knowledge fixpoint (3 agents)", def_common_knowledge);
+    ("P4 exhaustive KBP solver on Figure 2 (256 candidates)", def_kbp_solver);
+    ("P5 fair leads-to on the abstract KBP (n=2,|A|=2)", def_leadsto);
+    ("P6 concrete simulation: 1000 steps of the standard protocol", def_simulation ~steps:1000);
+    ("P6 full kernel replay of the Figure-3 proof", def_proof_replay);
   ]
 
+(* ---- machine-readable results -------------------------------------------- *)
+
+let bench_ns : (string * float) list ref = ref []
+let scaling_rows : (int * int * int * int * float * float) list ref = ref []
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun ch ->
+      match ch with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_json path =
+  let oc = open_out path in
+  let pf fmt = Printf.fprintf oc fmt in
+  pf "{\n  \"benchmarks_ns_per_run\": {\n";
+  List.iteri
+    (fun i (name, ns) ->
+      pf "    \"%s\": %.1f%s\n" (json_escape name) ns
+        (if i = List.length !bench_ns - 1 then "" else ","))
+    (List.rev !bench_ns);
+  pf "  },\n  \"scaling_standard_protocol\": [\n";
+  let rows = List.rev !scaling_rows in
+  List.iteri
+    (fun i (n, a, total, reach, t_si, t_safe) ->
+      pf
+        "    { \"n\": %d, \"a\": %d, \"state_space\": %d, \"reachable\": %d, \"si_s\": %.4f, \
+         \"safety_s\": %.4f }%s\n"
+        n a total reach t_si t_safe
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  pf "  ]\n}\n";
+  close_out oc;
+  Format.printf "@.Machine-readable results written to %s@." path
+
+(* ---- benchmark runners --------------------------------------------------- *)
+
 let run_benchmarks () =
-  let ols =
-    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
-  in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
   let instance = Toolkit.Instance.monotonic_clock in
-  let cfg =
-    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) ()
-  in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 10) () in
   Format.printf "@.══ Performance benchmarks (P1-P6) ══@.";
   List.iter
-    (fun test ->
+    (fun (name, setup) ->
+      let test = Test.make ~name (Staged.stage (setup ())) in
       let results = Benchmark.all cfg [ instance ] test in
       Hashtbl.iter
         (fun name raw ->
@@ -165,11 +191,36 @@ let run_benchmarks () =
           | ols_result -> (
               match Analyze.OLS.estimates ols_result with
               | Some [ est ] ->
+                  bench_ns := (name, est) :: !bench_ns;
                   Format.printf "  %-60s %12.1f ns/run@." name est
               | _ -> Format.printf "  %-60s (no estimate)@." name)
           | exception _ -> Format.printf "  %-60s (failed)@." name)
         results)
-    benchmarks
+    benchmark_defs
+
+let quick_defs =
+  [
+    ("P1 bdd: n-queens-style conjunctions (12 vars)", def_bdd_ops);
+    ("P1 bitvec: 8-bit symbolic adder + comparison", def_bitvec);
+    ("P2 SI fixpoint: bubble sort n=3", def_si 3);
+    ("P3 K_i on the standard protocol (n=2,|A|=2)", def_knowledge);
+    ("P3 common knowledge fixpoint (3 agents)", def_common_knowledge);
+    ("P4 exhaustive KBP solver on Figure 2 (256 candidates)", def_kbp_solver);
+    ("P5 fair leads-to on the abstract KBP (n=2,|A|=2)", def_leadsto);
+    ("P6 concrete simulation: 100 steps of the standard protocol", def_simulation ~steps:100);
+  ]
+
+(* One tiny run of each engine; a crash or hang here is a tier-1 failure. *)
+let run_quick () =
+  Format.printf "══ bench-smoke: one tiny instance of each P1-P6 benchmark ══@.";
+  List.iter
+    (fun (name, setup) ->
+      let t0 = Unix.gettimeofday () in
+      let fn = setup () in
+      fn ();
+      Format.printf "  %-62s ok (%.3fs)@." name (Unix.gettimeofday () -. t0))
+    quick_defs;
+  Format.printf "bench-smoke: all engines ran.@."
 
 (* ---- Part 3: scaling sweeps and ablations -------------------------------- *)
 
@@ -190,6 +241,7 @@ let scaling_sweep () =
       let si, t_si = time (fun () -> Program.si st.Seqtrans.sprog) in
       let reach = Space.count_states_of sp si in
       let ok, t_safe = time (fun () -> Program.invariant st.Seqtrans.sprog (Seqtrans.spec_safety st)) in
+      scaling_rows := (n, a, total, reach, t_si, t_safe) :: !scaling_rows;
       Format.printf "  (%d,%d)      %12d %12d %14.3f %14.3f   safety=%b@." n a total reach
         t_si t_safe ok)
     [ (2, 2); (2, 3); (3, 2) ]
@@ -272,18 +324,22 @@ let ablation_relprod () =
     t_f t_n (Bdd.equal fused naive)
 
 let () =
-  Format.printf "════ kpt: paper experiments (E1-E9) ════@.";
-  let verdicts = Kpt_experiments.Experiments.run_all Format.std_formatter in
-  Format.printf "@.══ Summary ══@.";
-  List.iter
-    (fun (name, ok) -> Format.printf "  %-18s %s@." name (if ok then "REPRODUCED" else "MISMATCH"))
-    verdicts;
-  let all_ok = List.for_all snd verdicts in
-  Format.printf "@.%s@."
-    (if all_ok then "All paper claims reproduced." else "SOME CLAIMS DID NOT REPRODUCE!");
-  run_benchmarks ();
-  scaling_sweep ();
-  window_sweep ();
-  ablation_solver ();
-  ablation_relprod ();
-  if not all_ok then exit 1
+  if Array.exists (( = ) "--quick") Sys.argv then run_quick ()
+  else begin
+    Format.printf "════ kpt: paper experiments (E1-E9) ════@.";
+    let verdicts = Kpt_experiments.Experiments.run_all Format.std_formatter in
+    Format.printf "@.══ Summary ══@.";
+    List.iter
+      (fun (name, ok) -> Format.printf "  %-18s %s@." name (if ok then "REPRODUCED" else "MISMATCH"))
+      verdicts;
+    let all_ok = List.for_all snd verdicts in
+    Format.printf "@.%s@."
+      (if all_ok then "All paper claims reproduced." else "SOME CLAIMS DID NOT REPRODUCE!");
+    run_benchmarks ();
+    scaling_sweep ();
+    window_sweep ();
+    ablation_solver ();
+    ablation_relprod ();
+    write_json "BENCH_RESULTS.json";
+    if not all_ok then exit 1
+  end

@@ -13,6 +13,11 @@ type t = {
   init : Bdd.t;
   processes : Process.t list;
   kstmts : kstmt list;
+  (* Validated guardless statements, one per kstmt, built once:
+     [instantiate] derives each concrete statement via
+     [Stmt.with_guard_pred], so the compiled assignment relations are
+     physically shared across every Ĝ-iteration. *)
+  bases : Stmt.t list;
 }
 
 exception Ill_formed of string
@@ -28,20 +33,22 @@ let kstmt ~name ~guard assigns = { kname = name; kguard = guard; kassigns = assi
 let make space ~name ~init ~processes kstmts =
   if kstmts = [] then ill_formed "kbp %s: empty statement list" name;
   let known = List.map Process.name processes in
-  List.iter
-    (fun s ->
-      List.iter
-        (fun pname ->
-          if not (List.mem pname known) then
-            ill_formed "kbp %s: statement %s mentions unknown process %s" name s.kname pname)
-        (Kform.processes_of s.kguard);
-      (* reuse the standard statement validation for targets and sorts *)
-      try ignore (Stmt.make ~name:s.kname s.kassigns)
-      with Stmt.Ill_formed msg -> ill_formed "kbp %s: %s" name msg)
-    kstmts;
+  let bases =
+    List.map
+      (fun s ->
+        List.iter
+          (fun pname ->
+            if not (List.mem pname known) then
+              ill_formed "kbp %s: statement %s mentions unknown process %s" name s.kname pname)
+          (Kform.processes_of s.kguard);
+        (* reuse the standard statement validation for targets and sorts *)
+        try Stmt.make ~name:s.kname s.kassigns
+        with Stmt.Ill_formed msg -> ill_formed "kbp %s: %s" name msg)
+      kstmts
+  in
   let init_pred = Pred.normalize space (Expr.compile_bool space init) in
   if Bdd.is_false init_pred then ill_formed "kbp %s: unsatisfiable initial condition" name;
-  { space; name; init = init_pred; processes; kstmts }
+  { space; name; init = init_pred; processes; kstmts; bases }
 
 let space k = k.space
 let name k = k.name
@@ -54,26 +61,24 @@ let lookup_process k pname =
   try List.find (fun p -> Process.name p = pname) k.processes
   with Not_found -> ill_formed "kbp %s: unknown process %s" k.name pname
 
+(* Build the concrete statements for a candidate [si] from the pre-built
+   bases: only the guards are compiled afresh; the assignment relations
+   stay memoised inside the shared statement caches. *)
+let concrete_statements k ~si =
+  List.map2
+    (fun s base ->
+      let g = Kform.compile k.space ~lookup:(lookup_process k) ~si s.kguard in
+      Stmt.with_guard_pred base g)
+    k.kstmts k.bases
+
 let to_standard_program k =
   if not (List.for_all (fun s -> Kform.is_standard s.kguard) k.kstmts) then
     ill_formed "kbp %s: knowledge guards present; use instantiate" k.name;
-  let stmts =
-    List.map
-      (fun s ->
-        let g = Kform.compile k.space ~lookup:(lookup_process k) ~si:(Bdd.tru (Space.manager k.space)) s.kguard in
-        Stmt.with_guard_pred (Stmt.make ~name:s.kname s.kassigns) g)
-      k.kstmts
-  in
+  let stmts = concrete_statements k ~si:(Bdd.tru (Space.manager k.space)) in
   Program.make_with_init_pred k.space ~name:k.name ~init:k.init ~processes:k.processes stmts
 
 let instantiate k ~si =
-  let stmts =
-    List.map
-      (fun s ->
-        let g = Kform.compile k.space ~lookup:(lookup_process k) ~si s.kguard in
-        Stmt.with_guard_pred (Stmt.make ~name:s.kname s.kassigns) g)
-      k.kstmts
-  in
+  let stmts = concrete_statements k ~si in
   Program.make_with_init_pred k.space ~name:k.name ~init:k.init ~processes:k.processes stmts
 
 let g_operator k x = Pred.normalize k.space (Program.si (instantiate k ~si:x))
@@ -84,7 +89,7 @@ let g_operator k x = Pred.normalize k.space (Program.si (instantiate k ~si:x))
    genuine guard would have to be false there in any legal instantiation). *)
 let universe k =
   let sp = k.space in
-  let stmts = List.map (fun s -> Stmt.make ~name:s.kname s.kassigns) k.kstmts in
+  let stmts = k.bases in
   let vars = Array.of_list (Space.vars sp) in
   let code st =
     let c = ref 0 in
@@ -94,9 +99,11 @@ let universe k =
   let seen = Hashtbl.create 64 in
   let queue = Queue.create () in
   let push st =
-    if not (Hashtbl.mem seen (code st)) then begin
-      Hashtbl.add seen (code st) (Array.copy st);
-      Queue.add (Array.copy st) queue
+    let c = code st in
+    if not (Hashtbl.mem seen c) then begin
+      let copy = Array.copy st in
+      Hashtbl.add seen c copy;
+      Queue.add copy queue
     end
   in
   List.iter push (Space.states_of sp k.init);

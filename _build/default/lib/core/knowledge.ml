@@ -14,13 +14,37 @@ let everyone_knows sp ~si group p =
   let m = Space.manager sp in
   Bdd.conj m (List.map (fun proc -> knows sp ~si proc p) group)
 
+(* Greatest fixpoint of x ↦ E(p ∧ x) (eq. 16).  The weakest cylinder is
+   universally conjunctive, so wcyl_i(si ⇒ p ∧ x) splits into
+   wcyl_i(si ⇒ p) ∧ wcyl_i(si ⇒ x) — identical BDDs by canonicity — and
+   the p-cylinder of every process can be computed once, outside the
+   fixpoint loop; each round only re-cylinders the shrinking x. *)
 let common_knowledge sp ~si group p =
   let m = Space.manager sp in
-  let rec go x =
-    let x' = everyone_knows sp ~si group (Bdd.and_ m p x) in
-    if Bdd.equal (Pred.normalize sp x) (Pred.normalize sp x') then x' else go x'
+  let not_si = Bdd.not_ m si in
+  let per_proc =
+    List.map
+      (fun proc ->
+        let vs = Process.vars proc in
+        (vs, Wcyl.wcyl sp vs (Bdd.imp m si p)))
+      group
   in
-  go (Bdd.tru m)
+  let everyone_knows_p_and x =
+    let q = Bdd.and_ m p x in
+    Bdd.conj m
+      (List.map
+         (fun (vs, cyl_p) ->
+           let cyl_x = Wcyl.wcyl sp vs (Bdd.imp m si x) in
+           Bdd.and_ m q (Bdd.or_ m (Bdd.and_ m cyl_p cyl_x) not_si))
+         per_proc)
+  in
+  let rec go x nx =
+    let x' = everyone_knows_p_and x in
+    let nx' = Pred.normalize sp x' in
+    if Bdd.equal nx nx' then x' else go x' nx'
+  in
+  let x0 = Bdd.tru m in
+  go x0 (Pred.normalize sp x0)
 
 let distributed_knowledge sp ~si group p =
   let pooled =

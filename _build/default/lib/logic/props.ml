@@ -73,17 +73,29 @@ let fair_avoid prog q =
       done)
     states;
   let alive = Array.make nstates true in
+  (* Visited sets for the inner BFS, allocated once and reused across every
+     [survives] call: a generation-stamped int array when the
+     state × mask key space is small, a (reset) hash table otherwise. *)
+  let nkeys = nstates * (full_mask + 1) in
+  let use_stamps = nstates > 0 && nkeys / nstates = full_mask + 1 && nkeys <= 1 lsl 22 in
+  let stamps = if use_stamps then Array.make (max nkeys 1) 0 else [||] in
+  let generation = ref 0 in
+  let seen_tbl = Hashtbl.create 256 in
+  let queue = Queue.create () in
   (* Round check: from u, can we apply every statement at least once while
      staying among alive states?  BFS over (state, remaining-mask). *)
   let survives u =
-    let seen = Hashtbl.create 64 in
-    let queue = Queue.create () in
+    incr generation;
+    if not use_stamps then Hashtbl.reset seen_tbl;
+    Queue.clear queue;
     let push v mask =
       let key = (v * (full_mask + 1)) + mask in
-      if not (Hashtbl.mem seen key) then begin
-        Hashtbl.add seen key ();
-        Queue.add (v, mask) queue
-      end
+      let visited =
+        if use_stamps then
+          stamps.(key) = !generation || (stamps.(key) <- !generation; false)
+        else Hashtbl.mem seen_tbl key || (Hashtbl.add seen_tbl key (); false)
+      in
+      if not visited then Queue.add (v, mask) queue
     in
     push u full_mask;
     let found = ref false in

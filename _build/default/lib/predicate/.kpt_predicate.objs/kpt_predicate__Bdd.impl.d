@@ -1,1 +1,1 @@
-lib/predicate/bdd.ml: Format Hashtbl List
+lib/predicate/bdd.ml: Array Format Hashtbl List

@@ -1,1 +1,1 @@
-lib/predicate/pred.ml: Bdd Bitvec List Space Stdlib
+lib/predicate/pred.ml: Bdd Space Stdlib

@@ -6,35 +6,119 @@ let leaf_level = max_int
 
 type t = { uid : int; level : int; low : t; high : t }
 
+(* Both manager tables are packed: each entry's key is one native int
+   encoding the operands bit-by-bit, stored next to its payload in two
+   parallel arrays.  Packing is exact — two keys are equal iff the
+   operand triples are equal — so a probe is a single load-and-compare
+   and allocates nothing.
+
+   The operation cache is CUDD-style direct-mapped: collisions overwrite
+   (the cache is lossy — dropping an entry only costs a recomputation).
+   The unique table uses open addressing with linear probing and stays
+   {e exact}: entries are never dropped and the table doubles when
+   2·count exceeds the slot count, because hash-consing must never be
+   lossy or canonicity breaks.
+
+   Packing needs uids < 2^20 (a million live nodes — far beyond the
+   state spaces this library targets, but not impossible).  Keys out of
+   that range take a [Hashtbl] fallback path keyed on the full triple:
+   exactness is preserved at any size, only the packed fast path is
+   bounded.  Key 0 doubles as the empty-slot sentinel; it is unreachable
+   as a real key (see [uq_key]/[op_key] below). *)
 type manager = {
   mutable next_uid : int;
-  unique : (int * int * int, t) Hashtbl.t;
-  bin_cache : (int * int * int, t) Hashtbl.t;
-  not_cache : (int, t) Hashtbl.t;
-  ite_cache : (int * int * int, t) Hashtbl.t;
+  mutable uq_count : int; (* entries in the packed table *)
+  mutable uq_key : int array; (* 0 = empty slot *)
+  mutable uq_node : t array;
+  uq_spill : (int * int * int, t) Hashtbl.t; (* level/uid beyond packing *)
+  op_cap : int; (* maximum slot count (power of two) *)
+  mutable op_stores : int; (* misses stored since the last grow/clear *)
+  mutable op_mask : int;
+  mutable op_key : int array; (* 0 = empty slot *)
+  mutable op_res : t array;
+  op_spill : (int * int * int * int, t) Hashtbl.t; (* uids beyond packing *)
   t_true : t;
   t_false : t;
 }
+
+(* Packed unique-table key: level:23 | low:20 | high:20 bits.  Zero would
+   need level = low = high = 0, i.e. the node (v0, false, false) — but
+   [mk] never stores a node with [low == high], so 0 is free as the
+   empty-slot sentinel. *)
+let uid_limit = 1 lsl 20
+let level_limit = 1 lsl 23
+let uq_key level lo hi = (((level lsl 20) lor lo) lsl 20) lor hi
+let uq_packs level lo hi = level < level_limit && lo < uid_limit && hi < uid_limit
+
+(* Packed op-cache key: tag:3 | x:20 | y:20 | z:20 bits.  Zero would need
+   tag = op_and with x = y = z = 0, i.e. and(false, false) — a terminal
+   case that is never cached, so 0 is free as the empty-slot sentinel. *)
+let op_key tag x y z = (((((tag lsl 20) lor x) lsl 20) lor y) lsl 20) lor z
+let op_packs x y z = x < uid_limit && y < uid_limit && z < uid_limit
 
 let make_leaf uid =
   let rec n = { uid; level = leaf_level; low = n; high = n } in
   n
 
-let create ?(unique_size = 1 lsl 14) ?(cache_size = 1 lsl 14) () =
+let rec pow2_at_least k n = if n >= k then n else pow2_at_least k (n * 2)
+
+(* The cache starts tiny and quadruples on demand (up to [op_cap]), so
+   short-lived managers — one per [Space.create] — pay a few hundred words
+   up front rather than megabytes.  Growing simply discards the old arrays:
+   the cache is lossy by design, so dropped entries only cost recomputation. *)
+let initial_slots = 1024
+
+let create ?(unique_size = 1 lsl 11) ?(cache_size = 1 lsl 14) () =
+  let t_false = make_leaf 0 in
+  let cap = pow2_at_least (max 1 cache_size) 1 in
+  let slots = min initial_slots cap in
+  let uq_slots = pow2_at_least (max 16 unique_size) 16 in
   {
     next_uid = 2;
-    unique = Hashtbl.create unique_size;
-    bin_cache = Hashtbl.create cache_size;
-    not_cache = Hashtbl.create cache_size;
-    ite_cache = Hashtbl.create cache_size;
+    uq_count = 0;
+    uq_key = Array.make uq_slots 0;
+    uq_node = Array.make uq_slots t_false;
+    uq_spill = Hashtbl.create 16;
+    op_cap = cap;
+    op_stores = 0;
+    op_mask = slots - 1;
+    op_key = Array.make slots 0;
+    op_res = Array.make slots t_false;
+    op_spill = Hashtbl.create 16;
     t_true = make_leaf 1;
-    t_false = make_leaf 0;
+    t_false;
   }
 
 let clear_caches m =
-  Hashtbl.reset m.bin_cache;
-  Hashtbl.reset m.not_cache;
-  Hashtbl.reset m.ite_cache
+  m.op_stores <- 0;
+  Array.fill m.op_key 0 (Array.length m.op_key) 0;
+  (* drop result pointers too so cleared entries don't keep nodes alive *)
+  Array.fill m.op_res 0 (Array.length m.op_res) m.t_false;
+  Hashtbl.reset m.op_spill
+
+(* Fibonacci-style multiplicative mixing of a packed key. *)
+let slot_of mask key =
+  let h = (key lxor (key lsr 29)) * 0x9E3779B1 in
+  (h lxor (h lsr 17)) land mask
+
+let grow_cache m =
+  let slots = min (4 * (m.op_mask + 1)) m.op_cap in
+  let keys = Array.make slots 0 in
+  let res = Array.make slots m.t_false in
+  (* rehash the live entries so growing never loses warmth *)
+  let mask = slots - 1 in
+  for i = 0 to m.op_mask do
+    let k = m.op_key.(i) in
+    if k <> 0 then begin
+      let j = slot_of mask k in
+      keys.(j) <- k;
+      res.(j) <- m.op_res.(i)
+    end
+  done;
+  m.op_stores <- 0;
+  m.op_mask <- mask;
+  m.op_key <- keys;
+  m.op_res <- res
 
 let tru m = m.t_true
 let fls m = m.t_false
@@ -44,17 +128,72 @@ let is_leaf n = n.level = leaf_level
 let is_true n = n.level = leaf_level && n.uid = 1
 let is_false n = n.level = leaf_level && n.uid = 0
 
+(* Place a node with packed key [k] into arrays known to have a free slot. *)
+let uq_place keys nodes mask k n =
+  let i = ref (slot_of mask k) in
+  while keys.(!i) <> 0 do
+    i := (!i + 1) land mask
+  done;
+  keys.(!i) <- k;
+  nodes.(!i) <- n
+
+let grow_unique m =
+  let slots = 2 * Array.length m.uq_key in
+  let mask = slots - 1 in
+  let keys = Array.make slots 0 in
+  let nodes = Array.make slots m.t_false in
+  for i = 0 to Array.length m.uq_key - 1 do
+    if m.uq_key.(i) <> 0 then uq_place keys nodes mask m.uq_key.(i) m.uq_node.(i)
+  done;
+  m.uq_key <- keys;
+  m.uq_node <- nodes
+
+(* Stores into a stale index after a mid-recursion grow land in a wrong
+   slot of the larger arrays; that is harmless — a hit checks the exact
+   packed key, so a misplaced entry can only be returned for its own key. *)
+let cache_store m i k r =
+  m.op_stores <- m.op_stores + 1;
+  if m.op_stores > (m.op_mask + 1) / 4 && m.op_mask + 1 < m.op_cap then grow_cache m;
+  m.op_key.(i) <- k;
+  m.op_res.(i) <- r
+
+let fresh_node m level low high =
+  let n = { uid = m.next_uid; level; low; high } in
+  m.next_uid <- m.next_uid + 1;
+  n
+
 let mk m level low high =
   if low == high then low
-  else
-    let key = (level, low.uid, high.uid) in
-    match Hashtbl.find_opt m.unique key with
-    | Some n -> n
-    | None ->
-        let n = { uid = m.next_uid; level; low; high } in
-        m.next_uid <- m.next_uid + 1;
-        Hashtbl.add m.unique key n;
+  else begin
+    let lo = low.uid and hi = high.uid in
+    if uq_packs level lo hi then begin
+      let k = uq_key level lo hi in
+      let mask = Array.length m.uq_key - 1 in
+      let i = ref (slot_of mask k) in
+      while m.uq_key.(!i) <> 0 && m.uq_key.(!i) <> k do
+        i := (!i + 1) land mask
+      done;
+      if m.uq_key.(!i) = k then m.uq_node.(!i)
+      else begin
+        let n = fresh_node m level low high in
+        m.uq_key.(!i) <- k;
+        m.uq_node.(!i) <- n;
+        m.uq_count <- m.uq_count + 1;
+        if 2 * m.uq_count > mask + 1 then grow_unique m;
         n
+      end
+    end
+    else begin
+      (* beyond the packed range: exact spill table, same canonicity *)
+      let key = (level, lo, hi) in
+      match Hashtbl.find_opt m.uq_spill key with
+      | Some n -> n
+      | None ->
+          let n = fresh_node m level low high in
+          Hashtbl.add m.uq_spill key n;
+          n
+    end
+  end
 
 let var m i =
   assert (0 <= i && i < leaf_level);
@@ -64,35 +203,51 @@ let nvar m i =
   assert (0 <= i && i < leaf_level);
   mk m i m.t_true m.t_false
 
-(* Binary apply.  [op] tags the cache entry; [terminal] decides leaves and
-   short-circuits.  Commutative operators normalise the cache key. *)
-let bin m ~op ~commutative ~terminal =
-  let rec go a b =
-    match terminal a b with
-    | Some r -> r
-    | None ->
-        let key =
-          if commutative && a.uid > b.uid then (op, b.uid, a.uid)
-          else (op, a.uid, b.uid)
-        in
-        (match Hashtbl.find_opt m.bin_cache key with
-        | Some r -> r
-        | None ->
-            let lvl = min a.level b.level in
-            let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
-            let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
-            let r = mk m lvl (go a0 b0) (go a1 b1) in
-            Hashtbl.add m.bin_cache key r;
-            r)
-  in
-  go
-
+(* Operation tags for the packed cache.  Binary boolean operators use
+   their own tag with z = 0; [not] and [ite] get dedicated tags. *)
 let op_and = 0
 let op_or = 1
 let op_xor = 2
 let op_imp = 3
 let op_iff = 4
-let op_relprod = 5
+let op_ite = 5
+let op_not = 6
+
+(* Binary apply.  [op] tags the cache entry; [terminal] decides leaves and
+   short-circuits.  Commutative operators normalise the cache key. *)
+let bin m ~op ~commutative ~terminal =
+  let rec compute a b =
+    let lvl = min a.level b.level in
+    let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
+    let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
+    mk m lvl (go a0 b0) (go a1 b1)
+  and go a b =
+    match terminal a b with
+    | Some r -> r
+    | None ->
+        let x, y =
+          if commutative && a.uid > b.uid then (b.uid, a.uid) else (a.uid, b.uid)
+        in
+        if op_packs x y 0 then begin
+          let k = op_key op x y 0 in
+          let i = slot_of m.op_mask k in
+          if m.op_key.(i) = k then m.op_res.(i)
+          else begin
+            let r = compute a b in
+            cache_store m i k r;
+            r
+          end
+        end
+        else begin
+          match Hashtbl.find_opt m.op_spill (op, x, y, 0) with
+          | Some r -> r
+          | None ->
+              let r = compute a b in
+              Hashtbl.replace m.op_spill (op, x, y, 0) r;
+              r
+        end
+  in
+  go
 
 let and_ m a b =
   let terminal a b =
@@ -117,14 +272,30 @@ let or_ m a b =
 let rec not_ m a =
   if is_true a then m.t_false
   else if is_false a then m.t_true
-  else
-    match Hashtbl.find_opt m.not_cache a.uid with
+  else if op_packs a.uid 0 0 then begin
+    let k = op_key op_not a.uid 0 0 in
+    let i = slot_of m.op_mask k in
+    if m.op_key.(i) = k then m.op_res.(i)
+    else begin
+      let r = mk m a.level (not_ m a.low) (not_ m a.high) in
+      cache_store m i k r;
+      (* seed the reverse direction too: ¬r = a *)
+      if op_packs r.uid 0 0 then begin
+        let k' = op_key op_not r.uid 0 0 in
+        cache_store m (slot_of m.op_mask k') k' a
+      end;
+      r
+    end
+  end
+  else begin
+    match Hashtbl.find_opt m.op_spill (op_not, a.uid, 0, 0) with
     | Some r -> r
     | None ->
         let r = mk m a.level (not_ m a.low) (not_ m a.high) in
-        Hashtbl.add m.not_cache a.uid r;
-        Hashtbl.add m.not_cache r.uid a;
+        Hashtbl.replace m.op_spill (op_not, a.uid, 0, 0) r;
+        Hashtbl.replace m.op_spill (op_not, r.uid, 0, 0) a;
         r
+  end
 
 let xor m a b =
   let terminal a b =
@@ -164,19 +335,53 @@ let rec ite m c a b =
   else if a == b then a
   else if is_true a && is_false b then c
   else
-    let key = (c.uid, a.uid, b.uid) in
-    match Hashtbl.find_opt m.ite_cache key with
-    | Some r -> r
-    | None ->
-        let lvl = min c.level (min a.level b.level) in
-        let cof n = if n.level = lvl then (n.low, n.high) else (n, n) in
-        let c0, c1 = cof c and a0, a1 = cof a and b0, b1 = cof b in
-        let r = mk m lvl (ite m c0 a0 b0) (ite m c1 a1 b1) in
-        Hashtbl.add m.ite_cache key r;
+    let compute () =
+      let lvl = min c.level (min a.level b.level) in
+      let cof n = if n.level = lvl then (n.low, n.high) else (n, n) in
+      let c0, c1 = cof c and a0, a1 = cof a and b0, b1 = cof b in
+      mk m lvl (ite m c0 a0 b0) (ite m c1 a1 b1)
+    in
+    if op_packs c.uid a.uid b.uid then begin
+      let k = op_key op_ite c.uid a.uid b.uid in
+      let i = slot_of m.op_mask k in
+      if m.op_key.(i) = k then m.op_res.(i)
+      else begin
+        let r = compute () in
+        cache_store m i k r;
         r
+      end
+    end
+    else begin
+      match Hashtbl.find_opt m.op_spill (op_ite, c.uid, a.uid, b.uid) with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Hashtbl.replace m.op_spill (op_ite, c.uid, a.uid, b.uid) r;
+          r
+    end
 
-let conj m ps = List.fold_left (and_ m) (tru m) ps
-let disj m ps = List.fold_left (or_ m) (fls m) ps
+(* n-ary conjunction/disjunction as balanced-tree folds: pairing operands
+   keeps the intermediate BDDs small compared to a linear [fold_left]
+   (which carries one ever-growing accumulator through the whole list). *)
+let balanced_fold op unit ps =
+  match ps with
+  | [] -> unit
+  | [ p ] -> p
+  | ps ->
+      let a = Array.of_list ps in
+      let n = ref (Array.length a) in
+      while !n > 1 do
+        let k = !n in
+        for i = 0 to (k / 2) - 1 do
+          a.(i) <- op a.(2 * i) a.((2 * i) + 1)
+        done;
+        if k land 1 = 1 then a.(k / 2) <- a.(k - 1);
+        n := (k + 1) / 2
+      done;
+      a.(0)
+
+let conj m ps = balanced_fold (and_ m) (tru m) ps
+let disj m ps = balanced_fold (or_ m) (fls m) ps
 let implies m a b = is_true (imp m a b)
 
 let restrict m root i polarity =
@@ -239,10 +444,7 @@ let and_exists m vars a b =
       match vs with
       | [] -> and_ m a b
       | v :: rest -> (
-          let key =
-            if a.uid > b.uid then (op_relprod, b.uid, a.uid)
-            else (op_relprod, a.uid, b.uid)
-          in
+          let key = if a.uid > b.uid then (b.uid, a.uid) else (a.uid, b.uid) in
           match Hashtbl.find_opt memo key with
           | Some r -> r
           | None ->
@@ -285,7 +487,22 @@ let support _m root =
   go root;
   Hashtbl.fold (fun l () acc -> l :: acc) levels [] |> List.sort compare
 
-let depends_on m root i = List.mem i (support m root)
+(* Early-exit dependence test: stop at the first node on level [i]; prune
+   subtrees rooted strictly below [i] (levels only grow downward), and
+   never materialise the support list. *)
+exception Found
+
+let depends_on _m root i =
+  let seen = Hashtbl.create 64 in
+  let rec go n =
+    if n.level = i then raise Found
+    else if n.level < i && not (Hashtbl.mem seen n.uid) then begin
+      Hashtbl.add seen n.uid ();
+      go n.low;
+      go n.high
+    end
+  in
+  match go root with () -> false | exception Found -> true
 
 let size _m root =
   let seen = Hashtbl.create 256 in
@@ -353,11 +570,11 @@ let iter_sat _m ~vars root f =
   in
   go vars root
 
-let live_count m = Hashtbl.length m.unique + 2
+let live_count m = m.uq_count + Hashtbl.length m.uq_spill + 2
 
 let gc m ~roots =
   clear_caches m;
-  let keep = Hashtbl.create (Hashtbl.length m.unique) in
+  let keep = Hashtbl.create (max 16 m.uq_count) in
   let rec mark n =
     if (not (is_leaf n)) && not (Hashtbl.mem keep n.uid) then begin
       Hashtbl.add keep n.uid n;
@@ -366,8 +583,22 @@ let gc m ~roots =
     end
   in
   List.iter mark roots;
-  Hashtbl.reset m.unique;
-  Hashtbl.iter (fun _ n -> Hashtbl.add m.unique (n.level, n.low.uid, n.high.uid) n) keep
+  let count = Hashtbl.length keep in
+  let slots = pow2_at_least (max 16 (4 * count)) 16 in
+  let mask = slots - 1 in
+  m.uq_key <- Array.make slots 0;
+  m.uq_node <- Array.make slots m.t_false;
+  m.uq_count <- 0;
+  Hashtbl.reset m.uq_spill;
+  Hashtbl.iter
+    (fun _ n ->
+      let lo = n.low.uid and hi = n.high.uid in
+      if uq_packs n.level lo hi then begin
+        uq_place m.uq_key m.uq_node mask (uq_key n.level lo hi) n;
+        m.uq_count <- m.uq_count + 1
+      end
+      else Hashtbl.add m.uq_spill (n.level, lo, hi) n)
+    keep
 
 let rec eval n valuation =
   if is_true n then true

@@ -13,19 +13,29 @@
     nearer the root. *)
 
 type manager
-(** Mutable node store: unique table plus operation caches. *)
+(** Mutable node store: the exact hash-consing unique table plus a packed
+    direct-mapped operation cache (CUDD-style).  Both tables pack each
+    entry's key into one native int stored beside its payload, so probes
+    are a single compare and allocate nothing; both start small and grow
+    on demand.  The op-cache is lossy — an entry overwritten on collision
+    only costs a recomputation, never correctness — while the unique
+    table is exact at any size (keys beyond the packed range spill into
+    an exact hash table). *)
 
 type t
 (** A BDD node.  Canonical: two nodes of the same manager denote the same
     Boolean function iff they are physically equal. *)
 
 val create : ?unique_size:int -> ?cache_size:int -> unit -> manager
-(** Fresh manager.  [unique_size] and [cache_size] are initial hash-table
-    capacities (they grow as needed). *)
+(** Fresh manager.  [unique_size] is the initial capacity of the unique
+    table (it grows as needed); [cache_size] is the {e maximum} slot count
+    of the direct-mapped operation cache, rounded up to a power of two.
+    The cache starts tiny and grows on demand, so creating a manager is
+    cheap even with a large [cache_size]. *)
 
 val clear_caches : manager -> unit
-(** Drop all operation caches (the unique table is kept, so existing nodes
-    stay valid).  Useful between unrelated fixpoint computations. *)
+(** Empty the operation cache (the unique table is kept, so existing
+    nodes stay valid).  Useful between unrelated fixpoint computations. *)
 
 val tru : manager -> t
 (** The constant-true predicate. *)
@@ -59,10 +69,11 @@ val ite : manager -> t -> t -> t -> t
 (** [ite m c a b] is the pointwise "if [c] then [a] else [b]". *)
 
 val conj : manager -> t list -> t
-(** n-ary conjunction ([tru] on the empty list). *)
+(** n-ary conjunction ([tru] on the empty list), combined as a balanced
+    tree so intermediate BDDs stay small. *)
 
 val disj : manager -> t list -> t
-(** n-ary disjunction ([fls] on the empty list). *)
+(** n-ary disjunction ([fls] on the empty list), balanced like {!conj}. *)
 
 val implies : manager -> t -> t -> bool
 (** The everywhere operator applied to an implication: [[p ⇒ q]]. *)

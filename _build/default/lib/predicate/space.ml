@@ -10,14 +10,48 @@ type var = {
 
 type state = int array
 
+(* Everything the symbolic engine asks for repeatedly — the domain
+   predicate, the identity (frame) relation, the flattened bit lists, the
+   per-variable bit-vectors and the quantification data used by [wcyl] —
+   is a pure function of the declared variables, so it is memoised here
+   and invalidated (or generation-stamped) when a new variable is
+   declared.  Fixpoint loops then pay for each of these once instead of
+   once per iteration. *)
 type t = {
   man : Bdd.manager;
   mutable decls : var list; (* reversed *)
   mutable nslots : int;
   byname : (string, var) Hashtbl.t;
+  mutable gen : int; (* bumped on each declaration *)
+  mutable c_domain : Bdd.t option;
+  mutable c_domain_next : Bdd.t option;
+  mutable c_identity : Bdd.t option;
+  mutable c_cur_bits : int list option;
+  mutable c_next_bits : int list option;
+  vec_tbl : (int, Bitvec.t * Bitvec.t) Hashtbl.t; (* vidx → cur, next vectors *)
+  quant_tbl : (int list, int list * Bdd.t) Hashtbl.t;
+      (* sorted vidx list → current bits, local-domain predicate *)
+  compl_tbl : (int list, int * var list) Hashtbl.t;
+      (* sorted vidx list → generation it was computed at, complement *)
 }
 
-let create () = { man = Bdd.create (); decls = []; nslots = 0; byname = Hashtbl.create 16 }
+let create () =
+  {
+    man = Bdd.create ();
+    decls = [];
+    nslots = 0;
+    byname = Hashtbl.create 16;
+    gen = 0;
+    c_domain = None;
+    c_domain_next = None;
+    c_identity = None;
+    c_cur_bits = None;
+    c_next_bits = None;
+    vec_tbl = Hashtbl.create 16;
+    quant_tbl = Hashtbl.create 16;
+    compl_tbl = Hashtbl.create 16;
+  }
+
 let manager sp = sp.man
 
 let bits_for card =
@@ -41,6 +75,15 @@ let declare sp name typ =
   sp.nslots <- sp.nslots + v.vwidth;
   sp.decls <- v :: sp.decls;
   Hashtbl.add sp.byname name v;
+  (* invalidate whole-space caches; per-variable-set entries stay valid
+     (their value does not depend on the other variables) except the
+     complements, which are generation-checked on lookup *)
+  sp.gen <- sp.gen + 1;
+  sp.c_domain <- None;
+  sp.c_domain_next <- None;
+  sp.c_identity <- None;
+  sp.c_cur_bits <- None;
+  sp.c_next_bits <- None;
   v
 
 let bool_var sp name = declare sp name Tbool
@@ -65,34 +108,121 @@ let value_name v k =
 
 let current_bits v = List.init v.vwidth (fun k -> 2 * (v.voffset + k))
 let next_bits v = List.init v.vwidth (fun k -> (2 * (v.voffset + k)) + 1)
-let all_current_bits sp = List.concat_map current_bits (vars sp)
-let all_next_bits sp = List.concat_map next_bits (vars sp)
 
-let cur_vec sp v =
-  Bitvec.of_bits (Array.init v.vwidth (fun k -> Bdd.var sp.man (2 * (v.voffset + k))))
+let all_current_bits sp =
+  match sp.c_cur_bits with
+  | Some bs -> bs
+  | None ->
+      let bs = List.concat_map current_bits (vars sp) in
+      sp.c_cur_bits <- Some bs;
+      bs
 
-let next_vec sp v =
-  Bitvec.of_bits
-    (Array.init v.vwidth (fun k -> Bdd.var sp.man ((2 * (v.voffset + k)) + 1)))
+let all_next_bits sp =
+  match sp.c_next_bits with
+  | Some bs -> bs
+  | None ->
+      let bs = List.concat_map next_bits (vars sp) in
+      sp.c_next_bits <- Some bs;
+      bs
 
+let vecs sp v =
+  match Hashtbl.find_opt sp.vec_tbl v.vidx with
+  | Some vecs -> vecs
+  | None ->
+      let cur =
+        Bitvec.of_bits (Array.init v.vwidth (fun k -> Bdd.var sp.man (2 * (v.voffset + k))))
+      in
+      let nxt =
+        Bitvec.of_bits
+          (Array.init v.vwidth (fun k -> Bdd.var sp.man ((2 * (v.voffset + k)) + 1)))
+      in
+      Hashtbl.add sp.vec_tbl v.vidx (cur, nxt);
+      (cur, nxt)
+
+let cur_vec sp v = fst (vecs sp v)
+let next_vec sp v = snd (vecs sp v)
 let to_next sp p = Bdd.rename sp.man (fun b -> b + 1) p
 let to_current sp p = Bdd.rename sp.man (fun b -> b - 1) p
 
 let range_constraint sp vec v = Bitvec.le sp.man vec (Bitvec.const sp.man ~width:v.vwidth (card v - 1))
 
 let domain sp =
-  List.fold_left
-    (fun acc v ->
-      if card v = 1 lsl v.vwidth then acc
-      else Bdd.and_ sp.man acc (range_constraint sp (cur_vec sp v) v))
-    (Bdd.tru sp.man) (vars sp)
+  match sp.c_domain with
+  | Some d -> d
+  | None ->
+      let d =
+        Bdd.conj sp.man
+          (List.filter_map
+             (fun v ->
+               if card v = 1 lsl v.vwidth then None
+               else Some (range_constraint sp (cur_vec sp v) v))
+             (vars sp))
+      in
+      sp.c_domain <- Some d;
+      d
 
 let domain_next sp =
-  List.fold_left
-    (fun acc v ->
-      if card v = 1 lsl v.vwidth then acc
-      else Bdd.and_ sp.man acc (range_constraint sp (next_vec sp v) v))
-    (Bdd.tru sp.man) (vars sp)
+  match sp.c_domain_next with
+  | Some d -> d
+  | None ->
+      let d =
+        Bdd.conj sp.man
+          (List.filter_map
+             (fun v ->
+               if card v = 1 lsl v.vwidth then None
+               else Some (range_constraint sp (next_vec sp v) v))
+             (vars sp))
+      in
+      sp.c_domain_next <- Some d;
+      d
+
+(* The identity transition relation: every next-bit copy equals its
+   current-bit copy.  Shared by every statement's skip branch. *)
+let identity sp =
+  match sp.c_identity with
+  | Some i -> i
+  | None ->
+      let i =
+        Bdd.conj sp.man
+          (List.map (fun v -> Bitvec.eq sp.man (next_vec sp v) (cur_vec sp v)) (vars sp))
+      in
+      sp.c_identity <- Some i;
+      i
+
+let varset_key vs = List.sort_uniq compare (List.map (fun v -> v.vidx) vs)
+
+(* Quantification data for a variable set: its flattened current bits and
+   the range constraints of exactly those variables ([local domain] — the
+   relativisation that keeps ∀/∃ ranging over type-correct values only).
+   Both depend only on the variables themselves, so entries survive later
+   declarations. *)
+let quant_data sp vs =
+  let key = varset_key vs in
+  match Hashtbl.find_opt sp.quant_tbl key with
+  | Some data -> data
+  | None ->
+      let bits = List.concat_map current_bits vs in
+      let local =
+        Bdd.conj sp.man
+          (List.filter_map
+             (fun v ->
+               if card v = 1 lsl v.vwidth then None
+               else Some (range_constraint sp (cur_vec sp v) v))
+             vs)
+      in
+      Hashtbl.add sp.quant_tbl key (bits, local);
+      (bits, local)
+
+let complement sp vs =
+  let key = varset_key vs in
+  match Hashtbl.find_opt sp.compl_tbl key with
+  | Some (g, res) when g = sp.gen -> res
+  | _ ->
+      let res =
+        List.filter (fun v -> not (List.exists (fun u -> u.vidx = v.vidx) vs)) (vars sp)
+      in
+      Hashtbl.replace sp.compl_tbl key (sp.gen, res);
+      res
 
 let state_count sp = List.fold_left (fun acc v -> acc * card v) 1 (vars sp)
 

@@ -71,9 +71,26 @@ val to_current : t -> Bdd.t -> Bdd.t
 
 val domain : t -> Bdd.t
 (** Current-bit predicate: every variable is within its range (only
-    non-power-of-two cardinalities contribute). *)
+    non-power-of-two cardinalities contribute).  Cached; invalidated by
+    later declarations. *)
 
 val domain_next : t -> Bdd.t
+
+val identity : t -> Bdd.t
+(** The identity transition relation [⋀ v :: v' = v] over current × next
+    bits — the skip branch of every guarded statement.  Cached; later
+    declarations invalidate it. *)
+
+val quant_data : t -> var list -> int list * Bdd.t
+(** Quantification data for a set of program variables: their flattened
+    current bits and the conjunction of their range constraints (the
+    "local domain" that keeps quantification over type-correct values).
+    Memoised per variable set — the hot path of [wcyl]/[K_i]. *)
+
+val complement : t -> var list -> var list
+(** The paper's [V̄]: all variables of the space not in the given list, in
+    declaration order.  Memoised per variable set (and recomputed if new
+    variables have been declared since). *)
 
 val state_count : t -> int
 (** Cardinality of the state space (product of variable cardinalities). *)

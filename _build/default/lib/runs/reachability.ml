@@ -14,15 +14,19 @@ let reachable prog =
   let seen = Hashtbl.create 1024 in
   let queue = Queue.create () in
   let push st =
-    if not (Hashtbl.mem seen (code st)) then begin
-      Hashtbl.add seen (code st) (Array.copy st);
-      Queue.add (Array.copy st) queue
+    let c = code st in
+    if not (Hashtbl.mem seen c) then begin
+      (* one copy, shared by the table and the queue — neither mutates it *)
+      let copy = Array.copy st in
+      Hashtbl.add seen c copy;
+      Queue.add copy queue
     end
   in
   List.iter push (Space.states_of space (Program.init prog));
+  let stmts = Program.statements prog in
   while not (Queue.is_empty queue) do
     let st = Queue.pop queue in
-    List.iter (fun s -> push (Stmt.exec space s st)) (Program.statements prog)
+    List.iter (fun s -> push (Stmt.exec space s st)) stmts
   done;
   Hashtbl.fold (fun _ st acc -> st :: acc) seen []
 

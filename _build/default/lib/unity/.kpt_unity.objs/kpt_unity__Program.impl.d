@@ -1,1 +1,1 @@
-lib/unity/program.ml: Bdd Expr Format Kpt_predicate List Pred Process Space Stmt
+lib/unity/program.ml: Array Bdd Expr Format Kpt_predicate List Pred Process Space Stmt

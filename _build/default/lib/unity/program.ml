@@ -7,6 +7,7 @@ type t = {
   statements : Stmt.t list;
   processes : Process.t list;
   mutable cached_si : Bdd.t option;
+  mutable cached_rels : Bdd.t array option;
 }
 
 exception Ill_formed of string
@@ -31,7 +32,7 @@ let validate space name init statements =
 let make_with_init_pred space ~name ~init ?(processes = []) statements =
   let init = Pred.normalize space init in
   validate space name init statements;
-  { space; name; init; statements; processes; cached_si = None }
+  { space; name; init; statements; processes; cached_si = None; cached_rels = None }
 
 let make space ~name ~init ?processes statements =
   make_with_init_pred space ~name ~init:(Expr.compile_bool space init) ?processes statements
@@ -43,20 +44,48 @@ let statements p = p.statements
 let processes p = p.processes
 let find_process p pname = List.find (fun pr -> Process.name pr = pname) p.processes
 
+(* Per-statement transition relations, compiled once per program.  The
+   statements memoise their own relations too ({!Stmt.trans}), so this
+   array shares nodes with any other user of the same statements; it only
+   skips the per-call list traversal and cache probing. *)
+let relations p =
+  match p.cached_rels with
+  | Some rels -> rels
+  | None ->
+      let rels = Array.of_list (List.map (Stmt.trans p.space) p.statements) in
+      p.cached_rels <- Some rels;
+      rels
+
 let sp_pred p pred =
   let m = Space.manager p.space in
-  List.fold_left (fun acc s -> Bdd.or_ m acc (Stmt.sp p.space s pred)) (Bdd.fls m) p.statements
+  let cur = Space.all_current_bits p.space in
+  let constrained = Bdd.and_ m pred (Space.domain p.space) in
+  let images =
+    Array.fold_left
+      (fun acc rel -> Space.to_current p.space (Bdd.and_exists m cur constrained rel) :: acc)
+      [] (relations p)
+  in
+  Bdd.disj m images
 
 let stable p pred = Pred.holds_implies p.space (sp_pred p pred) pred
 
+(* Frontier (delta) iteration for the Knaster–Tarski fixpoint of eq. 3:
+   because SP is an exact image it distributes over disjunction, so each
+   round only needs the image of the {e newly added} states
+   [frontier = x' ∧ ¬x] rather than of the whole accumulated set.  The
+   result is the same least fixpoint (and, by canonicity, the same BDD)
+   as the full-set Kleene iteration [x' = p ∨ x ∨ SP.x]. *)
 let sst p pred =
   let m = Space.manager p.space in
   let pred = Pred.normalize p.space pred in
-  let rec go x =
-    let x' = Bdd.or_ m pred (Bdd.or_ m x (sp_pred p x)) in
-    if Bdd.equal x x' then x else go x'
+  let rec go x frontier =
+    if Bdd.is_false frontier then x
+    else
+      let image = sp_pred p frontier in
+      let fresh = Bdd.and_ m image (Bdd.not_ m x) in
+      go (Bdd.or_ m x fresh) fresh
   in
-  go (Bdd.fls m)
+  go pred pred
 
 let si p =
   match p.cached_si with

@@ -46,7 +46,10 @@ val stable : t -> Bdd.t -> bool
 val sst : t -> Bdd.t -> Bdd.t
 (** Strongest stable predicate weaker than [p] (eq. 1), computed by the
     Knaster–Tarski iteration of eq. 3: [(∃i :: fⁱ.false)] for
-    [f.x = SP.x ∨ p].  Exact on finite spaces. *)
+    [f.x = SP.x ∨ p].  Exact on finite spaces.  Implemented as a frontier
+    (delta) iteration — each round images only the states added by the
+    previous round — which reaches the same least fixpoint (and, BDDs
+    being canonical, the identical predicate). *)
 
 val si : t -> Bdd.t
 (** Strongest invariant [sst.init] — the reachable states (cached). *)

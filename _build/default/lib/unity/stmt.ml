@@ -2,13 +2,42 @@ open Kpt_predicate
 
 type guard = Gexpr of Expr.t | Gpred of Bdd.t
 
-type t = { sname : string; guard : guard; assigns : (Space.var * Expr.t) list }
+(* Compiled-relation caches.  Each entry is keyed on the space it was
+   compiled for (physical identity) so a statement reused against another
+   space recompiles transparently.
+
+   The [shared] part holds guard-independent data (the update ∧ frame
+   relation and the range-overflow set of the assignments);
+   [with_guard_pred] keeps it physically shared, so re-instantiating a
+   knowledge-based protocol at a new candidate invariant — same
+   assignments, new guard — reuses the compiled assignment relation
+   across every Ĝ-iteration. *)
+type shared_cache = {
+  mutable s_update_frame : (Space.t * Bdd.t) option;
+  mutable s_over : (Space.t * Bdd.t) option;
+}
+
+type cache = {
+  shared : shared_cache;
+  mutable c_guard : (Space.t * Bdd.t) option;
+  mutable c_trans : (Space.t * Bdd.t) option;
+}
+
+type t = {
+  sname : string;
+  guard : guard;
+  assigns : (Space.var * Expr.t) list;
+  cache : cache;
+}
 
 exception Ill_formed of string
 
 let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
 
 let target_ty v = if Space.card v = 2 && Space.value_name v 0 = "false" then Expr.Tbool else Expr.Tnat
+
+let fresh_cache () =
+  { shared = { s_update_frame = None; s_over = None }; c_guard = None; c_trans = None }
 
 let make ~name ?(guard = Expr.tru) assigns =
   (match Expr.typeof guard with
@@ -23,9 +52,12 @@ let make ~name ?(guard = Expr.tru) assigns =
       if Expr.typeof rhs <> target_ty v then
         ill_formed "statement %s: sort mismatch assigning to %s" name (Space.name v))
     assigns;
-  { sname = name; guard = Gexpr guard; assigns }
+  { sname = name; guard = Gexpr guard; assigns; cache = fresh_cache () }
 
-let with_guard_pred s p = { s with guard = Gpred p }
+(* Keep the guard-independent shared cache; drop the guard-dependent
+   entries of the new statement. *)
+let with_guard_pred s p =
+  { s with guard = Gpred p; cache = { shared = s.cache.shared; c_guard = None; c_trans = None } }
 
 let array_write arr ~index rhs =
   Array.to_list
@@ -35,8 +67,21 @@ let array_write arr ~index rhs =
 
 let name s = s.sname
 
+let cached slot space compute store =
+  match slot with
+  | Some (sp', r) when sp' == space -> r
+  | _ ->
+      let r = compute () in
+      store (Some (space, r));
+      r
+
 let guard_pred sp s =
-  match s.guard with Gexpr e -> Expr.compile_bool sp e | Gpred p -> p
+  match s.guard with
+  | Gpred p -> p
+  | Gexpr e ->
+      cached s.cache.c_guard sp
+        (fun () -> Expr.compile_bool sp e)
+        (fun v -> s.cache.c_guard <- v)
 
 let assigned_vars s = List.map fst s.assigns
 
@@ -46,51 +91,62 @@ let rhs_vec sp rhs =
   | Expr.Sint vec -> vec
   | Expr.Sbool b -> Bitvec.of_bits [| b |]
 
+(* Guard-independent overflow set: states where some right-hand side falls
+   outside its target's range. *)
+let over_pred sp s =
+  cached s.cache.shared.s_over sp
+    (fun () ->
+      let m = Space.manager sp in
+      Bdd.disj m
+        (List.map
+           (fun (v, rhs) ->
+             let vec = rhs_vec sp rhs in
+             let bound =
+               Bitvec.const m
+                 ~width:(max (Bitvec.width vec) (Space.width v))
+                 (Space.card v - 1)
+             in
+             Bdd.not_ m (Bitvec.le m vec bound))
+           s.assigns))
+    (fun v -> s.cache.shared.s_over <- v)
+
 let totality_violation sp s =
   let m = Space.manager sp in
-  let g = guard_pred sp s in
-  let bad =
-    List.fold_left
-      (fun acc (v, rhs) ->
-        let vec = rhs_vec sp rhs in
-        let bound =
-          Bitvec.const m
-            ~width:(max (Bitvec.width vec) (Space.width v))
-            (Space.card v - 1)
-        in
-        let over = Bdd.not_ m (Bitvec.le m vec bound) in
-        Bdd.or_ m acc over)
-      (Bdd.fls m) s.assigns
-  in
-  Bdd.conj m [ Space.domain sp; g; bad ]
+  Bdd.conj m [ Space.domain sp; guard_pred sp s; over_pred sp s ]
 
-let identity sp =
-  let m = Space.manager sp in
-  List.fold_left
-    (fun acc v -> Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
-    (Bdd.tru m) (Space.vars sp)
+let identity sp = Space.identity sp
+
+(* Guard-independent part of the transition relation: the simultaneous
+   update of the assigned variables conjoined with the frame equalities of
+   the untouched ones. *)
+let update_frame sp s =
+  cached s.cache.shared.s_update_frame sp
+    (fun () ->
+      let m = Space.manager sp in
+      let assigned = assigned_vars s in
+      let is_assigned v = List.exists (fun u -> Space.idx u = Space.idx v) assigned in
+      let update =
+        List.map (fun (v, rhs) -> Bitvec.eq m (Space.next_vec sp v) (rhs_vec sp rhs)) s.assigns
+      in
+      let frame =
+        List.filter_map
+          (fun v ->
+            if is_assigned v then None
+            else Some (Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
+          (Space.vars sp)
+      in
+      Bdd.conj m (update @ frame))
+    (fun v -> s.cache.shared.s_update_frame <- v)
 
 let trans sp s =
-  let m = Space.manager sp in
-  let g = guard_pred sp s in
-  let assigned = assigned_vars s in
-  let is_assigned v = List.exists (fun u -> Space.idx u = Space.idx v) assigned in
-  let update =
-    List.fold_left
-      (fun acc (v, rhs) ->
-        Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (rhs_vec sp rhs)))
-      (Bdd.tru m) s.assigns
-  in
-  let frame =
-    List.fold_left
-      (fun acc v ->
-        if is_assigned v then acc
-        else Bdd.and_ m acc (Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
-      (Bdd.tru m) (Space.vars sp)
-  in
-  Bdd.or_ m
-    (Bdd.conj m [ g; update; frame ])
-    (Bdd.and_ m (Bdd.not_ m g) (identity sp))
+  cached s.cache.c_trans sp
+    (fun () ->
+      let m = Space.manager sp in
+      let g = guard_pred sp s in
+      Bdd.or_ m
+        (Bdd.and_ m g (update_frame sp s))
+        (Bdd.and_ m (Bdd.not_ m g) (identity sp)))
+    (fun v -> s.cache.c_trans <- v)
 
 let sp_post space s p =
   let m = Space.manager space in

@@ -15,10 +15,20 @@ open Kpt_predicate
 
 type guard = Gexpr of Expr.t | Gpred of Bdd.t
 
+type cache
+(** Memoised compiled relations (guard, update ∧ frame, overflow set,
+    transition), keyed on the space they were compiled for.  The
+    guard-independent part is shared across {!with_guard_pred} copies, so
+    re-instantiating a knowledge-based protocol at a new candidate
+    invariant recompiles only the guards.  Cached BDDs count as retained
+    handles for {!Bdd.gc}: root them (e.g. via {!trans}) or rebuild the
+    statements after a collection. *)
+
 type t = private {
   sname : string;
   guard : guard;
   assigns : (Space.var * Expr.t) list;
+  cache : cache;
 }
 
 exception Ill_formed of string
@@ -50,7 +60,8 @@ val totality_violation : Space.t -> t -> Bdd.t
 val trans : Space.t -> t -> Bdd.t
 (** Transition relation over current × next bits:
     [(g ∧ ⋀ v' = E_v ∧ frame) ∨ (¬g ∧ identity)].  Deterministic and total
-    on the domain (given no totality violation). *)
+    on the domain (given no totality violation).  Memoised per statement,
+    so fixpoint loops compile each relation once. *)
 
 val sp : Space.t -> t -> Bdd.t -> Bdd.t
 (** Strongest postcondition of one statement ([sp.s.p], eq. 26's

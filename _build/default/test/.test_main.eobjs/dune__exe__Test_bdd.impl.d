@@ -1,1 +1,1 @@
-test/test_bdd.ml: Alcotest Bdd Helpers Kpt_predicate List Random
+test/test_bdd.ml: Alcotest Bdd Helpers Kpt_predicate List Printf Random

@@ -1,1 +1,1 @@
-test/test_kbp.ml: Alcotest Array Bdd Expr Format Kbp Kform Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Pred Process Program Props Space Stmt String
+test/test_kbp.ml: Alcotest Array Bdd Expr Format Hashtbl Helpers Kbp Kform Kpt_core Kpt_logic Kpt_predicate Kpt_unity List Pred Process Program Props Space Stmt String

@@ -231,6 +231,76 @@ let test_gc_empty_roots () =
   let p = Bdd.or_ m (Bdd.var m 2) (Bdd.nvar m 3) in
   Alcotest.(check bool) "rebuild works" false (Bdd.is_false p)
 
+(* The packed direct-mapped op-cache overwrites slots on collision; a
+   2-slot manager forces collisions on essentially every operation, so any
+   stale-hit bug (a lossy slot returned for the wrong operands) shows up as
+   a truth-table mismatch against a comfortably-sized manager. *)
+let test_opcache_collisions () =
+  let tiny = Bdd.create ~cache_size:2 () in
+  let big = Bdd.create () in
+  let st1 = Helpers.rng () and st2 = Helpers.rng () in
+  for _ = 1 to 60 do
+    let p_tiny = Helpers.random_formula st1 tiny ~nvars:6 ~depth:6 in
+    let p_big = Helpers.random_formula st2 big ~nvars:6 ~depth:6 in
+    Alcotest.(check (list int))
+      "tiny cache agrees with default cache"
+      (Helpers.truth_table p_big ~nvars:6)
+      (Helpers.truth_table p_tiny ~nvars:6)
+  done;
+  (* ite under collisions too *)
+  for _ = 1 to 30 do
+    let f m st =
+      let c = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+      let a = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+      let b = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+      Helpers.truth_table (Bdd.ite m c a b) ~nvars:5
+    in
+    Alcotest.(check (list int)) "ite under collisions" (f big st2) (f tiny st1)
+  done
+
+let test_opcache_clear_midstream () =
+  let m = Bdd.create ~cache_size:4 () in
+  let st = Helpers.rng () in
+  for _ = 1 to 20 do
+    let p = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let q = Helpers.random_formula st m ~nvars:5 ~depth:4 in
+    let before = Bdd.and_ m p q in
+    Bdd.clear_caches m;
+    (* clearing the lossy cache must not change results, and hash-consing
+       must still find the very same node *)
+    let after = Bdd.and_ m p q in
+    Alcotest.(check bool) "same node after clear_caches" true (Bdd.equal before after)
+  done
+
+let test_balanced_folds () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 40 do
+    let n = 1 + Random.State.int st 9 in
+    let ps = List.init n (fun _ -> Helpers.random_formula st m ~nvars:6 ~depth:3) in
+    let linear_and = List.fold_left (Bdd.and_ m) (Bdd.tru m) ps in
+    let linear_or = List.fold_left (Bdd.or_ m) (Bdd.fls m) ps in
+    Alcotest.(check bool) "conj = linear and-fold" true
+      (Bdd.equal (Bdd.conj m ps) linear_and);
+    Alcotest.(check bool) "disj = linear or-fold" true
+      (Bdd.equal (Bdd.disj m ps) linear_or)
+  done;
+  Alcotest.(check bool) "empty conj" true (Bdd.is_true (Bdd.conj m []));
+  Alcotest.(check bool) "empty disj" true (Bdd.is_false (Bdd.disj m []))
+
+let test_depends_on_support () =
+  let m = m () in
+  let st = Helpers.rng () in
+  for _ = 1 to 60 do
+    let p = Helpers.random_formula st m ~nvars:6 ~depth:5 in
+    let sup = Bdd.support m p in
+    for v = 0 to 6 do
+      Alcotest.(check bool)
+        (Printf.sprintf "depends_on %d = support membership" v)
+        (List.mem v sup) (Bdd.depends_on m p v)
+    done
+  done
+
 let suite =
   [
     Alcotest.test_case "constants" `Quick test_constants;
@@ -254,4 +324,8 @@ let suite =
     Alcotest.test_case "size and caches" `Quick test_size_caches;
     Alcotest.test_case "garbage collection" `Quick test_gc;
     Alcotest.test_case "gc with no roots" `Quick test_gc_empty_roots;
+    Alcotest.test_case "op-cache under forced collisions" `Quick test_opcache_collisions;
+    Alcotest.test_case "op-cache clear mid-stream" `Quick test_opcache_clear_midstream;
+    Alcotest.test_case "balanced conj/disj folds" `Quick test_balanced_folds;
+    Alcotest.test_case "depends_on vs support" `Quick test_depends_on_support;
   ]

@@ -203,6 +203,121 @@ let test_pp_smoke () =
   let s = Format.asprintf "%a" Kbp.pp kbp in
   Alcotest.(check bool) "pp nonempty" true (String.length s > 40)
 
+(* ---- equivalence of the cached Kbp internals against naive rebuilds ---- *)
+
+(* Reference instantiation built from the public kstmt syntax with no
+   shared statement caches: every statement is made from scratch. *)
+let naive_instantiate kbp ~si =
+  let sp = Kbp.space kbp in
+  let lookup pname = List.find (fun p -> Process.name p = pname) (Kbp.processes kbp) in
+  let stmts =
+    List.map
+      (fun (s : Kbp.kstmt) ->
+        let g = Kform.compile sp ~lookup ~si s.kguard in
+        Stmt.with_guard_pred (Stmt.make ~name:s.kname s.kassigns) g)
+      (Kbp.kstmts kbp)
+  in
+  Program.make_with_init_pred sp ~name:(Kbp.name kbp) ~init:(Kbp.init kbp)
+    ~processes:(Kbp.processes kbp) stmts
+
+let naive_g kbp x = Pred.normalize (Kbp.space kbp) (Program.si (naive_instantiate kbp ~si:x))
+
+let example_kbps () =
+  [
+    snd (figure1 ());
+    (let _, _, _, _, k = figure2 (fun ~x:_ ~y -> Expr.(not_ (var y))) in
+     k);
+    (let _, _, _, _, k = figure2 (fun ~x ~y -> Expr.(not_ (var y) &&& var x)) in
+     k);
+  ]
+
+let test_g_operator_naive_equiv () =
+  List.iter
+    (fun kbp ->
+      let sp = Kbp.space kbp in
+      let st = Helpers.rng () in
+      for _ = 1 to 12 do
+        let x = Pred.random st sp in
+        let opt = try Ok (Kbp.g_operator kbp x) with Program.Ill_formed _ -> Error () in
+        let ref_ = try Ok (naive_g kbp x) with Program.Ill_formed _ -> Error () in
+        match (opt, ref_) with
+        | Ok g1, Ok g2 ->
+            Alcotest.(check bool) "Ĝ = naive Ĝ" true (Bdd.equal g1 g2)
+        | Error (), Error () -> ()
+        | _ -> Alcotest.fail "Ĝ and naive Ĝ disagree on instantiation failure"
+      done)
+    (example_kbps ())
+
+let naive_iterate ?(max_steps = 10_000) kbp =
+  let sp = Kbp.space kbp in
+  let seen = Hashtbl.create 64 in
+  let rec go x steps trail =
+    if steps > max_steps then invalid_arg "naive_iterate";
+    let x' = naive_g kbp x in
+    if Bdd.equal x' x then Kbp.Converged (x, steps)
+    else if Hashtbl.mem seen (Bdd.uid x') then
+      let rec upto acc = function
+        | [] -> acc
+        | y :: rest -> if Bdd.equal y x' then y :: acc else upto (y :: acc) rest
+      in
+      Kbp.Cycle (upto [] trail)
+    else begin
+      Hashtbl.add seen (Bdd.uid x') ();
+      go x' (steps + 1) (x' :: trail)
+    end
+  in
+  let x0 = Pred.normalize sp (Kbp.init kbp) in
+  Hashtbl.add seen (Bdd.uid x0) ();
+  go x0 0 [ x0 ]
+
+let test_iterate_naive_equiv () =
+  List.iter
+    (fun kbp ->
+      let same =
+        match (Kbp.iterate kbp, naive_iterate kbp) with
+        | Kbp.Converged (x, n), Kbp.Converged (y, k) -> n = k && Bdd.equal x y
+        | Kbp.Cycle xs, Kbp.Cycle ys ->
+            List.length xs = List.length ys && List.for_all2 Bdd.equal xs ys
+        | _ -> false
+      in
+      Alcotest.(check bool) "iterate = naive iterate" true same)
+    (example_kbps ())
+
+(* Brute-force all candidate invariants over the whole (small) space: the
+   fixpoints of the naive Ĝ must be exactly Kbp.solutions. *)
+let brute_solutions kbp =
+  let sp = Kbp.space kbp in
+  let m = Space.manager sp in
+  let all = ref [] in
+  Space.iter_states sp (fun st -> all := Array.copy st :: !all);
+  let states = Array.of_list !all in
+  let n = Array.length states in
+  let found = ref [] in
+  for mask = 0 to (1 lsl n) - 1 do
+    let x = ref (Bdd.fls m) in
+    for b = 0 to n - 1 do
+      if (mask lsr b) land 1 = 1 then x := Bdd.or_ m !x (Space.pred_of_state sp states.(b))
+    done;
+    let candidate = Pred.normalize sp !x in
+    match naive_g kbp candidate with
+    | gx -> if Bdd.equal gx candidate then found := candidate :: !found
+    | exception Program.Ill_formed _ -> ()
+  done;
+  List.sort_uniq (fun a b -> compare (Bdd.uid a) (Bdd.uid b)) !found
+
+let test_solutions_naive_equiv () =
+  List.iter
+    (fun kbp ->
+      let sols = Kbp.solutions kbp in
+      let brute = brute_solutions kbp in
+      Alcotest.(check int) "same number of solutions" (List.length brute) (List.length sols);
+      List.iter
+        (fun s ->
+          Alcotest.(check bool) "solution found by brute force" true
+            (List.exists (Bdd.equal s) brute))
+        sols)
+    (example_kbps ())
+
 let suite =
   [
     Alcotest.test_case "make validation" `Quick test_make_validation;
@@ -217,5 +332,8 @@ let suite =
     Alcotest.test_case "standard KBP = standard program" `Quick
       test_standard_kbp_agrees_with_program;
     Alcotest.test_case "instantiation of guards" `Quick test_instantiate_guards;
+    Alcotest.test_case "Ĝ = naive Ĝ" `Quick test_g_operator_naive_equiv;
+    Alcotest.test_case "iterate = naive iterate" `Quick test_iterate_naive_equiv;
+    Alcotest.test_case "solutions = brute force" `Quick test_solutions_naive_equiv;
     Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
   ]

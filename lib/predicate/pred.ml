@@ -5,31 +5,20 @@ let holds_implies sp p q = Bdd.implies (man sp) (Bdd.and_ (man sp) (Space.domain
 let equivalent sp p q = Bdd.is_true (Bdd.imp (man sp) (Space.domain sp) (Bdd.iff (man sp) p q))
 let normalize sp p = Bdd.and_ (man sp) p (Space.domain sp)
 
-let complement_vars sp vs =
-  List.filter (fun v -> not (List.exists (fun u -> Space.idx u = Space.idx v) vs)) (Space.vars sp)
+let complement_vars = Space.complement
 
-(* Range constraints of just the quantified variables: quantification must
-   range over type-correct values only. *)
-let local_domain sp vs =
-  let m = man sp in
-  List.fold_left
-    (fun acc v ->
-      if Space.card v = 1 lsl Space.width v then acc
-      else
-        Bdd.and_ m acc
-          (Bitvec.le m (Space.cur_vec sp v)
-             (Bitvec.const m ~width:(Space.width v) (Space.card v - 1))))
-    (Bdd.tru m) vs
-
+(* Quantification ranges over type-correct values only: the flattened bit
+   list and the range-constraint predicate of the quantified variables are
+   memoised per variable set in the space (the hot path of wcyl/K_i). *)
 let forall_vars sp vs p =
   let m = man sp in
-  let bits = List.concat_map Space.current_bits vs in
-  Bdd.forall m bits (Bdd.imp m (local_domain sp vs) p)
+  let bits, local = Space.quant_data sp vs in
+  Bdd.forall m bits (Bdd.imp m local p)
 
 let exists_vars sp vs p =
   let m = man sp in
-  let bits = List.concat_map Space.current_bits vs in
-  Bdd.exists m bits (Bdd.and_ m (local_domain sp vs) p)
+  let bits, local = Space.quant_data sp vs in
+  Bdd.exists m bits (Bdd.and_ m local p)
 
 let depends_only_on sp p vs =
   let outside = complement_vars sp vs in

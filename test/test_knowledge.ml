@@ -178,6 +178,34 @@ let test_everyone_common_distributed () =
     (Bdd.implies m si (Bdd.iff m d p));
   ignore c
 
+(* The optimised common_knowledge precomputes the per-process p-cylinders
+   outside the gfp loop; it must return the exact BDD of the textbook
+   iteration x ↦ E(p ∧ x). *)
+let test_common_knowledge_naive_equiv () =
+  let sp, _, _, _, prog = bit_prog () in
+  let m = Space.manager sp in
+  let group = [ Program.find_process prog "S"; Program.find_process prog "R" ] in
+  let naive ~si p =
+    let rec go x =
+      let x' = Knowledge.everyone_knows sp ~si group (Bdd.and_ m p x) in
+      if Bdd.equal (Pred.normalize sp x) (Pred.normalize sp x') then x' else go x'
+    in
+    go (Bdd.tru m)
+  in
+  let st = Helpers.rng () in
+  let si0 = Program.si prog in
+  for _ = 1 to 15 do
+    let p = Pred.random st sp in
+    Alcotest.(check bool) "common_knowledge = naive gfp" true
+      (Bdd.equal (Knowledge.common_knowledge sp ~si:si0 group p) (naive ~si:si0 p))
+  done;
+  (* ... including at arbitrary (non-invariant) SI arguments *)
+  for _ = 1 to 10 do
+    let p = Pred.random st sp and si = Pred.random st sp in
+    Alcotest.(check bool) "common_knowledge = naive gfp (random si)" true
+      (Bdd.equal (Knowledge.common_knowledge sp ~si group p) (naive ~si p))
+  done
+
 let test_unreachable_convention () =
   (* Eq. 13's refinement: on unreachable states K_i p has the value p. *)
   let sp, _, _, _, prog = bit_prog () in
@@ -203,5 +231,6 @@ let suite =
     Alcotest.test_case "(24) cylinder invariant correspondence" `Quick
       test_invariant_correspondence_24;
     Alcotest.test_case "E/C/D extensions" `Quick test_everyone_common_distributed;
+    Alcotest.test_case "common knowledge = naive gfp" `Quick test_common_knowledge_naive_equiv;
     Alcotest.test_case "unreachable-state convention" `Quick test_unreachable_convention;
   ]

@@ -134,6 +134,76 @@ let test_si_invariant () =
   Alcotest.(check bool) "init ⇒ SI" true (Pred.holds_implies sp (Program.init prog) (Program.si prog));
   Alcotest.(check bool) "SI stable" true (Program.stable prog (Program.si prog))
 
+(* Reference implementation of sst: the full-set Kleene iteration
+   x' = p ∨ x ∨ SP.x that the frontier-based Program.sst replaced.  Both
+   compute the same least fixpoint, and BDDs are canonical, so the results
+   must be the identical node. *)
+let naive_sst prog p =
+  let sp = Program.space prog in
+  let m = Space.manager sp in
+  let p = Pred.normalize sp p in
+  let rec go x =
+    let x' = Bdd.or_ m p (Bdd.or_ m x (Program.sp_pred prog x)) in
+    if Bdd.equal x x' then x else go x'
+  in
+  go (Bdd.fls m)
+
+let test_frontier_sst_equals_naive () =
+  let sp, _, stmts = bubble_sort 3 2 in
+  let prog = Program.make sp ~name:"bsort" ~init:Expr.tru stmts in
+  let st0 = Helpers.rng () in
+  let m = Space.manager sp in
+  Alcotest.(check bool) "sst false" true
+    (Bdd.equal (Program.sst prog (Bdd.fls m)) (naive_sst prog (Bdd.fls m)));
+  for _ = 1 to 20 do
+    let p = Pred.random st0 sp in
+    Alcotest.(check bool) "frontier sst = full-set Kleene sst" true
+      (Bdd.equal (Program.sst prog p) (naive_sst prog p))
+  done
+
+let test_trans_cache () =
+  let sp, arr, stmts = bubble_sort 3 2 in
+  (* memoised: repeated calls return the very same relation *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) "trans physically cached" true (Stmt.trans sp s == Stmt.trans sp s))
+    stmts;
+  (* ... and agree with freshly built identical statements *)
+  let fresh =
+    List.init 2 (fun i ->
+        Stmt.make
+          ~name:(Printf.sprintf "swap%d'" i)
+          ~guard:Expr.(var arr.(i) >>> var arr.(i + 1))
+          [ (arr.(i), Expr.var arr.(i + 1)); (arr.(i + 1), Expr.var arr.(i)) ])
+  in
+  let st0 = Helpers.rng () in
+  List.iter2
+    (fun s f ->
+      Alcotest.(check bool) "cached trans = fresh trans" true
+        (Bdd.equal (Stmt.trans sp s) (Stmt.trans sp f));
+      for _ = 1 to 8 do
+        let p = Pred.random st0 sp in
+        Alcotest.(check bool) "cached post-image = fresh post-image" true
+          (Bdd.equal (Stmt.sp sp s p) (Stmt.sp sp f p))
+      done)
+    stmts fresh;
+  (* with_guard_pred shares the assignment relation but recompiles the
+     guard: the derived statement's relation must equal one built from
+     scratch with the same guard *)
+  let m = Space.manager sp in
+  let g = Expr.compile_bool sp Expr.(var arr.(0) === nat 0) in
+  List.iter2
+    (fun s f ->
+      let s' = Stmt.with_guard_pred s g in
+      let f' = Stmt.with_guard_pred f g in
+      Alcotest.(check bool) "with_guard_pred trans equal" true
+        (Bdd.equal (Stmt.trans sp s') (Stmt.trans sp f'));
+      (* the original statement's own relation is unaffected *)
+      Alcotest.(check bool) "original trans unchanged" true
+        (Bdd.equal (Stmt.trans sp s) (Stmt.trans sp f)))
+    stmts fresh;
+  ignore m
+
 let test_find_process () =
   let sp, arr, stmts = bubble_sort 3 2 in
   let pr = Process.make "sorter" [ arr.(0); arr.(1) ] in
@@ -220,6 +290,8 @@ let suite =
     Alcotest.test_case "stable" `Quick test_stable;
     Alcotest.test_case "sst properties (eqs. 2-4)" `Quick test_sst_properties;
     Alcotest.test_case "SI and invariants" `Quick test_si_invariant;
+    Alcotest.test_case "frontier sst = naive sst" `Quick test_frontier_sst_equals_naive;
+    Alcotest.test_case "transition-relation cache" `Quick test_trans_cache;
     Alcotest.test_case "processes" `Quick test_find_process;
     Alcotest.test_case "pp smoke" `Quick test_pp_smoke;
     Alcotest.test_case "union theorem" `Quick test_union_theorem;
