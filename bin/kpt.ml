@@ -7,6 +7,7 @@
      kpt simulate <protocol>    run a concrete fair execution
      kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
      kpt parse FILE             parse and elaborate a .unity source file
+     kpt lint FILE …            run the static-analysis passes on source files
      kpt verify FILE …          check user-supplied properties of a file *)
 
 open Cmdliner
@@ -282,55 +283,105 @@ let load path =
   let ast = Kpt_syntax.Parser.program_of_string src in
   Kpt_syntax.Elaborate.program ast
 
+(* Load a .unity file and run [f] on the result; lexical, syntax and
+   elaboration errors are rendered once, uniformly, as
+   [file:line:col: error[KPT00x]: …].  Every file-consuming command
+   funnels through here. *)
+let with_loaded path f =
+  match load path with
+  | loaded -> f loaded
+  | exception
+      ((Kpt_syntax.Token.Lex_error _ | Kpt_syntax.Parser.Parse_error _
+       | Kpt_syntax.Elaborate.Elab_error _) as exn) ->
+      (match Kpt_analysis.Diagnostic.of_syntax_exn ~file:path exn with
+      | Some d -> Format.eprintf "%a@." Kpt_analysis.Diagnostic.pp d
+      | None -> Format.eprintf "error: %s@." (Printexc.to_string exn));
+      1
+  | exception Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+
 let file_arg =
   Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"A .unity source file.")
 
 let parse_cmd =
   let run path =
-    match load path with
-    | sp, kbp ->
-        Format.printf "%a@.@." Kbp.pp kbp;
-        Format.printf "state space : %d states over %d variables@."
-          (Space.state_count sp)
-          (List.length (Space.vars sp));
-        if Kbp.is_standard kbp then begin
-          let prog = Kbp.to_standard_program kbp in
-          Format.printf "standard program; reachable states: %d@."
-            (Space.count_states_of sp (Program.si prog))
-        end
-        else Format.printf "knowledge-based protocol (use 'kpt solve %s')@." path;
-        0
-    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
-                | Kpt_syntax.Elaborate.Elab_error msg) ->
-        Format.eprintf "error: %s@." msg;
-        1
+    with_loaded path @@ fun (sp, kbp) ->
+    Format.printf "%a@.@." Kbp.pp kbp;
+    Format.printf "state space : %d states over %d variables@."
+      (Space.state_count sp)
+      (List.length (Space.vars sp));
+    if Kbp.is_standard kbp then begin
+      let prog = Kbp.to_standard_program kbp in
+      Format.printf "standard program; reachable states: %d@."
+        (Space.count_states_of sp (Program.si prog))
+    end
+    else Format.printf "knowledge-based protocol (use 'kpt solve %s')@." path;
+    0
   in
   Cmd.v (Cmd.info "parse" ~doc:"Parse and elaborate a .unity source file.")
     Term.(const run $ file_arg)
 
+(* ---- lint -------------------------------------------------------------------- *)
+
+let lint_cmd =
+  let module D = Kpt_analysis.Diagnostic in
+  let warn_error =
+    Arg.(
+      value & flag
+      & info [ "warn-error" ] ~doc:"Treat warnings as errors for the exit code.")
+  in
+  let quiet =
+    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress source excerpts.")
+  in
+  let files_arg =
+    Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"A .unity source file.")
+  in
+  let run paths warn_error quiet =
+    let all =
+      List.concat_map
+        (fun path ->
+          let src = read_file path in
+          let ds = Kpt_analysis.Lint.lint_source ~file:path src in
+          List.iter
+            (fun d ->
+              if quiet then Format.printf "%a@." D.pp d
+              else Format.printf "@[<v>%a@]@." (D.pp_excerpt ~src) d)
+            ds;
+          ds)
+        paths
+    in
+    (match (all, paths) with
+    | [], [ p ] -> Format.printf "%s: no findings@." p
+    | [], _ -> Format.printf "%d files: no findings@." (List.length paths)
+    | ds, _ -> Format.printf "%s@." (D.summary ds));
+    D.exit_code ~warn_error all
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the static-analysis passes (locality, K-polarity, hygiene, \
+          interference) on .unity source files.")
+    Term.(const run $ files_arg $ warn_error $ quiet)
+
 let solve_file_cmd =
   let run path =
-    match load path with
-    | sp, kbp -> (
-        Format.printf "%a@.@." Kbp.pp kbp;
-        (match Kbp.solutions kbp with
-        | [] ->
-            Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
-        | sols ->
-            Format.printf "%d solution(s):@." (List.length sols);
-            List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
-        match Kbp.iterate kbp with
-        | Kbp.Converged (si, steps) ->
-            Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
-              (Space.pp_pred sp) si;
-            0
-        | Kbp.Cycle orbit ->
-            Format.printf "Chaotic iteration cycles with period %d.@." (List.length orbit);
-            0)
-    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
-                | Kpt_syntax.Elaborate.Elab_error msg) ->
-        Format.eprintf "error: %s@." msg;
-        1
+    with_loaded path @@ fun (sp, kbp) ->
+    Format.printf "%a@.@." Kbp.pp kbp;
+    (match Kbp.solutions kbp with
+    | [] ->
+        Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
+    | sols ->
+        Format.printf "%d solution(s):@." (List.length sols);
+        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
+    match Kbp.iterate kbp with
+    | Kbp.Converged (si, steps) ->
+        Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
+          (Space.pp_pred sp) si;
+        0
+    | Kbp.Cycle orbit ->
+        Format.printf "Chaotic iteration cycles with period %d.@." (List.length orbit);
+        0
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
@@ -349,53 +400,49 @@ let verify_cmd =
       & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
   in
   let run path invs stbls ltos =
-    match load path with
-    | sp, kbp ->
-        let prog =
-          if Kbp.is_standard kbp then Kbp.to_standard_program kbp
-          else begin
-            Format.printf "note: knowledge guards resolved at the strongest solution@.";
-            match Kbp.strongest_solution kbp with
-            | Some si -> Kbp.instantiate kbp ~si
-            | None -> failwith "the KBP has no (unique strongest) solution"
-          end
-        in
-        let compile s =
-          try
-            Kpt_unity.Expr.compile_bool sp
-              (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string s))
-          with
-          | Kpt_syntax.Elaborate.Elab_error msg
-          | Kpt_syntax.Parser.Parse_error msg
-          | Kpt_syntax.Token.Lex_error msg ->
-              failwith (Printf.sprintf "in %S: %s" s msg)
-        in
-        let failed = ref 0 in
-        let report label ok = 
-          if not ok then incr failed;
-          Format.printf "  %-40s %b@." label ok
-        in
-        List.iter (fun s -> report ("invariant " ^ s) (Program.invariant prog (compile s))) invs;
-        List.iter (fun s -> report ("stable " ^ s) (Kpt_logic.Props.stable prog (compile s))) stbls;
-        List.iter
-          (fun s ->
-            match String.index_opt s ';' with
-            | None -> failwith "leadsto takes a semicolon-separated pair"
-            | Some i ->
-                let p = String.sub s 0 i in
-                let q = String.sub s (i + 1) (String.length s - i - 1) in
-                report
-                  (Printf.sprintf "%s ↦ %s" (String.trim p) (String.trim q))
-                  (Kpt_logic.Props.leads_to prog (compile p) (compile q)))
-          ltos;
-        if !failed = 0 then 0 else 1
-    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
-                | Kpt_syntax.Elaborate.Elab_error msg) ->
-        Format.eprintf "error: %s@." msg;
-        1
-    | exception Failure msg ->
-        Format.eprintf "error: %s@." msg;
-        1
+    with_loaded path @@ fun (sp, kbp) ->
+    try
+    let prog =
+      if Kbp.is_standard kbp then Kbp.to_standard_program kbp
+      else begin
+        Format.printf "note: knowledge guards resolved at the strongest solution@.";
+        match Kbp.strongest_solution kbp with
+        | Some si -> Kbp.instantiate kbp ~si
+        | None -> failwith "the KBP has no (unique strongest) solution"
+      end
+    in
+    let compile s =
+      try
+        Kpt_unity.Expr.compile_bool sp
+          (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string s))
+      with
+      | Kpt_syntax.Elaborate.Elab_error (_, msg)
+      | Kpt_syntax.Parser.Parse_error (_, msg)
+      | Kpt_syntax.Token.Lex_error (_, msg) ->
+          failwith (Printf.sprintf "in %S: %s" s msg)
+    in
+      let failed = ref 0 in
+      let report label ok =
+        if not ok then incr failed;
+        Format.printf "  %-40s %b@." label ok
+      in
+      List.iter (fun s -> report ("invariant " ^ s) (Program.invariant prog (compile s))) invs;
+      List.iter (fun s -> report ("stable " ^ s) (Kpt_logic.Props.stable prog (compile s))) stbls;
+      List.iter
+        (fun s ->
+          match String.index_opt s ';' with
+          | None -> failwith "leadsto takes a semicolon-separated pair"
+          | Some i ->
+              let p = String.sub s 0 i in
+              let q = String.sub s (i + 1) (String.length s - i - 1) in
+              report
+                (Printf.sprintf "%s ↦ %s" (String.trim p) (String.trim q))
+                (Kpt_logic.Props.leads_to prog (compile p) (compile q)))
+        ltos;
+      if !failed = 0 then 0 else 1
+    with Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check user-supplied UNITY properties of a .unity file.")
@@ -416,8 +463,8 @@ let knowledge_cmd =
       & info [ "common" ] ~docv:"P1,P2" ~doc:"Also compute common knowledge for this group.")
   in
   let run path pname fact common =
-    match load path with
-    | sp, kbp ->
+    with_loaded path @@ fun (sp, kbp) ->
+    try
         let prog =
           if Kbp.is_standard kbp then Kbp.to_standard_program kbp
           else
@@ -453,14 +500,16 @@ let knowledge_cmd =
             show (Printf.sprintf "E_{%s}(fact) holds at" group) e;
             show (Printf.sprintf "C_{%s}(fact) holds at" group) c);
         0
-    | exception (Kpt_syntax.Token.Lex_error msg | Kpt_syntax.Parser.Parse_error msg
-                | Kpt_syntax.Elaborate.Elab_error msg) ->
+    with
+    | Kpt_syntax.Token.Lex_error (_, msg)
+    | Kpt_syntax.Parser.Parse_error (_, msg)
+    | Kpt_syntax.Elaborate.Elab_error (_, msg) ->
+        Format.eprintf "error: in %S: %s@." fact msg;
+        1
+    | Failure msg ->
         Format.eprintf "error: %s@." msg;
         1
-    | exception Failure msg ->
-        Format.eprintf "error: %s@." msg;
-        1
-    | exception Not_found ->
+    | Not_found ->
         Format.eprintf "error: unknown process@.";
         1
   in
@@ -476,5 +525,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
-            solve_file_cmd; verify_cmd; knowledge_cmd;
+            lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd;
           ]))

@@ -1,0 +1,46 @@
+(** The static-analysis passes behind [kpt lint].
+
+    Everything here is purely syntactic / structural — no BDD is ever
+    built — so the checks run (and the paper's Figure 1-2 pathologies are
+    predicted) before any fixpoint search is attempted:
+
+    - {e read/write sets} (see {!Rw}) feed every other pass;
+    - {e knowledge locality} (eq. 13): a guard attributed to process [i]
+      must depend only on [vars_i] outside its [K_i] operators — anything
+      else is unimplementable;
+    - {e K-polarity} (eq. 25, Figures 1-2): a knowledge operator in
+      negative position, or knowledge {e of} a negated fact, can make
+      [SI = strongest x : [ŜP.x ⇒ x]] unsolvable or non-monotonic in
+      [init];
+    - {e vacuity / hygiene}: unused and write-only variables, identity
+      assignments, duplicate statements, constant guards, [nat(k)]
+      comparisons against out-of-range constants;
+    - {e interference}: a variable written on behalf of two different
+      processes, or written by a process that cannot access it.
+
+    [lint_kbp] / [lint_program] run the structural subset that makes
+    sense on in-memory values (no spans), so protocols built through the
+    OCaml API get the same checks the surface syntax does. *)
+
+open Kpt_syntax
+open Kpt_unity
+open Kpt_core
+
+val lint_ast : ?file:string -> Ast.program -> Diagnostic.t list
+(** All passes over a parsed program, sorted in document order. *)
+
+val lint_source : ?file:string -> string -> Diagnostic.t list
+(** Lex, parse, lint, then elaborate: lexical / syntax errors surface as
+    [KPT001]/[KPT002] diagnostics, elaboration errors as [KPT003], and a
+    well-formed program gets the full {!lint_ast} treatment.  Never
+    raises. *)
+
+val lint_kbp : ?file:string -> Kbp.t -> Diagnostic.t list
+(** Structural checks on an in-memory knowledge-based protocol:
+    K-polarity and locality over its {!Kform.t} guards, plus hygiene and
+    interference. *)
+
+val lint_program : ?file:string -> Program.t -> Diagnostic.t list
+(** Structural checks on a compiled standard program: hygiene (identity
+    assignments, duplicates, unused / write-only variables, statically
+    false guards). *)

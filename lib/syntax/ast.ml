@@ -1,6 +1,8 @@
 type ty = Tbool | Tnat of int | Tenum of string list | Tarray of ty * int
 
-type expr =
+type expr = { expr : enode; espan : Loc.span }
+
+and enode =
   | Etrue
   | Efalse
   | Enum of int
@@ -24,6 +26,8 @@ type expr =
 
 and gkind = Geveryone | Gcommon | Gdistributed
 
+let mk ?(span = Loc.dummy) expr = { expr; espan = span }
+
 type target = Tvar of string | Tindex of string * expr
 
 type stmt = {
@@ -31,19 +35,63 @@ type stmt = {
   s_targets : target list;
   s_exprs : expr list;
   s_guard : expr option;
+  s_span : Loc.span;
 }
 
 type program = {
   p_name : string;
-  p_vars : (string list * ty) list;
-  p_processes : (string * string list) list;
+  p_vars : ((string * Loc.span) list * ty) list;
+  p_processes : (string * string list * Loc.span) list;
   p_init : expr;
   p_stmts : stmt list;
 }
 
+(* ---- span-insensitive equality ------------------------------------------- *)
+
+let rec equal_expr a b =
+  match (a.expr, b.expr) with
+  | Etrue, Etrue | Efalse, Efalse -> true
+  | Enum n, Enum m -> n = m
+  | Eident x, Eident y -> x = y
+  | Enot a, Enot b -> equal_expr a b
+  | Eand (a1, a2), Eand (b1, b2)
+  | Eor (a1, a2), Eor (b1, b2)
+  | Eimp (a1, a2), Eimp (b1, b2)
+  | Eiff (a1, a2), Eiff (b1, b2)
+  | Eeq (a1, a2), Eeq (b1, b2)
+  | Ene (a1, a2), Ene (b1, b2)
+  | Elt (a1, a2), Elt (b1, b2)
+  | Ele (a1, a2), Ele (b1, b2)
+  | Egt (a1, a2), Egt (b1, b2)
+  | Ege (a1, a2), Ege (b1, b2)
+  | Eadd (a1, a2), Eadd (b1, b2)
+  | Esub (a1, a2), Esub (b1, b2) -> equal_expr a1 b1 && equal_expr a2 b2
+  | Eindex (x, a), Eindex (y, b) -> x = y && equal_expr a b
+  | Eknow (p, a), Eknow (q, b) -> p = q && equal_expr a b
+  | Egroup (k, ps, a), Egroup (l, qs, b) -> k = l && ps = qs && equal_expr a b
+  | _ -> false
+
+let equal_target a b =
+  match (a, b) with
+  | Tvar x, Tvar y -> x = y
+  | Tindex (x, a), Tindex (y, b) -> x = y && equal_expr a b
+  | _ -> false
+
+let equal_stmt s1 s2 =
+  List.length s1.s_targets = List.length s2.s_targets
+  && List.for_all2 equal_target s1.s_targets s2.s_targets
+  && List.length s1.s_exprs = List.length s2.s_exprs
+  && List.for_all2 equal_expr s1.s_exprs s2.s_exprs
+  &&
+  match (s1.s_guard, s2.s_guard) with
+  | None, None -> true
+  | Some a, Some b -> equal_expr a b
+  | _ -> false
+
 (* Precedence levels for printing with minimal parentheses:
    1 iff, 2 imp, 3 or, 4 and, 5 not, 6 comparison, 7 additive, 8 atom. *)
-let rec level = function
+let rec level e =
+  match e.expr with
   | Eiff _ -> 1
   | Eimp _ -> 2
   | Eor _ -> 3
@@ -59,7 +107,7 @@ and pp_at min fmt e =
   let l = level e in
   let wrap = l < min in
   if wrap then Format.fprintf fmt "(";
-  (match e with
+  (match e.expr with
   | Etrue -> Format.fprintf fmt "true"
   | Efalse -> Format.fprintf fmt "false"
   | Enum n -> Format.fprintf fmt "%d" n
@@ -109,12 +157,14 @@ let pp_program fmt p =
   Format.fprintf fmt "@[<v>program %s@," p.p_name;
   List.iter
     (fun (names, ty) ->
-      Format.fprintf fmt "var %s : %a@," (String.concat ", " names) pp_ty ty)
+      Format.fprintf fmt "var %s : %a@,"
+        (String.concat ", " (List.map fst names))
+        pp_ty ty)
     p.p_vars;
   if p.p_processes <> [] then begin
     Format.fprintf fmt "processes@,";
     List.iter
-      (fun (name, vars) ->
+      (fun (name, vars, _) ->
         Format.fprintf fmt "  %s = { %s }@," name (String.concat ", " vars))
       p.p_processes
   end;

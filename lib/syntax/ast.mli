@@ -1,5 +1,11 @@
 (** Surface abstract syntax for the concrete UNITY / KBP notation, plus a
-    pretty-printer that round-trips through the parser. *)
+    pretty-printer that round-trips through the parser.
+
+    Every expression, statement, variable declaration and process
+    declaration carries the {!Loc.span} of its first token, so
+    elaboration errors and the {!Kpt_analysis} lint passes can point at
+    the exact source position.  Programmatically built nodes (see {!mk})
+    carry {!Loc.dummy}. *)
 
 type ty =
   | Tbool
@@ -7,7 +13,9 @@ type ty =
   | Tenum of string list
   | Tarray of ty * int  (** [ty[n]]: an array of [n] scalar elements *)
 
-type expr =
+type expr = { expr : enode; espan : Loc.span }
+
+and enode =
   | Etrue
   | Efalse
   | Enum of int
@@ -26,10 +34,13 @@ type expr =
   | Eadd of expr * expr
   | Esub of expr * expr
   | Eindex of string * expr  (** [a[e]]: dynamic array indexing *)
-  | Eknow of string * expr  (** [K[p](e)] *)
+  | Eknow of string * expr  (** [K[p](e)] — span points at the [K] *)
   | Egroup of gkind * string list * expr  (** [E[..](e)], [C[..](e)], [D[..](e)] *)
 
 and gkind = Geveryone | Gcommon | Gdistributed
+
+val mk : ?span:Loc.span -> enode -> expr
+(** Annotate a node; defaults to {!Loc.dummy} for synthesised syntax. *)
 
 type target = Tvar of string | Tindex of string * expr  (** [a[e] := …] *)
 
@@ -38,15 +49,23 @@ type stmt = {
   s_targets : target list;
   s_exprs : expr list;
   s_guard : expr option;
+  s_span : Loc.span;  (** first token of the statement *)
 }
 
 type program = {
   p_name : string;
-  p_vars : (string list * ty) list;      (** in declaration order *)
-  p_processes : (string * string list) list;
+  p_vars : ((string * Loc.span) list * ty) list;  (** in declaration order *)
+  p_processes : (string * string list * Loc.span) list;
   p_init : expr;
   p_stmts : stmt list;
 }
+
+val equal_expr : expr -> expr -> bool
+(** Structural equality ignoring spans. *)
+
+val equal_stmt : stmt -> stmt -> bool
+(** Structural equality of targets, right-hand sides and guard, ignoring
+    spans and statement names — the duplicate-statement test. *)
 
 val pp_expr : Format.formatter -> expr -> unit
 val pp_program : Format.formatter -> program -> unit

@@ -2,9 +2,10 @@ open Kpt_predicate
 open Kpt_unity
 open Kpt_core
 
-exception Elab_error of string
+exception Elab_error of Loc.span option * string
 
-let err fmt = Format.kasprintf (fun s -> raise (Elab_error s)) fmt
+let err fmt = Format.kasprintf (fun s -> raise (Elab_error (None, s))) fmt
+let err_at span fmt = Format.kasprintf (fun s -> raise (Elab_error (Some span, s))) fmt
 
 (* Enum literals visible in a space: value name → index.  Requires global
    uniqueness, checked at declaration time for parsed programs and lazily
@@ -32,28 +33,31 @@ type half = E of Expr.t | F of Kform.t
 (* arrays in scope: surface name → element variables *)
 type ctx = { sp : Space.t; literals : (string, int) Hashtbl.t; arrays : (string, Space.var array) Hashtbl.t }
 
-let as_expr = function
+let as_expr ~at = function
   | E e -> e
-  | F _ -> err "knowledge operators may only appear in guards, not in arithmetic or init"
+  | F _ -> err_at at "knowledge operators may only appear in guards, not in arithmetic or init"
 
 let as_kform = function E e -> Kform.base e | F f -> f
 
-let rec elab ctx = function
+let rec elab ctx (e : Ast.expr) =
+  let at = e.Ast.espan in
+  let sub a = as_expr ~at:a.Ast.espan (elab ctx a) in
+  match e.Ast.expr with
   | Ast.Etrue -> E Expr.tru
   | Ast.Efalse -> E Expr.fls
   | Ast.Enum n -> E (Expr.nat n)
   | Ast.Eident name -> (
-      if Hashtbl.mem ctx.arrays name then err "array %s used without an index" name;
+      if Hashtbl.mem ctx.arrays name then err_at at "array %s used without an index" name;
       match Space.find ctx.sp name with
       | v -> E (Expr.var v)
       | exception Not_found -> (
           match Hashtbl.find_opt ctx.literals name with
           | Some k -> E (Expr.nat k)
-          | None -> err "unknown identifier %s" name))
+          | None -> err_at at "unknown identifier %s" name))
   | Ast.Eindex (name, idx) -> (
       match Hashtbl.find_opt ctx.arrays name with
-      | Some arr -> E (Expr.select arr (as_expr (elab ctx idx)))
-      | None -> err "%s is not an array" name)
+      | Some arr -> E (Expr.select arr (sub idx))
+      | None -> err_at at "%s is not an array" name)
   | Ast.Enot a -> (
       match elab ctx a with
       | E e -> E (Expr.not_ e)
@@ -65,14 +69,14 @@ let rec elab ctx = function
       bool_op ctx a b
         (fun x y -> Expr.Iff (x, y))
         (fun x y -> Kform.((x ==>. y) &&. (y ==>. x)))
-  | Ast.Eeq (a, b) -> E Expr.(as_expr (elab ctx a) === as_expr (elab ctx b))
-  | Ast.Ene (a, b) -> E Expr.(as_expr (elab ctx a) <<> as_expr (elab ctx b))
-  | Ast.Elt (a, b) -> E Expr.(as_expr (elab ctx a) <<< as_expr (elab ctx b))
-  | Ast.Ele (a, b) -> E Expr.(as_expr (elab ctx a) <== as_expr (elab ctx b))
-  | Ast.Egt (a, b) -> E Expr.(as_expr (elab ctx a) >>> as_expr (elab ctx b))
-  | Ast.Ege (a, b) -> E Expr.(as_expr (elab ctx a) >== as_expr (elab ctx b))
-  | Ast.Eadd (a, b) -> E Expr.(as_expr (elab ctx a) +! as_expr (elab ctx b))
-  | Ast.Esub (a, b) -> E Expr.(as_expr (elab ctx a) -! as_expr (elab ctx b))
+  | Ast.Eeq (a, b) -> E Expr.(sub a === sub b)
+  | Ast.Ene (a, b) -> E Expr.(sub a <<> sub b)
+  | Ast.Elt (a, b) -> E Expr.(sub a <<< sub b)
+  | Ast.Ele (a, b) -> E Expr.(sub a <== sub b)
+  | Ast.Egt (a, b) -> E Expr.(sub a >>> sub b)
+  | Ast.Ege (a, b) -> E Expr.(sub a >== sub b)
+  | Ast.Eadd (a, b) -> E Expr.(sub a +! sub b)
+  | Ast.Esub (a, b) -> E Expr.(sub a -! sub b)
   | Ast.Eknow (p, a) -> F (Kform.k p (as_kform (elab ctx a)))
   | Ast.Egroup (kind, ps, a) ->
       let f = as_kform (elab ctx a) in
@@ -116,17 +120,17 @@ let arrays_of_space sp =
 
 let expr sp ast =
   let ctx = { sp; literals = literal_table sp; arrays = arrays_of_space sp } in
-  as_expr (elab ctx ast)
+  as_expr ~at:ast.Ast.espan (elab ctx ast)
 
-let declare_scalar sp name = function
+let declare_scalar sp ~at name = function
   | Ast.Tbool -> ignore (Space.bool_var sp name)
   | Ast.Tnat k ->
-      if k < 0 then err "nat(%d): negative bound" k;
+      if k < 0 then err_at at "nat(%d): negative bound" k;
       ignore (Space.nat_var sp name ~max:k)
   | Ast.Tenum vs ->
-      if vs = [] then err "enum with no values";
+      if vs = [] then err_at at "enum with no values";
       ignore (Space.enum_var sp name ~values:(Array.of_list vs))
-  | Ast.Tarray _ -> err "nested arrays are not supported"
+  | Ast.Tarray _ -> err_at at "nested arrays are not supported"
 
 let program (p : Ast.program) =
   let sp = Space.create () in
@@ -135,60 +139,64 @@ let program (p : Ast.program) =
   List.iter
     (fun (names, ty) ->
       List.iter
-        (fun name ->
+        (fun (name, at) ->
           match ty with
           | Ast.Tarray (elem, len) ->
-              if len <= 0 then err "array %s has non-positive length" name;
+              if len <= 0 then err_at at "array %s has non-positive length" name;
               let elems =
                 Array.init len (fun k ->
                     let ename = Printf.sprintf "%s[%d]" name k in
-                    declare_scalar sp ename elem;
+                    declare_scalar sp ~at ename elem;
                     Space.find sp ename)
               in
               Hashtbl.replace arrays name elems
-          | _ -> declare_scalar sp name ty)
+          | _ -> declare_scalar sp ~at name ty)
         names)
     p.Ast.p_vars;
   let ctx = { sp; literals = literal_table sp; arrays } in
-  let resolve_var name =
+  let resolve_var ~at name =
     match Space.find sp name with
     | v -> v
-    | exception Not_found -> err "unknown variable %s" name
+    | exception Not_found -> err_at at "unknown variable %s" name
   in
   (* a process naming an array gets all its elements *)
-  let resolve_proc_var name =
+  let resolve_proc_var ~at name =
     match Hashtbl.find_opt arrays name with
     | Some arr -> Array.to_list arr
-    | None -> [ resolve_var name ]
+    | None -> [ resolve_var ~at name ]
   in
   let processes =
     List.map
-      (fun (name, vars) -> Process.make name (List.concat_map resolve_proc_var vars))
+      (fun (name, vars, at) ->
+        Process.make name (List.concat_map (resolve_proc_var ~at) vars))
       p.Ast.p_processes
   in
-  let init = as_expr (elab ctx p.Ast.p_init) in
+  let init = as_expr ~at:p.Ast.p_init.Ast.espan (elab ctx p.Ast.p_init) in
   let stmts =
     List.mapi
       (fun i (s : Ast.stmt) ->
+        let at = s.Ast.s_span in
         let name = match s.Ast.s_name with Some n -> n | None -> Printf.sprintf "s%d" i in
         if List.length s.Ast.s_targets <> List.length s.Ast.s_exprs then
-          err "statement %s: %d targets but %d expressions" name
+          err_at at "statement %s: %d targets but %d expressions" name
             (List.length s.Ast.s_targets) (List.length s.Ast.s_exprs);
         let assigns =
           List.concat
             (List.map2
                (fun target rhs ->
-                 let rhs_e = as_expr (elab ctx rhs) in
+                 let rhs_e = as_expr ~at:rhs.Ast.espan (elab ctx rhs) in
                  match target with
                  | Ast.Tvar tname ->
                      if Hashtbl.mem arrays tname then
-                       err "statement %s: array %s assigned without an index" name tname;
-                     [ (resolve_var tname, rhs_e) ]
+                       err_at at "statement %s: array %s assigned without an index" name tname;
+                     [ (resolve_var ~at tname, rhs_e) ]
                  | Ast.Tindex (tname, idx) -> (
                      match Hashtbl.find_opt arrays tname with
                      | Some arr ->
-                         Stmt.array_write arr ~index:(as_expr (elab ctx idx)) rhs_e
-                     | None -> err "statement %s: %s is not an array" name tname))
+                         Stmt.array_write arr
+                           ~index:(as_expr ~at:idx.Ast.espan (elab ctx idx))
+                           rhs_e
+                     | None -> err_at at "statement %s: %s is not an array" name tname))
                s.Ast.s_targets s.Ast.s_exprs)
         in
         let guard =

@@ -15,7 +15,10 @@
 open Kpt_predicate
 open Kpt_core
 
-exception Elab_error of string
+exception Elab_error of Loc.span option * string
+(** Source position of the offending construct when one is known (errors
+    raised while validating the assembled program have none) and a
+    message without the position — callers prepend [file:line:col]. *)
 
 val program : Ast.program -> Space.t * Kbp.t
 (** @raise Elab_error on unknown identifiers, sort errors, duplicate

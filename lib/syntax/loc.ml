@@ -1,0 +1,7 @@
+type span = { line : int; col : int }
+
+let dummy = { line = 0; col = 0 }
+let known s = s.line > 0
+let make ~line ~col = { line; col }
+let compare a b = if a.line <> b.line then Int.compare a.line b.line else Int.compare a.col b.col
+let pp fmt s = Format.fprintf fmt "line %d, col %d" s.line s.col

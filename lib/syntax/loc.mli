@@ -1,0 +1,22 @@
+(** Source positions for the surface syntax.
+
+    The lexer stamps every token with a [span]; the parser threads the
+    stamps into the AST, elaboration carries them into its errors and the
+    static analyser ({!Kpt_analysis.Diagnostic}) renders them as
+    [file:line:col].  Columns and lines are 1-based; {!dummy} (0,0) marks
+    synthesised nodes with no source position. *)
+
+type span = { line : int; col : int }
+
+val dummy : span
+(** The position of nodes built programmatically rather than parsed. *)
+
+val known : span -> bool
+(** [true] iff the span points into real source (is not {!dummy}). *)
+
+val make : line:int -> col:int -> span
+val compare : span -> span -> int
+(** Document order: by line, then column. *)
+
+val pp : Format.formatter -> span -> unit
+(** ["line 3, col 12"] — the phrasing used inside error messages. *)

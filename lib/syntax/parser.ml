@@ -1,13 +1,11 @@
 open Token
 
-exception Parse_error of string
+exception Parse_error of Loc.span * string
 
 type state = { mutable toks : located list }
 
 let error (lt : located) fmt =
-  Format.kasprintf
-    (fun s -> raise (Parse_error (Printf.sprintf "line %d, col %d: %s" lt.line lt.col s)))
-    fmt
+  Format.kasprintf (fun s -> raise (Parse_error (span_of lt, s))) fmt
 
 let peek st = match st.toks with [] -> assert false | t :: _ -> t
 let next st =
@@ -27,15 +25,21 @@ let ident st =
   | IDENT s -> s
   | _ -> error t "expected an identifier, found %s" (describe t.tok)
 
+let ident_sp st =
+  let t = next st in
+  match t.tok with
+  | IDENT s -> (s, span_of t)
+  | _ -> error t "expected an identifier, found %s" (describe t.tok)
+
 let number st =
   let t = next st in
   match t.tok with
   | NUM n -> n
   | _ -> error t "expected a number, found %s" (describe t.tok)
 
-let ident_list st =
+let ident_list_sp st =
   let rec go acc =
-    let name = ident st in
+    let name = ident_sp st in
     if (peek st).tok = COMMA then begin
       ignore (next st);
       go (name :: acc)
@@ -44,14 +48,20 @@ let ident_list st =
   in
   go []
 
+let ident_list st = List.map fst (ident_list_sp st)
+
 (* ---- expressions --------------------------------------------------------- *)
+
+(* Each parse function stamps its result with the span of the expression's
+   first token; [at] abbreviates the wrapping. *)
+let at (lt : located) node = Ast.mk ~span:(span_of lt) node
 
 (* precedence climbing: iff < imp < or < and < not < cmp < additive < atom *)
 let rec parse_iff st =
   let lhs = parse_imp st in
   if (peek st).tok = IFF then begin
     ignore (next st);
-    Ast.Eiff (lhs, parse_iff st)
+    Ast.mk ~span:lhs.Ast.espan (Ast.Eiff (lhs, parse_iff st))
   end
   else lhs
 
@@ -59,7 +69,7 @@ and parse_imp st =
   let lhs = parse_or st in
   if (peek st).tok = IMP then begin
     ignore (next st);
-    Ast.Eimp (lhs, parse_imp st)
+    Ast.mk ~span:lhs.Ast.espan (Ast.Eimp (lhs, parse_imp st))
   end
   else lhs
 
@@ -67,7 +77,7 @@ and parse_or st =
   let lhs = ref (parse_and st) in
   while (peek st).tok = OR do
     ignore (next st);
-    lhs := Ast.Eor (!lhs, parse_and st)
+    lhs := Ast.mk ~span:!lhs.Ast.espan (Ast.Eor (!lhs, parse_and st))
   done;
   !lhs
 
@@ -75,14 +85,14 @@ and parse_and st =
   let lhs = ref (parse_not st) in
   while (peek st).tok = AND do
     ignore (next st);
-    lhs := Ast.Eand (!lhs, parse_not st)
+    lhs := Ast.mk ~span:!lhs.Ast.espan (Ast.Eand (!lhs, parse_not st))
   done;
   !lhs
 
 and parse_not st =
   if (peek st).tok = NOT then begin
-    ignore (next st);
-    Ast.Enot (parse_not st)
+    let t = next st in
+    at t (Ast.Enot (parse_not st))
   end
   else parse_cmp st
 
@@ -91,7 +101,7 @@ and parse_cmp st =
   let t = peek st in
   let binop mk =
     ignore (next st);
-    mk lhs (parse_add st)
+    Ast.mk ~span:lhs.Ast.espan (mk lhs (parse_add st))
   in
   match t.tok with
   | EQDEF -> binop (fun a b -> Ast.Eeq (a, b))
@@ -108,11 +118,11 @@ and parse_add st =
     match (peek st).tok with
     | PLUS ->
         ignore (next st);
-        lhs := Ast.Eadd (!lhs, parse_atom st);
+        lhs := Ast.mk ~span:!lhs.Ast.espan (Ast.Eadd (!lhs, parse_atom st));
         go ()
     | MINUS ->
         ignore (next st);
-        lhs := Ast.Esub (!lhs, parse_atom st);
+        lhs := Ast.mk ~span:!lhs.Ast.espan (Ast.Esub (!lhs, parse_atom st));
         go ()
     | _ -> ()
   in
@@ -122,17 +132,17 @@ and parse_add st =
 and parse_atom st =
   let t = next st in
   match t.tok with
-  | KTRUE -> Ast.Etrue
-  | KFALSE -> Ast.Efalse
-  | NUM n -> Ast.Enum n
+  | KTRUE -> at t Ast.Etrue
+  | KFALSE -> at t Ast.Efalse
+  | NUM n -> at t (Ast.Enum n)
   | IDENT s ->
       if (peek st).tok = LBRACK then begin
         ignore (next st);
         let e = parse_iff st in
         expect st RBRACK;
-        Ast.Eindex (s, e)
+        at t (Ast.Eindex (s, e))
       end
-      else Ast.Eident s
+      else at t (Ast.Eident s)
   | LPAR ->
       let e = parse_iff st in
       expect st RPAR;
@@ -144,7 +154,7 @@ and parse_atom st =
       expect st LPAR;
       let e = parse_iff st in
       expect st RPAR;
-      Ast.Eknow (p, e)
+      at t (Ast.Eknow (p, e))
   | KEVERY | KCOMMON | KDISTR ->
       let kind =
         match t.tok with
@@ -158,7 +168,7 @@ and parse_atom st =
       expect st LPAR;
       let e = parse_iff st in
       expect st RPAR;
-      Ast.Egroup (kind, ps, e)
+      at t (Ast.Egroup (kind, ps, e))
   | _ -> error t "expected an expression, found %s" (describe t.tok)
 
 (* ---- declarations --------------------------------------------------------- *)
@@ -193,6 +203,7 @@ let parse_ty st =
   suffix base
 
 let parse_stmt st =
+  let start = peek st in
   (* optional label: IDENT ':' — requires lookahead of two tokens *)
   let name =
     match st.toks with
@@ -237,7 +248,13 @@ let parse_stmt st =
     end
     else None
   in
-  { Ast.s_name = name; s_targets = targets; s_exprs = es; s_guard = guard }
+  {
+    Ast.s_name = name;
+    s_targets = targets;
+    s_exprs = es;
+    s_guard = guard;
+    s_span = span_of start;
+  }
 
 let parse_program st =
   expect st KPROGRAM;
@@ -245,7 +262,7 @@ let parse_program st =
   let vars = ref [] in
   while (peek st).tok = KVAR do
     ignore (next st);
-    let names = ident_list st in
+    let names = ident_list_sp st in
     expect st COLON;
     let ty = parse_ty st in
     vars := (names, ty) :: !vars
@@ -255,12 +272,12 @@ let parse_program st =
     ignore (next st);
     let rec go () =
       match st.toks with
-      | { tok = IDENT p; _ } :: { tok = EQDEF; _ } :: rest ->
+      | ({ tok = IDENT p; _ } as pt) :: { tok = EQDEF; _ } :: rest ->
           st.toks <- rest;
           expect st LBRACE;
           let vs = ident_list st in
           expect st RBRACE;
-          processes := (p, vs) :: !processes;
+          processes := (p, vs, span_of pt) :: !processes;
           go ()
       | _ -> ()
     in

@@ -1,8 +1,9 @@
 (** Recursive-descent parser for the surface syntax (see {!Token} for the
     grammar sketch). *)
 
-exception Parse_error of string
-(** Message includes line/column. *)
+exception Parse_error of Loc.span * string
+(** Position of the offending token and a message (without the position —
+    callers prepend [file:line:col] as appropriate). *)
 
 val program_of_string : string -> Ast.program
 (** Parse a whole program.  @raise Parse_error / @raise Token.Lex_error. *)

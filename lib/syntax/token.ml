@@ -43,10 +43,12 @@ type token =
 
 type located = { tok : token; line : int; col : int }
 
-exception Lex_error of string
+let span_of (lt : located) = Loc.make ~line:lt.line ~col:lt.col
+
+exception Lex_error of Loc.span * string
 
 let lex_error line col fmt =
-  Format.kasprintf (fun s -> raise (Lex_error (Printf.sprintf "line %d, col %d: %s" line col s))) fmt
+  Format.kasprintf (fun s -> raise (Lex_error (Loc.make ~line ~col, s))) fmt
 
 let keyword = function
   | "program" -> Some KPROGRAM

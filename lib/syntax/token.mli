@@ -62,8 +62,11 @@ type token =
 
 type located = { tok : token; line : int; col : int }
 
-exception Lex_error of string
-(** Carries a human-readable message with position. *)
+val span_of : located -> Loc.span
+
+exception Lex_error of Loc.span * string
+(** Position of the offending character and a message (without the
+    position — callers prepend [file:line:col] as appropriate). *)
 
 val tokenize : string -> located list
 (** Lex a whole source file.  @raise Lex_error on unknown characters. *)

@@ -1,0 +1,519 @@
+(* The static-analysis subsystem: diagnostics, read/write sets, and the
+   lint passes — including the paper-specific checks that predict the
+   Figure 1-2 pathologies from the program text alone. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+open Kpt_syntax
+open Kpt_analysis
+module D = Diagnostic
+
+let lint = Lint.lint_source ~file:"test.unity"
+let codes ds = List.map (fun (d : D.t) -> d.D.code) ds
+let find code ds = List.find_opt (fun (d : D.t) -> d.D.code = code) ds
+let has code ds = find code ds <> None
+
+let check_codes msg expected ds =
+  Alcotest.(check (list string)) msg expected (codes ds)
+
+(* position of the first occurrence of [needle] in the [line]th (1-based)
+   line of [src], as a (line, col) pair — so span expectations track the
+   fixture text instead of hard-coding columns *)
+let pos_of src ~line needle =
+  let lines = String.split_on_char '\n' src in
+  let text = List.nth lines (line - 1) in
+  let rec go i =
+    if i + String.length needle > String.length text then
+      Alcotest.failf "%S not found on line %d" needle line
+    else if String.sub text i (String.length needle) = needle then i + 1
+    else go (i + 1)
+  in
+  (line, go 0)
+
+let check_span msg src ~line needle (d : D.t) =
+  let el, ec = pos_of src ~line needle in
+  match d.D.span with
+  | Some { Loc.line = l; col = c } ->
+      Alcotest.(check (pair int int)) msg (el, ec) (l, c)
+  | None -> Alcotest.failf "%s: diagnostic has no span" msg
+
+(* ---- the paper's figures: the polarity pass must predict the pathology ---- *)
+
+let figure1_src =
+  {|program figure1
+var shared, x : bool
+processes
+  P0 = { shared }
+  P1 = { shared, x }
+init ~shared /\ ~x
+assign
+  s0: shared := true if K[P0](~x)
+| s1: x, shared := true, false if shared
+|}
+
+let figure2_src =
+  {|program figure2
+var x, y, z : bool
+processes
+  P0 = { y }
+  P1 = { z }
+init ~y
+assign
+  s0: y := true if K[P0](x)
+| s1: z := true if K[P1](~y)
+|}
+
+let test_figure1_polarity () =
+  let ds = lint figure1_src in
+  check_codes "exactly the Figure-1 warning" [ "KPT010" ] ds;
+  let d = Option.get (find "KPT010" ds) in
+  Alcotest.(check bool) "warning severity" true (d.D.severity = D.Warning);
+  check_span "K operator span" figure1_src ~line:8 "K[P0]" d;
+  Alcotest.(check int) "clean exit without --warn-error" 0 (D.exit_code ds);
+  Alcotest.(check int) "non-zero under --warn-error" 1 (D.exit_code ~warn_error:true ds)
+
+let test_figure2_polarity () =
+  let ds = lint figure2_src in
+  (* s1's K[P1](~y) is the non-monotonicity trigger; z is write-only *)
+  let d = Option.get (find "KPT010" ds) in
+  check_span "K operator span" figure2_src ~line:9 "K[P1]" d;
+  let wo = Option.get (find "KPT021" ds) in
+  Alcotest.(check bool) "write-only z is Info" true (wo.D.severity = D.Info);
+  check_codes "nothing else" [ "KPT021"; "KPT010" ] ds;
+  Alcotest.(check int) "infos and warnings exit 0" 0 (D.exit_code ds)
+
+let test_negative_position () =
+  let src =
+    {|program negk
+var x, y : bool
+processes
+  P0 = { x }
+init true
+assign
+  s: y := true if ~K[P0](x)
+|}
+  in
+  let ds = lint src in
+  Alcotest.(check bool) "K in negative position" true (has "KPT011" ds);
+  (* x itself is not negated inside the operator *)
+  Alcotest.(check bool) "no negated-fact warning" false (has "KPT010" ds)
+
+(* ---- the shipped example specs lint exactly as documented ----------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let s = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  s
+
+let spec name = "../examples/specs/" ^ name
+
+let test_examples_clean () =
+  List.iter
+    (fun name ->
+      let ds = Lint.lint_source ~file:name (read_file (spec name)) in
+      check_codes (name ^ " is clean") [] ds)
+    [ "transmit.unity"; "mutex.unity" ]
+
+let test_examples_figures () =
+  List.iter
+    (fun name ->
+      let ds = Lint.lint_source ~file:name (read_file (spec name)) in
+      Alcotest.(check bool) (name ^ " triggers KPT010") true (has "KPT010" ds);
+      Alcotest.(check bool)
+        (name ^ " has no errors")
+        true
+        (not (List.exists D.is_error ds));
+      Alcotest.(check int) (name ^ " fails under --warn-error") 1
+        (D.exit_code ~warn_error:true ds))
+    [ "figure1.unity"; "figure2.unity" ]
+
+(* ---- locality and interference (eq. 13) ----------------------------------- *)
+
+let test_locality_violation () =
+  let src =
+    {|program loc
+var x, y : bool
+processes
+  P0 = { x }
+  P1 = { x, y }
+init true
+assign
+  s: x := true if K[P0](y) /\ y
+|}
+  in
+  let ds = lint src in
+  let d = Option.get (find "KPT012" ds) in
+  Alcotest.(check bool) "locality is an error" true (D.is_error d);
+  Alcotest.(check int) "exit 1" 1 (D.exit_code ds);
+  (* the same guard with the read under K is implementable: K[P0](y) is a
+     predicate on P0's variables by eq. 13 *)
+  let ok_src =
+    {|program loc
+var x, y : bool
+processes
+  P0 = { x }
+  P1 = { x, y }
+init true
+assign
+  s: x := true if K[P0](y) /\ x
+|}
+  in
+  check_codes "local guard is clean" [] (lint ok_src)
+
+let test_unknown_process () =
+  let src =
+    {|program unk
+var x : bool
+processes
+  P0 = { x }
+init true
+assign
+  s: x := true if K[Q](x)
+|}
+  in
+  let ds = lint src in
+  Alcotest.(check bool) "undeclared process in K" true (has "KPT013" ds);
+  Alcotest.(check bool) "elaboration also rejects it" true (has "KPT003" ds)
+
+let test_undeclared_process_var () =
+  let src =
+    {|program badproc
+var x : bool
+processes
+  P0 = { x, ghost }
+init true
+assign
+  s: x := true
+|}
+  in
+  Alcotest.(check bool) "process lists undeclared variable" true
+    (has "KPT014" (lint src))
+
+let test_foreign_write_and_interference () =
+  let src =
+    {|program intf
+var x, y, z : bool
+processes
+  P0 = { x, z }
+  P1 = { y, z }
+init true
+assign
+  s0: y := true if K[P0](x)
+| s1: y := false if K[P1](x)
+|}
+  in
+  let ds = lint src in
+  (* s0 writes y on P0's behalf, but y is not P0's variable *)
+  Alcotest.(check bool) "foreign write" true (has "KPT030" ds);
+  (* y is written on behalf of both P0 and P1 *)
+  Alcotest.(check bool) "interference" true (has "KPT031" ds)
+
+(* ---- hygiene --------------------------------------------------------------- *)
+
+let test_unused_and_write_only () =
+  let src =
+    {|program hyg
+var x, unused, sink : bool
+init x
+assign
+  s: sink := x
+|}
+  in
+  let ds = lint src in
+  let u = Option.get (find "KPT020" ds) in
+  check_span "unused points at its declaration" src ~line:2 "unused" u;
+  let wo = Option.get (find "KPT021" ds) in
+  Alcotest.(check bool) "write-only is Info" true (wo.D.severity = D.Info);
+  (* a variable read only by init is not unused: transmit.unity's w *)
+  let init_read =
+    {|program initread
+var x, w : bool
+init w = x
+assign
+  s: w := true
+|}
+  in
+  check_codes "init counts as a read" [] (lint init_read)
+
+let test_identity_and_duplicate () =
+  let src =
+    {|program dup
+var x, y : bool
+init x \/ y
+assign
+  spin: x := x
+| a: y := x if x
+| b: y := x if x
+|}
+  in
+  let ds = lint src in
+  Alcotest.(check bool) "identity assignment" true (has "KPT022" ds);
+  let d = Option.get (find "KPT023" ds) in
+  check_span "duplicate points at the later copy" src ~line:7 "b:" d
+
+let test_constant_guards () =
+  let src =
+    {|program cg
+var x : bool
+var mode : enum(idle, busy)
+init x /\ mode = idle
+assign
+  dead: x := false if x /\ false
+| triv: x := true if true \/ x
+| live: mode := busy if mode = idle
+|}
+  in
+  let ds = lint src in
+  let dead = Option.get (find "KPT024" ds) in
+  Alcotest.(check bool) "false guard is a warning" true (dead.D.severity = D.Warning);
+  let triv = Option.get (find "KPT025" ds) in
+  Alcotest.(check bool) "true guard is an info" true (triv.D.severity = D.Info);
+  check_codes "nothing else fires" [ "KPT024"; "KPT025" ] ds
+
+let test_nat_range () =
+  let src =
+    {|program rng
+var n : nat(2)
+var m : nat(2)
+init n = 0 /\ m = 0
+assign
+  a: n := n + 1 if n < 5
+| b: m := n if 3 = m
+|}
+  in
+  let ds = lint src in
+  (match List.filter (fun (d : D.t) -> d.D.code = "KPT026") ds with
+  | [ a; b ] ->
+      check_span "n < 5 span" src ~line:6 "n < 5" a;
+      Alcotest.(check bool) "n < 5 is always true" true
+        (String.length a.D.message > 0
+        && String.sub a.D.message (String.length a.D.message - 4) 4 = "true");
+      Alcotest.(check bool) "3 = m is always false" true
+        (String.sub b.D.message (String.length b.D.message - 5) 5 = "false")
+  | other -> Alcotest.failf "expected two KPT026, got %d" (List.length other));
+  (* the bound itself is in range: nat(2) ranges over 0..2 *)
+  let ok =
+    {|program rng2
+var n : nat(2)
+init n = 0
+assign
+  a: n := n + 1 if n < 2
+| b: n := 0 if n = 2
+|}
+  in
+  check_codes "comparisons at the bound are fine" [] (lint ok)
+
+(* ---- syntax errors surface as diagnostics, never exceptions ---------------- *)
+
+let test_syntax_errors_are_diagnostics () =
+  let lex = lint "program p\ninit x ? y" in
+  (match lex with
+  | [ d ] ->
+      Alcotest.(check string) "lex error code" "KPT001" d.D.code;
+      Alcotest.(check bool) "positioned" true (d.D.span <> None)
+  | _ -> Alcotest.fail "expected exactly one lexical diagnostic");
+  let parse = lint "program p\nvar x : bool\ninit x /\\\nassign s: x := true" in
+  (match parse with
+  | [ d ] -> Alcotest.(check string) "parse error code" "KPT002" d.D.code
+  | _ -> Alcotest.fail "expected exactly one parse diagnostic");
+  let elab = lint "program p\nvar x : bool\ninit y\nassign s: x := true" in
+  Alcotest.(check bool) "elaboration error code" true (has "KPT003" elab);
+  Alcotest.(check int) "all exit non-zero" 1 (D.exit_code parse)
+
+let test_rendering () =
+  let ds = lint figure1_src in
+  let d = Option.get (find "KPT010" ds) in
+  let line = Format.asprintf "%a" D.pp d in
+  let l, c = pos_of figure1_src ~line:8 "K[P0]" in
+  Alcotest.(check string) "one-line rendering"
+    (Printf.sprintf "test.unity:%d:%d: warning[KPT010]: %s" l c d.D.message)
+    line;
+  let excerpt = Format.asprintf "@[<v>%a@]" (D.pp_excerpt ~src:figure1_src) d in
+  Alcotest.(check bool) "excerpt shows the source line" true
+    (String.length excerpt > String.length line);
+  Alcotest.(check string) "summary" "1 warning" (D.summary ds)
+
+(* ---- read/write sets and the cone of influence ----------------------------- *)
+
+let test_rw_and_cone () =
+  let vars = Rw.S.of_list [ "a"; "b"; "c"; "d" ] in
+  let p =
+    Parser.program_of_string
+      {|program cone
+var a, b, c, d : bool
+init a
+assign
+  s0: b := a
+| s1: c := b if K[P](d)
+|}
+  in
+  let s1 = List.nth p.Ast.p_stmts 1 in
+  let rw = Rw.of_stmt ~vars s1 in
+  Alcotest.(check (list string)) "writes" [ "c" ] (Rw.S.elements rw.Rw.writes);
+  Alcotest.(check (list string)) "rhs reads" [ "b" ] (Rw.S.elements rw.Rw.rhs_reads);
+  (match rw.Rw.kops with
+  | [ k ] ->
+      Alcotest.(check (list string)) "reads under K" [ "d" ]
+        (Rw.S.elements k.Rw.kreads);
+      Alcotest.(check bool) "not negated" true (Rw.S.is_empty k.Rw.negated_reads)
+  | _ -> Alcotest.fail "expected one knowledge operator");
+  let stmts =
+    List.map
+      (fun s ->
+        let rw = Rw.of_stmt ~vars s in
+        (rw.Rw.writes, Rw.all_reads rw))
+      p.Ast.p_stmts
+  in
+  let cone = Rw.cone stmts (Rw.S.singleton "c") in
+  Alcotest.(check (list string)) "cone of c" [ "a"; "b"; "c"; "d" ]
+    (Rw.S.elements cone);
+  Alcotest.(check (list string)) "cone of d is d alone" [ "d" ]
+    (Rw.S.elements (Rw.cone stmts (Rw.S.singleton "d")))
+
+let test_program_cone () =
+  let sp = Space.create () in
+  let a = Space.bool_var sp "a" in
+  let b = Space.bool_var sp "b" in
+  let c = Space.bool_var sp "c" in
+  let prog =
+    Program.make sp ~name:"cone" ~init:(Expr.var a)
+      [
+        Stmt.make ~name:"s0" [ (b, Expr.var a) ];
+        Stmt.make ~name:"s1" ~guard:(Expr.var b) [ (c, Expr.tru) ];
+      ]
+  in
+  let idx v = Space.idx v in
+  let cone = Rw.program_cone prog (Rw.V.singleton (idx c)) in
+  Alcotest.(check (list int)) "influences of c"
+    (List.sort compare [ idx a; idx b; idx c ])
+    (List.sort compare (Rw.V.elements cone))
+
+(* ---- the in-memory API: KBPs and compiled programs dogfood the linter ------ *)
+
+let build_figure1 () =
+  let sp = Space.create () in
+  let shared = Space.bool_var sp "shared" in
+  let x = Space.bool_var sp "x" in
+  let p0 = Process.make "P0" [ shared ] in
+  let p1 = Process.make "P1" [ shared; x ] in
+  Kbp.make sp ~name:"figure1"
+    ~init:Expr.(not_ (var shared) &&& not_ (var x))
+    ~processes:[ p0; p1 ]
+    [
+      Kbp.kstmt ~name:"s0"
+        ~guard:(Kform.k "P0" (Kform.knot (Kform.base (Expr.var x))))
+        [ (shared, Expr.tru) ];
+      Kbp.kstmt ~name:"s1" ~guard:(Kform.base (Expr.var shared))
+        [ (x, Expr.tru); (shared, Expr.fls) ];
+    ]
+
+let test_lint_kbp_figure1 () =
+  let ds = Lint.lint_kbp (build_figure1 ()) in
+  (match List.map (fun (d : D.t) -> d.D.code) ds with
+  | [ "KPT010" ] -> ()
+  | other -> Alcotest.failf "expected [KPT010], got [%s]" (String.concat "; " other));
+  let d = List.hd ds in
+  Alcotest.(check bool) "names the culprit" true
+    (let msg = d.D.message in
+     let rec contains i =
+       i + 1 <= String.length msg
+       && ((i + 4 <= String.length msg && String.sub msg i 4 = "s0 i") || contains (i + 1))
+     in
+     contains 0)
+
+let test_lint_kbp_checks () =
+  let sp = Space.create () in
+  let x = Space.bool_var sp "x" in
+  let y = Space.bool_var sp "y" in
+  let p0 = Process.make "P0" [ x ] in
+  let p1 = Process.make "P1" [ x; y ] in
+  let kbp =
+    Kbp.make sp ~name:"k" ~init:(Expr.var x) ~processes:[ p0; p1 ]
+      [
+        (* K[P0] under negation: negative position *)
+        Kbp.kstmt ~name:"s0"
+          ~guard:(Kform.knot (Kform.k "P0" (Kform.base (Expr.var x))))
+          [ (x, Expr.tru) ];
+        (* writes y on P0's behalf *)
+        Kbp.kstmt ~name:"s1"
+          ~guard:(Kform.k "P0" (Kform.base (Expr.var x)))
+          [ (y, Expr.tru) ];
+        (* identity assignment *)
+        Kbp.kstmt ~name:"s2" ~guard:(Kform.base (Expr.var y)) [ (x, Expr.var x) ];
+      ]
+  in
+  let ds = Lint.lint_kbp kbp in
+  Alcotest.(check bool) "negative position" true (has "KPT011" ds);
+  Alcotest.(check bool) "foreign write" true (has "KPT030" ds);
+  Alcotest.(check bool) "identity" true (has "KPT022" ds)
+
+let test_lint_program_hygiene () =
+  let sp = Space.create () in
+  let a = Space.bool_var sp "a" in
+  let b = Space.bool_var sp "b" in
+  let prog =
+    Program.make sp ~name:"h" ~init:(Expr.var a)
+      [
+        Stmt.make ~name:"spin" [ (a, Expr.var a) ];
+        Stmt.make ~name:"dead" ~guard:Expr.(var a &&& not_ (var a)) [ (b, Expr.tru) ];
+        Stmt.make ~name:"c1" ~guard:(Expr.var a) [ (b, Expr.tru) ];
+        Stmt.make ~name:"c2" ~guard:(Expr.var a) [ (b, Expr.tru) ];
+      ]
+  in
+  let ds = Lint.lint_program prog in
+  Alcotest.(check bool) "identity" true (has "KPT022" ds);
+  Alcotest.(check bool) "statically false guard" true (has "KPT024" ds);
+  Alcotest.(check bool) "duplicate" true (has "KPT023" ds);
+  Alcotest.(check bool) "write-only b" true (has "KPT021" ds)
+
+let test_bundled_protocols_clean () =
+  let open Kpt_protocols in
+  let params = { Seqtrans.n = 2; a = 2 } in
+  let progs =
+    [
+      ("abp", (Abp.make ~lossy:true params).Abp.prog);
+      ("stenning", (Stenning.make ~lossy:true params).Stenning.prog);
+      ("auy", (Auy.make params).Auy.prog);
+      ("window", (Window.make ~lossy:false ~window:2 params).Window.prog);
+      ("seqtrans-std", (Seqtrans.standard ~lossy:false params).Seqtrans.sprog);
+      ("seqtrans-kbp", (Seqtrans.abstract_kbp params).Seqtrans.aprog);
+    ]
+  in
+  List.iter
+    (fun (name, prog) ->
+      let ds = Lint.lint_program prog in
+      let loud = List.filter (fun (d : D.t) -> d.D.severity <> D.Info) ds in
+      Alcotest.(check (list string)) (name ^ " lints clean") [] (codes loud))
+    progs
+
+let suite =
+  [
+    Alcotest.test_case "figure 1: K of a negated fact" `Quick test_figure1_polarity;
+    Alcotest.test_case "figure 2: non-monotonic trigger" `Quick test_figure2_polarity;
+    Alcotest.test_case "K in negative position" `Quick test_negative_position;
+    Alcotest.test_case "shipped specs: transmit/mutex clean" `Quick test_examples_clean;
+    Alcotest.test_case "shipped specs: figures warn" `Quick test_examples_figures;
+    Alcotest.test_case "locality (eq. 13)" `Quick test_locality_violation;
+    Alcotest.test_case "unknown process in K" `Quick test_unknown_process;
+    Alcotest.test_case "undeclared process variable" `Quick test_undeclared_process_var;
+    Alcotest.test_case "foreign writes + interference" `Quick
+      test_foreign_write_and_interference;
+    Alcotest.test_case "unused / write-only variables" `Quick test_unused_and_write_only;
+    Alcotest.test_case "identity + duplicate statements" `Quick
+      test_identity_and_duplicate;
+    Alcotest.test_case "constant guards" `Quick test_constant_guards;
+    Alcotest.test_case "nat range comparisons" `Quick test_nat_range;
+    Alcotest.test_case "syntax errors as diagnostics" `Quick
+      test_syntax_errors_are_diagnostics;
+    Alcotest.test_case "rendering and exit codes" `Quick test_rendering;
+    Alcotest.test_case "read/write sets + cone" `Quick test_rw_and_cone;
+    Alcotest.test_case "semantic cone" `Quick test_program_cone;
+    Alcotest.test_case "lint_kbp: figure 1" `Quick test_lint_kbp_figure1;
+    Alcotest.test_case "lint_kbp: polarity, locality, hygiene" `Quick
+      test_lint_kbp_checks;
+    Alcotest.test_case "lint_program: hygiene" `Quick test_lint_program_hygiene;
+    Alcotest.test_case "bundled protocols lint clean" `Quick
+      test_bundled_protocols_clean;
+  ]

@@ -512,31 +512,32 @@ let prop_kbp_standard_unique =
 
 let surface_expr_gen =
   let open QCheck.Gen in
+  let mk = Kpt_syntax.Ast.mk in
   let ident = oneofl [ "alpha"; "beta"; "gamma" ] in
   let rec go size =
     if size <= 1 then
       oneof
         [
-          return Kpt_syntax.Ast.Etrue;
-          return Kpt_syntax.Ast.Efalse;
-          map (fun n -> Kpt_syntax.Ast.Enum n) (int_bound 9);
-          map (fun s -> Kpt_syntax.Ast.Eident s) ident;
+          return (mk Kpt_syntax.Ast.Etrue);
+          return (mk Kpt_syntax.Ast.Efalse);
+          map (fun n -> mk (Kpt_syntax.Ast.Enum n)) (int_bound 9);
+          map (fun s -> mk (Kpt_syntax.Ast.Eident s)) ident;
         ]
     else
       let sub = go (size / 2) in
       oneof
         [
-          map (fun a -> Kpt_syntax.Ast.Enot a) (go (size - 1));
-          map2 (fun a b -> Kpt_syntax.Ast.Eand (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Eor (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Eimp (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Eiff (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Eeq (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Elt (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Eadd (a, b)) sub sub;
-          map2 (fun a b -> Kpt_syntax.Ast.Esub (a, b)) sub sub;
-          map2 (fun i a -> Kpt_syntax.Ast.Eindex (i, a)) ident sub;
-          map2 (fun pname a -> Kpt_syntax.Ast.Eknow (pname, a)) ident sub;
+          map (fun a -> mk (Kpt_syntax.Ast.Enot a)) (go (size - 1));
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eand (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eor (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eimp (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eiff (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eeq (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Elt (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Eadd (a, b))) sub sub;
+          map2 (fun a b -> mk (Kpt_syntax.Ast.Esub (a, b))) sub sub;
+          map2 (fun i a -> mk (Kpt_syntax.Ast.Eindex (i, a))) ident sub;
+          map2 (fun pname a -> mk (Kpt_syntax.Ast.Eknow (pname, a))) ident sub;
         ]
   in
   QCheck.Gen.sized (fun s -> go (min s 14))

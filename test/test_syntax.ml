@@ -51,9 +51,10 @@ let test_lexer_error () =
   (try
      ignore (Token.tokenize "x # y");
      Alcotest.fail "expected a lex error"
-   with Token.Lex_error msg ->
-     Alcotest.(check bool) "position in message" true
-       (String.length msg > 0 && msg.[0] = 'l'))
+   with Token.Lex_error (span, msg) ->
+     Alcotest.(check (pair int int)) "error position" (1, 3) (span.Loc.line, span.Loc.col);
+     Alcotest.(check bool) "message names the character" true
+       (String.length msg > 0))
 
 let test_parse_figure1 () =
   let p = Parser.program_of_string figure1_src in
@@ -67,23 +68,31 @@ let test_parse_figure1 () =
        s1.Ast.s_targets)
 
 let test_parse_precedence () =
+  let mk = Ast.mk in
+  let id s = mk (Ast.Eident s) in
   (* ~a /\ b \/ c => d  parses as  ((~a /\ b) \/ c) => d *)
   let e = Parser.expr_of_string "~a /\\ b \\/ c => d" in
-  (match e with
-  | Ast.Eimp (Ast.Eor (Ast.Eand (Ast.Enot (Ast.Eident "a"), Ast.Eident "b"), Ast.Eident "c"),
-              Ast.Eident "d") -> ()
-  | _ -> Alcotest.fail "wrong precedence");
+  Alcotest.(check bool) "boolean precedence" true
+    (Ast.equal_expr e
+       (mk
+          (Ast.Eimp
+             ( mk (Ast.Eor (mk (Ast.Eand (mk (Ast.Enot (id "a")), id "b")), id "c")),
+               id "d" ))));
   (* arithmetic binds tighter than comparison *)
   let e2 = Parser.expr_of_string "n + 1 <= m - 2" in
-  match e2 with
-  | Ast.Ele (Ast.Eadd (Ast.Eident "n", Ast.Enum 1), Ast.Esub (Ast.Eident "m", Ast.Enum 2)) -> ()
-  | _ -> Alcotest.fail "wrong arithmetic precedence"
+  Alcotest.(check bool) "arithmetic precedence" true
+    (Ast.equal_expr e2
+       (mk
+          (Ast.Ele
+             ( mk (Ast.Eadd (id "n", mk (Ast.Enum 1))),
+               mk (Ast.Esub (id "m", mk (Ast.Enum 2))) ))))
 
 let test_parse_group_knowledge () =
   let e = Parser.expr_of_string "C[A, B](x = 1) /\\ E[A](y)" in
-  match e with
-  | Ast.Eand (Ast.Egroup (Ast.Gcommon, [ "A"; "B" ], _), Ast.Egroup (Ast.Geveryone, [ "A" ], _))
-    -> ()
+  match e.Ast.expr with
+  | Ast.Eand
+      ( { Ast.expr = Ast.Egroup (Ast.Gcommon, [ "A"; "B" ], _); _ },
+        { Ast.expr = Ast.Egroup (Ast.Geveryone, [ "A" ], _); _ } ) -> ()
   | _ -> Alcotest.fail "group knowledge misparsed"
 
 let test_parse_errors () =
@@ -144,7 +153,7 @@ let test_elaborate_errors () =
     try
       ignore (Elaborate.program (Parser.program_of_string src));
       Alcotest.failf "expected an elaboration error for %s" expected_fragment
-    with Elaborate.Elab_error msg ->
+    with Elaborate.Elab_error (_, msg) ->
       let contains hay needle =
         let nl = String.length needle and hl = String.length hay in
         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
@@ -190,7 +199,7 @@ let test_array_parse_roundtrip () =
   let p2 = Parser.program_of_string printed in
   Alcotest.(check string) "array roundtrip" printed (Format.asprintf "%a" Ast.pp_program p2);
   match (List.hd p.Ast.p_stmts).Ast.s_exprs with
-  | [ Ast.Eindex ("buf", Ast.Eident "head"); _ ] -> ()
+  | [ { Ast.expr = Ast.Eindex ("buf", { Ast.expr = Ast.Eident "head"; _ }); _ }; _ ] -> ()
   | _ -> Alcotest.fail "array index misparsed"
 
 let test_array_elaborate () =
@@ -232,7 +241,7 @@ let test_array_errors () =
     try
       ignore (Elaborate.program (Parser.program_of_string src));
       Alcotest.failf "expected error about %s" frag
-    with Elaborate.Elab_error msg ->
+    with Elaborate.Elab_error (_, msg) ->
       let contains hay needle =
         let nl = String.length needle and hl = String.length hay in
         let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
