@@ -1,0 +1,66 @@
+(* The CI performance gate.
+
+     gate [--tolerance R] BASELINE.json CURRENT.json
+
+   Compares the [benchmarks_ns_per_run] sections of two bench JSON files
+   (as written by [bench/main.ml]) and exits non-zero when any benchmark
+   is more than [R] slower than its baseline (default 0.25, i.e. +25%).
+   Benchmarks present in the baseline but absent from the current run
+   also fail the gate — renames must refresh the baseline, not silently
+   drop coverage. *)
+
+let usage () =
+  prerr_endline "usage: gate [--tolerance R] BASELINE.json CURRENT.json";
+  exit 2
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let () =
+  let tolerance = ref 0.25 in
+  let files = ref [] in
+  let rec parse i =
+    if i < Array.length Sys.argv then
+      match Sys.argv.(i) with
+      | "--tolerance" when i + 1 < Array.length Sys.argv ->
+          (match float_of_string_opt Sys.argv.(i + 1) with
+          | Some t when t >= 0.0 -> tolerance := t
+          | _ -> usage ());
+          parse (i + 2)
+      | "--tolerance" -> usage ()
+      | a ->
+          files := a :: !files;
+          parse (i + 1)
+  in
+  parse 1;
+  match List.rev !files with
+  | [ baseline_path; current_path ] -> (
+      match
+        Kpt_obs.Gate.check ~tolerance:!tolerance ~baseline:(read_file baseline_path)
+          (read_file current_path)
+      with
+      | report ->
+          Format.printf "bench gate: %s vs %s (tolerance +%.0f%%)@." current_path
+            baseline_path (100.0 *. !tolerance);
+          Format.printf "%a@." Kpt_obs.Gate.pp_report report;
+          if report.Kpt_obs.Gate.regressions = [] && report.Kpt_obs.Gate.missing = [] then begin
+            Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
+              (List.length report.Kpt_obs.Gate.verdicts);
+            exit 0
+          end
+          else begin
+            Format.printf
+              "bench gate: FAIL (%d regression(s), %d missing) — investigate, or refresh \
+               BENCH_BASELINE.json if the slowdown is intended@."
+              (List.length report.Kpt_obs.Gate.regressions)
+              (List.length report.Kpt_obs.Gate.missing);
+            exit 1
+          end
+      | exception Failure msg ->
+          Format.eprintf "bench gate: error: %s@." msg;
+          exit 2)
+  | _ -> usage ()

@@ -8,7 +8,8 @@
      kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
      kpt parse FILE             parse and elaborate a .unity source file
      kpt lint FILE …            run the static-analysis passes on source files
-     kpt verify FILE …          check user-supplied properties of a file *)
+     kpt verify FILE …          check user-supplied properties of a file
+     kpt stats FILE             profile the engine on a file (--json for machines) *)
 
 open Cmdliner
 open Kpt_predicate
@@ -40,6 +41,24 @@ let seed_arg = Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Scheduler seed.")
 
 let steps_arg =
   Arg.(value & opt int 200 & info [ "steps" ] ~doc:"Number of scheduler steps.")
+
+let trace_arg =
+  Arg.(
+    value & flag
+    & info [ "trace" ]
+        ~doc:
+          "Stream fixpoint iterations (sst frontiers, Ĝ-iteration steps, gfp sweeps) to \
+           standard error as they happen.")
+
+(* [--trace] installs the observability sink for the duration of [f];
+   with the flag off the sink stays [None] and the instrumented layers
+   allocate nothing. *)
+let with_trace trace f =
+  if not trace then f ()
+  else begin
+    Kpt_obs.set_sink (Some (Kpt_obs.trace_sink Format.err_formatter));
+    Fun.protect ~finally:(fun () -> Kpt_obs.set_sink None) f
+  end
 
 (* ---- experiments --------------------------------------------------------- *)
 
@@ -98,7 +117,8 @@ let solve_cmd =
       & pos 0 (some (enum [ ("figure1", `Fig1); ("figure2", `Fig2); ("figure2-strong", `Fig2s) ])) None
       & info [] ~docv:"MODEL" ~doc:"figure1, figure2 or figure2-strong.")
   in
-  let run model =
+  let run model trace =
+    with_trace trace @@ fun () ->
     let kbp =
       match model with
       | `Fig1 -> build_figure1 ()
@@ -123,7 +143,7 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a knowledge-based protocol (Figures 1-2).")
-    Term.(const run $ model)
+    Term.(const run $ model $ trace_arg)
 
 (* ---- check ---------------------------------------------------------------- *)
 
@@ -325,37 +345,26 @@ let parse_cmd =
 (* ---- lint -------------------------------------------------------------------- *)
 
 let lint_cmd =
-  let module D = Kpt_analysis.Diagnostic in
   let warn_error =
     Arg.(
       value & flag
       & info [ "warn-error" ] ~doc:"Treat warnings as errors for the exit code.")
   in
   let quiet =
-    Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Suppress source excerpts.")
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:
+            "Print nothing; communicate through the exit code only.  The exit-code \
+             policy is unchanged: 1 iff any error (or any warning with \
+             $(b,--warn-error)).")
   in
   let files_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"A .unity source file.")
   in
   let run paths warn_error quiet =
-    let all =
-      List.concat_map
-        (fun path ->
-          let src = read_file path in
-          let ds = Kpt_analysis.Lint.lint_source ~file:path src in
-          List.iter
-            (fun d ->
-              if quiet then Format.printf "%a@." D.pp d
-              else Format.printf "@[<v>%a@]@." (D.pp_excerpt ~src) d)
-            ds;
-          ds)
-        paths
-    in
-    (match (all, paths) with
-    | [], [ p ] -> Format.printf "%s: no findings@." p
-    | [], _ -> Format.printf "%d files: no findings@." (List.length paths)
-    | ds, _ -> Format.printf "%s@." (D.summary ds));
-    D.exit_code ~warn_error all
+    let sources = List.map (fun path -> (path, read_file path)) paths in
+    Kpt_analysis.Lint.run_sources ~warn_error ~quiet Format.std_formatter sources
   in
   Cmd.v
     (Cmd.info "lint"
@@ -365,7 +374,8 @@ let lint_cmd =
     Term.(const run $ files_arg $ warn_error $ quiet)
 
 let solve_file_cmd =
-  let run path =
+  let run path trace =
+    with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     Format.printf "%a@.@." Kbp.pp kbp;
     (match Kbp.solutions kbp with
@@ -385,7 +395,7 @@ let solve_file_cmd =
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ trace_arg)
 
 let verify_cmd =
   let invariants =
@@ -399,7 +409,8 @@ let verify_cmd =
       value & opt_all string []
       & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
   in
-  let run path invs stbls ltos =
+  let run path invs stbls ltos trace =
+    with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     try
     let prog =
@@ -446,7 +457,42 @@ let verify_cmd =
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Check user-supplied UNITY properties of a .unity file.")
-    Term.(const run $ file_arg $ invariants $ stables $ leadstos)
+    Term.(const run $ file_arg $ invariants $ stables $ leadstos $ trace_arg)
+
+(* ---- stats: the engine profile of a single file ------------------------------ *)
+
+let stats_cmd =
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit a machine-readable JSON profile instead of the human table.  Add \
+             $(b,--timings) for wall-clock spans (off by default so the output is \
+             deterministic).")
+  in
+  let timings =
+    Arg.(
+      value & flag
+      & info [ "timings" ] ~doc:"Include the (nondeterministic) timings_ns section in --json.")
+  in
+  let run path json timings =
+    with_loaded path @@ fun loaded ->
+    match Kpt_analysis.Stats.collect ~file:path loaded with
+    | st ->
+        if json then print_string (Kpt_analysis.Stats.to_json ~timings st)
+        else Format.printf "%a@." Kpt_analysis.Stats.pp st;
+        0
+    | exception Failure msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:
+         "Profile the engine on a .unity file: op-cache hit rate, node counts, fixpoint \
+          iteration depths and exact state-space size.")
+    Term.(const run $ file_arg $ json $ timings)
 
 (* ---- knowledge queries on .unity files -------------------------------------- *)
 
@@ -525,5 +571,5 @@ let () =
        (Cmd.group info
           [
             experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
-            lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd;
+            lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
           ]))

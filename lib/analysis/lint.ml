@@ -401,6 +401,31 @@ let lint_source ?file src =
   | exception ((Token.Lex_error _ | Parser.Parse_error _) as e) ->
       [ Option.get (D.of_syntax_exn ?file e) ]
 
+(* The file-set driver behind [kpt lint].  Rendering and exit policy are
+   deliberately decoupled: [--quiet] silences every line of output
+   (diagnostics, summaries, the "no findings" note) but the exit code is
+   computed from the findings alone — errors always fail, warnings fail
+   only under [--warn-error] — so scripts can rely on the code while
+   discarding the text.  Lives here (not in bin/) so the flag matrix is
+   unit-testable. *)
+let run_sources ?(warn_error = false) ?(quiet = false) ppf sources =
+  let all =
+    List.concat_map
+      (fun (file, src) ->
+        let ds = lint_source ~file src in
+        if not quiet then
+          List.iter (fun d -> Format.fprintf ppf "@[<v>%a@]@." (D.pp_excerpt ~src) d) ds;
+        ds)
+      sources
+  in
+  if not quiet then begin
+    match (all, sources) with
+    | [], [ (p, _) ] -> Format.fprintf ppf "%s: no findings@." p
+    | [], _ -> Format.fprintf ppf "%d files: no findings@." (List.length sources)
+    | ds, _ -> Format.fprintf ppf "%s@." (D.summary ds)
+  end;
+  D.exit_code ~warn_error all
+
 (* ---- semantic granularity: in-memory programs and KBPs --------------------- *)
 
 module V = Rw.V

@@ -35,6 +35,15 @@ val lint_source : ?file:string -> string -> Diagnostic.t list
     well-formed program gets the full {!lint_ast} treatment.  Never
     raises. *)
 
+val run_sources :
+  ?warn_error:bool -> ?quiet:bool -> Format.formatter -> (string * string) list -> int
+(** [run_sources ppf [(file, contents); …]] is the driver behind
+    [kpt lint]: lint every source, render diagnostics (with excerpts)
+    and a summary to [ppf], and return the process exit code.
+    [~quiet:true] suppresses {e all} rendering but {e never} alters the
+    exit code, which depends only on the findings: 1 iff any error, or
+    any warning when [~warn_error:true]. *)
+
 val lint_kbp : ?file:string -> Kbp.t -> Diagnostic.t list
 (** Structural checks on an in-memory knowledge-based protocol:
     K-polarity and locality over its {!Kform.t} guards, plus hygiene and

@@ -26,6 +26,14 @@ let log_src = Logs.Src.create "kpt.kbp" ~doc:"knowledge-based protocol solvers"
 
 module Log = (val Logs.src_log log_src)
 
+(* Eq. 25 observability: every application of the Ĝ operator is counted
+   (both solvers funnel through it), the exhaustive solver counts the
+   candidates it tries, and chaotic iteration reports its fixpoint depth
+   — with per-step candidate sizes streamed to the trace sink. *)
+let c_g_apps = Kpt_obs.counter "kbp.g_operator.applications"
+let c_candidates = Kpt_obs.counter "kbp.solutions.candidates"
+let c_iterate_steps = Kpt_obs.counter "kbp.iterate.steps"
+
 let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
 
 let kstmt ~name ~guard assigns = { kname = name; kguard = guard; kassigns = assigns }
@@ -81,7 +89,9 @@ let instantiate k ~si =
   let stmts = concrete_statements k ~si in
   Program.make_with_init_pred k.space ~name:k.name ~init:k.init ~processes:k.processes stmts
 
-let g_operator k x = Pred.normalize k.space (Program.si (instantiate k ~si:x))
+let g_operator k x =
+  Kpt_obs.incr c_g_apps;
+  Pred.normalize k.space (Program.si (instantiate k ~si:x))
 
 (* Over-approximation of every state any solution can contain: closure of
    the initial states under unconditional statement bodies.  States whose
@@ -141,6 +151,7 @@ let solutions ?(max_states = 22) k =
     for b = 0 to nfree - 1 do
       if (mask lsr b) land 1 = 1 then x := Bdd.or_ m !x (Space.pred_of_state sp free.(b))
     done;
+    Kpt_obs.incr c_candidates;
     let candidate = Pred.normalize sp !x in
     match g_operator k candidate with
     | gx -> if Bdd.equal gx candidate then found := candidate :: !found
@@ -162,9 +173,13 @@ let iterate ?(max_steps = 10_000) k =
   let seen = Hashtbl.create 64 in
   let rec go x steps trail =
     if steps > max_steps then invalid_arg "Kbp.iterate: step budget exhausted";
+    Kpt_obs.incr c_iterate_steps;
     let x' = g_operator k x in
     Log.debug (fun f ->
         f "iterate step %d: candidate has %d states" steps (Space.count_states_of sp x'));
+    if Kpt_obs.enabled () then
+      Kpt_obs.emit "kbp.iterate"
+        [ ("step", steps); ("candidate_states", Space.count_states_of sp x') ];
     if Bdd.equal x' x then Converged (x, steps)
     else if Hashtbl.mem seen (Bdd.uid x') then begin
       (* [trail] is newest-first; the orbit runs from the previous

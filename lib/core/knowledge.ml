@@ -1,7 +1,12 @@
 open Kpt_predicate
 open Kpt_unity
 
+let c_knows = Kpt_obs.counter "knowledge.knows.calls"
+let c_ck_runs = Kpt_obs.counter "knowledge.ck.runs"
+let c_ck_rounds = Kpt_obs.counter "knowledge.ck.rounds"
+
 let knows sp ~si proc p =
+  Kpt_obs.incr c_knows;
   let m = Space.manager sp in
   let cyl = Wcyl.wcyl sp (Process.vars proc) (Bdd.imp m si p) in
   Bdd.and_ m p (Bdd.or_ m cyl (Bdd.not_ m si))
@@ -38,13 +43,18 @@ let common_knowledge sp ~si group p =
            Bdd.and_ m q (Bdd.or_ m (Bdd.and_ m cyl_p cyl_x) not_si))
          per_proc)
   in
-  let rec go x nx =
+  Kpt_obs.incr c_ck_runs;
+  let rec go i x nx =
+    Kpt_obs.incr c_ck_rounds;
     let x' = everyone_knows_p_and x in
     let nx' = Pred.normalize sp x' in
-    if Bdd.equal nx nx' then x' else go x' nx'
+    if Kpt_obs.enabled () then
+      Kpt_obs.emit "ck.round"
+        [ ("round", i); ("states", Space.count_states_of sp nx') ];
+    if Bdd.equal nx nx' then x' else go (i + 1) x' nx'
   in
   let x0 = Bdd.tru m in
-  go x0 (Pred.normalize sp x0)
+  go 1 x0 (Pred.normalize sp x0)
 
 let distributed_knowledge sp ~si group p =
   let pooled =

@@ -1,4 +1,12 @@
 open Kpt_predicate
 
-let wcyl sp v p = Pred.forall_vars sp (Pred.complement_vars sp v) p
+(* The weakest-cylinder operator (eq. 6) is the workhorse under every
+   K_i; its call count, against the space's quant-cache hit counters,
+   shows how much cylinder computation is actually being amortised. *)
+let c_wcyl = Kpt_obs.counter "wcyl.calls"
+
+let wcyl sp v p =
+  Kpt_obs.incr c_wcyl;
+  Pred.forall_vars sp (Pred.complement_vars sp v) p
+
 let is_cylinder sp v p = Pred.depends_only_on sp p v

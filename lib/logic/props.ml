@@ -5,6 +5,12 @@ let log_src = Logs.Src.create "kpt.props" ~doc:"UNITY property checking"
 
 module Log = (val Logs.src_log log_src)
 
+(* Fair leads-to observability: the gfp of [fair_avoid] proceeds in
+   elimination sweeps over the candidate set; the sweep count and the
+   survivors per sweep are what explain a slow liveness check. *)
+let c_gfp_runs = Kpt_obs.counter "leadsto.gfp.runs"
+let c_gfp_sweeps = Kpt_obs.counter "leadsto.gfp.sweeps"
+
 type t =
   | Invariant of Bdd.t
   | Stable of Bdd.t
@@ -112,17 +118,27 @@ let fair_avoid prog q =
   in
   Log.debug (fun f ->
       f "fair_avoid: %d candidate states, %d statements" nstates n);
+  Kpt_obs.incr c_gfp_runs;
+  if Kpt_obs.enabled () then
+    Kpt_obs.emit "leadsto.gfp" [ ("candidates", nstates); ("statements", n) ];
   let changed = ref true in
   let sweeps = ref 0 in
   while !changed do
     incr sweeps;
+    Kpt_obs.incr c_gfp_sweeps;
     changed := false;
     for u = 0 to nstates - 1 do
       if alive.(u) && not (survives u) then begin
         alive.(u) <- false;
         changed := true
       end
-    done
+    done;
+    if Kpt_obs.enabled () then
+      Kpt_obs.emit "leadsto.gfp.sweep"
+        [
+          ("sweep", !sweeps);
+          ("alive", Array.fold_left (fun acc a -> if a then acc + 1 else acc) 0 alive);
+        ]
   done;
   Log.debug (fun f ->
       f "fair_avoid: gfp reached after %d sweep(s); %d state(s) can avoid"

@@ -1,0 +1,199 @@
+(* Process-global observability: interned monotone counters, monotonic
+   timing spans, and an optional structured event sink.  Everything here
+   is deliberately boring — plain mutable cells behind string names — so
+   the hot layers can afford to call it unconditionally. *)
+
+(* ---- counters ------------------------------------------------------------ *)
+
+type counter = { cname : string; mutable v : int }
+
+(* Registration order is irrelevant (snapshots sort by name), so a plain
+   table is enough; the handful of counters makes contention a non-issue. *)
+let counter_tbl : (string, counter) Hashtbl.t = Hashtbl.create 64
+
+let counter name =
+  match Hashtbl.find_opt counter_tbl name with
+  | Some c -> c
+  | None ->
+      let c = { cname = name; v = 0 } in
+      Hashtbl.add counter_tbl name c;
+      c
+
+let incr c = c.v <- c.v + 1
+let add c n = c.v <- c.v + n
+let record_max c n = if n > c.v then c.v <- n
+let value c = c.v
+
+let counters () =
+  Hashtbl.fold (fun _ c acc -> (c.cname, c.v) :: acc) counter_tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ---- monotonic clock and spans ------------------------------------------- *)
+
+let now_ns = Monotonic_clock.now
+
+type span = { sname : string; mutable total_ns : int64; mutable calls : int }
+
+let span_tbl : (string, span) Hashtbl.t = Hashtbl.create 16
+
+let span name =
+  match Hashtbl.find_opt span_tbl name with
+  | Some s -> s
+  | None ->
+      let s = { sname = name; total_ns = 0L; calls = 0 } in
+      Hashtbl.add span_tbl name s;
+      s
+
+let finish s t0 =
+  s.total_ns <- Int64.add s.total_ns (Int64.sub (now_ns ()) t0);
+  s.calls <- s.calls + 1
+
+let time name f =
+  let s = span name in
+  let t0 = now_ns () in
+  match f () with
+  | r ->
+      finish s t0;
+      r
+  | exception e ->
+      finish s t0;
+      raise e
+
+let spans () =
+  Hashtbl.fold (fun _ s acc -> (s.sname, s.total_ns, s.calls) :: acc) span_tbl []
+  |> List.sort (fun (a, _, _) (b, _, _) -> String.compare a b)
+
+let reset () =
+  Hashtbl.iter (fun _ c -> c.v <- 0) counter_tbl;
+  Hashtbl.iter
+    (fun _ s ->
+      s.total_ns <- 0L;
+      s.calls <- 0)
+    span_tbl
+
+(* ---- event sink ----------------------------------------------------------- *)
+
+let sink : (string -> (string * int) list -> unit) option ref = ref None
+let enabled () = !sink <> None
+let set_sink f = sink := f
+let emit name fields = match !sink with None -> () | Some f -> f name fields
+
+let trace_sink fmt name fields =
+  Format.fprintf fmt "trace: %s" name;
+  List.iter (fun (k, v) -> Format.fprintf fmt " %s=%d" k v) fields;
+  Format.fprintf fmt "@."
+
+(* ---- the bench gate -------------------------------------------------------- *)
+
+module Gate = struct
+  type verdict = { name : string; baseline_ns : float; current_ns : float; ratio : float }
+
+  type report = {
+    verdicts : verdict list;
+    regressions : verdict list;
+    missing : string list;
+  }
+
+  (* A pinhole scanner for the JSON this repository's bench harness
+     writes: locate the "benchmarks_ns_per_run" object and read its
+     "string": number members.  Handles the escapes [json_escape]
+     produces; anything structurally unexpected raises. *)
+  let benchmarks_of_json src =
+    let fail fmt = Printf.ksprintf failwith fmt in
+    let n = String.length src in
+    let find_sub sub from =
+      let ls = String.length sub in
+      let rec go i =
+        if i + ls > n then fail "bench gate: %S not found in JSON" sub
+        else if String.sub src i ls = sub then i + ls
+        else go (i + 1)
+      in
+      go from
+    in
+    let rec skip_ws i = if i < n && (src.[i] = ' ' || src.[i] = '\n' || src.[i] = '\t' || src.[i] = '\r') then skip_ws (i + 1) else i in
+    let expect c i =
+      let i = skip_ws i in
+      if i < n && src.[i] = c then i + 1 else fail "bench gate: expected %c at offset %d" c i
+    in
+    let read_string i =
+      let b = Buffer.create 64 in
+      let rec go i =
+        if i >= n then fail "bench gate: unterminated string"
+        else
+          match src.[i] with
+          | '"' -> (Buffer.contents b, i + 1)
+          | '\\' when i + 1 < n ->
+              (match src.[i + 1] with
+              | '"' -> Buffer.add_char b '"'
+              | '\\' -> Buffer.add_char b '\\'
+              | '/' -> Buffer.add_char b '/'
+              | 'n' -> Buffer.add_char b '\n'
+              | 't' -> Buffer.add_char b '\t'
+              | 'u' ->
+                  if i + 5 < n then
+                    Buffer.add_char b (Char.chr (int_of_string ("0x" ^ String.sub src (i + 2) 4) land 0xff))
+                  else fail "bench gate: truncated \\u escape"
+              | c -> Buffer.add_char b c);
+              go (i + if src.[i + 1] = 'u' then 6 else 2)
+          | c ->
+              Buffer.add_char b c;
+              go (i + 1)
+      in
+      go i
+    in
+    let read_number i =
+      let i = skip_ws i in
+      let stop = ref i in
+      while
+        !stop < n
+        && (match src.[!stop] with '0' .. '9' | '.' | '-' | '+' | 'e' | 'E' -> true | _ -> false)
+      do
+        Stdlib.incr stop
+      done;
+      if !stop = i then fail "bench gate: expected a number at offset %d" i;
+      (float_of_string (String.sub src i (!stop - i)), !stop)
+    in
+    let i = find_sub "\"benchmarks_ns_per_run\"" 0 in
+    let i = expect ':' i in
+    let i = expect '{' i in
+    let rec members acc i =
+      let i = skip_ws i in
+      if i < n && src.[i] = '}' then List.rev acc
+      else
+        let i = expect '"' i in
+        let name, i = read_string i in
+        let i = expect ':' i in
+        let v, i = read_number i in
+        let i = skip_ws i in
+        if i < n && src.[i] = ',' then members ((name, v) :: acc) (i + 1)
+        else members ((name, v) :: acc) i
+    in
+    members [] i
+
+  let check ?(tolerance = 0.25) ~baseline current =
+    let base = benchmarks_of_json baseline in
+    let cur = benchmarks_of_json current in
+    let verdicts, missing =
+      List.fold_left
+        (fun (vs, miss) (name, baseline_ns) ->
+          match List.assoc_opt name cur with
+          | Some current_ns ->
+              ({ name; baseline_ns; current_ns; ratio = current_ns /. baseline_ns } :: vs, miss)
+          | None -> (vs, name :: miss))
+        ([], []) base
+    in
+    let verdicts = List.sort (fun a b -> Float.compare b.ratio a.ratio) verdicts in
+    let regressions = List.filter (fun v -> v.ratio > 1.0 +. tolerance) verdicts in
+    { verdicts; regressions; missing = List.rev missing }
+
+  let pp_report fmt r =
+    List.iter
+      (fun v ->
+        Format.fprintf fmt "  %-62s %12.1f → %12.1f ns/run  ×%.2f%s@." v.name v.baseline_ns
+          v.current_ns v.ratio
+          (if List.memq v r.regressions then "  REGRESSION" else ""))
+      r.verdicts;
+    List.iter
+      (fun name -> Format.fprintf fmt "  %-62s missing from the current run@." name)
+      r.missing
+end

@@ -1,0 +1,118 @@
+(** Lightweight observability for the symbolic engine.
+
+    Three orthogonal facilities, all process-global:
+
+    {ul
+    {- {e monotone counters} — named integer cells the hot layers bump as
+       they work (op-cache hits, fixpoint iterations, …).  Incrementing
+       is a field write: no allocation, no branching on configuration, so
+       counters are always on.}
+    {- {e timing spans} — wall-clock intervals measured on the OS
+       monotonic clock (the same clock the Bechamel toolkit benchmarks
+       with), accumulated per span name.}
+    {- {e a structured event sink} — an optional callback that streams
+       per-iteration fixpoint events ([kpt … --trace]).  Off by default;
+       emit sites must guard with {!enabled} so a disabled sink costs one
+       load and no allocation.}}
+
+    The {!Gate} submodule is the consumer side: it diffs the
+    [benchmarks_ns_per_run] section of two bench JSON files and flags
+    regressions beyond a tolerance (the CI bench gate). *)
+
+(** {1 Counters} *)
+
+type counter
+(** A named monotone counter.  Counters are interned: {!counter} returns
+    the same cell for the same name, so modules can declare their
+    counters at top level and share them. *)
+
+val counter : string -> counter
+(** [counter name] is the unique counter registered under [name]
+    (created on first use, starting at 0). *)
+
+val incr : counter -> unit
+(** Add 1. *)
+
+val add : counter -> int -> unit
+(** Add [n] (must be ≥ 0 — counters are monotone between resets). *)
+
+val record_max : counter -> int -> unit
+(** High-watermark update: [record_max c n] raises [c] to [n] if [n] is
+    larger (used for peaks, e.g. live BDD nodes). *)
+
+val value : counter -> int
+
+val counters : unit -> (string * int) list
+(** Snapshot of every registered counter, sorted by name.  Counters that
+    are still 0 are included: the key set is part of the interface. *)
+
+(** {1 Monotonic clock and spans} *)
+
+val now_ns : unit -> int64
+(** Nanoseconds on the OS monotonic clock ([CLOCK_MONOTONIC]); the zero
+    point is arbitrary, so only differences are meaningful.  Unlike
+    [Sys.time] (CPU time) and [Unix.gettimeofday] (wall time, subject to
+    adjustment) this is safe for measuring elapsed real time. *)
+
+val time : string -> (unit -> 'a) -> 'a
+(** [time name f] runs [f ()], accumulating its elapsed time under span
+    [name].  Re-entrant: nested spans each record their own interval
+    (so a parent span's total includes its children's). *)
+
+val spans : unit -> (string * int64 * int) list
+(** Snapshot of the spans, sorted by name: (name, total ns, calls). *)
+
+val reset : unit -> unit
+(** Zero every counter and span (the registry and the sink are kept).
+    Call before a measured workload to scope the numbers to it. *)
+
+(** {1 Event sink} *)
+
+val enabled : unit -> bool
+(** Whether a sink is installed.  Emit sites must guard:
+    [if Kpt_obs.enabled () then Kpt_obs.emit "sst.iter" [ ... ]] — the
+    field list is then never built when tracing is off. *)
+
+val set_sink : (string -> (string * int) list -> unit) option -> unit
+(** Install ([Some f]) or remove ([None]) the event sink. *)
+
+val emit : string -> (string * int) list -> unit
+(** Send one event (a name plus labelled integer fields) to the sink;
+    no-op without one.  Guard with {!enabled} — see above. *)
+
+val trace_sink : Format.formatter -> string -> (string * int) list -> unit
+(** The standard renderer used by [--trace]:
+    [trace: name field=value field=value].  Install it with
+    [set_sink (Some (trace_sink fmt))]. *)
+
+(** {1 The bench gate} *)
+
+module Gate : sig
+  type verdict = {
+    name : string;
+    baseline_ns : float;
+    current_ns : float;
+    ratio : float;  (** current / baseline; > 1 is a slowdown *)
+  }
+
+  type report = {
+    verdicts : verdict list;  (** every benchmark present in both files *)
+    regressions : verdict list;  (** verdicts beyond the tolerance *)
+    missing : string list;  (** in the baseline but not the current run *)
+  }
+
+  val benchmarks_of_json : string -> (string * float) list
+  (** Extract the ["benchmarks_ns_per_run"] object of a bench JSON file
+      (the format {e this} repository writes; not a general JSON parser).
+      @raise Failure if the section is absent or malformed. *)
+
+  val check : ?tolerance:float -> baseline:string -> string -> report
+  (** [check ~baseline current] compares two bench JSON {e contents}
+      (not paths).  A benchmark
+      regresses when [current > baseline * (1 + tolerance)]; the default
+      [tolerance] is [0.25].  Renamed or removed benchmarks appear in
+      [missing] — refresh the baseline rather than letting them rot. *)
+
+  val pp_report : Format.formatter -> report -> unit
+  (** Human-readable table of every verdict, slowest ratio first. *)
+end

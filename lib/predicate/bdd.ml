@@ -6,6 +6,18 @@ let leaf_level = max_int
 
 type t = { uid : int; level : int; low : t; high : t }
 
+(* Engine counters (process-global, aggregated over every manager).  An
+   increment is a single field write, so the hot paths pay for them
+   unconditionally; `kpt stats` and the bench harness snapshot them. *)
+let c_hit = Kpt_obs.counter "bdd.op_cache.hits"
+let c_miss = Kpt_obs.counter "bdd.op_cache.misses"
+let c_store = Kpt_obs.counter "bdd.op_cache.stores"
+let c_op_grow = Kpt_obs.counter "bdd.op_cache.grows"
+let c_spill = Kpt_obs.counter "bdd.op_cache.spills"
+let c_node = Kpt_obs.counter "bdd.nodes.created"
+let c_peak = Kpt_obs.counter "bdd.nodes.peak"
+let c_uq_grow = Kpt_obs.counter "bdd.unique.grows"
+
 (* Both manager tables are packed: each entry's key is one native int
    encoding the operands bit-by-bit, stored next to its payload in two
    parallel arrays.  Packing is exact — two keys are equal iff the
@@ -102,6 +114,7 @@ let slot_of mask key =
   (h lxor (h lsr 17)) land mask
 
 let grow_cache m =
+  Kpt_obs.incr c_op_grow;
   let slots = min (4 * (m.op_mask + 1)) m.op_cap in
   let keys = Array.make slots 0 in
   let res = Array.make slots m.t_false in
@@ -138,6 +151,7 @@ let uq_place keys nodes mask k n =
   nodes.(!i) <- n
 
 let grow_unique m =
+  Kpt_obs.incr c_uq_grow;
   let slots = 2 * Array.length m.uq_key in
   let mask = slots - 1 in
   let keys = Array.make slots 0 in
@@ -152,6 +166,7 @@ let grow_unique m =
    slot of the larger arrays; that is harmless — a hit checks the exact
    packed key, so a misplaced entry can only be returned for its own key. *)
 let cache_store m i k r =
+  Kpt_obs.incr c_store;
   m.op_stores <- m.op_stores + 1;
   if m.op_stores > (m.op_mask + 1) / 4 && m.op_mask + 1 < m.op_cap then grow_cache m;
   m.op_key.(i) <- k;
@@ -160,6 +175,8 @@ let cache_store m i k r =
 let fresh_node m level low high =
   let n = { uid = m.next_uid; level; low; high } in
   m.next_uid <- m.next_uid + 1;
+  Kpt_obs.incr c_node;
+  Kpt_obs.record_max c_peak m.next_uid;
   n
 
 let mk m level low high =
@@ -231,17 +248,25 @@ let bin m ~op ~commutative ~terminal =
         if op_packs x y 0 then begin
           let k = op_key op x y 0 in
           let i = slot_of m.op_mask k in
-          if m.op_key.(i) = k then m.op_res.(i)
+          if m.op_key.(i) = k then begin
+            Kpt_obs.incr c_hit;
+            m.op_res.(i)
+          end
           else begin
+            Kpt_obs.incr c_miss;
             let r = compute a b in
             cache_store m i k r;
             r
           end
         end
         else begin
+          Kpt_obs.incr c_spill;
           match Hashtbl.find_opt m.op_spill (op, x, y, 0) with
-          | Some r -> r
+          | Some r ->
+              Kpt_obs.incr c_hit;
+              r
           | None ->
+              Kpt_obs.incr c_miss;
               let r = compute a b in
               Hashtbl.replace m.op_spill (op, x, y, 0) r;
               r
@@ -275,8 +300,12 @@ let rec not_ m a =
   else if op_packs a.uid 0 0 then begin
     let k = op_key op_not a.uid 0 0 in
     let i = slot_of m.op_mask k in
-    if m.op_key.(i) = k then m.op_res.(i)
+    if m.op_key.(i) = k then begin
+      Kpt_obs.incr c_hit;
+      m.op_res.(i)
+    end
     else begin
+      Kpt_obs.incr c_miss;
       let r = mk m a.level (not_ m a.low) (not_ m a.high) in
       cache_store m i k r;
       (* seed the reverse direction too: ¬r = a *)
@@ -288,9 +317,13 @@ let rec not_ m a =
     end
   end
   else begin
+    Kpt_obs.incr c_spill;
     match Hashtbl.find_opt m.op_spill (op_not, a.uid, 0, 0) with
-    | Some r -> r
+    | Some r ->
+        Kpt_obs.incr c_hit;
+        r
     | None ->
+        Kpt_obs.incr c_miss;
         let r = mk m a.level (not_ m a.low) (not_ m a.high) in
         Hashtbl.replace m.op_spill (op_not, a.uid, 0, 0) r;
         Hashtbl.replace m.op_spill (op_not, r.uid, 0, 0) a;
@@ -344,17 +377,25 @@ let rec ite m c a b =
     if op_packs c.uid a.uid b.uid then begin
       let k = op_key op_ite c.uid a.uid b.uid in
       let i = slot_of m.op_mask k in
-      if m.op_key.(i) = k then m.op_res.(i)
+      if m.op_key.(i) = k then begin
+        Kpt_obs.incr c_hit;
+        m.op_res.(i)
+      end
       else begin
+        Kpt_obs.incr c_miss;
         let r = compute () in
         cache_store m i k r;
         r
       end
     end
     else begin
+      Kpt_obs.incr c_spill;
       match Hashtbl.find_opt m.op_spill (op_ite, c.uid, a.uid, b.uid) with
-      | Some r -> r
+      | Some r ->
+          Kpt_obs.incr c_hit;
+          r
       | None ->
+          Kpt_obs.incr c_miss;
           let r = compute () in
           Hashtbl.replace m.op_spill (op_ite, c.uid, a.uid, b.uid) r;
           r
@@ -518,24 +559,28 @@ let size _m root =
 
 let node_count m = m.next_uid
 
-let sat_count _m ~nvars root =
+(* Exact model counting: the classic per-node recurrence, except each
+   count is an exact big integer — a float accumulator silently rounds
+   above 2^53 assignments and overflows to infinity near 1024 variables,
+   both well inside the scaling harness's reach. *)
+let sat_count_exact _m ~nvars root =
   let memo = Hashtbl.create 256 in
   let lvl n = if is_leaf n then nvars else n.level in
   let rec go n =
-    if is_false n then 0.0
-    else if is_true n then 1.0
+    if is_false n then Bigcount.zero
+    else if is_true n then Bigcount.one
     else
       match Hashtbl.find_opt memo n.uid with
       | Some c -> c
       | None ->
-          let weight child =
-            go child *. (2.0 ** float_of_int (lvl child - n.level - 1))
-          in
-          let c = weight n.low +. weight n.high in
+          let weight child = Bigcount.shift_left (go child) (lvl child - n.level - 1) in
+          let c = Bigcount.add (weight n.low) (weight n.high) in
           Hashtbl.add memo n.uid c;
           c
   in
-  go root *. (2.0 ** float_of_int (lvl root))
+  Bigcount.shift_left (go root) (lvl root)
+
+let sat_count m ~nvars root = Bigcount.to_float (sat_count_exact m ~nvars root)
 
 let any_sat _m root =
   if is_false root then raise Not_found;
@@ -571,6 +616,25 @@ let iter_sat _m ~vars root f =
   go vars root
 
 let live_count m = m.uq_count + Hashtbl.length m.uq_spill + 2
+
+type stats = {
+  nodes_created : int;
+  live_nodes : int;
+  unique_slots : int;
+  unique_load : float;
+  spill_nodes : int;
+  cache_slots : int;
+}
+
+let stats m =
+  {
+    nodes_created = m.next_uid;
+    live_nodes = live_count m;
+    unique_slots = Array.length m.uq_key;
+    unique_load = float_of_int m.uq_count /. float_of_int (Array.length m.uq_key);
+    spill_nodes = Hashtbl.length m.uq_spill;
+    cache_slots = m.op_mask + 1;
+  }
 
 let gc m ~roots =
   clear_caches m;

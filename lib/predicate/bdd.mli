@@ -123,8 +123,27 @@ val gc : manager -> roots:t list -> unit
     return false.  Collect only at points where the set of live
     predicates is known (e.g. between fixpoint computations). *)
 
+val sat_count_exact : manager -> nvars:int -> t -> Bigcount.t
+(** Exact number of satisfying assignments over variables [0..nvars-1];
+    correct at any size (no float rounding past 2{^53}, no overflow). *)
+
 val sat_count : manager -> nvars:int -> t -> float
-(** Number of satisfying assignments over variables [0..nvars-1]. *)
+(** Number of satisfying assignments over variables [0..nvars-1], as the
+    nearest float — a lossy convenience view of {!sat_count_exact}. *)
+
+type stats = {
+  nodes_created : int;  (** uids allocated over the manager's lifetime *)
+  live_nodes : int;  (** nodes currently in the unique table (+ leaves) *)
+  unique_slots : int;  (** open-addressing slots of the unique table *)
+  unique_load : float;  (** occupancy fraction of the unique table *)
+  spill_nodes : int;  (** nodes beyond the packed-key range *)
+  cache_slots : int;  (** current op-cache slot count (grows on demand) *)
+}
+
+val stats : manager -> stats
+(** Structural snapshot of a manager's tables.  The {e dynamic} side —
+    op-cache hits/misses/stores, grow events, peak node count — is kept
+    in the process-global [Kpt_obs] counters (["bdd.*"]). *)
 
 val any_sat : manager -> t -> (int * bool) list
 (** One satisfying partial assignment (variables not listed are

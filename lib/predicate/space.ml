@@ -1,5 +1,11 @@
 type typ = Tbool | Tnat of int | Tenum of string array
 
+(* Cylinder-machinery counters: [quant_data] is the memo every
+   wcyl/knowledge call goes through, so its hit rate is the direct
+   measure of how much the per-variable-set caching saves. *)
+let c_quant_hit = Kpt_obs.counter "space.quant_cache.hits"
+let c_quant_miss = Kpt_obs.counter "space.quant_cache.misses"
+
 type var = {
   vname : string;
   vidx : int;
@@ -199,8 +205,11 @@ let varset_key vs = List.sort_uniq compare (List.map (fun v -> v.vidx) vs)
 let quant_data sp vs =
   let key = varset_key vs in
   match Hashtbl.find_opt sp.quant_tbl key with
-  | Some data -> data
+  | Some data ->
+      Kpt_obs.incr c_quant_hit;
+      data
   | None ->
+      Kpt_obs.incr c_quant_miss;
       let bits = List.concat_map current_bits vs in
       let local =
         Bdd.conj sp.man
@@ -225,6 +234,9 @@ let complement sp vs =
       res
 
 let state_count sp = List.fold_left (fun acc v -> acc * card v) 1 (vars sp)
+
+let state_count_exact sp =
+  List.fold_left (fun acc v -> Bigcount.mul_int acc (card v)) Bigcount.one (vars sp)
 
 let iter_states sp f =
   let vs = Array.of_list (vars sp) in
@@ -257,10 +269,29 @@ let states_of sp p =
   iter_states sp (fun st -> if holds_at sp p st then acc := Array.copy st :: !acc);
   List.rev !acc
 
+(* Symbolic state counting: a state predicate depends only on current
+   (even) bits, so squeezing those onto consecutive indices — b ↦ b/2 is
+   strictly monotone on even bits, preserving the order — turns counting
+   states into an exact model count over [nslots] variables: O(nodes)
+   instead of a walk over the whole state space.  Conjoining the domain
+   first discards out-of-range encodings of non-power-of-two sorts.  A
+   predicate that does mention next-state bits (no normalized state
+   predicate does) falls back to explicit enumeration. *)
+let count_states_exact sp p =
+  let q = Bdd.and_ sp.man p (domain sp) in
+  if List.exists (fun b -> b land 1 = 1) (Bdd.support sp.man q) then begin
+    let n = ref 0 in
+    iter_states sp (fun st -> if holds_at sp p st then incr n);
+    Bigcount.of_int !n
+  end
+  else
+    let squeezed = Bdd.rename sp.man (fun b -> b asr 1) q in
+    Bdd.sat_count_exact sp.man ~nvars:sp.nslots squeezed
+
 let count_states_of sp p =
-  let n = ref 0 in
-  iter_states sp (fun st -> if holds_at sp p st then incr n);
-  !n
+  match Bigcount.to_int (count_states_exact sp p) with
+  | Some n -> n
+  | None -> max_int
 
 let pp_state sp fmt st =
   Format.fprintf fmt "@[<h>⟨";

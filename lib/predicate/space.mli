@@ -93,7 +93,11 @@ val complement : t -> var list -> var list
     variables have been declared since). *)
 
 val state_count : t -> int
-(** Cardinality of the state space (product of variable cardinalities). *)
+(** Cardinality of the state space (product of variable cardinalities).
+    Overflows native ints on huge spaces; see {!state_count_exact}. *)
+
+val state_count_exact : t -> Bigcount.t
+(** Exact cardinality of the state space, at any size. *)
 
 val iter_states : t -> (state -> unit) -> unit
 (** Enumerate every type-correct state.  The callback's array is reused;
@@ -109,8 +113,14 @@ val states_of : t -> Bdd.t -> state list
 (** All states satisfying a predicate (by enumeration; intended for small
     spaces and for tests). *)
 
+val count_states_exact : t -> Bdd.t -> Bigcount.t
+(** Exact number of states satisfying a predicate, computed {e
+    symbolically} (an exact model count of the predicate restricted to
+    the domain): O(BDD nodes), not O(state space). *)
+
 val count_states_of : t -> Bdd.t -> int
-(** [List.length (states_of sp p)], computed without materialising. *)
+(** [List.length (states_of sp p)] via {!count_states_exact} (clamped to
+    [max_int] on astronomically large counts). *)
 
 val pp_state : t -> Format.formatter -> state -> unit
 (** ["⟨x=1 y=true …⟩"]. *)

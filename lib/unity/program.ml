@@ -1,5 +1,11 @@
 open Kpt_predicate
 
+(* Fixpoint observability (eqs. 1-5): every [sst] run and each of its
+   frontier iterations is counted, and — when a trace sink is installed —
+   streamed with the frontier/accumulator sizes of the round. *)
+let c_sst_runs = Kpt_obs.counter "sst.runs"
+let c_sst_iters = Kpt_obs.counter "sst.iterations"
+
 type t = {
   space : Space.t;
   name : string;
@@ -78,14 +84,34 @@ let stable p pred = Pred.holds_implies p.space (sp_pred p pred) pred
 let sst p pred =
   let m = Space.manager p.space in
   let pred = Pred.normalize p.space pred in
-  let rec go x frontier =
-    if Bdd.is_false frontier then x
-    else
+  Kpt_obs.incr c_sst_runs;
+  let rec go i x frontier =
+    if Bdd.is_false frontier then begin
+      if Kpt_obs.enabled () then
+        Kpt_obs.emit "sst.fixpoint"
+          [
+            ("iterations", i);
+            ("states", Space.count_states_of p.space x);
+            ("nodes", Bdd.size m x);
+          ];
+      x
+    end
+    else begin
+      Kpt_obs.incr c_sst_iters;
+      if Kpt_obs.enabled () then
+        Kpt_obs.emit "sst.iter"
+          [
+            ("iteration", i);
+            ("frontier_states", Space.count_states_of p.space frontier);
+            ("frontier_nodes", Bdd.size m frontier);
+            ("total_states", Space.count_states_of p.space x);
+          ];
       let image = sp_pred p frontier in
       let fresh = Bdd.and_ m image (Bdd.not_ m x) in
-      go (Bdd.or_ m x fresh) fresh
+      go (i + 1) (Bdd.or_ m x fresh) fresh
+    end
   in
-  go pred pred
+  go 0 pred pred
 
 let si p =
   match p.cached_si with

@@ -488,6 +488,49 @@ let test_bundled_protocols_clean () =
       Alcotest.(check (list string)) (name ^ " lints clean") [] (codes loud))
     progs
 
+(* ---- the kpt lint driver: --quiet × --warn-error ----------------------- *)
+
+(* The 2×2 flag matrix on Figure 1 (one warning, no errors).  --quiet
+   must suppress every line of output and --warn-error alone must decide
+   the exit code; the two flags never interact. *)
+let test_flag_matrix () =
+  let contains hay needle =
+    let nl = String.length needle in
+    let rec go i =
+      i + nl <= String.length hay && (String.sub hay i nl = needle || go (i + 1))
+    in
+    go 0
+  in
+  List.iter
+    (fun (warn_error, quiet) ->
+      let label = Printf.sprintf "--warn-error=%b --quiet=%b" warn_error quiet in
+      let buf = Buffer.create 256 in
+      let ppf = Format.formatter_of_buffer buf in
+      let code = Lint.run_sources ~warn_error ~quiet ppf [ ("figure1.unity", figure1_src) ] in
+      Format.pp_print_flush ppf ();
+      let out = Buffer.contents buf in
+      Alcotest.(check int)
+        (label ^ ": exit code depends on --warn-error only")
+        (if warn_error then 1 else 0)
+        code;
+      if quiet then Alcotest.(check string) (label ^ ": prints nothing") "" out
+      else begin
+        Alcotest.(check bool) (label ^ ": renders the finding") true (contains out "KPT010");
+        Alcotest.(check bool) (label ^ ": renders the summary") true (contains out "warning")
+      end)
+    [ (false, false); (false, true); (true, false); (true, true) ];
+  (* a clean file exits 0 and stays silent under --quiet in both modes *)
+  let clean = "program ok\nvar b : bool\ninit ~b\nassign\n  s0: b := true if ~b\n" in
+  List.iter
+    (fun warn_error ->
+      let buf = Buffer.create 16 in
+      let ppf = Format.formatter_of_buffer buf in
+      let code = Lint.run_sources ~warn_error ~quiet:true ppf [ ("ok.unity", clean) ] in
+      Format.pp_print_flush ppf ();
+      Alcotest.(check int) "clean file exits 0" 0 code;
+      Alcotest.(check string) "clean file quiet output empty" "" (Buffer.contents buf))
+    [ false; true ]
+
 let suite =
   [
     Alcotest.test_case "figure 1: K of a negated fact" `Quick test_figure1_polarity;
@@ -516,4 +559,5 @@ let suite =
     Alcotest.test_case "lint_program: hygiene" `Quick test_lint_program_hygiene;
     Alcotest.test_case "bundled protocols lint clean" `Quick
       test_bundled_protocols_clean;
+    Alcotest.test_case "driver: --quiet x --warn-error matrix" `Quick test_flag_matrix;
   ]
