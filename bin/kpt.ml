@@ -4,6 +4,7 @@
      kpt experiments            reproduce every paper artifact (E1-E9)
      kpt solve figure1|figure2  run the KBP solvers on the paper's examples
      kpt check <protocol>       model-check a protocol against the §6 spec
+     kpt check FILE … [-j N]    batch-check .unity files in parallel (lint+solve+stats)
      kpt simulate <protocol>    run a concrete fair execution
      kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
      kpt parse FILE             parse and elaborate a .unity source file
@@ -49,6 +50,24 @@ let trace_arg =
         ~doc:
           "Stream fixpoint iterations (sst frontiers, Ĝ-iteration steps, gfp sweeps) to \
            standard error as they happen.")
+
+let jobs_arg =
+  Arg.(
+    value
+    & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for multi-file commands (0 = auto: $(b,KPT_JOBS) or the \
+           core count).  Output is byte-identical at every setting.")
+
+let jobs_opt j = if j <= 0 then None else Some j
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
 
 (* [--trace] installs the observability sink for the duration of [f];
    with the flag off the sink stays [None] and the instrumented layers
@@ -149,21 +168,14 @@ let solve_cmd =
 
 type proto = Standard | Kbp_proto | Abp | Stenning | Auy | Window
 
-let proto_arg =
-  Arg.(
-    required
-    & pos 0
-        (some
-           (enum
-              [
-                ("standard", Standard); ("kbp", Kbp_proto); ("abp", Abp);
-                ("stenning", Stenning); ("auy", Auy); ("window", Window);
-              ]))
-        None
-    & info [] ~docv:"PROTOCOL" ~doc:"standard, kbp, abp, stenning, auy or window.")
+let protos =
+  [
+    ("standard", Standard); ("kbp", Kbp_proto); ("abp", Abp);
+    ("stenning", Stenning); ("auy", Auy); ("window", Window);
+  ]
 
 let check_cmd =
-  let run proto n a lossy =
+  let run_proto proto n a lossy =
     let params = { Seqtrans.n; a } in
     let name, prog, safety, live =
       match proto with
@@ -208,9 +220,54 @@ let check_cmd =
     done;
     if Program.invariant prog safety && !ok then 0 else 1
   in
+  let targets_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Either one built-in protocol (standard, kbp, abp, stenning, auy, window) \
+             or any number of .unity files.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit one machine-readable JSON report for the whole batch.")
+  in
+  let warn_error_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-error" ] ~doc:"Treat warnings as errors for the exit code.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Print nothing; communicate through the exit code only.")
+  in
+  let run_batch paths jobs json warn_error quiet =
+    match List.map (fun p -> (p, read_file p)) paths with
+    | sources ->
+        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~warn_error ~quiet
+          ~json Format.std_formatter sources
+    | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  let run targets n a lossy jobs json warn_error quiet =
+    match targets with
+    | [ name ] when List.mem_assoc name protos ->
+        run_proto (List.assoc name protos) n a lossy
+    | paths -> run_batch paths jobs json warn_error quiet
+  in
   Cmd.v
-    (Cmd.info "check" ~doc:"Model-check a protocol against the §6 specification.")
-    Term.(const run $ proto_arg $ n_arg $ a_arg $ lossy_arg)
+    (Cmd.info "check"
+       ~doc:
+         "Model-check a built-in protocol against the §6 specification, or batch-check \
+          .unity files (lint + solve + stats, in parallel with $(b,-j)).")
+    Term.(
+      const run $ targets_arg $ n_arg $ a_arg $ lossy_arg $ jobs_arg $ json_arg
+      $ warn_error_arg $ quiet_arg)
 
 (* ---- simulate -------------------------------------------------------------- *)
 
@@ -291,13 +348,6 @@ let proof_cmd =
 
 (* ---- parse / verify: the concrete syntax front end -------------------------- *)
 
-let read_file path =
-  let ic = open_in_bin path in
-  let n = in_channel_length ic in
-  let s = really_input_string ic n in
-  close_in ic;
-  s
-
 let load path =
   let src = read_file path in
   let ast = Kpt_syntax.Parser.program_of_string src in
@@ -362,16 +412,17 @@ let lint_cmd =
   let files_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"A .unity source file.")
   in
-  let run paths warn_error quiet =
+  let run paths warn_error quiet jobs =
     let sources = List.map (fun path -> (path, read_file path)) paths in
-    Kpt_analysis.Lint.run_sources ~warn_error ~quiet Format.std_formatter sources
+    Kpt_analysis.Lint.run_sources ?jobs:(jobs_opt jobs) ~warn_error ~quiet
+      Format.std_formatter sources
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static-analysis passes (locality, K-polarity, hygiene, \
           interference) on .unity source files.")
-    Term.(const run $ files_arg $ warn_error $ quiet)
+    Term.(const run $ files_arg $ warn_error $ quiet $ jobs_arg)
 
 let solve_file_cmd =
   let run path trace =
@@ -476,7 +527,12 @@ let stats_cmd =
       value & flag
       & info [ "timings" ] ~doc:"Include the (nondeterministic) timings_ns section in --json.")
   in
-  let run path json timings =
+  let files_arg =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"One or more .unity source files.")
+  in
+  let run_one path json timings =
     with_loaded path @@ fun loaded ->
     match Kpt_analysis.Stats.collect ~file:path loaded with
     | st ->
@@ -487,12 +543,54 @@ let stats_cmd =
         Format.eprintf "error: %s@." msg;
         1
   in
+  (* single-file output is exactly the historical one; several files are
+     profiled on the pool (each under its own engine, so every profile is
+     the same one `kpt stats FILE` alone would print) and rendered in
+     input order — as a JSON array under --json *)
+  let run_many paths json timings jobs =
+    let sources = List.map (fun path -> (path, read_file path)) paths in
+    let collected =
+      Kpt_par.try_map ?jobs:(jobs_opt jobs)
+        (fun (file, src) ->
+          let sp, kbp =
+            Kpt_syntax.Elaborate.program (Kpt_syntax.Parser.program_of_string src)
+          in
+          Kpt_analysis.Stats.collect ~file (sp, kbp))
+        sources
+    in
+    let code = ref 0 in
+    if json then print_string "[\n";
+    List.iteri
+      (fun i r ->
+        match r with
+        | Ok st ->
+            if json then begin
+              if i > 0 then print_string ",\n";
+              print_string (Kpt_analysis.Stats.to_json ~timings st)
+            end
+            else Format.printf "%a@." Kpt_analysis.Stats.pp st
+        | Error exn ->
+            code := 1;
+            let file = List.nth paths i in
+            (match Kpt_analysis.Diagnostic.of_syntax_exn ~file exn with
+            | Some d -> Format.eprintf "%a@." Kpt_analysis.Diagnostic.pp d
+            | None -> Format.eprintf "error: %s: %s@." file (Printexc.to_string exn)))
+      collected;
+    if json then print_string "]\n";
+    !code
+  in
+  let run paths json timings jobs =
+    match paths with
+    | [ path ] -> run_one path json timings
+    | paths -> run_many paths json timings jobs
+  in
   Cmd.v
     (Cmd.info "stats"
        ~doc:
-         "Profile the engine on a .unity file: op-cache hit rate, node counts, fixpoint \
-          iteration depths and exact state-space size.")
-    Term.(const run $ file_arg $ json $ timings)
+         "Profile the engine on .unity files: op-cache hit rate, node counts, fixpoint \
+          iteration depths and exact state-space size.  Several files are profiled in \
+          parallel with $(b,-j).")
+    Term.(const run $ files_arg $ json $ timings $ jobs_arg)
 
 (* ---- knowledge queries on .unity files -------------------------------------- *)
 

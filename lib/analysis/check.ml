@@ -1,0 +1,155 @@
+open Kpt_syntax
+module D = Diagnostic
+
+(* The batch driver behind [kpt check FILE...]: per file, run the full
+   front-to-back pipeline — lint, elaborate, solve (SI for standard
+   programs, the Ĝ-iteration for KBPs) and a stats snapshot — and render
+   one summary line.  Files are independent, so the pool farms them out;
+   everything below is written for determinism across pool sizes:
+
+   - [check_source] is pure in the file's content (no shared tables: the
+     space owns its BDD manager, and the pool runs every task under a
+     fresh [Engine.t], so even the counter snapshot inside [Stats.t] is
+     the same at [-j 1] and [-j 8]);
+   - workers only {e compute} reports; all rendering happens on the
+     calling domain, in input order, and no output mentions the pool
+     size.  Hence `kpt check -j 4` is byte-identical to `-j 1`. *)
+
+type report = {
+  file : string;
+  diags : D.t list;  (* lint findings, including syntax errors *)
+  stats : Stats.t option;  (* [None] when the file does not elaborate *)
+}
+
+let check_source ~file src =
+  let diags = Lint.lint_source ~file src in
+  match Elaborate.program (Parser.program_of_string src) with
+  | sp, kbp -> { file; diags; stats = Some (Stats.collect ~file (sp, kbp)) }
+  | exception (Token.Lex_error _ | Parser.Parse_error _ | Elaborate.Elab_error _)
+  | exception Invalid_argument _ ->
+      (* already reported among [diags] by [Lint.lint_source] *)
+      { file; diags; stats = None }
+
+(* Safety net for anything a task throws outside [check_source]'s
+   anticipated failures (e.g. [Failure] out of a solver): the file gets
+   an error report of its own and its siblings are untouched. *)
+let report_of_exn ~file exn =
+  let d =
+    match D.of_syntax_exn ~file exn with
+    | Some d -> d
+    | None -> D.error ~file ~code:"KPT003" (Printexc.to_string exn)
+  in
+  { file; diags = [ d ]; stats = None }
+
+let failed r = List.exists D.is_error r.diags
+
+(* ---- rendering -------------------------------------------------------------- *)
+
+let outcome_blurb (t : Stats.t) =
+  match t.Stats.outcome with
+  | Stats.Standard { reachable; si_nodes = _ } ->
+      Printf.sprintf "standard, %d var(s), %d reachable state(s)" t.Stats.variables
+        reachable
+  | Stats.Kbp_converged { steps; states } ->
+      Printf.sprintf "kbp, %d var(s), converged in %d step(s) to %d state(s)"
+        t.Stats.variables steps states
+  | Stats.Kbp_cycle { period } ->
+      Printf.sprintf "kbp, %d var(s), Ĝ cycles with period %d (not well-posed)"
+        t.Stats.variables period
+
+let findings_blurb diags =
+  match D.summary diags with "" -> "no findings" | s -> s
+
+let summary_line ppf r =
+  let verdict = if failed r then "FAIL" else "ok" in
+  match r.stats with
+  | Some t ->
+      Format.fprintf ppf "%s: %s — %s; %s@." r.file verdict (outcome_blurb t)
+        (findings_blurb r.diags)
+  | None ->
+      Format.fprintf ppf "%s: %s — does not elaborate; %s@." r.file verdict
+        (findings_blurb r.diags)
+
+let render_text ppf reports =
+  List.iter (summary_line ppf) reports;
+  let all = List.concat_map (fun r -> r.diags) reports in
+  match (all, reports) with
+  | _, [] -> Format.fprintf ppf "no files to check@."
+  | [], _ -> Format.fprintf ppf "%d file(s): no findings@." (List.length reports)
+  | ds, _ -> Format.fprintf ppf "%d file(s): %s@." (List.length reports) (D.summary ds)
+
+(* JSON mirrors [Stats.to_json] conventions (and reuses it per file);
+   timings are excluded so the output is deterministic. *)
+let indent prefix s =
+  String.split_on_char '\n' s
+  |> List.map (fun l -> if l = "" then l else prefix ^ l)
+  |> String.concat "\n"
+
+let severity_counts diags =
+  List.fold_left
+    (fun (e, w, i) (d : D.t) ->
+      match d.D.severity with
+      | D.Error -> (e + 1, w, i)
+      | D.Warning -> (e, w + 1, i)
+      | D.Info -> (e, w, i + 1))
+    (0, 0, 0) diags
+
+let report_json r =
+  let b = Buffer.create 1024 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let e, w, i = severity_counts r.diags in
+  pf "  {\n";
+  pf "    \"file\": \"%s\",\n" (Stats.json_escape r.file);
+  pf "    \"status\": \"%s\",\n" (if failed r then "fail" else "ok");
+  pf "    \"findings\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d },\n" e w i;
+  pf "    \"diagnostics\": [";
+  List.iteri
+    (fun i (d : D.t) ->
+      pf "%s\n      { \"code\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\" }"
+        (if i = 0 then "" else ",")
+        (Stats.json_escape d.D.code)
+        (D.severity_label d.D.severity)
+        (Stats.json_escape d.D.message))
+    r.diags;
+  if r.diags <> [] then pf "\n    ";
+  pf "],\n";
+  (match r.stats with
+  | Some t ->
+      let s = String.trim (Stats.to_json ~timings:false t) in
+      pf "    \"stats\": %s\n" (String.trim (indent "    " s))
+  | None -> pf "    \"stats\": null\n");
+  pf "  }";
+  Buffer.contents b
+
+let render_json ppf reports =
+  let b = Buffer.create 4096 in
+  Buffer.add_string b "{\n";
+  let all = List.concat_map (fun r -> r.diags) reports in
+  let e, w, i = severity_counts all in
+  Buffer.add_string b
+    (Printf.sprintf
+       "  \"files\": %d,\n  \"errors\": %d,\n  \"warnings\": %d,\n  \"infos\": %d,\n"
+       (List.length reports) e w i);
+  Buffer.add_string b "  \"reports\": [";
+  List.iteri
+    (fun i r ->
+      Buffer.add_string b (if i = 0 then "\n" else ",\n");
+      Buffer.add_string b (report_json r))
+    reports;
+  if reports <> [] then Buffer.add_string b "\n  ";
+  Buffer.add_string b "]\n}\n";
+  Format.fprintf ppf "%s" (Buffer.contents b)
+
+(* ---- driver ----------------------------------------------------------------- *)
+
+let reports ?jobs sources =
+  Kpt_par.try_map ?jobs (fun (file, src) -> check_source ~file src) sources
+  |> List.map2
+       (fun (file, _) -> function Ok r -> r | Error e -> report_of_exn ~file e)
+       sources
+
+let run_sources ?jobs ?(warn_error = false) ?(quiet = false) ?(json = false) ppf
+    sources =
+  let rs = reports ?jobs sources in
+  if not quiet then if json then render_json ppf rs else render_text ppf rs;
+  D.exit_code ~warn_error (List.concat_map (fun r -> r.diags) rs)

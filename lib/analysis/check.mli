@@ -1,0 +1,48 @@
+(** The batch driver behind [kpt check FILE...]: lint + elaborate +
+    solve + stats for every file of a corpus, in parallel, with one
+    summary line per file.
+
+    {b Determinism.}  Output (text and JSON) is a function of the input
+    files alone: reports are computed on worker domains but rendered on
+    the calling domain in input order, each task runs under a fresh
+    {!Kpt_predicate.Engine.t} (so even counter snapshots are
+    pool-size-independent), and nothing the renderer prints depends on
+    [jobs].  [kpt check -j 4] is byte-identical to [-j 1].
+
+    {b Isolation.}  A file that fails to lex, parse or elaborate — or
+    whose solver raises — yields a failing report of its own; its
+    siblings are computed and rendered normally. *)
+
+type report = {
+  file : string;
+  diags : Diagnostic.t list;
+      (** lint findings, including syntax/elaboration errors *)
+  stats : Stats.t option;  (** [None] when the file does not elaborate *)
+}
+
+val check_source : file:string -> string -> report
+(** Check one file's content (lint, then — if it elaborates — the
+    {!Stats.collect} solving workload).  Does not catch non-syntax
+    exceptions; the batch driver does. *)
+
+val failed : report -> bool
+(** Whether the report carries at least one error-severity finding. *)
+
+val reports : ?jobs:int -> (string * string) list -> report list
+(** [(file, source)] pairs in, reports out, index-aligned.  [jobs]
+    defaults to {!Kpt_par.recommended_jobs}. *)
+
+val render_text : Format.formatter -> report list -> unit
+val render_json : Format.formatter -> report list -> unit
+
+val run_sources :
+  ?jobs:int ->
+  ?warn_error:bool ->
+  ?quiet:bool ->
+  ?json:bool ->
+  Format.formatter ->
+  (string * string) list ->
+  int
+(** Check, render (unless [quiet]), and compute the exit code with
+    {!Lint.run_sources} semantics: [1] iff any error (or any warning
+    under [warn_error]); the empty corpus is a no-op success. *)

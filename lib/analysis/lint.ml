@@ -408,15 +408,21 @@ let lint_source ?file src =
    only under [--warn-error] — so scripts can rely on the code while
    discarding the text.  Lives here (not in bin/) so the flag matrix is
    unit-testable. *)
-let run_sources ?(warn_error = false) ?(quiet = false) ppf sources =
+let run_sources ?jobs ?(warn_error = false) ?(quiet = false) ppf sources =
+  (* findings are computed (possibly on worker domains — [jobs] defaults
+     to [Kpt_par.recommended_jobs]) before any rendering, which happens
+     here, in input order: output is independent of the pool size *)
+  let per_file = Kpt_par.map ?jobs (fun (file, src) -> lint_source ~file src) sources in
   let all =
-    List.concat_map
-      (fun (file, src) ->
-        let ds = lint_source ~file src in
-        if not quiet then
-          List.iter (fun d -> Format.fprintf ppf "@[<v>%a@]@." (D.pp_excerpt ~src) d) ds;
-        ds)
-      sources
+    List.concat
+      (List.map2
+         (fun (_, src) ds ->
+           if not quiet then
+             List.iter
+               (fun d -> Format.fprintf ppf "@[<v>%a@]@." (D.pp_excerpt ~src) d)
+               ds;
+           ds)
+         sources per_file)
   in
   if not quiet then begin
     match (all, sources) with

@@ -36,13 +36,20 @@ val lint_source : ?file:string -> string -> Diagnostic.t list
     raises. *)
 
 val run_sources :
-  ?warn_error:bool -> ?quiet:bool -> Format.formatter -> (string * string) list -> int
+  ?jobs:int ->
+  ?warn_error:bool ->
+  ?quiet:bool ->
+  Format.formatter ->
+  (string * string) list ->
+  int
 (** [run_sources ppf [(file, contents); …]] is the driver behind
     [kpt lint]: lint every source, render diagnostics (with excerpts)
-    and a summary to [ppf], and return the process exit code.
-    [~quiet:true] suppresses {e all} rendering but {e never} alters the
-    exit code, which depends only on the findings: 1 iff any error, or
-    any warning when [~warn_error:true]. *)
+    and a summary to [ppf], and return the process exit code.  Files are
+    linted on a [jobs]-wide pool (default {!Kpt_par.recommended_jobs})
+    but rendered in input order, so the output does not depend on the
+    pool size.  [~quiet:true] suppresses {e all} rendering but {e never}
+    alters the exit code, which depends only on the findings: 1 iff any
+    error, or any warning when [~warn_error:true]. *)
 
 val lint_kbp : ?file:string -> Kbp.t -> Diagnostic.t list
 (** Structural checks on an in-memory knowledge-based protocol:

@@ -1,0 +1,78 @@
+(* A fixed-size domain pool for embarrassingly parallel batches.
+
+   The shape is deliberately simpler than a work-stealing scheduler:
+   tasks are an array, the only shared mutable word is an atomic "next
+   task" index, and each worker loops [fetch_and_add] until the array is
+   drained.  For our workloads (one spec file per task, each seconds of
+   BDD work) contention on one atomic is unmeasurable, and the absence
+   of stealing makes the execution trivially deterministic in
+   everything that matters: results land in a slot chosen by the task's
+   {e input index}, never by completion order.
+
+   Isolation contract: every task runs under a {e fresh} [Engine.t]
+   ([Engine.use] installs its private metric context for the duration),
+   even at [jobs = 1].  So a task's counters never depend on which
+   domain ran it, how many pool slots existed, or what ran before it on
+   the same domain — the property the differential tests pin.  After the
+   join the per-task metrics are folded into the caller's context in
+   input order. *)
+
+open Kpt_predicate
+
+let max_jobs = 128
+
+let clamp_jobs j = if j < 1 then 1 else if j > max_jobs then max_jobs else j
+
+let recommended_jobs () =
+  match Sys.getenv_opt "KPT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> clamp_jobs j
+      | _ -> clamp_jobs (Domain.recommended_domain_count ()))
+  | None -> clamp_jobs (Domain.recommended_domain_count ())
+
+let try_map ?jobs f items =
+  let tasks = Array.of_list items in
+  let n = Array.length tasks in
+  if n = 0 then []
+  else begin
+    let jobs =
+      clamp_jobs (match jobs with Some j -> j | None -> recommended_jobs ())
+    in
+    let jobs = min jobs n in
+    (* Slot [i] of both arrays belongs exclusively to the worker that
+       won task [i]; publication to the caller is ordered by the joins
+       below (and, for the main domain's own tasks, by program order). *)
+    let results : ('b, exn) result option array = Array.make n None in
+    let engines : Engine.t option array = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          let eng = Engine.create () in
+          let r =
+            try Ok (Engine.use eng (fun () -> f tasks.(i))) with e -> Error e
+          in
+          results.(i) <- Some r;
+          engines.(i) <- Some eng;
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join doms;
+    let into = Kpt_obs.Ctx.current () in
+    Array.iter
+      (function
+        | Some eng -> Kpt_obs.Ctx.merge ~into (Engine.obs eng) | None -> ())
+      engines;
+    Array.to_list
+      (Array.map (function Some r -> r | None -> assert false) results)
+  end
+
+let map ?jobs f items =
+  let rs = try_map ?jobs f items in
+  List.map (function Ok v -> v | Error e -> raise e) rs

@@ -1,0 +1,34 @@
+(** A fixed-size [Domain] pool for embarrassingly parallel batches.
+
+    Built for the `kpt check FILE...` shape: a handful of independent,
+    seconds-long symbolic workloads.  No work stealing, no deques — an
+    atomic task counter feeds a fixed set of worker domains (the calling
+    domain is one of them, so [jobs = 1] spawns nothing).
+
+    {b Determinism.}  Results are ordered by {e input index}, never by
+    completion order.  Each task runs under a fresh {!Engine.t} — its
+    own {!Kpt_obs} metric context, and (because every {!Space.t} owns
+    its BDD manager) its own symbolic tables — even at [jobs = 1], so
+    per-task observable state is independent of the pool size.  After
+    all workers join, per-task metrics are merged into the caller's
+    context in input order.
+
+    {b Not} a general scheduler: tasks must not block on each other, and
+    nesting pools inside tasks is unsupported. *)
+
+val recommended_jobs : unit -> int
+(** The pool size to use when the user didn't say: the [KPT_JOBS]
+    environment variable if set to a positive integer, otherwise
+    [Domain.recommended_domain_count ()]; clamped to [1..128]. *)
+
+val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+(** [try_map ~jobs f items] applies [f] to every item on a pool of
+    [jobs] domains (default {!recommended_jobs}; clamped to
+    [1..min 128 (length items)]).  The result list is index-aligned with
+    the input.  A task that raises yields [Error exn] in its own slot
+    and does not disturb its siblings — the property the batch driver
+    relies on for "one unparsable file must not poison the rest". *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** {!try_map}, re-raising the first failure (by input order) after the
+    whole batch has drained. *)

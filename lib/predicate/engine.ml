@@ -1,0 +1,41 @@
+(* An engine context makes ownership of the symbolic core's mutable
+   state explicit.  The per-structure tables (the BDD unique table and
+   op-cache, the Space memo tables) already live inside the manager each
+   Space owns; what was genuinely process-global was the observability
+   state — counters, spans, the event sink.  An [Engine.t] bundles an
+   identity with the Kpt_obs metric context those tables report into, so
+   a worker domain can run a whole solve/verify/lint pipeline under its
+   own engine and the main domain can fold the numbers back in after the
+   join. *)
+
+type t = { eid : int; obs : Kpt_obs.Ctx.t }
+
+(* Engine identities are process-wide (an engine may be created on one
+   domain and used on another), so the id counter is the one piece of
+   shared state here — a single Atomic. *)
+let next_id = Atomic.make 0
+
+let make obs = { eid = Atomic.fetch_and_add next_id 1; obs }
+let default = make Kpt_obs.Ctx.root
+let create () = make (Kpt_obs.Ctx.create ())
+let id t = t.eid
+let obs t = t.obs
+let is_default t = t == default
+
+(* Which engine is "current" is a per-domain notion, tracked alongside
+   (not inside) the Kpt_obs context: the obs layer must not know about
+   engines, but [Space.create] wants to attribute new spaces to the
+   engine of the enclosing [use]. *)
+let dls_current = Domain.DLS.new_key (fun () -> default)
+
+let current () = Domain.DLS.get dls_current
+
+let use t f =
+  let prev = Domain.DLS.get dls_current in
+  Domain.DLS.set dls_current t;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set dls_current prev)
+    (fun () -> Kpt_obs.Ctx.use t.obs f)
+let merge_metrics ~into src = Kpt_obs.Ctx.merge ~into:into.obs src.obs
+let counters t = Kpt_obs.Ctx.counters t.obs
+let spans t = Kpt_obs.Ctx.spans t.obs

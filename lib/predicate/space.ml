@@ -25,6 +25,7 @@ type state = int array
    once per iteration. *)
 type t = {
   man : Bdd.manager;
+  eng : Engine.t; (* context this space (and its metrics) belongs to *)
   mutable decls : var list; (* reversed *)
   mutable nslots : int;
   byname : (string, var) Hashtbl.t;
@@ -41,9 +42,11 @@ type t = {
       (* sorted vidx list → generation it was computed at, complement *)
 }
 
-let create () =
+let create ?engine () =
+  let eng = match engine with Some e -> e | None -> Engine.current () in
   {
     man = Bdd.create ();
+    eng;
     decls = [];
     nslots = 0;
     byname = Hashtbl.create 16;
@@ -59,6 +62,7 @@ let create () =
   }
 
 let manager sp = sp.man
+let engine sp = sp.eng
 
 let bits_for card =
   let rec go w = if 1 lsl w >= card then w else go (w + 1) in

@@ -21,10 +21,16 @@ type state = int array
 (** A concrete point of the state space: [state.(idx v)] is the value of
     [v] as an integer (Booleans: 0/1; enums: value index). *)
 
-val create : unit -> t
+val create : ?engine:Engine.t -> unit -> t
+(** [create ()] makes a space under the current engine
+    ({!Engine.current} — {!Engine.default} outside any {!Engine.use});
+    pass [~engine] to tie the space to an explicit engine context. *)
 
 val manager : t -> Bdd.manager
 (** The BDD manager all predicates of this space live in. *)
+
+val engine : t -> Engine.t
+(** The engine context this space was created under. *)
 
 val bool_var : t -> string -> var
 (** Declare a Boolean variable.  @raise Invalid_argument on a duplicate

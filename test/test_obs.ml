@@ -41,6 +41,65 @@ let test_counters_snapshot_sorted_and_reset () =
   Alcotest.(check bool) "still in the registry" true
     (List.mem_assoc "test.obs.reset" (Kpt_obs.counters ()))
 
+(* The hot-path contract of the domain-safe rework: bumping a counter is
+   a bounds-checked array store in the domain-local context — no
+   allocation, even though the storage is now per-domain. *)
+let test_incr_allocates_nothing () =
+  let c = Kpt_obs.counter "test.obs.hotpath" in
+  let before = Kpt_obs.value c in
+  (* warm up: make sure the context's arrays already cover the slot *)
+  Kpt_obs.incr c;
+  let w0 = Gc.minor_words () in
+  for i = 1 to 10_000 do
+    Kpt_obs.incr c;
+    Kpt_obs.add c 2;
+    Kpt_obs.record_max c i
+  done;
+  let w1 = Gc.minor_words () in
+  Alcotest.(check (float 0.0)) "no words allocated on the minor heap" w0 w1;
+  Alcotest.(check int) "and the bumps landed" (before + 1 + 30_000) (Kpt_obs.value c)
+
+(* ---- metric contexts -------------------------------------------------------- *)
+
+let test_ctx_isolation_and_merge () =
+  let c = Kpt_obs.counter "test.obs.ctx" in
+  let peak = Kpt_obs.counter "test.obs.ctx.peak" in
+  Kpt_obs.reset ();
+  Kpt_obs.add c 5;
+  Kpt_obs.record_max peak 10;
+  let inner = Kpt_obs.Ctx.create () in
+  let v =
+    Kpt_obs.Ctx.use inner (fun () ->
+        Alcotest.(check int) "fresh context starts at zero" 0 (Kpt_obs.value c);
+        Kpt_obs.add c 7;
+        Kpt_obs.record_max peak 4;
+        ignore (Kpt_obs.time "test.obs.ctx.span" (fun () -> ()));
+        Kpt_obs.value c)
+  in
+  Alcotest.(check int) "bumps inside [use] land in the inner context" 7 v;
+  Alcotest.(check int) "outer value is untouched" 5 (Kpt_obs.value c);
+  Alcotest.(check (option int))
+    "explicit snapshot of the inner context" (Some 7)
+    (List.assoc_opt "test.obs.ctx" (Kpt_obs.Ctx.counters inner));
+  Alcotest.(check bool) "inner span recorded in the inner context only" true
+    (List.exists (fun (n, _, _) -> n = "test.obs.ctx.span") (Kpt_obs.Ctx.spans inner)
+    && not (List.exists (fun (n, _, _) -> n = "test.obs.ctx.span") (Kpt_obs.spans ())));
+  Kpt_obs.Ctx.merge ~into:(Kpt_obs.Ctx.current ()) inner;
+  Alcotest.(check int) "merge sums plain counters" 12 (Kpt_obs.value c);
+  Alcotest.(check int) "merge maxes high-watermark counters" 10 (Kpt_obs.value peak);
+  Alcotest.(check bool) "merge imports spans" true
+    (List.exists (fun (n, _, _) -> n = "test.obs.ctx.span") (Kpt_obs.spans ()))
+
+let test_ctx_sink_is_per_context () =
+  let got = ref 0 in
+  let inner = Kpt_obs.Ctx.create () in
+  Kpt_obs.Ctx.use inner (fun () ->
+      Kpt_obs.set_sink (Some (fun _ _ -> incr got));
+      if Kpt_obs.enabled () then Kpt_obs.emit "test.obs.ctx.event" []);
+  Alcotest.(check bool) "sink does not leak out of the context" false (Kpt_obs.enabled ());
+  if Kpt_obs.enabled () then Kpt_obs.emit "test.obs.ctx.event" [];
+  Alcotest.(check int) "only the in-context emit was seen" 1 !got
+
 (* ---- the event sink -------------------------------------------------------- *)
 
 (* The contract every emit site relies on: with no sink installed the
@@ -314,6 +373,10 @@ let suite =
     Alcotest.test_case "counters are interned by name" `Quick test_counters_interned;
     Alcotest.test_case "snapshot is sorted; reset keeps the registry" `Quick
       test_counters_snapshot_sorted_and_reset;
+    Alcotest.test_case "counter bumps allocate nothing" `Quick test_incr_allocates_nothing;
+    Alcotest.test_case "metric contexts isolate and merge" `Quick
+      test_ctx_isolation_and_merge;
+    Alcotest.test_case "sink is per-context" `Quick test_ctx_sink_is_per_context;
     Alcotest.test_case "disabled sink allocates nothing" `Quick
       test_disabled_sink_allocates_nothing;
     Alcotest.test_case "installed sink receives events" `Quick test_sink_receives_events;

@@ -1,0 +1,273 @@
+(* Seeded property-based suite: the paper's algebraic laws checked on
+   randomly generated small UNITY programs, predicates and variable
+   partitions.
+
+   - S5 axioms of K_i (eqs. 14-18)
+   - junctivity laws of K_i (eqs. 19-24)
+   - the weakest-cylinder laws behind them (eq. 6: strengthening,
+     idempotence, cylinder-hood, universal conjunctivity)
+
+   Every random draw flows from a hand-rolled splitmix64 PRNG (no
+   dependency on [Random]'s unspecified evolution across OCaml
+   releases), so a failure is replayable bit-for-bit: the error message
+   prints the seed and the case number, and
+
+     KPT_PROP_SEED=<seed> KPT_PROP_CASES=<n> dune runtest
+
+   reruns the identical sequence.  KPT_PROP_CASES scales the depth: the
+   default is 200 cases per law; the `fuzz-smoke` alias runs the same
+   laws with a larger budget. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+(* ---- splitmix64 ------------------------------------------------------------ *)
+
+module Sm64 = struct
+  type t = { mutable state : int64 }
+
+  let make seed = { state = seed }
+
+  (* Steele, Lea & Flood's SplitMix64: a 64-bit counter sequence pushed
+     through a finalizing mixer.  Passes BigCrush; two instructions of
+     state. *)
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+
+  let int t bound =
+    if bound <= 0 then invalid_arg "Sm64.int";
+    Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+  let bool t = Int64.logand (next t) 1L = 1L
+
+  (* a [Random.State.t] seeded from this stream, for the library helpers
+     ([Pred.random]) that want one — still fully determined by the seed *)
+  let random_state t =
+    Random.State.make [| int t 0x3FFFFFFF; int t 0x3FFFFFFF |]
+end
+
+let seed =
+  match Option.map Int64.of_string_opt (Sys.getenv_opt "KPT_PROP_SEED") with
+  | Some (Some s) -> s
+  | _ -> 0x5EED_2026L
+
+let cases =
+  match Option.map int_of_string_opt (Sys.getenv_opt "KPT_PROP_CASES") with
+  | Some (Some n) when n > 0 -> n
+  | _ -> 200
+
+let failf case fmt =
+  Format.kasprintf
+    (fun msg ->
+      Alcotest.failf
+        "%s@.  (case %d of %d; replay with KPT_PROP_SEED=%Ld KPT_PROP_CASES=%d)" msg
+        case cases seed cases)
+    fmt
+
+let checkf case cond fmt =
+  Format.kasprintf (fun msg -> if not cond then failf case "%s" msg) fmt
+
+(* ---- random scenarios ------------------------------------------------------- *)
+
+type scenario = {
+  sp : Space.t;
+  vars : Space.var list;
+  prog : Program.t;
+  procs : Process.t list;  (* two processes partitioning the variables *)
+  rs : Random.State.t;  (* for Pred.random *)
+}
+
+(* a random Boolean expression over the declared variables *)
+let rec bool_expr g sp vars depth =
+  let leaf () =
+    let v = List.nth vars (Sm64.int g (List.length vars)) in
+    match Space.card v with
+    | 2 when Space.width v = 1 && Space.value_name v 1 = "true" -> Expr.var v
+    | card ->
+        let k = Expr.nat (Sm64.int g card) in
+        if Sm64.bool g then Expr.(var v === k) else Expr.(var v <== k)
+  in
+  if depth = 0 then
+    match Sm64.int g 6 with 0 -> Expr.tru | 1 -> Expr.fls | _ -> leaf ()
+  else
+    let sub () = bool_expr g sp vars (depth - 1) in
+    match Sm64.int g 5 with
+    | 0 -> Expr.(sub () &&& sub ())
+    | 1 -> Expr.(sub () ||| sub ())
+    | 2 -> Expr.(sub () ==> sub ())
+    | 3 -> Expr.not_ (sub ())
+    | _ -> leaf ()
+
+(* a range-safe right-hand side for an assignment to [v]: constants,
+   the variable itself, saturating decrement, or a guarded choice of
+   in-range values — never anything that could overflow the type (the
+   [Program.make] totality check would reject it) *)
+let rhs_expr g sp vars v =
+  let card = Space.card v in
+  let const () = Expr.nat (Sm64.int g card) in
+  if Space.value_name v 1 = "true" && card = 2 then
+    match Sm64.int g 4 with
+    | 0 -> Expr.tru
+    | 1 -> Expr.fls
+    | 2 -> Expr.not_ (Expr.var v)
+    | _ -> bool_expr g sp vars 1
+  else
+    match Sm64.int g 4 with
+    | 0 -> const ()
+    | 1 -> Expr.var v
+    | 2 -> Expr.(var v -! nat 1)
+    | _ -> Expr.Ite (bool_expr g sp vars 1, const (), const ())
+
+let scenario g =
+  let sp = Space.create () in
+  let nvars = 2 + Sm64.int g 3 in
+  let vars =
+    List.init nvars (fun i ->
+        let name = Printf.sprintf "v%d" i in
+        if Sm64.int g 3 < 2 then Space.bool_var sp name
+        else Space.nat_var sp name ~max:(1 + Sm64.int g 2))
+  in
+  (* partition the variables over two processes; a variable may be
+     shared, and each process sees at least one variable *)
+  let assign_to = List.map (fun v -> (v, Sm64.int g 3)) vars in
+  let pick side =
+    match List.filter_map (fun (v, s) -> if s = side || s = 2 then Some v else None) assign_to with
+    | [] -> [ List.nth vars (Sm64.int g nvars) ]
+    | vs -> vs
+  in
+  let p0 = Process.make "P0" (pick 0) in
+  let p1 = Process.make "P1" (pick 1) in
+  let nstmts = 1 + Sm64.int g 3 in
+  let stmts =
+    List.init nstmts (fun i ->
+        let t = List.nth vars (Sm64.int g nvars) in
+        let guard = bool_expr g sp vars 2 in
+        Stmt.make ~name:(Printf.sprintf "s%d" i) ~guard [ (t, rhs_expr g sp vars t) ])
+  in
+  let init =
+    let e = bool_expr g sp vars 2 in
+    if Bdd.is_false (Pred.normalize sp (Expr.compile_bool sp e)) then Expr.tru else e
+  in
+  let prog = Program.make sp ~name:"rand" ~init ~processes:[ p0; p1 ] stmts in
+  { sp; vars; prog; procs = [ p0; p1 ]; rs = Sm64.random_state g }
+
+(* a valid-over-the-space but structurally nontrivial predicate, for
+   exercising necessitation (18): domain ∨ p covers every type-correct
+   state (so it is [Pred.valid]) without being the constant true BDD
+   whenever some variable has a non-power-of-two domain *)
+let valid_pred s =
+  Bdd.or_ (Space.manager s.sp) (Space.domain s.sp) (Pred.random s.rs s.sp)
+
+(* ---- the laws ---------------------------------------------------------------- *)
+
+let with_cases f () =
+  let g = Sm64.make seed in
+  for case = 1 to cases do
+    f case g
+  done
+
+(* S5 axioms, eqs. 14-18 *)
+let test_s5 =
+  with_cases @@ fun case g ->
+  let s = scenario g in
+  let m = Space.manager s.sp in
+  let proc = if Sm64.bool g then "P0" else "P1" in
+  let k = Knowledge.knows_in s.prog proc in
+  let p = Pred.random s.rs s.sp and q = Pred.random s.rs s.sp in
+  checkf case (Pred.holds_implies s.sp (k p) p) "(14) K %s p ⇒ p" proc;
+  let lhs = Bdd.and_ m (k p) (k (Bdd.imp m p q)) in
+  checkf case (Pred.holds_implies s.sp lhs (k q)) "(15) K p ∧ K(p⇒q) ⇒ K q";
+  checkf case (Pred.equivalent s.sp (k p) (k (k p))) "(16) K p ≡ K K p";
+  checkf case
+    (Pred.equivalent s.sp (Bdd.not_ m (k p)) (k (Bdd.not_ m (k p))))
+    "(17) ¬K p ≡ K ¬K p";
+  let v = valid_pred s in
+  checkf case (Pred.valid s.sp v && Pred.valid s.sp (k v)) "(18) [p] ⇒ [K p]"
+
+(* junctivity of K_i, eqs. 19-22 *)
+let test_junctivity =
+  with_cases @@ fun case g ->
+  let s = scenario g in
+  let m = Space.manager s.sp in
+  let proc = if Sm64.bool g then "P0" else "P1" in
+  let k = Knowledge.knows_in s.prog proc in
+  let p = Pred.random s.rs s.sp and q = Pred.random s.rs s.sp in
+  (* (19) monotonicity, on the guaranteed pair p∧q ⇒ p *)
+  checkf case
+    (Pred.holds_implies s.sp (k (Bdd.and_ m p q)) (k p))
+    "(19) p ⇒ q gives K p ⇒ K q";
+  (* (21) universal conjunctivity: binary meet (the empty meet is (18)) *)
+  checkf case
+    (Pred.equivalent s.sp (Bdd.and_ m (k p) (k q)) (k (Bdd.and_ m p q)))
+    "(21) K p ∧ K q ≡ K (p ∧ q)";
+  (* (22) K is not disjunctive in general, but the ⇒ direction is a law *)
+  checkf case
+    (Pred.holds_implies s.sp (Bdd.or_ m (k p) (k q)) (k (Bdd.or_ m p q)))
+    "(22⇒) K p ∨ K q ⇒ K (p ∨ q)"
+
+(* (20) anti-monotonicity in the invariant argument *)
+let test_anti_monotone =
+  with_cases @@ fun case g ->
+  let s = scenario g in
+  let m = Space.manager s.sp in
+  let proc = List.nth s.procs (Sm64.int g 2) in
+  let p = Pred.random s.rs s.sp in
+  let si1 = Bdd.or_ m (Program.si s.prog) (Pred.random s.rs s.sp) in
+  let si2 = Bdd.and_ m si1 (Pred.random s.rs s.sp) in
+  let k1 = Knowledge.knows s.sp ~si:si1 proc p in
+  let k2 = Knowledge.knows s.sp ~si:si2 proc p in
+  checkf case
+    (Pred.holds_implies s.sp (Bdd.and_ m si2 k1) k2)
+    "(20) si' ⇒ si gives (si' ∧ K^si p) ⇒ K^si' p"
+
+(* invariant correspondences, eqs. 23-24 *)
+let test_invariant_laws =
+  with_cases @@ fun case g ->
+  let s = scenario g in
+  let m = Space.manager s.sp in
+  let pname = if Sm64.bool g then "P0" else "P1" in
+  let k = Knowledge.knows_in s.prog pname in
+  let p = Pred.random s.rs s.sp in
+  checkf case
+    (Program.invariant s.prog p = Program.invariant s.prog (k p))
+    "(23) invariant p ≡ invariant K p";
+  let pvars = Process.vars (Program.find_process s.prog pname) in
+  let q = Wcyl.wcyl s.sp pvars (Pred.random s.rs s.sp) in
+  checkf case
+    (Program.invariant s.prog (Bdd.imp m q p)
+    = Program.invariant s.prog (Bdd.imp m q (k p)))
+    "(24) invariant (q ⇒ p) ≡ invariant (q ⇒ K p) for local q"
+
+(* the weakest cylinder, eq. 6: strengthening, idempotence, cylinder-hood,
+   universal conjunctivity — on random variable subsets of random spaces *)
+let test_wcyl_laws =
+  with_cases @@ fun case g ->
+  let s = scenario g in
+  let m = Space.manager s.sp in
+  let vs = List.filter (fun _ -> Sm64.bool g) s.vars in
+  let p = Pred.random s.rs s.sp and q = Pred.random s.rs s.sp in
+  let w = Wcyl.wcyl s.sp vs p in
+  checkf case (Pred.holds_implies s.sp w p) "(6) wcyl V p ⇒ p";
+  checkf case (Pred.equivalent s.sp (Wcyl.wcyl s.sp vs w) w) "wcyl idempotent";
+  checkf case (Wcyl.is_cylinder s.sp vs w) "wcyl V p depends only on V";
+  checkf case
+    (Pred.equivalent s.sp
+       (Wcyl.wcyl s.sp vs (Bdd.and_ m p q))
+       (Bdd.and_ m (Wcyl.wcyl s.sp vs p) (Wcyl.wcyl s.sp vs q)))
+    "(11) wcyl universally conjunctive";
+  (* a predicate already cylindrical on V is a fixpoint (property 9) *)
+  checkf case (Pred.equivalent s.sp (Wcyl.wcyl s.sp s.vars p) p) "wcyl over all vars = id"
+
+let suite =
+  [
+    Alcotest.test_case "(14)-(18) S5 axioms on random programs" `Quick test_s5;
+    Alcotest.test_case "(19),(21),(22) junctivity on random programs" `Quick test_junctivity;
+    Alcotest.test_case "(20) anti-monotone in SI on random programs" `Quick test_anti_monotone;
+    Alcotest.test_case "(23),(24) invariant correspondences" `Quick test_invariant_laws;
+    Alcotest.test_case "(6),(9),(11) weakest-cylinder laws" `Quick test_wcyl_laws;
+  ]
