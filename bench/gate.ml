@@ -7,7 +7,40 @@
    is more than [R] slower than its baseline (default 0.25, i.e. +25%).
    Benchmarks present in the baseline but absent from the current run
    also fail the gate — renames must refresh the baseline, not silently
-   drop coverage. *)
+   drop coverage.
+
+   Additionally, the P8 budget-overhead pair is checked {e within}
+   CURRENT.json: the budgeted run of the identical workload must be
+   under 5% slower than the unbudgeted one.  A same-run ratio is
+   machine-independent, so this guard never needs a baseline refresh —
+   it fails only if the budget checkpoints themselves get expensive. *)
+
+let budget_pair =
+  ( "P8 budget overhead: SI fixpoint n=4, unbudgeted",
+    "P8 budget overhead: SI fixpoint n=4, budget armed" )
+
+let budget_overhead_tolerance = 0.05
+
+(* [Ok ()] when the pair is within tolerance or absent (older results);
+   [Error msg] on a blown ratio. *)
+let check_budget_overhead current_json =
+  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+  let plain_name, budgeted_name = budget_pair in
+  match (List.assoc_opt plain_name benches, List.assoc_opt budgeted_name benches) with
+  | Some plain, Some budgeted when plain > 0.0 ->
+      let overhead = (budgeted -. plain) /. plain in
+      Format.printf "bench gate: budget overhead %.1f%% (budgeted %.1f ns vs %.1f ns, limit +%.0f%%)@."
+        (100.0 *. overhead) budgeted plain (100.0 *. budget_overhead_tolerance);
+      if overhead <= budget_overhead_tolerance then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "budget checkpoints cost %.1f%% on the identical workload (limit %.0f%%)"
+             (100.0 *. overhead)
+             (100.0 *. budget_overhead_tolerance))
+  | _ ->
+      Format.printf "bench gate: budget-overhead pair not present; skipping the ratio guard@.";
+      Ok ()
 
 let usage () =
   prerr_endline "usage: gate [--tolerance R] BASELINE.json CURRENT.json";
@@ -47,7 +80,18 @@ let () =
           Format.printf "bench gate: %s vs %s (tolerance +%.0f%%)@." current_path
             baseline_path (100.0 *. !tolerance);
           Format.printf "%a@." Kpt_obs.Gate.pp_report report;
-          if report.Kpt_obs.Gate.regressions = [] && report.Kpt_obs.Gate.missing = [] then begin
+          let overhead =
+            match check_budget_overhead (read_file current_path) with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
+          if
+            report.Kpt_obs.Gate.regressions = []
+            && report.Kpt_obs.Gate.missing = []
+            && overhead
+          then begin
             Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
               (List.length report.Kpt_obs.Gate.verdicts);
             exit 0

@@ -69,6 +69,23 @@ let def_si size () =
     let _, prog = bubble size 3 in
     ignore (Program.si prog)
 
+(* The budget-overhead pair: the identical SI workload with and without
+   a (generous, never-tripping) armed budget.  The only difference is
+   the checkpoint polls inside [Program.sst] and [Bdd.fresh_node], so
+   the P8 ratio measures the robustness layer's tax; the gate pins it
+   below 5% within the same run (machine-independent, unlike the
+   baseline diff). *)
+let generous_budget =
+  Budget.limits
+    ~timeout_ns:(Budget.timeout_of_seconds 3600.0)
+    ~fuel:max_int ~max_nodes:max_int ()
+
+let def_si_budgeted size () =
+  fun () ->
+    Engine.with_budget generous_budget (fun () ->
+        let _, prog = bubble size 3 in
+        ignore (Program.si prog))
+
 let def_knowledge () =
   let st = Seqtrans.standard ~lossy:true { Seqtrans.n = 2; a = 2 } in
   let _ = Program.si st.Seqtrans.sprog in
@@ -175,6 +192,8 @@ let benchmark_defs =
     ("P6 full kernel replay of the Figure-3 proof", def_proof_replay);
     ("P7 kpt check batch: examples corpus, jobs=1", def_check_batch ~jobs:1);
     ("P7 kpt check batch: examples corpus, jobs=4", def_check_batch ~jobs:4);
+    ("P8 budget overhead: SI fixpoint n=4, unbudgeted", def_si 4);
+    ("P8 budget overhead: SI fixpoint n=4, budget armed", def_si_budgeted 4);
   ]
 
 (* ---- machine-readable results -------------------------------------------- *)
@@ -270,6 +289,7 @@ let quick_defs =
     ("P5 fair leads-to on the abstract KBP (n=2,|A|=2)", def_leadsto);
     ("P6 concrete simulation: 100 steps of the standard protocol", def_simulation ~steps:100);
     ("P7 kpt check batch: examples corpus, jobs=2", def_check_batch ~jobs:2);
+    ("P8 budget overhead: SI fixpoint n=3, budget armed", def_si_budgeted 3);
   ]
 
 (* One tiny run of each engine; a crash or hang here is a tier-1 failure. *)
@@ -343,8 +363,11 @@ let ablation_solver () =
       let it, t_it = time (fun () -> Kbp.iterate kbp) in
       let it_desc =
         match it with
-        | Kbp.Converged (_, steps) -> Printf.sprintf "converged in %d Ĝ-steps" steps
-        | Kbp.Cycle orbit -> Printf.sprintf "cycled (period %d)" (List.length orbit)
+        | Kbp.Converged { steps; _ } -> Printf.sprintf "converged in %d Ĝ-steps" steps
+        | Kbp.Diverged { orbit; _ } ->
+            Printf.sprintf "cycled (period %d)" (List.length orbit)
+        | Kbp.Budget_exhausted { reason; _ } ->
+            Printf.sprintf "budget exhausted (%s)" (Budget.reason_to_string reason)
       in
       Format.printf "  figure2%s: exhaustive %d solution(s) in %.4fs; iteration %s in %.4fs@."
         (if strong then "-strong" else "") (List.length sols) t_ex it_desc t_it;

@@ -5,6 +5,7 @@
      kpt solve figure1|figure2  run the KBP solvers on the paper's examples
      kpt check <protocol>       model-check a protocol against the §6 spec
      kpt check FILE … [-j N]    batch-check .unity files in parallel (lint+solve+stats)
+     kpt matrix                 re-verify every protocol under every fault model
      kpt simulate <protocol>    run a concrete fair execution
      kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
      kpt parse FILE             parse and elaborate a .unity source file
@@ -61,6 +62,84 @@ let jobs_arg =
            core count).  Output is byte-identical at every setting.")
 
 let jobs_opt j = if j <= 0 then None else Some j
+
+(* ---- resource budgets and fault models ----------------------------------- *)
+
+(* Exit-code contract (documented in the README):
+     0   success          1   a property failed / findings
+     2   usage error      3   resource exhaustion (budget, stack, memory)
+     130 interrupted (Ctrl-C)                                              *)
+let exit_resource = 3
+let exit_interrupted = 130
+
+let pos_float_conv =
+  let parse s =
+    match float_of_string_opt s with
+    | Some f when f > 0. -> Ok f
+    | _ -> Error (`Msg (Printf.sprintf "expected a positive number, got %S" s))
+  in
+  Arg.conv (parse, Format.pp_print_float)
+
+let timeout_arg =
+  Arg.(
+    value
+    & opt (some pos_float_conv) None
+    & info [ "timeout" ] ~docv:"SEC"
+        ~doc:
+          "Wall-clock budget in seconds.  On expiry the command reports what it has \
+           (a partial result where the solver supports one) and exits with code 3.")
+
+let fuel_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "fuel" ] ~docv:"N"
+        ~doc:
+          "Fixpoint-iteration budget: every sst frontier round, Ĝ-iteration step and \
+           gfp sweep consumes one unit.  Deterministic, unlike $(b,--timeout).  \
+           Exhaustion exits with code 3.")
+
+let max_nodes_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-nodes" ] ~docv:"N"
+        ~doc:"Ceiling on allocated BDD nodes per manager.  Exhaustion exits with code 3.")
+
+let limits_term =
+  let make timeout fuel max_nodes =
+    Budget.limits
+      ?timeout_ns:(Option.map Budget.timeout_of_seconds timeout)
+      ?fuel ?max_nodes ()
+  in
+  Term.(const make $ timeout_arg $ fuel_arg $ max_nodes_arg)
+
+(* Run a command body under the armed budget; [Exhausted] degrades to
+   the documented exit code instead of an exception trace. *)
+let budgeted limits f =
+  match Engine.with_budget limits f with
+  | code -> code
+  | exception Budget.Exhausted reason ->
+      Format.printf "budget exhausted: %s@." (Budget.reason_to_string reason);
+      exit_resource
+
+let fault_conv =
+  let parse s =
+    match Kpt_fault.Model.of_string s with
+    | Ok m -> Ok m
+    | Error e -> Error (`Msg e)
+  in
+  Arg.conv (parse, Kpt_fault.Model.pp)
+
+let fault_arg =
+  Arg.(
+    value
+    & opt (some fault_conv) None
+    & info [ "fault" ] ~docv:"MODEL"
+        ~doc:
+          "Channel fault model: a named model (perfect, duplicating, lossy, \
+           value-corrupt, crash) or a '+'-joined set of primitives (dup, loss, bot, \
+           value, crash).  Overrides $(b,--lossy).")
 
 let read_file path =
   let ic = open_in_bin path in
@@ -136,7 +215,7 @@ let solve_cmd =
       & pos 0 (some (enum [ ("figure1", `Fig1); ("figure2", `Fig2); ("figure2-strong", `Fig2s) ])) None
       & info [] ~docv:"MODEL" ~doc:"figure1, figure2 or figure2-strong.")
   in
-  let run model trace =
+  let run model trace limits =
     with_trace trace @@ fun () ->
     let kbp =
       match model with
@@ -146,23 +225,34 @@ let solve_cmd =
     in
     Format.printf "%a@.@." Kbp.pp kbp;
     let sp = Kbp.space kbp in
-    (match Kbp.solutions kbp with
+    let code = ref 0 in
+    (match Engine.with_budget limits (fun () -> Kbp.solutions kbp) with
     | [] -> Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
     | sols ->
         Format.printf "%d solution(s):@." (List.length sols);
-        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
-    (match Kbp.iterate kbp with
-    | Kbp.Converged (si, steps) ->
+        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols
+    | exception Budget.Exhausted reason ->
+        Format.printf "Solution enumeration: budget exhausted (%s).@."
+          (Budget.reason_to_string reason);
+        code := exit_resource);
+    (match Kbp.solve ~budget:limits kbp with
+    | Kbp.Converged { si; steps } ->
         Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
           (Space.pp_pred sp) si
-    | Kbp.Cycle orbit ->
-        Format.printf "Chaotic iteration cycles with period %d:@." (List.length orbit);
-        List.iter (fun s -> Format.printf "  → %a@." (Space.pp_pred sp) s) orbit);
-    0
+    | Kbp.Diverged { orbit; _ } ->
+        Format.printf "Chaotic iteration diverges: cycle with period %d:@."
+          (List.length orbit);
+        List.iter (fun s -> Format.printf "  → %a@." (Space.pp_pred sp) s) orbit
+    | Kbp.Budget_exhausted { reason; steps; candidate } ->
+        Format.printf
+          "Chaotic iteration: budget exhausted (%s) after %d step(s); candidate X = %a@."
+          (Budget.reason_to_string reason) steps (Space.pp_pred sp) candidate;
+        code := exit_resource);
+    !code
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a knowledge-based protocol (Figures 1-2).")
-    Term.(const run $ model $ trace_arg)
+    Term.(const run $ model $ trace_arg $ limits_term)
 
 (* ---- check ---------------------------------------------------------------- *)
 
@@ -175,50 +265,71 @@ let protos =
   ]
 
 let check_cmd =
-  let run_proto proto n a lossy =
+  let run_proto proto n a lossy fault limits =
+    budgeted limits @@ fun () ->
     let params = { Seqtrans.n; a } in
-    let name, prog, safety, live =
-      match proto with
-      | Standard ->
-          let st = Seqtrans.standard ~lossy params in
-          ( "standard",
-            st.Seqtrans.sprog,
-            Seqtrans.spec_safety st,
-            fun k -> Seqtrans.spec_liveness_holds st ~k )
-      | Kbp_proto ->
-          let ab = Seqtrans.abstract_kbp params in
-          ( "knowledge-based",
-            ab.Seqtrans.aprog,
-            Seqtrans.a_spec_safety ab,
-            fun k -> Seqtrans.a_spec_liveness_holds ab ~k )
-      | Abp ->
-          let t = Abp.make ~lossy params in
-          ("alternating-bit", t.Abp.prog, Abp.safety t, fun k -> Abp.liveness_holds t ~k)
-      | Stenning ->
-          let t = Stenning.make ~lossy params in
-          ("stenning", t.Stenning.prog, Stenning.safety t, fun k -> Stenning.liveness_holds t ~k)
-      | Auy ->
-          let t = Auy.make params in
-          ("auy", t.Auy.prog, Auy.safety t, fun k -> Auy.liveness_holds t ~k)
-      | Window ->
-          let t = Window.make ~lossy ~window:2 params in
-          ( "sliding-window(2)",
-            t.Window.prog,
-            Window.safety t,
-            fun k -> Window.liveness_holds t ~k )
+    (* [--fault] overrides [--lossy]; the channel-free protocols reject it. *)
+    let model = Channel.resolve_fault ~lossy fault in
+    let no_fault what =
+      if fault <> None then begin
+        Format.eprintf "error: --fault does not apply to the %s protocol (no channel)@."
+          what;
+        raise Stdlib.Exit
+      end
     in
-    Format.printf "checking %s (n=%d, |A|=%d%s)@." name n a (if lossy then ", lossy" else "");
-    let sp = Program.space prog in
-    Format.printf "  reachable states : %d@."
-      (Space.count_states_of sp (Program.si prog));
-    Format.printf "  safety (34)      : %b@." (Program.invariant prog safety);
-    let ok = ref true in
-    for k = 0 to n - 1 do
-      let l = live k in
-      if not l then ok := false;
-      Format.printf "  liveness (35)@%d  : %b@." k l
-    done;
-    if Program.invariant prog safety && !ok then 0 else 1
+    match
+      let name, prog, safety, live =
+        match proto with
+        | Standard ->
+            let st = Seqtrans.standard ~lossy ?fault params in
+            ( "standard",
+              st.Seqtrans.sprog,
+              Seqtrans.spec_safety st,
+              fun k -> Seqtrans.spec_liveness_holds st ~k )
+        | Kbp_proto ->
+            no_fault "abstract knowledge-based";
+            let ab = Seqtrans.abstract_kbp params in
+            ( "knowledge-based",
+              ab.Seqtrans.aprog,
+              Seqtrans.a_spec_safety ab,
+              fun k -> Seqtrans.a_spec_liveness_holds ab ~k )
+        | Abp ->
+            let t = Abp.make ~lossy ?fault params in
+            ("alternating-bit", t.Abp.prog, Abp.safety t, fun k -> Abp.liveness_holds t ~k)
+        | Stenning ->
+            let t = Stenning.make ~lossy ?fault params in
+            ("stenning", t.Stenning.prog, Stenning.safety t, fun k -> Stenning.liveness_holds t ~k)
+        | Auy ->
+            no_fault "auy";
+            let t = Auy.make params in
+            ("auy", t.Auy.prog, Auy.safety t, fun k -> Auy.liveness_holds t ~k)
+        | Window ->
+            let t = Window.make ~lossy ?fault ~window:2 params in
+            ( "sliding-window(2)",
+              t.Window.prog,
+              Window.safety t,
+              fun k -> Window.liveness_holds t ~k )
+      in
+      let blurb =
+        if Kpt_fault.Model.equal model Kpt_fault.Model.lossy then ", lossy"
+        else if Kpt_fault.Model.equal model Kpt_fault.Model.duplicating then ""
+        else ", fault=" ^ Kpt_fault.Model.to_string model
+      in
+      Format.printf "checking %s (n=%d, |A|=%d%s)@." name n a blurb;
+      let sp = Program.space prog in
+      Format.printf "  reachable states : %d@."
+        (Space.count_states_of sp (Program.si prog));
+      Format.printf "  safety (34)      : %b@." (Program.invariant prog safety);
+      let ok = ref true in
+      for k = 0 to n - 1 do
+        let l = live k in
+        if not l then ok := false;
+        Format.printf "  liveness (35)@%d  : %b@." k l
+      done;
+      if Program.invariant prog safety && !ok then 0 else 1
+    with
+    | code -> code
+    | exception Stdlib.Exit -> 2
   in
   let targets_arg =
     Arg.(
@@ -245,29 +356,36 @@ let check_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print nothing; communicate through the exit code only.")
   in
-  let run_batch paths jobs json warn_error quiet =
+  let run_batch paths jobs json warn_error quiet limits =
     match List.map (fun p -> (p, read_file p)) paths with
     | sources ->
-        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~warn_error ~quiet
-          ~json Format.std_formatter sources
+        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~budget:limits
+          ~warn_error ~quiet ~json Format.std_formatter sources
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
         1
   in
-  let run targets n a lossy jobs json warn_error quiet =
+  let run targets n a lossy fault jobs json warn_error quiet limits =
     match targets with
     | [ name ] when List.mem_assoc name protos ->
-        run_proto (List.assoc name protos) n a lossy
-    | paths -> run_batch paths jobs json warn_error quiet
+        run_proto (List.assoc name protos) n a lossy fault limits
+    | paths ->
+        if fault <> None then begin
+          Format.eprintf "error: --fault applies to built-in protocols only@.";
+          2
+        end
+        else run_batch paths jobs json warn_error quiet limits
   in
   Cmd.v
     (Cmd.info "check"
        ~doc:
-         "Model-check a built-in protocol against the §6 specification, or batch-check \
-          .unity files (lint + solve + stats, in parallel with $(b,-j)).")
+         "Model-check a built-in protocol against the §6 specification (optionally \
+          under a $(b,--fault) model and a resource budget), or batch-check .unity \
+          files (lint + solve + stats, in parallel with $(b,-j); $(b,--timeout) is a \
+          per-file deadline).")
     Term.(
-      const run $ targets_arg $ n_arg $ a_arg $ lossy_arg $ jobs_arg $ json_arg
-      $ warn_error_arg $ quiet_arg)
+      const run $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg $ jobs_arg
+      $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
 
 (* ---- simulate -------------------------------------------------------------- *)
 
@@ -425,28 +543,38 @@ let lint_cmd =
     Term.(const run $ files_arg $ warn_error $ quiet $ jobs_arg)
 
 let solve_file_cmd =
-  let run path trace =
+  let run path trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     Format.printf "%a@.@." Kbp.pp kbp;
-    (match Kbp.solutions kbp with
+    let code = ref 0 in
+    (match Engine.with_budget limits (fun () -> Kbp.solutions kbp) with
     | [] ->
         Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
     | sols ->
         Format.printf "%d solution(s):@." (List.length sols);
-        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols);
-    match Kbp.iterate kbp with
-    | Kbp.Converged (si, steps) ->
+        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols
+    | exception Budget.Exhausted reason ->
+        Format.printf "Solution enumeration: budget exhausted (%s).@."
+          (Budget.reason_to_string reason);
+        code := exit_resource);
+    (match Kbp.solve ~budget:limits kbp with
+    | Kbp.Converged { si; steps } ->
         Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
-          (Space.pp_pred sp) si;
-        0
-    | Kbp.Cycle orbit ->
-        Format.printf "Chaotic iteration cycles with period %d.@." (List.length orbit);
-        0
+          (Space.pp_pred sp) si
+    | Kbp.Diverged { orbit; _ } ->
+        Format.printf "Chaotic iteration diverges: cycle with period %d.@."
+          (List.length orbit)
+    | Kbp.Budget_exhausted { reason; steps; candidate } ->
+        Format.printf
+          "Chaotic iteration: budget exhausted (%s) after %d step(s); candidate X = %a@."
+          (Budget.reason_to_string reason) steps (Space.pp_pred sp) candidate;
+        code := exit_resource);
+    !code
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
-    Term.(const run $ file_arg $ trace_arg)
+    Term.(const run $ file_arg $ trace_arg $ limits_term)
 
 let verify_cmd =
   let invariants =
@@ -460,9 +588,10 @@ let verify_cmd =
       value & opt_all string []
       & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
   in
-  let run path invs stbls ltos trace =
+  let run path invs stbls ltos trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
+    budgeted limits @@ fun () ->
     try
     let prog =
       if Kbp.is_standard kbp then Kbp.to_standard_program kbp
@@ -507,8 +636,11 @@ let verify_cmd =
       1
   in
   Cmd.v
-    (Cmd.info "verify" ~doc:"Check user-supplied UNITY properties of a .unity file.")
-    Term.(const run $ file_arg $ invariants $ stables $ leadstos $ trace_arg)
+    (Cmd.info "verify"
+       ~doc:
+         "Check user-supplied UNITY properties of a .unity file, optionally under a \
+          resource budget ($(b,--timeout), $(b,--fuel), $(b,--max-nodes)).")
+    Term.(const run $ file_arg $ invariants $ stables $ leadstos $ trace_arg $ limits_term)
 
 (* ---- stats: the engine profile of a single file ------------------------------ *)
 
@@ -592,6 +724,54 @@ let stats_cmd =
           parallel with $(b,-j).")
     Term.(const run $ files_arg $ json $ timings $ jobs_arg)
 
+(* ---- matrix: protocols × fault models ---------------------------------------- *)
+
+let matrix_cmd =
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Emit the deterministic JSON form (what the CI golden pins).")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt_all fault_conv []
+      & info [ "fault" ] ~docv:"MODEL"
+          ~doc:
+            "Restrict the columns to MODEL (repeatable).  Default: perfect, lossy, \
+             value-corrupt, crash.")
+  in
+  let run json faults limits =
+    let faults =
+      match faults with
+      | [] -> None
+      | ms -> Some (List.map (fun m -> (Kpt_fault.Model.to_string m, m)) ms)
+    in
+    let m = Kpt_analysis.Resilience.run ~budget:limits ?faults () in
+    if json then print_string (Kpt_fault.Matrix.to_json m)
+    else Format.printf "%a@." Kpt_fault.Matrix.pp m;
+    let verdicts =
+      List.map (fun (c : Kpt_fault.Matrix.cell) -> c.Kpt_fault.Matrix.verdict)
+        m.Kpt_fault.Matrix.cells
+    in
+    if List.exists (function Kpt_fault.Matrix.Error _ -> true | _ -> false) verdicts
+    then 1
+    else if
+      List.exists (function Kpt_fault.Matrix.Exhausted _ -> true | _ -> false) verdicts
+    then exit_resource
+    else 0
+  in
+  Cmd.v
+    (Cmd.info "matrix"
+       ~doc:
+         "Re-verify every bundled protocol under every fault model and print the \
+          resilience matrix (which property survives which fault).  The per-cell \
+          budget ($(b,--timeout), $(b,--fuel)) degrades a pathological cell to \
+          'exhausted' without losing the rest; any exhausted cell exits with code 3, \
+          any errored cell with 1.")
+    Term.(const run $ json_arg $ faults_arg $ limits_term)
+
 (* ---- knowledge queries on .unity files -------------------------------------- *)
 
 let knowledge_cmd =
@@ -661,13 +841,59 @@ let knowledge_cmd =
     (Cmd.info "knowledge" ~doc:"Query the knowledge predicate K_P(φ) on a .unity program.")
     Term.(const run $ file_arg $ process_arg $ fact_arg $ common_arg)
 
+(* The CLI's robustness boundary.  [catch_break] turns Ctrl-C into
+   [Sys.Break], which the pool drains cooperatively and we render as a
+   partial-progress summary (exit 130, the conventional SIGINT code).
+   Resource crashes the budgets did not preempt — a blown OCaml stack or
+   the allocator giving up — are rendered as one diagnostic pointing at
+   the budget flags (exit 3), never a raw backtrace.  [~catch:false]
+   keeps cmdliner from eating these exceptions first. *)
 let () =
+  Sys.catch_break true;
   let doc = "knowledge predicate transformers and knowledge-based protocols" in
   let info = Cmd.info "kpt" ~version:"1.0.0" ~doc in
-  exit
-    (Cmd.eval'
-       (Cmd.group info
-          [
-            experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
-            lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
-          ]))
+  let resource_diag msg =
+    Format.eprintf "%a@." Kpt_analysis.Diagnostic.pp
+      (Kpt_analysis.Diagnostic.error ~code:"KPT040"
+         ~hint:
+           "bound the search: --fuel N caps fixpoint iterations, --max-nodes N caps \
+            BDD allocation, --timeout SEC caps wall clock"
+         msg)
+  in
+  let code =
+    try
+      Cmd.eval' ~catch:false
+        (Cmd.group info
+           [
+             experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
+             lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd; matrix_cmd;
+           ])
+    with
+    | Sys.Break ->
+        let completed, total = Kpt_par.progress () in
+        if total > 0 then
+          Format.eprintf "@.interrupted: %d of %d batch task(s) had completed@."
+            completed total
+        else Format.eprintf "@.interrupted@.";
+        exit_interrupted
+    | Stack_overflow ->
+        resource_diag
+          "the solver overflowed the OCaml stack (fixpoint or BDD recursion too deep \
+           for this spec)";
+        exit_resource
+    | Out_of_memory ->
+        resource_diag "the solver exhausted memory (the BDD outgrew this machine)";
+        exit_resource
+    | Budget.Exhausted reason ->
+        (* belt and braces: every budgeted command catches this itself *)
+        Format.eprintf "error[KPT041]: resource budget exhausted: %s@."
+          (Budget.reason_to_string reason);
+        exit_resource
+    | e ->
+        let bt = Printexc.get_raw_backtrace () in
+        Format.eprintf "kpt: internal error, uncaught exception:@.%s@.%s@."
+          (Printexc.to_string e)
+          (Printexc.raw_backtrace_to_string bt);
+        Cmd.Exit.internal_error
+  in
+  exit code

@@ -95,11 +95,11 @@ let () =
             Kbp.kstmt ~name:(Printf.sprintf "dlv%d" (k + 1)) ~guard [ (d.(k), tru) ]))
   in
   (match Kbp.iterate kbp with
-  | Kbp.Converged (si', _) ->
+  | Kbp.Converged { si = si'; _ } ->
       let never_attack =
         Bdd.implies m si'
           (Expr.compile_bool sp (not_ (var attack_a) &&& not_ (var attack_b)))
       in
       Format.printf "KBP with guard C_{A,B}(d1): solution found; attack never happens : %b@."
         never_attack
-  | Kbp.Cycle _ -> Format.printf "KBP iteration cycled (unexpected here)@.")
+  | _ -> Format.printf "KBP iteration cycled (unexpected here)@.")

@@ -32,16 +32,30 @@ let check_source ~file src =
 
 (* Safety net for anything a task throws outside [check_source]'s
    anticipated failures (e.g. [Failure] out of a solver): the file gets
-   an error report of its own and its siblings are untouched. *)
+   an error report of its own and its siblings are untouched.  Budget
+   exhaustion gets its own code (KPT041) so the caller can map it to the
+   documented resource exit code. *)
 let report_of_exn ~file exn =
   let d =
     match D.of_syntax_exn ~file exn with
     | Some d -> d
-    | None -> D.error ~file ~code:"KPT003" (Printexc.to_string exn)
+    | None -> (
+        match exn with
+        | Kpt_predicate.Budget.Exhausted reason ->
+            D.error ~file ~code:"KPT041"
+              ~hint:
+                "raise --timeout/--fuel, or check this file on its own to see how far \
+                 the solver gets"
+              (Printf.sprintf "resource budget exhausted: %s"
+                 (Kpt_predicate.Budget.reason_to_string reason))
+        | _ -> D.error ~file ~code:"KPT003" (Printexc.to_string exn))
   in
   { file; diags = [ d ]; stats = None }
 
 let failed r = List.exists D.is_error r.diags
+
+let budget_exhausted r =
+  List.exists (fun (d : D.t) -> d.D.code = "KPT041") r.diags
 
 (* ---- rendering -------------------------------------------------------------- *)
 
@@ -65,6 +79,9 @@ let summary_line ppf r =
   match r.stats with
   | Some t ->
       Format.fprintf ppf "%s: %s — %s; %s@." r.file verdict (outcome_blurb t)
+        (findings_blurb r.diags)
+  | None when budget_exhausted r ->
+      Format.fprintf ppf "%s: %s — budget exhausted; %s@." r.file verdict
         (findings_blurb r.diags)
   | None ->
       Format.fprintf ppf "%s: %s — does not elaborate; %s@." r.file verdict
@@ -142,14 +159,20 @@ let render_json ppf reports =
 
 (* ---- driver ----------------------------------------------------------------- *)
 
-let reports ?jobs sources =
-  Kpt_par.try_map ?jobs (fun (file, src) -> check_source ~file src) sources
+let reports ?jobs ?budget sources =
+  Kpt_par.try_map ?jobs ?task_budget:budget
+    (fun (file, src) -> check_source ~file src)
+    sources
   |> List.map2
        (fun (file, _) -> function Ok r -> r | Error e -> report_of_exn ~file e)
        sources
 
-let run_sources ?jobs ?(warn_error = false) ?(quiet = false) ?(json = false) ppf
-    sources =
-  let rs = reports ?jobs sources in
+let run_sources ?jobs ?budget ?(warn_error = false) ?(quiet = false)
+    ?(json = false) ppf sources =
+  let rs = reports ?jobs ?budget sources in
   if not quiet then if json then render_json ppf rs else render_text ppf rs;
-  D.exit_code ~warn_error (List.concat_map (fun r -> r.diags) rs)
+  let code = D.exit_code ~warn_error (List.concat_map (fun r -> r.diags) rs) in
+  (* budget exhaustion outranks plain findings: exit 3, the documented
+     resource code, so scripts can tell "spec is wrong" from "budget was
+     too small" *)
+  if List.exists budget_exhausted rs then 3 else code

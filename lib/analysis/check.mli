@@ -28,15 +28,23 @@ val check_source : file:string -> string -> report
 val failed : report -> bool
 (** Whether the report carries at least one error-severity finding. *)
 
-val reports : ?jobs:int -> (string * string) list -> report list
+val reports :
+  ?jobs:int ->
+  ?budget:Kpt_predicate.Budget.limits ->
+  (string * string) list ->
+  report list
 (** [(file, source)] pairs in, reports out, index-aligned.  [jobs]
-    defaults to {!Kpt_par.recommended_jobs}. *)
+    defaults to {!Kpt_par.recommended_jobs}.  [budget] is armed afresh
+    per file ({!Kpt_par.try_map}'s [task_budget]); a file that exhausts
+    it degrades to a [KPT041] error report instead of hanging the
+    batch. *)
 
 val render_text : Format.formatter -> report list -> unit
 val render_json : Format.formatter -> report list -> unit
 
 val run_sources :
   ?jobs:int ->
+  ?budget:Kpt_predicate.Budget.limits ->
   ?warn_error:bool ->
   ?quiet:bool ->
   ?json:bool ->
@@ -45,4 +53,6 @@ val run_sources :
   int
 (** Check, render (unless [quiet]), and compute the exit code with
     {!Lint.run_sources} semantics: [1] iff any error (or any warning
-    under [warn_error]); the empty corpus is a no-op success. *)
+    under [warn_error]); the empty corpus is a no-op success.  A file
+    whose per-task [budget] ran out ([KPT041]) upgrades the exit code to
+    [3] — the CLI's documented resource-exhaustion code. *)

@@ -1,0 +1,103 @@
+open Kpt_unity
+open Kpt_protocols
+module Matrix = Kpt_fault.Matrix
+module Model = Kpt_fault.Model
+
+(* The bundled-protocol subjects of the resilience matrix: each builder
+   re-built under every fault model, its §6 properties re-verified per
+   cell.  Sizes are the smallest honest instances (n = 2, a = 2 — "the
+   receiver must learn something it does not already know"), so the
+   whole matrix stays interactive. *)
+
+let params = { Seqtrans.n = 2; a = 2 }
+
+let forall n f = List.for_all f (List.init n Fun.id)
+let forall2 n a f = forall n (fun k -> forall a (fun alpha -> f k alpha))
+
+(* Transmit carries the paper's full obligation set: the spec (34)-(35),
+   the ack invariant (54), the knowledge discharge obligations (61)-(62)
+   — the proposed knowledge values of (50)-(51) must be sound — and
+   their stability (55)-(56).  The discharge rows are where
+   ⊥-detectability earns its keep: an undetectably corrupted register
+   satisfies the {e proposed} K_R value while falsifying the fact. *)
+let transmit =
+  let { Seqtrans.n; a } = params in
+  {
+    Matrix.subject = "transmit";
+    build =
+      (fun fault ->
+        let st = Seqtrans.standard ~fault params in
+        let prog = st.Seqtrans.sprog in
+        let inv p = Program.invariant prog p in
+        [
+          { Matrix.prop = "safety (34)"; check = (fun () -> inv (Seqtrans.spec_safety st)) };
+          {
+            Matrix.prop = "liveness (35)";
+            check = (fun () -> forall n (fun k -> Seqtrans.spec_liveness_holds st ~k));
+          };
+          {
+            Matrix.prop = "ack invariant (54)";
+            check = (fun () -> forall (n + 1) (fun k -> inv (Seqtrans.inv54 st ~k)));
+          };
+          {
+            Matrix.prop = "K_R discharge (61)";
+            check = (fun () -> forall2 n a (fun k alpha -> inv (Seqtrans.inv61 st ~k ~alpha)));
+          };
+          {
+            Matrix.prop = "K_S K_R discharge (62)";
+            check = (fun () -> forall n (fun k -> inv (Seqtrans.inv62 st ~k)));
+          };
+          {
+            Matrix.prop = "stability (55)";
+            check = (fun () -> forall n (fun k -> Seqtrans.stable55_holds st ~k));
+          };
+          {
+            Matrix.prop = "stability (56)";
+            check =
+              (fun () -> forall2 n a (fun k alpha -> Seqtrans.stable56_holds st ~k ~alpha));
+          };
+        ])
+  }
+
+(* The other builders carry their spec pair. *)
+let spec_pair ~safety ~liveness prog =
+  [
+    { Matrix.prop = "safety (34)"; check = (fun () -> Program.invariant prog safety) };
+    {
+      Matrix.prop = "liveness (35)";
+      check = (fun () -> forall params.Seqtrans.n (fun k -> liveness ~k));
+    };
+  ]
+
+let abp =
+  {
+    Matrix.subject = "abp";
+    build =
+      (fun fault ->
+        let t = Abp.make ~fault params in
+        spec_pair ~safety:(Abp.safety t) ~liveness:(Abp.liveness_holds t) t.Abp.prog);
+  }
+
+let stenning =
+  {
+    Matrix.subject = "stenning";
+    build =
+      (fun fault ->
+        let t = Stenning.make ~fault params in
+        spec_pair ~safety:(Stenning.safety t) ~liveness:(Stenning.liveness_holds t)
+          t.Stenning.prog);
+  }
+
+let window =
+  {
+    Matrix.subject = "window";
+    build =
+      (fun fault ->
+        let t = Window.make ~fault ~window:2 params in
+        spec_pair ~safety:(Window.safety t) ~liveness:(Window.liveness_holds t)
+          t.Window.prog);
+  }
+
+let subjects = [ transmit; abp; stenning; window ]
+
+let run ?budget ?faults () = Matrix.run ?budget ?faults subjects

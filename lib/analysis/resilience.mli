@@ -1,0 +1,23 @@
+(** The bundled-protocol resilience matrix: every builder re-verified
+    under every fault model ([kpt matrix]).
+
+    The paper's prediction, which the CI golden pins: the transmit
+    protocol's properties survive its own §6.3 channel (loss +
+    duplication + ⊥-detectable corruption = {!Kpt_fault.Model.lossy}),
+    while {e undetectable} value corruption breaks safety and the
+    knowledge discharge obligations, and crash/stop breaks liveness. *)
+
+module Matrix = Kpt_fault.Matrix
+module Model = Kpt_fault.Model
+
+val subjects : Matrix.subject list
+(** transmit (full §6 obligation set: 34-35, 54, 61-62, 55-56), abp,
+    stenning and window (each: 34-35), all at n = 2, a = 2. *)
+
+val run :
+  ?budget:Kpt_predicate.Budget.limits ->
+  ?faults:(string * Model.t) list ->
+  unit ->
+  Matrix.t
+(** Evaluate the matrix ({!Matrix.run} over {!subjects}); [faults]
+    defaults to {!Matrix.default_faults}. *)

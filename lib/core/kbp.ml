@@ -118,6 +118,7 @@ let universe k =
   in
   List.iter push (Space.states_of sp k.init);
   while not (Queue.is_empty queue) do
+    Engine.checkpoint ();
     let st = Queue.pop queue in
     List.iter
       (fun s -> match Stmt.exec sp s st with st' -> push st' | exception Stmt.Ill_formed _ -> ())
@@ -147,6 +148,7 @@ let solutions ?(max_states = 22) k =
   let base = Bdd.disj m (List.map (Space.pred_of_state sp) init_states) in
   let found = ref [] in
   for mask = 0 to (1 lsl nfree) - 1 do
+    Engine.checkpoint ();
     let x = ref base in
     for b = 0 to nfree - 1 do
       if (mask lsr b) land 1 = 1 then x := Bdd.or_ m !x (Space.pred_of_state sp free.(b))
@@ -166,21 +168,31 @@ let strongest_solution ?max_states k =
   let sp = k.space in
   List.find_opt (fun x -> List.for_all (fun y -> Pred.holds_implies sp x y) sols) sols
 
-type iteration_outcome = Converged of Bdd.t * int | Cycle of Bdd.t list
+type outcome =
+  | Converged of { si : Bdd.t; steps : int }
+  | Diverged of { orbit : Bdd.t list; steps : int }
+  | Budget_exhausted of { reason : Budget.reason; steps : int; candidate : Bdd.t }
 
-let iterate ?(max_steps = 10_000) k =
+(* The chaotic-iteration engine behind both [iterate] and [solve]:
+   [progress] tracks the newest (steps, candidate) pair so a budget
+   exhaustion — raised from anywhere inside the Ĝ application, down to
+   the BDD allocator — can still be reported against a concrete partial
+   result. *)
+let run_iteration k ~max_steps ~progress =
   let sp = k.space in
   let seen = Hashtbl.create 64 in
   let rec go x steps trail =
     if steps > max_steps then invalid_arg "Kbp.iterate: step budget exhausted";
     Kpt_obs.incr c_iterate_steps;
+    Engine.checkpoint ~fuel:1 ();
     let x' = g_operator k x in
+    progress := (steps + 1, x');
     Log.debug (fun f ->
         f "iterate step %d: candidate has %d states" steps (Space.count_states_of sp x'));
     if Kpt_obs.enabled () then
       Kpt_obs.emit "kbp.iterate"
         [ ("step", steps); ("candidate_states", Space.count_states_of sp x') ];
-    if Bdd.equal x' x then Converged (x, steps)
+    if Bdd.equal x' x then Converged { si = x; steps }
     else if Hashtbl.mem seen (Bdd.uid x') then begin
       (* [trail] is newest-first; the orbit runs from the previous
          occurrence of x' through the newest element (and back to x'). *)
@@ -188,7 +200,7 @@ let iterate ?(max_steps = 10_000) k =
         | [] -> acc
         | y :: rest -> if Bdd.equal y x' then y :: acc else upto (y :: acc) rest
       in
-      Cycle (upto [] trail)
+      Diverged { orbit = upto [] trail; steps }
     end
     else begin
       Hashtbl.add seen (Bdd.uid x') ();
@@ -196,8 +208,19 @@ let iterate ?(max_steps = 10_000) k =
     end
   in
   let x0 = Pred.normalize sp k.init in
+  progress := (0, x0);
   Hashtbl.add seen (Bdd.uid x0) ();
   go x0 0 [ x0 ]
+
+let iterate ?(max_steps = 10_000) k =
+  run_iteration k ~max_steps ~progress:(ref (0, k.init))
+
+let solve ?(budget = Budget.unlimited) ?(max_steps = 10_000) k =
+  let progress = ref (0, Pred.normalize k.space k.init) in
+  try Engine.with_budget budget (fun () -> run_iteration k ~max_steps ~progress)
+  with Budget.Exhausted reason ->
+    let steps, candidate = !progress in
+    Budget_exhausted { reason; steps; candidate }
 
 let pp fmt k =
   Format.fprintf fmt "@[<v 2>knowledge-based protocol %s@," k.name;

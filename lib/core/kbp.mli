@@ -77,16 +77,29 @@ val strongest_solution : ?max_states:int -> t -> Bdd.t option
     paper's [SI] when the KBP is well-posed with a unique strongest
     fixpoint. *)
 
-type iteration_outcome =
-  | Converged of Bdd.t * int  (** fixpoint and number of steps *)
-  | Cycle of Bdd.t list       (** the orbit of a non-trivial cycle *)
+type outcome =
+  | Converged of { si : Bdd.t; steps : int }
+      (** a genuine solution of eq. 25 and the number of Ĝ-steps *)
+  | Diverged of { orbit : Bdd.t list; steps : int }
+      (** the orbit of a non-trivial cycle of the candidate sequence —
+          the oscillation witness certifying that chaotic iteration finds
+          no solution (the paper's Figure 1 behaviour) *)
+  | Budget_exhausted of { reason : Budget.reason; steps : int; candidate : Bdd.t }
+      (** the armed {!Budget} ran out; [candidate] is the newest
+          candidate invariant computed before exhaustion (only produced
+          by {!solve} — {!iterate} lets the exception propagate) *)
 
-val iterate : ?max_steps:int -> t -> iteration_outcome
+val iterate : ?max_steps:int -> t -> outcome
 (** Chaotic iteration [X₀ = init-closure-candidate, X_{k+1} = Ĝ(X_k)]
-    with cycle detection.  A [Converged] result is a genuine solution; a
-    [Cycle] certifies that {e this iteration scheme} finds none (the
-    paper's Figure 1 behaviour).  @raise Invalid_argument if [max_steps]
-    is exhausted without repetition (cannot happen on finite spaces with
-    the default). *)
+    with cycle detection.  Never returns [Budget_exhausted]: an ambient
+    engine budget propagates as {!Budget.Exhausted}.
+    @raise Invalid_argument if [max_steps] is exhausted without
+    repetition (cannot happen on finite spaces with the default). *)
+
+val solve : ?budget:Budget.limits -> ?max_steps:int -> t -> outcome
+(** {!iterate} under a freshly armed budget on the current engine
+    ({!Engine.with_budget}); exhaustion — whether raised from the
+    iteration loop, [Program.sst] or the BDD allocator — degrades to
+    [Budget_exhausted] with the newest candidate instead of escaping. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,104 @@
+(* First-class channel fault models (§6.2-6.3).
+
+   A model is a set of independent fault capabilities the environment
+   gets over a channel direction.  The paper's channel (§6.3) "allows
+   loss, duplication, and detectable corruption of messages" — that is
+   [lossy] here, and what every builder hard-wired before this module
+   existed.  The other points of the lattice let the resilience matrix
+   probe which property of a protocol depends on which assumption. *)
+
+type t = {
+  duplication : bool;
+      (* deliver is repeatable ([avail := slot] as a plain statement);
+         without it delivery consumes the slot *)
+  loss : bool; (* drop: [avail := ⊥] *)
+  corrupt_detect : bool;
+      (* detectable corruption: the receiver sees ⊥ — per §6.2 this is
+         observationally identical to loss, and maps to the same drop
+         statement *)
+  corrupt_value : bool;
+      (* undetectable corruption: [avail] gets a syntactically valid
+         value that need not be what was sent *)
+  crash : bool; (* crash/stop: the channel may permanently stop delivering *)
+}
+
+let none =
+  {
+    duplication = false;
+    loss = false;
+    corrupt_detect = false;
+    corrupt_value = false;
+    crash = false;
+  }
+
+let perfect = none
+let duplicating = { none with duplication = true }
+let lossy = { none with duplication = true; loss = true }
+let value_corrupt = { lossy with corrupt_value = true }
+let crash_stop = { duplicating with crash = true }
+
+let equal (a : t) (b : t) = a = b
+
+(* Does the environment ever write ⊥ into [avail]? *)
+let drops m = m.loss || m.corrupt_detect
+
+let named =
+  [
+    ("perfect", perfect);
+    ("duplicating", duplicating);
+    ("lossy", lossy);
+    ("value-corrupt", value_corrupt);
+    ("crash", crash_stop);
+  ]
+
+let primitives =
+  [
+    ("dup", fun m -> { m with duplication = true });
+    ("loss", fun m -> { m with loss = true });
+    ("bot", fun m -> { m with corrupt_detect = true });
+    ("value", fun m -> { m with corrupt_value = true });
+    ("crash", fun m -> { m with crash = true });
+  ]
+
+let to_string m =
+  match List.find_opt (fun (_, v) -> equal v m) named with
+  | Some (name, _) -> name
+  | None ->
+      let parts =
+        List.filter_map
+          (fun (tag, sel) -> if sel m then Some tag else None)
+          [
+            ("dup", fun m -> m.duplication);
+            ("loss", fun m -> m.loss);
+            ("bot", fun m -> m.corrupt_detect);
+            ("value", fun m -> m.corrupt_value);
+            ("crash", fun m -> m.crash);
+          ]
+      in
+      (* [perfect] is in [named], so parts is non-empty here *)
+      String.concat "+" parts
+
+let of_string s =
+  let s = String.trim s in
+  match List.assoc_opt s named with
+  | Some m -> Ok m
+  | None -> (
+      let parts = String.split_on_char '+' s |> List.map String.trim in
+      let rec go acc = function
+        | [] -> Ok acc
+        | p :: rest -> (
+            match List.assoc_opt p primitives with
+            | Some f -> go (f acc) rest
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "unknown fault %S (expected a named model %s or a '+'-combination of %s)"
+                     p
+                     (String.concat "|" (List.map fst named))
+                     (String.concat "|" (List.map fst primitives))))
+      in
+      match parts with
+      | [ "" ] -> Error "empty fault model"
+      | parts -> go none parts)
+
+let pp fmt m = Format.pp_print_string fmt (to_string m)

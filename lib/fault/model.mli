@@ -1,0 +1,57 @@
+(** First-class channel fault models (§6.2-6.3).
+
+    A model is a set of independent capabilities the environment has
+    over a channel direction.  {!lossy} — loss + duplication (with
+    detectable corruption folded into loss, as in §6.2) — is the
+    paper's channel and the historical hard-wired behaviour of every
+    protocol builder. *)
+
+type t = {
+  duplication : bool;
+      (** deliver is repeatable; without it delivery consumes the slot *)
+  loss : bool;  (** the environment may drop the in-flight message *)
+  corrupt_detect : bool;
+      (** detectable corruption: received as ⊥, observationally
+          identical to loss (§6.2) — same drop statement *)
+  corrupt_value : bool;
+      (** undetectable corruption: a valid-looking wrong value *)
+  crash : bool;  (** the channel may permanently stop delivering *)
+}
+
+val none : t
+(** No faults, no duplication: a consuming, deliver-only channel. *)
+
+val perfect : t
+(** Alias of {!none}: every transmitted message is delivered exactly
+    once (per slot overwrite). *)
+
+val duplicating : t
+(** Reliable but duplicating — the historical [~lossy:false] channel. *)
+
+val lossy : t
+(** Loss + duplication (+ ⊥-detectable corruption, which is the same
+    statement): the paper's §6.3 channel, the historical default. *)
+
+val value_corrupt : t
+(** {!lossy} plus undetectable value corruption. *)
+
+val crash_stop : t
+(** {!duplicating} plus crash/stop. *)
+
+val equal : t -> t -> bool
+
+val drops : t -> bool
+(** Does the environment ever write ⊥ into [avail]? *)
+
+val named : (string * t) list
+(** The named models above, in presentation order. *)
+
+val of_string : string -> (t, string) result
+(** A named model ([perfect], [duplicating], [lossy], [value-corrupt],
+    [crash]) or a ['+']-separated combination of primitives [dup],
+    [loss], [bot], [value], [crash] — e.g. ["loss+dup+value"]. *)
+
+val to_string : t -> string
+(** Canonical spelling; inverse of {!of_string} on its own output. *)
+
+val pp : Format.formatter -> t -> unit

@@ -91,6 +91,7 @@ let fair_avoid prog q =
   (* Round check: from u, can we apply every statement at least once while
      staying among alive states?  BFS over (state, remaining-mask). *)
   let survives u =
+    Engine.checkpoint ();
     incr generation;
     if not use_stamps then Hashtbl.reset seen_tbl;
     Queue.clear queue;
@@ -126,6 +127,7 @@ let fair_avoid prog q =
   while !changed do
     incr sweeps;
     Kpt_obs.incr c_gfp_sweeps;
+    Engine.checkpoint ~fuel:1 ();
     changed := false;
     for u = 0 to nstates - 1 do
       if alive.(u) && not (survives u) then begin

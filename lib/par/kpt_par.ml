@@ -31,7 +31,14 @@ let recommended_jobs () =
       | _ -> clamp_jobs (Domain.recommended_domain_count ()))
   | None -> clamp_jobs (Domain.recommended_domain_count ())
 
-let try_map ?jobs f items =
+(* Batch progress, for the CLI's Ctrl-C handler: completed/total of the
+   most recent [try_map] batch.  Workers bump [batch_done] as each task
+   publishes; the main domain reads both after a [Sys.Break]. *)
+let batch_total = Atomic.make 0
+let batch_done = Atomic.make 0
+let progress () = (Atomic.get batch_done, Atomic.get batch_total)
+
+let try_map ?jobs ?task_budget f items =
   let tasks = Array.of_list items in
   let n = Array.length tasks in
   if n = 0 then []
@@ -40,6 +47,8 @@ let try_map ?jobs f items =
       clamp_jobs (match jobs with Some j -> j | None -> recommended_jobs ())
     in
     let jobs = min jobs n in
+    Atomic.set batch_total n;
+    Atomic.set batch_done 0;
     (* Slot [i] of both arrays belongs exclusively to the worker that
        won task [i]; publication to the caller is ordered by the joins
        below (and, for the main domain's own tasks, by program order). *)
@@ -51,11 +60,25 @@ let try_map ?jobs f items =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let eng = Engine.create () in
+          let run () =
+            (* The deadline is per task: armed when the task starts, not
+               when the batch does, so [--timeout] bounds each file. *)
+            match task_budget with
+            | Some limits -> Engine.with_budget limits (fun () -> f tasks.(i))
+            | None -> f tasks.(i)
+          in
           let r =
-            try Ok (Engine.use eng (fun () -> f tasks.(i))) with e -> Error e
+            try Ok (Engine.use eng run) with
+            | Sys.Break as b ->
+                (* Ctrl-C: stop handing out tasks so every worker drains
+                   promptly; the caller re-raises after the join. *)
+                Atomic.set next n;
+                Error b
+            | e -> Error e
           in
           results.(i) <- Some r;
           engines.(i) <- Some eng;
+          Atomic.incr batch_done;
           loop ()
         end
       in
@@ -69,6 +92,11 @@ let try_map ?jobs f items =
       (function
         | Some eng -> Kpt_obs.Ctx.merge ~into (Engine.obs eng) | None -> ())
       engines;
+    if
+      Array.exists
+        (function Some (Error Sys.Break) -> true | _ -> false)
+        results
+    then raise Sys.Break;
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)
   end

@@ -21,13 +21,32 @@ val recommended_jobs : unit -> int
     environment variable if set to a positive integer, otherwise
     [Domain.recommended_domain_count ()]; clamped to [1..128]. *)
 
-val try_map : ?jobs:int -> ('a -> 'b) -> 'a list -> ('b, exn) result list
+val try_map :
+  ?jobs:int ->
+  ?task_budget:Kpt_predicate.Budget.limits ->
+  ('a -> 'b) ->
+  'a list ->
+  ('b, exn) result list
 (** [try_map ~jobs f items] applies [f] to every item on a pool of
     [jobs] domains (default {!recommended_jobs}; clamped to
     [1..min 128 (length items)]).  The result list is index-aligned with
     the input.  A task that raises yields [Error exn] in its own slot
     and does not disturb its siblings — the property the batch driver
-    relies on for "one unparsable file must not poison the rest". *)
+    relies on for "one unparsable file must not poison the rest".
+
+    [task_budget] arms a {e fresh} budget on the task's engine when the
+    task starts (so a [--timeout] deadline bounds each task, not the
+    batch); exhaustion surfaces as
+    [Error (Kpt_predicate.Budget.Exhausted _)] in that task's slot.
+
+    [Sys.Break] (Ctrl-C) is not isolated: it cancels the remaining
+    tasks cooperatively and re-raises after all workers have drained —
+    {!progress} then reports how far the batch got. *)
+
+val progress : unit -> int * int
+(** [(completed, total)] of the most recent {!try_map} batch — what the
+    CLI's interrupt handler prints as the partial summary.  [(0, 0)]
+    before any batch has run. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!try_map}, re-raising the first failure (by input order) after the

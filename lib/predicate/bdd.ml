@@ -177,6 +177,11 @@ let fresh_node m level low high =
   m.next_uid <- m.next_uid + 1;
   Kpt_obs.incr c_node;
   Kpt_obs.record_max c_peak m.next_uid;
+  (* Amortised budget check: the node ceiling (and, between fixpoint
+     rounds, the deadline) must bite even inside one pathological apply,
+     but a per-node check would tax every allocation — every 4096 nodes
+     keeps the overhead unmeasurable. *)
+  if m.next_uid land 4095 = 0 then Engine.check_nodes m.next_uid;
   n
 
 let mk m level low high =

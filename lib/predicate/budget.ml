@@ -1,0 +1,108 @@
+(* Resource budgets for the symbolic engine.
+
+   A budget is three independent, optional ceilings: a wall-clock
+   deadline (measured on the monotonic clock, like everything else in
+   this repository), an iteration "fuel" (consumed by the coarse
+   fixpoint loops — sst rounds, Ĝ-steps, gfp sweeps, KBP candidates) and
+   a BDD node-count ceiling (checked periodically by the node allocator,
+   so even a single pathological apply cannot blow the heap between two
+   fixpoint rounds).
+
+   The split between [limits] (immutable configuration, what the CLI
+   flags produce) and [t] (an {e armed} budget with an absolute deadline
+   and a mutable fuel tank) matters for the parallel pool: each task
+   arms its own copy, so a deadline is relative to the task's start, not
+   to the batch's. *)
+
+type limits = {
+  timeout_ns : int64 option;
+  fuel : int option;
+  max_nodes : int option;
+}
+
+let unlimited = { timeout_ns = None; fuel = None; max_nodes = None }
+
+let limits ?timeout_ns ?fuel ?max_nodes () = { timeout_ns; fuel; max_nodes }
+
+let is_unlimited l = l.timeout_ns = None && l.fuel = None && l.max_nodes = None
+
+let timeout_of_seconds s =
+  if s <= 0.0 then invalid_arg "Budget.timeout_of_seconds: timeout must be positive";
+  Int64.of_float (s *. 1e9)
+
+type reason =
+  | Timeout of { limit_ns : int64 }
+  | Fuel_exhausted of { limit : int }
+  | Node_ceiling of { limit : int; nodes : int }
+
+exception Exhausted of reason
+
+type t = {
+  limits : limits;
+  deadline_ns : int64; (* absolute; [Int64.max_int] when unbounded *)
+  mutable fuel_left : int; (* [max_int] when unbounded *)
+  node_limit : int; (* [max_int] when unbounded *)
+}
+
+let arm l =
+  {
+    limits = l;
+    deadline_ns =
+      (match l.timeout_ns with
+      | Some ns -> Int64.add (Kpt_obs.now_ns ()) ns
+      | None -> Int64.max_int);
+    fuel_left = (match l.fuel with Some f -> max 0 f | None -> max_int);
+    node_limit = (match l.max_nodes with Some n -> max 0 n | None -> max_int);
+  }
+
+let limits_of t = t.limits
+
+let fuel_left t = if t.limits.fuel = None then None else Some t.fuel_left
+
+let exhausted r = raise (Exhausted r)
+
+(* The checkpoint the fixpoint loops call once per round.  Fuel is
+   consumed first (it is the deterministic ceiling, so a fuel-limited
+   run reports fuel exhaustion identically on every machine); the clock
+   is only read when a deadline is actually armed. *)
+let check ?(fuel = 0) t =
+  if fuel > 0 then begin
+    if t.fuel_left < fuel then
+      exhausted (Fuel_exhausted { limit = Option.get t.limits.fuel });
+    t.fuel_left <- t.fuel_left - fuel
+  end;
+  if
+    t.deadline_ns <> Int64.max_int
+    && Int64.compare (Kpt_obs.now_ns ()) t.deadline_ns > 0
+  then exhausted (Timeout { limit_ns = Option.get t.limits.timeout_ns })
+
+(* Called (amortised) by the BDD node allocator: ceiling plus deadline,
+   never fuel — node creation is not an iteration. *)
+let check_nodes t nodes =
+  if nodes > t.node_limit then
+    exhausted (Node_ceiling { limit = t.node_limit; nodes });
+  if
+    t.deadline_ns <> Int64.max_int
+    && Int64.compare (Kpt_obs.now_ns ()) t.deadline_ns > 0
+  then exhausted (Timeout { limit_ns = Option.get t.limits.timeout_ns })
+
+let reason_to_string = function
+  | Timeout { limit_ns } ->
+      Printf.sprintf "wall-clock timeout of %.3fs exceeded"
+        (Int64.to_float limit_ns /. 1e9)
+  | Fuel_exhausted { limit } ->
+      Printf.sprintf "iteration fuel of %d exhausted" limit
+  | Node_ceiling { limit; nodes } ->
+      Printf.sprintf "BDD node ceiling of %d exceeded (%d nodes created)" limit nodes
+
+let reason_slug = function
+  | Timeout _ -> "timeout"
+  | Fuel_exhausted _ -> "fuel"
+  | Node_ceiling _ -> "nodes"
+
+let pp_reason fmt r = Format.pp_print_string fmt (reason_to_string r)
+
+let () =
+  Printexc.register_printer (function
+    | Exhausted r -> Some (Printf.sprintf "Budget.Exhausted (%s)" (reason_to_string r))
+    | _ -> None)

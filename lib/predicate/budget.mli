@@ -1,0 +1,61 @@
+(** Resource budgets for the symbolic engine.
+
+    A budget bounds a symbolic computation along three independent axes:
+    a wall-clock deadline (monotonic clock, {!Kpt_obs.now_ns}), an
+    iteration {e fuel} consumed by the coarse fixpoint loops
+    ([Program.sst] rounds, [Kbp] Ĝ-steps and candidates,
+    [Props.fair_avoid] sweeps), and a ceiling on the number of BDD nodes
+    a manager may allocate.  Exceeding any ceiling raises {!Exhausted}
+    with a structured {!reason}; callers that want a graceful outcome
+    (e.g. [Kbp.solve]) catch it and report a partial result. *)
+
+(** Immutable ceilings, as configured by CLI flags. [None] = unbounded. *)
+type limits = {
+  timeout_ns : int64 option;
+  fuel : int option;
+  max_nodes : int option;
+}
+
+val unlimited : limits
+
+val limits :
+  ?timeout_ns:int64 -> ?fuel:int -> ?max_nodes:int -> unit -> limits
+
+val is_unlimited : limits -> bool
+
+(** [timeout_of_seconds s] converts a positive duration in seconds to
+    nanoseconds. Raises [Invalid_argument] on [s <= 0]. *)
+val timeout_of_seconds : float -> int64
+
+type reason =
+  | Timeout of { limit_ns : int64 }
+  | Fuel_exhausted of { limit : int }
+  | Node_ceiling of { limit : int; nodes : int }
+
+exception Exhausted of reason
+
+(** An armed budget: absolute deadline and a mutable fuel tank.  Arm one
+    per task — the deadline is relative to the call to {!arm}. *)
+type t
+
+val arm : limits -> t
+val limits_of : t -> limits
+
+(** Remaining fuel, or [None] if fuel is unbounded. *)
+val fuel_left : t -> int option
+
+(** [check ?fuel t] consumes [fuel] units (default 0) and then checks
+    the deadline. Raises {!Exhausted} when either ceiling is hit; fuel
+    is checked first so fuel-limited runs fail deterministically. *)
+val check : ?fuel:int -> t -> unit
+
+(** [check_nodes t n] checks the node ceiling against the current node
+    count [n], then the deadline. Never consumes fuel. *)
+val check_nodes : t -> int -> unit
+
+val reason_to_string : reason -> string
+
+(** Short machine-readable tag: ["timeout"], ["fuel"] or ["nodes"]. *)
+val reason_slug : reason -> string
+
+val pp_reason : Format.formatter -> reason -> unit

@@ -8,14 +8,14 @@
    own engine and the main domain can fold the numbers back in after the
    join. *)
 
-type t = { eid : int; obs : Kpt_obs.Ctx.t }
+type t = { eid : int; obs : Kpt_obs.Ctx.t; mutable budget : Budget.t option }
 
 (* Engine identities are process-wide (an engine may be created on one
    domain and used on another), so the id counter is the one piece of
    shared state here — a single Atomic. *)
 let next_id = Atomic.make 0
 
-let make obs = { eid = Atomic.fetch_and_add next_id 1; obs }
+let make obs = { eid = Atomic.fetch_and_add next_id 1; obs; budget = None }
 let default = make Kpt_obs.Ctx.root
 let create () = make (Kpt_obs.Ctx.create ())
 let id t = t.eid
@@ -39,3 +39,30 @@ let use t f =
 let merge_metrics ~into src = Kpt_obs.Ctx.merge ~into:into.obs src.obs
 let counters t = Kpt_obs.Ctx.counters t.obs
 let spans t = Kpt_obs.Ctx.spans t.obs
+
+(* Budgets ride on the engine rather than on each Space: a solve touches
+   several spaces (program, KBP bases, knowledge cylinders) but is one
+   unit of work, and the pool already hands each task a private engine,
+   so per-task deadlines fall out for free. *)
+let set_budget t b = t.budget <- b
+let budget t = t.budget
+
+let with_budget ?engine limits f =
+  let t = match engine with Some e -> e | None -> Domain.DLS.get dls_current in
+  let prev = t.budget in
+  t.budget <-
+    (if Budget.is_unlimited limits then None else Some (Budget.arm limits));
+  Fun.protect ~finally:(fun () -> t.budget <- prev) f
+
+(* The checkpoints the fixpoint loops and the node allocator call.  Both
+   must stay near-free when no budget is armed: one DLS read and one
+   [None] match. *)
+let checkpoint ?fuel () =
+  match (Domain.DLS.get dls_current).budget with
+  | None -> ()
+  | Some b -> Budget.check ?fuel b
+
+let check_nodes nodes =
+  match (Domain.DLS.get dls_current).budget with
+  | None -> ()
+  | Some b -> Budget.check_nodes b nodes

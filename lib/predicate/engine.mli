@@ -53,3 +53,31 @@ val merge_metrics : into:t -> t -> unit
 
 val counters : t -> (string * int) list
 val spans : t -> (string * int64 * int) list
+
+(** {2 Resource budgets}
+
+    A budget ({!Budget.t}) rides on the engine: the fixpoint loops and
+    the BDD node allocator call {!checkpoint}/{!check_nodes} against the
+    {e current} engine's budget, so arming one bounds everything the
+    enclosing {!use} runs — and the parallel pool gets per-task
+    deadlines by arming each task's private engine. *)
+
+val set_budget : t -> Budget.t option -> unit
+(** Install (or clear) an armed budget on [t]. *)
+
+val budget : t -> Budget.t option
+
+val with_budget : ?engine:t -> Budget.limits -> (unit -> 'a) -> 'a
+(** [with_budget limits f] arms a fresh budget from [limits] on [engine]
+    (default: the {!current} engine) for the duration of [f], restoring
+    the previous budget afterwards.  {!Budget.unlimited} arms nothing.
+    Does not catch {!Budget.Exhausted} — that is the caller's choice. *)
+
+val checkpoint : ?fuel:int -> unit -> unit
+(** Check the current engine's budget (deadline, and consume [fuel]
+    units if given). No-op — one domain-local read — when no budget is
+    armed. Raises {!Budget.Exhausted}. *)
+
+val check_nodes : int -> unit
+(** Check the current engine's node ceiling and deadline against a node
+    count. No-op when no budget is armed. Raises {!Budget.Exhausted}. *)

@@ -31,7 +31,7 @@ type t = {
   ack : Channel.t;
 }
 
-val make : ?lossy:bool -> Seqtrans.params -> t
+val make : ?lossy:bool -> ?fault:Kpt_fault.Model.t -> Seqtrans.params -> t
 
 val safety : t -> Bdd.t
 (** Eq. 34 for the ABP instance. *)

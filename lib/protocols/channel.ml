@@ -64,3 +64,23 @@ let drop_stmt ch ~name = Stmt.make ~name [ (ch.avail, Expr.nat ch.codec.bot) ]
 
 let init_expr ch =
   Expr.((var ch.slot === nat ch.codec.bot) &&& (var ch.avail === nat ch.codec.bot))
+
+let env sp ?up ?corrupt_to ch ~name model =
+  Kpt_fault.Inject.env sp ~slot:ch.slot ~avail:ch.avail ~bot:ch.codec.bot ?up ?corrupt_to
+    ~name model
+
+(* The shared [?lossy] / [?fault] resolution of the protocol builders:
+   an explicit fault model wins; otherwise [~lossy] selects between the
+   two historical channels (lossy = the paper's §6.3 channel,
+   non-lossy = reliable-but-duplicating). *)
+let resolve_fault ~lossy fault =
+  match fault with
+  | Some f -> f
+  | None -> if lossy then Kpt_fault.Model.lossy else Kpt_fault.Model.duplicating
+
+(* Program-name suffix: the two historical models keep their historical
+   spellings so every pre-fault call site sees identical program names. *)
+let fault_suffix model =
+  if Kpt_fault.Model.equal model Kpt_fault.Model.lossy then "_lossy"
+  else if Kpt_fault.Model.equal model Kpt_fault.Model.duplicating then ""
+  else "_" ^ Kpt_fault.Model.to_string model

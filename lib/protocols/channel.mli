@@ -74,3 +74,26 @@ val init_expr : t -> Expr.t
 val mul_const : int -> Expr.t -> Expr.t
 (** [c · e] by repeated addition — for building message predicates that
     must agree with a codec's linear encoding. *)
+
+val env :
+  Space.t ->
+  ?up:Space.var ->
+  ?corrupt_to:int ->
+  t ->
+  name:string ->
+  Kpt_fault.Model.t ->
+  Kpt_fault.Inject.channel_env
+(** The environment statements a fault model grants over this channel —
+    {!Kpt_fault.Inject.env} on the channel's slot/avail/⊥.  For
+    {!Kpt_fault.Model.lossy} this is exactly the historical
+    [deliver_stmt] + [drop_stmt] pair (names [env_dlv_NAME] /
+    [env_drop_NAME]). *)
+
+val resolve_fault : lossy:bool -> Kpt_fault.Model.t option -> Kpt_fault.Model.t
+(** The builders' shared parameter resolution: an explicit [?fault]
+    wins; otherwise [~lossy] selects {!Kpt_fault.Model.lossy} or
+    {!Kpt_fault.Model.duplicating} (the two historical channels). *)
+
+val fault_suffix : Kpt_fault.Model.t -> string
+(** Program-name suffix for a fault model; the historical models keep
+    their historical spellings (["_lossy"] and [""]). *)

@@ -24,8 +24,9 @@ type standard = {
   ack : Channel.t;
 }
 
-let standard ?(lossy = true) ({ n; a } as params) =
+let standard ?(lossy = true) ?fault ({ n; a } as params) =
   check_params params;
+  let fault = Channel.resolve_fault ~lossy fault in
   let sp = Space.create () in
   let xs = Array.init n (fun k -> Space.nat_var sp (Printf.sprintf "x%d" k) ~max:(a - 1)) in
   let y = Space.nat_var sp "y" ~max:(a - 1) in
@@ -67,19 +68,17 @@ let standard ?(lossy = true) ({ n; a } as params) =
       ~guard:(not_ (disj (List.init a zp_is_j)))
       [ Channel.transmit ack [ var j ]; Channel.receive data zp ]
   in
-  let env =
-    [
-      Channel.deliver_stmt data ~name:"env_dlv_data";
-      Channel.deliver_stmt ack ~name:"env_dlv_ack";
-    ]
-    @
-    if lossy then
-      [
-        Channel.drop_stmt data ~name:"env_drop_data";
-        Channel.drop_stmt ack ~name:"env_drop_ack";
-      ]
-    else []
+  (* one crash flag for the whole network: both directions stop together *)
+  let up =
+    if fault.Kpt_fault.Model.crash then Some (Space.bool_var sp "net_up") else None
   in
+  let denv = Channel.env sp ?up data ~name:"data" fault in
+  let aenv = Channel.env sp ?up ack ~name:"ack" fault in
+  let env =
+    denv.Kpt_fault.Inject.statements @ aenv.Kpt_fault.Inject.statements
+    @ (match up with Some u -> [ Kpt_fault.Inject.crash_stmt ~name:"net" u ] | None -> [])
+  in
+  let fault_init = match up with Some u -> [ Expr.var u ] | None -> [] in
   let init =
     conj
       ([
@@ -90,13 +89,14 @@ let standard ?(lossy = true) ({ n; a } as params) =
          var zp === nat dcodec.Channel.bot;
        ]
       @ List.init n (fun k -> var ws.(k) === nat 0)
-      @ [ Channel.init_expr data; Channel.init_expr ack ])
+      @ [ Channel.init_expr data; Channel.init_expr ack ]
+      @ fault_init)
   in
   let sender = Process.make "Sender" (Array.to_list xs @ [ y; i; z ]) in
   let receiver = Process.make "Receiver" (Array.to_list ws @ [ zp; j ]) in
   let prog =
     Program.make sp
-      ~name:(if lossy then "seqtrans_standard_lossy" else "seqtrans_standard")
+      ~name:("seqtrans_standard" ^ Channel.fault_suffix fault)
       ~init
       ~processes:[ sender; receiver ]
       ([ snd_tx; snd_adv ] @ List.init a rcv_write @ [ rcv_ack ] @ env)

@@ -50,10 +50,12 @@ type standard = {
   ack : Channel.t;  (** receiver → sender *)
 }
 
-val standard : ?lossy:bool -> params -> standard
+val standard : ?lossy:bool -> ?fault:Kpt_fault.Model.t -> params -> standard
 (** Build the bounded Figure-4 program.  [lossy] (default [true])
     includes the drop statements; without them the channel still
-    duplicates but St-3/St-4 hold outright and liveness is unconditional. *)
+    duplicates but St-3/St-4 hold outright and liveness is unconditional.
+    [?fault] overrides [?lossy] with an explicit {!Kpt_fault.Model.t}
+    (a single shared crash flag when the model crashes). *)
 
 val spec_safety : standard -> Bdd.t
 (** Eq. 34 at the bounded horizon: [⋀ k < n : j > k ⇒ w_k = x_k]. *)

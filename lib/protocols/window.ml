@@ -16,7 +16,8 @@ type t = {
   ack : Channel.t;
 }
 
-let make ?(lossy = true) ~window ({ Seqtrans.n; a } as params) =
+let make ?(lossy = true) ?fault ~window ({ Seqtrans.n; a } as params) =
+  let fault = Channel.resolve_fault ~lossy fault in
   if window < 1 then invalid_arg "Window.make: window must be ≥ 1";
   if n < 2 || a < 2 then invalid_arg "Window.make: need n ≥ 2 and a ≥ 2";
   let sp = Space.create () in
@@ -52,30 +53,37 @@ let make ?(lossy = true) ~window ({ Seqtrans.n; a } as params) =
       (Stmt.array_write ws ~index:(var j) (nat alpha) @ [ (j, var j +! nat 1) ])
   in
   let rcv_ack = Stmt.make ~name:"rcv_ack" [ Channel.transmit ack [ var j ] ] in
-  let env =
-    List.concat
-      (List.init n (fun k ->
-           Stmt.make ~name:(Printf.sprintf "env_dlv%d" k) [ (avails.(k), var slots.(k)) ]
-           ::
-           (if lossy then
-              [ Stmt.make ~name:(Printf.sprintf "env_drop%d" k) [ (avails.(k), nat a) ] ]
-            else [])))
-    @ [ Channel.deliver_stmt ack ~name:"env_dlv_ack" ]
-    @ if lossy then [ Channel.drop_stmt ack ~name:"env_drop_ack" ] else []
+  (* one crash flag for the whole network: every cell and the ack
+     direction stop together *)
+  let up =
+    if fault.Kpt_fault.Model.crash then Some (Space.bool_var sp "net_up") else None
   in
+  let cell_envs =
+    List.init n (fun k ->
+        Kpt_fault.Inject.env sp ~slot:slots.(k) ~avail:avails.(k) ~bot:a ?up
+          ~name:(string_of_int k) fault)
+  in
+  let aenv = Channel.env sp ?up ack ~name:"ack" fault in
+  let env =
+    List.concat_map (fun e -> e.Kpt_fault.Inject.statements) cell_envs
+    @ aenv.Kpt_fault.Inject.statements
+    @ (match up with Some u -> [ Kpt_fault.Inject.crash_stmt ~name:"net" u ] | None -> [])
+  in
+  let fault_init = match up with Some u -> [ Expr.var u ] | None -> [] in
   let init =
     conj
       ([ var i === nat 0; var j === nat 0; var z === nat acodec.Channel.bot ]
       @ List.init n (fun k -> var ws.(k) === nat 0)
       @ List.init n (fun k -> var slots.(k) === nat a)
       @ List.init n (fun k -> var avails.(k) === nat a)
-      @ [ Channel.init_expr ack ])
+      @ [ Channel.init_expr ack ]
+      @ fault_init)
   in
   let sender = Process.make "Sender" (Array.to_list xs @ [ i; z ]) in
   let receiver = Process.make "Receiver" (Array.to_list ws @ [ j ]) in
   let prog =
     Program.make sp
-      ~name:(Printf.sprintf "window%d%s" window (if lossy then "_lossy" else ""))
+      ~name:(Printf.sprintf "window%d%s" window (Channel.fault_suffix fault))
       ~init
       ~processes:[ sender; receiver ]
       (List.init window snd_tx @ [ snd_adv ] @ List.init a rcv_write @ [ rcv_ack ] @ env)

@@ -30,7 +30,8 @@ type t = {
   ack : Channel.t;
 }
 
-val make : ?lossy:bool -> window:int -> Seqtrans.params -> t
+val make :
+  ?lossy:bool -> ?fault:Kpt_fault.Model.t -> window:int -> Seqtrans.params -> t
 (** @raise Invalid_argument unless [1 ≤ window]. *)
 
 val safety : t -> Bdd.t

@@ -98,6 +98,7 @@ let sst p pred =
     end
     else begin
       Kpt_obs.incr c_sst_iters;
+      Engine.checkpoint ~fuel:1 ();
       if Kpt_obs.enabled () then
         Kpt_obs.emit "sst.iter"
           [

@@ -79,7 +79,8 @@ let test_figure1_iteration_cycles () =
   let sp, kbp = figure1 () in
   match Kbp.iterate kbp with
   | Kbp.Converged _ -> Alcotest.fail "Figure 1 iteration should not converge"
-  | Kbp.Cycle orbit ->
+  | Kbp.Budget_exhausted _ -> Alcotest.fail "no budget armed"
+  | Kbp.Diverged { orbit; _ } ->
       Alcotest.(check int) "orbit of period 2" 2 (List.length orbit);
       (* The orbit oscillates between {00} and {00,10,01}. *)
       let sizes = List.map (Space.count_states_of sp) orbit |> List.sort compare in
@@ -146,11 +147,11 @@ let test_figure2_nonmonotonicity () =
 let test_figure2_iteration_converges () =
   let _, _, _, _, kbp = figure2 (fun ~x:_ ~y -> Expr.(not_ (var y))) in
   match Kbp.iterate kbp with
-  | Kbp.Converged (si, _) ->
+  | Kbp.Converged { si; _ } ->
       let sols = Kbp.solutions kbp in
       Alcotest.(check bool) "iterate finds the unique solution" true
         (Pred.equivalent (Kbp.space kbp) si (List.hd sols))
-  | Kbp.Cycle _ -> Alcotest.fail "figure 2 iteration should converge"
+  | _ -> Alcotest.fail "figure 2 iteration should converge"
 
 let test_standard_kbp_agrees_with_program () =
   (* A KBP with no knowledge guards has exactly one solution: the SI of
@@ -174,9 +175,9 @@ let test_standard_kbp_agrees_with_program () =
   Alcotest.(check bool) "solution = standard SI" true
     (Pred.equivalent sp (List.hd sols) (Program.si direct));
   match Kbp.iterate kbp with
-  | Kbp.Converged (si, _) ->
+  | Kbp.Converged { si; _ } ->
       Alcotest.(check bool) "iterate agrees" true (Pred.equivalent sp si (Program.si direct))
-  | Kbp.Cycle _ -> Alcotest.fail "standard KBP must converge"
+  | _ -> Alcotest.fail "standard KBP must converge"
 
 let test_instantiate_guards () =
   (* Instantiating figure 1 at SI = {00} must enable s0 at the initial
@@ -254,13 +255,13 @@ let naive_iterate ?(max_steps = 10_000) kbp =
   let rec go x steps trail =
     if steps > max_steps then invalid_arg "naive_iterate";
     let x' = naive_g kbp x in
-    if Bdd.equal x' x then Kbp.Converged (x, steps)
+    if Bdd.equal x' x then Kbp.Converged { si = x; steps }
     else if Hashtbl.mem seen (Bdd.uid x') then
       let rec upto acc = function
         | [] -> acc
         | y :: rest -> if Bdd.equal y x' then y :: acc else upto (y :: acc) rest
       in
-      Kbp.Cycle (upto [] trail)
+      Kbp.Diverged { orbit = upto [] trail; steps }
     else begin
       Hashtbl.add seen (Bdd.uid x') ();
       go x' (steps + 1) (x' :: trail)
@@ -275,8 +276,9 @@ let test_iterate_naive_equiv () =
     (fun kbp ->
       let same =
         match (Kbp.iterate kbp, naive_iterate kbp) with
-        | Kbp.Converged (x, n), Kbp.Converged (y, k) -> n = k && Bdd.equal x y
-        | Kbp.Cycle xs, Kbp.Cycle ys ->
+        | Kbp.Converged { si = x; steps = n }, Kbp.Converged { si = y; steps = k } ->
+            n = k && Bdd.equal x y
+        | Kbp.Diverged { orbit = xs; _ }, Kbp.Diverged { orbit = ys; _ } ->
             List.length xs = List.length ys && List.for_all2 Bdd.equal xs ys
         | _ -> false
       in

@@ -497,9 +497,9 @@ let prop_kbp_iterate_sound =
     arbitrary_kbp (fun syn ->
       let sp, kbp = build_kbp syn in
       match Kpt_core.Kbp.iterate kbp with
-      | Kpt_core.Kbp.Converged (x, _) ->
+      | Kpt_core.Kbp.Converged { si = x; _ } ->
           List.exists (fun y -> Pred.equivalent sp x y) (Kpt_core.Kbp.solutions kbp)
-      | Kpt_core.Kbp.Cycle _ -> true)
+      | _ -> true)
 
 let prop_kbp_standard_unique =
   QCheck.Test.make ~count:100 ~name:"kbp: knowledge-free KBPs have exactly one solution"

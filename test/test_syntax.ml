@@ -145,8 +145,8 @@ let test_elaborate_figure1_end_to_end () =
   Alcotest.(check bool) "knowledge-based" false (Kbp.is_standard kbp);
   Alcotest.(check int) "no solutions" 0 (List.length (Kbp.solutions kbp));
   match Kbp.iterate kbp with
-  | Kbp.Cycle orbit -> Alcotest.(check int) "period 2" 2 (List.length orbit)
-  | Kbp.Converged _ -> Alcotest.fail "should cycle"
+  | Kbp.Diverged { orbit; _ } -> Alcotest.(check int) "period 2" 2 (List.length orbit)
+  | _ -> Alcotest.fail "should cycle"
 
 let test_elaborate_errors () =
   let check_err src expected_fragment =
