@@ -42,6 +42,77 @@ let check_budget_overhead current_json =
       Format.printf "bench gate: budget-overhead pair not present; skipping the ratio guard@.";
       Ok ()
 
+(* ---- the scaling-curve guards --------------------------------------------
+
+   The scaling sweep is the deliverable the reordering work is measured
+   by, so the gate refuses to pass when it silently disappears: the
+   current run must carry at least [min_scaling_rows] rows.  Each row
+   present in both files is also compared on SI time, with a looser
+   tolerance than the Bechamel suite (single-shot timings are noisier)
+   and an absolute floor so millisecond-sized instances cannot trip the
+   ratio on scheduler jitter. *)
+
+let min_scaling_rows = 6
+let scaling_tolerance = 0.60
+let scaling_floor_s = 0.05
+
+let check_scaling baseline_json current_json =
+  let current = Kpt_obs.Gate.scaling_of_json current_json in
+  let baseline = try Kpt_obs.Gate.scaling_of_json baseline_json with Failure _ -> [] in
+  let errors = ref [] in
+  if List.length current < min_scaling_rows then
+    errors :=
+      Printf.sprintf "scaling sweep has %d row(s); the gate requires at least %d"
+        (List.length current) min_scaling_rows
+      :: !errors;
+  List.iter
+    (fun (fam, n, a, base_si) ->
+      match
+        List.find_opt (fun (f, n', a', _) -> f = fam && n' = n && a' = a) current
+      with
+      | Some (_, _, _, cur_si)
+        when cur_si > scaling_floor_s
+             && base_si > 0.0
+             && cur_si > base_si *. (1.0 +. scaling_tolerance) ->
+          errors :=
+            Printf.sprintf "scaling %s(n=%d,a=%d): SI %.3fs vs %.3fs baseline (+%.0f%%)"
+              fam n a cur_si base_si
+              (100.0 *. ((cur_si /. base_si) -. 1.0))
+            :: !errors
+      | Some _ -> ()
+      | None ->
+          errors :=
+            Printf.sprintf "scaling %s(n=%d,a=%d): in the baseline but not the current run"
+              fam n a
+            :: !errors)
+    baseline;
+  if !errors = [] then begin
+    Format.printf "bench gate: scaling sweep OK (%d rows, tolerance +%.0f%%)@."
+      (List.length current) (100.0 *. scaling_tolerance);
+    Ok ()
+  end
+  else Error !errors
+
+(* The op-cache grow-thrash fix, pinned as a work-profile invariant: a
+   run that grows its op caches more than 1.5× the baseline count has
+   reintroduced the clear-and-regrow cycle somewhere. *)
+let check_cache_grows baseline_json current_json =
+  let counter name json =
+    match List.assoc_opt name (Kpt_obs.Gate.counters_of_json json) with
+    | Some v -> v
+    | None -> 0.0
+  in
+  let base = counter "bdd.op_cache.grows" baseline_json in
+  let cur = counter "bdd.op_cache.grows" current_json in
+  if base > 0.0 && cur > (1.5 *. base) +. 4.0 then
+    Error
+      (Printf.sprintf "bdd.op_cache.grows = %.0f vs %.0f baseline — grow-thrash is back" cur
+         base)
+  else begin
+    Format.printf "bench gate: op-cache grows %.0f (baseline %.0f)@." cur base;
+    Ok ()
+  end
+
 let usage () =
   prerr_endline "usage: gate [--tolerance R] BASELINE.json CURRENT.json";
   exit 2
@@ -80,8 +151,24 @@ let () =
           Format.printf "bench gate: %s vs %s (tolerance +%.0f%%)@." current_path
             baseline_path (100.0 *. !tolerance);
           Format.printf "%a@." Kpt_obs.Gate.pp_report report;
+          let baseline_json = read_file baseline_path in
+          let current_json = read_file current_path in
           let overhead =
-            match check_budget_overhead (read_file current_path) with
+            match check_budget_overhead current_json with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
+          let scaling =
+            match check_scaling baseline_json current_json with
+            | Ok () -> true
+            | Error msgs ->
+                List.iter (Format.printf "bench gate: FAIL — %s@.") msgs;
+                false
+          in
+          let cache =
+            match check_cache_grows baseline_json current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;
@@ -90,7 +177,7 @@ let () =
           if
             report.Kpt_obs.Gate.regressions = []
             && report.Kpt_obs.Gate.missing = []
-            && overhead
+            && overhead && scaling && cache
           then begin
             Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
               (List.length report.Kpt_obs.Gate.verdicts);

@@ -208,7 +208,9 @@ let time f =
   (r, Int64.to_float (Int64.sub (Kpt_obs.now_ns ()) t0) /. 1e9)
 
 let bench_ns : (string * float) list ref = ref []
-let scaling_rows : (int * int * Bigcount.t * int * float * float) list ref = ref []
+
+let scaling_rows : (string * int * int * Bigcount.t * int * float * float) list ref =
+  ref []
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -234,11 +236,11 @@ let write_json path =
   pf "  },\n  \"scaling_standard_protocol\": [\n";
   let rows = List.rev !scaling_rows in
   List.iteri
-    (fun i (n, a, total, reach, t_si, t_safe) ->
+    (fun i (family, n, a, total, reach, t_si, t_safe) ->
       pf
-        "    { \"n\": %d, \"a\": %d, \"state_space\": %s, \"reachable\": %d, \"si_s\": %.4f, \
-         \"safety_s\": %.4f }%s\n"
-        n a (Bigcount.to_string total) reach t_si t_safe
+        "    { \"family\": \"%s\", \"n\": %d, \"a\": %d, \"state_space\": %s, \
+         \"reachable\": %d, \"si_s\": %.4f, \"safety_s\": %.4f }%s\n"
+        (json_escape family) n a (Bigcount.to_string total) reach t_si t_safe
         (if i = List.length rows - 1 then "" else ","))
     rows;
   (* cumulative engine counters over the whole run, so CI can watch the
@@ -320,10 +322,32 @@ let scaling_sweep () =
       let si, t_si = time (fun () -> Program.si st.Seqtrans.sprog) in
       let reach = Space.count_states_of sp si in
       let ok, t_safe = time (fun () -> Program.invariant st.Seqtrans.sprog (Seqtrans.spec_safety st)) in
-      scaling_rows := (n, a, total, reach, t_si, t_safe) :: !scaling_rows;
+      scaling_rows := ("seqtrans", n, a, total, reach, t_si, t_safe) :: !scaling_rows;
       Format.printf "  (%d,%d)      %12s %12d %14.3f %14.3f   safety=%b@." n a
         (Bigcount.to_string total) reach t_si t_safe ok)
     [ (2, 2); (2, 3); (3, 2) ]
+
+let ring_sweep () =
+  Format.printf "@.══ Scaling: token rings n = 3..10 (auto-reorder) ══@.";
+  Format.printf "  %-10s %12s %12s %14s %14s@." "n" "state space" "reachable" "SI time (s)"
+    "mutex (s)";
+  List.iter
+    (fun n ->
+      let eng = Engine.create () in
+      Engine.set_reorder_mode eng (Some Engine.Reorder_auto);
+      Engine.use eng (fun () ->
+          let r = Ring.token_ring ~n in
+          let sp = r.Ring.rspace in
+          let total = Space.state_count_exact sp in
+          let si, t_si = time (fun () -> Program.si r.Ring.rprog) in
+          let reach = Space.count_states_of sp si in
+          let ok, t_safe =
+            time (fun () -> Program.invariant r.Ring.rprog (Ring.mutex_ok r))
+          in
+          scaling_rows := ("token_ring", n, 2, total, reach, t_si, t_safe) :: !scaling_rows;
+          Format.printf "  %-10d %12s %12d %14.3f %14.3f   mutex=%b@." n
+            (Bigcount.to_string total) reach t_si t_safe ok))
+    [ 3; 4; 5; 6; 7; 8; 9; 10 ]
 
 let window_sweep () =
   Format.printf "@.══ Scaling: sliding window pipelining (n = 4, duplicating channel) ══@.";
@@ -426,9 +450,12 @@ let ablation_relprod () =
 let () =
   if Array.exists (( = ) "--quick") Sys.argv then run_quick ()
   else if Array.exists (( = ) "--bench-only") Sys.argv then begin
-    (* the CI bench gate wants stable timings fast: only the Bechamel
-       suite and the JSON artifact, no experiments or sweeps *)
+    (* the CI bench gate wants stable timings fast: the Bechamel suite
+       plus the scaling sweeps the gate pins (non-empty curve, per-size
+       regressions), no experiments or ablations *)
     run_benchmarks ();
+    scaling_sweep ();
+    ring_sweep ();
     write_json "BENCH_RESULTS.json"
   end
   else begin
@@ -443,6 +470,7 @@ let () =
       (if all_ok then "All paper claims reproduced." else "SOME CLAIMS DID NOT REPRODUCE!");
     run_benchmarks ();
     scaling_sweep ();
+    ring_sweep ();
     check_speedup ();
     window_sweep ();
     ablation_solver ();

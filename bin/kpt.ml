@@ -114,6 +114,32 @@ let limits_term =
   in
   Term.(const make $ timeout_arg $ fuel_arg $ max_nodes_arg)
 
+(* ---- variable-reordering policy ------------------------------------------- *)
+
+let reorder_arg =
+  Arg.(
+    value
+    & opt
+        (enum
+           [
+             ("auto", Engine.Reorder_auto);
+             ("off", Engine.Reorder_off);
+             ("manual", Engine.Reorder_manual);
+           ])
+        Engine.Reorder_auto
+    & info [ "reorder" ] ~docv:"MODE"
+        ~doc:
+          "BDD variable-reordering policy: $(b,auto) (sifting fires on node-growth \
+           thresholds; the default), $(b,off) (the declaration order is kept for the \
+           whole run), or $(b,manual) (no automatic triggers; the engine reorders \
+           only at explicit safe points, e.g. after elaboration).")
+
+(* Evaluated before the command body runs: every engine created by the
+   command — including the per-domain engines of parallel batches —
+   inherits the chosen policy. *)
+let reorder_term =
+  Term.(const (fun mode -> Engine.set_default_reorder_mode mode) $ reorder_arg)
+
 (* Run a command body under the armed budget; [Exhausted] degrades to
    the documented exit code instead of an exception trace. *)
 let budgeted limits f =
@@ -215,7 +241,7 @@ let solve_cmd =
       & pos 0 (some (enum [ ("figure1", `Fig1); ("figure2", `Fig2); ("figure2-strong", `Fig2s) ])) None
       & info [] ~docv:"MODEL" ~doc:"figure1, figure2 or figure2-strong.")
   in
-  let run model trace limits =
+  let run () model trace limits =
     with_trace trace @@ fun () ->
     let kbp =
       match model with
@@ -252,7 +278,7 @@ let solve_cmd =
   in
   Cmd.v
     (Cmd.info "solve" ~doc:"Solve a knowledge-based protocol (Figures 1-2).")
-    Term.(const run $ model $ trace_arg $ limits_term)
+    Term.(const run $ reorder_term $ model $ trace_arg $ limits_term)
 
 (* ---- check ---------------------------------------------------------------- *)
 
@@ -365,7 +391,7 @@ let check_cmd =
         Format.eprintf "error: %s@." msg;
         1
   in
-  let run targets n a lossy fault jobs json warn_error quiet limits =
+  let run () targets n a lossy fault jobs json warn_error quiet limits =
     match targets with
     | [ name ] when List.mem_assoc name protos ->
         run_proto (List.assoc name protos) n a lossy fault limits
@@ -384,8 +410,8 @@ let check_cmd =
           files (lint + solve + stats, in parallel with $(b,-j); $(b,--timeout) is a \
           per-file deadline).")
     Term.(
-      const run $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg $ jobs_arg
-      $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
+      const run $ reorder_term $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg
+      $ jobs_arg $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
 
 (* ---- simulate -------------------------------------------------------------- *)
 
@@ -543,7 +569,7 @@ let lint_cmd =
     Term.(const run $ files_arg $ warn_error $ quiet $ jobs_arg)
 
 let solve_file_cmd =
-  let run path trace limits =
+  let run () path trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     Format.printf "%a@.@." Kbp.pp kbp;
@@ -574,7 +600,7 @@ let solve_file_cmd =
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
-    Term.(const run $ file_arg $ trace_arg $ limits_term)
+    Term.(const run $ reorder_term $ file_arg $ trace_arg $ limits_term)
 
 let verify_cmd =
   let invariants =
@@ -588,7 +614,7 @@ let verify_cmd =
       value & opt_all string []
       & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
   in
-  let run path invs stbls ltos trace limits =
+  let run () path invs stbls ltos trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     budgeted limits @@ fun () ->
@@ -640,7 +666,9 @@ let verify_cmd =
        ~doc:
          "Check user-supplied UNITY properties of a .unity file, optionally under a \
           resource budget ($(b,--timeout), $(b,--fuel), $(b,--max-nodes)).")
-    Term.(const run $ file_arg $ invariants $ stables $ leadstos $ trace_arg $ limits_term)
+    Term.(
+      const run $ reorder_term $ file_arg $ invariants $ stables $ leadstos $ trace_arg
+      $ limits_term)
 
 (* ---- stats: the engine profile of a single file ------------------------------ *)
 
@@ -711,7 +739,7 @@ let stats_cmd =
     if json then print_string "]\n";
     !code
   in
-  let run paths json timings jobs =
+  let run () paths json timings jobs =
     match paths with
     | [ path ] -> run_one path json timings
     | paths -> run_many paths json timings jobs
@@ -722,7 +750,7 @@ let stats_cmd =
          "Profile the engine on .unity files: op-cache hit rate, node counts, fixpoint \
           iteration depths and exact state-space size.  Several files are profiled in \
           parallel with $(b,-j).")
-    Term.(const run $ files_arg $ json $ timings $ jobs_arg)
+    Term.(const run $ reorder_term $ files_arg $ json $ timings $ jobs_arg)
 
 (* ---- matrix: protocols × fault models ---------------------------------------- *)
 
@@ -742,7 +770,7 @@ let matrix_cmd =
             "Restrict the columns to MODEL (repeatable).  Default: perfect, lossy, \
              value-corrupt, crash.")
   in
-  let run json faults limits =
+  let run () json faults limits =
     let faults =
       match faults with
       | [] -> None
@@ -770,7 +798,7 @@ let matrix_cmd =
           budget ($(b,--timeout), $(b,--fuel)) degrades a pathological cell to \
           'exhausted' without losing the rest; any exhausted cell exits with code 3, \
           any errored cell with 1.")
-    Term.(const run $ json_arg $ faults_arg $ limits_term)
+    Term.(const run $ reorder_term $ json_arg $ faults_arg $ limits_term)
 
 (* ---- knowledge queries on .unity files -------------------------------------- *)
 

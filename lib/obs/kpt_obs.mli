@@ -165,6 +165,16 @@ module Gate : sig
       (the format {e this} repository writes; not a general JSON parser).
       @raise Failure if the section is absent or malformed. *)
 
+  val counters_of_json : string -> (string * float) list
+  (** Extract the cumulative ["counters"] object of a bench JSON file.
+      @raise Failure if the section is absent or malformed. *)
+
+  val scaling_of_json : string -> (string * int * int * float) list
+  (** Extract the ["scaling_standard_protocol"] array as
+      [(family, n, a, si_seconds)] rows.  Rows written before the
+      [family] field existed read as ["seqtrans"].
+      @raise Failure if the section is absent or malformed. *)
+
   val check : ?tolerance:float -> baseline:string -> string -> report
   (** [check ~baseline current] compares two bench JSON {e contents}
       (not paths).  A benchmark

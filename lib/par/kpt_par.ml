@@ -1,4 +1,4 @@
-(* A fixed-size domain pool for embarrassingly parallel batches.
+(* A persistent domain pool for embarrassingly parallel batches.
 
    The shape is deliberately simpler than a work-stealing scheduler:
    tasks are an array, the only shared mutable word is an atomic "next
@@ -9,12 +9,25 @@
    everything that matters: results land in a slot chosen by the task's
    {e input index}, never by completion order.
 
+   Two costs dominated the old spawn-per-batch design, and both scale
+   with {e requested} jobs rather than with useful parallelism:
+   [Domain.spawn] itself (fresh minor heap and domain state per worker
+   per batch), and — much worse on small machines — every GC of every
+   domain stalling on a stop-the-world rendezvous with [jobs] {e
+   running} domains multiplexed onto fewer cores.  So the pool (a) keeps
+   its worker domains alive across batches, parked in [Condition.wait]
+   (a blocked domain does not delay the rendezvous), and (b) caps the
+   workers actually woken for a batch at the hardware parallelism:
+   [-j4] on a single-core host runs the batch on the calling domain
+   alone — same results, same per-task budgets, none of the rendezvous
+   tax.
+
    Isolation contract: every task runs under a {e fresh} [Engine.t]
    ([Engine.use] installs its private metric context for the duration),
    even at [jobs = 1].  So a task's counters never depend on which
    domain ran it, how many pool slots existed, or what ran before it on
-   the same domain — the property the differential tests pin.  After the
-   join the per-task metrics are folded into the caller's context in
+   the same domain — the property the differential tests pin.  After
+   the join the per-task metrics are folded into the caller's context in
    input order. *)
 
 open Kpt_predicate
@@ -38,6 +51,79 @@ let batch_total = Atomic.make 0
 let batch_done = Atomic.make 0
 let progress () = (Atomic.get batch_done, Atomic.get batch_total)
 
+(* ---- the resident pool ---------------------------------------------------
+
+   Batches are generations: the dispatcher installs a job closure, bumps
+   [generation] and broadcasts; each parked worker wakes, claims one of
+   the batch's [slots] (workers beyond the batch's width go straight
+   back to sleep) and runs the closure to completion.  The closure owns
+   all task state, so the pool itself carries no per-batch typing.  The
+   calling domain always participates inline and then blocks until the
+   participants of the current generation have drained — [try_map] stays
+   fully synchronous, only the domains persist. *)
+
+let pool_mutex = Mutex.create ()
+let work_cond = Condition.create () (* a new generation was published *)
+let idle_cond = Condition.create () (* a generation fully drained *)
+let generation = ref 0
+let current_job : (unit -> unit) ref = ref (fun () -> ())
+let slots = ref 0 (* unclaimed participant slots of the current generation *)
+let active = ref 0 (* participants still running the current generation *)
+let workers : unit Domain.t list ref = ref []
+let shutting_down = ref false
+
+(* Nested [try_map] from inside a pool task must not block on the pool
+   (its own domain is one of the participants the dispatcher would wait
+   for) — it degrades to inline execution instead. *)
+let in_worker = Domain.DLS.new_key (fun () -> false)
+
+let worker_loop () =
+  Domain.DLS.set in_worker true;
+  let my_gen = ref 0 in
+  let rec loop () =
+    Mutex.lock pool_mutex;
+    while !generation = !my_gen && not !shutting_down do
+      Condition.wait work_cond pool_mutex
+    done;
+    if !shutting_down then Mutex.unlock pool_mutex
+    else begin
+      my_gen := !generation;
+      let participate = !slots > 0 in
+      if participate then decr slots;
+      let job = !current_job in
+      Mutex.unlock pool_mutex;
+      if participate then begin
+        (try job () with _ -> ());
+        Mutex.lock pool_mutex;
+        decr active;
+        if !active = 0 then Condition.broadcast idle_cond;
+        Mutex.unlock pool_mutex
+      end;
+      loop ()
+    end
+  in
+  loop ()
+
+let shutdown_pool () =
+  Mutex.lock pool_mutex;
+  shutting_down := true;
+  Condition.broadcast work_cond;
+  Mutex.unlock pool_mutex;
+  List.iter Domain.join !workers;
+  workers := []
+
+(* Grow the resident pool to [n] helper domains (never shrinks; spawns
+   are the cost the pool exists to amortise).  First growth registers
+   the at-exit join so the process never ends with parked domains. *)
+let ensure_workers n =
+  let have = List.length !workers in
+  if have = 0 && n > 0 then at_exit shutdown_pool;
+  for _ = have + 1 to n do
+    workers := Domain.spawn worker_loop :: !workers
+  done
+
+let pool_size () = List.length !workers
+
 let try_map ?jobs ?task_budget f items =
   let tasks = Array.of_list items in
   let n = Array.length tasks in
@@ -47,11 +133,17 @@ let try_map ?jobs ?task_budget f items =
       clamp_jobs (match jobs with Some j -> j | None -> recommended_jobs ())
     in
     let jobs = min jobs n in
+    (* Running domains beyond the hardware parallelism only adds GC
+       rendezvous stalls — never throughput — so the batch's width is
+       additionally clamped to the core count (see the header note). *)
+    let width = min jobs (Domain.recommended_domain_count ()) in
+    let helpers = if Domain.DLS.get in_worker then 0 else width - 1 in
     Atomic.set batch_total n;
     Atomic.set batch_done 0;
     (* Slot [i] of both arrays belongs exclusively to the worker that
-       won task [i]; publication to the caller is ordered by the joins
-       below (and, for the main domain's own tasks, by program order). *)
+       won task [i]; publication to the caller is ordered by the drain
+       barrier below (and, for the main domain's own tasks, by program
+       order). *)
     let results : ('b, exn) result option array = Array.make n None in
     let engines : Engine.t option array = Array.make n None in
     let next = Atomic.make 0 in
@@ -71,7 +163,7 @@ let try_map ?jobs ?task_budget f items =
             try Ok (Engine.use eng run) with
             | Sys.Break as b ->
                 (* Ctrl-C: stop handing out tasks so every worker drains
-                   promptly; the caller re-raises after the join. *)
+                   promptly; the caller re-raises after the drain. *)
                 Atomic.set next n;
                 Error b
             | e -> Error e
@@ -84,18 +176,45 @@ let try_map ?jobs ?task_budget f items =
       in
       loop ()
     in
-    let doms = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
-    worker ();
-    Array.iter Domain.join doms;
+    if helpers > 0 then begin
+      ensure_workers helpers;
+      Mutex.lock pool_mutex;
+      current_job := worker;
+      slots := helpers;
+      active := helpers;
+      incr generation;
+      Condition.broadcast work_cond;
+      Mutex.unlock pool_mutex
+    end;
+    let broke = ref false in
+    (try worker () with Sys.Break -> Atomic.set next n; broke := true);
+    if helpers > 0 then begin
+      (* Drain barrier.  An asynchronous Sys.Break while parked here
+         still must not abandon running helpers (they hold slots of the
+         shared arrays): cancel the remaining tasks and keep waiting. *)
+      Mutex.lock pool_mutex;
+      let rec drain () =
+        if !active > 0 then begin
+          (try Condition.wait idle_cond pool_mutex with Sys.Break ->
+            Atomic.set next n;
+            broke := true);
+          drain ()
+        end
+      in
+      drain ();
+      current_job := (fun () -> ());
+      Mutex.unlock pool_mutex
+    end;
     let into = Kpt_obs.Ctx.current () in
     Array.iter
       (function
         | Some eng -> Kpt_obs.Ctx.merge ~into (Engine.obs eng) | None -> ())
       engines;
     if
-      Array.exists
-        (function Some (Error Sys.Break) -> true | _ -> false)
-        results
+      !broke
+      || Array.exists
+           (function Some (Error Sys.Break) -> true | _ -> false)
+           results
     then raise Sys.Break;
     Array.to_list
       (Array.map (function Some r -> r | None -> assert false) results)

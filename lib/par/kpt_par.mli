@@ -1,20 +1,31 @@
-(** A fixed-size [Domain] pool for embarrassingly parallel batches.
+(** A persistent [Domain] pool for embarrassingly parallel batches.
 
     Built for the `kpt check FILE...` shape: a handful of independent,
     seconds-long symbolic workloads.  No work stealing, no deques — an
     atomic task counter feeds a fixed set of worker domains (the calling
-    domain is one of them, so [jobs = 1] spawns nothing).
+    domain is one of them, so [jobs = 1] wakes nobody).
+
+    {b Residency.}  Worker domains are spawned lazily on the first batch
+    that needs them and then parked on a condition variable between
+    batches, so repeated [try_map] calls pay [Domain.spawn] once per
+    process, not once per batch.  A batch's effective width is
+    [min jobs (Domain.recommended_domain_count ())]: running more
+    domains than cores adds stop-the-world GC rendezvous stalls without
+    adding throughput, and parked domains are exempt from the
+    rendezvous, so oversubscribed [-j] values cost nothing.  The
+    resident domains are joined via [at_exit].
 
     {b Determinism.}  Results are ordered by {e input index}, never by
     completion order.  Each task runs under a fresh {!Engine.t} — its
     own {!Kpt_obs} metric context, and (because every {!Space.t} owns
     its BDD manager) its own symbolic tables — even at [jobs = 1], so
-    per-task observable state is independent of the pool size.  After
-    all workers join, per-task metrics are merged into the caller's
-    context in input order.
+    per-task observable state is independent of the pool size {e and} of
+    the hardware clamp.  After the batch drains, per-task metrics are
+    merged into the caller's context in input order.
 
-    {b Not} a general scheduler: tasks must not block on each other, and
-    nesting pools inside tasks is unsupported. *)
+    {b Not} a general scheduler: tasks must not block on each other; a
+    nested [try_map] from inside a task runs its items inline on the
+    calling worker. *)
 
 val recommended_jobs : unit -> int
 (** The pool size to use when the user didn't say: the [KPT_JOBS]
@@ -47,6 +58,11 @@ val progress : unit -> int * int
 (** [(completed, total)] of the most recent {!try_map} batch — what the
     CLI's interrupt handler prints as the partial summary.  [(0, 0)]
     before any batch has run. *)
+
+val pool_size : unit -> int
+(** Number of resident helper domains spawned so far (0 until a batch
+    actually needs helpers; never decreases while the process runs).
+    Exposed so tests can pin the spawn-once-per-process behaviour. *)
 
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!try_map}, re-raising the first failure (by input order) after the

@@ -1,12 +1,24 @@
-(* Hash-consed ROBDDs.  Levels: variable index, [leaf_level] for leaves.
-   Canonicity invariant: no node has [low == high], and every (level, low,
-   high) triple is hash-consed, so semantic equality is physical equality. *)
+(* Hash-consed ROBDDs with dynamic variable ordering.
+
+   Nodes carry a {e variable index}; the manager carries the order as a
+   pair of permutation arrays ([perm] : var → level, [invperm] : level →
+   var).  Canonicity invariant: no node has [low == high], every
+   (var, low, high) triple is hash-consed, and on every path the levels
+   [perm.(var)] strictly increase — so semantic equality is physical
+   equality {e in whatever order the manager currently has}.
+
+   Reordering (Rudell sifting over adjacent-level swaps) mutates nodes in
+   place: a swapped node keeps its [uid] and its semantics, only its
+   [var]/[low]/[high] fields are rewritten.  External references held
+   across a reorder therefore stay valid, and the op-cache — which is
+   keyed on uids and caches {e functions of functions} — stays correct
+   without being flushed. *)
 
 let leaf_level = max_int
 
-type t = { uid : int; level : int; low : t; high : t }
+type t = { uid : int; mutable var : int; mutable low : t; mutable high : t }
 
-(* Engine counters (process-global, aggregated over every manager).  An
+(* Engine counters (per-context, aggregated over every manager).  An
    increment is a single field write, so the hot paths pay for them
    unconditionally; `kpt stats` and the bench harness snapshot them. *)
 let c_hit = Kpt_obs.counter "bdd.op_cache.hits"
@@ -17,33 +29,45 @@ let c_spill = Kpt_obs.counter "bdd.op_cache.spills"
 let c_node = Kpt_obs.counter "bdd.nodes.created"
 let c_peak = Kpt_obs.counter "bdd.nodes.peak"
 let c_uq_grow = Kpt_obs.counter "bdd.unique.grows"
+let c_ro_runs = Kpt_obs.counter "bdd.reorder.runs"
+let c_ro_swaps = Kpt_obs.counter "bdd.reorder.swaps"
+let c_ro_saved = Kpt_obs.counter "bdd.reorder.nodes_saved"
+let c_gc_runs = Kpt_obs.counter "bdd.gc.runs"
+let c_gc_freed = Kpt_obs.counter "bdd.gc.freed"
 
 (* Both manager tables are packed: each entry's key is one native int
    encoding the operands bit-by-bit, stored next to its payload in two
    parallel arrays.  Packing is exact — two keys are equal iff the
-   operand triples are equal — so a probe is a single load-and-compare
-   and allocates nothing.
+   operand pairs are equal — so a probe is a single load-and-compare and
+   allocates nothing.
+
+   The unique table is split into one packed subtable {e per variable}
+   (CUDD's layout): an adjacent-level swap then only touches the two
+   subtables of the swapped variables, leaving every other node where it
+   is.  Within a subtable the key packs the child uids (low:20 | high:20
+   bits); key 0 would mean (false, false) children, i.e. a node with
+   [low == high], which [mk] never stores — so 0 is free as the
+   empty-slot sentinel.  Uids beyond 2^20 take a [Hashtbl] fallback path
+   keyed on the child pair: exactness is preserved at any size, only the
+   packed fast path is bounded.
 
    The operation cache is CUDD-style direct-mapped: collisions overwrite
-   (the cache is lossy — dropping an entry only costs a recomputation).
-   The unique table uses open addressing with linear probing and stays
-   {e exact}: entries are never dropped and the table doubles when
-   2·count exceeds the slot count, because hash-consing must never be
-   lossy or canonicity breaks.
+   (the cache is lossy — dropping an entry only costs a recomputation). *)
+type subtable = {
+  mutable s_count : int; (* entries in the packed arrays *)
+  mutable s_key : int array; (* 0 = empty slot *)
+  mutable s_node : t array;
+  s_spill : (int * int, t) Hashtbl.t; (* child uids beyond packing *)
+}
 
-   Packing needs uids < 2^20 (a million live nodes — far beyond the
-   state spaces this library targets, but not impossible).  Keys out of
-   that range take a [Hashtbl] fallback path keyed on the full triple:
-   exactness is preserved at any size, only the packed fast path is
-   bounded.  Key 0 doubles as the empty-slot sentinel; it is unreachable
-   as a real key (see [uq_key]/[op_key] below). *)
 type manager = {
   mutable next_uid : int;
-  mutable uq_count : int; (* entries in the packed table *)
-  mutable uq_key : int array; (* 0 = empty slot *)
-  mutable uq_node : t array;
-  uq_spill : (int * int * int, t) Hashtbl.t; (* level/uid beyond packing *)
-  op_cap : int; (* maximum slot count (power of two) *)
+  mutable nvars : int; (* registered variables: 0 .. nvars-1 *)
+  mutable perm : int array; (* var → level (length ≥ nvars) *)
+  mutable invperm : int array; (* level → var *)
+  mutable subs : subtable array; (* indexed by var *)
+  mutable live : int; (* total unique-table entries (packed + spill) *)
+  op_cap : int; (* maximum op-cache slot count (power of two) *)
   mutable op_stores : int; (* misses stored since the last grow/clear *)
   mutable op_mask : int;
   mutable op_key : int array; (* 0 = empty slot *)
@@ -51,16 +75,23 @@ type manager = {
   op_spill : (int * int * int * int, t) Hashtbl.t; (* uids beyond packing *)
   t_true : t;
   t_false : t;
+  (* dynamic-reordering state *)
+  mutable auto_reorder : bool;
+  mutable reorder_threshold : int; (* next_uid that arms [reorder_pending] *)
+  mutable reorder_pending : bool;
+  mutable reordered : bool; (* perm has ever left the identity *)
+  mutable op_depth : int; (* public operations in flight *)
+  mutable ro_streak : int; (* consecutive abort-and-retry restarts *)
+  mutable in_reorder : bool;
+  mutable ro_mark : int; (* next_uid at reorder entry; max_int outside *)
+  mutable ro_excess : int; (* logically dead nodes still in the table *)
+  ro_lrc : (int, int) Hashtbl.t; (* uid → logical refcount (0 = dead) *)
+  ro_prc : (int, int) Hashtbl.t; (* transient uid → physical refcount *)
 }
 
-(* Packed unique-table key: level:23 | low:20 | high:20 bits.  Zero would
-   need level = low = high = 0, i.e. the node (v0, false, false) — but
-   [mk] never stores a node with [low == high], so 0 is free as the
-   empty-slot sentinel. *)
 let uid_limit = 1 lsl 20
-let level_limit = 1 lsl 23
-let uq_key level lo hi = (((level lsl 20) lor lo) lsl 20) lor hi
-let uq_packs level lo hi = level < level_limit && lo < uid_limit && hi < uid_limit
+let sub_key lo hi = (lo lsl 20) lor hi
+let sub_packs lo hi = lo < uid_limit && hi < uid_limit
 
 (* Packed op-cache key: tag:3 | x:20 | y:20 | z:20 bits.  Zero would need
    tag = op_and with x = y = z = 0, i.e. and(false, false) — a terminal
@@ -69,28 +100,42 @@ let op_key tag x y z = (((((tag lsl 20) lor x) lsl 20) lor y) lsl 20) lor z
 let op_packs x y z = x < uid_limit && y < uid_limit && z < uid_limit
 
 let make_leaf uid =
-  let rec n = { uid; level = leaf_level; low = n; high = n } in
+  let rec n = { uid; var = leaf_level; low = n; high = n } in
   n
 
 let rec pow2_at_least k n = if n >= k then n else pow2_at_least k (n * 2)
 
-(* The cache starts tiny and quadruples on demand (up to [op_cap]), so
-   short-lived managers — one per [Space.create] — pay a few hundred words
-   up front rather than megabytes.  Growing simply discards the old arrays:
-   the cache is lossy by design, so dropped entries only cost recomputation. *)
-let initial_slots = 1024
+(* The op-cache starts at a few thousand slots and quadruples on demand
+   (up to [op_cap]).  The floor used to be 1024, which made every
+   non-trivial manager grow twice on its way to the default cap — tens of
+   thousands of grows over a bench run.  4096 keeps the up-front cost of
+   a short-lived manager at a few dozen KB while leaving at most one
+   geometric step to the default cap. *)
+let initial_slots = 4096
+let initial_sub_slots = 16
+let default_reorder_threshold = 1 lsl 16
 
-let create ?(unique_size = 1 lsl 11) ?(cache_size = 1 lsl 14) () =
+let fresh_subtable dummy =
+  {
+    s_count = 0;
+    s_key = Array.make initial_sub_slots 0;
+    s_node = Array.make initial_sub_slots dummy;
+    s_spill = Hashtbl.create 8;
+  }
+
+let create ?(unique_size = 1 lsl 11) ?(cache_size = 1 lsl 14) ?(reorder = false) () =
+  ignore unique_size;
+  (* kept for API compatibility: subtables size themselves *)
   let t_false = make_leaf 0 in
   let cap = pow2_at_least (max 1 cache_size) 1 in
   let slots = min initial_slots cap in
-  let uq_slots = pow2_at_least (max 16 unique_size) 16 in
   {
     next_uid = 2;
-    uq_count = 0;
-    uq_key = Array.make uq_slots 0;
-    uq_node = Array.make uq_slots t_false;
-    uq_spill = Hashtbl.create 16;
+    nvars = 0;
+    perm = Array.make 16 0;
+    invperm = Array.make 16 0;
+    subs = Array.make 16 (fresh_subtable t_false);
+    live = 0;
     op_cap = cap;
     op_stores = 0;
     op_mask = slots - 1;
@@ -99,7 +144,40 @@ let create ?(unique_size = 1 lsl 11) ?(cache_size = 1 lsl 14) () =
     op_spill = Hashtbl.create 16;
     t_true = make_leaf 1;
     t_false;
+    auto_reorder = reorder;
+    reorder_threshold = default_reorder_threshold;
+    reorder_pending = false;
+    reordered = false;
+    op_depth = 0;
+    ro_streak = 0;
+    in_reorder = false;
+    ro_mark = max_int;
+    ro_excess = 0;
+    ro_lrc = Hashtbl.create 256;
+    ro_prc = Hashtbl.create 256;
   }
+
+(* Register variables up to [v]: each newcomer takes the next free level,
+   so a fresh variable always enters at the bottom of the current order
+   (past reorders permute only the variables that existed then). *)
+let ensure_var m v =
+  if v >= m.nvars then begin
+    if v >= Array.length m.perm then begin
+      let cap = pow2_at_least (v + 1) (Array.length m.perm) in
+      let grow a fill = Array.init cap (fun i -> if i < Array.length a then a.(i) else fill) in
+      m.perm <- grow m.perm 0;
+      m.invperm <- grow m.invperm 0;
+      let subs = Array.make cap m.subs.(0) in
+      Array.blit m.subs 0 subs 0 (Array.length m.subs);
+      m.subs <- subs
+    end;
+    for k = m.nvars to v do
+      m.perm.(k) <- k;
+      m.invperm.(k) <- k;
+      m.subs.(k) <- fresh_subtable m.t_false
+    done;
+    m.nvars <- v + 1
+  end
 
 let clear_caches m =
   m.op_stores <- 0;
@@ -137,12 +215,21 @@ let tru m = m.t_true
 let fls m = m.t_false
 let uid n = n.uid
 let equal a b = a == b
-let is_leaf n = n.level = leaf_level
-let is_true n = n.level = leaf_level && n.uid = 1
-let is_false n = n.level = leaf_level && n.uid = 0
+let is_leaf n = n.var = leaf_level
+let is_true n = n.var = leaf_level && n.uid = 1
+let is_false n = n.var = leaf_level && n.uid = 0
 
-(* Place a node with packed key [k] into arrays known to have a free slot. *)
-let uq_place keys nodes mask k n =
+(* Level (position in the order) of a node's variable; leaves sit below
+   everything. *)
+let pos m n = if n.var = leaf_level then max_int else Array.unsafe_get m.perm n.var
+
+(* Level of a variable index that may not be registered yet: unregistered
+   variables conceptually extend the order in index order. *)
+let posv m v = if v < m.nvars then m.perm.(v) else v
+
+(* Place a node with packed child key [k] into subtable arrays known to
+   have a free slot. *)
+let sub_place keys nodes mask k n =
   let i = ref (slot_of mask k) in
   while keys.(!i) <> 0 do
     i := (!i + 1) land mask
@@ -150,17 +237,209 @@ let uq_place keys nodes mask k n =
   keys.(!i) <- k;
   nodes.(!i) <- n
 
-let grow_unique m =
+let grow_sub m sub =
   Kpt_obs.incr c_uq_grow;
-  let slots = 2 * Array.length m.uq_key in
+  let slots = 2 * Array.length sub.s_key in
   let mask = slots - 1 in
   let keys = Array.make slots 0 in
   let nodes = Array.make slots m.t_false in
-  for i = 0 to Array.length m.uq_key - 1 do
-    if m.uq_key.(i) <> 0 then uq_place keys nodes mask m.uq_key.(i) m.uq_node.(i)
+  for i = 0 to Array.length sub.s_key - 1 do
+    if sub.s_key.(i) <> 0 then sub_place keys nodes mask sub.s_key.(i) sub.s_node.(i)
   done;
-  m.uq_key <- keys;
-  m.uq_node <- nodes
+  sub.s_key <- keys;
+  sub.s_node <- nodes
+
+(* Insert an already-built node into its variable's subtable (used by the
+   swap and by [gc], where the node is known not to be present). *)
+let insert_node m n =
+  let sub = m.subs.(n.var) in
+  let lo = n.low.uid and hi = n.high.uid in
+  if sub_packs lo hi then begin
+    if 2 * (sub.s_count + 1) > Array.length sub.s_key then grow_sub m sub;
+    sub_place sub.s_key sub.s_node (Array.length sub.s_key - 1) (sub_key lo hi) n;
+    sub.s_count <- sub.s_count + 1
+  end
+  else Hashtbl.replace sub.s_spill (lo, hi) n;
+  m.live <- m.live + 1
+
+(* Delete a packed entry (linear probing: the canonical backward-shift,
+   so later probe chains stay unbroken — no tombstones). *)
+let sub_delete_packed sub k =
+  let mask = Array.length sub.s_key - 1 in
+  let i = ref (slot_of mask k) in
+  while sub.s_key.(!i) <> 0 && sub.s_key.(!i) <> k do
+    i := (!i + 1) land mask
+  done;
+  if sub.s_key.(!i) = k then begin
+    sub.s_count <- sub.s_count - 1;
+    let i = ref !i and j = ref !i in
+    let running = ref true in
+    while !running do
+      j := (!j + 1) land mask;
+      let kj = sub.s_key.(!j) in
+      if kj = 0 then running := false
+      else begin
+        let h = slot_of mask kj in
+        (* move [j]'s entry into the hole at [i] unless its home lies
+           cyclically within (i, j] — then it must stay put *)
+        let stays =
+          if !j > !i then h > !i && h <= !j else h > !i || h <= !j
+        in
+        if not stays then begin
+          sub.s_key.(!i) <- kj;
+          sub.s_node.(!i) <- sub.s_node.(!j);
+          i := !j
+        end
+      end
+    done;
+    sub.s_key.(!i) <- 0
+  end
+
+let remove_node m n =
+  let sub = m.subs.(n.var) in
+  let lo = n.low.uid and hi = n.high.uid in
+  if sub_packs lo hi then sub_delete_packed sub (sub_key lo hi)
+  else Hashtbl.remove sub.s_spill (lo, hi);
+  m.live <- m.live - 1
+
+let iter_table m f =
+  for v = 0 to m.nvars - 1 do
+    let sub = m.subs.(v) in
+    Array.iteri (fun i k -> if k <> 0 then f sub.s_node.(i)) sub.s_key;
+    Hashtbl.iter (fun _ n -> f n) sub.s_spill
+  done
+
+(* ---- garbage collection at reorder boundaries -----------------------------
+
+   Between reorders nothing is ever freed: the unique table pins every
+   node it holds, so the dead intermediates of a fixpoint iteration pile
+   up, count against node budgets, and — worse — get dragged through
+   every level swap of every later sift.  The manager cannot see which
+   handles user code still holds, but the runtime's collector can: move
+   every interior node into a weak set, empty the unique table and the op
+   cache (whose result pointers would otherwise pin dead trees), force a
+   major collection, and re-insert the survivors.  A node strongly
+   reachable anywhere — an external handle, a Space/Program cache, the
+   operands of an aborted in-flight operation — survives together with
+   its cofactors, because node fields are strong references; an
+   unreachable tree is reclaimed and its weak slots empty out.  Survivors
+   return with uid and fields untouched, so [mk] can never mint a
+   duplicate of a handle that is still alive: physical equality keeps
+   meaning semantic equality.  Collected uids simply retire ([next_uid]
+   never reuses them), so stale uid-keyed memo entries cannot ghost-match
+   a later node. *)
+
+module Weak_nodes = Weak.Make (struct
+  type nonrec t = t
+
+  let equal a b = a == b
+  let hash n = n.uid
+end)
+
+let collect m =
+  Kpt_obs.incr c_gc_runs;
+  let before = m.live in
+  let stash = Weak_nodes.create (2 * before + 64) in
+  iter_table m (fun n -> Weak_nodes.add stash n);
+  for v = 0 to m.nvars - 1 do
+    m.subs.(v) <- fresh_subtable m.t_false
+  done;
+  m.live <- 0;
+  clear_caches m;
+  Gc.full_major ();
+  Weak_nodes.iter (fun n -> insert_node m n) stash;
+  if m.live < before then Kpt_obs.add c_gc_freed (before - m.live)
+
+(* ---- in-reorder reference counting ----------------------------------------
+
+   A sifting pass restructures nodes in place; the displaced children can
+   become garbage, and without liveness information [m.live] would only
+   ever grow — drowning the very size signal sifting steers by, and
+   bloating the table with every explored position.  The manager cannot
+   see external handles, so liveness is approximated with two counts kept
+   only while a reorder is running:
+
+   - a {e logical} count for every node — the number of live parents,
+     seeded by an in-degree sweep at reorder entry, with in-degree-0
+     nodes treated as roots (they may be external handles) and given one
+     implicit, unreleasable reference.  A node whose logical count drops
+     to 0 is a {e zombie}: still in the table (it might be an external
+     handle after all), but subtracted from the steering metric
+     [ro_size], with the release cascading into its children.  A later
+     retain revives it, cascading back.  Errors here only blur the
+     heuristic, never correctness.
+
+   - a {e physical} count for transients (uid ≥ [ro_mark]) only — the
+     number of node fields pointing at them, zombie parents included.  No
+     user code runs during a reorder, so a transient cannot have escaped:
+     when its physical count returns to 0, nothing in the process can
+     reach it and it is safe to evict from the table and recycle.  A
+     transient referenced only by a zombie keeps a physical reference and
+     survives — the zombie may be externally alive, and evicting the
+     child would let [mk] mint a duplicate and break canonicity.
+
+   For transients, logical ≤ physical (each field-reference counts
+   logically only while its owner is alive), so eviction implies the
+   node was already logically dead. *)
+
+let transient m n = n.uid >= m.ro_mark && n.var <> leaf_level
+
+(* The steering metric: table entries that are believed reachable. *)
+let ro_size m = m.live - m.ro_excess
+
+let rec l_retain m n =
+  if n.var <> leaf_level then
+    match Hashtbl.find_opt m.ro_lrc n.uid with
+    | None ->
+        (* a fresh transient: its own child references are already
+           active (counted at creation), no cascade *)
+        Hashtbl.replace m.ro_lrc n.uid 1
+    | Some 0 ->
+        m.ro_excess <- m.ro_excess - 1;
+        Hashtbl.replace m.ro_lrc n.uid 1;
+        l_retain m n.low;
+        l_retain m n.high
+    | Some c -> Hashtbl.replace m.ro_lrc n.uid (c + 1)
+
+let rec l_release m n =
+  if n.var <> leaf_level then
+    match Hashtbl.find_opt m.ro_lrc n.uid with
+    | Some 1 ->
+        Hashtbl.replace m.ro_lrc n.uid 0;
+        m.ro_excess <- m.ro_excess + 1;
+        l_release m n.low;
+        l_release m n.high
+    | Some c when c > 1 -> Hashtbl.replace m.ro_lrc n.uid (c - 1)
+    | _ -> () (* roots bottom out at their implicit reference *)
+
+let p_retain m n =
+  if transient m n then
+    Hashtbl.replace m.ro_prc n.uid
+      (1 + (match Hashtbl.find_opt m.ro_prc n.uid with Some c -> c | None -> 0))
+
+let rec p_release m n =
+  if transient m n then
+    match Hashtbl.find_opt m.ro_prc n.uid with
+    | Some c when c > 1 -> Hashtbl.replace m.ro_prc n.uid (c - 1)
+    | _ ->
+        (* physically unreferenced — nothing in the process can reach a
+           node born mid-reorder, so evict and recycle *)
+        Hashtbl.remove m.ro_prc n.uid;
+        let refs_active =
+          match Hashtbl.find_opt m.ro_lrc n.uid with
+          | Some 0 ->
+              m.ro_excess <- m.ro_excess - 1;
+              false
+          | _ -> true
+        in
+        Hashtbl.remove m.ro_lrc n.uid;
+        remove_node m n;
+        if refs_active then begin
+          l_release m n.low;
+          l_release m n.high
+        end;
+        p_release m n.low;
+        p_release m n.high
 
 (* Stores into a stale index after a mid-recursion grow land in a wrong
    slot of the larger arrays; that is harmless — a hit checks the exact
@@ -172,50 +451,368 @@ let cache_store m i k r =
   m.op_key.(i) <- k;
   m.op_res.(i) <- r
 
-let fresh_node m level low high =
-  let n = { uid = m.next_uid; level; low; high } in
+(* Raised by the allocator when the table outgrows the reorder threshold
+   in the middle of a public operation: the recursion's cofactor state
+   assumes a frozen order, so the operation is unwound to its outermost
+   entry, the manager reorders there, and the operation retries — the
+   abort-and-retry scheme of the classic packages.  Everything already
+   computed survives: op-cache entries are uid-keyed and denotation-
+   stable, and per-call memo tables are rebuilt by the retry. *)
+exception Restart_for_reorder
+
+let fresh_node m var low high =
+  let n = { uid = m.next_uid; var; low; high } in
   m.next_uid <- m.next_uid + 1;
+  (* a node born mid-reorder references its children for rc purposes *)
+  if m.in_reorder then begin
+    l_retain m low;
+    l_retain m high;
+    p_retain m low;
+    p_retain m high
+  end;
   Kpt_obs.incr c_node;
   Kpt_obs.record_max c_peak m.next_uid;
+  if m.auto_reorder && (not m.in_reorder) && m.live + 2 >= m.reorder_threshold then begin
+    m.reorder_pending <- true;
+    (* mid-operation: unwind to the outermost public entry and retry
+       there (the node just built is discarded before table insertion,
+       so the manager stays consistent) *)
+    if m.op_depth > 0 then raise Restart_for_reorder
+  end;
   (* Amortised budget check: the node ceiling (and, between fixpoint
      rounds, the deadline) must bite even inside one pathological apply,
      but a per-node check would tax every allocation — every 4096 nodes
-     keeps the overhead unmeasurable. *)
-  if m.next_uid land 4095 = 0 then Engine.check_nodes m.next_uid;
+     keeps the overhead unmeasurable.  The ceiling is checked against the
+     {e live} table size, not the lifetime allocation count: a reorder
+     evicts its own transients, and the whole point of sifting under a
+     budget is that space reclaimed no longer counts against it.
+     Suspended during a reorder: the manager is mid-surgery and the
+     caller gets checked again on the very next allocations. *)
+  if m.next_uid land 4095 = 0 && not m.in_reorder then Engine.check_nodes (m.live + 2);
   n
 
-let mk m level low high =
+let mk m var low high =
   if low == high then low
   else begin
+    ensure_var m var;
+    assert (pos m low > m.perm.(var) && pos m high > m.perm.(var));
+    let sub = m.subs.(var) in
     let lo = low.uid and hi = high.uid in
-    if uq_packs level lo hi then begin
-      let k = uq_key level lo hi in
-      let mask = Array.length m.uq_key - 1 in
+    if sub_packs lo hi then begin
+      let k = sub_key lo hi in
+      let mask = Array.length sub.s_key - 1 in
       let i = ref (slot_of mask k) in
-      while m.uq_key.(!i) <> 0 && m.uq_key.(!i) <> k do
+      while sub.s_key.(!i) <> 0 && sub.s_key.(!i) <> k do
         i := (!i + 1) land mask
       done;
-      if m.uq_key.(!i) = k then m.uq_node.(!i)
+      if sub.s_key.(!i) = k then sub.s_node.(!i)
       else begin
-        let n = fresh_node m level low high in
-        m.uq_key.(!i) <- k;
-        m.uq_node.(!i) <- n;
-        m.uq_count <- m.uq_count + 1;
-        if 2 * m.uq_count > mask + 1 then grow_unique m;
+        let n = fresh_node m var low high in
+        sub.s_key.(!i) <- k;
+        sub.s_node.(!i) <- n;
+        sub.s_count <- sub.s_count + 1;
+        m.live <- m.live + 1;
+        if 2 * sub.s_count > mask + 1 then grow_sub m sub;
         n
       end
     end
     else begin
       (* beyond the packed range: exact spill table, same canonicity *)
-      let key = (level, lo, hi) in
-      match Hashtbl.find_opt m.uq_spill key with
+      let key = (lo, hi) in
+      match Hashtbl.find_opt sub.s_spill key with
       | Some n -> n
       | None ->
-          let n = fresh_node m level low high in
-          Hashtbl.add m.uq_spill key n;
+          let n = fresh_node m var low high in
+          Hashtbl.add sub.s_spill key n;
+          m.live <- m.live + 1;
           n
     end
   end
+
+(* ---- dynamic reordering -------------------------------------------------- *)
+
+(* Swap the variables at adjacent levels [l] and [l+1] in place (Rudell).
+   Let u = invperm l, v = invperm (l+1).  v's nodes are untouched (their
+   children lie strictly below level l+1 either way).  A u-node
+   independent of v just moves down one level, keeping its triple.  A
+   u-node f with a v-child is rewritten through the Shannon identity
+
+     f = u ? (v ? f11 : f10) : (v ? f01 : f00)
+       = v ? (u ? f11 : f01) : (u ? f10 : f00)
+
+   mutating f's fields so every external reference to f keeps denoting
+   the same boolean function.  The rewrite cannot collapse (a dependent
+   node has f00 ≠ f01 or f10 ≠ f11 on the side where the v-child sits)
+   and cannot collide with an existing v-node or another rewritten one
+   (all denote pairwise distinct functions before the swap, and the swap
+   changes no denotation) — so canonicity is preserved. *)
+let swap_levels m l =
+  Kpt_obs.incr c_ro_swaps;
+  let u = m.invperm.(l) and v = m.invperm.(l + 1) in
+  let su = m.subs.(u) in
+  (* detach u's nodes *)
+  let nodes = ref [] in
+  let count = ref 0 in
+  Array.iteri
+    (fun i k ->
+      if k <> 0 then begin
+        nodes := su.s_node.(i) :: !nodes;
+        incr count
+      end)
+    su.s_key;
+  Hashtbl.iter
+    (fun _ n ->
+      nodes := n :: !nodes;
+      incr count)
+    su.s_spill;
+  let slots = pow2_at_least (max initial_sub_slots (2 * !count)) initial_sub_slots in
+  su.s_count <- 0;
+  su.s_key <- Array.make slots 0;
+  su.s_node <- Array.make slots m.t_false;
+  Hashtbl.reset su.s_spill;
+  m.live <- m.live - !count;
+  (* flip the order *)
+  m.invperm.(l) <- v;
+  m.invperm.(l + 1) <- u;
+  m.perm.(u) <- l + 1;
+  m.perm.(v) <- l;
+  m.reordered <- true;
+  (* re-register the independent movers first so the dependents' cofactor
+     lookups can share them, then rewrite the dependents *)
+  let dependents =
+    List.filter
+      (fun n ->
+        if n.low.var = v || n.high.var = v then true
+        else begin
+          insert_node m n;
+          false
+        end)
+      !nodes
+  in
+  List.iter
+    (fun f ->
+      let f0 = f.low and f1 = f.high in
+      let f00, f01 = if f0.var = v then (f0.low, f0.high) else (f0, f0) in
+      let f10, f11 = if f1.var = v then (f1.low, f1.high) else (f1, f1) in
+      let nl = mk m u f00 f10 in
+      let nh = mk m u f01 f11 in
+      assert (nl != nh);
+      (* retain the new children before releasing the old ones: when a
+         cofactor is reused ([nl == f0]) the count must never dip to 0.
+         Logical references belong to live parents only — a zombie's
+         field changes move physical counts alone. *)
+      let f_alive =
+        match Hashtbl.find_opt m.ro_lrc f.uid with Some 0 -> false | _ -> true
+      in
+      if f_alive then begin
+        l_retain m nl;
+        l_retain m nh
+      end;
+      p_retain m nl;
+      p_retain m nh;
+      f.var <- v;
+      f.low <- nl;
+      f.high <- nh;
+      insert_node m f;
+      if f_alive then begin
+        l_release m f0;
+        l_release m f1
+      end;
+      p_release m f0;
+      p_release m f1)
+    dependents
+
+(* Sifting moves variables in {e pair groups} (2k, 2k+1): the convention
+   upstairs interleaves each state bit's current (even) and next (odd)
+   copy, and [Space.to_next]/[to_current] need the current→next bit map
+   to stay monotone in the order.  Keeping each pair adjacent — the even
+   variable directly above its odd twin — makes every such rename a
+   level-shift by one, monotone by construction. *)
+type sift_state = {
+  gvars : int array array; (* group → member vars, top first *)
+  gorder : int array; (* position → group *)
+  gpos : int array; (* group → position *)
+}
+
+let group_size st g = Array.length st.gvars.(g)
+
+let level_offset st p =
+  let off = ref 0 in
+  for q = 0 to p - 1 do
+    off := !off + group_size st st.gorder.(q)
+  done;
+  !off
+
+(* Swap the groups at positions [p] and [p+1]: bubble each level of the
+   lower group up past the upper group, preserving both internal orders. *)
+let swap_adjacent_groups m st p =
+  let gx = st.gorder.(p) and gy = st.gorder.(p + 1) in
+  let s1 = group_size st gx and s2 = group_size st gy in
+  let base = level_offset st p in
+  for k = 0 to s2 - 1 do
+    for j = 1 to s1 do
+      swap_levels m (base + s1 + k - j)
+    done
+  done;
+  st.gorder.(p) <- gy;
+  st.gorder.(p + 1) <- gx;
+  st.gpos.(gy) <- p;
+  st.gpos.(gx) <- p + 1
+
+let group_nodes m st g =
+  Array.fold_left
+    (fun acc v -> acc + m.subs.(v).s_count + Hashtbl.length m.subs.(v).s_spill)
+    0 st.gvars.(g)
+
+(* Sift one group: walk it to the nearer edge and then across to the
+   other, tracking the total live-node count at each position, then park
+   it at the best position seen.  A direction is abandoned early when the
+   table grows past [limit] — the classic growth-abort that keeps a bad
+   excursion from flooding the table. *)
+let sift_group m st g =
+  let ngroups = Array.length st.gorder in
+  let p0 = st.gpos.(g) in
+  let best_size = ref (ro_size m) and best_pos = ref p0 in
+  let limit = ro_size m + (ro_size m / 5) + 4096 in
+  let record () =
+    if ro_size m < !best_size then begin
+      best_size := ro_size m;
+      best_pos := st.gpos.(g)
+    end
+  in
+  let down () =
+    while st.gpos.(g) < ngroups - 1 && ro_size m <= limit do
+      swap_adjacent_groups m st st.gpos.(g);
+      record ()
+    done
+  in
+  let up () =
+    while st.gpos.(g) > 0 && ro_size m <= limit do
+      swap_adjacent_groups m st (st.gpos.(g) - 1);
+      record ()
+    done
+  in
+  if p0 >= ngroups / 2 then begin
+    down ();
+    up ()
+  end
+  else begin
+    up ();
+    down ()
+  end;
+  while st.gpos.(g) < !best_pos do
+    swap_adjacent_groups m st st.gpos.(g)
+  done;
+  while st.gpos.(g) > !best_pos do
+    swap_adjacent_groups m st (st.gpos.(g) - 1)
+  done
+
+let reorder_now m =
+  m.reorder_pending <- false;
+  if m.nvars > 2 then begin
+    Kpt_obs.incr c_ro_runs;
+    let before = m.live in
+    (* entry sweep: sift only what is actually reachable — the dead
+       intermediates of the run so far would otherwise be dragged
+       through every level swap *)
+    collect m;
+    m.in_reorder <- true;
+    m.ro_mark <- m.next_uid;
+    m.ro_excess <- 0;
+    Hashtbl.reset m.ro_lrc;
+    Hashtbl.reset m.ro_prc;
+    (* seed the logical counts: internal in-degrees, with in-degree-0
+       nodes — external handles and garbage tops alike — as roots
+       carrying one implicit, unreleasable reference *)
+    let bump n =
+      if n.var <> leaf_level then
+        Hashtbl.replace m.ro_lrc n.uid
+          (1 + (match Hashtbl.find_opt m.ro_lrc n.uid with Some c -> c | None -> 0))
+    in
+    iter_table m (fun n ->
+        bump n.low;
+        bump n.high);
+    iter_table m (fun n ->
+        if not (Hashtbl.mem m.ro_lrc n.uid) then Hashtbl.replace m.ro_lrc n.uid 1);
+    Fun.protect
+      ~finally:(fun () ->
+        m.in_reorder <- false;
+        m.ro_mark <- max_int;
+        m.ro_excess <- 0;
+        Hashtbl.reset m.ro_lrc;
+        Hashtbl.reset m.ro_prc)
+      (fun () ->
+        Kpt_obs.time "bdd.reorder" (fun () ->
+            let ngroups = (m.nvars + 1) / 2 in
+            let gvars =
+              Array.init ngroups (fun k ->
+                  if (2 * k) + 1 < m.nvars then [| 2 * k; (2 * k) + 1 |] else [| 2 * k |])
+            in
+            (* groups stay contiguous across reorders (they only ever move
+               as blocks), so the current order of groups is the order of
+               their top variables' levels *)
+            let ids = Array.init ngroups (fun g -> g) in
+            Array.sort (fun a b -> compare m.perm.(gvars.(a).(0)) m.perm.(gvars.(b).(0))) ids;
+            let st = { gvars; gorder = ids; gpos = Array.make ngroups 0 } in
+            Array.iteri (fun p g -> st.gpos.(g) <- p) st.gorder;
+            (* sift the heaviest groups first: they have the most to give *)
+            let by_weight = Array.init ngroups (fun g -> g) in
+            Array.sort (fun a b -> compare (group_nodes m st b) (group_nodes m st a)) by_weight;
+            Array.iter (fun g -> if group_nodes m st g > 0 then sift_group m st g) by_weight));
+    (* exit sweep: sifting zombified the displaced structure; what no
+       live handle reaches can go *)
+    collect m;
+    if m.live < before then Kpt_obs.add c_ro_saved (before - m.live)
+  end;
+  (* Back off geometrically so a workload that keeps growing re-sifts at
+     ever coarser intervals instead of thrashing; the basis is the live
+     table size, which after the exit sweep counts only reachable nodes.
+     Under abort-and-retry pressure the threshold must grow regardless:
+     the entry sweep cleared the op cache, so a restarted operation
+     recomputes from scratch and would livelock if sifting kept handing
+     it the same headroom it already outgrew — each consecutive restart
+     doubles the ceiling instead. *)
+  let base = max (2 * (m.live + 2)) default_reorder_threshold in
+  m.reorder_threshold <-
+    (if m.ro_streak > 0 then max base (2 * m.reorder_threshold) else base)
+
+(* Public-operation guard: an auto-triggered reorder must never run while
+   an apply/quantify recursion is mid-flight (its local cofactor state
+   assumes a frozen order), so triggers only {e arm a flag} and the flag
+   is honoured at the entry of the outermost public operation. *)
+let enter m =
+  if m.op_depth = 0 && m.reorder_pending && not m.in_reorder then reorder_now m;
+  m.op_depth <- m.op_depth + 1
+
+let leave m = m.op_depth <- m.op_depth - 1
+
+let rec guarded m f =
+  enter m;
+  match f () with
+  | r ->
+      leave m;
+      if m.op_depth = 0 then m.ro_streak <- 0;
+      r
+  | exception Restart_for_reorder when m.op_depth = 1 ->
+      (* outermost public operation: honour the pending reorder (at the
+         re-entry below, where the depth is 0 again) and run [f] afresh *)
+      m.ro_streak <- m.ro_streak + 1;
+      leave m;
+      guarded m f
+  | exception e ->
+      leave m;
+      raise e
+
+let reorder m = if m.op_depth = 0 && not m.in_reorder then reorder_now m
+
+let set_auto_reorder m ?threshold on =
+  m.auto_reorder <- on;
+  (match threshold with
+  | Some th -> m.reorder_threshold <- max 16 th
+  | None -> ());
+  if on && m.live + 2 >= m.reorder_threshold then m.reorder_pending <- true
+
+let level_of_var m v = posv m v
 
 let var m i =
   assert (0 <= i && i < leaf_level);
@@ -239,10 +836,11 @@ let op_not = 6
    short-circuits.  Commutative operators normalise the cache key. *)
 let bin m ~op ~commutative ~terminal =
   let rec compute a b =
-    let lvl = min a.level b.level in
-    let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
-    let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
-    mk m lvl (go a0 b0) (go a1 b1)
+    let pa = pos m a and pb = pos m b in
+    let topvar = if pa <= pb then a.var else b.var in
+    let a0, a1 = if pa <= pb then (a.low, a.high) else (a, a) in
+    let b0, b1 = if pb <= pa then (b.low, b.high) else (b, b) in
+    mk m topvar (go a0 b0) (go a1 b1)
   and go a b =
     match terminal a b with
     | Some r -> r
@@ -287,7 +885,7 @@ let and_ m a b =
     else if a == b then Some a
     else None
   in
-  bin m ~op:op_and ~commutative:true ~terminal a b
+  guarded m (fun () -> bin m ~op:op_and ~commutative:true ~terminal a b)
 
 let or_ m a b =
   let terminal a b =
@@ -297,9 +895,9 @@ let or_ m a b =
     else if a == b then Some a
     else None
   in
-  bin m ~op:op_or ~commutative:true ~terminal a b
+  guarded m (fun () -> bin m ~op:op_or ~commutative:true ~terminal a b)
 
-let rec not_ m a =
+let rec not_rec m a =
   if is_true a then m.t_false
   else if is_false a then m.t_true
   else if op_packs a.uid 0 0 then begin
@@ -311,7 +909,7 @@ let rec not_ m a =
     end
     else begin
       Kpt_obs.incr c_miss;
-      let r = mk m a.level (not_ m a.low) (not_ m a.high) in
+      let r = mk m a.var (not_rec m a.low) (not_rec m a.high) in
       cache_store m i k r;
       (* seed the reverse direction too: ¬r = a *)
       if op_packs r.uid 0 0 then begin
@@ -329,55 +927,60 @@ let rec not_ m a =
         r
     | None ->
         Kpt_obs.incr c_miss;
-        let r = mk m a.level (not_ m a.low) (not_ m a.high) in
+        let r = mk m a.var (not_rec m a.low) (not_rec m a.high) in
         Hashtbl.replace m.op_spill (op_not, a.uid, 0, 0) r;
         Hashtbl.replace m.op_spill (op_not, r.uid, 0, 0) a;
         r
   end
+
+let not_ m a = guarded m (fun () -> not_rec m a)
 
 let xor m a b =
   let terminal a b =
     if a == b then Some m.t_false
     else if is_false a then Some b
     else if is_false b then Some a
-    else if is_true a then Some (not_ m b)
-    else if is_true b then Some (not_ m a)
+    else if is_true a then Some (not_rec m b)
+    else if is_true b then Some (not_rec m a)
     else None
   in
-  bin m ~op:op_xor ~commutative:true ~terminal a b
+  guarded m (fun () -> bin m ~op:op_xor ~commutative:true ~terminal a b)
 
 let imp m a b =
   let terminal a b =
     if is_false a || is_true b then Some m.t_true
     else if is_true a then Some b
     else if a == b then Some m.t_true
-    else if is_false b then Some (not_ m a)
+    else if is_false b then Some (not_rec m a)
     else None
   in
-  bin m ~op:op_imp ~commutative:false ~terminal a b
+  guarded m (fun () -> bin m ~op:op_imp ~commutative:false ~terminal a b)
 
 let iff m a b =
   let terminal a b =
     if a == b then Some m.t_true
     else if is_true a then Some b
     else if is_true b then Some a
-    else if is_false a then Some (not_ m b)
-    else if is_false b then Some (not_ m a)
+    else if is_false a then Some (not_rec m b)
+    else if is_false b then Some (not_rec m a)
     else None
   in
-  bin m ~op:op_iff ~commutative:true ~terminal a b
+  guarded m (fun () -> bin m ~op:op_iff ~commutative:true ~terminal a b)
 
-let rec ite m c a b =
+let rec ite_rec m c a b =
   if is_true c then a
   else if is_false c then b
   else if a == b then a
   else if is_true a && is_false b then c
   else
     let compute () =
-      let lvl = min c.level (min a.level b.level) in
-      let cof n = if n.level = lvl then (n.low, n.high) else (n, n) in
+      let p = min (pos m c) (min (pos m a) (pos m b)) in
+      let topvar =
+        if pos m c = p then c.var else if pos m a = p then a.var else b.var
+      in
+      let cof n = if pos m n = p then (n.low, n.high) else (n, n) in
       let c0, c1 = cof c and a0, a1 = cof a and b0, b1 = cof b in
-      mk m lvl (ite m c0 a0 b0) (ite m c1 a1 b1)
+      mk m topvar (ite_rec m c0 a0 b0) (ite_rec m c1 a1 b1)
     in
     if op_packs c.uid a.uid b.uid then begin
       let k = op_key op_ite c.uid a.uid b.uid in
@@ -406,6 +1009,8 @@ let rec ite m c a b =
           r
     end
 
+let ite m c a b = guarded m (fun () -> ite_rec m c a b)
+
 (* n-ary conjunction/disjunction as balanced-tree folds: pairing operands
    keeps the intermediate BDDs small compared to a linear [fold_left]
    (which carries one ever-growing accumulator through the whole list). *)
@@ -431,118 +1036,192 @@ let disj m ps = balanced_fold (or_ m) (fls m) ps
 let implies m a b = is_true (imp m a b)
 
 let restrict m root i polarity =
-  let memo = Hashtbl.create 64 in
-  let rec go n =
-    if n.level > i then n
-    else if n.level = i then if polarity then n.high else n.low
-    else
-      match Hashtbl.find_opt memo n.uid with
-      | Some r -> r
-      | None ->
-          let r = mk m n.level (go n.low) (go n.high) in
-          Hashtbl.add memo n.uid r;
-          r
-  in
-  go root
+  guarded m (fun () ->
+      let pi = posv m i in
+      let memo = Hashtbl.create 64 in
+      let rec go n =
+        if pos m n > pi then n
+        else if n.var = i then if polarity then n.high else n.low
+        else
+          match Hashtbl.find_opt memo n.uid with
+          | Some r -> r
+          | None ->
+              let r = mk m n.var (go n.low) (go n.high) in
+              Hashtbl.add memo n.uid r;
+              r
+      in
+      go root)
 
-let rec drop_below level = function
-  | v :: rest when v < level -> drop_below level rest
-  | vs -> vs
+let rec drop_below p = function
+  | l :: rest when l < p -> drop_below p rest
+  | ls -> ls
 
-(* Quantification.  The memo is keyed on the node uid only: after dropping
-   variables below the node's level, the remaining variable list is a
+(* Quantification works in {e level} space: the variable list is mapped
+   to sorted levels up front, so the recursion compares one int per node
+   regardless of the current order.  The memo is keyed on the node uid
+   only: after dropping levels above the node's, the remaining list is a
    function of the node's level alone (the input list is sorted). *)
-let quant m ~ex vars root =
+let quant_levels m ~ex levels root =
   let combine = if ex then or_ m else and_ m in
   let memo = Hashtbl.create 256 in
-  let rec go vs n =
+  let rec go ls n =
     if is_leaf n then n
     else
-      let vs = drop_below n.level vs in
-      match vs with
+      let p = pos m n in
+      let ls = drop_below p ls in
+      match ls with
       | [] -> n
-      | v :: rest -> (
+      | l :: rest -> (
           match Hashtbl.find_opt memo n.uid with
           | Some r -> r
           | None ->
               let r =
-                if v = n.level then combine (go rest n.low) (go rest n.high)
-                else mk m n.level (go vs n.low) (go vs n.high)
+                if l = p then combine (go rest n.low) (go rest n.high)
+                else mk m n.var (go ls n.low) (go ls n.high)
               in
               Hashtbl.add memo n.uid r;
               r)
   in
-  go (List.sort_uniq compare vars) root
+  go levels root
 
-let exists m vars root = quant m ~ex:true vars root
-let forall m vars root = quant m ~ex:false vars root
+let levels_of_vars m vars = List.sort_uniq compare (List.map (posv m) vars)
+
+let exists m vars root =
+  guarded m (fun () -> quant_levels m ~ex:true (levels_of_vars m vars) root)
+
+let forall m vars root =
+  guarded m (fun () -> quant_levels m ~ex:false (levels_of_vars m vars) root)
+
+let bin_and m a b =
+  let terminal a b =
+    if is_false a || is_false b then Some m.t_false
+    else if is_true a then Some b
+    else if is_true b then Some a
+    else if a == b then Some a
+    else None
+  in
+  bin m ~op:op_and ~commutative:true ~terminal a b
 
 let and_exists m vars a b =
-  let sorted = List.sort_uniq compare vars in
-  let memo = Hashtbl.create 256 in
-  let rec go vs a b =
-    if is_false a || is_false b then m.t_false
-    else if is_true a then quant m ~ex:true vs b
-    else if is_true b then quant m ~ex:true vs a
-    else
-      let lvl = min a.level b.level in
-      let vs = drop_below lvl vs in
-      match vs with
-      | [] -> and_ m a b
-      | v :: rest -> (
-          let key = if a.uid > b.uid then (b.uid, a.uid) else (a.uid, b.uid) in
-          match Hashtbl.find_opt memo key with
-          | Some r -> r
-          | None ->
-              let a0, a1 = if a.level = lvl then (a.low, a.high) else (a, a) in
-              let b0, b1 = if b.level = lvl then (b.low, b.high) else (b, b) in
-              let r =
-                if v = lvl then or_ m (go rest a0 b0) (go rest a1 b1)
-                else mk m lvl (go vs a0 b0) (go vs a1 b1)
-              in
-              Hashtbl.add memo key r;
-              r)
-  in
-  go sorted a b
+  guarded m (fun () ->
+      let sorted = levels_of_vars m vars in
+      let memo = Hashtbl.create 256 in
+      let rec go ls a b =
+        if is_false a || is_false b then m.t_false
+        else if is_true a then quant_levels m ~ex:true ls b
+        else if is_true b then quant_levels m ~ex:true ls a
+        else
+          let pa = pos m a and pb = pos m b in
+          let p = min pa pb in
+          let ls = drop_below p ls in
+          match ls with
+          | [] -> bin_and m a b
+          | l :: rest -> (
+              let key = if a.uid > b.uid then (b.uid, a.uid) else (a.uid, b.uid) in
+              match Hashtbl.find_opt memo key with
+              | Some r -> r
+              | None ->
+                  let topvar = if pa <= pb then a.var else b.var in
+                  let a0, a1 = if pa = p then (a.low, a.high) else (a, a) in
+                  let b0, b1 = if pb = p then (b.low, b.high) else (b, b) in
+                  let r =
+                    if l = p then or_ m (go rest a0 b0) (go rest a1 b1)
+                    else mk m topvar (go ls a0 b0) (go ls a1 b1)
+                  in
+                  Hashtbl.add memo key r;
+                  r)
+      in
+      go sorted a b)
 
+(* Rename is order-sensitive: the classic single-pass recursion is only
+   canonical when the map preserves the {e level} order of the support.
+   Under the identity order (no reorder has ever run) every historical
+   caller passes an index-monotone map, so the fast path is free; once
+   the manager has been reordered the support is checked first, and a
+   non-monotone map falls back to ite-composition, which is correct at
+   any order. *)
 let rename m f root =
-  let memo = Hashtbl.create 256 in
-  let rec go n =
-    if is_leaf n then n
-    else
-      match Hashtbl.find_opt memo n.uid with
-      | Some r -> r
-      | None ->
-          let r = mk m (f n.level) (go n.low) (go n.high) in
-          Hashtbl.add memo n.uid r;
-          r
-  in
-  go root
+  guarded m (fun () ->
+      let fast () =
+        let memo = Hashtbl.create 256 in
+        let rec go n =
+          if is_leaf n then n
+          else
+            match Hashtbl.find_opt memo n.uid with
+            | Some r -> r
+            | None ->
+                let r = mk m (f n.var) (go n.low) (go n.high) in
+                Hashtbl.add memo n.uid r;
+                r
+        in
+        go root
+      in
+      (* The fast path is only sound when the map is monotone on the
+         {e levels} of the root's support — renaming node-by-node keeps
+         the structural order, which must then be the level order.  That
+         can fail even on a never-reordered manager (an index swap), so
+         the support analysis always runs; it costs one extra walk of
+         the root, against the rebuild walk the rename does anyway. *)
+      begin
+        let seen = Hashtbl.create 64 in
+        let sup = ref [] in
+        let rec collect n =
+          if (not (is_leaf n)) && not (Hashtbl.mem seen n.uid) then begin
+            Hashtbl.add seen n.uid ();
+            sup := n.var :: !sup;
+            collect n.low;
+            collect n.high
+          end
+        in
+        collect root;
+        let by_level = List.sort (fun a b -> compare (posv m a) (posv m b)) !sup in
+        let images = List.map (fun v -> posv m (f v)) by_level in
+        let rec monotone = function
+          | a :: (b :: _ as rest) -> a < b && monotone rest
+          | _ -> true
+        in
+        if monotone images then fast ()
+        else begin
+          let memo = Hashtbl.create 256 in
+          let rec go n =
+            if is_leaf n then n
+            else
+              match Hashtbl.find_opt memo n.uid with
+              | Some r -> r
+              | None ->
+                  let r = ite_rec m (mk m (f n.var) m.t_false m.t_true) (go n.high) (go n.low) in
+                  Hashtbl.add memo n.uid r;
+                  r
+          in
+          go root
+        end
+      end)
 
 let support _m root =
   let seen = Hashtbl.create 256 in
-  let levels = Hashtbl.create 64 in
+  let vars = Hashtbl.create 64 in
   let rec go n =
     if (not (is_leaf n)) && not (Hashtbl.mem seen n.uid) then begin
       Hashtbl.add seen n.uid ();
-      Hashtbl.replace levels n.level ();
+      Hashtbl.replace vars n.var ();
       go n.low;
       go n.high
     end
   in
   go root;
-  Hashtbl.fold (fun l () acc -> l :: acc) levels [] |> List.sort compare
+  Hashtbl.fold (fun l () acc -> l :: acc) vars [] |> List.sort compare
 
-(* Early-exit dependence test: stop at the first node on level [i]; prune
-   subtrees rooted strictly below [i] (levels only grow downward), and
-   never materialise the support list. *)
+(* Early-exit dependence test: stop at the first node labelled [i]; prune
+   subtrees rooted strictly below [i]'s level (levels only grow downward),
+   and never materialise the support list. *)
 exception Found
 
-let depends_on _m root i =
+let depends_on m root i =
+  let pi = posv m i in
   let seen = Hashtbl.create 64 in
   let rec go n =
-    if n.level = i then raise Found
-    else if n.level < i && not (Hashtbl.mem seen n.uid) then begin
+    if n.var = i then raise Found
+    else if pos m n < pi && not (Hashtbl.mem seen n.uid) then begin
       Hashtbl.add seen n.uid ();
       go n.low;
       go n.high
@@ -564,13 +1243,25 @@ let size _m root =
 
 let node_count m = m.next_uid
 
-(* Exact model counting: the classic per-node recurrence, except each
-   count is an exact big integer — a float accumulator silently rounds
-   above 2^53 assignments and overflows to infinity near 1024 variables,
-   both well inside the scaling harness's reach. *)
-let sat_count_exact _m ~nvars root =
+(* Exact model counting: the classic per-node recurrence over the node
+   {e ranks} — each support variable's index must be < [nvars], but its
+   level can be anywhere in the order, so levels are first compressed to
+   the rank they hold among the levels of variables 0..nvars-1. *)
+let sat_count_exact m ~nvars root =
+  let width = max nvars m.nvars in
+  let sorted = Array.init nvars (fun v -> posv m v) in
+  Array.sort compare sorted;
+  let rank_of_level = Array.make (width + 1) (-1) in
+  Array.iteri (fun r l -> rank_of_level.(l) <- r) sorted;
+  let rank n =
+    if is_leaf n then nvars
+    else begin
+      let r = rank_of_level.(posv m n.var) in
+      assert (r >= 0);
+      r
+    end
+  in
   let memo = Hashtbl.create 256 in
-  let lvl n = if is_leaf n then nvars else n.level in
   let rec go n =
     if is_false n then Bigcount.zero
     else if is_true n then Bigcount.one
@@ -578,12 +1269,13 @@ let sat_count_exact _m ~nvars root =
       match Hashtbl.find_opt memo n.uid with
       | Some c -> c
       | None ->
-          let weight child = Bigcount.shift_left (go child) (lvl child - n.level - 1) in
+          let rn = rank n in
+          let weight child = Bigcount.shift_left (go child) (rank child - rn - 1) in
           let c = Bigcount.add (weight n.low) (weight n.high) in
           Hashtbl.add memo n.uid c;
           c
   in
-  Bigcount.shift_left (go root) (lvl root)
+  Bigcount.shift_left (go root) (rank root)
 
 let sat_count m ~nvars root = Bigcount.to_float (sat_count_exact m ~nvars root)
 
@@ -591,13 +1283,14 @@ let any_sat _m root =
   if is_false root then raise Not_found;
   let rec go acc n =
     if is_leaf n then List.rev acc
-    else if is_false n.low then go ((n.level, true) :: acc) n.high
-    else go ((n.level, false) :: acc) n.low
+    else if is_false n.low then go ((n.var, true) :: acc) n.high
+    else go ((n.var, false) :: acc) n.low
   in
   go [] root
 
-let iter_sat _m ~vars root f =
+let iter_sat m ~vars root f =
   let vars = List.sort_uniq compare vars in
+  let vars = List.stable_sort (fun a b -> compare (posv m a) (posv m b)) vars in
   let asg = Hashtbl.create 16 in
   let lookup i = Hashtbl.find asg i in
   let rec go vs n =
@@ -608,10 +1301,10 @@ let iter_sat _m ~vars root f =
           assert (is_true n);
           f lookup
       | v :: rest ->
-          assert (n.level >= v);
+          assert (pos m n >= posv m v);
           let branch b =
             Hashtbl.replace asg v b;
-            let n' = if n.level = v then if b then n.high else n.low else n in
+            let n' = if n.var = v then if b then n.high else n.low else n in
             go rest n'
           in
           branch false;
@@ -620,7 +1313,7 @@ let iter_sat _m ~vars root f =
   in
   go vars root
 
-let live_count m = m.uq_count + Hashtbl.length m.uq_spill + 2
+let live_count m = m.live + 2
 
 type stats = {
   nodes_created : int;
@@ -632,18 +1325,24 @@ type stats = {
 }
 
 let stats m =
+  let slots = ref 0 and spill = ref 0 and packed = ref 0 in
+  for v = 0 to m.nvars - 1 do
+    slots := !slots + Array.length m.subs.(v).s_key;
+    spill := !spill + Hashtbl.length m.subs.(v).s_spill;
+    packed := !packed + m.subs.(v).s_count
+  done;
   {
     nodes_created = m.next_uid;
     live_nodes = live_count m;
-    unique_slots = Array.length m.uq_key;
-    unique_load = float_of_int m.uq_count /. float_of_int (Array.length m.uq_key);
-    spill_nodes = Hashtbl.length m.uq_spill;
+    unique_slots = !slots;
+    unique_load = (if !slots = 0 then 0.0 else float_of_int !packed /. float_of_int !slots);
+    spill_nodes = !spill;
     cache_slots = m.op_mask + 1;
   }
 
 let gc m ~roots =
   clear_caches m;
-  let keep = Hashtbl.create (max 16 m.uq_count) in
+  let keep = Hashtbl.create (max 16 m.live) in
   let rec mark n =
     if (not (is_leaf n)) && not (Hashtbl.mem keep n.uid) then begin
       Hashtbl.add keep n.uid n;
@@ -652,33 +1351,26 @@ let gc m ~roots =
     end
   in
   List.iter mark roots;
-  let count = Hashtbl.length keep in
-  let slots = pow2_at_least (max 16 (4 * count)) 16 in
-  let mask = slots - 1 in
-  m.uq_key <- Array.make slots 0;
-  m.uq_node <- Array.make slots m.t_false;
-  m.uq_count <- 0;
-  Hashtbl.reset m.uq_spill;
-  Hashtbl.iter
-    (fun _ n ->
-      let lo = n.low.uid and hi = n.high.uid in
-      if uq_packs n.level lo hi then begin
-        uq_place m.uq_key m.uq_node mask (uq_key n.level lo hi) n;
-        m.uq_count <- m.uq_count + 1
-      end
-      else Hashtbl.add m.uq_spill (n.level, lo, hi) n)
-    keep
+  for v = 0 to m.nvars - 1 do
+    let sub = m.subs.(v) in
+    sub.s_count <- 0;
+    sub.s_key <- Array.make initial_sub_slots 0;
+    sub.s_node <- Array.make initial_sub_slots m.t_false;
+    Hashtbl.reset sub.s_spill
+  done;
+  m.live <- 0;
+  Hashtbl.iter (fun _ n -> insert_node m n) keep
 
 let rec eval n valuation =
   if is_true n then true
   else if is_false n then false
-  else if valuation n.level then eval n.high valuation
+  else if valuation n.var then eval n.high valuation
   else eval n.low valuation
 
 let pp _m fmt root =
   let rec go fmt n =
     if is_true n then Format.fprintf fmt "T"
     else if is_false n then Format.fprintf fmt "F"
-    else Format.fprintf fmt "(v%d ? %a : %a)" n.level go n.high go n.low
+    else Format.fprintf fmt "(v%d ? %a : %a)" n.var go n.high go n.low
   in
   go fmt root

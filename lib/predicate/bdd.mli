@@ -9,8 +9,13 @@
 
     All nodes live inside a {!manager}; mixing nodes from different
     managers is a programming error (detected by [assert] in debug
-    builds).  Variables are non-negative integers; smaller indices are
-    nearer the root. *)
+    builds).  Variables are non-negative integers; initially variable [i]
+    sits at level [i] of the order (smaller indices nearer the root), but
+    the manager may {e reorder} — permute the variable/level map — either
+    on demand ({!reorder}) or automatically ({!set_auto_reorder}).
+    Reordering is semantics-transparent: nodes are rewritten in place, so
+    every handle keeps denoting the same Boolean function and canonicity
+    (semantic equality = physical equality) is preserved throughout. *)
 
 type manager
 (** Mutable node store: the exact hash-consing unique table plus a packed
@@ -26,12 +31,30 @@ type t
 (** A BDD node.  Canonical: two nodes of the same manager denote the same
     Boolean function iff they are physically equal. *)
 
-val create : ?unique_size:int -> ?cache_size:int -> unit -> manager
+val create : ?unique_size:int -> ?cache_size:int -> ?reorder:bool -> unit -> manager
 (** Fresh manager.  [unique_size] is the initial capacity of the unique
     table (it grows as needed); [cache_size] is the {e maximum} slot count
     of the direct-mapped operation cache, rounded up to a power of two.
-    The cache starts tiny and grows on demand, so creating a manager is
-    cheap even with a large [cache_size]. *)
+    The cache starts small and grows on demand, so creating a manager is
+    cheap even with a large [cache_size].  [reorder] (default [false])
+    enables automatic sifting as by [set_auto_reorder m true]. *)
+
+val reorder : manager -> unit
+(** Run one sifting pass now (Rudell's algorithm over adjacent-level
+    swaps, moving interleaved current/next variable pairs as blocks).
+    All existing handles remain valid and canonical.  No-op while another
+    operation of the same manager is in flight. *)
+
+val set_auto_reorder : manager -> ?threshold:int -> bool -> unit
+(** Enable or disable automatic reordering.  When enabled, a sifting pass
+    is triggered at the entry of the next top-level operation after the
+    node count crosses [threshold] (default 2{^16}); after each pass the
+    threshold doubles away from the surviving node count, so a workload
+    that keeps growing re-sifts at geometrically coarser intervals. *)
+
+val level_of_var : manager -> int -> int
+(** Current level (position in the variable order, 0 = root) of a
+    variable index.  Identity until the first reordering. *)
 
 val clear_caches : manager -> unit
 (** Empty the operation cache (the unique table is kept, so existing
@@ -93,10 +116,12 @@ val and_exists : manager -> int list -> t -> t -> t
     in full.  Workhorse of image computation ([sp]). *)
 
 val rename : manager -> (int -> int) -> t -> t
-(** Variable renaming.  The function must be strictly monotone on the
-    support of the argument (this preserves the variable order); the
-    library only ever renames between interleaved current/next columns,
-    which satisfies this. *)
+(** Variable renaming.  The function should be strictly monotone on the
+    support of the argument {e with respect to the current level order}
+    (true of the interleaved current/next column shifts used throughout
+    the library, including after pair-block reordering); a map found to
+    be non-monotone under the current order is still handled correctly
+    through a slower compose-based path. *)
 
 val support : manager -> t -> int list
 (** Variables the predicate depends on, ascending. *)

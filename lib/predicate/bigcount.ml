@@ -73,6 +73,25 @@ let rec mul_int x f =
 
 let pow2 k = shift_left one k
 
+(* Exact halving: one top-down pass per bit, carrying the remainder into
+   the next (lower) limb — in base 10^9 a carry of 1 is worth 10^9/2·2,
+   so [carry·base + limb] never leaves the native range. *)
+let shift_right x k =
+  if k < 0 then invalid_arg "Bigcount.shift_right: negative";
+  let x = ref (Array.copy x) in
+  for _ = 1 to k do
+    let a = !x in
+    let carry = ref 0 in
+    for i = Array.length a - 1 downto 0 do
+      let v = (!carry * base) + a.(i) in
+      a.(i) <- v / 2;
+      carry := v land 1
+    done;
+    if !carry <> 0 then invalid_arg "Bigcount.shift_right: inexact";
+    x := normalize a
+  done;
+  !x
+
 let compare x y =
   let c = Int.compare (Array.length x) (Array.length y) in
   if c <> 0 then c

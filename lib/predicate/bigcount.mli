@@ -30,6 +30,12 @@ val shift_left : t -> int -> t
 val pow2 : int -> t
 (** [pow2 k] is [2{^k}] — the count of a full cube over [k] variables. *)
 
+val shift_right : t -> int -> t
+(** [shift_right x k] is [x / 2{^k}], required exact: counting over a
+    space with [k] redundant variables yields a multiple of [2{^k}].
+    @raise Invalid_argument on k < 0 or when [2{^k}] does not divide
+    [x]. *)
+
 val compare : t -> t -> int
 val equal : t -> t -> bool
 

@@ -8,14 +8,24 @@
    own engine and the main domain can fold the numbers back in after the
    join. *)
 
-type t = { eid : int; obs : Kpt_obs.Ctx.t; mutable budget : Budget.t option }
+type reorder_mode = Reorder_off | Reorder_auto | Reorder_manual
+
+type t = {
+  eid : int;
+  obs : Kpt_obs.Ctx.t;
+  mutable budget : Budget.t option;
+  mutable reorder : reorder_mode option; (* [None] = follow the process default *)
+}
 
 (* Engine identities are process-wide (an engine may be created on one
    domain and used on another), so the id counter is the one piece of
-   shared state here — a single Atomic. *)
+   shared state here — a single Atomic.  The default reorder mode is the
+   other: it is configuration (set once by the CLI before any solving),
+   and worker domains must observe the mode the main domain chose. *)
 let next_id = Atomic.make 0
+let default_reorder = Atomic.make Reorder_off
 
-let make obs = { eid = Atomic.fetch_and_add next_id 1; obs; budget = None }
+let make obs = { eid = Atomic.fetch_and_add next_id 1; obs; budget = None; reorder = None }
 let default = make Kpt_obs.Ctx.root
 let create () = make (Kpt_obs.Ctx.create ())
 let id t = t.eid
@@ -39,6 +49,14 @@ let use t f =
 let merge_metrics ~into src = Kpt_obs.Ctx.merge ~into:into.obs src.obs
 let counters t = Kpt_obs.Ctx.counters t.obs
 let spans t = Kpt_obs.Ctx.spans t.obs
+
+let set_default_reorder_mode mode = Atomic.set default_reorder mode
+let default_reorder_mode () = Atomic.get default_reorder
+
+let reorder_mode t =
+  match t.reorder with Some m -> m | None -> Atomic.get default_reorder
+
+let set_reorder_mode t mode = t.reorder <- mode
 
 (* Budgets ride on the engine rather than on each Space: a solve touches
    several spaces (program, KBP bases, knowledge cylinders) but is one

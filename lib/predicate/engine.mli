@@ -54,6 +54,35 @@ val merge_metrics : into:t -> t -> unit
 val counters : t -> (string * int) list
 val spans : t -> (string * int64 * int) list
 
+(** {2 Variable-reordering policy}
+
+    Whether the BDD managers of spaces created under an engine reorder
+    their variables dynamically.  The policy is engine configuration
+    rather than a [Space.create] argument so the CLI can set it once and
+    have every space — program, KBP bases, knowledge cylinders, worker
+    tasks — pick it up uniformly. *)
+
+type reorder_mode =
+  | Reorder_off  (** static variable order (the historical behaviour) *)
+  | Reorder_auto  (** sifting triggered by node-growth thresholds *)
+  | Reorder_manual
+      (** no automatic triggers; callers invoke {!Space.reorder} at
+          chosen quiescent points *)
+
+val set_default_reorder_mode : reorder_mode -> unit
+(** Set the process-wide default (initially {!Reorder_off}).  Read by
+    every engine without an explicit override, including freshly created
+    pool-task engines. *)
+
+val default_reorder_mode : unit -> reorder_mode
+
+val reorder_mode : t -> reorder_mode
+(** The engine's effective policy: its override if set, else the process
+    default. *)
+
+val set_reorder_mode : t -> reorder_mode option -> unit
+(** Override (or, with [None], un-override) the policy for one engine. *)
+
 (** {2 Resource budgets}
 
     A budget ({!Budget.t}) rides on the engine: the fixpoint loops and

@@ -44,8 +44,15 @@ type t = {
 
 let create ?engine () =
   let eng = match engine with Some e -> e | None -> Engine.current () in
+  (* The engine decides the reordering policy (see {!Engine.reorder_mode}):
+     [Reorder_auto] arms the manager's growth-triggered sifting;
+     [Reorder_manual] leaves triggering to explicit {!reorder} calls. *)
+  let auto = match Engine.reorder_mode eng with
+    | Engine.Reorder_auto -> true
+    | Engine.Reorder_off | Engine.Reorder_manual -> false
+  in
   {
-    man = Bdd.create ();
+    man = Bdd.create ~reorder:auto ();
     eng;
     decls = [];
     nslots = 0;
@@ -63,6 +70,7 @@ let create ?engine () =
 
 let manager sp = sp.man
 let engine sp = sp.eng
+let reorder sp = Bdd.reorder sp.man
 
 let bits_for card =
   let rec go w = if 1 lsl w >= card then w else go (w + 1) in
@@ -274,13 +282,17 @@ let states_of sp p =
   List.rev !acc
 
 (* Symbolic state counting: a state predicate depends only on current
-   (even) bits, so squeezing those onto consecutive indices — b ↦ b/2 is
-   strictly monotone on even bits, preserving the order — turns counting
-   states into an exact model count over [nslots] variables: O(nodes)
-   instead of a walk over the whole state space.  Conjoining the domain
-   first discards out-of-range encodings of non-power-of-two sorts.  A
-   predicate that does mention next-state bits (no normalized state
-   predicate does) falls back to explicit enumeration. *)
+   (even) bits, so its exact model count over {e all} [2·nslots] bit
+   copies is the state count times 2^nslots (each absent next bit is a
+   don't-care) — one exact halving per slot recovers the state count in
+   O(nodes) instead of a walk over the whole state space.  (Counting this
+   way rather than squeezing the even bits onto consecutive indices needs
+   no rename, and stays valid when the manager has reordered — the
+   squeeze map is only order-preserving under the identity order.)
+   Conjoining the domain first discards out-of-range encodings of
+   non-power-of-two sorts.  A predicate that does mention next-state bits
+   (no normalized state predicate does) falls back to explicit
+   enumeration. *)
 let count_states_exact sp p =
   let q = Bdd.and_ sp.man p (domain sp) in
   if List.exists (fun b -> b land 1 = 1) (Bdd.support sp.man q) then begin
@@ -289,8 +301,7 @@ let count_states_exact sp p =
     Bigcount.of_int !n
   end
   else
-    let squeezed = Bdd.rename sp.man (fun b -> b asr 1) q in
-    Bdd.sat_count_exact sp.man ~nvars:sp.nslots squeezed
+    Bigcount.shift_right (Bdd.sat_count_exact sp.man ~nvars:(2 * sp.nslots) q) sp.nslots
 
 let count_states_of sp p =
   match Bigcount.to_int (count_states_exact sp p) with

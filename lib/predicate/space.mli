@@ -30,7 +30,14 @@ val manager : t -> Bdd.manager
 (** The BDD manager all predicates of this space live in. *)
 
 val engine : t -> Engine.t
-(** The engine context this space was created under. *)
+(** The engine context this space was created under.  The engine's
+    {!Engine.reorder_mode} at creation time decides whether the space's
+    manager sifts automatically ([Reorder_auto]) or only on explicit
+    {!reorder} calls. *)
+
+val reorder : t -> unit
+(** Run one sifting pass on the space's manager now (see {!Bdd.reorder}).
+    All predicates of the space remain valid and canonical. *)
 
 val bool_var : t -> string -> var
 (** Declare a Boolean variable.  @raise Invalid_argument on a duplicate

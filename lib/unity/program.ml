@@ -13,7 +13,6 @@ type t = {
   statements : Stmt.t list;
   processes : Process.t list;
   mutable cached_si : Bdd.t option;
-  mutable cached_rels : Bdd.t array option;
 }
 
 exception Ill_formed of string
@@ -38,7 +37,7 @@ let validate space name init statements =
 let make_with_init_pred space ~name ~init ?(processes = []) statements =
   let init = Pred.normalize space init in
   validate space name init statements;
-  { space; name; init; statements; processes; cached_si = None; cached_rels = None }
+  { space; name; init; statements; processes; cached_si = None }
 
 let make space ~name ~init ?processes statements =
   make_with_init_pred space ~name ~init:(Expr.compile_bool space init) ?processes statements
@@ -50,28 +49,14 @@ let statements p = p.statements
 let processes p = p.processes
 let find_process p pname = List.find (fun pr -> Process.name pr = pname) p.processes
 
-(* Per-statement transition relations, compiled once per program.  The
-   statements memoise their own relations too ({!Stmt.trans}), so this
-   array shares nodes with any other user of the same statements; it only
-   skips the per-call list traversal and cache probing. *)
-let relations p =
-  match p.cached_rels with
-  | Some rels -> rels
-  | None ->
-      let rels = Array.of_list (List.map (Stmt.trans p.space) p.statements) in
-      p.cached_rels <- Some rels;
-      rels
-
+(* SP distributes over the statement union, and each statement image goes
+   through the partitioned early-quantified product ({!Stmt.image}); the
+   per-statement results are collected over next bits and renamed back
+   once. *)
 let sp_pred p pred =
   let m = Space.manager p.space in
-  let cur = Space.all_current_bits p.space in
-  let constrained = Bdd.and_ m pred (Space.domain p.space) in
-  let images =
-    Array.fold_left
-      (fun acc rel -> Space.to_current p.space (Bdd.and_exists m cur constrained rel) :: acc)
-      [] (relations p)
-  in
-  Bdd.disj m images
+  let images = List.map (fun s -> Stmt.image p.space s pred) p.statements in
+  Space.to_current p.space (Bdd.disj m images)
 
 let stable p pred = Pred.holds_implies p.space (sp_pred p pred) pred
 

@@ -2,18 +2,45 @@ open Kpt_predicate
 
 type guard = Gexpr of Expr.t | Gpred of Bdd.t
 
+(* Early-quantification observability: [images] counts statement images
+   taken through the partitioned path, [steps] the relational-product
+   steps they decomposed into. *)
+let c_eq_images = Kpt_obs.counter "space.early_quant.images"
+let c_eq_steps = Kpt_obs.counter "space.early_quant.steps"
+
+(* A conjunctive partition of the fire branch of the transition relation,
+   with its quantification schedule precomputed.  The update ∧ frame
+   relation is a conjunction of one small equality per variable; keeping
+   the conjuncts unmerged lets image computation quantify each current
+   bit away as soon as the {e remaining} conjuncts no longer mention it
+   (and dually each next bit in [wp]), so the intermediate products never
+   carry the whole relation's support.  [q_parts] additionally folds each
+   variable's range constraint into the {e last} conjunct that reads the
+   variable — appending them at the end instead would keep every
+   constrained bit alive through the whole product, defeating the
+   schedule. *)
+type schedule = {
+  q_parts : (Bdd.t * int list) list;
+      (* fire-branch conjunct · the current bits to ∃ right after it *)
+  q_pre : Bdd.t; (* range constraints of variables no conjunct reads *)
+  q_pre_bits : int list; (* current bits no conjunct reads *)
+  q_wp_parts : (Bdd.t * int list) list;
+      (* raw update/frame conjunct · the next bits it writes *)
+}
+
 (* Compiled-relation caches.  Each entry is keyed on the space it was
    compiled for (physical identity) so a statement reused against another
    space recompiles transparently.
 
    The [shared] part holds guard-independent data (the update ∧ frame
-   relation and the range-overflow set of the assignments);
-   [with_guard_pred] keeps it physically shared, so re-instantiating a
-   knowledge-based protocol at a new candidate invariant — same
-   assignments, new guard — reuses the compiled assignment relation
-   across every Ĝ-iteration. *)
+   relation, its partitioned schedule, and the range-overflow set of the
+   assignments); [with_guard_pred] keeps it physically shared, so
+   re-instantiating a knowledge-based protocol at a new candidate
+   invariant — same assignments, new guard — reuses the compiled
+   assignment relation across every Ĝ-iteration. *)
 type shared_cache = {
   mutable s_update_frame : (Space.t * Bdd.t) option;
+  mutable s_parts : (Space.t * schedule) option;
   mutable s_over : (Space.t * Bdd.t) option;
 }
 
@@ -37,7 +64,11 @@ let ill_formed fmt = Format.kasprintf (fun s -> raise (Ill_formed s)) fmt
 let target_ty v = if Space.card v = 2 && Space.value_name v 0 = "false" then Expr.Tbool else Expr.Tnat
 
 let fresh_cache () =
-  { shared = { s_update_frame = None; s_over = None }; c_guard = None; c_trans = None }
+  {
+    shared = { s_update_frame = None; s_parts = None; s_over = None };
+    c_guard = None;
+    c_trans = None;
+  }
 
 let make ~name ?(guard = Expr.tru) assigns =
   (match Expr.typeof guard with
@@ -148,18 +179,121 @@ let trans sp s =
         (Bdd.and_ m (Bdd.not_ m g) (identity sp)))
     (fun v -> s.cache.c_trans <- v)
 
-let sp_post space s p =
+(* Build the partitioned schedule.  One conjunct per variable — the
+   update equality for assigned targets, the frame equality otherwise —
+   in declaration order.  A current bit's quantification point is the
+   last conjunct whose support reads it; range constraints are merged
+   into that last reader per variable (see [schedule]), and a variable no
+   conjunct reads is handled before the product starts ([q_pre]/
+   [q_pre_bits]), so the fire-branch product ends with {e every} current
+   bit of the space quantified regardless of the precondition's
+   support. *)
+let build_schedule sp s =
+  let m = Space.manager sp in
+  let conjuncts =
+    List.map
+      (fun v ->
+        match List.find_opt (fun (u, _) -> Space.idx u = Space.idx v) s.assigns with
+        | Some (_, rhs) -> (v, Bitvec.eq m (Space.next_vec sp v) (rhs_vec sp rhs))
+        | None -> (v, Bitvec.eq m (Space.next_vec sp v) (Space.cur_vec sp v)))
+      (Space.vars sp)
+  in
+  let parts = Array.of_list (List.map snd conjuncts) in
+  let n = Array.length parts in
+  let last = Hashtbl.create 64 in
+  Array.iteri
+    (fun i c ->
+      List.iter (fun b -> if b land 1 = 0 then Hashtbl.replace last b i) (Bdd.support m c))
+    parts;
+  (* fold each variable's range constraint into its last reader *)
+  let pre = ref [] in
+  List.iter
+    (fun v ->
+      if Space.card v <> 1 lsl Space.width v then begin
+        let bits = Space.current_bits v in
+        let lv =
+          List.fold_left
+            (fun acc b -> match Hashtbl.find_opt last b with
+              | Some i -> max acc i
+              | None -> acc)
+            (-1) bits
+        in
+        let rc =
+          Bitvec.le m (Space.cur_vec sp v)
+            (Bitvec.const m ~width:(Space.width v) (Space.card v - 1))
+        in
+        if lv < 0 then pre := rc :: !pre
+        else begin
+          parts.(lv) <- Bdd.and_ m parts.(lv) rc;
+          List.iter (fun b -> Hashtbl.replace last b lv) bits
+        end
+      end)
+    (Space.vars sp);
+  let pre_bits =
+    List.filter (fun b -> not (Hashtbl.mem last b)) (Space.all_current_bits sp)
+  in
+  let after = Array.make n [] in
+  Hashtbl.iter (fun b i -> after.(i) <- b :: after.(i)) last;
+  {
+    q_parts = List.init n (fun i -> (parts.(i), List.sort compare after.(i)));
+    q_pre = Bdd.conj m !pre;
+    q_pre_bits = pre_bits;
+    q_wp_parts = List.map (fun (v, c) -> (c, Space.next_bits v)) conjuncts;
+  }
+
+let schedule sp s =
+  cached s.cache.shared.s_parts sp
+    (fun () -> build_schedule sp s)
+    (fun v -> s.cache.shared.s_parts <- v)
+
+(* Image of [p] under the statement, over {e next} bits: the fire branch
+   is the early-quantified conjunctive product; the skip branch
+   [∃cur. p ∧ dom ∧ ¬g ∧ Id] collapses to a renaming, no product at
+   all. *)
+let image space s p =
+  Kpt_obs.incr c_eq_images;
   let m = Space.manager space in
-  let cur = Space.all_current_bits space in
-  let image = Bdd.and_exists m cur (Bdd.and_ m p (Space.domain space)) (trans space s) in
-  Space.to_current space image
+  let g = guard_pred space s in
+  let sched = schedule space s in
+  let acc = Bdd.and_ m (Bdd.and_ m p g) sched.q_pre in
+  let acc = if sched.q_pre_bits = [] then acc else Bdd.exists m sched.q_pre_bits acc in
+  let fire =
+    List.fold_left
+      (fun acc (c, bits) ->
+        Kpt_obs.incr c_eq_steps;
+        Bdd.and_exists m bits acc c)
+      acc sched.q_parts
+  in
+  let skip =
+    Space.to_next space (Bdd.conj m [ p; Bdd.not_ m g; Space.domain space ])
+  in
+  Bdd.or_ m fire skip
+
+let sp_post space s p = Space.to_current space (image space s p)
 
 let sp = sp_post
 
+(* wp through the same partition.  With [x' = to_next x]:
+
+     wp = ∀nxt. ((g ∧ UF) ∨ (¬g ∧ Id)) ⇒ x'
+        = (g ⇒ ∀nxt. UF ⇒ x') ∧ (¬g ⇒ ∀nxt. Id ⇒ x')   (g has no next bits)
+        = ite(g, ¬∃nxt. UF ∧ ¬x', x)                     (∀nxt. Id ⇒ x' = x)
+
+   and the remaining ∃ is a conjunctive product in which each conjunct
+   owns exactly its target's next bits — the schedule is per-variable. *)
 let wp space s p =
   let m = Space.manager space in
-  let nxt = Space.all_next_bits space in
-  Bdd.forall m nxt (Bdd.imp m (trans space s) (Space.to_next space p))
+  let g = guard_pred space s in
+  let sched = schedule space s in
+  let acc = Space.to_next space (Bdd.not_ m p) in
+  let bad =
+    List.fold_left
+      (fun acc (c, nbits) ->
+        Kpt_obs.incr c_eq_steps;
+        Bdd.and_exists m nbits acc c)
+      acc sched.q_wp_parts
+  in
+  Bdd.ite m g (Bdd.not_ m bad) p
 
 let unchanged space s =
   let m = Space.manager space in

@@ -63,6 +63,13 @@ val trans : Space.t -> t -> Bdd.t
     on the domain (given no totality violation).  Memoised per statement,
     so fixpoint loops compile each relation once. *)
 
+val image : Space.t -> t -> Bdd.t -> Bdd.t
+(** Exact image of [p] under the statement, {e over next bits}: the
+    conjunctively-partitioned relational product with early
+    quantification — each current bit is ∃-quantified as soon as the
+    remaining conjuncts no longer mention it — rather than one monolithic
+    [and_exists] against {!trans}.  [{!sp} = to_current ∘ image]. *)
+
 val sp : Space.t -> t -> Bdd.t -> Bdd.t
 (** Strongest postcondition of one statement ([sp.s.p], eq. 26's
     ingredient): the exact image of [p]. *)

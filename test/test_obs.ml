@@ -322,8 +322,10 @@ let load_spec path =
    op-cache hit rate, node counts and every counter — is a deterministic
    function of the input file, and this pin makes silent changes to the
    engine's work profile visible in review.  Regenerate with
-     dune exec bin/kpt.exe -- stats --json examples/specs/transmit.unity \
-       > test/golden/stats_transmit.json *)
+     dune exec bin/kpt.exe -- stats --json --reorder=off \
+       examples/specs/transmit.unity > test/golden/stats_transmit.json
+   (--reorder=off because this test runs in-process under the library
+   default, which is off; the CLI default is auto). *)
 let test_stats_json_golden () =
   let loaded = load_spec "../examples/specs/transmit.unity" in
   let st = Stats.collect ~file:"examples/specs/transmit.unity" loaded in

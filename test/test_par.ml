@@ -57,6 +57,21 @@ let test_map_ordering () =
         expected got)
     [ 1; 4; 16; 500 (* clamped to the item count *) ]
 
+let test_pool_spawns_once () =
+  (* the P7 fix: helper domains are spawned once per process and reused —
+     repeated batches at the same width must not grow the pool *)
+  ignore (Kpt_par.map ~jobs:4 succ (List.init 64 Fun.id));
+  let size = Kpt_par.pool_size () in
+  (* width is additionally clamped to the core count, so on a small
+     machine the pool may legitimately stay empty — the property under
+     test is that repeated batches never grow it *)
+  Alcotest.(check bool) (Printf.sprintf "pool within requested width (%d)" size) true
+    (size <= 3);
+  for _ = 1 to 5 do
+    ignore (Kpt_par.map ~jobs:4 succ (List.init 64 Fun.id))
+  done;
+  Alcotest.(check int) "pool stable across batches" size (Kpt_par.pool_size ())
+
 let test_try_map_isolates_exceptions () =
   let items = List.init 10 Fun.id in
   let results =
@@ -206,9 +221,11 @@ let strip_test_counters s =
   |> String.concat "\n"
 
 (* Regenerate with:
-     dune exec bin/kpt.exe -- check examples/specs/*.unity --json \
+     dune exec bin/kpt.exe -- check examples/specs/*.unity --json --reorder=off \
        > test/golden/check_specs.json
-   (from the repository root). *)
+   (from the repository root; --reorder=off because this test runs
+   in-process under the library default, which is off — the CLI default
+   is auto). *)
 let test_check_json_golden () =
   let expected = strip_test_counters (read_file "golden/check_specs.json") in
   let got =
@@ -219,6 +236,7 @@ let test_check_json_golden () =
 let suite =
   [
     Alcotest.test_case "pool preserves input order" `Quick test_map_ordering;
+    Alcotest.test_case "pool spawns once per process" `Quick test_pool_spawns_once;
     Alcotest.test_case "try_map isolates exceptions" `Quick
       test_try_map_isolates_exceptions;
     Alcotest.test_case "task contexts isolate and merge" `Quick

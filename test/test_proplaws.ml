@@ -125,6 +125,11 @@ let rhs_expr g sp vars v =
 
 let scenario g =
   let sp = Space.create () in
+  (* Fuzz the laws under dynamic reordering: an aggressive threshold makes
+     sifting fire many times within each scenario, so every law is checked
+     across order changes, not just under the static order (which the rest
+     of the suite already covers). *)
+  Bdd.set_auto_reorder (Space.manager sp) ~threshold:500 true;
   let nvars = 2 + Sm64.int g 3 in
   let vars =
     List.init nvars (fun i ->

@@ -1,0 +1,171 @@
+(* Ring protocol families and the partitioned transition relations.
+
+   Three pillars:
+   - the token-ring family has a known closed-form reachable set (2n
+     states), so the sst frontier loop through the new partitioned
+     [Stmt.image] is pinned exactly at a non-trivial size;
+   - on the whole examples corpus, the early-quantified [Stmt.sp]/[wp]
+     must coincide with the naive monolithic relational product against
+     [Stmt.trans] — before {e and} after a variable reorder;
+   - the mirrored-counters instance separates reordering on from off
+     under one node budget: the adversarial declaration order exhausts
+     the budget, sifting completes and reproduces the agreement
+     predicate exactly. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+open Kpt_syntax
+open Kpt_protocols
+
+(* ---- token ring ------------------------------------------------------------- *)
+
+let test_token_ring_reachable () =
+  let n = 8 in
+  let r = Ring.token_ring ~n in
+  let si = Program.si r.Ring.rprog in
+  let count p = Bigcount.to_int (Space.count_states_exact r.Ring.rspace p) in
+  Alcotest.(check (option int)) "2n reachable states" (Some (2 * n)) (count si);
+  Alcotest.(check bool) "mutual exclusion is invariant" true
+    (Program.invariant r.Ring.rprog (Ring.mutex_ok r));
+  let m = Space.manager r.Ring.rspace in
+  Alcotest.(check (option int)) "token holder busy in n states" (Some n)
+    (count (Bdd.and_ m si (Ring.holder_busy r)));
+  (* the ring never deadlocks: no reachable fixed point *)
+  Alcotest.(check bool) "no reachable fixed point" true
+    (Bdd.is_false (Bdd.and_ m si (Program.fixed_points r.Ring.rprog)))
+
+let test_token_ring_stable_counterexample () =
+  (* The §2 distinction, pinned through the partitioned sp: mutual
+     exclusion is an {e invariant} of the ring (test above) but not
+     {e stable} — from the unreachable state ⟨token=0, busy₁⟩, acquire0
+     yields two busy stations.  What is stable is the stronger "only the
+     token holder may be busy", which implies mutex. *)
+  let r = Ring.token_ring ~n:4 in
+  let sp = r.Ring.rspace in
+  let busy0 = Expr.compile_bool sp (Expr.var r.Ring.busy.(0)) in
+  Alcotest.(check bool) "busy0 not stable" false (Program.stable r.Ring.rprog busy0);
+  Alcotest.(check bool) "mutex invariant yet not stable" false
+    (Program.stable r.Ring.rprog (Ring.mutex_ok r));
+  let holder_only =
+    Expr.compile_bool sp
+      (Expr.conj
+         (List.init 4 (fun k ->
+              Expr.(not_ (var r.Ring.busy.(k)) ||| (var r.Ring.token === nat k)))))
+  in
+  Alcotest.(check bool) "only-holder-busy stable" true
+    (Program.stable r.Ring.rprog holder_only)
+
+(* ---- corpus equivalence: partitioned vs monolithic ------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let spec_names () =
+  Sys.readdir "../examples/specs" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".unity")
+  |> List.sort compare
+
+(* Reference implementations: one monolithic relational product against
+   the full transition relation, exactly the pre-partitioning code. *)
+let naive_sp sp s p =
+  let m = Space.manager sp in
+  Space.to_current sp
+    (Bdd.and_exists m (Space.all_current_bits sp)
+       (Bdd.and_ m p (Space.domain sp))
+       (Stmt.trans sp s))
+
+let naive_wp sp s p =
+  let m = Space.manager sp in
+  Bdd.forall m (Space.all_next_bits sp)
+    (Bdd.imp m (Stmt.trans sp s) (Space.to_next sp p))
+
+let test_corpus_sp_wp_equivalence () =
+  List.iter
+    (fun name ->
+      let ast = Parser.program_of_string (read_file ("../examples/specs/" ^ name)) in
+      let eng = Engine.create () in
+      Engine.set_reorder_mode eng (Some Engine.Reorder_auto);
+      Engine.use eng (fun () ->
+          let sp, kbp = Elaborate.program ast in
+          if Kbp.is_standard kbp then begin
+            let prog = Kbp.to_standard_program kbp in
+            let m = Space.manager sp in
+            let dom = Space.domain sp in
+            let on_dom p = Bdd.and_ m dom p in
+            let pins = [ ("init", Program.init prog); ("si", Program.si prog) ] in
+            let check_stmt s =
+              List.iter
+                (fun (tag, p) ->
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: sp %s @ %s" name (Stmt.name s) tag)
+                    true
+                    (Bdd.equal (on_dom (Stmt.sp sp s p)) (on_dom (naive_sp sp s p)));
+                  Alcotest.(check bool)
+                    (Printf.sprintf "%s: wp %s @ %s" name (Stmt.name s) tag)
+                    true
+                    (Bdd.equal (on_dom (Stmt.wp sp s p)) (on_dom (naive_wp sp s p))))
+                pins
+            in
+            List.iter check_stmt (Program.statements prog);
+            (* now force a reorder and re-check: the cached schedules and
+               relations must survive a level permutation *)
+            let before = List.map (fun (tag, p) -> (tag, p, Program.sst prog p)) pins in
+            Space.reorder sp;
+            List.iter check_stmt (Program.statements prog);
+            List.iter
+              (fun (tag, p, sst_before) ->
+                Alcotest.(check bool)
+                  (Printf.sprintf "%s: sst @ %s stable across reorder" name tag)
+                  true
+                  (Bdd.equal sst_before (Program.sst prog p)))
+              before
+          end))
+    (spec_names ())
+
+(* ---- the reordering contrast ------------------------------------------------ *)
+
+let mirror_budget = Budget.limits ~max_nodes:800_000 ()
+
+let test_mirror_contrast () =
+  (* Same instance, same node budget.  Adversarial declaration order:
+     with reordering off the sst fixpoint must blow the budget; with
+     auto-sifting on it completes and equals the agreement predicate. *)
+  let run mode =
+    let eng = Engine.create () in
+    Engine.set_reorder_mode eng (Some mode);
+    Engine.use eng (fun () ->
+        let mr = Ring.mirror ~n:10 ~width:2 in
+        Engine.with_budget mirror_budget (fun () ->
+            let si = Program.si mr.Ring.mprog in
+            Bdd.equal si (Ring.agreement mr)))
+  in
+  (match run Engine.Reorder_off with
+  | (_ : bool) -> Alcotest.fail "reorder off: expected the node budget to blow"
+  | exception Budget.Exhausted (Budget.Node_ceiling _) -> ());
+  match run Engine.Reorder_auto with
+  | ok -> Alcotest.(check bool) "reorder auto: si = agreement" true ok
+  | exception Budget.Exhausted r ->
+      Alcotest.failf "reorder auto blew the budget: %s" (Budget.reason_to_string r)
+
+let test_mirror_small_exact () =
+  (* Independent of reordering: a small mirror instance has exactly
+     (2^width)^n reachable states, all agreeing. *)
+  let mr = Ring.mirror ~n:3 ~width:2 in
+  let si = Program.si mr.Ring.mprog in
+  Alcotest.(check bool) "si = agreement (small)" true (Bdd.equal si (Ring.agreement mr));
+  Alcotest.(check (option int)) "4^3 reachable states" (Some 64)
+    (Bigcount.to_int (Space.count_states_exact mr.Ring.mspace si))
+
+let suite =
+  [
+    Alcotest.test_case "token ring: exact reachable set" `Quick test_token_ring_reachable;
+    Alcotest.test_case "token ring: stability pins" `Quick test_token_ring_stable_counterexample;
+    Alcotest.test_case "corpus: partitioned sp/wp = monolithic" `Slow
+      test_corpus_sp_wp_equivalence;
+    Alcotest.test_case "mirror: reorder on/off contrast" `Slow test_mirror_contrast;
+    Alcotest.test_case "mirror: small instance exact" `Quick test_mirror_small_exact;
+  ]
