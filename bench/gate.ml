@@ -13,7 +13,12 @@
    CURRENT.json: the budgeted run of the identical workload must be
    under 5% slower than the unbudgeted one.  A same-run ratio is
    machine-independent, so this guard never needs a baseline refresh —
-   it fails only if the budget checkpoints themselves get expensive. *)
+   it fails only if the budget checkpoints themselves get expensive.
+
+   Two further same-run guards ride along: the P9 lint pair (syntactic
+   vs semantic tier) must be present in the current results, and the P10
+   slice-work counters must show the monitored ring's sliced SI fixpoint
+   allocating strictly fewer BDD nodes than the full one. *)
 
 let budget_pair =
   ( "P8 budget overhead: SI fixpoint n=4, unbudgeted",
@@ -40,6 +45,51 @@ let check_budget_overhead current_json =
              (100.0 *. budget_overhead_tolerance))
   | _ ->
       Format.printf "bench gate: budget-overhead pair not present; skipping the ratio guard@.";
+      Ok ()
+
+(* The P9 lint pair is coverage the gate refuses to lose: the semantic
+   tier's cost is only tracked if both sides of the pair keep landing in
+   the results — a rename or a dropped registration must fail here, not
+   silently shrink the suite. *)
+let lint_pair =
+  ( "P9 lint batch: examples corpus, syntactic tier",
+    "P9 lint batch: examples corpus, semantic tier" )
+
+let check_lint_pair current_json =
+  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+  let syntactic_name, semantic_name = lint_pair in
+  let missing = List.filter (fun n -> not (List.mem_assoc n benches)) [ syntactic_name; semantic_name ] in
+  match missing with
+  | [] ->
+      Format.printf "bench gate: P9 lint pair present (syntactic and semantic tiers)@.";
+      Ok ()
+  | ms ->
+      Error
+        (Printf.sprintf "P9 lint pair incomplete — missing: %s" (String.concat ", " ms))
+
+(* The P10 slice invariant, checked {e within} CURRENT.json like the P8
+   overhead ratio: computing SI on the monitored ring's mutual-exclusion
+   slice must allocate strictly fewer BDD nodes than the full program —
+   the whole point of the cone.  A same-run comparison of two counters
+   from the identical process, so it is machine-independent and never
+   needs a baseline refresh; absent counters (older results) skip. *)
+let check_slice_work current_json =
+  let counters = Kpt_obs.Gate.counters_of_json current_json in
+  match
+    ( List.assoc_opt "slice.bench.nodes_created.full" counters,
+      List.assoc_opt "slice.bench.nodes_created.sliced" counters )
+  with
+  | Some full, Some sliced when full > 0.0 ->
+      Format.printf "bench gate: slice work %.0f node(s) allocated vs %.0f full (×%.2f)@."
+        sliced full (full /. Float.max 1.0 sliced);
+      if sliced < full then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "slicing no longer reduces fixpoint work: %.0f node(s) allocated vs %.0f full"
+             sliced full)
+  | _ ->
+      Format.printf "bench gate: slice work counters not present; skipping the cone guard@.";
       Ok ()
 
 (* ---- the scaling-curve guards --------------------------------------------
@@ -167,6 +217,20 @@ let () =
                 List.iter (Format.printf "bench gate: FAIL — %s@.") msgs;
                 false
           in
+          let lint_pair_ok =
+            match check_lint_pair current_json with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
+          let slice_ok =
+            match check_slice_work current_json with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
           let cache =
             match check_cache_grows baseline_json current_json with
             | Ok () -> true
@@ -177,7 +241,7 @@ let () =
           if
             report.Kpt_obs.Gate.regressions = []
             && report.Kpt_obs.Gate.missing = []
-            && overhead && scaling && cache
+            && overhead && scaling && cache && lint_pair_ok && slice_ok
           then begin
             Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
               (List.length report.Kpt_obs.Gate.verdicts);

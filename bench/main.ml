@@ -178,6 +178,19 @@ let def_check_batch ~jobs () =
   let corpus = Lazy.force check_corpus in
   fun () -> ignore (Kpt_analysis.Check.reports ~jobs corpus)
 
+(* The [kpt lint] corpus, syntactic tier against the full semantic tier
+   (KPT1xx under the default analysis budget): the pair prices what the
+   budgeted SI/wcyl passes add on top of the free structural checks. *)
+let def_lint_batch ~semantic () =
+  let corpus = Lazy.force check_corpus in
+  fun () ->
+    List.iter
+      (fun (file, src) ->
+        ignore
+          (if semantic then Kpt_analysis.Lint.lint_source_semantic ~file src
+           else Kpt_analysis.Lint.lint_source ~file src))
+      corpus
+
 let benchmark_defs =
   [
     ("P1 bdd: n-queens-style conjunctions (12 vars)", def_bdd_ops);
@@ -194,6 +207,8 @@ let benchmark_defs =
     ("P7 kpt check batch: examples corpus, jobs=4", def_check_batch ~jobs:4);
     ("P8 budget overhead: SI fixpoint n=4, unbudgeted", def_si 4);
     ("P8 budget overhead: SI fixpoint n=4, budget armed", def_si_budgeted 4);
+    ("P9 lint batch: examples corpus, syntactic tier", def_lint_batch ~semantic:false);
+    ("P9 lint batch: examples corpus, semantic tier", def_lint_batch ~semantic:true);
   ]
 
 (* ---- machine-readable results -------------------------------------------- *)
@@ -292,6 +307,7 @@ let quick_defs =
     ("P6 concrete simulation: 100 steps of the standard protocol", def_simulation ~steps:100);
     ("P7 kpt check batch: examples corpus, jobs=2", def_check_batch ~jobs:2);
     ("P8 budget overhead: SI fixpoint n=3, budget armed", def_si_budgeted 3);
+    ("P9 lint batch: examples corpus, semantic tier", def_lint_batch ~semantic:true);
   ]
 
 (* One tiny run of each engine; a crash or hang here is a tier-1 failure. *)
@@ -416,6 +432,44 @@ let check_speedup () =
         (if t > 0.0 then !t1 /. t else 0.0))
     [ 1; 2; 4 ]
 
+(* Cone-of-influence slicing on the monitored ring (P10): the audit log
+   lies outside the cone of the mutual-exclusion property, so the sliced
+   SI fixpoint never touches its bits.  The final SI BDDs are NOT
+   comparable by size — the full run saturates the log over all values
+   (making SI log-independent) while the slice freezes it at its initial
+   value — so the reduction is measured as fixpoint WORK: total BDD
+   nodes allocated to compute SI, each side on a fresh manager.  Both
+   totals land in the counters section of BENCH_RESULTS.json, where the
+   gate pins sliced < full (a same-run comparison, machine-independent,
+   so it never needs a baseline refresh). *)
+let slice_ablation () =
+  Format.printf "@.══ Ablation: cone-of-influence slicing on the monitored ring (n=8) ══@.";
+  let work ~slice =
+    let r = Ring.monitored ~n:8 in
+    let prog = r.Ring.rprog in
+    let prog, dropped =
+      if slice then
+        let prog', info = Kpt_analysis.Slice.program ~wrt:[ Ring.mutex_ok r ] prog in
+        (prog', List.length info.Kpt_analysis.Slice.dropped)
+      else (prog, 0)
+    in
+    let si, t = time (fun () -> Program.si prog) in
+    let nodes = (Bdd.stats (Space.manager r.Ring.rspace)).Bdd.nodes_created in
+    (Space.count_states_of r.Ring.rspace si, dropped, nodes, t)
+  in
+  let full_states, _, full_nodes, t_full = work ~slice:false in
+  let sliced_states, dropped, sliced_nodes, t_sliced = work ~slice:true in
+  Kpt_obs.record_max (Kpt_obs.counter "slice.bench.nodes_created.full") full_nodes;
+  Kpt_obs.record_max (Kpt_obs.counter "slice.bench.nodes_created.sliced") sliced_nodes;
+  Format.printf "  full run  : SI over %7d state(s) in %.3fs, %8d node(s) allocated@."
+    full_states t_full full_nodes;
+  Format.printf
+    "  sliced    : SI over %7d state(s) in %.3fs, %8d node(s) allocated (%d statement(s) \
+     dropped)@."
+    sliced_states t_sliced sliced_nodes dropped;
+  Format.printf "  → identical verdict on the property, ×%.2f the allocation work avoided@."
+    (float_of_int full_nodes /. float_of_int (max 1 sliced_nodes))
+
 let ablation_relprod () =
   Format.printf "@.══ Ablation: fused relational product vs and-then-exists ══@.";
   let m = Bdd.create () in
@@ -451,11 +505,13 @@ let () =
   if Array.exists (( = ) "--quick") Sys.argv then run_quick ()
   else if Array.exists (( = ) "--bench-only") Sys.argv then begin
     (* the CI bench gate wants stable timings fast: the Bechamel suite
-       plus the scaling sweeps the gate pins (non-empty curve, per-size
-       regressions), no experiments or ablations *)
+       plus the sweeps and counters the gate pins (non-empty scaling
+       curve, per-size regressions, the P10 slice work pair), no
+       experiments or timing-only ablations *)
     run_benchmarks ();
     scaling_sweep ();
     ring_sweep ();
+    slice_ablation ();
     write_json "BENCH_RESULTS.json"
   end
   else begin
@@ -472,6 +528,7 @@ let () =
     scaling_sweep ();
     ring_sweep ();
     check_speedup ();
+    slice_ablation ();
     window_sweep ();
     ablation_solver ();
     ablation_relprod ();

@@ -10,6 +10,8 @@
      kpt proof kbp|standard     replay the §6 proofs in the LCF kernel
      kpt parse FILE             parse and elaborate a .unity source file
      kpt lint FILE …            run the static-analysis passes on source files
+                                (--semantic adds the budgeted KPT1xx tier)
+     kpt slice FILE [--wrt P]   cone-of-influence slice of a file's protocol
      kpt verify FILE …          check user-supplied properties of a file
      kpt stats FILE             profile the engine on a file (--json for machines) *)
 
@@ -382,16 +384,24 @@ let check_cmd =
       & info [ "q"; "quiet" ]
           ~doc:"Print nothing; communicate through the exit code only.")
   in
-  let run_batch paths jobs json warn_error quiet limits =
+  let slice_arg =
+    Arg.(
+      value & flag
+      & info [ "slice" ]
+          ~doc:
+            "Reduce each file's protocol to its cone of influence before solving \
+             (conservative for knowledge guards; the verdict is preserved).")
+  in
+  let run_batch paths jobs json slice warn_error quiet limits =
     match List.map (fun p -> (p, read_file p)) paths with
     | sources ->
-        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~budget:limits
+        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~budget:limits ~slice
           ~warn_error ~quiet ~json Format.std_formatter sources
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
         1
   in
-  let run () targets n a lossy fault jobs json warn_error quiet limits =
+  let run () targets n a lossy fault jobs json slice warn_error quiet limits =
     match targets with
     | [ name ] when List.mem_assoc name protos ->
         run_proto (List.assoc name protos) n a lossy fault limits
@@ -400,7 +410,7 @@ let check_cmd =
           Format.eprintf "error: --fault applies to built-in protocols only@.";
           2
         end
-        else run_batch paths jobs json warn_error quiet limits
+        else run_batch paths jobs json slice warn_error quiet limits
   in
   Cmd.v
     (Cmd.info "check"
@@ -411,7 +421,7 @@ let check_cmd =
           per-file deadline).")
     Term.(
       const run $ reorder_term $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg
-      $ jobs_arg $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
+      $ jobs_arg $ json_arg $ slice_arg $ warn_error_arg $ quiet_arg $ limits_term)
 
 (* ---- simulate -------------------------------------------------------------- *)
 
@@ -556,22 +566,66 @@ let lint_cmd =
   let files_arg =
     Arg.(non_empty & pos_all file [] & info [] ~docv:"FILE" ~doc:"A .unity source file.")
   in
-  let run paths warn_error quiet jobs =
+  let semantic =
+    Arg.(
+      value & flag
+      & info [ "semantic" ]
+          ~doc:
+            "Add the semantic tier (KPT1xx): elaborate each file and run the \
+             reachability-aware passes — unreachable statements, dead guards, \
+             unsatisfiable init, deadlock-reachable states, locally implementable \
+             knowledge guards — under a small deterministic budget.  Override the \
+             default budget (fuel 10000, 1e6 nodes) with $(b,--fuel) / \
+             $(b,--max-nodes) / $(b,--timeout).")
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Emit one machine-readable JSON report for the whole batch (the \
+             $(b,kpt check --json) shape, minus the per-file stats).")
+  in
+  let run () paths warn_error quiet jobs semantic json limits =
     let sources = List.map (fun path -> (path, read_file path)) paths in
-    Kpt_analysis.Lint.run_sources ?jobs:(jobs_opt jobs) ~warn_error ~quiet
-      Format.std_formatter sources
+    let budget = if Budget.is_unlimited limits then None else Some limits in
+    Kpt_analysis.Lint.run_sources ?jobs:(jobs_opt jobs) ~semantic ?budget ~json
+      ~warn_error ~quiet Format.std_formatter sources
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Run the static-analysis passes (locality, K-polarity, hygiene, \
-          interference) on .unity source files.")
-    Term.(const run $ files_arg $ warn_error $ quiet $ jobs_arg)
+          interference) on .unity source files; $(b,--semantic) adds the budgeted \
+          reachability-aware KPT1xx tier.")
+    Term.(
+      const run $ reorder_term $ files_arg $ warn_error $ quiet $ jobs_arg $ semantic
+      $ json $ limits_term)
+
+let slice_flag =
+  Arg.(
+    value & flag
+    & info [ "slice" ]
+        ~doc:
+          "Reduce the protocol to its cone of influence first (conservative for \
+           knowledge guards; the verdict is preserved).")
 
 let solve_file_cmd =
-  let run () path trace limits =
+  let run () path slice trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
+    let kbp =
+      if not slice then kbp
+      else begin
+        let sliced, info = Kpt_analysis.Slice.kbp kbp in
+        if not (Kpt_analysis.Slice.is_identity info) then
+          Format.printf "sliced: dropped %d of %d statement(s) outside the cone@."
+            (List.length info.Kpt_analysis.Slice.dropped)
+            (List.length info.Kpt_analysis.Slice.kept
+            + List.length info.Kpt_analysis.Slice.dropped);
+        sliced
+      end
+    in
     Format.printf "%a@.@." Kbp.pp kbp;
     let code = ref 0 in
     (match Engine.with_budget limits (fun () -> Kbp.solutions kbp) with
@@ -600,7 +654,54 @@ let solve_file_cmd =
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
-    Term.(const run $ reorder_term $ file_arg $ trace_arg $ limits_term)
+    Term.(const run $ reorder_term $ file_arg $ slice_flag $ trace_arg $ limits_term)
+
+(* ---- slice: cone-of-influence reduction as a transformation ------------------ *)
+
+let slice_cmd =
+  let wrt_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "wrt" ] ~docv:"EXPR"
+          ~doc:
+            "Slice with respect to this property (repeatable; the cone is seeded \
+             with the union of the properties' variable supports).  Without it the \
+             conservative seed is used: everything the protocol can observe, so only \
+             write-only sinks are dropped.")
+  in
+  let run () path wrt limits =
+    with_loaded path @@ fun (sp, kbp) ->
+    budgeted limits @@ fun () ->
+    try
+      let compile s =
+        try
+          Kpt_unity.Expr.compile_bool sp
+            (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string s))
+        with
+        | Kpt_syntax.Elaborate.Elab_error (_, msg)
+        | Kpt_syntax.Parser.Parse_error (_, msg)
+        | Kpt_syntax.Token.Lex_error (_, msg) ->
+            failwith (Printf.sprintf "in %S: %s" s msg)
+      in
+      let wrt = List.map compile wrt in
+      let sliced, info = Kpt_analysis.Slice.kbp ~wrt kbp in
+      Format.printf "%s: @[<v>%a@]@." (Kbp.name kbp)
+        (Kpt_analysis.Slice.pp_info sp) info;
+      if not (Kpt_analysis.Slice.is_identity info) then
+        Format.printf "@.%a@." Kbp.pp sliced;
+      0
+    with Failure msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  in
+  Cmd.v
+    (Cmd.info "slice"
+       ~doc:
+         "Compute the cone-of-influence slice of a .unity protocol: which statements \
+          can influence the property given with $(b,--wrt) (or anything the protocol \
+          observes, without it).  Prints the cone, the kept/dropped statement names \
+          and — when the slice is not the identity — the sliced protocol.")
+    Term.(const run $ reorder_term $ file_arg $ wrt_arg $ limits_term)
 
 let verify_cmd =
   let invariants =
@@ -614,7 +715,7 @@ let verify_cmd =
       value & opt_all string []
       & info [ "leadsto" ] ~docv:"P;Q" ~doc:"Check P leads-to Q (separate with a semicolon).")
   in
-  let run () path invs stbls ltos trace limits =
+  let run () path invs stbls ltos slice trace limits =
     with_trace trace @@ fun () ->
     with_loaded path @@ fun (sp, kbp) ->
     budgeted limits @@ fun () ->
@@ -638,24 +739,58 @@ let verify_cmd =
       | Kpt_syntax.Token.Lex_error (_, msg) ->
           failwith (Printf.sprintf "in %S: %s" s msg)
     in
+      (* compile every property up front so [--slice] can seed the cone
+         with the union of their supports *)
+      let cinvs = List.map (fun s -> (s, compile s)) invs in
+      let cstbls = List.map (fun s -> (s, compile s)) stbls in
+      let cltos =
+        List.map
+          (fun s ->
+            match String.index_opt s ';' with
+            | None -> failwith "leadsto takes a semicolon-separated pair"
+            | Some i ->
+                let p = String.sub s 0 i in
+                let q = String.sub s (i + 1) (String.length s - i - 1) in
+                (String.trim p, String.trim q, compile p, compile q))
+          ltos
+      in
+      let prog =
+        if not slice then prog
+        else begin
+          let wrt =
+            List.map snd cinvs @ List.map snd cstbls
+            @ List.concat_map (fun (_, _, p, q) -> [ p; q ]) cltos
+          in
+          let sliced, info = Kpt_analysis.Slice.program ~wrt prog in
+          if not (Kpt_analysis.Slice.is_identity info) then
+            Format.printf "sliced: dropped %d of %d statement(s) outside the cone@."
+              (List.length info.Kpt_analysis.Slice.dropped)
+              (List.length info.Kpt_analysis.Slice.kept
+              + List.length info.Kpt_analysis.Slice.dropped);
+          sliced
+        end
+      in
       let failed = ref 0 in
       let report label ok =
         if not ok then incr failed;
         Format.printf "  %-40s %b@." label ok
       in
-      List.iter (fun s -> report ("invariant " ^ s) (Program.invariant prog (compile s))) invs;
-      List.iter (fun s -> report ("stable " ^ s) (Kpt_logic.Props.stable prog (compile s))) stbls;
       List.iter
-        (fun s ->
-          match String.index_opt s ';' with
-          | None -> failwith "leadsto takes a semicolon-separated pair"
-          | Some i ->
-              let p = String.sub s 0 i in
-              let q = String.sub s (i + 1) (String.length s - i - 1) in
-              report
-                (Printf.sprintf "%s ↦ %s" (String.trim p) (String.trim q))
-                (Kpt_logic.Props.leads_to prog (compile p) (compile q)))
-        ltos;
+        (fun (s, p) ->
+          report ("invariant " ^ s) (Program.invariant prog p);
+          (* a holding invariant that is not inductive gets the KPT106
+             weakness note (with the largest inductive strengthening) *)
+          match Kpt_analysis.Semantic.invariant_weakness ~file:path ~label:s prog p with
+          | Some (d, _core) -> Format.printf "%a@." Kpt_analysis.Diagnostic.pp d
+          | None -> ())
+        cinvs;
+      List.iter (fun (s, p) -> report ("stable " ^ s) (Kpt_logic.Props.stable prog p)) cstbls;
+      List.iter
+        (fun (p, q, cp, cq) ->
+          report
+            (Printf.sprintf "%s ↦ %s" p q)
+            (Kpt_logic.Props.leads_to prog cp cq))
+        cltos;
       if !failed = 0 then 0 else 1
     with Failure msg ->
       Format.eprintf "error: %s@." msg;
@@ -665,10 +800,11 @@ let verify_cmd =
     (Cmd.info "verify"
        ~doc:
          "Check user-supplied UNITY properties of a .unity file, optionally under a \
-          resource budget ($(b,--timeout), $(b,--fuel), $(b,--max-nodes)).")
+          resource budget ($(b,--timeout), $(b,--fuel), $(b,--max-nodes)) and after a \
+          property-directed cone-of-influence reduction ($(b,--slice)).")
     Term.(
-      const run $ reorder_term $ file_arg $ invariants $ stables $ leadstos $ trace_arg
-      $ limits_term)
+      const run $ reorder_term $ file_arg $ invariants $ stables $ leadstos $ slice_flag
+      $ trace_arg $ limits_term)
 
 (* ---- stats: the engine profile of a single file ------------------------------ *)
 
@@ -894,7 +1030,8 @@ let () =
         (Cmd.group info
            [
              experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
-             lint_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd; matrix_cmd;
+             lint_cmd; slice_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
+             matrix_cmd;
            ])
     with
     | Sys.Break ->

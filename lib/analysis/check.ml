@@ -21,10 +21,16 @@ type report = {
   stats : Stats.t option;  (* [None] when the file does not elaborate *)
 }
 
-let check_source ~file src =
+let check_source ?(slice = false) ~file src =
   let diags = Lint.lint_source ~file src in
   match Elaborate.program (Parser.program_of_string src) with
-  | sp, kbp -> { file; diags; stats = Some (Stats.collect ~file (sp, kbp)) }
+  | sp, kbp ->
+      (* [--slice]: reduce to the cone of influence before solving.  The
+         property-less KBP slice is conservative (see {!Slice}), so the
+         verdict — and on identity slices the whole report — is the same
+         as the unsliced run's. *)
+      let kbp = if slice then fst (Slice.kbp kbp) else kbp in
+      { file; diags; stats = Some (Stats.collect ~file (sp, kbp)) }
   | exception (Token.Lex_error _ | Parser.Parse_error _ | Elaborate.Elab_error _)
   | exception Invalid_argument _ ->
       (* already reported among [diags] by [Lint.lint_source] *)
@@ -159,17 +165,17 @@ let render_json ppf reports =
 
 (* ---- driver ----------------------------------------------------------------- *)
 
-let reports ?jobs ?budget sources =
+let reports ?jobs ?budget ?slice sources =
   Kpt_par.try_map ?jobs ?task_budget:budget
-    (fun (file, src) -> check_source ~file src)
+    (fun (file, src) -> check_source ?slice ~file src)
     sources
   |> List.map2
        (fun (file, _) -> function Ok r -> r | Error e -> report_of_exn ~file e)
        sources
 
-let run_sources ?jobs ?budget ?(warn_error = false) ?(quiet = false)
+let run_sources ?jobs ?budget ?slice ?(warn_error = false) ?(quiet = false)
     ?(json = false) ppf sources =
-  let rs = reports ?jobs ?budget sources in
+  let rs = reports ?jobs ?budget ?slice sources in
   if not quiet then if json then render_json ppf rs else render_text ppf rs;
   let code = D.exit_code ~warn_error (List.concat_map (fun r -> r.diags) rs) in
   (* budget exhaustion outranks plain findings: exit 3, the documented

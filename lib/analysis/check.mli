@@ -20,9 +20,11 @@ type report = {
   stats : Stats.t option;  (** [None] when the file does not elaborate *)
 }
 
-val check_source : file:string -> string -> report
+val check_source : ?slice:bool -> file:string -> string -> report
 (** Check one file's content (lint, then — if it elaborates — the
-    {!Stats.collect} solving workload).  Does not catch non-syntax
+    {!Stats.collect} solving workload).  [~slice:true] reduces the
+    protocol to its cone of influence ({!Slice.kbp}, conservative seed)
+    before solving; the verdict is preserved.  Does not catch non-syntax
     exceptions; the batch driver does. *)
 
 val failed : report -> bool
@@ -31,6 +33,7 @@ val failed : report -> bool
 val reports :
   ?jobs:int ->
   ?budget:Kpt_predicate.Budget.limits ->
+  ?slice:bool ->
   (string * string) list ->
   report list
 (** [(file, source)] pairs in, reports out, index-aligned.  [jobs]
@@ -45,6 +48,7 @@ val render_json : Format.formatter -> report list -> unit
 val run_sources :
   ?jobs:int ->
   ?budget:Kpt_predicate.Budget.limits ->
+  ?slice:bool ->
   ?warn_error:bool ->
   ?quiet:bool ->
   ?json:bool ->

@@ -401,6 +401,87 @@ let lint_source ?file src =
   | exception ((Token.Lex_error _ | Parser.Parse_error _) as e) ->
       [ Option.get (D.of_syntax_exn ?file e) ]
 
+(* The semantic tier rides on top of [lint_source]: re-elaborate the
+   file and hand the loaded spec to {!Semantic.analyse}.  An
+   unsatisfiable initial condition is the one semantic finding that
+   cannot survive elaboration (both program constructors reject it), so
+   it is recovered here from the elaboration error's message and
+   upgraded from the generic KPT003 to its own KPT103 code. *)
+let unsat_init_msg = "unsatisfiable initial condition"
+
+let contains_unsat_init msg =
+  let n = String.length unsat_init_msg and l = String.length msg in
+  let rec go i = i + n <= l && (String.sub msg i n = unsat_init_msg || go (i + 1)) in
+  go 0
+
+let lint_source_semantic ?budget ~file src =
+  let ds = lint_source ~file src in
+  match Elaborate.program (Parser.program_of_string src) with
+  | sp, kbp -> List.sort D.compare (ds @ Semantic.analyse ~file ?budget (sp, kbp))
+  | exception Elaborate.Elab_error (span, msg) when contains_unsat_init msg ->
+      let ds =
+        List.filter
+          (fun (d : D.t) -> not (d.D.code = "KPT003" && contains_unsat_init d.D.message))
+          ds
+      in
+      List.sort D.compare
+        (D.error ~file ?span ~code:"KPT103"
+           ~hint:"no state satisfies init: the program has no runs at all"
+           (Printf.sprintf "%s (eq. 5: SI = sst.init is the empty predicate)" msg)
+        :: ds)
+  | exception (Token.Lex_error _ | Parser.Parse_error _ | Elaborate.Elab_error _)
+  | exception Invalid_argument _ ->
+      (* already reported among [ds] by [lint_source] *)
+      ds
+
+(* ---- JSON rendering (the [kpt lint --json] shape) -------------------------- *)
+
+(* Mirrors [Check.render_json] minus the per-file stats section, so the
+   two machine formats parse with the same code.  [Check] depends on this
+   module, so the (small) emitters live here rather than being shared. *)
+let severity_counts diags =
+  List.fold_left
+    (fun (e, w, i) (d : D.t) ->
+      match d.D.severity with
+      | D.Error -> (e + 1, w, i)
+      | D.Warning -> (e, w + 1, i)
+      | D.Info -> (e, w, i + 1))
+    (0, 0, 0) diags
+
+let render_json ppf (reports : (string * D.t list) list) =
+  let b = Buffer.create 4096 in
+  let pf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let all = List.concat_map snd reports in
+  let e, w, i = severity_counts all in
+  pf "{\n";
+  pf "  \"files\": %d,\n  \"errors\": %d,\n  \"warnings\": %d,\n  \"infos\": %d,\n"
+    (List.length reports) e w i;
+  pf "  \"reports\": [";
+  List.iteri
+    (fun n (file, ds) ->
+      pf "%s\n" (if n = 0 then "" else ",");
+      let e, w, i = severity_counts ds in
+      pf "  {\n";
+      pf "    \"file\": \"%s\",\n" (Stats.json_escape file);
+      pf "    \"status\": \"%s\",\n"
+        (if List.exists D.is_error ds then "fail" else "ok");
+      pf "    \"findings\": { \"errors\": %d, \"warnings\": %d, \"infos\": %d },\n" e w i;
+      pf "    \"diagnostics\": [";
+      List.iteri
+        (fun j (d : D.t) ->
+          pf "%s\n      { \"code\": \"%s\", \"severity\": \"%s\", \"message\": \"%s\" }"
+            (if j = 0 then "" else ",")
+            (Stats.json_escape d.D.code)
+            (D.severity_label d.D.severity)
+            (Stats.json_escape d.D.message))
+        ds;
+      if ds <> [] then pf "\n    ";
+      pf "]\n  }")
+    reports;
+  if reports <> [] then pf "\n  ";
+  pf "]\n}\n";
+  Format.fprintf ppf "%s" (Buffer.contents b)
+
 (* The file-set driver behind [kpt lint].  Rendering and exit policy are
    deliberately decoupled: [--quiet] silences every line of output
    (diagnostics, summaries, the "no findings" note) but the exit code is
@@ -408,23 +489,30 @@ let lint_source ?file src =
    only under [--warn-error] — so scripts can rely on the code while
    discarding the text.  Lives here (not in bin/) so the flag matrix is
    unit-testable. *)
-let run_sources ?jobs ?(warn_error = false) ?(quiet = false) ppf sources =
+let run_sources ?jobs ?(semantic = false) ?budget ?(json = false)
+    ?(warn_error = false) ?(quiet = false) ppf sources =
   (* findings are computed (possibly on worker domains — [jobs] defaults
      to [Kpt_par.recommended_jobs]) before any rendering, which happens
      here, in input order: output is independent of the pool size *)
-  let per_file = Kpt_par.map ?jobs (fun (file, src) -> lint_source ~file src) sources in
+  let task (file, src) =
+    if semantic then lint_source_semantic ?budget ~file src
+    else lint_source ~file src
+  in
+  let per_file = Kpt_par.map ?jobs task sources in
+  if json && not quiet then
+    render_json ppf (List.map2 (fun (file, _) ds -> (file, ds)) sources per_file);
   let all =
     List.concat
       (List.map2
          (fun (_, src) ds ->
-           if not quiet then
+           if (not quiet) && not json then
              List.iter
                (fun d -> Format.fprintf ppf "@[<v>%a@]@." (D.pp_excerpt ~src) d)
                ds;
            ds)
          sources per_file)
   in
-  if not quiet then begin
+  if (not quiet) && not json then begin
     match (all, sources) with
     | [], [ (p, _) ] -> Format.fprintf ppf "%s: no findings@." p
     | [], _ -> Format.fprintf ppf "%d files: no findings@." (List.length sources)

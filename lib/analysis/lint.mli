@@ -35,8 +35,26 @@ val lint_source : ?file:string -> string -> Diagnostic.t list
     well-formed program gets the full {!lint_ast} treatment.  Never
     raises. *)
 
+val lint_source_semantic :
+  ?budget:Kpt_predicate.Budget.limits -> file:string -> string -> Diagnostic.t list
+(** {!lint_source} plus the semantic tier: elaborate the source and run
+    {!Semantic.analyse} on the loaded spec (KPT1xx findings, budgeted).
+    An unsatisfiable initial condition — which elaboration rejects, so
+    {!Semantic} never sees it — is recovered from the error message and
+    reported as [KPT103] (replacing the generic [KPT003]).  Never
+    raises. *)
+
+val render_json : Format.formatter -> (string * Diagnostic.t list) list -> unit
+(** The [kpt lint --json] shape: same top-level and per-file structure
+    as [kpt check --json] ([files]/[errors]/[warnings]/[infos] and
+    [reports] with [file]/[status]/[findings]/[diagnostics]), minus the
+    per-file [stats] section. *)
+
 val run_sources :
   ?jobs:int ->
+  ?semantic:bool ->
+  ?budget:Kpt_predicate.Budget.limits ->
+  ?json:bool ->
   ?warn_error:bool ->
   ?quiet:bool ->
   Format.formatter ->
@@ -47,9 +65,13 @@ val run_sources :
     and a summary to [ppf], and return the process exit code.  Files are
     linted on a [jobs]-wide pool (default {!Kpt_par.recommended_jobs})
     but rendered in input order, so the output does not depend on the
-    pool size.  [~quiet:true] suppresses {e all} rendering but {e never}
-    alters the exit code, which depends only on the findings: 1 iff any
-    error, or any warning when [~warn_error:true]. *)
+    pool size.  [~semantic:true] adds the budgeted KPT1xx tier
+    ({!lint_source_semantic}; [budget] defaults to
+    {!Kpt_predicate.Budget.analysis_default}); [~json:true] renders
+    {!render_json} instead of text.  [~quiet:true] suppresses {e all}
+    rendering but {e never} alters the exit code, which depends only on
+    the findings: 1 iff any error, or any warning when
+    [~warn_error:true]. *)
 
 val lint_kbp : ?file:string -> Kbp.t -> Diagnostic.t list
 (** Structural checks on an in-memory knowledge-based protocol:

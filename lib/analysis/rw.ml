@@ -201,11 +201,7 @@ let stmt_reads sp (s : Stmt.t) =
     (fun acc (_, rhs) -> V.union acc (of_vars (Expr.vars_of rhs)))
     guard_reads s.Stmt.assigns
 
-let program_cone prog targets =
-  let sp = Program.space prog in
-  let stmts =
-    List.map (fun s -> (stmt_writes s, stmt_reads sp s)) (Program.statements prog)
-  in
+let close_cone stmts targets =
   let rec fix c =
     let c' =
       List.fold_left
@@ -216,3 +212,40 @@ let program_cone prog targets =
     if V.equal c c' then c else fix c'
   in
   fix targets
+
+let program_cone prog targets =
+  let sp = Program.space prog in
+  close_cone
+    (List.map (fun s -> (stmt_writes s, stmt_reads sp s)) (Program.statements prog))
+    targets
+
+(* ---- knowledge-based protocols ------------------------------------------- *)
+
+(* Reads of a knowledge guard, operator bodies included: a K body may
+   mention anything (that is the point of knowledge), and all of it can
+   influence the guard's denotation. *)
+let rec kform_reads = function
+  | Kpt_core.Kform.Base e -> of_vars (Expr.vars_of e)
+  | Kpt_core.Kform.Knot f -> kform_reads f
+  | Kpt_core.Kform.Kand (a, b) | Kpt_core.Kform.Kor (a, b)
+  | Kpt_core.Kform.Kimp (a, b) ->
+      V.union (kform_reads a) (kform_reads b)
+  | Kpt_core.Kform.K (_, f)
+  | Kpt_core.Kform.Ek (_, f)
+  | Kpt_core.Kform.Ck (_, f)
+  | Kpt_core.Kform.Dk (_, f) ->
+      kform_reads f
+
+let kstmt_writes (s : Kpt_core.Kbp.kstmt) =
+  of_vars (List.map fst s.Kpt_core.Kbp.kassigns)
+
+let kstmt_reads (s : Kpt_core.Kbp.kstmt) =
+  List.fold_left
+    (fun acc (_, rhs) -> V.union acc (of_vars (Expr.vars_of rhs)))
+    (kform_reads s.Kpt_core.Kbp.kguard)
+    s.Kpt_core.Kbp.kassigns
+
+let kbp_cone k targets =
+  close_cone
+    (List.map (fun s -> (kstmt_writes s, kstmt_reads s)) (Kpt_core.Kbp.kstmts k))
+    targets

@@ -59,6 +59,8 @@ val cone : (S.t * S.t) list -> S.t -> S.t
 module V : Set.S with type elt = int
 (** Sets of variables by {!Space.idx}. *)
 
+val of_vars : Space.var list -> V.t
+
 val stmt_writes : Stmt.t -> V.t
 
 val stmt_reads : Space.t -> Stmt.t -> V.t
@@ -67,6 +69,17 @@ val stmt_reads : Space.t -> Stmt.t -> V.t
 
 val program_cone : Program.t -> V.t -> V.t
 (** Cone of influence over a compiled program's statements. *)
+
+val kform_reads : Kpt_core.Kform.t -> V.t
+(** Every variable a knowledge guard reads, operator bodies included. *)
+
+val kstmt_writes : Kpt_core.Kbp.kstmt -> V.t
+val kstmt_reads : Kpt_core.Kbp.kstmt -> V.t
+
+val kbp_cone : Kpt_core.Kbp.t -> V.t -> V.t
+(** Cone of influence over a knowledge-based protocol's statements, at
+    the same write-meets-cone-pulls-in-reads closure as
+    {!program_cone}. *)
 
 val var_of_idx : Space.t -> int -> Space.var
 (** Inverse of {!Space.idx} (by scan; spaces are small). *)

@@ -1,0 +1,131 @@
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+module V = Rw.V
+
+(* Cone-of-influence slicing as a model reduction.
+
+   Property-directed slicing of a standard program is exactly
+   verdict-preserving: seed the cone with the property's support, close it
+   under "a statement writing a cone variable contributes all its reads"
+   ({!Rw.program_cone}), and drop every statement writing no cone
+   variable.  Kept statements read only cone variables (by closure), and
+   dropped statements never write one, so the cone projection of every
+   run of the full program is a run of the slice and vice versa: any
+   invariant / stable / leads-to verdict over predicates supported by the
+   cone coincides on the two programs.
+
+   Knowledge guards break the locality of that argument — [K_i p]
+   denotes relative to the whole program's SI (eq. 25), so a variable can
+   influence a guard without ever being read by it.  KBP slicing is
+   therefore conservative: the seed always includes the initial
+   condition's support, every guard's reads (operator bodies included)
+   and the variable set of every process mentioned by a [K]; inside that
+   cone the [wcyl] quantifications of eq. 13 cannot tell the slice from
+   the full protocol.  Standard programs wrapped in [Kbp.t] (no [K]
+   anywhere) get the aggressive property seed.
+
+   A property-less slice (the [kpt check/solve --slice] path) keeps
+   everything the program can ever observe — the same conservative seed —
+   so it only drops write-only sinks that even [init] does not constrain;
+   on realistic specs it is the identity, and the solve verdict is
+   preserved byte-for-byte. *)
+
+type info = {
+  cone : V.t;  (* variable indices spanning the cone of influence *)
+  kept : string list;  (* statement names, in program order *)
+  dropped : string list;
+}
+
+let is_identity info = info.dropped = []
+
+let c_dropped = Kpt_obs.counter "slice.statements_dropped"
+
+let support_vars sp p = Rw.vars_of_support sp (Bdd.support (Space.manager sp) p)
+
+(* The seed of a property-directed slice is the UNION of the properties'
+   supports — never their conjunction, which BDD simplification can
+   collapse (e.g. [(x ∨ y) ∧ (x ∨ ¬y) = x] loses [y]) and with it the
+   soundness of the cone. *)
+let support_union sp preds =
+  List.fold_left (fun acc p -> V.union acc (support_vars sp p)) V.empty preds
+
+let partition_stmts cone stmts ~writes ~name =
+  List.partition (fun s -> not (V.is_empty (V.inter (writes s) cone))) stmts
+  |> fun (k, d) -> (k, d, List.map name k, List.map name d)
+
+let program ?name ?(wrt = []) prog =
+  let sp = Program.space prog in
+  let stmts = Program.statements prog in
+  let seed =
+    match wrt with
+    | _ :: _ -> support_union sp wrt
+    | [] ->
+        List.fold_left
+          (fun acc s -> V.union acc (Rw.stmt_reads sp s))
+          (support_vars sp (Program.init prog))
+          stmts
+  in
+  let cone = Rw.program_cone prog seed in
+  let kept, dropped, kn, dn =
+    partition_stmts cone stmts ~writes:Rw.stmt_writes ~name:Stmt.name
+  in
+  (* a slice that would drop every statement degenerates to the identity:
+     nothing influences the property, so any slice preserves it, and
+     programs must stay non-empty *)
+  if dropped = [] || kept = [] then (prog, { cone; kept = kn @ dn; dropped = [] })
+  else begin
+    Kpt_obs.add c_dropped (List.length dropped);
+    (Program.sub_program ?name prog kept, { cone; kept = kn; dropped = dn })
+  end
+
+let kbp_conservative_seed k extra =
+  let procs = Kbp.processes k in
+  let kvars =
+    List.concat_map
+      (fun (s : Kbp.kstmt) -> Kform.processes_of s.Kbp.kguard)
+      (Kbp.kstmts k)
+    |> List.sort_uniq compare
+    |> List.concat_map (fun pname ->
+           match List.find_opt (fun p -> Process.name p = pname) procs with
+           | Some p -> Process.vars p
+           | None -> [])
+  in
+  List.fold_left
+    (fun acc s -> V.union acc (Rw.kform_reads s.Kbp.kguard))
+    (V.union extra
+       (V.union
+          (support_vars (Kbp.space k) (Kbp.init k))
+          (Rw.of_vars kvars)))
+    (Kbp.kstmts k)
+
+let kbp ?name ?(wrt = []) k =
+  let seed =
+    match wrt with
+    | _ :: _ when Kbp.is_standard k -> support_union (Kbp.space k) wrt
+    | _ :: _ -> kbp_conservative_seed k (support_union (Kbp.space k) wrt)
+    | [] -> kbp_conservative_seed k V.empty
+  in
+  let cone = Rw.kbp_cone k seed in
+  let kept, dropped, kn, dn =
+    partition_stmts cone (Kbp.kstmts k) ~writes:Rw.kstmt_writes
+      ~name:(fun (s : Kbp.kstmt) -> s.Kbp.kname)
+  in
+  if dropped = [] || kept = [] then (k, { cone; kept = kn @ dn; dropped = [] })
+  else begin
+    Kpt_obs.add c_dropped (List.length dropped);
+    (Kbp.sub ?name k kept, { cone; kept = kn; dropped = dn })
+  end
+
+let pp_info sp ppf info =
+  let names set =
+    String.concat ", "
+      (List.map (fun i -> Space.name (Rw.var_of_idx sp i)) (V.elements set))
+  in
+  Format.fprintf ppf "cone: %s@," (if V.is_empty info.cone then "∅" else names info.cone);
+  Format.fprintf ppf "kept: %d statement(s): %s@," (List.length info.kept)
+    (String.concat ", " info.kept);
+  if info.dropped = [] then Format.fprintf ppf "dropped: none (the slice is the identity)"
+  else
+    Format.fprintf ppf "dropped: %d statement(s): %s" (List.length info.dropped)
+      (String.concat ", " info.dropped)

@@ -1,0 +1,48 @@
+(** Cone-of-influence slicing as a model reduction ([kpt slice],
+    [kpt check/solve/verify --slice]).
+
+    [program ~wrt:p] seeds the cone with [p]'s support and closes it
+    under {!Rw.program_cone}; statements writing no cone variable are
+    dropped.  For a standard program this is exactly verdict-preserving:
+    invariant / stable / leads-to verdicts over predicates supported by
+    the cone coincide on the slice and the full program (kept statements
+    read only cone variables, dropped statements never write one, so the
+    two programs' runs have identical cone projections).
+
+    Knowledge guards denote relative to the whole protocol's SI (eq. 25),
+    so {!kbp} is conservative: the seed additionally includes the initial
+    condition's support, every guard's reads (operator bodies included)
+    and the variable set of every [K]-mentioned process — inside that
+    cone the [wcyl] quantifications of eq. 13 cannot distinguish the
+    slice from the full protocol.  Without [~wrt] the same conservative
+    seed is used (for both forms), so a property-less slice only drops
+    write-only sinks and is the identity on realistic specs. *)
+
+open Kpt_predicate
+open Kpt_unity
+open Kpt_core
+
+type info = {
+  cone : Rw.V.t;  (** variable indices spanning the cone of influence *)
+  kept : string list;  (** statement names, in program order *)
+  dropped : string list;
+}
+
+val is_identity : info -> bool
+(** No statement was dropped. *)
+
+val program : ?name:string -> ?wrt:Bdd.t list -> Program.t -> Program.t * info
+(** Slice a standard program with respect to the given properties; the
+    seed is the {e union} of their supports (a conjunction could
+    collapse under BDD simplification and lose cone variables).  A slice
+    that would drop {e every} statement degenerates to the identity
+    (programs must stay non-empty; a property influenced by nothing is
+    preserved by any slice). *)
+
+val kbp : ?name:string -> ?wrt:Bdd.t list -> Kbp.t -> Kbp.t * info
+(** Slice a knowledge-based protocol (conservatively, see above).
+    Standard programs wrapped in [Kbp.t] get the aggressive property
+    seed. *)
+
+val pp_info : Space.t -> Format.formatter -> info -> unit
+(** Cone variables and kept/dropped statement names, for [kpt slice]. *)

@@ -58,6 +58,27 @@ let make space ~name ~init ~processes kstmts =
   if Bdd.is_false init_pred then ill_formed "kbp %s: unsatisfiable initial condition" name;
   { space; name; init = init_pred; processes; kstmts; bases }
 
+(* The slicing constructor, mirroring [Program.sub_program]: a KBP over a
+   subset of an existing KBP's statements, with the validated bases (and
+   their memoised assignment relations) carried along.  Requiring the
+   statements to be [k]'s own (physically) is what makes skipping
+   re-validation sound. *)
+let sub ?name:(sname = "") k kept =
+  if kept = [] then ill_formed "kbp %s: empty slice (no statement kept)" k.name;
+  let pairs = List.combine k.kstmts k.bases in
+  let bases =
+    List.map
+      (fun s ->
+        match List.find_opt (fun (s', _) -> s' == s) pairs with
+        | Some (_, base) -> base
+        | None ->
+            ill_formed "kbp %s: slice statement %s is not one of the kbp's statements"
+              k.name s.kname)
+      kept
+  in
+  let name = if sname = "" then k.name else sname in
+  { k with name; kstmts = kept; bases }
+
 let space k = k.space
 let name k = k.name
 let init k = k.init

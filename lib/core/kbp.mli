@@ -42,6 +42,13 @@ val make :
     [processes]; sorts are checked as for standard statements.
     @raise Ill_formed otherwise. *)
 
+val sub : ?name:string -> t -> kstmt list -> t
+(** The slicing constructor: the KBP over a subset of [t]'s own
+    statements (same space, initial condition and processes; the
+    validated statement bases are carried along).  The subset must
+    consist of (physically) [t]'s statements.
+    @raise Ill_formed on an empty subset or a foreign statement. *)
+
 val space : t -> Space.t
 val name : t -> string
 val init : t -> Bdd.t

@@ -26,6 +26,13 @@ let limits ?timeout_ns ?fuel ?max_nodes () = { timeout_ns; fuel; max_nodes }
 
 let is_unlimited l = l.timeout_ns = None && l.fuel = None && l.max_nodes = None
 
+(* The semantic lint tier runs the engine under this budget by default.
+   Deliberately no wall-clock component: fuel and node ceilings are
+   deterministic, so a lint run exhausts (or doesn't) identically on
+   every machine — goldens and the -j1/-j4 pin depend on that. *)
+let analysis_default =
+  { timeout_ns = None; fuel = Some 10_000; max_nodes = Some 1_000_000 }
+
 let timeout_of_seconds s =
   if s <= 0.0 then invalid_arg "Budget.timeout_of_seconds: timeout must be positive";
   Int64.of_float (s *. 1e9)

@@ -23,6 +23,11 @@ val limits :
 
 val is_unlimited : limits -> bool
 
+val analysis_default : limits
+(** Default ceilings for the semantic lint tier (fuel and node ceiling
+    only — no wall-clock component, so exhaustion is deterministic and
+    machine-independent). *)
+
 (** [timeout_of_seconds s] converts a positive duration in seconds to
     nanoseconds. Raises [Invalid_argument] on [s <= 0]. *)
 val timeout_of_seconds : float -> int64

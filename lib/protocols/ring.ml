@@ -34,6 +34,47 @@ let token_ring ~n =
   let rprog = Program.make sp ~name:(Printf.sprintf "token_ring_%d" n) ~init stmts in
   { rprog; rspace = sp; token; busy }
 
+(* Token ring plus an audit monitor: each station bumps a shared saturating
+   [log] counter while busy.  The monitors read [busy_k] but nothing reads
+   [log] back, so the cone of influence of any busy/token property excludes
+   the log — the slicing vehicle for the bench and tests (the plain ring is
+   fully connected: every statement stays in every cone). *)
+let monitored ~n =
+  if n < 2 then invalid_arg "Ring.monitored: n must be ≥ 2";
+  let sp = Space.create () in
+  let token = Space.nat_var sp "token" ~max:(n - 1) in
+  let busy = Array.init n (fun k -> Space.bool_var sp (Printf.sprintf "busy%d" k)) in
+  let cap = (2 * n) - 1 in
+  let log = Space.nat_var sp "log" ~max:cap in
+  let open Expr in
+  let stmts =
+    List.concat
+      (List.init n (fun k ->
+           [
+             Stmt.make
+               ~name:(Printf.sprintf "acquire%d" k)
+               ~guard:(var token === nat k &&& not_ (var busy.(k)))
+               [ (busy.(k), tru) ];
+             Stmt.make
+               ~name:(Printf.sprintf "release%d" k)
+               ~guard:(var token === nat k &&& var busy.(k))
+               [ (busy.(k), fls); (token, nat ((k + 1) mod n)) ];
+             Stmt.make
+               ~name:(Printf.sprintf "monitor%d" k)
+               ~guard:(var busy.(k) &&& not_ (var log === nat cap))
+               [ (log, var log +! nat 1) ];
+           ]))
+  in
+  let init =
+    conj
+      ((var token === nat 0) :: (var log === nat 0)
+      :: List.init n (fun k -> not_ (var busy.(k))))
+  in
+  let rprog =
+    Program.make sp ~name:(Printf.sprintf "monitored_ring_%d" n) ~init stmts
+  in
+  { rprog; rspace = sp; token; busy }
+
 let mutex_ok r =
   let sp = r.rspace in
   let m = Space.manager sp in

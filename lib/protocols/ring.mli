@@ -37,6 +37,14 @@ val token_ring : n:int -> ring
 (** Build the [n]-station ring ([n ≥ 2]).  Initially station 0 holds the
     token and nobody is busy. *)
 
+val monitored : n:int -> ring
+(** The [n]-station ring plus a write-only audit monitor: each station
+    bumps a shared saturating [log : nat(2n-1)] counter while busy, and
+    nothing reads [log] back.  Any property over [token]/[busy] therefore
+    has a cone of influence excluding the monitors and the log bits —
+    the slicing vehicle for the bench and tests (the plain {!token_ring}
+    is fully connected, so slicing it is the identity). *)
+
 val mutex_ok : ring -> Bdd.t
 (** Safety: no two stations busy simultaneously.  An invariant of the
     ring (checked by the test suite and timed by the bench sweep). *)

@@ -115,6 +115,24 @@ let fixed_points p =
     (fun acc s -> Bdd.and_ m acc (Stmt.unchanged p.space s))
     (Space.domain p.space) p.statements
 
+(* The slicing constructor: a program over a subset of an existing
+   program's statements.  Space, init and processes are shared, and the
+   expensive [make] validation is skipped — every kept statement was
+   already proved total on this space and [init] satisfiable — so slicing
+   costs nothing beyond the list filter.  Requiring the statements to be
+   [p]'s own (physically) is what makes that skip sound. *)
+let sub_program ?name:(sname = "") p kept =
+  if kept = [] then ill_formed "program %s: empty slice (no statement kept)" p.name;
+  List.iter
+    (fun s ->
+      if not (List.memq s p.statements) then
+        ill_formed "program %s: slice statement %s is not one of the program's statements"
+          p.name (Stmt.name s))
+    kept;
+  let name = if sname = "" then p.name else sname in
+  { space = p.space; name; init = p.init; statements = kept;
+    processes = p.processes; cached_si = None }
+
 let union ?name:(uname = "") f g =
   if not (f.space == g.space) then
     ill_formed "union: %s and %s live in different spaces" f.name g.name;

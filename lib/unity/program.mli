@@ -61,6 +61,14 @@ val fixed_points : t -> Bdd.t
 (** States where no statement changes the state — UNITY's analogue of
     termination (§5). *)
 
+val sub_program : ?name:string -> t -> Stmt.t list -> t
+(** The slicing constructor: the program over a subset of [t]'s own
+    statements (same space, initial condition and processes).  Validation
+    is skipped — the statements were already proved total and [init]
+    satisfiable when [t] was built — so the subset must consist of
+    (physically) [t]'s statements.
+    @raise Ill_formed on an empty subset or a foreign statement. *)
+
 val union : ?name:string -> t -> t -> t
 (** UNITY program composition [F ∥ G] (the union of Chandy–Misra):
     statements are unioned, initial conditions conjoined.  Both programs
