@@ -15,10 +15,12 @@
    machine-independent, so this guard never needs a baseline refresh —
    it fails only if the budget checkpoints themselves get expensive.
 
-   Two further same-run guards ride along: the P9 lint pair (syntactic
-   vs semantic tier) must be present in the current results, and the P10
+   Three further same-run guards ride along: the P9 lint pair (syntactic
+   vs semantic tier) must be present in the current results, the P10
    slice-work counters must show the monitored ring's sliced SI fixpoint
-   allocating strictly fewer BDD nodes than the full one. *)
+   allocating strictly fewer BDD nodes than the full one, and the P11
+   serve triple must show cached < warm < cold on the identical `kpt
+   check` request. *)
 
 let budget_pair =
   ( "P8 budget overhead: SI fixpoint n=4, unbudgeted",
@@ -91,6 +93,49 @@ let check_slice_work current_json =
   | _ ->
       Format.printf "bench gate: slice work counters not present; skipping the cone guard@.";
       Ok ()
+
+(* The P11 serve triple: the identical `kpt check` request priced as a
+   cold process spawn, a warm daemon request, and a cache hit.  The
+   daemon only earns its keep while cached < warm < cold, so the gate
+   pins the strict ordering within the current run — same-run, so
+   machine-independent, never needing a baseline refresh.  All three
+   rows are presence-required: the CI bench job builds the binary first,
+   so a missing cold row means the registration guard broke, not an
+   acceptable layout. *)
+let serve_triple =
+  ( "P11 serve: cold process, check transmit",
+    "P11 serve: warm request, check transmit",
+    "P11 serve: cached request, check transmit" )
+
+let check_serve_triple current_json =
+  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+  let cold_name, warm_name, cached_name = serve_triple in
+  match
+    ( List.assoc_opt cold_name benches,
+      List.assoc_opt warm_name benches,
+      List.assoc_opt cached_name benches )
+  with
+  | Some cold, Some warm, Some cached ->
+      Format.printf
+        "bench gate: serve triple cold %.0f ns, warm %.0f ns (×%.1f), cached %.0f ns \
+         (×%.1f)@."
+        cold warm (cold /. Float.max 1.0 warm) cached (warm /. Float.max 1.0 cached);
+      if cached < warm && warm < cold then Ok ()
+      else
+        Error
+          (Printf.sprintf
+             "the serve daemon no longer pays: cold %.0f ns, warm %.0f ns, cached %.0f \
+              ns (want cached < warm < cold)"
+             cold warm cached)
+  | cold, warm, cached ->
+      let missing =
+        List.filter_map
+          (fun (name, v) -> if v = None then Some name else None)
+          [ (cold_name, cold); (warm_name, warm); (cached_name, cached) ]
+      in
+      Error
+        (Printf.sprintf "P11 serve triple incomplete — missing: %s"
+           (String.concat ", " missing))
 
 (* ---- the scaling-curve guards --------------------------------------------
 
@@ -238,10 +283,17 @@ let () =
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
+          let serve_ok =
+            match check_serve_triple current_json with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
           if
             report.Kpt_obs.Gate.regressions = []
             && report.Kpt_obs.Gate.missing = []
-            && overhead && scaling && cache && lint_pair_ok && slice_ok
+            && overhead && scaling && cache && lint_pair_ok && slice_ok && serve_ok
           then begin
             Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
               (List.length report.Kpt_obs.Gate.verdicts);

@@ -176,6 +176,21 @@ let read_file path =
   close_in ic;
   s
 
+(* Driver-backed commands (the batch form of check, lint, stats,
+   solve-file, slice) share their bodies with the serve daemon via
+   [Kpt_analysis.Driver]: the body renders to strings, we put them on
+   the real streams.  [--trace] events are streamed live to stderr via
+   an explicit sink instead of being buffered with the rest. *)
+let emit_outcome (o : Kpt_analysis.Driver.outcome) =
+  print_string o.Kpt_analysis.Driver.out;
+  flush stdout;
+  prerr_string o.Kpt_analysis.Driver.err;
+  flush stderr;
+  o.Kpt_analysis.Driver.code
+
+let live_trace_sink trace =
+  if trace then Some (Kpt_obs.trace_sink Format.err_formatter) else None
+
 (* [--trace] installs the observability sink for the duration of [f];
    with the flag off the sink stays [None] and the instrumented layers
    allocate nothing. *)
@@ -392,25 +407,39 @@ let check_cmd =
             "Reduce each file's protocol to its cone of influence before solving \
              (conservative for knowledge guards; the verdict is preserved).")
   in
-  let run_batch paths jobs json slice warn_error quiet limits =
+  let run_batch paths reorder jobs json slice warn_error quiet limits =
     match List.map (fun p -> (p, read_file p)) paths with
     | sources ->
-        Kpt_analysis.Check.run_sources ?jobs:(jobs_opt jobs) ~budget:limits ~slice
-          ~warn_error ~quiet ~json Format.std_formatter sources
+        emit_outcome
+          (Kpt_analysis.Driver.check
+             {
+               Kpt_analysis.Driver.default_options with
+               jobs = jobs_opt jobs;
+               json;
+               warn_error;
+               quiet;
+               slice;
+               limits;
+               reorder;
+             }
+             sources)
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
         1
   in
-  let run () targets n a lossy fault jobs json slice warn_error quiet limits =
+  let run reorder targets n a lossy fault jobs json slice warn_error quiet limits =
     match targets with
     | [ name ] when List.mem_assoc name protos ->
+        (* the built-in-protocol path still runs in-process: give it the
+           requested reorder policy the way [reorder_term] used to *)
+        Engine.set_default_reorder_mode reorder;
         run_proto (List.assoc name protos) n a lossy fault limits
     | paths ->
         if fault <> None then begin
           Format.eprintf "error: --fault applies to built-in protocols only@.";
           2
         end
-        else run_batch paths jobs json slice warn_error quiet limits
+        else run_batch paths reorder jobs json slice warn_error quiet limits
   in
   Cmd.v
     (Cmd.info "check"
@@ -420,7 +449,7 @@ let check_cmd =
           files (lint + solve + stats, in parallel with $(b,-j); $(b,--timeout) is a \
           per-file deadline).")
     Term.(
-      const run $ reorder_term $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg
+      const run $ reorder_arg $ targets_arg $ n_arg $ a_arg $ lossy_arg $ fault_arg
       $ jobs_arg $ json_arg $ slice_arg $ warn_error_arg $ quiet_arg $ limits_term)
 
 (* ---- simulate -------------------------------------------------------------- *)
@@ -586,11 +615,21 @@ let lint_cmd =
             "Emit one machine-readable JSON report for the whole batch (the \
              $(b,kpt check --json) shape, minus the per-file stats).")
   in
-  let run () paths warn_error quiet jobs semantic json limits =
+  let run reorder paths warn_error quiet jobs semantic json limits =
     let sources = List.map (fun path -> (path, read_file path)) paths in
-    let budget = if Budget.is_unlimited limits then None else Some limits in
-    Kpt_analysis.Lint.run_sources ?jobs:(jobs_opt jobs) ~semantic ?budget ~json
-      ~warn_error ~quiet Format.std_formatter sources
+    emit_outcome
+      (Kpt_analysis.Driver.lint
+         {
+           Kpt_analysis.Driver.default_options with
+           jobs = jobs_opt jobs;
+           semantic;
+           json;
+           warn_error;
+           quiet;
+           limits;
+           reorder;
+         }
+         sources)
   in
   Cmd.v
     (Cmd.info "lint"
@@ -599,7 +638,7 @@ let lint_cmd =
           interference) on .unity source files; $(b,--semantic) adds the budgeted \
           reachability-aware KPT1xx tier.")
     Term.(
-      const run $ reorder_term $ files_arg $ warn_error $ quiet $ jobs_arg $ semantic
+      const run $ reorder_arg $ files_arg $ warn_error $ quiet $ jobs_arg $ semantic
       $ json $ limits_term)
 
 let slice_flag =
@@ -611,50 +650,22 @@ let slice_flag =
            knowledge guards; the verdict is preserved).")
 
 let solve_file_cmd =
-  let run () path slice trace limits =
-    with_trace trace @@ fun () ->
-    with_loaded path @@ fun (sp, kbp) ->
-    let kbp =
-      if not slice then kbp
-      else begin
-        let sliced, info = Kpt_analysis.Slice.kbp kbp in
-        if not (Kpt_analysis.Slice.is_identity info) then
-          Format.printf "sliced: dropped %d of %d statement(s) outside the cone@."
-            (List.length info.Kpt_analysis.Slice.dropped)
-            (List.length info.Kpt_analysis.Slice.kept
-            + List.length info.Kpt_analysis.Slice.dropped);
-        sliced
-      end
-    in
-    Format.printf "%a@.@." Kbp.pp kbp;
-    let code = ref 0 in
-    (match Engine.with_budget limits (fun () -> Kbp.solutions kbp) with
-    | [] ->
-        Format.printf "No solution: Ĝ(X) = X has no fixpoint (the KBP is not well-posed).@."
-    | sols ->
-        Format.printf "%d solution(s):@." (List.length sols);
-        List.iter (fun s -> Format.printf "  SI = %a@." (Space.pp_pred sp) s) sols
-    | exception Budget.Exhausted reason ->
-        Format.printf "Solution enumeration: budget exhausted (%s).@."
-          (Budget.reason_to_string reason);
-        code := exit_resource);
-    (match Kbp.solve ~budget:limits kbp with
-    | Kbp.Converged { si; steps } ->
-        Format.printf "Chaotic iteration converged in %d step(s) to %a@." steps
-          (Space.pp_pred sp) si
-    | Kbp.Diverged { orbit; _ } ->
-        Format.printf "Chaotic iteration diverges: cycle with period %d.@."
-          (List.length orbit)
-    | Kbp.Budget_exhausted { reason; steps; candidate } ->
-        Format.printf
-          "Chaotic iteration: budget exhausted (%s) after %d step(s); candidate X = %a@."
-          (Budget.reason_to_string reason) steps (Space.pp_pred sp) candidate;
-        code := exit_resource);
-    !code
+  let run reorder path slice trace limits =
+    emit_outcome
+      (Kpt_analysis.Driver.solve
+         ?sink:(live_trace_sink trace)
+         {
+           Kpt_analysis.Driver.default_options with
+           slice;
+           trace;
+           limits;
+           reorder;
+         }
+         [ (path, read_file path) ])
   in
   Cmd.v
     (Cmd.info "solve-file" ~doc:"Solve the knowledge-based protocol in a .unity file.")
-    Term.(const run $ reorder_term $ file_arg $ slice_flag $ trace_arg $ limits_term)
+    Term.(const run $ reorder_arg $ file_arg $ slice_flag $ trace_arg $ limits_term)
 
 (* ---- slice: cone-of-influence reduction as a transformation ------------------ *)
 
@@ -669,30 +680,16 @@ let slice_cmd =
              conservative seed is used: everything the protocol can observe, so only \
              write-only sinks are dropped.")
   in
-  let run () path wrt limits =
-    with_loaded path @@ fun (sp, kbp) ->
-    budgeted limits @@ fun () ->
-    try
-      let compile s =
-        try
-          Kpt_unity.Expr.compile_bool sp
-            (Kpt_syntax.Elaborate.expr sp (Kpt_syntax.Parser.expr_of_string s))
-        with
-        | Kpt_syntax.Elaborate.Elab_error (_, msg)
-        | Kpt_syntax.Parser.Parse_error (_, msg)
-        | Kpt_syntax.Token.Lex_error (_, msg) ->
-            failwith (Printf.sprintf "in %S: %s" s msg)
-      in
-      let wrt = List.map compile wrt in
-      let sliced, info = Kpt_analysis.Slice.kbp ~wrt kbp in
-      Format.printf "%s: @[<v>%a@]@." (Kbp.name kbp)
-        (Kpt_analysis.Slice.pp_info sp) info;
-      if not (Kpt_analysis.Slice.is_identity info) then
-        Format.printf "@.%a@." Kbp.pp sliced;
-      0
-    with Failure msg ->
-      Format.eprintf "error: %s@." msg;
-      1
+  let run reorder path wrt limits =
+    emit_outcome
+      (Kpt_analysis.Driver.slice
+         {
+           Kpt_analysis.Driver.default_options with
+           wrt;
+           limits;
+           reorder;
+         }
+         [ (path, read_file path) ])
   in
   Cmd.v
     (Cmd.info "slice"
@@ -701,7 +698,7 @@ let slice_cmd =
           can influence the property given with $(b,--wrt) (or anything the protocol \
           observes, without it).  Prints the cone, the kept/dropped statement names \
           and — when the slice is not the identity — the sliced protocol.")
-    Term.(const run $ reorder_term $ file_arg $ wrt_arg $ limits_term)
+    Term.(const run $ reorder_arg $ file_arg $ wrt_arg $ limits_term)
 
 let verify_cmd =
   let invariants =
@@ -828,57 +825,18 @@ let stats_cmd =
       non_empty & pos_all file []
       & info [] ~docv:"FILE" ~doc:"One or more .unity source files.")
   in
-  let run_one path json timings =
-    with_loaded path @@ fun loaded ->
-    match Kpt_analysis.Stats.collect ~file:path loaded with
-    | st ->
-        if json then print_string (Kpt_analysis.Stats.to_json ~timings st)
-        else Format.printf "%a@." Kpt_analysis.Stats.pp st;
-        0
-    | exception Failure msg ->
-        Format.eprintf "error: %s@." msg;
-        1
-  in
-  (* single-file output is exactly the historical one; several files are
-     profiled on the pool (each under its own engine, so every profile is
-     the same one `kpt stats FILE` alone would print) and rendered in
-     input order — as a JSON array under --json *)
-  let run_many paths json timings jobs =
+  let run reorder paths json timings jobs =
     let sources = List.map (fun path -> (path, read_file path)) paths in
-    let collected =
-      Kpt_par.try_map ?jobs:(jobs_opt jobs)
-        (fun (file, src) ->
-          let sp, kbp =
-            Kpt_syntax.Elaborate.program (Kpt_syntax.Parser.program_of_string src)
-          in
-          Kpt_analysis.Stats.collect ~file (sp, kbp))
-        sources
-    in
-    let code = ref 0 in
-    if json then print_string "[\n";
-    List.iteri
-      (fun i r ->
-        match r with
-        | Ok st ->
-            if json then begin
-              if i > 0 then print_string ",\n";
-              print_string (Kpt_analysis.Stats.to_json ~timings st)
-            end
-            else Format.printf "%a@." Kpt_analysis.Stats.pp st
-        | Error exn ->
-            code := 1;
-            let file = List.nth paths i in
-            (match Kpt_analysis.Diagnostic.of_syntax_exn ~file exn with
-            | Some d -> Format.eprintf "%a@." Kpt_analysis.Diagnostic.pp d
-            | None -> Format.eprintf "error: %s: %s@." file (Printexc.to_string exn)))
-      collected;
-    if json then print_string "]\n";
-    !code
-  in
-  let run () paths json timings jobs =
-    match paths with
-    | [ path ] -> run_one path json timings
-    | paths -> run_many paths json timings jobs
+    emit_outcome
+      (Kpt_analysis.Driver.stats
+         {
+           Kpt_analysis.Driver.default_options with
+           jobs = jobs_opt jobs;
+           json;
+           timings;
+           reorder;
+         }
+         sources)
   in
   Cmd.v
     (Cmd.info "stats"
@@ -886,7 +844,7 @@ let stats_cmd =
          "Profile the engine on .unity files: op-cache hit rate, node counts, fixpoint \
           iteration depths and exact state-space size.  Several files are profiled in \
           parallel with $(b,-j).")
-    Term.(const run $ reorder_term $ files_arg $ json $ timings $ jobs_arg)
+    Term.(const run $ reorder_arg $ files_arg $ json $ timings $ jobs_arg)
 
 (* ---- matrix: protocols × fault models ---------------------------------------- *)
 
@@ -1005,6 +963,243 @@ let knowledge_cmd =
     (Cmd.info "knowledge" ~doc:"Query the knowledge predicate K_P(φ) on a .unity program.")
     Term.(const run $ file_arg $ process_arg $ fact_arg $ common_arg)
 
+(* ---- serve / client: the warm-engine daemon ---------------------------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:
+          "Unix-domain socket path.  Default: $(b,KPT_SOCKET), or \
+           <tmpdir>/kpt-serve-<uid>.sock.")
+
+let resolve_socket = function
+  | Some s -> s
+  | None -> Kpt_serve.Server.default_socket ()
+
+let serve_cmd =
+  let cache_size_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "cache-size" ] ~docv:"N"
+          ~doc:
+            "Result-cache capacity in entries (LRU eviction; 0 disables the cache).  \
+             Keys are content hashes of (spec bytes, options, engine policy), so an \
+             edited file or a changed flag always misses.")
+  in
+  let run socket cache_size =
+    Kpt_serve.Server.run
+      { Kpt_serve.Server.socket_path = resolve_socket socket; cache_size }
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the verification daemon: a Unix-domain-socket server that answers \
+          check/lint/stats/solve/slice requests from $(b,kpt client) against the \
+          warm in-process engine pool, with a content-addressed LRU result cache.  \
+          Responses are byte-identical to the direct commands.  Ctrl-C drains the \
+          in-flight request (the client sees a structured exit-130 error), removes \
+          the socket and exits 130; a $(b,shutdown) request exits 0.")
+    Term.(const run $ socket_arg $ cache_size_arg)
+
+let client_cmd =
+  let serve_auto_arg =
+    Arg.(
+      value & flag
+      & info [ "serve-auto" ]
+          ~doc:
+            "If no daemon is reachable, run the command locally through the same \
+             driver instead of failing — same bytes, same exit code, just cold.")
+  in
+  let files_pos =
+    Arg.(
+      non_empty & pos_all file []
+      & info [] ~docv:"FILE" ~doc:"One or more .unity source files.")
+  in
+  let file_pos =
+    Arg.(
+      required & pos 0 (some file) None
+      & info [] ~docv:"FILE" ~doc:"A .unity source file.")
+  in
+  let json_arg =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the machine-readable JSON form.")
+  in
+  let warn_error_arg =
+    Arg.(
+      value & flag
+      & info [ "warn-error" ] ~doc:"Treat warnings as errors for the exit code.")
+  in
+  let quiet_arg =
+    Arg.(
+      value & flag
+      & info [ "q"; "quiet" ]
+          ~doc:"Print nothing; communicate through the exit code only.")
+  in
+  let slice_arg =
+    Arg.(
+      value & flag
+      & info [ "slice" ]
+          ~doc:"Reduce each protocol to its cone of influence before solving.")
+  in
+  let semantic_arg =
+    Arg.(
+      value & flag
+      & info [ "semantic" ] ~doc:"Add the semantic lint tier (KPT1xx).")
+  in
+  let timings_arg =
+    Arg.(
+      value & flag
+      & info [ "timings" ]
+          ~doc:"Include the (nondeterministic) timings_ns section in --json.")
+  in
+  let wrt_arg =
+    Arg.(
+      value & opt_all string []
+      & info [ "wrt" ] ~docv:"EXPR"
+          ~doc:"Slice with respect to this property (repeatable).")
+  in
+  (* files are read client-side: the daemon sees spec bytes, never paths,
+     so the cache key is content-addressed and the daemon needs no access
+     to the client's filesystem *)
+  let roundtrip socket serve_auto cmd opts paths =
+    match List.map (fun p -> (p, read_file p)) paths with
+    | files ->
+        Kpt_serve.Client.run_cli ~socket:(resolve_socket socket) ~serve_auto
+          { Kpt_serve.Protocol.id = 1; cmd; files; opts }
+    | exception Sys_error msg ->
+        Format.eprintf "error: %s@." msg;
+        1
+  in
+  let check_sub =
+    let run socket serve_auto paths reorder jobs json slice warn_error quiet limits =
+      roundtrip socket serve_auto Kpt_serve.Protocol.Check
+        {
+          Kpt_analysis.Driver.default_options with
+          jobs = jobs_opt jobs;
+          json;
+          slice;
+          warn_error;
+          quiet;
+          limits;
+          reorder;
+        }
+        paths
+    in
+    Cmd.v
+      (Cmd.info "check" ~doc:"Batch-check .unity files through the daemon.")
+      Term.(
+        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
+        $ json_arg $ slice_arg $ warn_error_arg $ quiet_arg $ limits_term)
+  in
+  let lint_sub =
+    let run socket serve_auto paths reorder jobs semantic json warn_error quiet limits =
+      roundtrip socket serve_auto Kpt_serve.Protocol.Lint
+        {
+          Kpt_analysis.Driver.default_options with
+          jobs = jobs_opt jobs;
+          semantic;
+          json;
+          warn_error;
+          quiet;
+          limits;
+          reorder;
+        }
+        paths
+    in
+    Cmd.v
+      (Cmd.info "lint" ~doc:"Lint .unity files through the daemon.")
+      Term.(
+        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
+        $ semantic_arg $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
+  in
+  let stats_sub =
+    let run socket serve_auto paths reorder jobs json timings =
+      roundtrip socket serve_auto Kpt_serve.Protocol.Stats
+        {
+          Kpt_analysis.Driver.default_options with
+          jobs = jobs_opt jobs;
+          json;
+          timings;
+          reorder;
+        }
+        paths
+    in
+    Cmd.v
+      (Cmd.info "stats" ~doc:"Profile .unity files through the daemon.")
+      Term.(
+        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
+        $ json_arg $ timings_arg)
+  in
+  let solve_sub =
+    let run socket serve_auto path reorder slice trace limits =
+      roundtrip socket serve_auto Kpt_serve.Protocol.Solve
+        {
+          Kpt_analysis.Driver.default_options with
+          slice;
+          trace;
+          limits;
+          reorder;
+        }
+        [ path ]
+    in
+    Cmd.v
+      (Cmd.info "solve"
+         ~doc:
+           "Solve a knowledge-based protocol through the daemon.  With $(b,--trace) \
+            the fixpoint events stream back live over the wire.")
+      Term.(
+        const run $ socket_arg $ serve_auto_arg $ file_pos $ reorder_arg $ slice_flag
+        $ trace_arg $ limits_term)
+  in
+  let slice_sub =
+    let run socket serve_auto path reorder wrt limits =
+      roundtrip socket serve_auto Kpt_serve.Protocol.Slice
+        {
+          Kpt_analysis.Driver.default_options with
+          wrt;
+          limits;
+          reorder;
+        }
+        [ path ]
+    in
+    Cmd.v
+      (Cmd.info "slice" ~doc:"Cone-of-influence slice through the daemon.")
+      Term.(
+        const run $ socket_arg $ serve_auto_arg $ file_pos $ reorder_arg $ wrt_arg
+        $ limits_term)
+  in
+  let control cmd =
+    fun socket ->
+      Kpt_serve.Client.run_cli ~socket:(resolve_socket socket) ~serve_auto:false
+        {
+          Kpt_serve.Protocol.id = 1;
+          cmd;
+          files = [];
+          opts = Kpt_analysis.Driver.default_options;
+        }
+  in
+  let ping_sub =
+    Cmd.v
+      (Cmd.info "ping"
+         ~doc:
+           "Check the daemon is alive and print its counters (requests served, \
+            cache entries/hits/misses/evictions, pool size).")
+      Term.(const (control Kpt_serve.Protocol.Ping) $ socket_arg)
+  in
+  let shutdown_sub =
+    Cmd.v
+      (Cmd.info "shutdown" ~doc:"Ask the daemon to exit cleanly (it removes its socket).")
+      Term.(const (control Kpt_serve.Protocol.Shutdown) $ socket_arg)
+  in
+  Cmd.group
+    (Cmd.info "client"
+       ~doc:
+         "Send a command to a running $(b,kpt serve) daemon over its Unix socket.  \
+          Output and exit codes are byte-identical to the direct commands; repeated \
+          identical requests are answered from the daemon's result cache.")
+    [ check_sub; lint_sub; stats_sub; solve_sub; slice_sub; ping_sub; shutdown_sub ]
+
 (* The CLI's robustness boundary.  [catch_break] turns Ctrl-C into
    [Sys.Break], which the pool drains cooperatively and we render as a
    partial-progress summary (exit 130, the conventional SIGINT code).
@@ -1031,7 +1226,7 @@ let () =
            [
              experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
              lint_cmd; slice_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
-             matrix_cmd;
+             matrix_cmd; serve_cmd; client_cmd;
            ])
     with
     | Sys.Break ->

@@ -1,0 +1,73 @@
+(** String-returning command drivers — the single implementation behind
+    both the [kpt] CLI and the [kpt serve] daemon.
+
+    Each function here is one CLI command body (the batch form of
+    [kpt check], [kpt lint], [kpt stats], [kpt solve-file], [kpt slice])
+    refactored to {e return} its rendered output instead of printing it:
+    the CLI prints the strings, the daemon ships them over the wire, and
+    byte-identity between the two is structural rather than pinned by
+    sampling.
+
+    {b Per-request scoping.}  Every call runs under a fresh {!Engine.t}
+    ({!Kpt_obs.Ctx.reset} on its zeroed context, belt and braces), arms
+    its budget {e at call time} (so a [--timeout] deadline is relative
+    to request start, never to daemon start or engine creation), applies
+    the requested reorder policy as the process default for the duration
+    (restored afterwards — pool-task engines follow the default), and
+    merges the engine's metrics into the caller's context before
+    returning.  Nothing armed, counted or hooked for one call is visible
+    to the next — the warm-engine invariant the serve tests pin. *)
+
+open Kpt_predicate
+
+type options = {
+  jobs : int option;  (** pool width for multi-file commands; [None] = auto *)
+  json : bool;
+  warn_error : bool;
+  quiet : bool;
+  slice : bool;  (** verdict-preserving cone-of-influence reduction *)
+  semantic : bool;  (** [kpt lint --semantic] (KPT1xx tier) *)
+  timings : bool;  (** [kpt stats --json --timings] *)
+  trace : bool;  (** stream fixpoint events (to [err], or a custom sink) *)
+  wrt : string list;  (** [kpt slice --wrt] properties, in option order *)
+  limits : Budget.limits;
+  reorder : Engine.reorder_mode;
+}
+
+val default_options : options
+(** Everything off, no budget, [reorder = Reorder_off] (the in-process
+    default; the CLI passes its own [--reorder] value, default [auto]). *)
+
+type outcome = {
+  code : int;  (** the CLI exit code: 0 ok, 1 findings, 2 usage, 3 budget *)
+  out : string;  (** bytes the command would write to stdout *)
+  err : string;  (** bytes the command would write to stderr *)
+}
+
+type sink = string -> (string * int) list -> unit
+(** A {!Kpt_obs} event sink.  When given, it replaces the default
+    [trace] rendering (events into [err]) — the daemon streams events
+    over the socket this way. *)
+
+val check : ?sink:sink -> options -> (string * string) list -> outcome
+(** The batch form of [kpt check]: [(file, source)] pairs through
+    {!Check.run_sources}.  (The built-in-protocol form stays in the
+    CLI.) *)
+
+val lint : ?sink:sink -> options -> (string * string) list -> outcome
+(** [kpt lint] via {!Lint.run_sources}; [options.semantic] adds the
+    KPT1xx tier, [options.limits] overrides its analysis budget. *)
+
+val stats : ?sink:sink -> options -> (string * string) list -> outcome
+(** [kpt stats]: one file keeps the historical single-file rendering;
+    several files are profiled on the pool and rendered in input order
+    (a JSON array under [options.json]). *)
+
+val solve : ?sink:sink -> options -> (string * string) list -> outcome
+(** [kpt solve-file] on the first source: pretty-print the (optionally
+    sliced) KBP, enumerate the Ĝ fixpoints, then run the chaotic
+    iteration — budget exhaustion degrades to code 3 with a partial
+    result, exactly like the CLI. *)
+
+val slice : ?sink:sink -> options -> (string * string) list -> outcome
+(** [kpt slice] on the first source, with respect to [options.wrt]. *)

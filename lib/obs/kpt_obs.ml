@@ -163,11 +163,12 @@ let spans_of t =
 
 let spans () = spans_of (current_ctx ())
 
-let reset () =
-  let t = current_ctx () in
+let reset_ctx t =
   Array.fill t.cvals 0 (Array.length t.cvals) 0;
   Array.fill t.stotal 0 (Array.length t.stotal) 0;
   Array.fill t.scalls 0 (Array.length t.scalls) 0
+
+let reset () = reset_ctx (current_ctx ())
 
 (* ---- event sink ------------------------------------------------------------ *)
 
@@ -228,6 +229,8 @@ module Ctx = struct
 
   let counters = counters_of
   let spans = spans_of
+  let reset = reset_ctx
+  let set_sink t f = t.sink <- f
 end
 
 (* ---- the bench gate -------------------------------------------------------- *)

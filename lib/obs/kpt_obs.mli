@@ -142,6 +142,18 @@ module Ctx : sig
 
   val spans : t -> (string * int64 * int) list
   (** {!spans}, but of an explicit context. *)
+
+  val reset : t -> unit
+  (** {!reset}, but of an explicit context: zero every counter and span
+      of [t], keeping the registry and the sink.  The serve daemon calls
+      this between requests so no counter or span value from one request
+      is ever visible to the next. *)
+
+  val set_sink : t -> (string -> (string * int) list -> unit) option -> unit
+  (** Install or remove the sink of an explicit context — the way a
+      request handler arranges event streaming for an engine it is about
+      to run ({!use} + the global {!set_sink} would race nothing, but
+      this spelling works before the context is current). *)
 end
 
 (** {1 The bench gate} *)

@@ -34,6 +34,7 @@ val recommended_jobs : unit -> int
 
 val try_map :
   ?jobs:int ->
+  ?oversubscribe:bool ->
   ?task_budget:Kpt_predicate.Budget.limits ->
   ('a -> 'b) ->
   'a list ->
@@ -44,6 +45,18 @@ val try_map :
     the input.  A task that raises yields [Error exn] in its own slot
     and does not disturb its siblings — the property the batch driver
     relies on for "one unparsable file must not poison the rest".
+
+    {b Pool-width contract.}  The resident pool grows to the widest
+    width any batch has requested and never shrinks: a batch whose
+    (clamped) width exceeds the current {!pool_size} spawns the missing
+    helper domains, and a narrower batch simply wakes fewer of them —
+    [-j] is never silently frozen at the first batch's value.  The one
+    width reduction applied is the hardware clamp
+    [min jobs (Domain.recommended_domain_count ())]; pass
+    [~oversubscribe:true] (or set [KPT_POOL_OVERSUBSCRIBE=1]) to lift
+    it, accepting the GC-rendezvous tax — results are identical either
+    way, which is how the growth contract stays testable on a
+    single-core host.
 
     [task_budget] arms a {e fresh} budget on the task's engine when the
     task starts (so a [--timeout] deadline bounds each task, not the

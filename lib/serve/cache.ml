@@ -1,0 +1,84 @@
+(* LRU by logical clock: every access stamps the entry with a fresh
+   tick, eviction scans for the minimum stamp.  An O(entries) scan per
+   eviction — entries is the configured bound (hundreds), evictions only
+   happen on insert, and each cached value took milliseconds to compute,
+   so a linked-list LRU would be complexity without a measurement. *)
+
+type 'a entry = { mutable value : 'a; mutable stamp : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+}
+
+let create ~capacity =
+  {
+    capacity;
+    tbl = Hashtbl.create (max 16 capacity);
+    tick = 0;
+    hits = 0;
+    misses = 0;
+    evictions = 0;
+  }
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+let stats (t : 'a t) =
+  {
+    entries = Hashtbl.length t.tbl;
+    capacity = t.capacity;
+    hits = t.hits;
+    misses = t.misses;
+    evictions = t.evictions;
+  }
+
+let touch (t : 'a t) e =
+  t.tick <- t.tick + 1;
+  e.stamp <- t.tick
+
+let find (t : 'a t) key =
+  match Hashtbl.find_opt t.tbl key with
+  | Some e when t.capacity > 0 ->
+      touch t e;
+      t.hits <- t.hits + 1;
+      Some e.value
+  | _ ->
+      t.misses <- t.misses + 1;
+      None
+
+let evict_lru (t : 'a t) =
+  let victim =
+    Hashtbl.fold
+      (fun key e acc ->
+        match acc with
+        | Some (_, stamp) when stamp <= e.stamp -> acc
+        | _ -> Some (key, e.stamp))
+      t.tbl None
+  in
+  match victim with
+  | Some (key, _) ->
+      Hashtbl.remove t.tbl key;
+      t.evictions <- t.evictions + 1
+  | None -> ()
+
+let add (t : 'a t) key value =
+  if t.capacity > 0 then
+    match Hashtbl.find_opt t.tbl key with
+    | Some e ->
+        e.value <- value;
+        touch t e
+    | None ->
+        if Hashtbl.length t.tbl >= t.capacity then evict_lru t;
+        let e = { value; stamp = 0 } in
+        touch t e;
+        Hashtbl.add t.tbl key e

@@ -1,0 +1,27 @@
+(** A bounded LRU map from content-address keys to cached results.
+
+    Not thread-safe — the daemon serves requests sequentially (the
+    parallelism lives {e inside} a request, in the {!Kpt_par} pool). *)
+
+type 'a t
+
+val create : capacity:int -> 'a t
+(** [capacity <= 0] disables the cache: every {!find} misses and
+    {!add} is a no-op (the stats still count the misses). *)
+
+type stats = {
+  entries : int;
+  capacity : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+}
+
+val stats : 'a t -> stats
+
+val find : 'a t -> string -> 'a option
+(** A hit refreshes the entry's recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Insert (or refresh) [key]; when the cache is full the
+    least-recently-used entry is evicted first. *)

@@ -1,0 +1,98 @@
+open Kpt_analysis
+
+type connection = { fd : Unix.file_descr; ic : in_channel; oc : out_channel }
+
+let connect ~socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match Unix.connect fd (Unix.ADDR_UNIX socket) with
+  | () -> Ok { fd; ic = Unix.in_channel_of_descr fd; oc = Unix.out_channel_of_descr fd }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      Error (Unix.error_message e)
+
+let close c = try Unix.close c.fd with Unix.Unix_error _ -> ()
+
+let send_line c line =
+  output_string c.oc line;
+  output_char c.oc '\n';
+  flush c.oc
+
+let send_request c req = send_line c (Json.to_string (Protocol.request_to_json req))
+
+let read_response ?(on_event = fun _ _ -> ()) c =
+  let rec loop () =
+    match input_line c.ic with
+    | exception End_of_file -> Error "connection closed before a reply arrived"
+    | line -> (
+        match Protocol.response_of_json (Json.of_string line) with
+        | exception Json.Parse_error msg -> Error ("malformed frame: " ^ msg)
+        | Error msg -> Error msg
+        | Ok (Protocol.Event { name; fields; _ }) ->
+            on_event name fields;
+            loop ()
+        | Ok frame -> Ok frame)
+  in
+  loop ()
+
+let roundtrip ?on_event ~socket req =
+  match connect ~socket with
+  | Error msg -> Error msg
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          send_request c req;
+          read_response ?on_event c)
+
+(* ---- the CLI body ----------------------------------------------------------- *)
+
+let emit_outcome (o : Driver.outcome) =
+  print_string o.Driver.out;
+  flush stdout;
+  prerr_string o.Driver.err;
+  flush stderr;
+  o.Driver.code
+
+(* events render exactly as the local --trace sink would, to stderr,
+   live as they arrive *)
+let render_event name fields =
+  Kpt_obs.trace_sink Format.err_formatter name fields
+
+let run_cli ~socket ~serve_auto (req : Protocol.request) =
+  match connect ~socket with
+  | Ok c ->
+      Fun.protect
+        ~finally:(fun () -> close c)
+        (fun () ->
+          send_request c req;
+          match read_response ~on_event:render_event c with
+          | Ok (Protocol.Result { exit_code; out; err; daemon; _ }) ->
+              let code = emit_outcome { Driver.code = exit_code; out; err } in
+              if daemon <> [] then begin
+                List.iter
+                  (fun (k, v) -> Format.printf "  %-16s %d@." k v)
+                  daemon;
+                Format.pp_print_flush Format.std_formatter ()
+              end;
+              code
+          | Ok (Protocol.Error_frame { exit_code; message; _ }) ->
+              Format.eprintf "error: %s@." message;
+              exit_code
+          | Ok (Protocol.Event _) -> assert false (* read_response consumes events *)
+          | Error msg ->
+              Format.eprintf "error: %s@." msg;
+              2)
+  | Error reason -> (
+      match req.Protocol.cmd with
+      | Protocol.Check | Protocol.Lint | Protocol.Stats | Protocol.Solve
+      | Protocol.Slice
+        when serve_auto ->
+          (* same driver the daemon would run: same bytes, same code *)
+          emit_outcome
+            (Handler.dispatch req.Protocol.cmd req.Protocol.opts req.Protocol.files)
+      | _ ->
+          Format.eprintf
+            "error: cannot reach a kpt daemon at %s (%s); start one with `kpt serve`%s@."
+            socket reason
+            (if serve_auto then "" else " or pass --serve-auto");
+          2)

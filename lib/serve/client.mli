@@ -1,0 +1,41 @@
+(** The client side of the wire protocol: connect, send one request,
+    stream events, read the final frame.
+
+    {!run_cli} is the [kpt client] command body: it prints the
+    response's [stdout]/[stderr] bytes to the real streams (so a served
+    answer is byte-identical to the direct command) and returns the
+    daemon-reported exit code — the exit-code contract crosses the wire
+    unchanged, including 3 (budget exhausted) and 130 (daemon
+    interrupted mid-request). *)
+
+type connection
+
+val connect : socket:string -> (connection, string) result
+val close : connection -> unit
+
+val send_request : connection -> Protocol.request -> unit
+
+val send_line : connection -> string -> unit
+(** Ship one raw line (tests use this to exercise malformed-request
+    handling). *)
+
+val read_response :
+  ?on_event:(string -> (string * int) list -> unit) ->
+  connection ->
+  (Protocol.response, string) result
+(** Read frames until a [result]/[error] frame arrives; [event] frames
+    are fed to [on_event] (dropped by default).  [Error] on a closed
+    connection or an undecodable frame. *)
+
+val roundtrip :
+  ?on_event:(string -> (string * int) list -> unit) ->
+  socket:string ->
+  Protocol.request ->
+  (Protocol.response, string) result
+(** [connect] + {!send_request} + {!read_response} + {!close}. *)
+
+val run_cli : socket:string -> serve_auto:bool -> Protocol.request -> int
+(** The [kpt client] body.  When no daemon is reachable:
+    [~serve_auto:true] falls back to running the command locally
+    ({!Handler.dispatch} — same driver, same bytes, same exit code);
+    otherwise prints a hint and returns 2. *)

@@ -1,0 +1,34 @@
+open Kpt_analysis
+
+type t = { cache : Driver.outcome Cache.t; mutable requests : int }
+
+let create ~cache_size = { cache = Cache.create ~capacity:cache_size; requests = 0 }
+
+let dispatch ?sink cmd opts files =
+  match (cmd : Protocol.cmd) with
+  | Check -> Driver.check ?sink opts files
+  | Lint -> Driver.lint ?sink opts files
+  | Stats -> Driver.stats ?sink opts files
+  | Solve -> Driver.solve ?sink opts files
+  | Slice -> Driver.slice ?sink opts files
+  | Ping | Shutdown ->
+      invalid_arg "Handler.dispatch: ping/shutdown are transport commands"
+
+(* Cache only the deterministic outcomes: 0 (ok) and 1 (findings).
+   Usage errors are cheap to recompute, and a budget-exhausted answer
+   (exit 3) depends on machine state whenever --timeout is involved —
+   a faster moment deserves a fresh run, not a replayed failure. *)
+let cacheable (o : Driver.outcome) = o.code = 0 || o.code = 1
+
+let handle ?sink t (req : Protocol.request) =
+  t.requests <- t.requests + 1;
+  let key = Protocol.cache_key req in
+  match Cache.find t.cache key with
+  | Some outcome -> (outcome, true)
+  | None ->
+      let outcome = dispatch ?sink req.cmd req.opts req.files in
+      if cacheable outcome then Cache.add t.cache key outcome;
+      (outcome, false)
+
+let requests t = t.requests
+let cache_stats t = Cache.stats t.cache

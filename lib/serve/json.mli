@@ -1,0 +1,34 @@
+(** A minimal JSON value type with a compact printer and a strict
+    parser — just enough for the serve wire protocol, with zero
+    dependencies beyond the stdlib.
+
+    The printer emits no newlines (control characters in strings are
+    escaped), so one encoded value is always one line — the framing
+    invariant of the newline-delimited protocol. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+val to_string : t -> string
+(** Compact (single-line) encoding. *)
+
+val of_string : string -> t
+(** Strict parse of exactly one value (trailing whitespace allowed).
+    @raise Parse_error on malformed input. *)
+
+val member : string -> t -> t option
+(** [member k (Obj …)] is the value under key [k]; [None] when the key
+    is absent or the value is not an object. *)
+
+val to_int : t -> int option
+val to_bool : t -> bool option
+val to_str : t -> string option
+val to_list : t -> t list option

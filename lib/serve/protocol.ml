@@ -1,0 +1,272 @@
+open Kpt_predicate
+open Kpt_analysis
+
+let version = 1
+
+type cmd = Check | Lint | Stats | Solve | Slice | Ping | Shutdown
+
+let cmd_to_string = function
+  | Check -> "check"
+  | Lint -> "lint"
+  | Stats -> "stats"
+  | Solve -> "solve"
+  | Slice -> "slice"
+  | Ping -> "ping"
+  | Shutdown -> "shutdown"
+
+let cmd_of_string = function
+  | "check" -> Some Check
+  | "lint" -> Some Lint
+  | "stats" -> Some Stats
+  | "solve" -> Some Solve
+  | "slice" -> Some Slice
+  | "ping" -> Some Ping
+  | "shutdown" -> Some Shutdown
+  | _ -> None
+
+type request = {
+  id : int;
+  cmd : cmd;
+  files : (string * string) list;
+  opts : Driver.options;
+}
+
+(* ---- options <-> JSON ------------------------------------------------------ *)
+
+let reorder_to_string = function
+  | Engine.Reorder_auto -> "auto"
+  | Engine.Reorder_off -> "off"
+  | Engine.Reorder_manual -> "manual"
+
+let reorder_of_string = function
+  | "auto" -> Some Engine.Reorder_auto
+  | "off" -> Some Engine.Reorder_off
+  | "manual" -> Some Engine.Reorder_manual
+  | _ -> None
+
+(* 0 = unset for the numeric options, so the encoding needs no nulls *)
+let opts_to_json (o : Driver.options) =
+  Json.Obj
+    [
+      ("jobs", Json.Int (match o.jobs with Some j -> j | None -> 0));
+      ("json", Json.Bool o.json);
+      ("warn_error", Json.Bool o.warn_error);
+      ("quiet", Json.Bool o.quiet);
+      ("slice", Json.Bool o.slice);
+      ("semantic", Json.Bool o.semantic);
+      ("timings", Json.Bool o.timings);
+      ("trace", Json.Bool o.trace);
+      ("wrt", Json.List (List.map (fun s -> Json.String s) o.wrt));
+      ( "timeout_ns",
+        Json.Int
+          (match o.limits.Budget.timeout_ns with
+          | Some t -> Int64.to_int t
+          | None -> 0) );
+      ("fuel", Json.Int (match o.limits.Budget.fuel with Some f -> f | None -> 0));
+      ( "max_nodes",
+        Json.Int (match o.limits.Budget.max_nodes with Some m -> m | None -> 0) );
+      ("reorder", Json.String (reorder_to_string o.reorder));
+    ]
+
+let opts_of_json j : (Driver.options, string) result =
+  let bool_f k = Option.bind (Json.member k j) Json.to_bool |> Option.value ~default:false in
+  let int_f k = Option.bind (Json.member k j) Json.to_int |> Option.value ~default:0 in
+  let pos i = if i > 0 then Some i else None in
+  let wrt =
+    match Option.bind (Json.member "wrt" j) Json.to_list with
+    | Some l -> List.filter_map Json.to_str l
+    | None -> []
+  in
+  let reorder_s =
+    Option.bind (Json.member "reorder" j) Json.to_str |> Option.value ~default:"off"
+  in
+  match reorder_of_string reorder_s with
+  | None -> Error (Printf.sprintf "unknown reorder mode %S" reorder_s)
+  | Some reorder ->
+      Ok
+        {
+          Driver.jobs = pos (int_f "jobs");
+          json = bool_f "json";
+          warn_error = bool_f "warn_error";
+          quiet = bool_f "quiet";
+          slice = bool_f "slice";
+          semantic = bool_f "semantic";
+          timings = bool_f "timings";
+          trace = bool_f "trace";
+          wrt;
+          limits =
+            Budget.limits
+              ?timeout_ns:(Option.map Int64.of_int (pos (int_f "timeout_ns")))
+              ?fuel:(pos (int_f "fuel"))
+              ?max_nodes:(pos (int_f "max_nodes"))
+              ();
+          reorder;
+        }
+
+(* ---- requests -------------------------------------------------------------- *)
+
+let files_to_json files =
+  Json.List
+    (List.map
+       (fun (path, source) ->
+         Json.Obj [ ("path", Json.String path); ("source", Json.String source) ])
+       files)
+
+let request_to_json r =
+  Json.Obj
+    [
+      ("v", Json.Int version);
+      ("id", Json.Int r.id);
+      ("cmd", Json.String (cmd_to_string r.cmd));
+      ("files", files_to_json r.files);
+      ("opts", opts_to_json r.opts);
+    ]
+
+let request_of_json j : (request, string) result =
+  let ( let* ) = Result.bind in
+  let* () =
+    match Option.bind (Json.member "v" j) Json.to_int with
+    | Some v when v = version -> Ok ()
+    | Some v -> Error (Printf.sprintf "protocol version %d, this daemon speaks %d" v version)
+    | None -> Error "missing protocol version field \"v\""
+  in
+  let id = Option.bind (Json.member "id" j) Json.to_int |> Option.value ~default:0 in
+  let* cmd =
+    match Option.bind (Json.member "cmd" j) Json.to_str with
+    | None -> Error "missing command field \"cmd\""
+    | Some s -> (
+        match cmd_of_string s with
+        | Some c -> Ok c
+        | None -> Error (Printf.sprintf "unknown command %S" s))
+  in
+  let* files =
+    match Option.bind (Json.member "files" j) Json.to_list with
+    | None -> Ok []
+    | Some l ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | f :: rest -> (
+              match
+                ( Option.bind (Json.member "path" f) Json.to_str,
+                  Option.bind (Json.member "source" f) Json.to_str )
+              with
+              | Some p, Some s -> go ((p, s) :: acc) rest
+              | _ -> Error "malformed files entry: need string \"path\" and \"source\"")
+        in
+        go [] l
+  in
+  let* opts =
+    match Json.member "opts" j with
+    | Some o -> opts_of_json o
+    | None -> Ok Driver.default_options
+  in
+  Ok { id; cmd; files; opts }
+
+(* ---- responses ------------------------------------------------------------- *)
+
+type response =
+  | Result of {
+      id : int;
+      exit_code : int;
+      cached : bool;
+      out : string;
+      err : string;
+      daemon : (string * int) list;
+    }
+  | Event of { id : int; name : string; fields : (string * int) list }
+  | Error_frame of { id : int; exit_code : int; message : string }
+
+let response_to_json = function
+  | Result { id; exit_code; cached; out; err; daemon } ->
+      Json.Obj
+        ([
+           ("id", Json.Int id);
+           ("type", Json.String "result");
+           ("exit", Json.Int exit_code);
+           ("cached", Json.Bool cached);
+           ("stdout", Json.String out);
+           ("stderr", Json.String err);
+         ]
+        @
+        if daemon = [] then []
+        else [ ("daemon", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) daemon)) ])
+  | Event { id; name; fields } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("type", Json.String "event");
+          ("name", Json.String name);
+          ("fields", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) fields));
+        ]
+  | Error_frame { id; exit_code; message } ->
+      Json.Obj
+        [
+          ("id", Json.Int id);
+          ("type", Json.String "error");
+          ("exit", Json.Int exit_code);
+          ("error", Json.String message);
+        ]
+
+let response_of_json j : (response, string) result =
+  let id = Option.bind (Json.member "id" j) Json.to_int |> Option.value ~default:0 in
+  let int_fields k =
+    match Option.bind (Json.member k j) (fun v -> match v with Json.Obj kvs -> Some kvs | _ -> None) with
+    | Some kvs -> List.filter_map (fun (k, v) -> Option.map (fun i -> (k, i)) (Json.to_int v)) kvs
+    | None -> []
+  in
+  match Option.bind (Json.member "type" j) Json.to_str with
+  | Some "result" ->
+      Ok
+        (Result
+           {
+             id;
+             exit_code =
+               Option.bind (Json.member "exit" j) Json.to_int |> Option.value ~default:0;
+             cached =
+               Option.bind (Json.member "cached" j) Json.to_bool
+               |> Option.value ~default:false;
+             out =
+               Option.bind (Json.member "stdout" j) Json.to_str |> Option.value ~default:"";
+             err =
+               Option.bind (Json.member "stderr" j) Json.to_str |> Option.value ~default:"";
+             daemon = int_fields "daemon";
+           })
+  | Some "event" ->
+      Ok
+        (Event
+           {
+             id;
+             name =
+               Option.bind (Json.member "name" j) Json.to_str |> Option.value ~default:"";
+             fields = int_fields "fields";
+           })
+  | Some "error" ->
+      Ok
+        (Error_frame
+           {
+             id;
+             exit_code =
+               Option.bind (Json.member "exit" j) Json.to_int |> Option.value ~default:1;
+             message =
+               Option.bind (Json.member "error" j) Json.to_str |> Option.value ~default:"";
+           })
+  | Some t -> Error (Printf.sprintf "unknown frame type %S" t)
+  | None -> Error "missing frame type"
+
+(* ---- the content address --------------------------------------------------- *)
+
+let cache_key r =
+  (* transport bookkeeping ([id]), pool width ([jobs] — the output is
+     pool-size-independent by contract) and [trace] (auxiliary event
+     stream) do not address the answer *)
+  let key_opts = { r.opts with Driver.jobs = None; trace = false } in
+  let canonical =
+    Json.Obj
+      [
+        ("v", Json.Int version);
+        ("cmd", Json.String (cmd_to_string r.cmd));
+        ("files", files_to_json r.files);
+        ("opts", opts_to_json key_opts);
+      ]
+  in
+  Digest.to_hex (Digest.string (Json.to_string canonical))

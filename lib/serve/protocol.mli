@@ -1,0 +1,77 @@
+(** The serve wire protocol: newline-delimited JSON frames over a Unix
+    domain socket.
+
+    {b Requests} (client → daemon), one per line:
+    {v
+    {"v":1, "id":1, "cmd":"check",
+     "files":[{"path":"transmit.unity", "source":"program …"}],
+     "opts":{"jobs":0, "json":false, "warn_error":false, "quiet":false,
+             "slice":false, "semantic":false, "timings":false,
+             "trace":false, "wrt":[], "timeout_ns":0, "fuel":0,
+             "max_nodes":0, "reorder":"off"}}
+    v}
+    Spec {e sources} travel in the request (the daemon never reads the
+    filesystem), so the daemon may run in any directory and the cache
+    key can cover the exact bytes verified.  [0] means "unset" for the
+    numeric options.
+
+    {b Responses} (daemon → client), one frame per line; [event] frames
+    stream before the final [result]/[error] frame of the same [id]:
+    {v
+    {"id":1, "type":"result", "exit":0, "cached":false,
+     "stdout":"…", "stderr":"…"}
+    {"id":1, "type":"event", "name":"sst.iter", "fields":{"n":3}}
+    {"id":1, "type":"error", "exit":2, "error":"malformed request: …"}
+    v}
+
+    The [exit] of a [result] is exactly the CLI exit code the direct
+    command would have returned; [stdout]/[stderr] are byte-identical to
+    the direct command's streams ({!Kpt_analysis.Driver} is the single
+    implementation behind both). *)
+
+open Kpt_analysis
+
+val version : int
+
+type cmd = Check | Lint | Stats | Solve | Slice | Ping | Shutdown
+
+val cmd_to_string : cmd -> string
+val cmd_of_string : string -> cmd option
+
+type request = {
+  id : int;
+  cmd : cmd;
+  files : (string * string) list;  (** (path, source bytes) *)
+  opts : Driver.options;
+}
+
+val request_to_json : request -> Json.t
+val request_of_json : Json.t -> (request, string) result
+
+type response =
+  | Result of {
+      id : int;
+      exit_code : int;
+      cached : bool;
+      out : string;
+      err : string;
+      daemon : (string * int) list;
+          (** daemon introspection (requests served, cache stats, pool
+              size); non-empty only on [ping] replies *)
+    }
+  | Event of { id : int; name : string; fields : (string * int) list }
+  | Error_frame of { id : int; exit_code : int; message : string }
+
+val response_to_json : response -> Json.t
+val response_of_json : Json.t -> (response, string) result
+
+val cache_key : request -> string
+(** The content address of a request's answer: an MD5 over a canonical
+    encoding of (protocol version, command, ordered (path, source bytes)
+    pairs, and every output-affecting option — budget limits and the
+    reorder policy included, because they change the answer).
+
+    Deliberately {e excluded}: [id] (transport bookkeeping), [jobs]
+    (output is pool-size-independent by the batch driver's contract —
+    a [-j 4] answer may serve a [-j 1] request), and [trace] (event
+    frames are auxiliary; a cache hit simply streams none). *)

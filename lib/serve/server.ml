@@ -1,0 +1,197 @@
+open Kpt_predicate
+
+type config = { socket_path : string; cache_size : int }
+
+let default_socket () =
+  match Sys.getenv_opt "KPT_SOCKET" with
+  | Some s when s <> "" -> s
+  | _ ->
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kpt-serve-%d.sock" (Unix.getuid ()))
+
+exception Shutdown_requested
+
+(* ---- binding, with stale-socket recovery ----------------------------------- *)
+
+(* A socket path can outlive its daemon (SIGKILL, power loss).  Probe
+   before unlinking: if something accepts the connection a daemon is
+   alive and starting a second one is an error; any connection failure
+   (ECONNREFUSED for a dead socket, ENOTSOCK/EPROTOTYPE for a plain
+   file) marks the path stale and we reclaim it. *)
+let bind_socket path =
+  let stale_or_live () =
+    let probe = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    let live =
+      match Unix.connect probe (Unix.ADDR_UNIX path) with
+      | () -> true
+      | exception Unix.Unix_error (_, _, _) -> false
+    in
+    (try Unix.close probe with Unix.Unix_error _ -> ());
+    live
+  in
+  if Sys.file_exists path && stale_or_live () then
+    Error (Printf.sprintf "a kpt daemon is already listening on %s" path)
+  else begin
+    if Sys.file_exists path then (try Sys.remove path with Sys_error _ -> ());
+    let sock = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind sock (Unix.ADDR_UNIX path);
+      Unix.listen sock 16
+    with
+    | () -> Ok sock
+    | exception Unix.Unix_error (e, _, _) ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Error (Printf.sprintf "cannot bind %s: %s" path (Unix.error_message e))
+  end
+
+(* ---- the request loop ------------------------------------------------------ *)
+
+let send oc frame =
+  output_string oc (Json.to_string (Protocol.response_to_json frame));
+  output_char oc '\n';
+  flush oc
+
+let daemon_fields handler =
+  let c = Handler.cache_stats handler in
+  [
+    ("requests", Handler.requests handler);
+    ("cache_entries", c.Cache.entries);
+    ("cache_capacity", c.Cache.capacity);
+    ("cache_hits", c.Cache.hits);
+    ("cache_misses", c.Cache.misses);
+    ("cache_evictions", c.Cache.evictions);
+    ("pool_size", Kpt_par.pool_size ());
+  ]
+
+let handle_line handler oc line =
+  match Json.of_string line with
+  | exception Json.Parse_error msg ->
+      send oc (Protocol.Error_frame { id = 0; exit_code = 2; message = "malformed request: " ^ msg })
+  | j -> (
+      match Protocol.request_of_json j with
+      | Error msg ->
+          let id =
+            Option.value ~default:0 (Option.bind (Json.member "id" j) Json.to_int)
+          in
+          send oc (Protocol.Error_frame { id; exit_code = 2; message = "bad request: " ^ msg })
+      | Ok req -> (
+          match req.Protocol.cmd with
+          | Protocol.Ping ->
+              send oc
+                (Protocol.Result
+                   {
+                     id = req.Protocol.id;
+                     exit_code = 0;
+                     cached = false;
+                     out = "kpt-serve: alive\n";
+                     err = "";
+                     daemon = daemon_fields handler;
+                   })
+          | Protocol.Shutdown ->
+              send oc
+                (Protocol.Result
+                   {
+                     id = req.Protocol.id;
+                     exit_code = 0;
+                     cached = false;
+                     out = "kpt-serve: shutting down\n";
+                     err = "";
+                     daemon = daemon_fields handler;
+                   });
+              raise Shutdown_requested
+          | _ -> (
+              let sink =
+                if req.Protocol.opts.Kpt_analysis.Driver.trace then
+                  Some
+                    (fun name fields ->
+                      send oc (Protocol.Event { id = req.Protocol.id; name; fields }))
+                else None
+              in
+              match Handler.handle ?sink handler req with
+              | outcome, cached ->
+                  send oc
+                    (Protocol.Result
+                       {
+                         id = req.Protocol.id;
+                         exit_code = outcome.Kpt_analysis.Driver.code;
+                         cached;
+                         out = outcome.Kpt_analysis.Driver.out;
+                         err = outcome.Kpt_analysis.Driver.err;
+                         daemon = [];
+                       })
+              | exception Sys.Break ->
+                  (* SIGINT mid-request: the pool has already drained its
+                     in-flight tasks (try_map cancels and joins before
+                     re-raising); tell this client with a structured
+                     frame, then let the loop shut down. *)
+                  (try
+                     send oc
+                       (Protocol.Error_frame
+                          {
+                            id = req.Protocol.id;
+                            exit_code = 130;
+                            message = "interrupted: the daemon is shutting down";
+                          })
+                   with Sys_error _ | Unix.Unix_error _ -> ());
+                  raise Sys.Break)))
+
+let serve_connection handler fd =
+  let ic = Unix.in_channel_of_descr fd in
+  let oc = Unix.out_channel_of_descr fd in
+  let rec loop () =
+    match input_line ic with
+    | line ->
+        if String.trim line <> "" then handle_line handler oc line;
+        loop ()
+    | exception End_of_file -> ()
+  in
+  loop ()
+
+let run ?(announce = true) cfg =
+  (* a client hanging up mid-reply must surface as EPIPE on the write,
+     not kill the daemon *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  match bind_socket cfg.socket_path with
+  | Error msg ->
+      Format.eprintf "error: %s@." msg;
+      1
+  | Ok lsock ->
+      if announce then
+        Format.printf "kpt-serve: listening on %s (cache %d)@." cfg.socket_path
+          cfg.cache_size;
+      let handler = Handler.create ~cache_size:cfg.cache_size in
+      let cleanup () =
+        (try Unix.close lsock with Unix.Unix_error _ -> ());
+        try Sys.remove cfg.socket_path with Sys_error _ -> ()
+      in
+      (* the daemon's numbers accumulate in a private engine context, not
+         the process root — requests merge their metrics here *)
+      let eng = Engine.create () in
+      let rec accept_loop () =
+        match Unix.accept lsock with
+        | fd, _ ->
+            (match serve_connection handler fd with
+            | () -> ()
+            | exception ((Shutdown_requested | Sys.Break) as e) ->
+                (try Unix.close fd with Unix.Unix_error _ -> ());
+                raise e
+            | exception (Sys_error _ | Unix.Unix_error _) ->
+                (* this client broke; the daemon survives *)
+                ());
+            (try Unix.close fd with Unix.Unix_error _ -> ());
+            accept_loop ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept_loop ()
+      in
+      (match Engine.use eng accept_loop with
+      | () ->
+          cleanup ();
+          0 (* unreachable: the loop only ends by exception *)
+      | exception Shutdown_requested ->
+          cleanup ();
+          0
+      | exception Sys.Break ->
+          cleanup ();
+          130
+      | exception e ->
+          cleanup ();
+          raise e)

@@ -1,0 +1,26 @@
+(** The daemon loop: a Unix-domain-socket server speaking the
+    newline-delimited JSON protocol ({!Protocol}) against one warm
+    {!Handler}.
+
+    {b Lifecycle.}  Binding recovers stale socket files (a leftover path
+    nobody accepts on is unlinked and re-bound; a live daemon is a
+    startup error).  Connections are served sequentially — a second
+    client queues in the listen backlog; the parallelism budget belongs
+    to the {!Kpt_par} pool {e inside} a request.  A [shutdown] request
+    stops the loop cleanly (exit 0).  SIGINT ([Sys.Break], the CLI
+    arms [Sys.catch_break]) drains the in-flight request cooperatively
+    (the pool cancels remaining tasks and joins its workers), sends the
+    client a structured [error] frame with exit 130, and shuts down —
+    and the socket file is removed on {e every} exit path. *)
+
+type config = { socket_path : string; cache_size : int }
+
+val default_socket : unit -> string
+(** [$KPT_SOCKET] when set and non-empty, else
+    [<tmpdir>/kpt-serve-<uid>.sock]. *)
+
+val run : ?announce:bool -> config -> int
+(** Serve until [shutdown] (returns 0) or SIGINT (returns 130); a bind
+    failure reports to stderr and returns 1.  [announce] (default true)
+    prints one "listening on …" line to stdout once the socket is
+    ready — what scripts wait for. *)

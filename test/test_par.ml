@@ -205,6 +205,35 @@ let test_bad_file_does_not_poison_siblings () =
   Alcotest.(check int) "batch exit code reports the failure" 1
     (Check.run_sources ~jobs:2 ~quiet:true null [ good1; bad; good2 ])
 
+(* ---- the pool-width contract -------------------------------------------------
+   The frozen-pool bug: the pool used to spawn at the first batch's
+   width and silently run every later, wider batch at it.  The contract
+   now is grow-on-mismatch — and it must be testable on a single-core CI
+   host, where the hardware clamp would otherwise hide any growth, hence
+   the oversubscribe escape hatch. *)
+
+let test_pool_grows_on_wider_request () =
+  let sources = corpus () in
+  let r1 = Check.reports ~jobs:1 sources in
+  let before = Kpt_par.pool_size () in
+  Unix.putenv "KPT_POOL_OVERSUBSCRIBE" "1";
+  let r6 =
+    Fun.protect
+      ~finally:(fun () -> Unix.putenv "KPT_POOL_OVERSUBSCRIBE" "0")
+      (fun () -> Check.reports ~jobs:6 sources)
+  in
+  let after = Kpt_par.pool_size () in
+  Alcotest.(check bool)
+    (Printf.sprintf "pool grew for the wider batch (%d -> %d, want >= 5)" before after)
+    true (after >= 5);
+  Alcotest.(check bool) "the pool never shrinks" true (after >= before);
+  Alcotest.(check string) "output is byte-identical across the growth"
+    (to_string Check.render_text r1)
+    (to_string Check.render_text r6);
+  (* a later narrower batch leaves the grown pool alone *)
+  ignore (Check.reports ~jobs:1 sources);
+  Alcotest.(check int) "a narrower batch does not shrink it" after (Kpt_par.pool_size ())
+
 (* ---- golden ------------------------------------------------------------------ *)
 
 (* Counters prefixed "test." exist only in this test binary (interned by
@@ -250,4 +279,8 @@ let suite =
     Alcotest.test_case "bad file does not poison siblings" `Quick
       test_bad_file_does_not_poison_siblings;
     Alcotest.test_case "check --json golden" `Quick test_check_json_golden;
+    (* last: grows the process-global pool past the small-width
+       assertions the earlier cases make *)
+    Alcotest.test_case "pool grows on a wider request" `Quick
+      test_pool_grows_on_wider_request;
   ]

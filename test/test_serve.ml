@@ -1,0 +1,301 @@
+(* The serve daemon, end to end over a real Unix socket.
+
+   The load-bearing properties pinned here:
+   - a served answer — text and JSON — is byte-identical to the direct
+     driver's, cold, warm, and from the cache, over the whole examples
+     corpus;
+   - the result cache is content-addressed: an edited source byte or a
+     changed output-affecting option misses, while [jobs] (excluded from
+     the key by the batch driver's determinism contract) hits;
+   - warm engines carry no stale per-request state: a fuel-starved
+     request exits 3 (and is not cached), and the very next request on
+     the same daemon succeeds with the same bytes a fresh process would
+     produce;
+   - a malformed line gets a structured error frame and the connection
+     survives for the next request;
+   - [--trace] streams event frames over the wire before the result, and
+     a cache hit streams none;
+   - shutdown removes the socket; a stale socket file is reclaimed on
+     startup; a live one refuses a second daemon; concurrent clients see
+     the same bytes as sequential ones. *)
+
+module Server = Kpt_serve.Server
+module Client = Kpt_serve.Client
+module Protocol = Kpt_serve.Protocol
+module Driver = Kpt_analysis.Driver
+
+(* ---- corpus (same shape as test_par) ---------------------------------------- *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let corpus () =
+  Sys.readdir "../examples/specs" |> Array.to_list
+  |> List.filter (fun f -> Filename.check_suffix f ".unity")
+  |> List.sort compare
+  |> List.map (fun n -> ("examples/specs/" ^ n, read_file ("../examples/specs/" ^ n)))
+
+let mk_req ?(id = 1) ?(opts = Driver.default_options) cmd files =
+  { Protocol.id; cmd; files; opts }
+
+(* [Protocol.response] carries inline records; flatten the final frame
+   into a plain one the assertions can pass around. *)
+type reply = {
+  exit_code : int;
+  cached : bool;
+  out : string;
+  err : string;
+  daemon : (string * int) list;
+}
+
+let result_exn = function
+  | Ok (Protocol.Result { exit_code; cached; out; err; daemon; _ }) ->
+      { exit_code; cached; out; err; daemon }
+  | Ok (Protocol.Error_frame { message; _ }) ->
+      Alcotest.failf "unexpected error frame: %s" message
+  | Ok (Protocol.Event _) -> Alcotest.fail "event frame leaked past read_response"
+  | Error msg -> Alcotest.failf "transport error: %s" msg
+
+let check_outcome name (direct : Driver.outcome) (r : reply) ~cached =
+  Alcotest.(check int) (name ^ ": exit code") direct.Driver.code r.exit_code;
+  Alcotest.(check string) (name ^ ": stdout bytes") direct.Driver.out r.out;
+  Alcotest.(check string) (name ^ ": stderr bytes") direct.Driver.err r.err;
+  Alcotest.(check bool) (name ^ ": cached flag") cached r.cached
+
+(* ---- running a daemon inside the test process -------------------------------- *)
+
+let socket_path tag =
+  Filename.concat (Filename.get_temp_dir_name ())
+    (Printf.sprintf "kpt-test-%d-%s.sock" (Unix.getpid ()) tag)
+
+let wait_for_socket path =
+  let rec loop n =
+    if n = 0 then Alcotest.failf "daemon never bound %s" path
+    else
+      match Client.connect ~socket:path with
+      | Ok c -> Client.close c
+      | Error _ ->
+          Unix.sleepf 0.02;
+          loop (n - 1)
+  in
+  loop 250
+
+(* Spawn the daemon on its own domain, run [f socket], then shut it down
+   through the wire and join.  The join doubles as the exit-code check:
+   a clean shutdown must return 0 and remove the socket file. *)
+let with_server ~tag ?(cache_size = 8) f =
+  let socket = socket_path tag in
+  if Sys.file_exists socket then Sys.remove socket;
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run ~announce:false { Server.socket_path = socket; cache_size })
+  in
+  wait_for_socket socket;
+  let result = try Ok (f socket) with e -> Error e in
+  (match Client.roundtrip ~socket (mk_req Protocol.Shutdown []) with
+  | Ok _ | Error _ -> ());
+  let code = Domain.join daemon in
+  Alcotest.(check int) "daemon exits 0 on shutdown" 0 code;
+  Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists socket);
+  match result with Ok v -> v | Error e -> raise e
+
+(* ---- byte identity: cold vs warm vs cached ----------------------------------- *)
+
+let test_check_byte_identity () =
+  let sources = corpus () in
+  let json_opts = { Driver.default_options with Driver.json = true } in
+  let direct_text = Driver.check Driver.default_options sources in
+  let direct_json = Driver.check json_opts sources in
+  with_server ~tag:"identity" @@ fun socket ->
+  let round ?opts id =
+    result_exn (Client.roundtrip ~socket (mk_req ~id ?opts Protocol.Check sources))
+  in
+  (* cold daemon: the first request misses the cache *)
+  check_outcome "warm/1st (text)" direct_text (round 1) ~cached:false;
+  (* warm daemon, identical request: served from the cache *)
+  check_outcome "cached/2nd (text)" direct_text (round 2) ~cached:true;
+  check_outcome "cached/3rd (text)" direct_text (round 3) ~cached:true;
+  check_outcome "warm (json)" direct_json (round ~opts:json_opts 4) ~cached:false;
+  check_outcome "cached (json)" direct_json (round ~opts:json_opts 5) ~cached:true
+
+(* ---- the cache key ----------------------------------------------------------- *)
+
+let test_cache_key_content_addressed () =
+  let file = "examples/specs/transmit.unity" in
+  let src = read_file "../examples/specs/transmit.unity" in
+  with_server ~tag:"cachekey" @@ fun socket ->
+  let send ?(opts = Driver.default_options) files =
+    result_exn (Client.roundtrip ~socket (mk_req ~opts Protocol.Check files))
+  in
+  Alcotest.(check bool) "first request misses" false (send [ (file, src) ]).cached;
+  Alcotest.(check bool) "identical request hits" true (send [ (file, src) ]).cached;
+  (* one changed source byte is a different address *)
+  Alcotest.(check bool) "edited source misses" false
+    (send [ (file, src ^ "\n") ]).cached;
+  (* an output-affecting option is part of the key *)
+  Alcotest.(check bool) "changed option misses" false
+    (send ~opts:{ Driver.default_options with Driver.quiet = true } [ (file, src) ])
+      .cached;
+  (* [jobs] is excluded: the batch driver's output is pool-size-independent *)
+  Alcotest.(check bool) "jobs is not part of the key" true
+    (send ~opts:{ Driver.default_options with Driver.jobs = Some 4 } [ (file, src) ])
+      .cached
+
+(* ---- warm engines carry no stale request state (the lifecycle bugfix) -------- *)
+
+let test_budget_exhaustion_not_sticky () =
+  let sources =
+    [ ("examples/specs/transmit.unity", read_file "../examples/specs/transmit.unity") ]
+  in
+  let starved =
+    {
+      Driver.default_options with
+      Driver.limits = Kpt_predicate.Budget.limits ~fuel:1 ();
+    }
+  in
+  let direct_ok = Driver.check Driver.default_options sources in
+  with_server ~tag:"budget" @@ fun socket ->
+  let send opts =
+    result_exn (Client.roundtrip ~socket (mk_req ~opts Protocol.Check sources))
+  in
+  let r1 = send starved in
+  Alcotest.(check int) "fuel-starved request exits 3" 3 r1.exit_code;
+  Alcotest.(check bool) "and is not cached (budget-dependent)" false r1.cached;
+  (* the very next request on the same warm daemon: no armed budget, no
+     leftover counters — the same bytes a fresh process produces *)
+  let r2 = send Driver.default_options in
+  Alcotest.(check int) "next request succeeds" direct_ok.Driver.code r2.exit_code;
+  Alcotest.(check string) "with clean bytes" direct_ok.Driver.out r2.out;
+  Alcotest.(check bool) "fresh even though a starved twin ran first" false r2.cached;
+  (* exit-3 outcomes never enter the cache: repeating re-runs and re-exhausts *)
+  let r3 = send starved in
+  Alcotest.(check int) "starved again exits 3 again" 3 r3.exit_code;
+  Alcotest.(check bool) "still uncached" false r3.cached
+
+(* ---- protocol robustness ------------------------------------------------------ *)
+
+let test_malformed_then_valid_on_same_connection () =
+  with_server ~tag:"malformed" @@ fun socket ->
+  match Client.connect ~socket with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c)
+      @@ fun () ->
+      Client.send_line c "this is not json";
+      (match Client.read_response c with
+      | Ok (Protocol.Error_frame { exit_code; message; _ }) ->
+          Alcotest.(check int) "malformed line exits 2" 2 exit_code;
+          Alcotest.(check bool) "and says so" true
+            (String.length message >= 17
+            && String.sub message 0 17 = "malformed request")
+      | _ -> Alcotest.fail "expected an error frame for a malformed line");
+      Client.send_line c {|{"v":1,"id":7,"cmd":"frobnicate","files":[],"opts":{}}|};
+      (match Client.read_response c with
+      | Ok (Protocol.Error_frame { id; exit_code; _ }) ->
+          Alcotest.(check int) "bad request echoes the id" 7 id;
+          Alcotest.(check int) "and exits 2" 2 exit_code
+      | _ -> Alcotest.fail "expected an error frame for an unknown cmd");
+      (* the connection survives both: a well-formed request still answers *)
+      Client.send_request c (mk_req Protocol.Ping []);
+      (match Client.read_response c with
+      | Ok (Protocol.Result { out; daemon; _ }) ->
+          Alcotest.(check string) "ping answers" "kpt-serve: alive\n" out;
+          Alcotest.(check bool) "with daemon introspection" true
+            (List.mem_assoc "cache_hits" daemon && List.mem_assoc "pool_size" daemon)
+      | _ -> Alcotest.fail "expected a ping result on the same connection")
+
+let test_trace_streams_events () =
+  let sources =
+    [ ("examples/specs/figure1.unity", read_file "../examples/specs/figure1.unity") ]
+  in
+  let opts = { Driver.default_options with Driver.trace = true } in
+  with_server ~tag:"trace" @@ fun socket ->
+  let events = ref [] in
+  let on_event name fields = events := (name, fields) :: !events in
+  let send () =
+    result_exn (Client.roundtrip ~on_event ~socket (mk_req ~opts Protocol.Solve sources))
+  in
+  let r = send () in
+  Alcotest.(check int) "solve succeeds" 0 r.exit_code;
+  Alcotest.(check bool) "event frames streamed before the result" true
+    (List.length !events > 0);
+  (* a cache hit computes nothing, so it streams nothing *)
+  events := [];
+  let r2 = send () in
+  Alcotest.(check bool) "second answer is cached" true r2.cached;
+  Alcotest.(check int) "a cached answer streams no events" 0 (List.length !events);
+  Alcotest.(check string) "but carries the same bytes" r.out r2.out
+
+(* ---- daemon lifecycle --------------------------------------------------------- *)
+
+let test_stale_socket_reclaimed () =
+  let socket = socket_path "stale" in
+  if Sys.file_exists socket then Sys.remove socket;
+  (* a socket file with no listener behind it: bound and abandoned,
+     exactly what a SIGKILLed daemon leaves behind *)
+  let dead = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.bind dead (Unix.ADDR_UNIX socket);
+  Unix.close dead;
+  Alcotest.(check bool) "the stale file exists" true (Sys.file_exists socket);
+  let daemon =
+    Domain.spawn (fun () ->
+        Server.run ~announce:false { Server.socket_path = socket; cache_size = 4 })
+  in
+  wait_for_socket socket;
+  let r = result_exn (Client.roundtrip ~socket (mk_req Protocol.Ping [])) in
+  Alcotest.(check string) "daemon reclaimed the stale socket" "kpt-serve: alive\n" r.out;
+  ignore (Client.roundtrip ~socket (mk_req Protocol.Shutdown []));
+  Alcotest.(check int) "and shuts down cleanly" 0 (Domain.join daemon);
+  Alcotest.(check bool) "removing the socket" false (Sys.file_exists socket)
+
+let test_second_daemon_refused () =
+  with_server ~tag:"refuse" @@ fun socket ->
+  (* the socket is live: a second daemon must refuse to steal it *)
+  Alcotest.(check int) "second daemon on a live socket exits 1" 1
+    (Server.run ~announce:false { Server.socket_path = socket; cache_size = 4 });
+  Alcotest.(check bool) "and leaves the live socket alone" true (Sys.file_exists socket)
+
+let test_concurrent_clients_match_sequential () =
+  let sources = corpus () in
+  let opts = { Driver.default_options with Driver.jobs = Some 4 } in
+  let direct = Driver.check opts sources in
+  with_server ~tag:"concurrent" @@ fun socket ->
+  let fetch () =
+    match Client.roundtrip ~socket (mk_req ~opts Protocol.Check sources) with
+    | Ok (Protocol.Result { out; exit_code; _ }) -> (exit_code, out)
+    | Ok _ -> (-1, "unexpected frame")
+    | Error msg -> (-1, msg)
+  in
+  (* two clients racing on connect: the daemon serves them in accept
+     order; both must get the direct command's bytes *)
+  let a = Domain.spawn fetch in
+  let b = Domain.spawn fetch in
+  let ra = Domain.join a in
+  let rb = Domain.join b in
+  List.iter
+    (fun (name, (code, out)) ->
+      Alcotest.(check int) (name ^ ": exit code") direct.Driver.code code;
+      Alcotest.(check string) (name ^ ": bytes") direct.Driver.out out)
+    [ ("client A", ra); ("client B", rb) ]
+
+let suite =
+  [
+    Alcotest.test_case "served check is byte-identical (cold/warm/cached)" `Quick
+      test_check_byte_identity;
+    Alcotest.test_case "cache key is content-addressed" `Quick
+      test_cache_key_content_addressed;
+    Alcotest.test_case "budget exhaustion is not sticky across requests" `Quick
+      test_budget_exhaustion_not_sticky;
+    Alcotest.test_case "malformed request then valid on one connection" `Quick
+      test_malformed_then_valid_on_same_connection;
+    Alcotest.test_case "--trace streams events over the wire" `Quick
+      test_trace_streams_events;
+    Alcotest.test_case "stale socket is reclaimed" `Quick test_stale_socket_reclaimed;
+    Alcotest.test_case "second daemon on a live socket is refused" `Quick
+      test_second_daemon_refused;
+    Alcotest.test_case "concurrent clients match sequential" `Quick
+      test_concurrent_clients_match_sequential;
+  ]
