@@ -22,6 +22,16 @@
    serve triple must show cached < warm < cold on the identical `kpt
    check` request. *)
 
+(* Every same-run guard reads its section through this wrapper, so an
+   incomplete BENCH_RESULTS.json fails with a message naming the file
+   and the section — never a bare [Failure] escaping as a backtrace. *)
+let with_section ~file ~section parse src k =
+  match Kpt_obs.Gate.require_section ~file ~section parse src with
+  | exception Failure msg -> Error msg
+  | v -> k v
+
+let benches_section = "benchmarks_ns_per_run"
+
 let budget_pair =
   ( "P8 budget overhead: SI fixpoint n=4, unbudgeted",
     "P8 budget overhead: SI fixpoint n=4, budget armed" )
@@ -30,8 +40,9 @@ let budget_overhead_tolerance = 0.05
 
 (* [Ok ()] when the pair is within tolerance or absent (older results);
    [Error msg] on a blown ratio. *)
-let check_budget_overhead current_json =
-  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+let check_budget_overhead ~file current_json =
+  with_section ~file ~section:benches_section Kpt_obs.Gate.benchmarks_of_json current_json
+  @@ fun benches ->
   let plain_name, budgeted_name = budget_pair in
   match (List.assoc_opt plain_name benches, List.assoc_opt budgeted_name benches) with
   | Some plain, Some budgeted when plain > 0.0 ->
@@ -57,8 +68,9 @@ let lint_pair =
   ( "P9 lint batch: examples corpus, syntactic tier",
     "P9 lint batch: examples corpus, semantic tier" )
 
-let check_lint_pair current_json =
-  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+let check_lint_pair ~file current_json =
+  with_section ~file ~section:benches_section Kpt_obs.Gate.benchmarks_of_json current_json
+  @@ fun benches ->
   let syntactic_name, semantic_name = lint_pair in
   let missing = List.filter (fun n -> not (List.mem_assoc n benches)) [ syntactic_name; semantic_name ] in
   match missing with
@@ -67,7 +79,12 @@ let check_lint_pair current_json =
       Ok ()
   | ms ->
       Error
-        (Printf.sprintf "P9 lint pair incomplete — missing: %s" (String.concat ", " ms))
+        (String.concat "; "
+           (List.map
+              (fun b ->
+                Kpt_obs.Gate.missing_section_message ~file ~section:benches_section
+                  ~benchmark:b ())
+              ms))
 
 (* The P10 slice invariant, checked {e within} CURRENT.json like the P8
    overhead ratio: computing SI on the monitored ring's mutual-exclusion
@@ -75,8 +92,9 @@ let check_lint_pair current_json =
    the whole point of the cone.  A same-run comparison of two counters
    from the identical process, so it is machine-independent and never
    needs a baseline refresh; absent counters (older results) skip. *)
-let check_slice_work current_json =
-  let counters = Kpt_obs.Gate.counters_of_json current_json in
+let check_slice_work ~file current_json =
+  with_section ~file ~section:"counters" Kpt_obs.Gate.counters_of_json current_json
+  @@ fun counters ->
   match
     ( List.assoc_opt "slice.bench.nodes_created.full" counters,
       List.assoc_opt "slice.bench.nodes_created.sliced" counters )
@@ -107,8 +125,9 @@ let serve_triple =
     "P11 serve: warm request, check transmit",
     "P11 serve: cached request, check transmit" )
 
-let check_serve_triple current_json =
-  let benches = Kpt_obs.Gate.benchmarks_of_json current_json in
+let check_serve_triple ~file current_json =
+  with_section ~file ~section:benches_section Kpt_obs.Gate.benchmarks_of_json current_json
+  @@ fun benches ->
   let cold_name, warm_name, cached_name = serve_triple in
   match
     ( List.assoc_opt cold_name benches,
@@ -134,8 +153,12 @@ let check_serve_triple current_json =
           [ (cold_name, cold); (warm_name, warm); (cached_name, cached) ]
       in
       Error
-        (Printf.sprintf "P11 serve triple incomplete — missing: %s"
-           (String.concat ", " missing))
+        (String.concat "; "
+           (List.map
+              (fun b ->
+                Kpt_obs.Gate.missing_section_message ~file ~section:benches_section
+                  ~benchmark:b ())
+              missing))
 
 (* ---- the scaling-curve guards --------------------------------------------
 
@@ -151,8 +174,13 @@ let min_scaling_rows = 6
 let scaling_tolerance = 0.60
 let scaling_floor_s = 0.05
 
-let check_scaling baseline_json current_json =
-  let current = Kpt_obs.Gate.scaling_of_json current_json in
+let check_scaling ~file baseline_json current_json =
+  match
+    with_section ~file ~section:"scaling_standard_protocol" Kpt_obs.Gate.scaling_of_json
+      current_json (fun rows -> Ok rows)
+  with
+  | Error msg -> Error [ msg ]
+  | Ok current ->
   let baseline = try Kpt_obs.Gate.scaling_of_json baseline_json with Failure _ -> [] in
   let errors = ref [] in
   if List.length current < min_scaling_rows then
@@ -191,14 +219,17 @@ let check_scaling baseline_json current_json =
 (* The op-cache grow-thrash fix, pinned as a work-profile invariant: a
    run that grows its op caches more than 1.5× the baseline count has
    reintroduced the clear-and-regrow cycle somewhere. *)
-let check_cache_grows baseline_json current_json =
-  let counter name json =
-    match List.assoc_opt name (Kpt_obs.Gate.counters_of_json json) with
-    | Some v -> v
-    | None -> 0.0
+let check_cache_grows ~file baseline_json current_json =
+  with_section ~file ~section:"counters" Kpt_obs.Gate.counters_of_json current_json
+  @@ fun current_counters ->
+  let counter name counters =
+    match List.assoc_opt name counters with Some v -> v | None -> 0.0
   in
-  let base = counter "bdd.op_cache.grows" baseline_json in
-  let cur = counter "bdd.op_cache.grows" current_json in
+  let base =
+    counter "bdd.op_cache.grows"
+      (try Kpt_obs.Gate.counters_of_json baseline_json with Failure _ -> [])
+  in
+  let cur = counter "bdd.op_cache.grows" current_counters in
   if base > 0.0 && cur > (1.5 *. base) +. 4.0 then
     Error
       (Printf.sprintf "bdd.op_cache.grows = %.0f vs %.0f baseline — grow-thrash is back" cur
@@ -208,10 +239,6 @@ let check_cache_grows baseline_json current_json =
     Ok ()
   end
 
-let usage () =
-  prerr_endline "usage: gate [--tolerance R] BASELINE.json CURRENT.json";
-  exit 2
-
 let read_file path =
   let ic = open_in_bin path in
   let n = in_channel_length ic in
@@ -219,8 +246,95 @@ let read_file path =
   close_in ic;
   s
 
+(* ---- the corpus gate ------------------------------------------------------
+
+   [gate --corpus CORPUS_RESULTS.json] pins the difftest deliverable:
+   the aggregated corpus run must carry a non-empty comparison matrix
+   with zero disagreements (pass rate 1.0).  Structural absences fail
+   with the same file/section/field-naming message the bench guards
+   use. *)
+
+let check_corpus ~file src =
+  match Json.of_string src with
+  | exception Json.Parse_error m -> Error [ Printf.sprintf "%s: malformed JSON: %s" file m ]
+  | j ->
+      let errors = ref [] in
+      let err e = errors := !errors @ [ e ] in
+      let section name =
+        match Json.member name j with
+        | Some v -> Some v
+        | None ->
+            err (Kpt_obs.Gate.missing_section_message ~file ~section:name ());
+            None
+      in
+      let field ~section:s name v =
+        match Json.member name v with
+        | Some x -> Some x
+        | None ->
+            err (Kpt_obs.Gate.missing_section_message ~file ~section:s ~benchmark:name ());
+            None
+      in
+      let as_float = function
+        | Json.Float f -> Some f
+        | Json.Int i -> Some (float_of_int i)
+        | _ -> None
+      in
+      (match section "corpus" with
+      | None -> ()
+      | Some c -> (
+          match Option.bind (field ~section:"corpus" "specs" c) Json.to_int with
+          | Some n when n > 0 -> ()
+          | Some _ -> err (Printf.sprintf "%s: corpus.specs is zero — nothing was tested" file)
+          | None -> ()));
+      (match section "difftest" with
+      | None -> ()
+      | Some d -> (
+          let comparisons = Option.bind (field ~section:"difftest" "comparisons" d) Json.to_int in
+          let disagreements =
+            Option.bind (field ~section:"difftest" "disagreements" d) Json.to_int
+          in
+          let pass_rate = Option.bind (field ~section:"difftest" "pass_rate" d) as_float in
+          match (comparisons, disagreements, pass_rate) with
+          | Some c, Some dis, Some pr ->
+              Format.printf
+                "bench gate: corpus difftest %d comparison(s), %d disagreement(s), pass \
+                 rate %.4f@."
+                c dis pr;
+              if c <= 0 then err (Printf.sprintf "%s: zero difftest comparisons" file);
+              if dis <> 0 || pr < 1.0 then
+                err
+                  (Printf.sprintf
+                     "%s: corpus pass rate %.4f with %d disagreement(s) — the gate pins \
+                      1.0"
+                     file pr dis)
+          | _ -> ()));
+      ignore (section "outcomes");
+      ignore (section "budget");
+      if !errors = [] then Ok () else Error !errors
+
+let run_corpus_gate path =
+  let errors =
+    match check_corpus ~file:path (read_file path) with
+    | Ok () -> []
+    | Error es -> es
+    | exception Sys_error m -> [ m ]
+  in
+  match errors with
+  | [] ->
+      Format.printf "bench gate: corpus OK (%s)@." path;
+      exit 0
+  | es ->
+      List.iter (Format.printf "bench gate: FAIL — %s@.") es;
+      exit 1
+
+let usage () =
+  prerr_endline "usage: gate [--tolerance R] BASELINE.json CURRENT.json";
+  prerr_endline "       gate --corpus CORPUS_RESULTS.json";
+  exit 2
+
 let () =
   let tolerance = ref 0.25 in
+  let corpus = ref None in
   let files = ref [] in
   let rec parse i =
     if i < Array.length Sys.argv then
@@ -231,60 +345,79 @@ let () =
           | _ -> usage ());
           parse (i + 2)
       | "--tolerance" -> usage ()
+      | "--corpus" when i + 1 < Array.length Sys.argv ->
+          corpus := Some Sys.argv.(i + 1);
+          parse (i + 2)
+      | "--corpus" -> usage ()
       | a ->
           files := a :: !files;
           parse (i + 1)
   in
   parse 1;
+  (match (!corpus, !files) with
+  | Some path, [] -> run_corpus_gate path
+  | Some _, _ -> usage ()
+  | None, _ -> ());
   match List.rev !files with
   | [ baseline_path; current_path ] -> (
+      let baseline_json = read_file baseline_path in
+      let current_json = read_file current_path in
+      (* fail with a file-naming message before the comparison if either
+         side lacks its benchmarks section *)
+      (match
+         ( with_section ~file:baseline_path ~section:benches_section
+             Kpt_obs.Gate.benchmarks_of_json baseline_json (fun _ -> Ok ()),
+           with_section ~file:current_path ~section:benches_section
+             Kpt_obs.Gate.benchmarks_of_json current_json (fun _ -> Ok ()) )
+       with
+      | Ok (), Ok () -> ()
+      | Error msg, _ | _, Error msg ->
+          Format.eprintf "bench gate: error: %s@." msg;
+          exit 2);
       match
-        Kpt_obs.Gate.check ~tolerance:!tolerance ~baseline:(read_file baseline_path)
-          (read_file current_path)
+        Kpt_obs.Gate.check ~tolerance:!tolerance ~baseline:baseline_json current_json
       with
       | report ->
           Format.printf "bench gate: %s vs %s (tolerance +%.0f%%)@." current_path
             baseline_path (100.0 *. !tolerance);
           Format.printf "%a@." Kpt_obs.Gate.pp_report report;
-          let baseline_json = read_file baseline_path in
-          let current_json = read_file current_path in
           let overhead =
-            match check_budget_overhead current_json with
+            match check_budget_overhead ~file:current_path current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
           let scaling =
-            match check_scaling baseline_json current_json with
+            match check_scaling ~file:current_path baseline_json current_json with
             | Ok () -> true
             | Error msgs ->
                 List.iter (Format.printf "bench gate: FAIL — %s@.") msgs;
                 false
           in
           let lint_pair_ok =
-            match check_lint_pair current_json with
+            match check_lint_pair ~file:current_path current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
           let slice_ok =
-            match check_slice_work current_json with
+            match check_slice_work ~file:current_path current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
           let cache =
-            match check_cache_grows baseline_json current_json with
+            match check_cache_grows ~file:current_path baseline_json current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
           let serve_ok =
-            match check_serve_triple current_json with
+            match check_serve_triple ~file:current_path current_json with
             | Ok () -> true
             | Error msg ->
                 Format.printf "bench gate: FAIL — %s@." msg;

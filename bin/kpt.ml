@@ -1200,6 +1200,319 @@ let client_cmd =
           identical requests are answered from the daemon's result cache.")
     [ check_sub; lint_sub; stats_sub; solve_sub; slice_sub; ping_sub; shutdown_sub ]
 
+(* ---- gen: the seeded corpus generator ------------------------------------- *)
+
+let usage_error fmt = Format.kasprintf (fun m -> Format.eprintf "%s@." m; 2) fmt
+
+(* parse a comma-separated axis with a per-element parser, reporting the
+   first offender by name *)
+let parse_axis ~what of_string xs =
+  List.fold_left
+    (fun acc x ->
+      match (acc, of_string x) with
+      | Error _, _ -> acc
+      | Ok _, None -> Error (Printf.sprintf "bad %s %S" what x)
+      | Ok ys, Some y -> Ok (ys @ [ y ]))
+    (Ok []) xs
+
+let gen_seed_env = "KPT_GEN_SEED"
+
+let gen_flag_summary (c : Kpt_gen.Gen.config) =
+  Printf.sprintf "--families %s --sizes %s --faults %s --budgets %s --count %d --seed %s"
+    (String.concat "," c.families)
+    (String.concat "," (List.map string_of_int c.sizes))
+    (String.concat "," (List.map Kpt_gen.Gen.fault_to_string c.faults))
+    (String.concat "," (List.map Kpt_gen.Gen.budget_to_string c.budgets))
+    c.count
+    (Kpt_gen.Rng.seed_to_string c.seed)
+
+let gen_cmd =
+  let families_arg =
+    Arg.(
+      value
+      & opt (list string) Kpt_gen.Family.names
+      & info [ "families" ] ~docv:"NAME,.."
+          ~doc:
+            (Printf.sprintf "Protocol families to draw from (default: all of %s)."
+               (String.concat ", " Kpt_gen.Family.names)))
+  in
+  let sizes_arg =
+    Arg.(
+      value
+      & opt (list int) Kpt_gen.Gen.default_config.sizes
+      & info [ "sizes" ] ~docv:"N,.."
+          ~doc:"Instance sizes (stations, hops, digits …); clamped up to each \
+                family's minimum.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (list string) [ "none"; "loss"; "stutter" ]
+      & info [ "faults" ] ~docv:"F,.."
+          ~doc:
+            "Fault models: $(b,none), $(b,loss) (lossy channel; skipped for \
+             channel-free families), $(b,stutter) (a no-op self-assignment the \
+             hygiene lint flags).")
+  in
+  let budgets_arg =
+    Arg.(
+      value
+      & opt (list string) [ "none"; "fuel:8" ]
+      & info [ "budgets" ] ~docv:"B,.."
+          ~doc:
+            "Budget classes: $(b,none) (the generous deterministic envelope) or \
+             $(b,fuel:N) (tight fuel — expected exhaustion is recorded in the \
+             manifest).")
+  in
+  let count_arg =
+    Arg.(value & opt int 1000 & info [ "count" ] ~docv:"N" ~doc:"Number of instances.")
+  in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            (Printf.sprintf
+               "Corpus seed (decimal or hex).  Defaults to \\$%s, then 1.  Same \
+                flags + same seed = byte-identical corpus."
+               gen_seed_env))
+  in
+  let out_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"DIR" ~doc:"Output directory (created if missing).")
+  in
+  let run families sizes faults budgets count seed_opt out =
+    let seed_str =
+      match (seed_opt, Sys.getenv_opt gen_seed_env) with
+      | Some s, _ -> s
+      | None, Some s -> s
+      | None, None -> "1"
+    in
+    match Kpt_gen.Rng.seed_of_string seed_str with
+    | None -> usage_error "kpt gen: bad seed %S (decimal or hex)" seed_str
+    | Some seed -> (
+        match
+          ( parse_axis ~what:"fault" Kpt_gen.Gen.fault_of_string faults,
+            parse_axis ~what:"budget" Kpt_gen.Gen.budget_of_string budgets )
+        with
+        | Error m, _ | _, Error m -> usage_error "kpt gen: %s" m
+        | Ok faults, Ok budgets -> (
+            let config =
+              { Kpt_gen.Gen.families; sizes; faults; budgets; count; seed }
+            in
+            try
+              let instances = Kpt_gen.Gen.write_corpus ~dir:out config in
+              let tally key =
+                List.length
+                  (List.filter
+                     (fun i -> i.Kpt_gen.Gen.expected.Kpt_gen.Gen.klass = key)
+                     instances)
+              in
+              Format.printf "wrote %d spec(s) + manifest.json to %s@."
+                (List.length instances) out;
+              Format.printf "  %s@." (gen_flag_summary config);
+              Format.printf
+                "  classes: standard %d, kbp_converged %d, kbp_cycle %d, exhausted \
+                 %d, error %d@."
+                (tally "standard") (tally "kbp_converged") (tally "kbp_cycle")
+                (tally "exhausted") (tally "error");
+              0
+            with
+            | Kpt_gen.Gen.Bad_config m -> usage_error "kpt gen: %s" m
+            | Sys_error m ->
+                Format.eprintf "kpt gen: %s@." m;
+                1))
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:
+         "Generate a seeded, deterministic corpus of .unity specs over (family × \
+          size × fault × budget), with a manifest.json recording each instance's \
+          expected envelope (diagnostic codes, outcome class, exit code).  \
+          Instance $(i,i) draws only from the position-addressed stream \
+          $(i,derive seed i), so the corpus is reproducible at any count on any \
+          machine.")
+    Term.(
+      const run $ families_arg $ sizes_arg $ faults_arg $ budgets_arg $ count_arg
+      $ seed_arg $ out_arg)
+
+(* ---- difftest: every pipeline must agree ---------------------------------- *)
+
+let difftest_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"A corpus directory written by $(b,kpt gen).")
+  in
+  let limit_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "limit" ] ~docv:"N"
+          ~doc:"Only the first N instances (0 = all) — the CI smoke slice.")
+  in
+  let report_arg =
+    Arg.(
+      value
+      & opt ~vopt:(Some "CORPUS_RESULTS.json") (some string) None
+      & info [ "report" ] ~docv:"FILE"
+          ~doc:
+            "Aggregate the run into the analysis document (outcome distributions, \
+             pass rate, time-vs-size fits, budget-exhaustion rates) and write it \
+             to FILE (default CORPUS_RESULTS.json).")
+  in
+  let no_serve_arg =
+    Arg.(
+      value & flag
+      & info [ "no-serve" ]
+          ~doc:
+            "Skip the in-process serve-daemon and result-cache paths (they are \
+             byte-compared against the direct path by default).")
+  in
+  let run dir limit report no_serve =
+    match Kpt_gen.Gen.read_manifest dir with
+    | exception Kpt_gen.Gen.Bad_manifest m -> usage_error "kpt difftest: %s" m
+    | config, instances -> (
+        let instances =
+          if limit > 0 then List.filteri (fun i _ -> i < limit) instances else instances
+        in
+        (* the serve path: the same Driver behind the wire codec and the
+           daemon's result cache, in-process; and the cache path: a warm
+           second request that must be byte-identical *)
+        let handler = lazy (Kpt_serve.Handler.create ~cache_size:64) in
+        let serve_request ~limits ~file ~source =
+          let req =
+            {
+              Kpt_serve.Protocol.id = 0;
+              cmd = Kpt_serve.Protocol.Check;
+              files = [ (file, source) ];
+              opts =
+                {
+                  Kpt_analysis.Driver.default_options with
+                  jobs = Some 1;
+                  limits;
+                  reorder = Engine.Reorder_off;
+                };
+            }
+          in
+          (* exercise the wire codec too: every request round-trips
+             through its JSON encoding before it is handled *)
+          match
+            Kpt_serve.Protocol.request_of_json
+              (Json.of_string (Json.to_string (Kpt_serve.Protocol.request_to_json req)))
+          with
+          | Ok req -> req
+          | Error m -> failwith ("difftest: protocol round-trip failed: " ^ m)
+        in
+        let extra_paths =
+          if no_serve then []
+          else
+            [
+              {
+                Kpt_analysis.Difftest.path_name = "serve";
+                run =
+                  (fun ~limits ~file ~source ->
+                    fst
+                      (Kpt_serve.Handler.handle (Lazy.force handler)
+                         (serve_request ~limits ~file ~source)));
+              };
+              {
+                Kpt_analysis.Difftest.path_name = "serve-cached";
+                run =
+                  (fun ~limits ~file ~source ->
+                    let req = serve_request ~limits ~file ~source in
+                    ignore (Kpt_serve.Handler.handle (Lazy.force handler) req);
+                    fst (Kpt_serve.Handler.handle (Lazy.force handler) req));
+              };
+            ]
+        in
+        let missing = ref [] in
+        let rows =
+          List.filter_map
+            (fun (inst : Kpt_gen.Gen.instance) ->
+              let path = Filename.concat dir inst.filename in
+              match read_file path with
+              | exception Sys_error _ ->
+                  missing := inst.filename :: !missing;
+                  None
+              | source ->
+                  let limits = Kpt_gen.Gen.limits_of_budget inst.budget in
+                  let t0 = Kpt_obs.now_ns () in
+                  let result =
+                    Kpt_analysis.Difftest.run_spec ~extra_paths ~expected:inst.expected
+                      ~seed:(Int64.add config.seed (Int64.of_int inst.id))
+                      ~limits ~file:inst.filename ~source ()
+                  in
+                  let ns = Int64.sub (Kpt_obs.now_ns ()) t0 in
+                  Some
+                    {
+                      Kpt_analysis.Difftest.o_family = inst.family;
+                      o_size = inst.size;
+                      o_fault = Kpt_gen.Gen.fault_to_string inst.fault;
+                      o_budget = Kpt_gen.Gen.budget_to_string inst.budget;
+                      o_ns = ns;
+                      o_result = result;
+                    })
+            instances
+        in
+        match !missing with
+        | f :: _ as fs ->
+            usage_error "kpt difftest: %d corpus file(s) missing (e.g. %s) — regenerate \
+                         with: kpt gen %s -o %s"
+              (List.length fs) f (gen_flag_summary config) dir
+        | [] ->
+            let results = List.map (fun o -> o.Kpt_analysis.Difftest.o_result) rows in
+            let comparisons =
+              List.fold_left
+                (fun a r -> a + r.Kpt_analysis.Difftest.r_comparisons)
+                0 results
+            in
+            let disagreements =
+              List.concat_map (fun r -> r.Kpt_analysis.Difftest.r_disagreements) results
+            in
+            List.iter
+              (fun (d : Kpt_analysis.Difftest.disagreement) ->
+                Format.printf "DISAGREEMENT %s: %s@.  %s@." d.d_check d.d_file d.d_detail;
+                (match d.d_shrunk with
+                | None -> ()
+                | Some src -> Format.printf "  shrunk reproducer:@.%s@." src);
+                Format.printf "  replay: %s=%s kpt gen %s -o DIR && kpt difftest DIR@."
+                  gen_seed_env
+                  (Kpt_gen.Rng.seed_to_string config.seed)
+                  (gen_flag_summary config))
+              disagreements;
+            (match report with
+            | None -> ()
+            | Some file ->
+                let doc =
+                  Kpt_analysis.Difftest.report_json
+                    ~seed:(Kpt_gen.Rng.seed_to_string config.seed)
+                    ~paths:(Kpt_analysis.Difftest.path_names ~extra_paths)
+                    rows
+                in
+                let oc = open_out_bin file in
+                output_string oc (Json.to_string doc ^ "\n");
+                close_out oc;
+                Format.printf "wrote %s@." file);
+            Format.printf "difftest: %d spec(s), %d comparison(s), %d disagreement(s)@."
+              (List.length rows) comparisons (List.length disagreements);
+            if disagreements = [] then 0 else 1)
+  in
+  Cmd.v
+    (Cmd.info "difftest"
+       ~doc:
+         "Run every spec of a generated corpus through pipeline pairs that must \
+          agree — $(b,-j1) vs $(b,-j3), $(b,--reorder off) vs $(b,auto), direct vs \
+          the in-process serve daemon, cold vs cached — byte-for-byte, plus \
+          verdict-preserving transforms (slice, variable renaming, statement \
+          permutation) and the manifest's expected envelope.  Disagreements are \
+          shrunk by statement removal and reported as replayable KPT_GEN_SEED \
+          cases.  Exit 1 on any disagreement.")
+    Term.(const run $ dir_arg $ limit_arg $ report_arg $ no_serve_arg)
+
 (* The CLI's robustness boundary.  [catch_break] turns Ctrl-C into
    [Sys.Break], which the pool drains cooperatively and we render as a
    partial-progress summary (exit 130, the conventional SIGINT code).
@@ -1226,7 +1539,7 @@ let () =
            [
              experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
              lint_cmd; slice_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
-             matrix_cmd; serve_cmd; client_cmd;
+             matrix_cmd; serve_cmd; client_cmd; gen_cmd; difftest_cmd;
            ])
     with
     | Sys.Break ->

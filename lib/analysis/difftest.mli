@@ -1,0 +1,106 @@
+(** The differential / metamorphic harness behind [kpt difftest].
+
+    Every way the toolchain can process a [.unity] source must agree:
+    byte-for-byte across [Driver] paths that promise identical rendering
+    ([-j1] vs [-jN], [--reorder off] vs [auto] in text mode, plus any
+    caller-injected path such as the serve daemon), and
+    verdict-for-verdict across transformations that may change bytes but
+    never meaning (slicing, variable renaming, statement permutation).
+    Disagreements are minimised by greedy statement removal and reported
+    with enough structure for a replayable [KPT_GEN_SEED] case. *)
+
+(** {1 Verdicts} *)
+
+type verdict = {
+  failed : bool;
+  codes : string list;  (** sorted, deduplicated diagnostic codes *)
+  klass : string;
+      (** ["standard"] | ["kbp_converged"] | ["kbp_cycle"] |
+          ["exhausted"] | ["error"] *)
+  exit_code : int;  (** {!Check.run_sources} semantics: [0] | [1] | [3] *)
+}
+
+val envelope_limits : Kpt_predicate.Budget.limits
+(** The generous wall-clock-free budget verdict comparisons run under —
+    exhaustion under it is deterministic and machine-independent. *)
+
+val verdict_of_report : Check.report -> verdict
+
+val check_verdict :
+  ?slice:bool -> limits:Kpt_predicate.Budget.limits -> file:string -> string -> verdict
+(** One fresh-engine {!Check.reports} run, summarised. *)
+
+val verdict_to_string : verdict -> string
+
+(** {1 Paths} *)
+
+type runner =
+  limits:Kpt_predicate.Budget.limits -> file:string -> source:string -> Driver.outcome
+
+type path = { path_name : string; run : runner }
+
+val base_path : path
+(** [check -j1 --reorder off] — the reference every byte pair compares
+    against. *)
+
+val builtin_paths : path list
+(** [check -j3] and [check --reorder auto]. *)
+
+val path_names : extra_paths:path list -> string list
+(** Every check a {!run_spec} with these extras performs, for reports. *)
+
+(** {1 Running} *)
+
+type disagreement = {
+  d_file : string;
+  d_check : string;  (** e.g. ["path:check-j1-vs-check-j3"], ["metamorphic:rename"] *)
+  d_detail : string;
+  d_shrunk : string option;  (** minimised reproducer source *)
+}
+
+type spec_result = {
+  r_file : string;
+  r_verdict : verdict;  (** base-path verdict under the instance budget *)
+  r_comparisons : int;
+  r_disagreements : disagreement list;
+}
+
+val shrink : still_bad:(string -> bool) -> string -> string option
+(** Greedy statement removal while [still_bad] holds on the unparsed
+    candidate; [None] when the source does not parse. *)
+
+val run_spec :
+  ?extra_paths:path list ->
+  ?expected:verdict ->
+  ?seed:int64 ->
+  limits:Kpt_predicate.Budget.limits ->
+  file:string ->
+  source:string ->
+  unit ->
+  spec_result
+(** All comparisons for one spec: byte pairs (base vs built-in vs
+    [extra_paths]) under [limits], the manifest-envelope differential
+    (when [expected] is given), then slice / rename / permute verdict
+    comparisons under {!envelope_limits}.  [seed] keys the permutation.
+    Every disagreement is shrunk before being reported. *)
+
+(** {1 Corpus aggregation} *)
+
+type obs = {
+  o_family : string;
+  o_size : int;
+  o_fault : string;
+  o_budget : string;  (** ["none"] or ["fuel:N"] *)
+  o_ns : int64;  (** wall time of the spec's comparisons *)
+  o_result : spec_result;
+}
+
+val loglog_slope : (int * int64) list -> float option
+(** Least-squares slope of [log ns] against [log size]; [None] below two
+    distinct sizes. *)
+
+val report_json : seed:string -> paths:string list -> obs list -> Json.t
+(** The [CORPUS_RESULTS.json] document: corpus metadata, the
+    comparison/pass-rate block, outcome and lint distributions,
+    budget-exhaustion rates, per-family time-vs-size fits, and (unpinned)
+    timings. *)

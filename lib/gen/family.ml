@@ -1,0 +1,442 @@
+(* Parameterised protocol families for the generated corpus.
+
+   Every builder constructs a surface AST ([Kpt_syntax.Ast.program]) —
+   not library-level [Program.t]s — because the corpus deliverable is
+   a directory of well-formed [.unity] files: the same bytes a user
+   would feed the CLI, unparsed via [Mutate.to_source].
+
+   The families cover the repo's behaviour classes on purpose:
+
+   - [ring]      n-station token ring        — standard, converging SI
+   - [transmit]  the §6 sequence transmission (transmit.unity scaled
+                 to any horizon)             — standard, with a wire
+   - [relay]     an m-hop knowledge relay (relay.unity generalised)
+                 — a well-posed KBP whose Ĝ-iteration converges
+   - [antiknow]  n disjoint copies of Figure 1 — the ill-posed KBP
+                 whose chaotic iteration cycles
+   - [mutex]     n-process turn mutex        — standard, shared turn
+   - [odometer]  d-digit base-4 counter      — deep sst chain, and the
+                 no-processes corner of the grammar
+   - [soup]      random guarded programs over n variables (the
+                 proplaws scenario shape, surfaced as text), sometimes
+                 with a knowledge guard — the anything-goes diversity
+
+   Builders take the instance's PRNG only for {e jitter} that must not
+   change the verdict (statement order); [soup] is random through and
+   through.  [loss] lists the fault-injection statements a lossy channel
+   adds — empty when the family has no channel to lose. *)
+
+open Kpt_syntax
+open Ast
+
+(* ---- tiny AST helpers ------------------------------------------------------- *)
+
+let e node = Ast.mk node
+let v x = e (Eident x)
+let num k = e (Enum k)
+let tru = e Etrue
+let fls = e Efalse
+let not_ a = e (Enot a)
+let ( &&& ) a b = e (Eand (a, b))
+let ( ||| ) a b = e (Eor (a, b))
+let eq a b = e (Eeq (a, b))
+let lt a b = e (Elt (a, b))
+let le a b = e (Ele (a, b))
+let gt a b = e (Egt (a, b))
+let add a b = e (Eadd (a, b))
+let sub a b = e (Esub (a, b))
+let idx a i = e (Eindex (a, i))
+let know p a = e (Eknow (p, a))
+let conj = function [] -> tru | x :: xs -> List.fold_left ( &&& ) x xs
+
+let stmt name targets exprs guard =
+  {
+    s_name = Some name;
+    s_targets = List.map (fun t -> Tvar t) targets;
+    s_exprs = exprs;
+    s_guard = guard;
+    s_span = Loc.dummy;
+  }
+
+let prog name vars processes init stmts =
+  {
+    p_name = name;
+    p_vars = List.map (fun (ns, ty) -> (List.map (fun n -> (n, Loc.dummy)) ns, ty)) vars;
+    p_processes = List.map (fun (n, vs) -> (n, vs, Loc.dummy)) processes;
+    p_init = init;
+    p_stmts = stmts;
+  }
+
+type built = {
+  ast : program;
+  loss : stmt list;
+      (* statements a lossy channel adds; [] = no channel, loss inapplicable *)
+}
+
+(* ---- ring ------------------------------------------------------------------- *)
+
+(* the token_ring.unity shape at any n: token circulates, a station only
+   works while holding it, finished work hands it on; [done_] saturates
+   so the program halts *)
+let ring ~n _g =
+  let n = max 2 n in
+  let busy i = Printf.sprintf "busy%d" i in
+  let stations = List.init n Fun.id in
+  let vars =
+    [ ([ "token" ], Tnat (n - 1)) ]
+    @ [ (List.map busy stations, Tbool) ]
+    @ [ ([ "work" ], Tnat n) ]
+  in
+  let processes =
+    List.map (fun i -> (Printf.sprintf "S%d" i, [ "token"; busy i; "work" ])) stations
+  in
+  let init =
+    conj
+      ((eq (v "token") (num 0) :: List.map (fun i -> not_ (v (busy i))) stations)
+      @ [ eq (v "work") (num 0) ])
+  in
+  let stmts =
+    List.concat_map
+      (fun i ->
+        [
+          stmt
+            (Printf.sprintf "work%d" i)
+            [ busy i ] [ tru ]
+            (Some (eq (v "token") (num i) &&& not_ (v (busy i))));
+          stmt
+            (Printf.sprintf "rest%d" i)
+            [ busy i; "token"; "work" ]
+            [ fls; num ((i + 1) mod n); add (v "work") (num 1) ]
+            (Some (v (busy i) &&& lt (v "work") (num n)));
+        ])
+      stations
+  in
+  { ast = prog "ring" vars processes init stmts; loss = [] }
+
+(* ---- transmit --------------------------------------------------------------- *)
+
+(* transmit.unity at horizon [n] (alphabet fixed at {0,1}): the sender
+   publishes x[i] on a wire with its index, the receiver delivers in
+   order.  The wire is the channel: loss clears it back to the empty
+   mark [n]. *)
+let transmit ~n _g =
+  let n = max 2 n in
+  let vars =
+    [
+      ([ "x" ], Tarray (Tnat 1, n));
+      ([ "w" ], Tarray (Tnat 1, n));
+      ([ "i"; "j" ], Tnat n);
+      ([ "wire_idx" ], Tnat n);
+      ([ "wire_val" ], Tnat 1);
+    ]
+  in
+  let processes = [ ("Sender", [ "x"; "i" ]); ("Receiver", [ "w"; "j" ]) ] in
+  let init =
+    conj
+      ([ eq (v "i") (num 0); eq (v "j") (num 0) ]
+      @ List.init n (fun k -> eq (idx "w" (num k)) (num 0))
+      @ [ eq (v "wire_idx") (num n); eq (v "wire_val") (num 0) ])
+  in
+  let stmts =
+    [
+      {
+        (stmt "send" [] [] None) with
+        s_targets = [ Tvar "wire_idx"; Tvar "wire_val" ];
+        s_exprs = [ v "i"; idx "x" (v "i") ];
+        s_guard = Some (lt (v "i") (num n) &&& le (v "i") (v "j"));
+      };
+      stmt "advance" [ "i" ]
+        [ add (v "i") (num 1) ]
+        (Some (conj [ lt (v "i") (num n); eq (v "wire_idx") (v "i"); gt (v "j") (v "i") ]));
+      {
+        (stmt "deliver" [] [] None) with
+        s_targets = [ Tindex ("w", v "j"); Tvar "j" ];
+        s_exprs = [ v "wire_val"; add (v "j") (num 1) ];
+        s_guard = Some (eq (v "wire_idx") (v "j") &&& lt (v "j") (num n));
+      };
+    ]
+  in
+  {
+    ast = prog "transmit" vars processes init stmts;
+    loss =
+      [ stmt "lose" [ "wire_idx" ] [ num n ] (Some (lt (v "wire_idx") (num n))) ];
+  }
+
+(* ---- relay ------------------------------------------------------------------ *)
+
+(* relay.unity generalised to an m-hop chain: flag b0 is raised and
+   published hop by hop; stage i copies once it KNOWS b_{i-1} (the wire
+   w_i is only ever driven by a raised b_{i-1}, so the knowledge guard
+   is locally implementable and Ĝ converges).  The wires are the
+   channel. *)
+let relay ~n:m _g =
+  let m = max 1 m in
+  let b i = Printf.sprintf "b%d" i in
+  let w i = Printf.sprintf "w%d" i in
+  let hops = List.init m (fun i -> i + 1) in
+  let vars =
+    [ (List.init (m + 1) b, Tbool); (List.map w hops, Tbool) ]
+  in
+  let processes =
+    (* P0 drives b0 and the first wire; Pi sees its in-wire, its copy
+       and (inner hops) the out-wire it drives *)
+    ("P0", [ b 0; w 1 ])
+    :: List.map
+         (fun i ->
+           ( Printf.sprintf "P%d" i,
+             if i < m then [ w i; b i; w (i + 1) ] else [ w i; b i ] ))
+         hops
+  in
+  let init =
+    conj (List.init (m + 1) (fun i -> not_ (v (b i))) @ List.map (fun i -> not_ (v (w i))) hops)
+  in
+  let stmts =
+    stmt "raise" [ b 0 ] [ tru ] (Some (not_ (v (b 0))))
+    :: List.concat_map
+         (fun i ->
+           [
+             stmt (Printf.sprintf "pub%d" i) [ w i ] [ tru ]
+               (Some (v (b (i - 1)) &&& not_ (v (w i))));
+             stmt
+               (Printf.sprintf "copy%d" i)
+               [ b i ] [ tru ]
+               (Some (know (Printf.sprintf "P%d" i) (v (b (i - 1))) &&& not_ (v (b i))));
+           ])
+         hops
+  in
+  {
+    ast = prog "relay" vars processes init stmts;
+    loss =
+      List.map
+        (fun i -> stmt (Printf.sprintf "lose%d" i) [ w i ] [ fls ] (Some (v (w i))))
+        hops;
+  }
+
+(* ---- antiknow --------------------------------------------------------------- *)
+
+(* [n] disjoint copies of Figure 1 — the KBP with no solution: P0 only
+   sees [shared], its guard asks whether it KNOWS x is still false, and
+   the chaotic iteration enters a cycle instead of converging.  The
+   shared flag doubles as the lossy channel. *)
+let antiknow ~n _g =
+  let n = max 1 n in
+  let sh i = Printf.sprintf "shared%d" i in
+  let x i = Printf.sprintf "x%d" i in
+  let copies = List.init n Fun.id in
+  let vars = [ (List.map sh copies, Tbool); (List.map x copies, Tbool) ] in
+  let processes =
+    List.concat_map
+      (fun i ->
+        [
+          (Printf.sprintf "A%d" i, [ sh i ]);
+          (Printf.sprintf "B%d" i, [ sh i; x i ]);
+        ])
+      copies
+  in
+  let init = conj (List.concat_map (fun i -> [ not_ (v (sh i)); not_ (v (x i)) ]) copies) in
+  let stmts =
+    List.concat_map
+      (fun i ->
+        [
+          stmt (Printf.sprintf "ask%d" i) [ sh i ] [ tru ]
+            (Some (know (Printf.sprintf "A%d" i) (not_ (v (x i)))));
+          stmt
+            (Printf.sprintf "take%d" i)
+            [ x i; sh i ] [ tru; fls ]
+            (Some (v (sh i)));
+        ])
+      copies
+  in
+  {
+    ast = prog "antiknow" vars processes init stmts;
+    loss =
+      List.map
+        (fun i -> stmt (Printf.sprintf "lose%d" i) [ sh i ] [ fls ] (Some (v (sh i))))
+        copies;
+  }
+
+(* ---- mutex ------------------------------------------------------------------ *)
+
+(* the mutex.unity shape at any n: try / enter (when it is your turn and
+   nobody is critical) / exit passing the turn on *)
+let mutex ~n _g =
+  let n = max 2 n in
+  let t i = Printf.sprintf "t%d" i in
+  let c i = Printf.sprintf "c%d" i in
+  let ps = List.init n Fun.id in
+  let vars =
+    [ (List.concat_map (fun i -> [ t i; c i ]) ps, Tbool); ([ "turn" ], Tnat (n - 1)) ]
+  in
+  let processes = List.map (fun i -> (Printf.sprintf "P%d" i, [ t i; c i; "turn" ])) ps in
+  let init =
+    conj
+      (List.concat_map (fun i -> [ not_ (v (t i)); not_ (v (c i)) ]) ps
+      @ [ eq (v "turn") (num 0) ])
+  in
+  let others i = List.filter (fun j -> j <> i) ps in
+  let stmts =
+    List.concat_map
+      (fun i ->
+        [
+          stmt (Printf.sprintf "try%d" i) [ t i ] [ tru ]
+            (Some (not_ (v (t i)) &&& not_ (v (c i))));
+          stmt
+            (Printf.sprintf "enter%d" i)
+            [ c i; t i ] [ tru; fls ]
+            (Some
+               (conj
+                  (v (t i) :: eq (v "turn") (num i)
+                  :: List.map (fun j -> not_ (v (c j))) (others i))));
+          stmt
+            (Printf.sprintf "exit%d" i)
+            [ c i; "turn" ]
+            [ fls; num ((i + 1) mod n) ]
+            (Some (v (c i)));
+        ])
+      ps
+  in
+  { ast = prog "mutex" vars processes init stmts; loss = [] }
+
+(* ---- odometer --------------------------------------------------------------- *)
+
+(* a [d]-digit base-4 odometer: one new state per tick, so sst walks a
+   long frontier chain — the deep-fixpoint end of the corpus, and the
+   processes-section-free corner of the grammar *)
+let odometer ~n:d _g =
+  let d = max 1 d in
+  let dg i = Printf.sprintf "d%d" i in
+  let digits = List.init d Fun.id in
+  let vars = [ (List.map dg digits, Tnat 3) ] in
+  let init = conj (List.map (fun i -> eq (v (dg i)) (num 0)) digits) in
+  let full upto = List.init upto (fun i -> eq (v (dg i)) (num 3)) in
+  let stmts =
+    stmt "tick" [ dg 0 ] [ add (v (dg 0)) (num 1) ] (Some (lt (v (dg 0)) (num 3)))
+    :: List.filter_map
+         (fun i ->
+           if i = 0 then None
+           else
+             Some
+               (stmt
+                  (Printf.sprintf "carry%d" i)
+                  (List.init (i + 1) dg)
+                  (List.init i (fun _ -> num 0) @ [ add (v (dg i)) (num 1) ])
+                  (Some (conj (full i @ [ lt (v (dg i)) (num 3) ])))))
+         digits
+  in
+  { ast = prog "odometer" vars [] init stmts; loss = [] }
+
+(* ---- soup ------------------------------------------------------------------- *)
+
+(* random guarded programs over [n] variables — the proplaws scenario
+   shape, surfaced as text.  Guards and boolean right-hand sides are
+   random formulas; nat assignments stay range-safe by pairing [+1]/[-1]
+   with the matching bound in the guard (the Program.make totality check
+   is guard-aware).  With two processes declared, an occasional
+   knowledge guard turns the instance into a KBP whose class the
+   envelope records. *)
+let soup ~n g =
+  let n = max 2 n in
+  let vars = List.init n (fun i -> Printf.sprintf "v%d" i) in
+  (* each variable: bool (2/3) or nat(1..2) (1/3) *)
+  let tys = List.map (fun x -> (x, if Rng.int g 3 < 2 then Tbool else Tnat (1 + Rng.int g 2))) vars in
+  let card x = match List.assoc x tys with Tbool -> 2 | Tnat k -> k + 1 | _ -> 2 in
+  let is_bool x = List.assoc x tys = Tbool in
+  let rec bexpr depth =
+    let leaf () =
+      let x = Rng.pick g vars in
+      if is_bool x then if Rng.bool g then v x else not_ (v x)
+      else
+        let k = num (Rng.int g (card x)) in
+        if Rng.bool g then eq (v x) k else le (v x) k
+    in
+    if depth = 0 then match Rng.int g 6 with 0 -> tru | 1 -> fls | _ -> leaf ()
+    else
+      match Rng.int g 5 with
+      | 0 -> bexpr (depth - 1) &&& bexpr (depth - 1)
+      | 1 -> bexpr (depth - 1) ||| bexpr (depth - 1)
+      | 2 -> e (Eimp (bexpr (depth - 1), bexpr (depth - 1)))
+      | 3 -> not_ (bexpr (depth - 1))
+      | _ -> leaf ()
+  in
+  (* two processes over a random cover of the variables *)
+  let side = List.map (fun x -> (x, Rng.int g 3)) vars in
+  let view s =
+    match List.filter_map (fun (x, k) -> if k = s || k = 2 then Some x else None) side with
+    | [] -> [ Rng.pick g vars ]
+    | vs -> vs
+  in
+  let processes = [ ("P0", view 0); ("P1", view 1) ] in
+  let nstmts = 2 + Rng.int g 3 in
+  let stmts =
+    List.init nstmts (fun i ->
+        let x = Rng.pick g vars in
+        let base_guard = bexpr 2 in
+        let rhs, guard =
+          if is_bool x then
+            ( (match Rng.int g 4 with
+              | 0 -> tru
+              | 1 -> fls
+              | 2 -> not_ (v x)
+              | _ -> bexpr 1),
+              base_guard )
+          else
+            let top = card x - 1 in
+            match Rng.int g 4 with
+            | 0 -> (num (Rng.int g (card x)), base_guard)
+            | 1 -> (v x, base_guard)
+            | 2 -> (add (v x) (num 1), base_guard &&& lt (v x) (num top))
+            | _ -> (sub (v x) (num 1), base_guard &&& gt (v x) (num 0))
+        in
+        (* an occasional knowledge guard makes this instance a KBP *)
+        let guard =
+          if Rng.int g 6 = 0 then
+            know (if Rng.bool g then "P0" else "P1") guard
+          else guard
+        in
+        stmt (Printf.sprintf "s%d" i) [ x ] [ rhs ] (Some guard))
+  in
+  (* group same-type variables in declaration order *)
+  let decls =
+    let bools = List.filter is_bool vars in
+    let nats = List.filter (fun x -> not (is_bool x)) vars in
+    (if bools = [] then [] else [ (bools, Tbool) ])
+    @ List.map (fun x -> ([ x ], List.assoc x tys)) nats
+  in
+  let init =
+    (* satisfiable by construction: at most one literal per variable,
+       so the conjunction always has a model (unconstrained variables
+       just widen the initial region) *)
+    match
+      List.filter_map
+        (fun x ->
+          if Rng.int g 3 = 0 then None
+          else if is_bool x then Some (if Rng.bool g then v x else not_ (v x))
+          else Some (eq (v x) (num (Rng.int g (card x)))))
+        vars
+    with
+    | [] -> tru
+    | ls -> conj ls
+  in
+  { ast = prog "soup" decls processes init stmts; loss = [] }
+
+(* ---- the registry ------------------------------------------------------------ *)
+
+type t = {
+  name : string;
+  min_size : int;
+  build : n:int -> Rng.t -> built;
+}
+
+let all =
+  [
+    { name = "ring"; min_size = 2; build = (fun ~n g -> ring ~n g) };
+    { name = "transmit"; min_size = 2; build = (fun ~n g -> transmit ~n g) };
+    { name = "relay"; min_size = 1; build = (fun ~n g -> relay ~n g) };
+    { name = "antiknow"; min_size = 1; build = (fun ~n g -> antiknow ~n g) };
+    { name = "mutex"; min_size = 2; build = (fun ~n g -> mutex ~n g) };
+    { name = "odometer"; min_size = 1; build = (fun ~n g -> odometer ~n g) };
+    { name = "soup"; min_size = 2; build = (fun ~n g -> soup ~n g) };
+  ]
+
+let find name = List.find_opt (fun f -> f.name = name) all
+let names = List.map (fun f -> f.name) all

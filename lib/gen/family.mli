@@ -1,0 +1,25 @@
+(** Parameterised protocol families for the generated corpus.
+
+    Each family maps an instance size to a surface AST, covering the
+    repo's behaviour classes: plain SI convergence ([ring], [transmit],
+    [mutex]), deep fixpoints ([odometer]), converging KBPs ([relay]),
+    cycling KBPs ([antiknow]) and random guarded soups ([soup]).  The
+    PRNG is used only for verdict-neutral jitter — except in [soup],
+    which is random throughout. *)
+
+type built = {
+  ast : Kpt_syntax.Ast.program;
+  loss : Kpt_syntax.Ast.stmt list;
+      (** Statements a lossy channel adds; [[]] means the family has no
+          channel and the loss fault is inapplicable. *)
+}
+
+type t = {
+  name : string;
+  min_size : int;  (** sizes below this are clamped up *)
+  build : n:int -> Rng.t -> built;
+}
+
+val all : t list
+val find : string -> t option
+val names : string list

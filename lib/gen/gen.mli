@@ -1,0 +1,98 @@
+(** The corpus generator behind [kpt gen].
+
+    {b Determinism contract.}  Instance [i] of a configuration is a
+    function of [(seed, i, grid)] alone: its randomness comes from the
+    position-addressed stream {!Rng.derive}[ seed i], never a shared
+    cursor.  Same flags + same seed = byte-identical corpus, on any
+    machine, at any count. *)
+
+type fault = Fnone | Floss | Fstutter
+type budget = Bnone | Bfuel of int
+
+val fault_to_string : fault -> string
+val fault_of_string : string -> fault option
+val budget_to_string : budget -> string
+
+val budget_of_string : string -> budget option
+(** ["none"] or ["fuel:N"] with [N > 0]. *)
+
+val envelope_limits : Kpt_predicate.Budget.limits
+(** {!Kpt_analysis.Difftest.envelope_limits} — the generous,
+    wall-clock-free budget expected envelopes are computed under (and
+    difftest legs re-run under): deterministic exhaustion,
+    machine-independent classes. *)
+
+val limits_of_budget : budget -> Kpt_predicate.Budget.limits
+(** [Bnone] maps to {!envelope_limits}; [Bfuel f] keeps the node ceiling
+    but tightens fuel to [f]. *)
+
+type expected = Kpt_analysis.Difftest.verdict = {
+  failed : bool;
+  codes : string list;  (** sorted, deduplicated diagnostic codes *)
+  klass : string;
+      (** ["standard"] | ["kbp_converged"] | ["kbp_cycle"] |
+          ["exhausted"] | ["error"] *)
+  exit_code : int;  (** [0] | [1] | [3], {!Kpt_analysis.Check.run_sources} semantics *)
+}
+(** The manifest stores the gen-time side of the gen-vs-run
+    differential, so the envelope {e is} a difftest verdict. *)
+
+type instance = {
+  id : int;
+  family : string;
+  size : int;
+  fault : fault;
+  budget : budget;
+  filename : string;
+  source : string;  (** empty when parsed back from a manifest *)
+  expected : expected;
+}
+
+type config = {
+  families : string list;
+  sizes : int list;
+  faults : fault list;
+  budgets : budget list;
+  count : int;
+  seed : int64;
+}
+
+val default_config : config
+
+exception Bad_config of string
+
+val validate : config -> unit
+(** @raise Bad_config on empty axes, non-positive sizes/count or unknown
+    family names. *)
+
+val grid : config -> (string * int * fault * budget) list
+(** The applicability-filtered combination grid (loss is skipped for
+    families without a channel), family-major order. *)
+
+val build_instance : config -> (string * int * fault * budget) list -> int -> instance
+(** [build_instance config (grid config) i] — one instance, including
+    its computed envelope; position-addressed, so independent of every
+    other instance. *)
+
+val generate : config -> instance list
+(** Instances [0 .. count-1].  @raise Bad_config as {!validate}. *)
+
+val manifest_json : config -> instance list -> Json.t
+
+exception Bad_manifest of string
+
+val instances_of_manifest : Json.t -> instance list
+(** @raise Bad_manifest naming the missing/ill-typed field. *)
+
+val write_corpus : dir:string -> config -> instance list
+(** Generate, write every [.unity] file plus [manifest.json] into [dir]
+    (created if missing), return the instances. *)
+
+val config_of_manifest : Json.t -> config
+(** The generation flags stored in a manifest — what a replay banner
+    needs.  @raise Bad_manifest naming the missing/ill-typed field. *)
+
+val read_manifest : string -> config * instance list
+(** [read_manifest dir] parses [dir/manifest.json] back into the corpus
+    configuration and its instances ([source] left empty).
+    @raise Bad_manifest on absence or malformation. *)

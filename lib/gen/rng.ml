@@ -1,0 +1,66 @@
+(* SplitMix64 (Steele, Lea & Flood): a 64-bit counter sequence pushed
+   through a finalizing mixer.  Passes BigCrush; two instructions of
+   state.  Promoted from test/test_proplaws.ml so the spec generator,
+   the difftest harness and the property suites all replay from the same
+   seed discipline — no dependency on [Random]'s unspecified evolution
+   across OCaml releases. *)
+
+type t = { mutable state : int64 }
+
+let make seed = { state = seed }
+let of_int seed = make (Int64.of_int seed)
+
+let copy t = { state = t.state }
+
+let next t =
+  t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
+
+let bool t = Int64.logand (next t) 1L = 1L
+
+(* An independent stream: one draw of the parent keys a child generator.
+   The derived seed is a mixer output, so sibling streams started from
+   consecutive draws are statistically unrelated. *)
+let split t = make (next t)
+
+(* The [i]-th derived stream of [seed], position-addressed: instance
+   [i] of a corpus draws from [derive seed i] no matter how many other
+   instances were generated before it — the property that makes
+   [--count 1] replay of one corpus member possible. *)
+let derive seed i =
+  let g = make seed in
+  g.state <- Int64.add g.state (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L);
+  split g
+
+let pick t = function
+  | [] -> invalid_arg "Rng.pick"
+  | xs -> List.nth xs (int t (List.length xs))
+
+(* Fisher-Yates on an array copy; deterministic in the stream. *)
+let shuffle t xs =
+  let a = Array.of_list xs in
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done;
+  Array.to_list a
+
+(* a [Random.State.t] seeded from this stream, for library helpers
+   ([Pred.random]) that want one — still fully determined by the seed *)
+let random_state t = Random.State.make [| int t 0x3FFFFFFF; int t 0x3FFFFFFF |]
+
+let seed_of_string s =
+  match Int64.of_string_opt s with
+  | Some v -> Some v
+  | None -> Int64.of_string_opt ("0x" ^ s)
+
+let seed_to_string s = Printf.sprintf "0x%Lx" s

@@ -1,0 +1,44 @@
+(** Seeded deterministic PRNG (SplitMix64) for the spec generator and
+    the fuzz suites.
+
+    Every random draw in the corpus pipeline flows from one of these, so
+    a failure is replayable bit-for-bit from the printed seed: no
+    dependence on [Random]'s unspecified evolution across OCaml
+    releases, no dependence on generation order thanks to {!derive}. *)
+
+type t
+
+val make : int64 -> t
+val of_int : int -> t
+val copy : t -> t
+
+val next : t -> int64
+(** The raw 64-bit stream. *)
+
+val int : t -> int -> int
+(** [int t bound] draws from [\[0, bound)].  Raises [Invalid_argument]
+    on [bound <= 0]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** An independent child stream keyed by one draw of the parent. *)
+
+val derive : int64 -> int -> t
+(** [derive seed i] is the [i]-th derived stream of [seed],
+    position-addressed: corpus instance [i] draws the same randomness
+    whether it is generated alone or as part of a thousand. *)
+
+val pick : t -> 'a list -> 'a
+val shuffle : t -> 'a list -> 'a list
+
+val random_state : t -> Random.State.t
+(** A [Random.State.t] keyed from this stream, for library helpers
+    ([Pred.random]) that want one — still fully determined by the
+    seed. *)
+
+val seed_of_string : string -> int64 option
+(** Accepts decimal and (with or without the [0x] prefix) hex. *)
+
+val seed_to_string : int64 -> string
+(** Canonical [0x%Lx] rendering, accepted back by {!seed_of_string}. *)

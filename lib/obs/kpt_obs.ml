@@ -335,6 +335,27 @@ module Gate = struct
   let benchmarks_of_json src = object_members "benchmarks_ns_per_run" src
   let counters_of_json src = object_members "counters" src
 
+  (* The one message an incomplete results file produces — structured
+     enough to act on (which file, which section, optionally which
+     benchmark within it), and pinned verbatim by the unit tests so the
+     CI log stays greppable. *)
+  let missing_section_message ~file ~section ?benchmark () =
+    match benchmark with
+    | None ->
+        Printf.sprintf
+          "%s is incomplete — section %S is missing or malformed; re-run the bench \
+           suite to regenerate it"
+          file section
+    | Some b ->
+        Printf.sprintf "%s is incomplete — benchmark %S is missing from section %S" file
+          b section
+
+  (* [require_section ~file ~section parse src]: run a section scanner,
+     converting its bare [Failure] into the structured message above. *)
+  let require_section ~file ~section parse src =
+    try parse src
+    with Failure _ -> failwith (missing_section_message ~file ~section ())
+
   let scaling_of_json src =
     let n = String.length src in
     let i = find_sub src "\"scaling_standard_protocol\"" 0 in

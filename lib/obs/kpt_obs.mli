@@ -187,6 +187,20 @@ module Gate : sig
       [family] field existed read as ["seqtrans"].
       @raise Failure if the section is absent or malformed. *)
 
+  val missing_section_message :
+    file:string -> section:string -> ?benchmark:string -> unit -> string
+  (** The one diagnostic an incomplete results file produces: names the
+      file, the section, and (when given) the benchmark missing within
+      it.  Pinned verbatim by the unit tests so CI logs stay
+      greppable. *)
+
+  val require_section :
+    file:string -> section:string -> (string -> 'a) -> string -> 'a
+  (** Run a section scanner ({!benchmarks_of_json}, {!counters_of_json},
+      {!scaling_of_json}), converting its bare [Failure] into
+      {!missing_section_message}.
+      @raise Failure with the structured message. *)
+
   val check : ?tolerance:float -> baseline:string -> string -> report
   (** [check ~baseline current] compares two bench JSON {e contents}
       (not paths).  A benchmark

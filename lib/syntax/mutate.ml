@@ -1,0 +1,123 @@
+(* Surface-AST transformations for the corpus pipeline: the metamorphic
+   transforms the difftest harness checks verdict-preservation of
+   (variable renaming, statement permutation), the shrinker's statement
+   removal, and the unparser that turns a transformed AST back into
+   concrete [.unity] syntax.
+
+   Everything here is span-oblivious: transformed nodes keep (or dummy)
+   their spans, and [to_source] goes through [Ast.pp_program], whose
+   output the parser accepts back — pinned by the round-trip tests. *)
+
+open Ast
+
+let declared_vars p = List.concat_map (fun (names, _) -> List.map fst names) p.p_vars
+
+(* every identifier the program mentions anywhere a fresh name could
+   collide with: variables, process names, enum literals *)
+let all_idents p =
+  let enums =
+    List.concat_map
+      (fun (_, ty) ->
+        let rec of_ty = function
+          | Tenum vs -> vs
+          | Tarray (ty, _) -> of_ty ty
+          | Tbool | Tnat _ -> []
+        in
+        of_ty ty)
+      p.p_vars
+  in
+  declared_vars p @ List.map (fun (n, _, _) -> n) p.p_processes @ enums
+
+(* ---- variable renaming ------------------------------------------------------ *)
+
+let rec rename_expr f e =
+  let node =
+    match e.expr with
+    | (Etrue | Efalse | Enum _) as n -> n
+    | Eident x -> Eident (f x)
+    | Enot a -> Enot (rename_expr f a)
+    | Eand (a, b) -> Eand (rename_expr f a, rename_expr f b)
+    | Eor (a, b) -> Eor (rename_expr f a, rename_expr f b)
+    | Eimp (a, b) -> Eimp (rename_expr f a, rename_expr f b)
+    | Eiff (a, b) -> Eiff (rename_expr f a, rename_expr f b)
+    | Eeq (a, b) -> Eeq (rename_expr f a, rename_expr f b)
+    | Ene (a, b) -> Ene (rename_expr f a, rename_expr f b)
+    | Elt (a, b) -> Elt (rename_expr f a, rename_expr f b)
+    | Ele (a, b) -> Ele (rename_expr f a, rename_expr f b)
+    | Egt (a, b) -> Egt (rename_expr f a, rename_expr f b)
+    | Ege (a, b) -> Ege (rename_expr f a, rename_expr f b)
+    | Eadd (a, b) -> Eadd (rename_expr f a, rename_expr f b)
+    | Esub (a, b) -> Esub (rename_expr f a, rename_expr f b)
+    | Eindex (a, i) -> Eindex (f a, rename_expr f i)
+    | Eknow (p, a) -> Eknow (p, rename_expr f a)  (* process names survive *)
+    | Egroup (k, ps, a) -> Egroup (k, ps, rename_expr f a)
+  in
+  { e with expr = node }
+
+let rename_target f = function
+  | Tvar x -> Tvar (f x)
+  | Tindex (a, i) -> Tindex (f a, rename_expr f i)
+
+let rename_stmt f s =
+  {
+    s with
+    s_targets = List.map (rename_target f) s.s_targets;
+    s_exprs = List.map (rename_expr f) s.s_exprs;
+    s_guard = Option.map (rename_expr f) s.s_guard;
+  }
+
+(* [rename_vars map p]: apply a (total on declared variables, identity
+   elsewhere) renaming everywhere a variable can occur.  Enum literals
+   and process names are left alone — only identifiers that resolve to
+   variables change. *)
+let rename_vars map p =
+  let vars = declared_vars p in
+  let f x = if List.mem x vars then (try List.assoc x map with Not_found -> x) else x in
+  {
+    p with
+    p_vars = List.map (fun (names, ty) -> (List.map (fun (n, sp) -> (f n, sp)) names, ty)) p.p_vars;
+    p_processes = List.map (fun (n, vs, sp) -> (n, List.map f vs, sp)) p.p_processes;
+    p_init = rename_expr f p.p_init;
+    p_stmts = List.map (rename_stmt f) p.p_stmts;
+  }
+
+(* A total fresh renaming [v -> g<i>] (skipping any [g<i>] the program
+   already mentions), in declaration order — the canonical metamorphic
+   rename. *)
+let fresh_renaming p =
+  let taken = all_idents p in
+  let next = ref 0 in
+  List.map
+    (fun v ->
+      let rec fresh () =
+        let cand = Printf.sprintf "g%d" !next in
+        incr next;
+        if List.mem cand taken then fresh () else cand
+      in
+      (v, fresh ()))
+    (declared_vars p)
+
+(* ---- statement-list surgery ------------------------------------------------- *)
+
+(* [permute_stmts order p]: reorder the assign section by the given
+   permutation of [0 .. n-1] (indices into the original list).  UNITY
+   statements are an unordered set, so every verdict must survive. *)
+let permute_stmts order p =
+  let stmts = Array.of_list p.p_stmts in
+  if List.sort compare order <> List.init (Array.length stmts) Fun.id then
+    invalid_arg "Mutate.permute_stmts: not a permutation";
+  { p with p_stmts = List.map (fun i -> stmts.(i)) order }
+
+(* [drop_stmt i p]: remove the [i]-th statement — the shrinker's one
+   move.  The parser requires a non-empty assign section, so dropping
+   the last statement is refused. *)
+let drop_stmt i p =
+  if List.length p.p_stmts <= 1 then invalid_arg "Mutate.drop_stmt: last statement";
+  { p with p_stmts = List.filteri (fun j _ -> j <> i) p.p_stmts }
+
+(* ---- unparsing -------------------------------------------------------------- *)
+
+(* Concrete syntax the parser accepts back; the round-trip
+   [program_of_string (to_source p)] is span-insensitively equal to [p]
+   (pinned in test_syntax). *)
+let to_source p = Format.asprintf "%a@." Ast.pp_program p

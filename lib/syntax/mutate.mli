@@ -1,0 +1,38 @@
+(** Surface-AST transformations for the corpus pipeline.
+
+    The difftest harness checks that {!rename_vars} (with a
+    {!fresh_renaming}) and {!permute_stmts} preserve every verdict; the
+    shrinker minimises disagreements with {!drop_stmt}; {!to_source}
+    closes the loop back to concrete [.unity] syntax ({!Ast.pp_program}
+    output, which {!Parser.program_of_string} accepts — the round-trip
+    is pinned by the syntax tests). *)
+
+open Ast
+
+val declared_vars : program -> string list
+(** Declared variable names, in declaration order. *)
+
+val all_idents : program -> string list
+(** Every identifier a fresh name could collide with: variables,
+    process names, enum literals. *)
+
+val rename_vars : (string * string) list -> program -> program
+(** Apply a renaming (identity where unmapped) to every variable
+    occurrence — declarations, process views, init, guards, targets and
+    right-hand sides.  Process names and enum literals are untouched. *)
+
+val fresh_renaming : program -> (string * string) list
+(** A total [v -> g<i>] renaming avoiding every identifier the program
+    already mentions. *)
+
+val permute_stmts : int list -> program -> program
+(** Reorder the assign section by a permutation of [0 .. n-1].
+    Raises [Invalid_argument] if the list is not a permutation. *)
+
+val drop_stmt : int -> program -> program
+(** Remove the [i]-th statement.  Raises [Invalid_argument] when only
+    one statement remains (the grammar needs a non-empty assign
+    section). *)
+
+val to_source : program -> string
+(** Parseable concrete syntax for a (transformed) program. *)

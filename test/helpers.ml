@@ -3,6 +3,15 @@
 
 let rng () = Random.State.make [| 0xC0FFEE; 42 |]
 
+(* The replay convention every seeded suite shares (proplaws, the gen
+   corpus tests, difftest): a failure message ends with the exact
+   environment line that reruns the identical sequence.  [extra] carries
+   any further knobs ([KPT_PROP_CASES=…]) the suite wants pinned. *)
+let replay_banner ?(extra = []) ~env_var ~seed () =
+  let envs = (env_var, Kpt_gen.Rng.seed_to_string seed) :: extra in
+  Printf.sprintf "replay with %s dune runtest"
+    (String.concat " " (List.map (fun (k, v) -> k ^ "=" ^ v) envs))
+
 let qtests cases = List.map QCheck_alcotest.to_alcotest cases
 
 (* Brute-force truth table of a BDD over variables [0..nvars-1], as the

@@ -1,0 +1,105 @@
+(* The serve daemon's result cache, pinned at its edges: LRU eviction
+   order exactly at the capacity boundary, the capacity-0 disable
+   switch, and the content-address invariant that [jobs] and [trace] —
+   the two options that never change rendered bytes — are erased from
+   the cache key (so a [-j4] client and a [-j1] client share entries,
+   and a traced request cannot poison the untraced one). *)
+
+module Cache = Kpt_serve.Cache
+module Protocol = Kpt_serve.Protocol
+
+(* ---- LRU internals ----------------------------------------------------------- *)
+
+let test_eviction_order_at_capacity () =
+  let c = Cache.create ~capacity:3 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  Cache.add c "c" 3;
+  (* full, nothing evicted yet *)
+  Alcotest.(check int) "entries at capacity" 3 (Cache.stats c).Cache.entries;
+  Alcotest.(check int) "no evictions at capacity" 0 (Cache.stats c).Cache.evictions;
+  (* touch "a": it becomes most-recent, so "b" is now the LRU victim *)
+  Alcotest.(check (option int)) "hit refreshes" (Some 1) (Cache.find c "a");
+  Cache.add c "d" 4;
+  Alcotest.(check int) "one eviction past capacity" 1 (Cache.stats c).Cache.evictions;
+  Alcotest.(check (option int)) "b was the LRU victim" None (Cache.find c "b");
+  Alcotest.(check (option int)) "a survived (refreshed)" (Some 1) (Cache.find c "a");
+  Alcotest.(check (option int)) "c survived" (Some 3) (Cache.find c "c");
+  Alcotest.(check (option int)) "d inserted" (Some 4) (Cache.find c "d");
+  Alcotest.(check int) "entries stay at capacity" 3 (Cache.stats c).Cache.entries
+
+let test_refresh_by_add () =
+  let c = Cache.create ~capacity:2 in
+  Cache.add c "a" 1;
+  Cache.add c "b" 2;
+  (* re-adding "a" refreshes its recency AND its value, without growing *)
+  Cache.add c "a" 10;
+  Alcotest.(check int) "no growth on refresh" 2 (Cache.stats c).Cache.entries;
+  Cache.add c "c" 3;
+  Alcotest.(check (option int)) "b evicted, not the refreshed a" None (Cache.find c "b");
+  Alcotest.(check (option int)) "refreshed value won" (Some 10) (Cache.find c "a")
+
+let test_capacity_zero_disables () =
+  let c = Cache.create ~capacity:0 in
+  Cache.add c "a" 1;
+  Alcotest.(check (option int)) "add is a no-op" None (Cache.find c "a");
+  let s = Cache.stats c in
+  Alcotest.(check int) "no entries" 0 s.Cache.entries;
+  Alcotest.(check int) "misses still counted" 1 s.Cache.misses;
+  Alcotest.(check int) "no hits" 0 s.Cache.hits;
+  Alcotest.(check int) "no evictions" 0 s.Cache.evictions
+
+(* ---- the cache-key invariant -------------------------------------------------- *)
+
+let request ~jobs ~trace =
+  {
+    Protocol.id = 7;
+    cmd = Protocol.Check;
+    files = [ ("t.unity", "program p\nvar x : bool\ninit ~x\nassign\n  s: x := true") ];
+    opts = { Kpt_analysis.Driver.default_options with jobs; trace };
+  }
+
+let test_key_ignores_jobs_and_trace () =
+  let base = Protocol.cache_key (request ~jobs:None ~trace:false) in
+  List.iter
+    (fun (jobs, trace, what) ->
+      Alcotest.(check string)
+        (Printf.sprintf "%s does not split the key" what)
+        base
+        (Protocol.cache_key (request ~jobs ~trace)))
+    [
+      (Some 1, false, "-j1");
+      (Some 4, false, "-j4");
+      (None, true, "--trace");
+      (Some 8, true, "-j8 --trace");
+    ]
+
+let test_key_splits_on_meaningful_options () =
+  let base = Protocol.cache_key (request ~jobs:None ~trace:false) in
+  let req = request ~jobs:None ~trace:false in
+  let with_opts opts = Protocol.cache_key { req with Protocol.opts } in
+  Alcotest.(check bool)
+    "json changes the key" false
+    (String.equal base
+       (with_opts { Kpt_analysis.Driver.default_options with json = true }));
+  Alcotest.(check bool)
+    "slice changes the key" false
+    (String.equal base
+       (with_opts { Kpt_analysis.Driver.default_options with slice = true }));
+  Alcotest.(check bool)
+    "the source changes the key" false
+    (String.equal base
+       (Protocol.cache_key
+          { req with Protocol.files = [ ("t.unity", "program q\nvar x : bool\ninit ~x\nassign\n  s: x := true") ] }))
+
+let suite =
+  [
+    Alcotest.test_case "LRU eviction order at the capacity boundary" `Quick
+      test_eviction_order_at_capacity;
+    Alcotest.test_case "add refreshes recency and value" `Quick test_refresh_by_add;
+    Alcotest.test_case "capacity 0 disables the cache" `Quick test_capacity_zero_disables;
+    Alcotest.test_case "jobs and trace never split the cache key" `Quick
+      test_key_ignores_jobs_and_trace;
+    Alcotest.test_case "meaningful options do split the cache key" `Quick
+      test_key_splits_on_meaningful_options;
+  ]

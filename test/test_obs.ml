@@ -369,6 +369,39 @@ let test_stats_collect_shape () =
      in
      contains 0)
 
+(* The gate's incomplete-results diagnosis (satellite of the corpus PR):
+   a missing or malformed section must be reported by file, section and
+   — when known — benchmark name, never as a bare parse failure. *)
+let test_gate_missing_section_message () =
+  Alcotest.(check string) "section-level message"
+    "BENCH_RESULTS.json is incomplete — section \"counters\" is missing or malformed; \
+     re-run the bench suite to regenerate it"
+    (Kpt_obs.Gate.missing_section_message ~file:"BENCH_RESULTS.json" ~section:"counters"
+       ());
+  Alcotest.(check string) "benchmark-level message"
+    "baseline.json is incomplete — benchmark \"lint.err\" is missing from section \
+     \"benchmarks_ns_per_run\""
+    (Kpt_obs.Gate.missing_section_message ~file:"baseline.json"
+       ~section:"benchmarks_ns_per_run" ~benchmark:"lint.err" ())
+
+let test_gate_require_section () =
+  (* a parser that raises Failure is converted into the named message *)
+  (match
+     Kpt_obs.Gate.require_section ~file:"r.json" ~section:"scaling"
+       (fun _ -> failwith "raw parse error")
+       "{}"
+   with
+  | exception Failure m ->
+      Alcotest.(check string) "failure renamed"
+        (Kpt_obs.Gate.missing_section_message ~file:"r.json" ~section:"scaling" ())
+        m
+  | _ -> Alcotest.fail "require_section swallowed the failure");
+  (* a working parser passes through untouched *)
+  Alcotest.(check int) "success passes through" 42
+    (Kpt_obs.Gate.require_section ~file:"r.json" ~section:"scaling"
+       (fun s -> String.length s)
+       (String.make 42 'x'))
+
 let suite =
   [
     Alcotest.test_case "counters are monotone cells" `Quick test_counters_monotone;
@@ -398,4 +431,8 @@ let suite =
       test_stats_json_golden;
     Alcotest.test_case "stats collect: shape and headline numbers" `Quick
       test_stats_collect_shape;
+    Alcotest.test_case "gate names the missing section and benchmark" `Quick
+      test_gate_missing_section_message;
+    Alcotest.test_case "gate require_section converts bare failures" `Quick
+      test_gate_require_section;
   ]

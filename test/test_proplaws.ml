@@ -7,10 +7,10 @@
    - the weakest-cylinder laws behind them (eq. 6: strengthening,
      idempotence, cylinder-hood, universal conjunctivity)
 
-   Every random draw flows from a hand-rolled splitmix64 PRNG (no
-   dependency on [Random]'s unspecified evolution across OCaml
-   releases), so a failure is replayable bit-for-bit: the error message
-   prints the seed and the case number, and
+   Every random draw flows from the shared SplitMix64 PRNG
+   ([Kpt_gen.Rng] — the same seed discipline the corpus generator and
+   difftest use), so a failure is replayable bit-for-bit: the error
+   message prints the seed and the case number, and
 
      KPT_PROP_SEED=<seed> KPT_PROP_CASES=<n> dune runtest
 
@@ -22,37 +22,12 @@ open Kpt_predicate
 open Kpt_unity
 open Kpt_core
 
-(* ---- splitmix64 ------------------------------------------------------------ *)
-
-module Sm64 = struct
-  type t = { mutable state : int64 }
-
-  let make seed = { state = seed }
-
-  (* Steele, Lea & Flood's SplitMix64: a 64-bit counter sequence pushed
-     through a finalizing mixer.  Passes BigCrush; two instructions of
-     state. *)
-  let next t =
-    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
-    let z = t.state in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
-    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
-    Int64.logxor z (Int64.shift_right_logical z 31)
-
-  let int t bound =
-    if bound <= 0 then invalid_arg "Sm64.int";
-    Int64.to_int (Int64.rem (Int64.logand (next t) Int64.max_int) (Int64.of_int bound))
-
-  let bool t = Int64.logand (next t) 1L = 1L
-
-  (* a [Random.State.t] seeded from this stream, for the library helpers
-     ([Pred.random]) that want one — still fully determined by the seed *)
-  let random_state t =
-    Random.State.make [| int t 0x3FFFFFFF; int t 0x3FFFFFFF |]
-end
+(* the hand-rolled splitmix64 that used to live here, promoted to the
+   generator library and shared with the corpus pipeline *)
+module Sm64 = Kpt_gen.Rng
 
 let seed =
-  match Option.map Int64.of_string_opt (Sys.getenv_opt "KPT_PROP_SEED") with
+  match Option.map Kpt_gen.Rng.seed_of_string (Sys.getenv_opt "KPT_PROP_SEED") with
   | Some (Some s) -> s
   | _ -> 0x5EED_2026L
 
@@ -64,9 +39,10 @@ let cases =
 let failf case fmt =
   Format.kasprintf
     (fun msg ->
-      Alcotest.failf
-        "%s@.  (case %d of %d; replay with KPT_PROP_SEED=%Ld KPT_PROP_CASES=%d)" msg
-        case cases seed cases)
+      Alcotest.failf "%s@.  (case %d of %d; %s)" msg case cases
+        (Helpers.replay_banner ~env_var:"KPT_PROP_SEED" ~seed
+           ~extra:[ ("KPT_PROP_CASES", string_of_int cases) ]
+           ()))
     fmt
 
 let checkf case cond fmt =
