@@ -15,12 +15,14 @@
    machine-independent, so this guard never needs a baseline refresh —
    it fails only if the budget checkpoints themselves get expensive.
 
-   Three further same-run guards ride along: the P9 lint pair (syntactic
-   vs semantic tier) must be present in the current results, the P10
+   Further same-run guards ride along: the P9 lint pair (syntactic vs
+   semantic tier) must be present in the current results, the P10
    slice-work counters must show the monitored ring's sliced SI fixpoint
-   allocating strictly fewer BDD nodes than the full one, and the P11
-   serve triple must show cached < warm < cold on the identical `kpt
-   check` request. *)
+   allocating strictly fewer BDD nodes than the full one, the P11 serve
+   triple must show cached < warm < cold on the identical `kpt check`
+   request, and the P12 serve-concurrency sweep must show byte-identical
+   results across its legs, a surviving chaos leg, and (on ≥4-core
+   hosts) a ≥2× speedup from --serve-jobs 4. *)
 
 (* Every same-run guard reads its section through this wrapper, so an
    incomplete BENCH_RESULTS.json fails with a message naming the file
@@ -159,6 +161,80 @@ let check_serve_triple ~file current_json =
                 Kpt_obs.Gate.missing_section_message ~file ~section:benches_section
                   ~benchmark:b ())
               missing))
+
+(* The P12 serve-concurrency triple, recorded by the bench's in-process
+   daemon sweep: the same 40-request stream served sequentially
+   (jobs=1), by four worker domains to four concurrent clients, and by
+   four workers with a chaos injector slamming the same socket.  Three
+   invariants, all same-run: the served bytes are identical across the
+   legs (the whole determinism contract under concurrency), the chaos
+   leg completes (finite, positive wall time with injections actually
+   delivered), and — only on hosts reporting ≥4 cores, because a
+   single-core runner has no parallelism to sell — the 4-worker leg is
+   at least 2× the sequential one.  Presence-required: a bench run that
+   silently drops the sweep must fail here, not shrink coverage. *)
+let serve_concurrency_floor = 2.0
+
+let check_serve_concurrency ~file src =
+  match Json.of_string src with
+  | exception Json.Parse_error m ->
+      Error (Printf.sprintf "%s: malformed JSON: %s" file m)
+  | j -> (
+      match Json.member "serve_concurrency" j with
+      | None ->
+          Error
+            (Kpt_obs.Gate.missing_section_message ~file ~section:"serve_concurrency" ())
+      | Some s -> (
+          let int name = Option.bind (Json.member name s) Json.to_int in
+          let flo name =
+            match Json.member name s with
+            | Some (Json.Float f) -> Some f
+            | Some (Json.Int i) -> Some (float_of_int i)
+            | _ -> None
+          in
+          let boolean name = Option.bind (Json.member name s) Json.to_bool in
+          match
+            ( int "cores", int "requests", flo "seq_s", flo "jobs4_s", flo "chaos_s",
+              int "chaos_injections", boolean "bytes_identical" )
+          with
+          | ( Some cores, Some requests, Some seq_s, Some jobs4_s, Some chaos_s,
+              Some injections, Some identical ) ->
+              let speedup = if jobs4_s > 0.0 then seq_s /. jobs4_s else 0.0 in
+              Format.printf
+                "bench gate: serve concurrency %d request(s) on %d core(s): seq %.3fs, \
+                 jobs4 %.3fs (×%.2f), chaos %.3fs (%d injection(s))@."
+                requests cores seq_s jobs4_s speedup chaos_s injections;
+              if requests <= 0 then
+                Error (Printf.sprintf "%s: serve_concurrency served zero requests" file)
+              else if not identical then
+                Error
+                  "served bytes diverged across the concurrency legs — determinism \
+                   under --serve-jobs is broken"
+              else if injections <= 0 then
+                Error "the chaos leg injected nothing — the adversary never ran"
+              else if not (Float.is_finite chaos_s) || chaos_s <= 0.0 then
+                Error
+                  (Printf.sprintf "the chaos leg recorded no wall time (%.3fs)" chaos_s)
+              else if cores >= 4 && speedup < serve_concurrency_floor then
+                Error
+                  (Printf.sprintf
+                     "--serve-jobs 4 is only ×%.2f the sequential daemon on a %d-core \
+                      host (floor ×%.1f)"
+                     speedup cores serve_concurrency_floor)
+              else begin
+                if cores < 4 then
+                  Format.printf
+                    "bench gate: host reports %d core(s) < 4; recording the ratio, \
+                     skipping the ×%.1f floor@."
+                    cores serve_concurrency_floor;
+                Ok ()
+              end
+          | _ ->
+              Error
+                (Printf.sprintf
+                   "%s: serve_concurrency is missing fields (want cores, requests, \
+                    seq_s, jobs4_s, chaos_s, chaos_injections, bytes_identical)"
+                   file)))
 
 (* ---- the scaling-curve guards --------------------------------------------
 
@@ -423,10 +499,18 @@ let () =
                 Format.printf "bench gate: FAIL — %s@." msg;
                 false
           in
+          let serve_conc_ok =
+            match check_serve_concurrency ~file:current_path current_json with
+            | Ok () -> true
+            | Error msg ->
+                Format.printf "bench gate: FAIL — %s@." msg;
+                false
+          in
           if
             report.Kpt_obs.Gate.regressions = []
             && report.Kpt_obs.Gate.missing = []
             && overhead && scaling && cache && lint_pair_ok && slice_ok && serve_ok
+            && serve_conc_ok
           then begin
             Format.printf "bench gate: OK (%d benchmarks within tolerance)@."
               (List.length report.Kpt_obs.Gate.verdicts);

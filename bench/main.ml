@@ -289,6 +289,20 @@ let time f =
 
 let bench_ns : (string * float) list ref = ref []
 
+(* filled by the P12 serve-concurrency sweep below; lands as its own
+   JSON section for the gate's same-run invariants *)
+type serve_conc = {
+  sc_cores : int;
+  sc_requests : int;
+  sc_seq_s : float;
+  sc_jobs4_s : float;
+  sc_chaos_s : float;
+  sc_injections : int;
+  sc_identical : bool;
+}
+
+let serve_conc : serve_conc option ref = ref None
+
 let scaling_rows : (string * int * int * Bigcount.t * int * float * float) list ref =
   ref []
 
@@ -323,9 +337,20 @@ let write_json path =
         (json_escape family) n a (Bigcount.to_string total) reach t_si t_safe
         (if i = List.length rows - 1 then "" else ","))
     rows;
+  pf "  ],\n";
+  (match !serve_conc with
+  | None -> ()
+  | Some s ->
+      pf
+        "  \"serve_concurrency\": { \"cores\": %d, \"requests\": %d, \"seq_s\": %.4f, \
+         \"jobs4_s\": %.4f, \"chaos_s\": %.4f, \"speedup\": %.3f, \
+         \"chaos_injections\": %d, \"bytes_identical\": %b },\n"
+        s.sc_cores s.sc_requests s.sc_seq_s s.sc_jobs4_s s.sc_chaos_s
+        (if s.sc_jobs4_s > 0.0 then s.sc_seq_s /. s.sc_jobs4_s else 0.0)
+        s.sc_injections s.sc_identical);
   (* cumulative engine counters over the whole run, so CI can watch the
      work profile (cache hit rates, fixpoint depths) alongside the times *)
-  pf "  ],\n  \"counters\": {\n";
+  pf "  \"counters\": {\n";
   let cs = Kpt_obs.counters () in
   List.iteri
     (fun i (name, v) ->
@@ -537,6 +562,114 @@ let slice_ablation () =
   Format.printf "  → identical verdict on the property, ×%.2f the allocation work avoided@."
     (float_of_int full_nodes /. float_of_int (max 1 sliced_nodes))
 
+(* The serve-concurrency triple (P12): the same request stream served by
+   a jobs=1 daemon to one client, by a jobs=4 daemon to four concurrent
+   clients, and by a jobs=4 daemon to four clients while a chaos
+   injector slams the same socket with truncated frames, garbage lines
+   and instant disconnects.  Real daemon domains over a real Unix
+   socket, result cache off so every request computes.  Three invariants
+   land in BENCH_RESULTS.json for the gate: the served bytes are
+   identical across all three legs (per request, against the sequential
+   leg), the chaos leg completes with its well-behaved clients unharmed,
+   and on a ≥4-core host the 4-worker leg is ≥2× the sequential one
+   (single-core hosts record the ratio but skip the floor — there is no
+   parallelism to buy there). *)
+let serve_concurrency_sweep () =
+  Format.printf "@.══ P12 serve concurrency: --serve-jobs under concurrent clients ══@.";
+  let corpus = Lazy.force check_corpus in
+  let n_requests = 40 in
+  let reqs =
+    List.init n_requests (fun i ->
+        {
+          Kpt_serve.Protocol.id = i + 1;
+          cmd = Kpt_serve.Protocol.Check;
+          files = [ List.nth corpus (i mod List.length corpus) ];
+          opts = { Kpt_analysis.Driver.default_options with quiet = true };
+        })
+  in
+  let with_daemon ~tag ~jobs f =
+    let path =
+      Filename.concat (Filename.get_temp_dir_name ())
+        (Printf.sprintf "kpt-bench-%d-%s.sock" (Unix.getpid ()) tag)
+    in
+    if Sys.file_exists path then Sys.remove path;
+    let cfg = Kpt_serve.Server.config ~jobs ~socket_path:path ~cache_size:0 () in
+    let d = Domain.spawn (fun () -> Kpt_serve.Server.run ~announce:false cfg) in
+    let rec wait n =
+      if n = 0 then failwith "bench daemon never bound its socket"
+      else
+        match Kpt_serve.Client.connect ~socket:path with
+        | Ok c -> Kpt_serve.Client.close c
+        | Error _ ->
+            Unix.sleepf 0.02;
+            wait (n - 1)
+    in
+    wait 250;
+    let r = f path in
+    ignore
+      (Kpt_serve.Client.roundtrip ~socket:path
+         {
+           Kpt_serve.Protocol.id = 0;
+           cmd = Kpt_serve.Protocol.Shutdown;
+           files = [];
+           opts = Kpt_analysis.Driver.default_options;
+         });
+    ignore (Domain.join d);
+    r
+  in
+  let fetch path req =
+    match Kpt_serve.Client.roundtrip ~socket:path req with
+    | Ok (Kpt_serve.Protocol.Result { exit_code; out; _ }) -> (exit_code, out)
+    | Ok _ -> (-1, "unexpected frame")
+    | Error msg -> (-1, "transport: " ^ msg)
+  in
+  (* deal request i to client (i mod clients); reassemble in id order so
+     the legs compare like for like *)
+  let run_clients path clients =
+    List.init clients (fun c ->
+        let mine = List.filteri (fun i _ -> i mod clients = c) reqs in
+        Domain.spawn (fun () ->
+            List.map (fun r -> (r.Kpt_serve.Protocol.id, fetch path r)) mine))
+    |> List.concat_map Domain.join
+    |> List.sort (fun (a, _) (b, _) -> compare a b)
+  in
+  let seq_replies, seq_s =
+    with_daemon ~tag:"seq" ~jobs:1 (fun path -> time (fun () -> run_clients path 1))
+  in
+  let par_replies, jobs4_s =
+    with_daemon ~tag:"par" ~jobs:4 (fun path -> time (fun () -> run_clients path 4))
+  in
+  let (chaos_replies, injections), chaos_s =
+    with_daemon ~tag:"chaos" ~jobs:4 (fun path ->
+        time (fun () ->
+            let injector =
+              Domain.spawn (fun () ->
+                  Kpt_serve.Chaos.noise ~socket:path ~seed:23L ~rounds:30)
+            in
+            let replies = run_clients path 4 in
+            (replies, Domain.join injector)))
+  in
+  let identical = seq_replies = par_replies && seq_replies = chaos_replies in
+  let cores = Domain.recommended_domain_count () in
+  let speedup = if jobs4_s > 0.0 then seq_s /. jobs4_s else 0.0 in
+  serve_conc :=
+    Some
+      {
+        sc_cores = cores;
+        sc_requests = n_requests;
+        sc_seq_s = seq_s;
+        sc_jobs4_s = jobs4_s;
+        sc_chaos_s = chaos_s;
+        sc_injections = injections;
+        sc_identical = identical;
+      };
+  Format.printf "  %d request(s); host reports %d core(s)@." n_requests cores;
+  Format.printf "  jobs=1, 1 client             %8.3fs@." seq_s;
+  Format.printf "  jobs=4, 4 clients            %8.3fs   speedup ×%.2f@." jobs4_s speedup;
+  Format.printf "  jobs=4, 4 clients + chaos    %8.3fs   (%d injection(s))@." chaos_s
+    injections;
+  Format.printf "  served bytes identical across legs: %b@." identical
+
 let ablation_relprod () =
   Format.printf "@.══ Ablation: fused relational product vs and-then-exists ══@.";
   let m = Bdd.create () in
@@ -579,6 +712,7 @@ let () =
     scaling_sweep ();
     ring_sweep ();
     slice_ablation ();
+    serve_concurrency_sweep ();
     write_json "BENCH_RESULTS.json"
   end
   else begin
@@ -596,6 +730,7 @@ let () =
     ring_sweep ();
     check_speedup ();
     slice_ablation ();
+    serve_concurrency_sweep ();
     window_sweep ();
     ablation_solver ();
     ablation_relprod ();

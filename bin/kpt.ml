@@ -988,20 +988,55 @@ let serve_cmd =
              Keys are content hashes of (spec bytes, options, engine policy), so an \
              edited file or a changed flag always misses.")
   in
-  let run socket cache_size =
+  let serve_jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "serve-jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains serving requests concurrently.  Served bytes are \
+             identical at any width — each request runs under its own engine \
+             scope; only throughput changes.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Bounded request-queue capacity.  When every worker is busy and the \
+             queue is full, new connections are shed immediately with a \
+             structured $(b,overloaded) error frame (exit 75) instead of piling \
+             up in the listen backlog.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt (some pos_float_conv) None
+      & info [ "request-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Per-request deadline: caps the verification budget (expiry surfaces \
+             as the usual exit 3) and arms a socket-level read/write deadline, so \
+             a slow-loris client is disconnected with an exit-4 error frame \
+             rather than holding a worker forever.")
+  in
+  let run socket cache_size jobs queue request_timeout =
     Kpt_serve.Server.run
-      { Kpt_serve.Server.socket_path = resolve_socket socket; cache_size }
+      (Kpt_serve.Server.config ~jobs ~queue_capacity:queue ?request_timeout
+         ~socket_path:(resolve_socket socket) ~cache_size ())
   in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
          "Run the verification daemon: a Unix-domain-socket server that answers \
           check/lint/stats/solve/slice requests from $(b,kpt client) against the \
-          warm in-process engine pool, with a content-addressed LRU result cache.  \
-          Responses are byte-identical to the direct commands.  Ctrl-C drains the \
-          in-flight request (the client sees a structured exit-130 error), removes \
-          the socket and exits 130; a $(b,shutdown) request exits 0.")
-    Term.(const run $ socket_arg $ cache_size_arg)
+          warm in-process engine pool, with a content-addressed LRU result cache \
+          shared by $(b,--serve-jobs) worker domains behind a bounded queue.  \
+          Responses are byte-identical to the direct commands.  SIGINT/SIGTERM \
+          drain: accepting stops, queued clients get structured exit-130 frames, \
+          in-flight requests finish, the socket is removed, and the daemon exits \
+          130; a $(b,shutdown) request exits 0.")
+    Term.(
+      const run $ socket_arg $ cache_size_arg $ serve_jobs_arg $ queue_arg
+      $ request_timeout_arg)
 
 let client_cmd =
   let serve_auto_arg =
@@ -1059,21 +1094,43 @@ let client_cmd =
       & info [ "wrt" ] ~docv:"EXPR"
           ~doc:"Slice with respect to this property (repeatable).")
   in
+  let retries_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:
+            "Retry up to N additional times, with decorrelated-jitter backoff — \
+             but only on failures where the request demonstrably never ran: a \
+             failed connect, a connection closed with no reply, or the daemon's \
+             structured $(b,overloaded) shed.  Set $(b,KPT_RETRY_SEED) to replay \
+             a schedule deterministically.")
+  in
+  let retry_backoff_arg =
+    Arg.(
+      value
+      & opt pos_float_conv Kpt_serve.Client.default_backoff
+      & info [ "retry-backoff" ] ~docv:"SEC"
+          ~doc:
+            "Base of the retry jitter schedule: each sleep is uniform over \
+             [SEC, 3*previous], capped at 5s.")
+  in
   (* files are read client-side: the daemon sees spec bytes, never paths,
      so the cache key is content-addressed and the daemon needs no access
      to the client's filesystem *)
-  let roundtrip socket serve_auto cmd opts paths =
+  let roundtrip socket serve_auto retries backoff cmd opts paths =
     match List.map (fun p -> (p, read_file p)) paths with
     | files ->
         Kpt_serve.Client.run_cli ~socket:(resolve_socket socket) ~serve_auto
+          ~retries ~backoff
           { Kpt_serve.Protocol.id = 1; cmd; files; opts }
     | exception Sys_error msg ->
         Format.eprintf "error: %s@." msg;
         1
   in
   let check_sub =
-    let run socket serve_auto paths reorder jobs json slice warn_error quiet limits =
-      roundtrip socket serve_auto Kpt_serve.Protocol.Check
+    let run socket serve_auto retries backoff paths reorder jobs json slice
+        warn_error quiet limits =
+      roundtrip socket serve_auto retries backoff Kpt_serve.Protocol.Check
         {
           Kpt_analysis.Driver.default_options with
           jobs = jobs_opt jobs;
@@ -1089,12 +1146,14 @@ let client_cmd =
     Cmd.v
       (Cmd.info "check" ~doc:"Batch-check .unity files through the daemon.")
       Term.(
-        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
-        $ json_arg $ slice_arg $ warn_error_arg $ quiet_arg $ limits_term)
+        const run $ socket_arg $ serve_auto_arg $ retries_arg $ retry_backoff_arg
+        $ files_pos $ reorder_arg $ jobs_arg $ json_arg $ slice_arg
+        $ warn_error_arg $ quiet_arg $ limits_term)
   in
   let lint_sub =
-    let run socket serve_auto paths reorder jobs semantic json warn_error quiet limits =
-      roundtrip socket serve_auto Kpt_serve.Protocol.Lint
+    let run socket serve_auto retries backoff paths reorder jobs semantic json
+        warn_error quiet limits =
+      roundtrip socket serve_auto retries backoff Kpt_serve.Protocol.Lint
         {
           Kpt_analysis.Driver.default_options with
           jobs = jobs_opt jobs;
@@ -1110,12 +1169,13 @@ let client_cmd =
     Cmd.v
       (Cmd.info "lint" ~doc:"Lint .unity files through the daemon.")
       Term.(
-        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
-        $ semantic_arg $ json_arg $ warn_error_arg $ quiet_arg $ limits_term)
+        const run $ socket_arg $ serve_auto_arg $ retries_arg $ retry_backoff_arg
+        $ files_pos $ reorder_arg $ jobs_arg $ semantic_arg $ json_arg
+        $ warn_error_arg $ quiet_arg $ limits_term)
   in
   let stats_sub =
-    let run socket serve_auto paths reorder jobs json timings =
-      roundtrip socket serve_auto Kpt_serve.Protocol.Stats
+    let run socket serve_auto retries backoff paths reorder jobs json timings =
+      roundtrip socket serve_auto retries backoff Kpt_serve.Protocol.Stats
         {
           Kpt_analysis.Driver.default_options with
           jobs = jobs_opt jobs;
@@ -1128,12 +1188,12 @@ let client_cmd =
     Cmd.v
       (Cmd.info "stats" ~doc:"Profile .unity files through the daemon.")
       Term.(
-        const run $ socket_arg $ serve_auto_arg $ files_pos $ reorder_arg $ jobs_arg
-        $ json_arg $ timings_arg)
+        const run $ socket_arg $ serve_auto_arg $ retries_arg $ retry_backoff_arg
+        $ files_pos $ reorder_arg $ jobs_arg $ json_arg $ timings_arg)
   in
   let solve_sub =
-    let run socket serve_auto path reorder slice trace limits =
-      roundtrip socket serve_auto Kpt_serve.Protocol.Solve
+    let run socket serve_auto retries backoff path reorder slice trace limits =
+      roundtrip socket serve_auto retries backoff Kpt_serve.Protocol.Solve
         {
           Kpt_analysis.Driver.default_options with
           slice;
@@ -1149,12 +1209,12 @@ let client_cmd =
            "Solve a knowledge-based protocol through the daemon.  With $(b,--trace) \
             the fixpoint events stream back live over the wire.")
       Term.(
-        const run $ socket_arg $ serve_auto_arg $ file_pos $ reorder_arg $ slice_flag
-        $ trace_arg $ limits_term)
+        const run $ socket_arg $ serve_auto_arg $ retries_arg $ retry_backoff_arg
+        $ file_pos $ reorder_arg $ slice_flag $ trace_arg $ limits_term)
   in
   let slice_sub =
-    let run socket serve_auto path reorder wrt limits =
-      roundtrip socket serve_auto Kpt_serve.Protocol.Slice
+    let run socket serve_auto retries backoff path reorder wrt limits =
+      roundtrip socket serve_auto retries backoff Kpt_serve.Protocol.Slice
         {
           Kpt_analysis.Driver.default_options with
           wrt;
@@ -1166,8 +1226,8 @@ let client_cmd =
     Cmd.v
       (Cmd.info "slice" ~doc:"Cone-of-influence slice through the daemon.")
       Term.(
-        const run $ socket_arg $ serve_auto_arg $ file_pos $ reorder_arg $ wrt_arg
-        $ limits_term)
+        const run $ socket_arg $ serve_auto_arg $ retries_arg $ retry_backoff_arg
+        $ file_pos $ reorder_arg $ wrt_arg $ limits_term)
   in
   let control cmd =
     fun socket ->
@@ -1513,6 +1573,119 @@ let difftest_cmd =
           cases.  Exit 1 on any disagreement.")
     Term.(const run $ dir_arg $ limit_arg $ report_arg $ no_serve_arg)
 
+(* ---- chaos: fault-inject a real daemon process ---------------------------- *)
+
+let chaos_cmd =
+  let dir_arg =
+    Arg.(
+      required
+      & pos 0 (some dir) None
+      & info [] ~docv:"DIR" ~doc:"A corpus directory written by $(b,kpt gen).")
+  in
+  let specs_arg =
+    Arg.(
+      value & opt int 50
+      & info [ "specs" ] ~docv:"N"
+          ~doc:"Replay the first N specs (sorted by filename) through each fault.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt string "1"
+      & info [ "seed" ] ~docv:"S"
+          ~doc:
+            "Adversary seed (decimal or hex): drives truncation points, garbage \
+             shapes and chunk sizes.  Same corpus + same seed = same fault \
+             schedule.")
+  in
+  let socket_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "socket" ] ~docv:"PATH"
+          ~doc:
+            "Socket for the spawned daemon (default: a fresh \
+             kpt-chaos-$(i,pid).sock under \\$TMPDIR, so sweeps never collide \
+             with a real daemon).")
+  in
+  let jobs_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "serve-jobs" ] ~docv:"N" ~doc:"Worker domains for the spawned daemon.")
+  in
+  let queue_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queue" ] ~docv:"N"
+          ~doc:
+            "Daemon queue capacity — kept small so the flood fault overflows it \
+             quickly.")
+  in
+  let request_timeout_arg =
+    Arg.(
+      value
+      & opt pos_float_conv 0.5
+      & info [ "request-timeout" ] ~docv:"SEC"
+          ~doc:
+            "Daemon per-request deadline — kept short so the slow-loris fault \
+             resolves quickly.")
+  in
+  let faults_arg =
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "faults" ] ~docv:"F,.."
+          ~doc:
+            (Printf.sprintf "Fault kinds to inject (default: all of %s)."
+               (String.concat ", "
+                  (List.map Kpt_serve.Chaos.fault_name Kpt_serve.Chaos.all_faults))))
+  in
+  let run dir specs seed_str socket jobs queue request_timeout faults =
+    match Kpt_gen.Rng.seed_of_string seed_str with
+    | None -> usage_error "kpt chaos: bad seed %S (decimal or hex)" seed_str
+    | Some seed -> (
+        match
+          match faults with
+          | None -> Ok Kpt_serve.Chaos.all_faults
+          | Some names ->
+              parse_axis ~what:"fault" Kpt_serve.Chaos.fault_of_name names
+        with
+        | Error m -> usage_error "kpt chaos: %s" m
+        | Ok faults ->
+            let socket =
+              match socket with
+              | Some s -> s
+              | None ->
+                  Filename.concat
+                    (Filename.get_temp_dir_name ())
+                    (Printf.sprintf "kpt-chaos-%d.sock" (Unix.getpid ()))
+            in
+            Kpt_serve.Chaos.run Format.std_formatter
+              {
+                Kpt_serve.Chaos.exe = Sys.executable_name;
+                dir;
+                specs;
+                seed;
+                socket;
+                jobs;
+                queue;
+                request_timeout;
+                faults;
+              })
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Spawn a $(b,kpt serve) daemon and attack it: replay a generated-corpus \
+          slice through injected transport faults — truncated frames, garbage, \
+          dribbled writes, mid-request disconnects, slow-loris, queue floods, \
+          SIGKILL, SIGTERM drain — asserting the daemon never crashes or wedges, \
+          every surviving client gets a byte-identical result or a structured \
+          error frame, and the socket is always reclaimed.  Exit 1 on any \
+          violation.")
+    Term.(
+      const run $ dir_arg $ specs_arg $ seed_arg $ socket_arg $ jobs_arg
+      $ queue_arg $ request_timeout_arg $ faults_arg)
+
 (* The CLI's robustness boundary.  [catch_break] turns Ctrl-C into
    [Sys.Break], which the pool drains cooperatively and we render as a
    partial-progress summary (exit 130, the conventional SIGINT code).
@@ -1539,7 +1712,7 @@ let () =
            [
              experiments_cmd; solve_cmd; check_cmd; simulate_cmd; proof_cmd; parse_cmd;
              lint_cmd; slice_cmd; solve_file_cmd; verify_cmd; knowledge_cmd; stats_cmd;
-             matrix_cmd; serve_cmd; client_cmd; gen_cmd; difftest_cmd;
+             matrix_cmd; serve_cmd; client_cmd; gen_cmd; difftest_cmd; chaos_cmd;
            ])
     with
     | Sys.Break ->

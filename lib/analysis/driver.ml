@@ -43,11 +43,13 @@ type sink = string -> (string * int) list -> unit
 let exit_resource = 3
 
 (* Run one command body under per-request scoping: fresh engine (reset,
-   belt and braces), the requested reorder policy installed as the
-   process default for the duration (pool-task engines read the
-   default), the trace sink wired to [err] unless the caller supplies
-   its own, and the engine's metrics merged into the caller's context on
-   the way out.  The budget is *not* armed here: each body arms it via
+   belt and braces), the requested reorder policy pinned on *that
+   engine* — never the process-wide default, which concurrent requests
+   on other domains are reading ([Kpt_par.try_map] forwards the caller's
+   effective mode to its per-task engines, so batch paths still see it)
+   — the trace sink wired to [err] unless the caller supplies its own,
+   and the engine's metrics merged into the caller's context on the way
+   out.  The budget is *not* armed here: each body arms it via
    [Engine.with_budget] (or the pool's per-task arming) so the deadline
    is relative to the work it bounds. *)
 let scoped ?sink opts body =
@@ -63,12 +65,10 @@ let scoped ?sink opts body =
   | None ->
       if opts.trace then
         Kpt_obs.Ctx.set_sink (Engine.obs eng) (Some (Kpt_obs.trace_sink epf)));
-  let prev_mode = Engine.default_reorder_mode () in
-  Engine.set_default_reorder_mode opts.reorder;
+  Engine.set_reorder_mode eng (Some opts.reorder);
   let code =
     Fun.protect
       ~finally:(fun () ->
-        Engine.set_default_reorder_mode prev_mode;
         Kpt_obs.Ctx.set_sink (Engine.obs eng) None;
         Engine.merge_metrics ~into:caller eng)
       (fun () -> Engine.use eng (fun () -> body ppf epf))

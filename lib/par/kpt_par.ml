@@ -77,6 +77,14 @@ let shutting_down = ref false
    for) — it degrades to inline execution instead. *)
 let in_worker = Domain.DLS.new_key (fun () -> false)
 
+(* The serve daemon's request workers are domains of their own, and two
+   of them dispatching batches onto the *same* generation machinery
+   concurrently would corrupt [slots]/[active].  They mark themselves
+   like pool workers, so any [try_map] they reach runs inline on their
+   domain — request-level parallelism is the scaling axis there, and the
+   results are pool-size-independent by contract anyway. *)
+let mark_inline_worker () = Domain.DLS.set in_worker true
+
 let worker_loop () =
   Domain.DLS.set in_worker true;
   let my_gen = ref 0 in
@@ -155,6 +163,12 @@ let try_map ?jobs ?(oversubscribe = false) ?task_budget f items =
     in
     let width = min jobs hw_limit in
     let helpers = if Domain.DLS.get in_worker then 0 else width - 1 in
+    (* The caller's effective reorder policy travels with the batch: the
+       per-task engines below are fresh (reorder [None]) and would
+       otherwise fall back to the process-wide default, which belongs to
+       the CLI's startup configuration — under a concurrent server each
+       request pins its policy on its own engine instead. *)
+    let reorder = Engine.reorder_mode (Engine.current ()) in
     Atomic.set batch_total n;
     Atomic.set batch_done 0;
     (* Slot [i] of both arrays belongs exclusively to the worker that
@@ -169,6 +183,7 @@ let try_map ?jobs ?(oversubscribe = false) ?task_budget f items =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
           let eng = Engine.create () in
+          Engine.set_reorder_mode eng (Some reorder);
           let run () =
             (* The deadline is per task: armed when the task starts, not
                when the batch does, so [--timeout] bounds each file. *)

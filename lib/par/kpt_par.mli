@@ -77,6 +77,15 @@ val pool_size : unit -> int
     actually needs helpers; never decreases while the process runs).
     Exposed so tests can pin the spawn-once-per-process behaviour. *)
 
+val mark_inline_worker : unit -> unit
+(** Mark the calling domain as a worker for the pool's purposes: any
+    {!try_map} it runs executes inline on this domain instead of
+    dispatching to the shared generation machinery (which supports one
+    concurrent dispatcher only).  The serve daemon calls this from each
+    request-worker domain — request-level parallelism replaces
+    batch-level there, and results are pool-size-independent by
+    contract.  Irreversible for the domain's lifetime. *)
+
 val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
 (** {!try_map}, re-raising the first failure (by input order) after the
     whole batch has drained. *)

@@ -9,7 +9,10 @@ type t
 (** A warm handler: the result cache plus request bookkeeping.  The
     engine pool is process-wide ({!Kpt_par}); the handler holds no
     engine state of its own — every request runs under a fresh
-    {!Engine.t} inside the driver. *)
+    {!Engine.t} inside the driver.  Thread-safe: cache lookups/inserts
+    and the request counter are mutex-protected, so the server's worker
+    domains share one handler; the verification work itself runs outside
+    the lock. *)
 
 val create : cache_size:int -> t
 
@@ -30,3 +33,7 @@ val requests : t -> int
 (** Requests handled so far (cache hits included). *)
 
 val cache_stats : t -> Cache.stats
+
+val uptime_s : t -> int
+(** Whole seconds since [create], on the monotonic bench clock — the
+    [uptime_s] field of a [ping] reply. *)

@@ -3,6 +3,39 @@ open Kpt_analysis
 
 let version = 1
 
+(* ---- exit codes the transport layer owns -----------------------------------
+
+   The verification exit codes (0 ok / 1 findings / 2 usage / 3 budget)
+   cross the wire unchanged; these two belong to the serving layer
+   itself.  75 is sysexits' EX_TEMPFAIL — the canonical "try again
+   later", which is exactly what a shed request is.  4 is the I/O
+   deadline: the daemon cut the connection because the client was too
+   slow to speak, which is neither a verification verdict nor a usage
+   error. *)
+let exit_overloaded = 75
+let exit_io_timeout = 4
+let exit_interrupted = 130
+
+(* Machine-readable failure classes, so clients can decide what to do
+   (retry, upgrade, give up) without parsing prose.  An absent kind on
+   the wire decodes as [Generic] — frames from older daemons stay
+   readable. *)
+type error_kind = Generic | Overloaded | Timeout | Version_mismatch | Interrupted
+
+let error_kind_to_string = function
+  | Generic -> "generic"
+  | Overloaded -> "overloaded"
+  | Timeout -> "timeout"
+  | Version_mismatch -> "version_mismatch"
+  | Interrupted -> "interrupted"
+
+let error_kind_of_string = function
+  | "overloaded" -> Overloaded
+  | "timeout" -> Timeout
+  | "version_mismatch" -> Version_mismatch
+  | "interrupted" -> Interrupted
+  | _ -> Generic
+
 type cmd = Check | Lint | Stats | Solve | Slice | Ping | Shutdown
 
 let cmd_to_string = function
@@ -122,10 +155,12 @@ let request_to_json r =
       ("opts", opts_to_json r.opts);
     ]
 
+let version_of_json j = Option.bind (Json.member "v" j) Json.to_int
+
 let request_of_json j : (request, string) result =
   let ( let* ) = Result.bind in
   let* () =
-    match Option.bind (Json.member "v" j) Json.to_int with
+    match version_of_json j with
     | Some v when v = version -> Ok ()
     | Some v -> Error (Printf.sprintf "protocol version %d, this daemon speaks %d" v version)
     | None -> Error "missing protocol version field \"v\""
@@ -140,9 +175,9 @@ let request_of_json j : (request, string) result =
         | None -> Error (Printf.sprintf "unknown command %S" s))
   in
   let* files =
-    match Option.bind (Json.member "files" j) Json.to_list with
+    match Json.member "files" j with
     | None -> Ok []
-    | Some l ->
+    | Some (Json.List l) ->
         let rec go acc = function
           | [] -> Ok (List.rev acc)
           | f :: rest -> (
@@ -154,6 +189,7 @@ let request_of_json j : (request, string) result =
               | _ -> Error "malformed files entry: need string \"path\" and \"source\"")
         in
         go [] l
+    | Some _ -> Error "malformed \"files\" field: expected a list"
   in
   let* opts =
     match Json.member "opts" j with
@@ -174,7 +210,12 @@ type response =
       daemon : (string * int) list;
     }
   | Event of { id : int; name : string; fields : (string * int) list }
-  | Error_frame of { id : int; exit_code : int; message : string }
+  | Error_frame of {
+      id : int;
+      exit_code : int;
+      kind : error_kind;
+      message : string;
+    }
 
 let response_to_json = function
   | Result { id; exit_code; cached; out; err; daemon } ->
@@ -198,12 +239,13 @@ let response_to_json = function
           ("name", Json.String name);
           ("fields", Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) fields));
         ]
-  | Error_frame { id; exit_code; message } ->
+  | Error_frame { id; exit_code; kind; message } ->
       Json.Obj
         [
           ("id", Json.Int id);
           ("type", Json.String "error");
           ("exit", Json.Int exit_code);
+          ("kind", Json.String (error_kind_to_string kind));
           ("error", Json.String message);
         ]
 
@@ -247,11 +289,42 @@ let response_of_json j : (response, string) result =
              id;
              exit_code =
                Option.bind (Json.member "exit" j) Json.to_int |> Option.value ~default:1;
+             kind =
+               Option.bind (Json.member "kind" j) Json.to_str
+               |> Option.value ~default:"generic" |> error_kind_of_string;
              message =
                Option.bind (Json.member "error" j) Json.to_str |> Option.value ~default:"";
            })
   | Some t -> Error (Printf.sprintf "unknown frame type %S" t)
   | None -> Error "missing frame type"
+
+(* ---- the wire itself -------------------------------------------------------
+
+   Both sides used to write through buffered out_channels, whose flush
+   can drop bytes silently on a partial write to a socket.  Every frame
+   now goes through one EINTR-safe loop over
+   [Unix.single_write_substring]: a short write resumes at the unsent
+   suffix, EINTR retries, and every other error (EPIPE from a vanished
+   peer, EAGAIN from an armed SO_SNDTIMEO deadline) propagates to the
+   caller — a frame is either delivered whole or the connection is known
+   broken.  [single_write] (one write(2) call, true byte count) is the
+   only safe primitive here: [Unix.write]'s internal chunking loop
+   raises on EINTR even after partial progress, so retrying it from the
+   old offset would duplicate bytes. *)
+
+let write_all fd s =
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    match Unix.single_write_substring fd s !off (len - !off) with
+    | n -> off := !off + n
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  done
+
+let write_line fd line = write_all fd (line ^ "\n")
+
+let write_frame fd frame =
+  write_line fd (Json.to_string (response_to_json frame))
 
 (* ---- the content address --------------------------------------------------- *)
 

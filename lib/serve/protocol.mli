@@ -33,6 +33,27 @@ open Kpt_analysis
 
 val version : int
 
+val exit_overloaded : int
+(** 75 (sysexits EX_TEMPFAIL): the daemon shed this request because its
+    bounded queue was full.  The one transport exit code a client may
+    retry on. *)
+
+val exit_io_timeout : int
+(** 4: the daemon disconnected the client for blowing the socket-level
+    read/write deadline (slow-loris protection). *)
+
+val exit_interrupted : int
+(** 130: the daemon is shutting down; queued and in-flight work is
+    answered with this during a drain. *)
+
+(** Machine-readable failure classes on [Error_frame]s.  An absent
+    ["kind"] field decodes as [Generic], so frames from older daemons
+    stay readable. *)
+type error_kind = Generic | Overloaded | Timeout | Version_mismatch | Interrupted
+
+val error_kind_to_string : error_kind -> string
+val error_kind_of_string : string -> error_kind
+
 type cmd = Check | Lint | Stats | Solve | Slice | Ping | Shutdown
 
 val cmd_to_string : cmd -> string
@@ -48,6 +69,11 @@ type request = {
 val request_to_json : request -> Json.t
 val request_of_json : Json.t -> (request, string) result
 
+val version_of_json : Json.t -> int option
+(** The ["v"] field alone, so the server can distinguish a version skew
+    (answer [Version_mismatch], naming both versions) from a frame that
+    is merely malformed. *)
+
 type response =
   | Result of {
       id : int;
@@ -60,10 +86,27 @@ type response =
               size); non-empty only on [ping] replies *)
     }
   | Event of { id : int; name : string; fields : (string * int) list }
-  | Error_frame of { id : int; exit_code : int; message : string }
+  | Error_frame of {
+      id : int;
+      exit_code : int;
+      kind : error_kind;
+      message : string;
+    }
 
 val response_to_json : response -> Json.t
 val response_of_json : Json.t -> (response, string) result
+
+val write_all : Unix.file_descr -> string -> unit
+(** Write every byte of the string: short writes resume at the unsent
+    suffix, EINTR retries.  Any other [Unix.Unix_error] (EPIPE, or
+    EAGAIN when an SO_SNDTIMEO deadline is armed) propagates — a frame
+    is delivered whole or the connection is known broken. *)
+
+val write_line : Unix.file_descr -> string -> unit
+(** [write_all] of the line plus the frame-terminating newline. *)
+
+val write_frame : Unix.file_descr -> response -> unit
+(** Encode and [write_line] one response frame. *)
 
 val cache_key : request -> string
 (** The content address of a request's answer: an MD5 over a canonical

@@ -17,7 +17,17 @@
      a cache hit streams none;
    - shutdown removes the socket; a stale socket file is reclaimed on
      startup; a live one refuses a second daemon; concurrent clients see
-     the same bytes as sequential ones. *)
+     the same bytes as sequential ones;
+   - under overload the daemon sheds with the structured [overloaded]
+     frame (exit 75); a slow-loris client is cut at the absolute
+     deadline with the [timeout] frame (exit 4); a doctored protocol
+     version gets the [version_mismatch] frame naming both versions; a
+     client vanishing mid-request leaves the daemon serving; [write_all]
+     survives short writes byte-for-byte; the retry schedule is bounded,
+     deterministic under a pinned seed, and resends only what never
+     demonstrably ran; the ping health fields are pinned by a golden
+     file; and a mini chaos sweep against a real spawned daemon holds
+     every invariant. *)
 
 module Server = Kpt_serve.Server
 module Client = Kpt_serve.Client
@@ -86,17 +96,28 @@ let wait_for_socket path =
 (* Spawn the daemon on its own domain, run [f socket], then shut it down
    through the wire and join.  The join doubles as the exit-code check:
    a clean shutdown must return 0 and remove the socket file. *)
-let with_server ~tag ?(cache_size = 8) f =
+let with_server ~tag ?(cache_size = 8) ?(jobs = 1) ?(queue = 64) ?request_timeout f =
   let socket = socket_path tag in
   if Sys.file_exists socket then Sys.remove socket;
-  let daemon =
-    Domain.spawn (fun () ->
-        Server.run ~announce:false { Server.socket_path = socket; cache_size })
+  let cfg =
+    Server.config ~jobs ~queue_capacity:queue ?request_timeout ~socket_path:socket
+      ~cache_size ()
   in
+  let daemon = Domain.spawn (fun () -> Server.run ~announce:false cfg) in
   wait_for_socket socket;
   let result = try Ok (f socket) with e -> Error e in
-  (match Client.roundtrip ~socket (mk_req Protocol.Shutdown []) with
-  | Ok _ | Error _ -> ());
+  (* the shutdown request itself can be shed if a test left the daemon
+     saturated for a moment (e.g. the overload scenario), so retry until
+     the daemon actually acknowledges with a result frame *)
+  let rec shutdown_daemon n =
+    match Client.roundtrip ~socket (mk_req Protocol.Shutdown []) with
+    | Ok (Protocol.Result _) -> ()
+    | (Ok _ | Error _) when n > 0 ->
+        Unix.sleepf 0.1;
+        shutdown_daemon (n - 1)
+    | Ok _ | Error _ -> ()
+  in
+  shutdown_daemon 50;
   let code = Domain.join daemon in
   Alcotest.(check int) "daemon exits 0 on shutdown" 0 code;
   Alcotest.(check bool) "socket removed on exit" false (Sys.file_exists socket);
@@ -242,7 +263,8 @@ let test_stale_socket_reclaimed () =
   Alcotest.(check bool) "the stale file exists" true (Sys.file_exists socket);
   let daemon =
     Domain.spawn (fun () ->
-        Server.run ~announce:false { Server.socket_path = socket; cache_size = 4 })
+        Server.run ~announce:false
+          (Server.config ~socket_path:socket ~cache_size:4 ()))
   in
   wait_for_socket socket;
   let r = result_exn (Client.roundtrip ~socket (mk_req Protocol.Ping [])) in
@@ -255,7 +277,7 @@ let test_second_daemon_refused () =
   with_server ~tag:"refuse" @@ fun socket ->
   (* the socket is live: a second daemon must refuse to steal it *)
   Alcotest.(check int) "second daemon on a live socket exits 1" 1
-    (Server.run ~announce:false { Server.socket_path = socket; cache_size = 4 });
+    (Server.run ~announce:false (Server.config ~socket_path:socket ~cache_size:4 ()));
   Alcotest.(check bool) "and leaves the live socket alone" true (Sys.file_exists socket)
 
 let test_concurrent_clients_match_sequential () =
@@ -281,6 +303,359 @@ let test_concurrent_clients_match_sequential () =
       Alcotest.(check string) (name ^ ": bytes") direct.Driver.out out)
     [ ("client A", ra); ("client B", rb) ]
 
+(* ---- overload shedding -------------------------------------------------------- *)
+
+(* raw sockets, for adversarial clients the [Client] module rightly
+   refuses to be *)
+let raw_connect socket =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  Unix.connect fd (Unix.ADDR_UNIX socket);
+  fd
+
+(* every read is select-guarded: an adversarial-client test that blocks
+   forever on a frame the daemon never owes it wedges the whole suite *)
+let recv_frame ~timeout fd =
+  match Unix.select [ fd ] [] [] timeout with
+  | [ _ ], _, _ -> (
+      let ic = Unix.in_channel_of_descr fd in
+      match Protocol.response_of_json (Json.of_string (input_line ic)) with
+      | Ok frame -> Some frame
+      | Error msg -> Alcotest.failf "undecodable frame: %s" msg)
+  | _ -> None
+
+let raw_frame_exn fd =
+  match recv_frame ~timeout:10.0 fd with
+  | Some frame -> frame
+  | None -> Alcotest.fail "no frame within 10s"
+
+let test_overload_sheds_with_structured_frame () =
+  (* one worker, a queue of one: a silent connection holds the worker
+     (its read blocks — no deadline is armed), another parks in the
+     queue, and the next must be shed at accept with the structured
+     frame.  Which connection ends up parked depends on how quickly the
+     worker dequeues the first, so probe with fresh connections until
+     one is shed instead of assuming the third one is. *)
+  with_server ~tag:"shed" ~jobs:1 ~queue:1 @@ fun socket ->
+  let opened = ref [] in
+  let connect () =
+    let fd = raw_connect socket in
+    opened := fd :: !opened;
+    fd
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      List.iter
+        (fun fd -> try Unix.close fd with Unix.Unix_error _ -> ())
+        !opened)
+  @@ fun () ->
+  let _holder = connect () in
+  Unix.sleepf 0.2 (* let the worker pop the holder off the queue *);
+  let rec shed_frame n =
+    if n = 0 then Alcotest.fail "no probe connection was ever shed"
+    else
+      let fd = connect () in
+      match recv_frame ~timeout:2.0 fd with
+      | Some frame -> frame
+      | None -> shed_frame (n - 1) (* parked in the queue; leave it there *)
+  in
+  match shed_frame 4 with
+  | Protocol.Error_frame { exit_code; kind; message; _ } as frame ->
+      Alcotest.(check int) "shed exits 75 (EX_TEMPFAIL)" Protocol.exit_overloaded
+        exit_code;
+      Alcotest.(check bool) "with the overloaded kind" true
+        (kind = Protocol.Overloaded);
+      Alcotest.(check bool) "naming the condition" true
+        (String.length message >= 10 && String.sub message 0 10 = "overloaded");
+      (* the shed frame is the one reply a client may retry after *)
+      Alcotest.(check bool) "and it is the retryable reply" true
+        (Client.retryable_response frame)
+  | _ -> Alcotest.fail "expected the overloaded error frame"
+
+(* ---- the I/O deadline --------------------------------------------------------- *)
+
+let test_slow_loris_disconnected () =
+  with_server ~tag:"loris" ~request_timeout:0.3 @@ fun socket ->
+  let fd = raw_connect socket in
+  Fun.protect ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let t0 = Unix.gettimeofday () in
+  (* drip bytes slower than any per-read timer would notice: the
+     deadline is absolute, so the drip must still be cut *)
+  for _ = 1 to 4 do
+    ignore (Unix.write_substring fd "{" 0 1);
+    Unix.sleepf 0.1
+  done;
+  (match raw_frame_exn fd with
+  | Protocol.Error_frame { exit_code; kind; _ } ->
+      Alcotest.(check int) "deadline exits 4" Protocol.exit_io_timeout exit_code;
+      Alcotest.(check bool) "with the timeout kind" true (kind = Protocol.Timeout)
+  | _ -> Alcotest.fail "expected the deadline error frame");
+  let elapsed = Unix.gettimeofday () -. t0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "cut near the 0.3s deadline (%.2fs elapsed)" elapsed)
+    true
+    (elapsed < 3.0);
+  (* the cut is a disconnect, not a lingering half-open connection *)
+  Alcotest.(check bool) "connection is closed after the frame" true
+    (match Unix.select [ fd ] [] [] 10.0 with
+    | [ _ ], _, _ -> (
+        match Unix.read fd (Bytes.create 1) 0 1 with
+        | 0 -> true (* EOF *)
+        | _ -> false
+        | exception Unix.Unix_error _ -> true)
+    | _ -> false)
+
+(* ---- protocol version skew ---------------------------------------------------- *)
+
+let test_version_mismatch_is_structured () =
+  with_server ~tag:"version" @@ fun socket ->
+  match Client.connect ~socket with
+  | Error msg -> Alcotest.failf "connect: %s" msg
+  | Ok c ->
+      Fun.protect ~finally:(fun () -> Client.close c)
+      @@ fun () ->
+      Client.send_line c {|{"v":99,"id":5,"cmd":"ping","files":[],"opts":{}}|};
+      (match Client.read_response c with
+      | Ok (Protocol.Error_frame { id; exit_code; kind; message }) ->
+          Alcotest.(check int) "echoes the id" 5 id;
+          Alcotest.(check int) "exits 2" 2 exit_code;
+          Alcotest.(check bool) "with the version_mismatch kind" true
+            (kind = Protocol.Version_mismatch);
+          let contains needle =
+            let n = String.length needle and h = String.length message in
+            let rec go i = i + n <= h && (String.sub message i n = needle || go (i + 1)) in
+            go 0
+          in
+          Alcotest.(check bool) "naming the client's version" true (contains "v99");
+          Alcotest.(check bool) "and the daemon's" true
+            (contains (Printf.sprintf "v%d" Protocol.version))
+      | _ -> Alcotest.fail "expected a version_mismatch error frame");
+      (* skew on one request does not poison the connection *)
+      Client.send_request c (mk_req Protocol.Ping []);
+      (match Client.read_response c with
+      | Ok (Protocol.Result { out; _ }) ->
+          Alcotest.(check string) "same connection still answers" "kpt-serve: alive\n"
+            out
+      | _ -> Alcotest.fail "expected a ping result after the mismatch")
+
+(* ---- a client vanishing mid-request ------------------------------------------- *)
+
+let test_mid_request_disconnect_recovers () =
+  let sources =
+    [ ("examples/specs/transmit.unity", read_file "../examples/specs/transmit.unity") ]
+  in
+  with_server ~tag:"vanish" ~jobs:1 @@ fun socket ->
+  (* ship a complete request, then vanish before the reply: the single
+     worker meets EPIPE mid-reply and must recycle, not die *)
+  let fd = raw_connect socket in
+  let line = Json.to_string (Protocol.request_to_json (mk_req Protocol.Check sources)) in
+  Protocol.write_line fd line;
+  Unix.close fd;
+  (* the only worker is (or was) busy with the orphan; this answer
+     proves it came back for the next connection *)
+  let r = result_exn (Client.roundtrip ~socket (mk_req Protocol.Ping [])) in
+  Alcotest.(check string) "daemon serves after the disconnect" "kpt-serve: alive\n"
+    r.out
+
+(* ---- short writes ------------------------------------------------------------- *)
+
+let test_write_all_survives_short_writes () =
+  (* a payload far beyond any socket buffer, a writer squeezed into a
+     tiny SO_SNDBUF, and a reader that drains slowly: write_all must
+     take many short writes to get it through, byte-for-byte *)
+  let payload = String.init 1_000_000 (fun i -> Char.chr (i mod 251)) in
+  let rfd, wfd = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try Unix.setsockopt_int wfd Unix.SO_SNDBUF 4096 with Unix.Unix_error _ -> ());
+  let writer =
+    Domain.spawn (fun () ->
+        Protocol.write_all wfd payload;
+        Unix.close wfd)
+  in
+  let buf = Bytes.create 8192 in
+  let received = Buffer.create (String.length payload) in
+  let rec drain () =
+    match Unix.read rfd buf 0 (Bytes.length buf) with
+    | 0 -> ()
+    | n ->
+        Buffer.add_subbytes received buf 0 n;
+        (* stay slower than the writer so its buffer keeps filling *)
+        if Buffer.length received mod 3 = 0 then Unix.sleepf 0.0005;
+        drain ()
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> drain ()
+  in
+  drain ();
+  Domain.join writer;
+  Unix.close rfd;
+  Alcotest.(check int) "every byte arrived" (String.length payload)
+    (Buffer.length received);
+  Alcotest.(check bool) "in order" true (Buffer.contents received = payload)
+
+(* ---- request-level parallelism ------------------------------------------------ *)
+
+let test_jobs4_concurrent_byte_identity () =
+  let specs =
+    match corpus () with
+    | a :: b :: c :: d :: _ -> [ a; b; c; d ]
+    | _ -> Alcotest.fail "corpus too small"
+  in
+  let direct =
+    List.map (fun s -> Driver.check Driver.default_options [ s ]) specs
+  in
+  with_server ~tag:"jobs4" ~jobs:4 @@ fun socket ->
+  (* four distinct requests in flight at once, one per worker domain:
+     each must come back with exactly the direct driver's bytes *)
+  let fetchers =
+    List.map
+      (fun s ->
+        Domain.spawn (fun () ->
+            Client.roundtrip ~socket (mk_req Protocol.Check [ s ])))
+      specs
+  in
+  List.iteri
+    (fun i (d : Driver.outcome) ->
+      let r = result_exn (Domain.join (List.nth fetchers i)) in
+      let name = Printf.sprintf "spec %d" i in
+      Alcotest.(check int) (name ^ ": exit code") d.Driver.code r.exit_code;
+      Alcotest.(check string) (name ^ ": bytes") d.Driver.out r.out)
+    direct
+
+(* ---- the retry schedule ------------------------------------------------------- *)
+
+let test_jitter_bounded_and_deterministic () =
+  let base = 0.05 in
+  List.iter
+    (fun prev ->
+      let rng = Kpt_gen.Rng.make 42L in
+      for _ = 1 to 50 do
+        let s = Client.decorrelated_jitter rng ~base ~prev in
+        let hi = Float.min 5.0 (Float.max base (3. *. prev)) in
+        Alcotest.(check bool)
+          (Printf.sprintf "%.3f within [%.3f, %.3f] (prev %.3f)" s base hi prev)
+          true
+          (s >= base -. 1e-9 && s <= hi +. 1e-9)
+      done)
+    [ 0.0; 0.05; 0.2; 1.0; 10.0 ];
+  (* one seed, one schedule: the replay contract behind KPT_RETRY_SEED *)
+  let walk seed =
+    let rng = Kpt_gen.Rng.make seed in
+    let rec go prev n acc =
+      if n = 0 then List.rev acc
+      else
+        let s = Client.decorrelated_jitter rng ~base ~prev in
+        go s (n - 1) (s :: acc)
+    in
+    go base 10 []
+  in
+  Alcotest.(check (list (float 1e-12))) "same seed, same schedule" (walk 7L) (walk 7L);
+  Alcotest.(check bool) "different seed, different schedule" true
+    (walk 7L <> walk 8L)
+
+let test_retryable_is_only_the_shed () =
+  let err kind =
+    Protocol.Error_frame { id = 0; exit_code = 1; kind; message = "m" }
+  in
+  Alcotest.(check bool) "overloaded retries" true
+    (Client.retryable_response (err Protocol.Overloaded));
+  List.iter
+    (fun kind ->
+      Alcotest.(check bool)
+        ("never resent: " ^ Protocol.error_kind_to_string kind)
+        false
+        (Client.retryable_response (err kind)))
+    [ Protocol.Generic; Protocol.Timeout; Protocol.Version_mismatch;
+      Protocol.Interrupted ];
+  Alcotest.(check bool) "a result is final" false
+    (Client.retryable_response
+       (Protocol.Result
+          { id = 0; exit_code = 0; cached = false; out = ""; err = ""; daemon = [] }))
+
+let test_retry_reaches_a_late_daemon () =
+  (* the daemon binds 0.4s after the client starts knocking: with a
+     retry budget the client must get through; without one it must not *)
+  let socket = socket_path "lateretry" in
+  if Sys.file_exists socket then Sys.remove socket;
+  Unix.putenv "KPT_RETRY_SEED" "7";
+  Fun.protect ~finally:(fun () -> Unix.putenv "KPT_RETRY_SEED" "")
+  @@ fun () ->
+  Alcotest.(check int) "no retries, no daemon: exits 2" 2
+    (Client.run_cli ~socket ~serve_auto:false ~retries:0 ~backoff:0.01
+       (mk_req Protocol.Ping []));
+  let daemon =
+    Domain.spawn (fun () ->
+        Unix.sleepf 0.4;
+        Server.run ~announce:false (Server.config ~socket_path:socket ~cache_size:4 ()))
+  in
+  let code =
+    Client.run_cli ~socket ~serve_auto:false ~retries:8 ~backoff:0.15
+      (mk_req Protocol.Ping [])
+  in
+  Alcotest.(check int) "retries carry the ping through" 0 code;
+  ignore (Client.roundtrip ~socket (mk_req Protocol.Shutdown []));
+  Alcotest.(check int) "daemon exits 0" 0 (Domain.join daemon)
+
+(* ---- ping health fields ------------------------------------------------------- *)
+
+let test_ping_health_golden () =
+  let sources =
+    [ ("examples/specs/transmit.unity", read_file "../examples/specs/transmit.unity") ]
+  in
+  with_server ~tag:"health" ~jobs:2 ~queue:8 @@ fun socket ->
+  ignore (result_exn (Client.roundtrip ~socket (mk_req Protocol.Check sources)));
+  let r = result_exn (Client.roundtrip ~socket (mk_req Protocol.Ping []))
+  in
+  (* wall-clock and machine-shape fields carry no pinnable value *)
+  let volatile = [ "uptime_s"; "in_flight"; "pool_size" ] in
+  let rendered =
+    String.concat ""
+      (List.map
+         (fun (k, v) ->
+           Printf.sprintf "%s %s\n" k
+             (if List.mem k volatile then "-" else string_of_int v))
+         r.daemon)
+  in
+  Alcotest.(check string) "health fields match the golden file"
+    (read_file "golden/ping_health.txt") rendered
+
+(* ---- a mini chaos sweep ------------------------------------------------------- *)
+
+let test_chaos_mini_sweep () =
+  let dir = Filename.temp_file "kpt-chaos-corpus" "" in
+  Sys.remove dir;
+  Unix.mkdir dir 0o755;
+  let specs =
+    match corpus () with a :: b :: _ -> [ a; b ] | _ -> Alcotest.fail "corpus too small"
+  in
+  List.iteri
+    (fun i (_, src) ->
+      let oc = open_out_bin (Filename.concat dir (Printf.sprintf "spec%02d.unity" i)) in
+      output_string oc src;
+      close_out oc)
+    specs;
+  let null =
+    Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
+  in
+  let code =
+    Kpt_serve.Chaos.run null
+      {
+        Kpt_serve.Chaos.exe = "../bin/kpt.exe";
+        dir;
+        specs = 2;
+        seed = 11L;
+        socket = socket_path "chaosmini";
+        jobs = 2;
+        queue = 4;
+        request_timeout = 0.5;
+        faults =
+          [
+            Kpt_serve.Chaos.Truncate; Kpt_serve.Chaos.Garbage;
+            Kpt_serve.Chaos.Partial_write; Kpt_serve.Chaos.Disconnect;
+          ];
+      }
+  in
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir;
+  Alcotest.(check int) "chaos sweep holds every invariant" 0 code
+
 let suite =
   [
     Alcotest.test_case "served check is byte-identical (cold/warm/cached)" `Quick
@@ -298,4 +673,26 @@ let suite =
       test_second_daemon_refused;
     Alcotest.test_case "concurrent clients match sequential" `Quick
       test_concurrent_clients_match_sequential;
+    Alcotest.test_case "overload sheds with the structured frame (exit 75)" `Quick
+      test_overload_sheds_with_structured_frame;
+    Alcotest.test_case "slow-loris is cut at the absolute deadline (exit 4)" `Quick
+      test_slow_loris_disconnected;
+    Alcotest.test_case "protocol version skew is a structured error" `Quick
+      test_version_mismatch_is_structured;
+    Alcotest.test_case "mid-request disconnect leaves the daemon serving" `Quick
+      test_mid_request_disconnect_recovers;
+    Alcotest.test_case "write_all survives short writes byte-for-byte" `Quick
+      test_write_all_survives_short_writes;
+    Alcotest.test_case "--serve-jobs 4 serves concurrent requests byte-identically"
+      `Quick test_jobs4_concurrent_byte_identity;
+    Alcotest.test_case "retry jitter is bounded and seed-deterministic" `Quick
+      test_jitter_bounded_and_deterministic;
+    Alcotest.test_case "only the overloaded shed is retryable" `Quick
+      test_retryable_is_only_the_shed;
+    Alcotest.test_case "retries reach a late-binding daemon" `Quick
+      test_retry_reaches_a_late_daemon;
+    Alcotest.test_case "ping health fields are pinned (golden)" `Quick
+      test_ping_health_golden;
+    Alcotest.test_case "mini chaos sweep against a spawned daemon" `Slow
+      test_chaos_mini_sweep;
   ]
